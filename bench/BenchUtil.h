@@ -1,0 +1,60 @@
+//===- bench/BenchUtil.h - Shared benchmark helpers ------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_BENCH_BENCHUTIL_H
+#define LALRCEX_BENCH_BENCHUTIL_H
+
+#include "corpus/Corpus.h"
+#include "grammar/GrammarParser.h"
+#include "lr/ParseTable.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace lalrcex {
+namespace bench {
+
+/// Grammar + analyses + automaton + table, built from corpus text.
+struct BuiltGrammar {
+  Grammar G;
+  GrammarAnalysis A;
+  Automaton M;
+  ParseTable T;
+
+  explicit BuiltGrammar(Grammar InG)
+      : G(std::move(InG)), A(G), M(G, A), T(M) {}
+};
+
+inline std::unique_ptr<BuiltGrammar> buildEntry(const CorpusEntry &E) {
+  std::string Err;
+  std::optional<Grammar> G = parseGrammarText(E.Text, &Err);
+  if (!G) {
+    std::fprintf(stderr, "corpus grammar '%s' failed to parse: %s\n",
+                 E.Name.c_str(), Err.c_str());
+    std::abort();
+  }
+  return std::make_unique<BuiltGrammar>(std::move(*G));
+}
+
+/// Reads a time-budget scale factor: arguments like --budget=0.5 override
+/// the default; used so CI runs can shrink the paper's 5 s / 120 s limits.
+inline double budgetScale(int argc, char **argv, double Default = 1.0) {
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--budget=", 0) == 0)
+      return std::atof(Arg.c_str() + 9);
+  }
+  if (const char *Env = std::getenv("LALRCEX_BENCH_BUDGET"))
+    return std::atof(Env);
+  return Default;
+}
+
+} // namespace bench
+} // namespace lalrcex
+
+#endif // LALRCEX_BENCH_BENCHUTIL_H

@@ -1,0 +1,122 @@
+//===- bench/micro_search.cpp - Search-phase throughput --------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+// Google-benchmark microbenchmarks for the counterexample searches: the
+// shortest lookahead-sensitive path (§4), the nonunifying builder, and
+// the product-parser unifying search (§5) on the paper's worked examples.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "counterexample/CounterexampleFinder.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace lalrcex;
+using namespace lalrcex::bench;
+
+namespace {
+
+struct ConflictSetup {
+  std::unique_ptr<BuiltGrammar> B;
+  std::unique_ptr<StateItemGraph> Graph;
+  Conflict C;
+  StateItemGraph::NodeId ReduceNode;
+
+  ConflictSetup(const char *Grammar, const char *Token) {
+    B = buildEntry(*findCorpusEntry(Grammar));
+    Graph = std::make_unique<StateItemGraph>(B->M);
+    Symbol T = B->G.symbolByName(Token);
+    for (const Conflict &Cand : B->T.reportedConflicts()) {
+      if (Cand.Token == T) {
+        C = Cand;
+        break;
+      }
+    }
+    ReduceNode = Graph->nodeFor(C.State, C.reduceItem(B->G));
+  }
+};
+
+void BM_ShortestLookaheadSensitivePath(benchmark::State &State) {
+  ConflictSetup S("figure1", "else");
+  for (auto _ : State) {
+    auto Path = shortestLookaheadSensitivePath(*S.Graph, S.ReduceNode,
+                                               S.C.Token);
+    benchmark::DoNotOptimize(Path->Steps.size());
+  }
+}
+BENCHMARK(BM_ShortestLookaheadSensitivePath);
+
+void BM_NonunifyingCounterexample(benchmark::State &State) {
+  ConflictSetup S("figure3", "a");
+  NonunifyingBuilder Builder(*S.Graph);
+  auto Path =
+      shortestLookaheadSensitivePath(*S.Graph, S.ReduceNode, S.C.Token);
+  StateItemGraph::NodeId Other =
+      S.Graph->nodeFor(S.C.State, S.C.ShiftItm);
+  for (auto _ : State) {
+    auto Ex = Builder.build(*Path, Other, S.C.Token);
+    benchmark::DoNotOptimize(Ex.has_value());
+  }
+}
+BENCHMARK(BM_NonunifyingCounterexample);
+
+void BM_UnifyingDanglingElse(benchmark::State &State) {
+  ConflictSetup S("figure1", "else");
+  UnifyingSearch Search(*S.Graph);
+  auto Path =
+      shortestLookaheadSensitivePath(*S.Graph, S.ReduceNode, S.C.Token);
+  StateItemGraph::NodeId Other =
+      S.Graph->nodeFor(S.C.State, S.C.ShiftItm);
+  UnifyingOptions Opts;
+  for (auto _ : State) {
+    UnifyingResult R =
+        Search.search(S.ReduceNode, {Other}, S.C.Token, &*Path, Opts);
+    benchmark::DoNotOptimize(R.Status);
+  }
+}
+BENCHMARK(BM_UnifyingDanglingElse);
+
+void BM_UnifyingChallengingConflict(benchmark::State &State) {
+  // The §3.1 conflict: stages 3-4 must reach across two statements.
+  ConflictSetup S("figure1", "digit");
+  UnifyingSearch Search(*S.Graph);
+  auto Path =
+      shortestLookaheadSensitivePath(*S.Graph, S.ReduceNode, S.C.Token);
+  StateItemGraph::NodeId Other =
+      S.Graph->nodeFor(S.C.State, S.C.ShiftItm);
+  UnifyingOptions Opts;
+  for (auto _ : State) {
+    UnifyingResult R =
+        Search.search(S.ReduceNode, {Other}, S.C.Token, &*Path, Opts);
+    benchmark::DoNotOptimize(R.Status);
+  }
+}
+BENCHMARK(BM_UnifyingChallengingConflict);
+
+void BM_ExamineWholeGrammar(benchmark::State &State) {
+  auto B = buildEntry(*findCorpusEntry("C.1"));
+  for (auto _ : State) {
+    CounterexampleFinder Finder(B->T);
+    auto Reports = Finder.examineAll();
+    benchmark::DoNotOptimize(Reports.size());
+  }
+}
+BENCHMARK(BM_ExamineWholeGrammar);
+
+void BM_CanonicalLr1Construction(benchmark::State &State) {
+  const CorpusEntry *E = findCorpusEntry("C.1");
+  Grammar G = *parseGrammarText(E->Text);
+  GrammarAnalysis A(G);
+  for (auto _ : State) {
+    Automaton M(G, A, AutomatonKind::Canonical);
+    benchmark::DoNotOptimize(M.numStates());
+  }
+}
+BENCHMARK(BM_CanonicalLr1Construction);
+
+} // namespace
+
+BENCHMARK_MAIN();

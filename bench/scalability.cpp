@@ -1,0 +1,86 @@
+//===- bench/scalability.cpp - §7.4 scalability ----------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+// Reproduces the paper's scalability claim (§7.4): "the running time of
+// our algorithm only increases marginally on larger grammars". Two
+// sweeps:
+//
+//   1. a generated expression-grammar family with a constant single
+//      conflict and a growing tower of operator levels — grammar size
+//      (and automaton size) grows linearly while the conflict stays the
+//      same, isolating size effects;
+//   2. the corpus grammars ordered by automaton size, with per-conflict
+//      average counterexample time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "counterexample/CounterexampleFinder.h"
+#include "support/Stopwatch.h"
+
+#include <cstdio>
+
+using namespace lalrcex;
+using namespace lalrcex::bench;
+
+int main(int argc, char **argv) {
+  double Scale = budgetScale(argc, argv);
+
+  std::printf("Scalability (paper §7.4)\n\n");
+  std::printf("Sweep 1: generated grammar family, one constant conflict\n");
+  std::printf("%8s %8s %8s %12s %14s\n", "levels", "#prods", "#states",
+              "build(s)", "perconflict(s)");
+  for (unsigned Levels : {2u, 4u, 8u, 16u, 32u, 64u, 96u}) {
+    std::string Text = scalabilityGrammarText(Levels);
+    std::string Err;
+    std::optional<Grammar> G = parseGrammarText(Text, &Err);
+    if (!G) {
+      std::fprintf(stderr, "generator bug: %s\n", Err.c_str());
+      return 1;
+    }
+    Stopwatch Build;
+    GrammarAnalysis A(*G);
+    Automaton M(*G, A);
+    ParseTable T(M);
+    double BuildTime = Build.seconds();
+
+    FinderOptions Opts;
+    Opts.ConflictTimeLimitSeconds = 5.0 * Scale;
+    CounterexampleFinder Finder(T, Opts);
+    Stopwatch Run;
+    std::vector<ConflictReport> Reports = Finder.examineAll();
+    double Avg = Reports.empty() ? 0 : Run.seconds() / double(Reports.size());
+    std::printf("%8u %8u %8u %12.4f %14.5f\n", Levels,
+                G->numProductions() - 1, M.numStates(), BuildTime, Avg);
+  }
+
+  std::printf("\nSweep 2: corpus grammars by automaton size "
+              "(timeouts excluded from the average)\n");
+  std::printf("%-22s %8s %10s %14s\n", "grammar", "#states", "#conf",
+              "perconflict(s)");
+  for (const CorpusEntry &E : corpus()) {
+    if (E.Category == "synthetic")
+      continue; // engineered timeout rows would measure the budget
+    auto B = buildEntry(E);
+    FinderOptions Opts;
+    Opts.ConflictTimeLimitSeconds = 1.0 * Scale;
+    Opts.CumulativeTimeLimitSeconds = 30.0 * Scale;
+    CounterexampleFinder Finder(B->T, Opts);
+    double Total = 0;
+    unsigned Found = 0;
+    std::vector<ConflictReport> Reports = Finder.examineAll();
+    for (const ConflictReport &R : Reports) {
+      if (R.Status == CounterexampleStatus::UnifyingFound ||
+          R.Status == CounterexampleStatus::NonunifyingComplete) {
+        Total += R.Seconds;
+        ++Found;
+      }
+    }
+    std::printf("%-22s %8u %10zu %14.5f\n", E.Name.c_str(),
+                B->M.numStates(), Reports.size(),
+                Found ? Total / Found : 0.0);
+  }
+  return 0;
+}

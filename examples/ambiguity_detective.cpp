@@ -1,0 +1,123 @@
+//===- examples/ambiguity_detective.cpp - Detector comparison --*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+// Answers "is this grammar ambiguous, and what's the witness?" three ways
+// and compares them (the paper's related-work landscape in one program):
+//
+//   1. the conflict-driven counterexample engine (this library's core):
+//      per-conflict unifying counterexamples at parser-generation time;
+//   2. a CFGAnalyzer-style bounded SAT detector (baseline, §7.3);
+//   3. an AMBER-style exhaustive enumerator (baseline, §8).
+//
+//   ambiguity_detective [corpus:NAME | grammar-file] [max-length]
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/AmberDetector.h"
+#include "baseline/CfgAnalyzerDetector.h"
+#include "corpus/Corpus.h"
+#include "counterexample/CounterexampleFinder.h"
+#include "earley/DerivationCounter.h"
+#include "grammar/GrammarParser.h"
+#include "support/Stopwatch.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace lalrcex;
+
+int main(int argc, char **argv) {
+  std::string Source = argc > 1 ? argv[1] : "corpus:figure1";
+  unsigned MaxLength = argc > 2 ? unsigned(std::atoi(argv[2])) : 12;
+
+  std::string Text;
+  if (Source.rfind("corpus:", 0) == 0) {
+    const CorpusEntry *E = findCorpusEntry(Source.substr(7));
+    if (!E) {
+      std::fprintf(stderr, "no corpus grammar named '%s'\n",
+                   Source.substr(7).c_str());
+      return 1;
+    }
+    Text = E->Text;
+  } else {
+    std::ifstream In(Source);
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Text = Buf.str();
+  }
+
+  std::string Err;
+  std::optional<Grammar> G = parseGrammarText(Text, &Err);
+  if (!G) {
+    std::fprintf(stderr, "grammar error: %s\n", Err.c_str());
+    return 1;
+  }
+  GrammarAnalysis A(*G);
+  DerivationCounter Validator(*G, A);
+
+  // 1. Conflict-driven counterexamples (needs no length bound).
+  {
+    Stopwatch W;
+    Automaton M(*G, A);
+    ParseTable T(M);
+    CounterexampleFinder Finder(T);
+    unsigned Unifying = 0;
+    std::string First;
+    for (const Conflict &C : T.reportedConflicts()) {
+      ConflictReport R = Finder.examine(C);
+      if (R.Status == CounterexampleStatus::UnifyingFound) {
+        if (Unifying == 0)
+          First = R.Example->exampleString1(*G) + "   (nonterminal " +
+                  G->name(R.Example->Root) + ")";
+        ++Unifying;
+      }
+    }
+    std::printf("[counterexample engine]  %.3fs  %u/%zu conflicts proved "
+                "ambiguous\n",
+                W.seconds(), Unifying, T.reportedConflicts().size());
+    if (!First.empty())
+      std::printf("  first unifying counterexample: %s\n", First.c_str());
+  }
+
+  // 2. CFGAnalyzer-style bounded SAT search for an ambiguous word.
+  {
+    Stopwatch W;
+    CfgAnalyzerDetector Det(*G, A);
+    DetectionResult R = Det.run(MaxLength, Deadline::afterSeconds(30));
+    std::printf("[SAT bounded detector ]  %.3fs  ", W.seconds());
+    if (R.St == DetectionResult::Ambiguous) {
+      std::printf("ambiguous word of length %u: %s\n", R.BoundReached,
+                  G->symbolsString(*R.Witness).c_str());
+      if (Validator.countDerivations(G->startSymbol(), *R.Witness) < 2)
+        std::printf("  WARNING: witness failed independent validation\n");
+    } else if (R.St == DetectionResult::NoWitnessInBound) {
+      std::printf("no ambiguous word up to length %u\n", R.BoundReached);
+    } else {
+      std::printf("resource limit reached at length %u\n", R.BoundReached);
+    }
+  }
+
+  // 3. AMBER-style exhaustive enumeration.
+  {
+    Stopwatch W;
+    AmberDetector Det(*G, A);
+    DetectionResult R =
+        Det.run(MaxLength, Deadline::afterSeconds(30), 20'000'000);
+    std::printf("[exhaustive enumerator]  %.3fs  ", W.seconds());
+    if (R.St == DetectionResult::Ambiguous) {
+      std::printf("ambiguous word of length %u after %llu expansions: %s\n",
+                  unsigned(R.Witness->size()),
+                  (unsigned long long)R.Work,
+                  G->symbolsString(*R.Witness).c_str());
+    } else if (R.St == DetectionResult::NoWitnessInBound) {
+      std::printf("no ambiguous word up to length %u (%llu expansions)\n",
+                  R.BoundReached, (unsigned long long)R.Work);
+    } else {
+      std::printf("gave up after %llu expansions\n",
+                  (unsigned long long)R.Work);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,138 @@
+//===- examples/conflict_fixer.cpp - Auto-apply precedence fixes *- C++ -*===//
+//
+// Part of lalrcex.
+//
+// Demonstrates closing the loop the paper opens: counterexamples tell the
+// designer *why* a conflict exists; for the classic binary-operator shape
+// the fix is mechanical. This tool finds operator-shaped conflicts,
+// synthesizes %left declarations (one level per operator, in appearance
+// order — a guess the designer should review!), reparses the patched
+// grammar, and shows the before/after conflict counts.
+//
+//   conflict_fixer [corpus:NAME | grammar-file]
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "counterexample/CounterexampleFinder.h"
+#include "grammar/GrammarParser.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+using namespace lalrcex;
+
+namespace {
+
+/// Collects the operator terminals of binary-operator-shaped conflicts:
+/// reduce item "e -> e .. OP1 .. e ." under OP2 with a shift item wanting
+/// OP2.
+std::vector<Symbol> operatorTerminals(const Grammar &G,
+                                      const std::vector<Conflict> &Cs) {
+  std::vector<Symbol> Ops;
+  auto note = [&Ops](Symbol S) {
+    if (std::find(Ops.begin(), Ops.end(), S) == Ops.end())
+      Ops.push_back(S);
+  };
+  for (const Conflict &C : Cs) {
+    if (C.K != Conflict::ShiftReduce)
+      continue;
+    const Production &Reduce = G.production(C.ReduceProd);
+    const Production &Shift = G.production(C.ShiftItm.Prod);
+    auto opOf = [&G](const Production &P, Symbol *Out) {
+      if (P.Rhs.size() < 3 || P.Rhs.front() != P.Lhs ||
+          P.Rhs.back() != P.Lhs)
+        return false;
+      for (size_t I = 1; I + 1 < P.Rhs.size(); ++I) {
+        if (G.isTerminal(P.Rhs[I])) {
+          *Out = P.Rhs[I];
+          return true;
+        }
+      }
+      return false;
+    };
+    Symbol ReduceOp, ShiftOp;
+    if (opOf(Reduce, &ReduceOp) && opOf(Shift, &ShiftOp) &&
+        C.ShiftItm.afterDot(G) == C.Token) {
+      note(ReduceOp);
+      note(C.Token);
+    }
+  }
+  return Ops;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Source = argc > 1 ? argv[1] : "corpus:stackexc01";
+  std::string Text;
+  if (Source.rfind("corpus:", 0) == 0) {
+    const CorpusEntry *E = findCorpusEntry(Source.substr(7));
+    if (!E) {
+      std::fprintf(stderr, "no corpus grammar named '%s'\n",
+                   Source.substr(7).c_str());
+      return 1;
+    }
+    Text = E->Text;
+  } else {
+    std::ifstream In(Source);
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Text = Buf.str();
+  }
+
+  std::string Err;
+  std::optional<Grammar> G = parseGrammarText(Text, &Err);
+  if (!G) {
+    std::fprintf(stderr, "grammar error: %s\n", Err.c_str());
+    return 1;
+  }
+  GrammarAnalysis A(*G);
+  Automaton M(*G, A);
+  ParseTable T(M);
+  std::vector<Conflict> Before = T.reportedConflicts();
+  std::printf("before: %zu reported conflicts\n", Before.size());
+
+  std::vector<Symbol> Ops = operatorTerminals(*G, Before);
+  if (Ops.empty()) {
+    std::printf("no binary-operator-shaped conflicts found; nothing this "
+                "tool can fix mechanically\n");
+    return Before.empty() ? 0 : 1;
+  }
+
+  // Synthesize one %left level per operator, in appearance order. The
+  // ORDER is a guess (earlier operators bind looser); a real designer
+  // should review it.
+  std::string Patch;
+  for (Symbol Op : Ops)
+    Patch += "%left " + G->name(Op) + "\n";
+  std::printf("inserting (review the relative order!):\n%s",
+              Patch.c_str());
+  std::string Fixed = Patch + Text;
+
+  std::optional<Grammar> G2 = parseGrammarText(Fixed, &Err);
+  if (!G2) {
+    std::fprintf(stderr, "patched grammar fails to parse: %s\n",
+                 Err.c_str());
+    return 1;
+  }
+  GrammarAnalysis A2(*G2);
+  Automaton M2(*G2, A2);
+  ParseTable T2(M2);
+  unsigned Resolved = 0;
+  for (const Conflict &C : T2.conflicts())
+    if (!C.reported())
+      ++Resolved;
+  std::printf("after:  %zu reported conflicts (%u resolved by the new "
+              "precedence)\n",
+              T2.reportedConflicts().size(), Resolved);
+
+  // Explain anything that remains.
+  CounterexampleFinder Finder(T2);
+  for (const Conflict &C : T2.reportedConflicts())
+    std::printf("\n%s", Finder.render(Finder.examine(C)).c_str());
+  return T2.reportedConflicts().empty() ? 0 : 1;
+}

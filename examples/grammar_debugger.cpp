@@ -1,0 +1,141 @@
+//===- examples/grammar_debugger.cpp - CLI conflict explainer --*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+// The tool the paper describes, as a command line program: read a
+// yacc-like grammar, report every unresolved conflict with a unifying or
+// nonunifying counterexample.
+//
+//   grammar_debugger [options] <grammar-file | corpus:NAME>
+//     -extendedsearch     full product-parser search (paper §6)
+//     -nonunifying        skip the unifying search entirely
+//     -timeout <seconds>  per-conflict unifying budget (default 5)
+//     -canonical          use a canonical LR(1) automaton (no LALR merging)
+//     -dump               print the automaton states (Figure 2 style)
+//     -print              echo the normalized grammar and exit
+//     -list               list built-in corpus grammar names and exit
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "counterexample/CounterexampleFinder.h"
+#include "grammar/GrammarParser.h"
+#include "grammar/GrammarPrinter.h"
+#include "lr/AutomatonPrinter.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace lalrcex;
+
+static int usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s [-extendedsearch] [-nonunifying] "
+               "[-timeout <sec>] [-canonical] [-dump] [-print] [-list] "
+               "<grammar-file | corpus:NAME>\n",
+               Prog);
+  return 2;
+}
+
+int main(int argc, char **argv) {
+  FinderOptions Opts;
+  std::string Source;
+  bool Dump = false, Print = false;
+  AutomatonKind Kind = AutomatonKind::Lalr1;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "-extendedsearch") {
+      Opts.ExtendedSearch = true;
+    } else if (Arg == "-nonunifying") {
+      Opts.UnifyingEnabled = false;
+    } else if (Arg == "-timeout") {
+      if (++I == argc)
+        return usage(argv[0]);
+      Opts.ConflictTimeLimitSeconds = std::atof(argv[I]);
+    } else if (Arg == "-dump") {
+      Dump = true;
+    } else if (Arg == "-print") {
+      Print = true;
+    } else if (Arg == "-canonical") {
+      Kind = AutomatonKind::Canonical;
+    } else if (Arg == "-list") {
+      for (const CorpusEntry &E : corpus())
+        std::printf("%-24s (%s)\n", E.Name.c_str(), E.Category.c_str());
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      Source = Arg;
+    }
+  }
+  if (Source.empty())
+    return usage(argv[0]);
+
+  // Load the grammar text.
+  std::string Text;
+  if (Source.rfind("corpus:", 0) == 0) {
+    const CorpusEntry *E = findCorpusEntry(Source.substr(7));
+    if (!E) {
+      std::fprintf(stderr, "no corpus grammar named '%s' (try -list)\n",
+                   Source.substr(7).c_str());
+      return 1;
+    }
+    Text = E->Text;
+  } else {
+    std::ifstream In(Source);
+    if (!In) {
+      std::fprintf(stderr, "cannot open '%s'\n", Source.c_str());
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Text = Buf.str();
+  }
+
+  std::string Err;
+  std::optional<Grammar> G = parseGrammarText(Text, &Err);
+  if (!G) {
+    std::fprintf(stderr, "grammar error: %s\n", Err.c_str());
+    return 1;
+  }
+
+  if (Print) {
+    std::fputs(printGrammarText(*G).c_str(), stdout);
+    return 0;
+  }
+
+  GrammarAnalysis Analysis(*G);
+  Automaton M(*G, Analysis, Kind);
+  ParseTable Table(M);
+
+  if (Dump) {
+    std::fputs(dumpAutomaton(M, &Table).c_str(), stdout);
+    return 0;
+  }
+
+  std::vector<Conflict> Conflicts = Table.reportedConflicts();
+  unsigned Resolved = 0;
+  for (const Conflict &C : Table.conflicts())
+    if (!C.reported())
+      ++Resolved;
+  std::printf("%u nonterminals, %u productions, %u states\n",
+              G->numNonterminals() - 1, G->numProductions() - 1,
+              M.numStates());
+  std::printf("%zu conflicts (%u more resolved by precedence)\n\n",
+              Conflicts.size(), Resolved);
+  std::string Expectation = Table.checkExpectations();
+  if (!Expectation.empty())
+    std::printf("warning: %s\n", Expectation.c_str());
+
+  CounterexampleFinder Finder(Table, Opts);
+  for (const Conflict &C : Conflicts) {
+    ConflictReport R = Finder.examine(C);
+    std::printf("%s  (%.3fs, %zu configurations)\n\n",
+                Finder.render(R).c_str(), R.Seconds, R.Configurations);
+  }
+  return Conflicts.empty() ? 0 : 1;
+}

@@ -1,0 +1,116 @@
+//===- baseline/AmberDetector.cpp ------------------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/AmberDetector.h"
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+using namespace lalrcex;
+
+AmberDetector::AmberDetector(const Grammar &G,
+                             const GrammarAnalysis &Analysis)
+    : G(G), Analysis(Analysis) {}
+
+namespace {
+
+/// A sentential form under leftmost expansion: the terminal prefix is
+/// already fixed; Rest holds the remaining symbols (terminals and
+/// nonterminals).
+struct Form {
+  std::vector<Symbol> Prefix; // terminals only
+  std::vector<Symbol> Rest;   // suffix still to expand
+};
+
+std::string keyOf(const std::vector<Symbol> &Word) {
+  std::string Key;
+  Key.reserve(Word.size() * 4);
+  for (Symbol S : Word) {
+    int32_t Id = S.id();
+    Key.append(reinterpret_cast<const char *>(&Id), sizeof(Id));
+  }
+  return Key;
+}
+
+} // namespace
+
+DetectionResult AmberDetector::run(unsigned MaxLength, Deadline Budget,
+                                   uint64_t MaxExpansions) const {
+  DetectionResult Result;
+  // Completed strings seen so far. Leftmost derivations are enumerated
+  // exhaustively, so a repeated string is an ambiguity witness.
+  std::unordered_map<std::string, unsigned> Seen;
+
+  std::deque<Form> Work;
+  Work.push_back(Form{{}, {G.startSymbol()}});
+  uint64_t Expansions = 0;
+  bool Truncated = false;
+
+  while (!Work.empty()) {
+    if (Expansions >= MaxExpansions ||
+        ((Expansions & 0x3FF) == 0 && Budget.expired())) {
+      Truncated = true;
+      break;
+    }
+    Form F = std::move(Work.front());
+    Work.pop_front();
+    ++Expansions;
+
+    // Move leading terminals of Rest into Prefix.
+    size_t I = 0;
+    while (I < F.Rest.size() && G.isTerminal(F.Rest[I]))
+      F.Prefix.push_back(F.Rest[I++]);
+
+    if (I == F.Rest.size()) {
+      // A complete terminal string.
+      if (F.Prefix.size() > MaxLength)
+        continue;
+      unsigned &Count = Seen[keyOf(F.Prefix)];
+      if (++Count >= 2) {
+        Result.St = DetectionResult::Ambiguous;
+        Result.Witness = F.Prefix;
+        Result.BoundReached = unsigned(F.Prefix.size());
+        Result.Work = Expansions;
+        return Result;
+      }
+      continue;
+    }
+
+    // Prune forms that cannot finish within the bound.
+    unsigned MinLen = unsigned(F.Prefix.size());
+    bool Productive = true;
+    for (size_t K = I; K < F.Rest.size(); ++K) {
+      unsigned M = Analysis.minYieldLength(F.Rest[K]);
+      if (M == GrammarAnalysis::Infinite) {
+        Productive = false;
+        break;
+      }
+      MinLen += M;
+    }
+    if (!Productive || MinLen > MaxLength)
+      continue;
+
+    // Leftmost expansion of the first nonterminal.
+    Symbol N = F.Rest[I];
+    for (unsigned P : G.productionsOf(N)) {
+      Form Next;
+      Next.Prefix = F.Prefix;
+      const Production &Prod = G.production(P);
+      Next.Rest.reserve(Prod.Rhs.size() + F.Rest.size() - I - 1);
+      Next.Rest.insert(Next.Rest.end(), Prod.Rhs.begin(), Prod.Rhs.end());
+      Next.Rest.insert(Next.Rest.end(), F.Rest.begin() + long(I) + 1,
+                       F.Rest.end());
+      Work.push_back(std::move(Next));
+    }
+  }
+
+  Result.St = Truncated ? DetectionResult::ResourceLimit
+                        : DetectionResult::NoWitnessInBound;
+  Result.BoundReached = MaxLength;
+  Result.Work = Expansions;
+  return Result;
+}

@@ -1,0 +1,48 @@
+//===- baseline/AmberDetector.h - Exhaustive enumeration -------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An AMBER-style [Schröer 2001] brute-force ambiguity detector: enumerate
+/// all leftmost derivations producing terminal strings up to a length
+/// bound and report a string produced by two distinct derivations.
+/// Leftmost derivations are in bijection with parse trees, so a duplicate
+/// string is exactly an ambiguity witness.
+///
+/// The paper (§8) characterizes this approach as "accurate but
+/// prohibitively slow"; it is the slow end of the efficiency comparison
+/// reproduced by bench/efficiency_baselines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_BASELINE_AMBERDETECTOR_H
+#define LALRCEX_BASELINE_AMBERDETECTOR_H
+
+#include "baseline/Detection.h"
+#include "grammar/Analysis.h"
+#include "support/Stopwatch.h"
+
+namespace lalrcex {
+
+/// Bounded exhaustive sentence generator with duplicate detection.
+class AmberDetector {
+public:
+  AmberDetector(const Grammar &G, const GrammarAnalysis &Analysis);
+
+  /// Enumerates strings of length <= \p MaxLength. Stops early on the
+  /// first duplicate, on \p Budget expiry, or after \p MaxExpansions
+  /// sentential-form expansions.
+  DetectionResult run(unsigned MaxLength,
+                      Deadline Budget = Deadline::unlimited(),
+                      uint64_t MaxExpansions = 50'000'000) const;
+
+private:
+  const Grammar &G;
+  const GrammarAnalysis &Analysis;
+};
+
+} // namespace lalrcex
+
+#endif // LALRCEX_BASELINE_AMBERDETECTOR_H

@@ -1,0 +1,267 @@
+//===- baseline/CfgAnalyzerDetector.cpp ------------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/CfgAnalyzerDetector.h"
+
+#include "sat/Solver.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace lalrcex;
+using namespace lalrcex::sat;
+
+CfgAnalyzerDetector::CfgAnalyzerDetector(const Grammar &G,
+                                         const GrammarAnalysis &Analysis)
+    : G(G), Cnf(toCnf(G, Analysis)) {}
+
+namespace {
+
+/// Derivable word lengths per CNF nonterminal, as bitmasks over 1..63.
+std::vector<uint64_t> possibleLengths(const CnfGrammar &Cnf, unsigned MaxK) {
+  assert(MaxK < 64 && "length bound too large for bitmask lengths");
+  std::vector<uint64_t> L(Cnf.NumNonterminals, 0);
+  for (const CnfGrammar::TerminalRule &R : Cnf.Terminal)
+    L[R.Lhs] |= uint64_t(1) << 1;
+  uint64_t Mask = MaxK >= 63 ? ~uint64_t(0) : (uint64_t(1) << (MaxK + 1)) - 1;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const CnfGrammar::BinaryRule &R : Cnf.Binary) {
+      uint64_t Sum = 0;
+      uint64_t B = L[R.Left];
+      while (B) {
+        unsigned Len = unsigned(__builtin_ctzll(B));
+        B &= B - 1;
+        Sum |= L[R.Right] << Len;
+      }
+      Sum &= Mask;
+      uint64_t Old = L[R.Lhs];
+      L[R.Lhs] |= Sum;
+      Changed |= L[R.Lhs] != Old;
+    }
+  }
+  return L;
+}
+
+} // namespace
+
+DetectionResult CfgAnalyzerDetector::solveLength(unsigned K,
+                                                 Deadline Budget) const {
+  DetectionResult Result;
+  Result.BoundReached = K;
+
+  std::vector<uint64_t> Lens = possibleLengths(Cnf, K);
+  auto possible = [&Lens](unsigned A, unsigned Len) {
+    return Len < 64 && (Lens[A] >> Len) & 1;
+  };
+  if (!possible(Cnf.Start, K)) {
+    Result.St = DetectionResult::NoWitnessInBound;
+    return Result;
+  }
+
+  Solver S;
+
+  // Word variables, one-hot per position over the terminals the CNF can
+  // actually emit.
+  std::vector<Symbol> Alphabet;
+  {
+    std::vector<bool> SeenTerm(G.numTerminals(), false);
+    for (const CnfGrammar::TerminalRule &R : Cnf.Terminal) {
+      if (!SeenTerm[unsigned(R.T.id())]) {
+        SeenTerm[unsigned(R.T.id())] = true;
+        Alphabet.push_back(R.T);
+      }
+    }
+  }
+  std::vector<std::vector<Var>> WordVar(K);
+  for (unsigned I = 0; I != K; ++I) {
+    for (size_t A = 0; A != Alphabet.size(); ++A)
+      WordVar[I].push_back(S.newVar());
+    for (size_t A = 0; A != Alphabet.size(); ++A)
+      for (size_t B = A + 1; B != Alphabet.size(); ++B)
+        S.addBinary(Lit::neg(WordVar[I][A]), Lit::neg(WordVar[I][B]));
+  }
+  std::vector<int> AlphaIndex(G.numTerminals(), -1);
+  for (size_t A = 0; A != Alphabet.size(); ++A)
+    AlphaIndex[unsigned(Alphabet[A].id())] = int(A);
+
+  // Per tree: node and choice variables over feasible spans.
+  struct TreeVars {
+    // Node vars, indexed by nonterminal * numSpans + span.
+    std::vector<Var> Node;
+    // Choice vars in creation order, with their description.
+    struct Choice {
+      Var V;
+      unsigned NodeIdx; // owning node index
+    };
+    std::vector<Choice> Choices;
+    std::vector<std::vector<Var>> ChoicesOf;  // per node index
+    std::vector<std::vector<Var>> ParentsOf;  // per node index
+  };
+
+  const unsigned NumSpans = (K + 1) * (K + 1);
+  auto spanIdx = [K](unsigned I, unsigned J) { return I * (K + 1) + J; };
+  auto nodeIdx = [NumSpans, spanIdx](unsigned A, unsigned I, unsigned J) {
+    return A * NumSpans + spanIdx(I, J);
+  };
+
+  TreeVars T[2];
+  for (TreeVars &TV : T) {
+    TV.Node.assign(size_t(Cnf.NumNonterminals) * NumSpans, -1);
+    TV.ChoicesOf.assign(TV.Node.size(), {});
+    TV.ParentsOf.assign(TV.Node.size(), {});
+  }
+
+  // Create node variables for feasible spans.
+  for (unsigned A = 0; A != Cnf.NumNonterminals; ++A)
+    for (unsigned I = 0; I != K; ++I)
+      for (unsigned J = I + 1; J <= K; ++J)
+        if (possible(A, J - I))
+          for (TreeVars &TV : T)
+            TV.Node[nodeIdx(A, I, J)] = S.newVar();
+
+  // Choice variables and their structural clauses.
+  for (int TreeI = 0; TreeI != 2; ++TreeI) {
+    TreeVars &TV = T[TreeI];
+
+    // Terminal choices: A -> a over spans (i, i+1).
+    for (const CnfGrammar::TerminalRule &R : Cnf.Terminal) {
+      for (unsigned I = 0; I != K; ++I) {
+        unsigned N = nodeIdx(R.Lhs, I, I + 1);
+        if (TV.Node[N] < 0)
+          continue;
+        Var C = S.newVar();
+        TV.Choices.push_back(TreeVars::Choice{C, N});
+        TV.ChoicesOf[N].push_back(C);
+        // Choice implies its node and the word letter.
+        S.addBinary(Lit::neg(C), Lit::pos(TV.Node[N]));
+        S.addBinary(Lit::neg(C),
+                    Lit::pos(WordVar[I][size_t(AlphaIndex[unsigned(
+                        R.T.id())])]));
+      }
+    }
+
+    // Binary choices: A -> B C with split m.
+    for (const CnfGrammar::BinaryRule &R : Cnf.Binary) {
+      for (unsigned I = 0; I != K; ++I) {
+        for (unsigned J = I + 2; J <= K; ++J) {
+          unsigned N = nodeIdx(R.Lhs, I, J);
+          if (TV.Node[N] < 0)
+            continue;
+          for (unsigned M = I + 1; M != J; ++M) {
+            unsigned NB = nodeIdx(R.Left, I, M);
+            unsigned NC = nodeIdx(R.Right, M, J);
+            if (TV.Node[NB] < 0 || TV.Node[NC] < 0)
+              continue;
+            Var C = S.newVar();
+            TV.Choices.push_back(TreeVars::Choice{C, N});
+            TV.ChoicesOf[N].push_back(C);
+            S.addBinary(Lit::neg(C), Lit::pos(TV.Node[N]));
+            S.addBinary(Lit::neg(C), Lit::pos(TV.Node[NB]));
+            S.addBinary(Lit::neg(C), Lit::pos(TV.Node[NC]));
+            TV.ParentsOf[NB].push_back(C);
+            TV.ParentsOf[NC].push_back(C);
+          }
+        }
+      }
+    }
+
+    // Per node: exactly one choice when selected; non-roots need a
+    // selecting parent. Children spans shrink strictly, so selection is
+    // well-founded and every selected node hangs off the root.
+    unsigned Root = nodeIdx(Cnf.Start, 0, K);
+    for (unsigned N = 0; N != TV.Node.size(); ++N) {
+      Var NV = TV.Node[N];
+      if (NV < 0)
+        continue;
+      const std::vector<Var> &Cs = TV.ChoicesOf[N];
+      // Node implies at least one choice.
+      std::vector<Lit> AtLeast = {Lit::neg(NV)};
+      for (Var C : Cs)
+        AtLeast.push_back(Lit::pos(C));
+      S.addClause(AtLeast);
+      // Pairwise at most one choice.
+      for (size_t A = 0; A != Cs.size(); ++A)
+        for (size_t B = A + 1; B != Cs.size(); ++B)
+          S.addBinary(Lit::neg(Cs[A]), Lit::neg(Cs[B]));
+      // Non-root nodes require a parent choice.
+      if (N != Root) {
+        std::vector<Lit> Parent = {Lit::neg(NV)};
+        for (Var P : TV.ParentsOf[N])
+          Parent.push_back(Lit::pos(P));
+        S.addClause(Parent);
+      }
+    }
+
+    // The root is selected.
+    assert(TV.Node[Root] >= 0 && "root span infeasible despite pre-check");
+    S.addUnit(Lit::pos(TV.Node[Root]));
+  }
+
+  // The trees must differ: some choice of tree 1 is absent from tree 2.
+  // Choice lists are built identically for both trees, so indices align.
+  assert(T[0].Choices.size() == T[1].Choices.size());
+  {
+    std::vector<Lit> Diff;
+    for (size_t I = 0; I != T[0].Choices.size(); ++I) {
+      Var D = S.newVar();
+      S.addBinary(Lit::neg(D), Lit::pos(T[0].Choices[I].V));
+      S.addBinary(Lit::neg(D), Lit::neg(T[1].Choices[I].V));
+      Diff.push_back(Lit::pos(D));
+    }
+    S.addClause(Diff);
+  }
+
+  Result.Work = 0;
+  Result.St = DetectionResult::ResourceLimit;
+  sat::Result R = S.solve(Budget);
+  Result.Work = S.numConflicts();
+  if (R == sat::Result::Unknown)
+    return Result;
+  if (R == sat::Result::Unsat) {
+    Result.St = DetectionResult::NoWitnessInBound;
+    return Result;
+  }
+
+  // Extract the witness word.
+  std::vector<Symbol> Word;
+  for (unsigned I = 0; I != K; ++I) {
+    Symbol Letter;
+    for (size_t A = 0; A != Alphabet.size(); ++A) {
+      if (S.modelValue(WordVar[I][A])) {
+        Letter = Alphabet[A];
+        break;
+      }
+    }
+    assert(Letter.valid() && "model leaves a word position unset");
+    Word.push_back(Letter);
+  }
+  Result.St = DetectionResult::Ambiguous;
+  Result.Witness = std::move(Word);
+  return Result;
+}
+
+DetectionResult CfgAnalyzerDetector::run(unsigned MaxLength,
+                                         Deadline Budget) const {
+  DetectionResult Last;
+  uint64_t TotalWork = 0;
+  for (unsigned K = 1; K <= MaxLength; ++K) {
+    if (Budget.expired()) {
+      Last.St = DetectionResult::ResourceLimit;
+      break;
+    }
+    Last = solveLength(K, Budget);
+    TotalWork += Last.Work;
+    if (Last.St == DetectionResult::Ambiguous ||
+        Last.St == DetectionResult::ResourceLimit)
+      break;
+  }
+  Last.Work = TotalWork;
+  if (Last.St == DetectionResult::NoWitnessInBound)
+    Last.BoundReached = MaxLength;
+  return Last;
+}

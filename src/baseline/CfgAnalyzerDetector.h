@@ -1,0 +1,61 @@
+//===- baseline/CfgAnalyzerDetector.h - SAT-bounded ambiguity --*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A CFGAnalyzer-style [Axelsson, Heljanko & Lange 2008] bounded ambiguity
+/// detector: for each word length k = 1, 2, ..., encode "some word of
+/// length k has two distinct parse trees" as propositional satisfiability
+/// and hand it to the CDCL solver, stopping at the first satisfiable bound.
+///
+/// The encoding works over the CNF transform of the grammar. Per tree
+/// t in {1,2} and span (A, i, j) a node variable states that the tree
+/// contains that node; per node, choice variables select the production
+/// (and split point) used. Children spans are strictly smaller (CNF has no
+/// epsilon or unit rules), so every selected node is forced to hang off
+/// the root. The two trees share one-hot word variables and must differ in
+/// at least one choice.
+///
+/// Like CFGAnalyzer, this procedure never terminates on unambiguous
+/// grammars on its own; callers bound the length and the time budget
+/// (paper §8: "never terminates on unambiguous input grammars even if
+/// there is a parsing conflict").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_BASELINE_CFGANALYZERDETECTOR_H
+#define LALRCEX_BASELINE_CFGANALYZERDETECTOR_H
+
+#include "baseline/CnfTransform.h"
+#include "baseline/Detection.h"
+#include "support/Stopwatch.h"
+
+namespace lalrcex {
+
+/// Bounded SAT-based ambiguity detection over one grammar.
+class CfgAnalyzerDetector {
+public:
+  CfgAnalyzerDetector(const Grammar &G, const GrammarAnalysis &Analysis);
+
+  /// Tries word lengths 1..\p MaxLength in order; returns at the first
+  /// ambiguous length, when the bound is exhausted, or when \p Budget
+  /// expires.
+  DetectionResult run(unsigned MaxLength,
+                      Deadline Budget = Deadline::unlimited()) const;
+
+  const CnfGrammar &cnf() const { return Cnf; }
+
+private:
+  /// Solves the fixed-length instance. St is Ambiguous (with witness) or
+  /// NoWitnessInBound (unsat at this length) or ResourceLimit.
+  DetectionResult solveLength(unsigned K, Deadline Budget) const;
+
+  const Grammar &G;
+  CnfGrammar Cnf;
+};
+
+} // namespace lalrcex
+
+#endif // LALRCEX_BASELINE_CFGANALYZERDETECTOR_H

@@ -1,0 +1,222 @@
+//===- baseline/CnfTransform.cpp -------------------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/CnfTransform.h"
+
+#include <cassert>
+#include <map>
+
+using namespace lalrcex;
+
+namespace {
+
+/// Intermediate right-hand-side element: a terminal Symbol or a CNF
+/// nonterminal index.
+struct Elem {
+  bool IsTerm;
+  Symbol T;     // when IsTerm
+  unsigned Nt;  // when !IsTerm
+
+  static Elem term(Symbol S) { return Elem{true, S, 0}; }
+  static Elem nt(unsigned N) { return Elem{false, Symbol(), N}; }
+};
+
+struct Rule {
+  unsigned Lhs;
+  std::vector<Elem> Rhs;
+};
+
+} // namespace
+
+CnfGrammar lalrcex::toCnf(const Grammar &G, const GrammarAnalysis &Analysis) {
+  (void)Analysis;
+  CnfGrammar Out;
+
+  // Fresh nonterminal bookkeeping.
+  std::vector<std::string> Names;
+  auto fresh = [&Names](std::string Name) {
+    Names.push_back(std::move(Name));
+    return unsigned(Names.size() - 1);
+  };
+
+  // Original nonterminals (except the augmented start).
+  std::map<int32_t, unsigned> NtIdx;
+  for (unsigned Id = G.numTerminals(); Id != G.numSymbols(); ++Id) {
+    Symbol S{int32_t(Id)};
+    if (S == G.augmentedStart())
+      continue;
+    NtIdx[S.id()] = fresh(G.name(S));
+  }
+
+  std::vector<Rule> Rules;
+  for (unsigned P = 0; P != G.numProductions(); ++P) {
+    if (P == G.augmentedProduction())
+      continue;
+    const Production &Prod = G.production(P);
+    Rule R;
+    R.Lhs = NtIdx[Prod.Lhs.id()];
+    for (Symbol S : Prod.Rhs)
+      R.Rhs.push_back(G.isTerminal(S) ? Elem::term(S)
+                                      : Elem::nt(NtIdx[S.id()]));
+    Rules.push_back(std::move(R));
+  }
+
+  // START: a fresh start symbol not used on any right-hand side.
+  unsigned S0 = fresh("S0");
+  Rules.push_back(Rule{S0, {Elem::nt(NtIdx[G.startSymbol().id()])}});
+
+  // TERM: in rules of length >= 2, lift terminals into fresh
+  // nonterminals (one shared wrapper per terminal).
+  std::map<int32_t, unsigned> TermWrapper;
+  std::vector<Rule> WrapperRules;
+  for (Rule &R : Rules) {
+    if (R.Rhs.size() < 2)
+      continue;
+    for (Elem &E : R.Rhs) {
+      if (!E.IsTerm)
+        continue;
+      auto It = TermWrapper.find(E.T.id());
+      if (It == TermWrapper.end()) {
+        unsigned W = fresh("T<" + G.name(E.T) + ">");
+        It = TermWrapper.emplace(E.T.id(), W).first;
+        WrapperRules.push_back(Rule{W, {Elem::term(E.T)}});
+      }
+      E = Elem::nt(It->second);
+    }
+  }
+  Rules.insert(Rules.end(), WrapperRules.begin(), WrapperRules.end());
+
+  // BIN: binarize long rules with fresh chain nonterminals.
+  {
+    std::vector<Rule> Next;
+    for (Rule &R : Rules) {
+      while (R.Rhs.size() > 2) {
+        // A -> X1 X2 ... Xn  becomes  A -> X1 A'; A' -> X2 ... Xn.
+        unsigned Chain = fresh("BIN" + std::to_string(Names.size()));
+        Rule Tail;
+        Tail.Lhs = Chain;
+        Tail.Rhs.assign(R.Rhs.begin() + 1, R.Rhs.end());
+        R.Rhs.resize(1);
+        R.Rhs.push_back(Elem::nt(Chain));
+        Next.push_back(std::move(R));
+        R = std::move(Tail);
+      }
+      Next.push_back(std::move(R));
+    }
+    Rules = std::move(Next);
+  }
+
+  // DEL: epsilon elimination. Nullability over the intermediate grammar.
+  std::vector<bool> Nullable(Names.size(), false);
+  {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (const Rule &R : Rules) {
+        if (Nullable[R.Lhs])
+          continue;
+        bool All = true;
+        for (const Elem &E : R.Rhs)
+          if (E.IsTerm || !Nullable[E.Nt]) {
+            All = false;
+            break;
+          }
+        if (All) {
+          Nullable[R.Lhs] = true;
+          Changed = true;
+        }
+      }
+    }
+    Out.StartNullable = Nullable[S0];
+
+    std::vector<Rule> Next;
+    for (const Rule &R : Rules) {
+      if (R.Rhs.empty())
+        continue;
+      // Rules now have length <= 2: at most three non-empty variants.
+      Next.push_back(R);
+      if (R.Rhs.size() == 2) {
+        if (!R.Rhs[0].IsTerm && Nullable[R.Rhs[0].Nt])
+          Next.push_back(Rule{R.Lhs, {R.Rhs[1]}});
+        if (!R.Rhs[1].IsTerm && Nullable[R.Rhs[1].Nt])
+          Next.push_back(Rule{R.Lhs, {R.Rhs[0]}});
+      }
+    }
+    Rules = std::move(Next);
+  }
+
+  // UNIT: eliminate A -> B by splicing every simple unit chain into the
+  // non-unit rules of its endpoint. Simple chains (no repeated node)
+  // preserve finite unit-chain multiplicity; unit cycles (infinitely many
+  // trees) are collapsed.
+  {
+    // Unit edges.
+    std::vector<std::vector<unsigned>> UnitSucc(Names.size());
+    std::vector<Rule> NonUnit;
+    for (const Rule &R : Rules) {
+      if (R.Rhs.size() == 1 && !R.Rhs[0].IsTerm)
+        UnitSucc[R.Lhs].push_back(R.Rhs[0].Nt);
+      else
+        NonUnit.push_back(R);
+    }
+    std::vector<std::vector<unsigned>> NonUnitOf(Names.size());
+    for (unsigned I = 0; I != NonUnit.size(); ++I)
+      NonUnitOf[NonUnit[I].Lhs].push_back(I);
+
+    std::vector<Rule> Result = NonUnit;
+    // DFS over simple unit chains from each nonterminal.
+    for (unsigned A = 0; A != Names.size(); ++A) {
+      if (UnitSucc[A].empty())
+        continue;
+      std::vector<bool> OnPath(Names.size(), false);
+      OnPath[A] = true;
+      // Iterative DFS carrying the chain endpoint.
+      struct Frame {
+        unsigned Node;
+        size_t NextEdge;
+      };
+      std::vector<Frame> Stack = {Frame{A, 0}};
+      while (!Stack.empty()) {
+        Frame &F = Stack.back();
+        if (F.NextEdge >= UnitSucc[F.Node].size()) {
+          OnPath[F.Node] = F.Node == A; // keep the root marked
+          Stack.pop_back();
+          continue;
+        }
+        unsigned B = UnitSucc[F.Node][F.NextEdge++];
+        if (OnPath[B])
+          continue; // unit cycle: skip
+        // A =unit=> ... => B: splice B's non-unit rules up to A.
+        for (unsigned RI : NonUnitOf[B])
+          Result.push_back(Rule{A, NonUnit[RI].Rhs});
+        OnPath[B] = true;
+        Stack.push_back(Frame{B, 0});
+      }
+    }
+    Rules = std::move(Result);
+  }
+
+  // Emit.
+  Out.NumNonterminals = unsigned(Names.size());
+  Out.Start = S0;
+  Out.Names = std::move(Names);
+  Out.BinaryOf.assign(Out.NumNonterminals, {});
+  Out.TerminalOf.assign(Out.NumNonterminals, {});
+  for (const Rule &R : Rules) {
+    if (R.Rhs.size() == 1) {
+      assert(R.Rhs[0].IsTerm && "unit rules must have been eliminated");
+      Out.TerminalOf[R.Lhs].push_back(unsigned(Out.Terminal.size()));
+      Out.Terminal.push_back(CnfGrammar::TerminalRule{R.Lhs, R.Rhs[0].T});
+    } else {
+      assert(R.Rhs.size() == 2 && !R.Rhs[0].IsTerm && !R.Rhs[1].IsTerm &&
+             "binary rules must pair nonterminals");
+      Out.BinaryOf[R.Lhs].push_back(unsigned(Out.Binary.size()));
+      Out.Binary.push_back(
+          CnfGrammar::BinaryRule{R.Lhs, R.Rhs[0].Nt, R.Rhs[1].Nt});
+    }
+  }
+  return Out;
+}

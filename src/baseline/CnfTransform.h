@@ -1,0 +1,74 @@
+//===- baseline/CnfTransform.h - Chomsky normal form -----------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chomsky-normal-form transform used by the CFGAnalyzer-style bounded
+/// ambiguity detector. The classic START/TERM/BIN/DEL/UNIT pipeline, with
+/// two ambiguity-minded details:
+///
+///   - UNIT elimination keeps one rule instance per eliminated unit chain
+///     (duplicates are NOT merged), so ambiguity arising from distinct
+///     unit chains is preserved;
+///   - DEL may merge derivations that differ only in how a nullable
+///     nonterminal derives epsilon; the bounded detector is therefore a
+///     semi-check (exactly like the original CFGAnalyzer bounding), which
+///     DESIGN.md documents.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_BASELINE_CNFTRANSFORM_H
+#define LALRCEX_BASELINE_CNFTRANSFORM_H
+
+#include "grammar/Analysis.h"
+#include "grammar/Grammar.h"
+
+#include <string>
+#include <vector>
+
+namespace lalrcex {
+
+/// A grammar in Chomsky normal form over fresh nonterminal indices;
+/// terminals remain the original grammar's terminal symbols.
+struct CnfGrammar {
+  /// A -> B C.
+  struct BinaryRule {
+    unsigned Lhs, Left, Right;
+  };
+  /// A -> a.
+  struct TerminalRule {
+    unsigned Lhs;
+    Symbol T;
+  };
+
+  unsigned NumNonterminals = 0;
+  unsigned Start = 0;
+  /// True if the original start symbol derives the empty string (the
+  /// empty word is outside CNF and handled by callers).
+  bool StartNullable = false;
+
+  std::vector<BinaryRule> Binary;
+  std::vector<TerminalRule> Terminal;
+  /// Rule indices per left-hand side.
+  std::vector<std::vector<unsigned>> BinaryOf;
+  std::vector<std::vector<unsigned>> TerminalOf;
+  /// Debug names for the fresh nonterminals.
+  std::vector<std::string> Names;
+
+  /// \returns true if \p Lhs derives the single-terminal string [T].
+  bool derivesTerminal(unsigned Lhs, Symbol T) const {
+    for (unsigned R : TerminalOf[Lhs])
+      if (Terminal[R].T == T)
+        return true;
+    return false;
+  }
+};
+
+/// Converts \p G (ignoring its augmented production) into CNF.
+CnfGrammar toCnf(const Grammar &G, const GrammarAnalysis &Analysis);
+
+} // namespace lalrcex
+
+#endif // LALRCEX_BASELINE_CNFTRANSFORM_H

@@ -1,0 +1,45 @@
+//===- baseline/Detection.h - Ambiguity detection results ------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared result type for the baseline ambiguity detectors (paper §7.3):
+/// the AMBER-style exhaustive enumerator and the CFGAnalyzer-style bounded
+/// SAT detector. Both search for a terminal string with two distinct
+/// parses, growing a length bound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_BASELINE_DETECTION_H
+#define LALRCEX_BASELINE_DETECTION_H
+
+#include "grammar/Grammar.h"
+
+#include <optional>
+#include <vector>
+
+namespace lalrcex {
+
+/// Outcome of a bounded ambiguity search.
+struct DetectionResult {
+  enum Status {
+    Ambiguous,        ///< a witness string with two parses was found
+    NoWitnessInBound, ///< exhaustive up to the bound; no witness exists
+                      ///< within it
+    ResourceLimit,    ///< time or work budget exhausted first
+  };
+
+  Status St = ResourceLimit;
+  /// The ambiguous terminal string, when found.
+  std::optional<std::vector<Symbol>> Witness;
+  /// The length bound actually reached.
+  unsigned BoundReached = 0;
+  /// Work performed (expansions or SAT conflicts), for reporting.
+  uint64_t Work = 0;
+};
+
+} // namespace lalrcex
+
+#endif // LALRCEX_BASELINE_DETECTION_H

@@ -1,0 +1,101 @@
+//===- baseline/PpgFinder.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/PpgFinder.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace lalrcex;
+
+PpgFinder::PpgFinder(const StateItemGraph &Graph)
+    : Graph(Graph), G(Graph.grammar()) {}
+
+std::optional<std::vector<StateItemGraph::NodeId>>
+PpgFinder::shortestPath(StateItemGraph::NodeId Target) const {
+  StateItemGraph::NodeId Start = Graph.nodeFor(
+      Graph.automaton().startState(), Item(G.augmentedProduction(), 0));
+  std::vector<int> Parent(Graph.numNodes(), -2);
+  Parent[Start] = -1;
+  std::deque<StateItemGraph::NodeId> Work = {Start};
+  while (!Work.empty()) {
+    StateItemGraph::NodeId N = Work.front();
+    Work.pop_front();
+    if (N == Target)
+      break;
+    auto visit = [&](StateItemGraph::NodeId M) {
+      if (Parent[M] == -2) {
+        Parent[M] = int(N);
+        Work.push_back(M);
+      }
+    };
+    StateItemGraph::NodeId F = Graph.forwardTransition(N);
+    if (F != StateItemGraph::InvalidNode)
+      visit(F);
+    for (StateItemGraph::NodeId P : Graph.productionSteps(N))
+      visit(P);
+  }
+  if (Parent[Target] == -2)
+    return std::nullopt;
+  std::vector<StateItemGraph::NodeId> Path;
+  for (int N = int(Target); N >= 0; N = Parent[size_t(N)])
+    Path.push_back(StateItemGraph::NodeId(N));
+  std::reverse(Path.begin(), Path.end());
+  return Path;
+}
+
+std::vector<DerivPtr>
+PpgFinder::replayNaive(const std::vector<StateItemGraph::NodeId> &Path,
+                       Symbol ConflictTerm, bool WrapFinal) const {
+  std::vector<DerivPtr> Out;
+  // Transitions contribute leaves; production steps contribute nothing
+  // (PPG prints the raw symbol prefix).
+  for (size_t I = 1; I < Path.size(); ++I) {
+    const Item &Itm = Graph.itemOf(Path[I]);
+    if (Itm.Dot > 0 &&
+        Graph.itemOf(Path[I - 1]).advanced() == Itm)
+      Out.push_back(Derivation::leaf(Itm.beforeDot(G)));
+  }
+  const Item &Final = Graph.itemOf(Path.back());
+  if (WrapFinal && Final.atEnd(G)) {
+    // Group the reduce production's symbols for display.
+    size_t L = Final.Dot;
+    std::vector<DerivPtr> Children(Out.end() - long(L), Out.end());
+    Out.resize(Out.size() - L);
+    Out.push_back(Derivation::node(G.production(Final.Prod).Lhs, Final.Prod,
+                                   std::move(Children)));
+  }
+  Out.push_back(Derivation::dot());
+  if (ConflictTerm != G.eof())
+    Out.push_back(Derivation::leaf(ConflictTerm));
+  return Out;
+}
+
+std::optional<Counterexample> PpgFinder::find(const Conflict &C) const {
+  Item ReduceItm = C.reduceItem(G);
+  StateItemGraph::NodeId ReduceNode = Graph.nodeFor(C.State, ReduceItm);
+  if (ReduceNode == StateItemGraph::InvalidNode)
+    return std::nullopt;
+  std::optional<std::vector<StateItemGraph::NodeId>> Path =
+      shortestPath(ReduceNode);
+  if (!Path)
+    return std::nullopt;
+
+  Counterexample Ex;
+  Ex.Unifying = false;
+  Ex.Root = G.startSymbol();
+  Ex.Derivs1 = replayNaive(*Path, C.Token, /*WrapFinal=*/true);
+
+  // Second line: the same prefix, completed with the other item's
+  // remaining symbols as leaves.
+  Ex.Derivs2 = replayNaive(*Path, C.Token, /*WrapFinal=*/false);
+  if (C.K == Conflict::ShiftReduce) {
+    const Production &P = G.production(C.ShiftItm.Prod);
+    for (size_t I = C.ShiftItm.Dot + 1; I < P.Rhs.size(); ++I)
+      Ex.Derivs2.push_back(Derivation::leaf(P.Rhs[I]));
+  }
+  return Ex;
+}

@@ -1,0 +1,62 @@
+//===- baseline/PpgFinder.h - Lookahead-blind counterexamples --*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reimplementation of the counterexample strategy of pre-2015 PPG (and
+/// CUP2): walk the plain shortest path through the parser state diagram to
+/// the conflict state and print the resulting items, ignoring lookahead
+/// sets entirely (paper §7.2 and §8).
+///
+/// Because lookaheads are ignored, the reported "counterexample" is often
+/// invalid: the printed prefix cannot actually be followed by the conflict
+/// terminal. The paper reports PPG misleading users on ten of the
+/// benchmark grammars; bench/effectiveness_ppg reproduces that comparison
+/// by machine-checking this finder's output (and the real engine's) with
+/// the DerivationCounter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_BASELINE_PPGFINDER_H
+#define LALRCEX_BASELINE_PPGFINDER_H
+
+#include "counterexample/Counterexample.h"
+#include "counterexample/StateItemGraph.h"
+#include "lr/ParseTable.h"
+
+#include <optional>
+
+namespace lalrcex {
+
+/// The lookahead-blind baseline counterexample finder.
+class PpgFinder {
+public:
+  explicit PpgFinder(const StateItemGraph &Graph);
+
+  /// Builds the PPG-style counterexample for \p C: shortest
+  /// lookahead-insensitive path to the reduce item, naive completion that
+  /// appends the conflict terminal right after the conflict point.
+  std::optional<Counterexample> find(const Conflict &C) const;
+
+private:
+  /// Shortest path in the state-item graph from the start item to
+  /// \p Target, ignoring lookaheads.
+  std::optional<std::vector<StateItemGraph::NodeId>>
+  shortestPath(StateItemGraph::NodeId Target) const;
+
+  /// Replays a path into a derivation list; the final production is
+  /// completed blindly (dot, conflict terminal, remaining symbols as
+  /// leaves).
+  std::vector<DerivPtr> replayNaive(
+      const std::vector<StateItemGraph::NodeId> &Path, Symbol ConflictTerm,
+      bool WrapFinal) const;
+
+  const StateItemGraph &Graph;
+  const Grammar &G;
+};
+
+} // namespace lalrcex
+
+#endif // LALRCEX_BASELINE_PPGFINDER_H

@@ -1,0 +1,213 @@
+//===- corpus/Corpus.cpp - Registry + the paper's own grammars -*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+#include "corpus/CorpusInternal.h"
+#include "grammar/GrammarParser.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace lalrcex;
+using namespace lalrcex::corpus_detail;
+
+void corpus_detail::addPaperGrammars(std::vector<CorpusEntry> &Out) {
+  // Figure 1: the running example. Ambiguous: dangling else, associativity
+  // of '+', and the "challenging conflict" between num and expr (§3.1).
+  Out.push_back({"figure1", "ours", R"(
+%%
+stmt : if expr then stmt else stmt
+     | if expr then stmt
+     | expr '?' stmt stmt
+     | arr '[' expr ']' ':=' expr
+     ;
+expr : num
+     | expr '+' expr
+     ;
+num  : digit
+     | num digit
+     ;
+)",
+                 true, 3});
+
+  // Figure 3: unambiguous but LR(2), one shift/reduce conflict.
+  Out.push_back({"figure3", "ours", R"(
+%%
+S : T | S T ;
+T : X | Y ;
+X : a ;
+Y : a a b ;
+)",
+                 false, 1});
+
+  // Figure 7: ambiguous; the shortest lookahead-sensitive path does not
+  // yield a unifying counterexample for one of the two conflicts (§5.2).
+  Out.push_back({"figure7", "ours", R"(
+%%
+S : N | N c ;
+N : n N d | n N c | n A b | n B ;
+A : a ;
+B : a b c | a b d ;
+)",
+                 true, 2});
+
+  // Section 2.4: binary-expression grammar whose conflict is resolvable by
+  // a %left declaration. With the declaration there are no reported
+  // conflicts; "expr_prec_unresolved" keeps the conflict for tests and the
+  // Figure 11 sample report.
+  Out.push_back({"expr_prec_resolved", "ours", R"(
+%left PLUS
+%%
+expr : expr PLUS expr | NUM ;
+)",
+                 std::nullopt, 0});
+  Out.push_back({"expr_prec_unresolved", "ours", R"(
+%%
+expr : expr PLUS expr | NUM ;
+)",
+                 true, 1});
+
+  // ambfailed01: ambiguous, but the default unifying search fails (§7.2
+  // explains the tradeoff). The conflict state is reachable through a
+  // short 'q' context and a longer 'r r' context; the shortest
+  // lookahead-sensitive path takes the 'q' route, while the only
+  // ambiguity ("r r a b" as r r A b vs. r r B) lives in states off that
+  // path. -extendedsearch recovers it.
+  Out.push_back({"ambfailed01", "ours", R"(
+%%
+S : q A b | q B c | r r A b | r r B ;
+A : a ;
+B : a b ;
+)",
+                 true, 1});
+
+  // abcd: a small ambiguous bracketing grammar over {a, b, c, d} with
+  // several interacting shift/reduce conflicts (optional delimiters on
+  // both sides).
+  Out.push_back({"abcd", "ours", R"(
+%%
+s : a s | s b | a s b | c ;
+)",
+                 true, 3});
+
+  // simp2: a small imperative language; its one reported conflict is the
+  // dangling else. Boolean and arithmetic operators are stratified, so no
+  // other conflicts arise.
+  Out.push_back({"simp2", "ours", R"(
+%token ID NUM IF THEN ELSE WHILE DO BEGIN END SKIP PRINT READ
+%%
+prog : stmts ;
+stmts : stmt | stmts ';' stmt ;
+stmt : ID ':=' expr
+     | IF bexpr THEN stmt ELSE stmt
+     | IF bexpr THEN stmt
+     | WHILE bexpr DO stmt
+     | BEGIN stmts END
+     | PRINT expr
+     | READ ID
+     | SKIP
+     ;
+bexpr : bterm | bexpr or bterm ;
+bterm : bfactor | bterm and bfactor ;
+bfactor : not bfactor | true | false | expr relop expr | '(' bexpr ')' ;
+relop : '=' | '<' | '>' | '<=' | '>=' | '<>' ;
+expr : term | expr '+' term | expr '-' term ;
+term : factor | term '*' factor | term '/' factor ;
+factor : ID | NUM | '(' expr ')' | '-' factor ;
+)",
+                 true, 1});
+
+  // xi: a Xi-like procedural language. Unstratified binary operators and
+  // a dangling if/else inject six conflicts, all ambiguities.
+  Out.push_back({"xi", "ours", R"(
+%token ID INT BOOL IF ELSE WHILE RETURN USE LENGTH NUM STRING TRUE FALSE
+%%
+prog : uses funcs ;
+uses : | uses use ;
+use : USE ID ;
+funcs : func | funcs func ;
+func : ID '(' params ')' rets block ;
+params : | paramlist ;
+paramlist : param | paramlist ',' param ;
+param : ID ':' type ;
+rets : | ':' typelist ;
+typelist : type | typelist ',' type ;
+type : INT | BOOL | type '[' ']' ;
+block : '{' stmts '}' ;
+stmts : | stmts stmt ;
+stmt : decl | asgn | IF expr stmt | IF expr stmt ELSE stmt
+     | WHILE expr stmt | RETURN exprs | block ;
+decl : ID ':' type ;
+asgn : lhs '=' expr ;
+lhs : ID | lhs '[' expr ']' ;
+exprs : | exprlist ;
+exprlist : expr | exprlist ',' expr ;
+expr : expr '+' expr | '-' expr
+     | ID | NUM | STRING | TRUE | FALSE
+     | ID '(' exprs ')' | LENGTH '(' expr ')' | expr '[' expr ']'
+     | '(' expr ')' ;
+)",
+                 true, 7});
+
+  // eqn: an EQN-style mathematical-typesetting language. Juxtaposition
+  // plus infix SUB/SUP/OVER with no precedence declarations makes box
+  // composition ambiguous.
+  Out.push_back({"eqn", "ours", R"(
+%token IDENT NUMBER SUB SUP OVER SQRT LEFT RIGHT LBRACE RBRACE
+%%
+eqn : box | eqn box ;
+box : cbox | box OVER cbox ;
+cbox : sbox | cbox SUB cbox ;
+sbox : pbox | sbox SUP pbox ;
+pbox : text
+     | LBRACE eqn RBRACE
+     | SQRT pbox
+     | LEFT delim eqn RIGHT delim
+     ;
+text : IDENT | NUMBER ;
+delim : IDENT | '(' | ')' | '[' | ']' ;
+)",
+                 true, 1});
+}
+
+const std::vector<CorpusEntry> &lalrcex::corpus() {
+  static const std::vector<CorpusEntry> *Entries = [] {
+    auto *Out = new std::vector<CorpusEntry>();
+    addPaperGrammars(*Out);
+    addStackOverflowGrammars(*Out);
+    addSqlGrammars(*Out);
+    addPascalGrammars(*Out);
+    addCGrammars(*Out);
+    addJavaGrammars(*Out);
+    addSyntheticGrammars(*Out);
+    return Out;
+  }();
+  return *Entries;
+}
+
+const CorpusEntry *lalrcex::findCorpusEntry(const std::string &Name) {
+  for (const CorpusEntry &E : corpus())
+    if (E.Name == Name)
+      return &E;
+  return nullptr;
+}
+
+Grammar lalrcex::loadCorpusGrammar(const std::string &Name) {
+  const CorpusEntry *E = findCorpusEntry(Name);
+  if (!E) {
+    std::fprintf(stderr, "corpus: no grammar named '%s'\n", Name.c_str());
+    std::abort();
+  }
+  std::string Err;
+  std::optional<Grammar> G = parseGrammarText(E->Text, &Err);
+  if (!G) {
+    std::fprintf(stderr, "corpus: grammar '%s' fails to parse: %s\n",
+                 Name.c_str(), Err.c_str());
+    std::abort();
+  }
+  return std::move(*G);
+}

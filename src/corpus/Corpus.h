@@ -1,0 +1,63 @@
+//===- corpus/Corpus.h - Evaluation grammar corpus -------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The grammar corpus used by tests and by the Table 1 reproduction
+/// benchmark. Entries mirror the rows of the paper's Table 1: the paper's
+/// own figures, grammars reconstructed from the StackOverflow /
+/// StackExchange conflict classes, and BV10-style mainstream-language
+/// grammars (SQL, Pascal, C, Java) with injected conflicts. See DESIGN.md
+/// for the substitutions made where the original artifacts are not
+/// available.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_CORPUS_CORPUS_H
+#define LALRCEX_CORPUS_CORPUS_H
+
+#include "grammar/Grammar.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lalrcex {
+
+/// One corpus grammar plus the Table 1 expectations we assert in tests.
+struct CorpusEntry {
+  /// Row name, e.g. "figure1", "stackovf03", "Java.2".
+  std::string Name;
+  /// Table 1 section: "ours", "stackoverflow", "bv10", "synthetic".
+  std::string Category;
+  /// Grammar text in the parseGrammarText format.
+  std::string Text;
+  /// Whether the grammar is ambiguous (Table 1 "Amb?"); nullopt if the
+  /// entry doesn't assert it.
+  std::optional<bool> Ambiguous;
+  /// Expected number of reported (unresolved) conflicts; -1 if the entry
+  /// doesn't assert a count.
+  int ExpectedConflicts = -1;
+};
+
+/// All corpus entries, in Table 1 order.
+const std::vector<CorpusEntry> &corpus();
+
+/// Looks up an entry by name. \returns nullptr if absent.
+const CorpusEntry *findCorpusEntry(const std::string &Name);
+
+/// Parses the entry's grammar text; aborts on corpus bugs (the corpus is
+/// trusted input maintained with the library).
+Grammar loadCorpusGrammar(const std::string &Name);
+
+/// Generates the scalability-bench grammar family (§7.4): an expression
+/// grammar with \p Levels stratified binary-operator levels (conflict-free
+/// machinery whose automaton grows with \p Levels) plus one ambiguous
+/// top-level operator contributing a single constant conflict.
+std::string scalabilityGrammarText(unsigned Levels);
+
+} // namespace lalrcex
+
+#endif // LALRCEX_CORPUS_CORPUS_H

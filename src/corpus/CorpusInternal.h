@@ -1,0 +1,33 @@
+//===- corpus/CorpusInternal.h - Corpus section registration ---*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_CORPUS_CORPUSINTERNAL_H
+#define LALRCEX_CORPUS_CORPUSINTERNAL_H
+
+#include "corpus/Corpus.h"
+
+#include <vector>
+
+namespace lalrcex {
+namespace corpus_detail {
+
+/// Section builders, one per Table 1 block; defined across the Corpus*.cpp
+/// files and assembled by corpus().
+void addPaperGrammars(std::vector<CorpusEntry> &Out);
+void addStackOverflowGrammars(std::vector<CorpusEntry> &Out);
+void addSqlGrammars(std::vector<CorpusEntry> &Out);
+void addPascalGrammars(std::vector<CorpusEntry> &Out);
+void addCGrammars(std::vector<CorpusEntry> &Out);
+void addJavaGrammars(std::vector<CorpusEntry> &Out);
+void addSyntheticGrammars(std::vector<CorpusEntry> &Out);
+
+} // namespace corpus_detail
+
+/// The Java base grammar text (shared with the java-ext entries).
+const char *corpus_detail_javaBaseForExtensions();
+} // namespace lalrcex
+
+#endif // LALRCEX_CORPUS_CORPUSINTERNAL_H

@@ -1,0 +1,473 @@
+//===- corpus/CorpusJava.cpp - BV10-style Java grammars --------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+// The base is a JLS-1.0-style Java grammar (the chapter 19 LALR(1)
+// grammar: no_short_if stratification for the dangling else, the careful
+// cast_expression productions, expression strata per precedence level).
+// Five variants inject the BV10 fault classes; Java.2 injects a nullable
+// modifier production, which — exactly as the paper notes — generates a
+// very large number of conflicts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/CorpusInternal.h"
+
+#include <cassert>
+#include <string>
+
+using namespace lalrcex;
+
+namespace {
+
+std::string patch(std::string Text, const std::string &From,
+                  const std::string &To) {
+  size_t Pos = Text.find(From);
+  assert(Pos != std::string::npos && "corpus patch target missing");
+  Text.replace(Pos, From.size(), To);
+  return Text;
+}
+
+const char *JavaBase = R"(
+%token ABSTRACT BOOLEAN BREAK BYTE CASE CATCH CHAR CLASS CONTINUE
+%token DEFAULT DO DOUBLE ELSE EXTENDS FINAL FINALLY FLOAT FOR IF
+%token IMPLEMENTS IMPORT INSTANCEOF INT INTERFACE LONG NATIVE NEW PACKAGE
+%token PRIVATE PROTECTED PUBLIC RETURN SHORT STATIC SUPER SWITCH
+%token SYNCHRONIZED THIS THROW THROWS TRANSIENT TRY VOID VOLATILE WHILE
+%token IDENTIFIER INT_LIT FLOAT_LIT BOOL_LIT CHAR_LIT STRING_LIT NULL_LIT
+%token EQ_OP NE_OP LE_OP GE_OP AND_OP OR_OP INC_OP DEC_OP
+%token LSHIFT RSHIFT URSHIFT
+%token MUL_ASSIGN DIV_ASSIGN MOD_ASSIGN ADD_ASSIGN SUB_ASSIGN
+%token LSHIFT_ASSIGN RSHIFT_ASSIGN URSHIFT_ASSIGN
+%token AND_ASSIGN XOR_ASSIGN OR_ASSIGN
+%start goal
+%%
+goal : compilation_unit ;
+
+literal : INT_LIT | FLOAT_LIT | BOOL_LIT | CHAR_LIT | STRING_LIT
+        | NULL_LIT ;
+
+type : primitive_type | reference_type ;
+primitive_type : numeric_type | BOOLEAN ;
+numeric_type : integral_type | floating_point_type ;
+integral_type : BYTE | SHORT | INT | LONG | CHAR ;
+floating_point_type : FLOAT | DOUBLE ;
+reference_type : class_or_interface_type | array_type ;
+class_or_interface_type : name ;
+class_type : class_or_interface_type ;
+interface_type : class_or_interface_type ;
+array_type : primitive_type dims | name dims ;
+
+name : simple_name | qualified_name ;
+simple_name : IDENTIFIER ;
+qualified_name : name '.' IDENTIFIER ;
+
+compilation_unit :
+  | package_declaration
+  | import_declarations
+  | type_declarations
+  | package_declaration import_declarations
+  | package_declaration type_declarations
+  | import_declarations type_declarations
+  | package_declaration import_declarations type_declarations
+  ;
+package_declaration : PACKAGE name ';' ;
+import_declarations : import_declaration
+                    | import_declarations import_declaration ;
+import_declaration : IMPORT name ';' | IMPORT name '.' '*' ';' ;
+type_declarations : type_declaration
+                  | type_declarations type_declaration ;
+type_declaration : class_declaration | interface_declaration | ';' ;
+
+modifiers : modifier | modifiers modifier ;
+modifier : PUBLIC | PROTECTED | PRIVATE | STATIC | ABSTRACT | FINAL
+         | NATIVE | SYNCHRONIZED | TRANSIENT | VOLATILE ;
+
+class_declaration : modifiers CLASS IDENTIFIER super interfaces class_body
+                  | modifiers CLASS IDENTIFIER super class_body
+                  | modifiers CLASS IDENTIFIER interfaces class_body
+                  | modifiers CLASS IDENTIFIER class_body
+                  | CLASS IDENTIFIER super interfaces class_body
+                  | CLASS IDENTIFIER super class_body
+                  | CLASS IDENTIFIER interfaces class_body
+                  | CLASS IDENTIFIER class_body
+                  ;
+super : EXTENDS class_type ;
+interfaces : IMPLEMENTS interface_type_list ;
+interface_type_list : interface_type
+                    | interface_type_list ',' interface_type ;
+class_body : '{' '}' | '{' class_body_declarations '}' ;
+class_body_declarations : class_body_declaration
+                        | class_body_declarations class_body_declaration ;
+class_body_declaration : class_member_declaration
+                       | static_initializer
+                       | constructor_declaration ;
+class_member_declaration : field_declaration | method_declaration ;
+
+field_declaration : modifiers type variable_declarators ';'
+                  | type variable_declarators ';' ;
+variable_declarators : variable_declarator
+                     | variable_declarators ',' variable_declarator ;
+variable_declarator : variable_declarator_id
+                    | variable_declarator_id '=' variable_initializer ;
+variable_declarator_id : IDENTIFIER | variable_declarator_id '[' ']' ;
+variable_initializer : expression | array_initializer ;
+
+method_declaration : method_header method_body ;
+method_header : modifiers type method_declarator throws
+              | modifiers type method_declarator
+              | type method_declarator throws
+              | type method_declarator
+              | modifiers VOID method_declarator throws
+              | modifiers VOID method_declarator
+              | VOID method_declarator throws
+              | VOID method_declarator
+              ;
+method_declarator : IDENTIFIER '(' formal_parameter_list ')'
+                  | IDENTIFIER '(' ')'
+                  | method_declarator '[' ']' ;
+formal_parameter_list : formal_parameter
+                      | formal_parameter_list ',' formal_parameter ;
+formal_parameter : type variable_declarator_id ;
+throws : THROWS class_type_list ;
+class_type_list : class_type | class_type_list ',' class_type ;
+method_body : block | ';' ;
+
+static_initializer : STATIC block ;
+
+constructor_declaration
+  : modifiers constructor_declarator throws constructor_body
+  | modifiers constructor_declarator constructor_body
+  | constructor_declarator throws constructor_body
+  | constructor_declarator constructor_body
+  ;
+constructor_declarator : simple_name '(' formal_parameter_list ')'
+                       | simple_name '(' ')' ;
+constructor_body
+  : '{' explicit_constructor_invocation block_statements '}'
+  | '{' explicit_constructor_invocation '}'
+  | '{' block_statements '}'
+  | '{' '}'
+  ;
+explicit_constructor_invocation
+  : THIS '(' argument_list ')' ';'
+  | THIS '(' ')' ';'
+  | SUPER '(' argument_list ')' ';'
+  | SUPER '(' ')' ';'
+  ;
+
+interface_declaration
+  : modifiers INTERFACE IDENTIFIER extends_interfaces interface_body
+  | modifiers INTERFACE IDENTIFIER interface_body
+  | INTERFACE IDENTIFIER extends_interfaces interface_body
+  | INTERFACE IDENTIFIER interface_body
+  ;
+extends_interfaces : EXTENDS interface_type
+                   | extends_interfaces ',' interface_type ;
+interface_body : '{' '}' | '{' interface_member_declarations '}' ;
+interface_member_declarations
+  : interface_member_declaration
+  | interface_member_declarations interface_member_declaration ;
+interface_member_declaration : constant_declaration
+                             | abstract_method_declaration ;
+constant_declaration : field_declaration ;
+abstract_method_declaration : method_header ';' ;
+
+array_initializer
+  : '{' variable_initializers ',' '}'
+  | '{' variable_initializers '}'
+  | '{' ',' '}'
+  | '{' '}'
+  ;
+variable_initializers : variable_initializer
+                      | variable_initializers ',' variable_initializer ;
+
+block : '{' '}' | '{' block_statements '}' ;
+block_statements : block_statement | block_statements block_statement ;
+block_statement : local_variable_declaration_statement | statement ;
+local_variable_declaration_statement : local_variable_declaration ';' ;
+local_variable_declaration : type variable_declarators ;
+
+statement : statement_without_trailing_substatement
+          | labeled_statement
+          | if_then_statement
+          | if_then_else_statement
+          | while_statement
+          | for_statement
+          ;
+statement_no_short_if : statement_without_trailing_substatement
+                      | labeled_statement_no_short_if
+                      | if_then_else_statement_no_short_if
+                      | while_statement_no_short_if
+                      | for_statement_no_short_if
+                      ;
+statement_without_trailing_substatement
+  : block
+  | empty_statement
+  | expression_statement
+  | switch_statement
+  | do_statement
+  | break_statement
+  | continue_statement
+  | return_statement
+  | synchronized_statement
+  | throw_statement
+  | try_statement
+  ;
+empty_statement : ';' ;
+labeled_statement : IDENTIFIER ':' statement ;
+labeled_statement_no_short_if : IDENTIFIER ':' statement_no_short_if ;
+expression_statement : statement_expression ';' ;
+statement_expression : assignment
+                     | preincrement_expression
+                     | predecrement_expression
+                     | postincrement_expression
+                     | postdecrement_expression
+                     | method_invocation
+                     | class_instance_creation_expression
+                     ;
+if_then_statement : IF '(' expression ')' statement ;
+if_then_else_statement
+  : IF '(' expression ')' statement_no_short_if ELSE statement ;
+if_then_else_statement_no_short_if
+  : IF '(' expression ')' statement_no_short_if ELSE
+    statement_no_short_if ;
+switch_statement : SWITCH '(' expression ')' switch_block ;
+switch_block : '{' switch_block_statement_groups switch_labels '}'
+             | '{' switch_block_statement_groups '}'
+             | '{' switch_labels '}'
+             | '{' '}'
+             ;
+switch_block_statement_groups
+  : switch_block_statement_group
+  | switch_block_statement_groups switch_block_statement_group ;
+switch_block_statement_group : switch_labels block_statements ;
+switch_labels : switch_label | switch_labels switch_label ;
+switch_label : CASE constant_expression ':' | DEFAULT ':' ;
+while_statement : WHILE '(' expression ')' statement ;
+while_statement_no_short_if
+  : WHILE '(' expression ')' statement_no_short_if ;
+do_statement : DO statement WHILE '(' expression ')' ';' ;
+for_statement
+  : FOR '(' for_init ';' expression ';' for_update ')' statement
+  | FOR '(' for_init ';' expression ';' ')' statement
+  | FOR '(' for_init ';' ';' for_update ')' statement
+  | FOR '(' ';' expression ';' for_update ')' statement
+  | FOR '(' for_init ';' ';' ')' statement
+  | FOR '(' ';' expression ';' ')' statement
+  | FOR '(' ';' ';' for_update ')' statement
+  | FOR '(' ';' ';' ')' statement
+  ;
+for_statement_no_short_if
+  : FOR '(' for_init ';' expression ';' for_update ')'
+    statement_no_short_if
+  | FOR '(' ';' ';' ')' statement_no_short_if
+  ;
+for_init : statement_expression_list | local_variable_declaration ;
+for_update : statement_expression_list ;
+statement_expression_list : statement_expression
+                          | statement_expression_list ','
+                            statement_expression ;
+break_statement : BREAK IDENTIFIER ';' | BREAK ';' ;
+continue_statement : CONTINUE IDENTIFIER ';' | CONTINUE ';' ;
+return_statement : RETURN expression ';' | RETURN ';' ;
+throw_statement : THROW expression ';' ;
+synchronized_statement : SYNCHRONIZED '(' expression ')' block ;
+try_statement : TRY block catches
+              | TRY block catches finally
+              | TRY block finally
+              ;
+catches : catch_clause | catches catch_clause ;
+catch_clause : CATCH '(' formal_parameter ')' block ;
+finally : FINALLY block ;
+
+primary : primary_no_new_array | array_creation_expression ;
+primary_no_new_array : literal
+                     | THIS
+                     | '(' expression ')'
+                     | class_instance_creation_expression
+                     | field_access
+                     | method_invocation
+                     | array_access
+                     ;
+class_instance_creation_expression
+  : NEW class_type '(' argument_list ')'
+  | NEW class_type '(' ')'
+  ;
+argument_list : expression | argument_list ',' expression ;
+array_creation_expression : NEW primitive_type dim_exprs dims
+                          | NEW primitive_type dim_exprs
+                          | NEW class_or_interface_type dim_exprs dims
+                          | NEW class_or_interface_type dim_exprs
+                          ;
+dim_exprs : dim_expr | dim_exprs dim_expr ;
+dim_expr : '[' expression ']' ;
+dims : '[' ']' | dims '[' ']' ;
+field_access : primary '.' IDENTIFIER | SUPER '.' IDENTIFIER ;
+method_invocation : name '(' argument_list ')'
+                  | name '(' ')'
+                  | primary '.' IDENTIFIER '(' argument_list ')'
+                  | primary '.' IDENTIFIER '(' ')'
+                  | SUPER '.' IDENTIFIER '(' argument_list ')'
+                  | SUPER '.' IDENTIFIER '(' ')'
+                  ;
+array_access : name '[' expression ']'
+             | primary_no_new_array '[' expression ']' ;
+
+postfix_expression : primary
+                   | name
+                   | postincrement_expression
+                   | postdecrement_expression ;
+postincrement_expression : postfix_expression INC_OP ;
+postdecrement_expression : postfix_expression DEC_OP ;
+unary_expression : preincrement_expression
+                 | predecrement_expression
+                 | '+' unary_expression
+                 | '-' unary_expression
+                 | unary_expression_not_plus_minus ;
+preincrement_expression : INC_OP unary_expression ;
+predecrement_expression : DEC_OP unary_expression ;
+unary_expression_not_plus_minus : postfix_expression
+                                | '~' unary_expression
+                                | '!' unary_expression
+                                | cast_expression ;
+cast_expression
+  : '(' primitive_type dims ')' unary_expression
+  | '(' primitive_type ')' unary_expression
+  | '(' expression ')' unary_expression_not_plus_minus
+  | '(' name dims ')' unary_expression_not_plus_minus
+  ;
+multiplicative_expression
+  : unary_expression
+  | multiplicative_expression '*' unary_expression
+  | multiplicative_expression '/' unary_expression
+  | multiplicative_expression '%' unary_expression
+  ;
+additive_expression
+  : multiplicative_expression
+  | additive_expression '+' multiplicative_expression
+  | additive_expression '-' multiplicative_expression
+  ;
+shift_expression : additive_expression
+                 | shift_expression LSHIFT additive_expression
+                 | shift_expression RSHIFT additive_expression
+                 | shift_expression URSHIFT additive_expression
+                 ;
+relational_expression : shift_expression
+                      | relational_expression '<' shift_expression
+                      | relational_expression '>' shift_expression
+                      | relational_expression LE_OP shift_expression
+                      | relational_expression GE_OP shift_expression
+                      | relational_expression INSTANCEOF reference_type
+                      ;
+equality_expression : relational_expression
+                    | equality_expression EQ_OP relational_expression
+                    | equality_expression NE_OP relational_expression
+                    ;
+and_expression : equality_expression
+               | and_expression '&' equality_expression ;
+exclusive_or_expression : and_expression
+                        | exclusive_or_expression '^' and_expression ;
+inclusive_or_expression
+  : exclusive_or_expression
+  | inclusive_or_expression '|' exclusive_or_expression ;
+conditional_and_expression
+  : inclusive_or_expression
+  | conditional_and_expression AND_OP inclusive_or_expression ;
+conditional_or_expression
+  : conditional_and_expression
+  | conditional_or_expression OR_OP conditional_and_expression ;
+conditional_expression
+  : conditional_or_expression
+  | conditional_or_expression '?' expression ':' conditional_expression ;
+assignment_expression : conditional_expression | assignment ;
+assignment : left_hand_side assignment_operator assignment_expression ;
+left_hand_side : name | field_access | array_access ;
+assignment_operator : '=' | MUL_ASSIGN | DIV_ASSIGN | MOD_ASSIGN
+                    | ADD_ASSIGN | SUB_ASSIGN | LSHIFT_ASSIGN
+                    | RSHIFT_ASSIGN | URSHIFT_ASSIGN | AND_ASSIGN
+                    | XOR_ASSIGN | OR_ASSIGN ;
+expression : assignment_expression ;
+constant_expression : expression ;
+)";
+
+} // namespace
+
+const char *lalrcex::corpus_detail_javaBaseForExtensions() {
+  return JavaBase;
+}
+
+void corpus_detail::addJavaGrammars(std::vector<CorpusEntry> &Out) {
+  // The unmodified base grammar: conflict-free by construction. Its
+  // presence in the corpus guards the single-fault property of the
+  // variants (CorpusTest asserts zero reported conflicts).
+  Out.push_back({"Java.base", "bv10-base", JavaBase, false, 0});
+
+  // Java.1: the famous cast/parenthesized-expression ambiguity — the
+  // not_plus_minus restriction is dropped from one cast form, so
+  // "(name) + x" parses as a cast of a unary plus or as an addition.
+  Out.push_back(
+      {"Java.1", "bv10",
+       patch(JavaBase,
+             "  | '(' expression ')' unary_expression_not_plus_minus",
+             "  | '(' expression ')' unary_expression"),
+       true, 4});
+
+  // Java.2: an injected nullable modifier. Declaration prefixes become
+  // infinitely ambiguous, generating conflicts all over the automaton —
+  // the paper reports 1133 conflicts for its version of this fault.
+  Out.push_back({"Java.2", "bv10",
+                 patch(JavaBase,
+                       "modifier : PUBLIC | PROTECTED | PRIVATE",
+                       "modifier : | PUBLIC | PROTECTED | PRIVATE"),
+                 true, 272});
+
+  // Java.3: one no_short_if stratification hole — while inside
+  // if-then-else regains the dangling else.
+  Out.push_back(
+      {"Java.3", "bv10",
+       patch(JavaBase,
+             "while_statement_no_short_if\n"
+             "  : WHILE '(' expression ')' statement_no_short_if ;",
+             "while_statement_no_short_if\n"
+             "  : WHILE '(' expression ')' statement ;"),
+       true, 2});
+
+  // Java.4: the conditional-and/or strata collapse — many interacting
+  // ambiguous conflicts.
+  Out.push_back(
+      {"Java.4", "bv10",
+       patch(patch(JavaBase,
+                   "conditional_and_expression\n"
+                   "  : inclusive_or_expression\n"
+                   "  | conditional_and_expression AND_OP "
+                   "inclusive_or_expression ;",
+                   "conditional_and_expression\n"
+                   "  : inclusive_or_expression\n"
+                   "  | conditional_and_expression AND_OP "
+                   "conditional_and_expression ;"),
+             "conditional_or_expression\n"
+             "  : conditional_and_expression\n"
+             "  | conditional_or_expression OR_OP "
+             "conditional_and_expression ;",
+             "conditional_or_expression\n"
+             "  : conditional_and_expression\n"
+             "  | conditional_or_expression OR_OP "
+             "conditional_or_expression ;"),
+       true, 2});
+
+  // Java.5: the conditional operator loses its right-stratification, so
+  // nested ternaries group two ways.
+  Out.push_back(
+      {"Java.5", "bv10",
+       patch(JavaBase,
+             "conditional_expression\n"
+             "  : conditional_or_expression\n"
+             "  | conditional_or_expression '?' expression ':' "
+             "conditional_expression ;",
+             "conditional_expression\n"
+             "  : conditional_or_expression\n"
+             "  | conditional_expression '?' expression ':' "
+             "conditional_expression ;"),
+       true, 1});
+}

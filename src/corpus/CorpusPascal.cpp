@@ -1,0 +1,174 @@
+//===- corpus/CorpusPascal.cpp - BV10-style Pascal grammars ----*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+// A conflict-free ISO-flavoured Pascal grammar (the dangling else is
+// settled by %nonassoc THEN/ELSE precedence, the standard yacc idiom) plus
+// five variants with injected faults: removed precedence, unstratified
+// operators, duplicated alternatives, and separator laxness — the fault
+// classes BV10 injected.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/CorpusInternal.h"
+
+#include <cassert>
+#include <string>
+
+using namespace lalrcex;
+
+namespace {
+
+std::string patch(std::string Text, const std::string &From,
+                  const std::string &To) {
+  size_t Pos = Text.find(From);
+  assert(Pos != std::string::npos && "corpus patch target missing");
+  Text.replace(Pos, From.size(), To);
+  return Text;
+}
+
+const char *PascalBase = R"(
+%token PROGRAM IDENT LABEL CONST TYPE VAR PROCEDURE FUNCTION
+%token BEGINT END IF THEN ELSE CASE OF WHILE DO REPEAT UNTIL FOR TO DOWNTO
+%token WITH GOTO NIL NOT DIV MOD AND OR IN
+%token ARRAY RECORD SET FILEOF PACKED
+%token ASSIGN DOTDOT UNSIGNED_INT UNSIGNED_REAL STRING
+%token EQ NE LT GT LE GE PLUS MINUS STAR SLASH
+%nonassoc THEN
+%nonassoc ELSE
+%%
+program : program_heading ';' block '.' ;
+program_heading : PROGRAM IDENT | PROGRAM IDENT '(' id_list ')' ;
+id_list : IDENT | id_list ',' IDENT ;
+
+block : label_part const_part type_part var_part proc_part compound_stmt ;
+label_part : | LABEL label_list ';' ;
+label_list : label | label_list ',' label ;
+label : UNSIGNED_INT ;
+const_part : | CONST const_defs ;
+const_defs : const_def ';' | const_defs const_def ';' ;
+const_def : IDENT EQ constant ;
+constant : unsigned_const | IDENT | sign unsigned_num | sign IDENT ;
+unsigned_const : unsigned_num | STRING | NIL ;
+unsigned_num : UNSIGNED_INT | UNSIGNED_REAL ;
+sign : PLUS | MINUS ;
+
+type_part : | TYPE type_defs ;
+type_defs : type_def ';' | type_defs type_def ';' ;
+type_def : IDENT EQ type_denoter ;
+type_denoter : simple_type | structured_type | '^' IDENT ;
+simple_type : IDENT | '(' id_list ')' | constant DOTDOT constant ;
+structured_type : unpacked_type | PACKED unpacked_type ;
+unpacked_type : array_type | record_type | set_type | file_type ;
+array_type : ARRAY '[' index_types ']' OF type_denoter ;
+index_types : simple_type | index_types ',' simple_type ;
+record_type : RECORD field_list END ;
+field_list : fixed_part | fixed_part ';' variant_part | variant_part | ;
+fixed_part : record_section | fixed_part ';' record_section ;
+record_section : id_list ':' type_denoter ;
+variant_part : CASE IDENT ':' IDENT OF variants ;
+variants : variant | variants ';' variant ;
+variant : case_consts ':' '(' field_list ')' ;
+case_consts : constant | case_consts ',' constant ;
+set_type : SET OF simple_type ;
+file_type : FILEOF type_denoter ;
+
+var_part : | VAR var_decls ;
+var_decls : var_decl ';' | var_decls var_decl ';' ;
+var_decl : id_list ':' type_denoter ;
+
+proc_part : | proc_part proc_decl ';' ;
+proc_decl : proc_heading ';' block | func_heading ';' block ;
+proc_heading : PROCEDURE IDENT | PROCEDURE IDENT '(' formal_params ')' ;
+func_heading : FUNCTION IDENT ':' IDENT
+             | FUNCTION IDENT '(' formal_params ')' ':' IDENT ;
+formal_params : formal_param | formal_params ';' formal_param ;
+formal_param : id_list ':' IDENT | VAR id_list ':' IDENT ;
+
+compound_stmt : BEGINT stmt_list END ;
+stmt_list : stmt | stmt_list ';' stmt ;
+stmt : | label ':' unlabeled_stmt | unlabeled_stmt ;
+unlabeled_stmt : assignment | proc_call | compound_stmt
+               | if_stmt | case_stmt | while_stmt | repeat_stmt
+               | for_stmt | with_stmt | GOTO label ;
+assignment : variable ASSIGN expr ;
+proc_call : IDENT | IDENT '(' actual_params ')' ;
+actual_params : expr | actual_params ',' expr ;
+if_stmt : IF expr THEN stmt | IF expr THEN stmt ELSE stmt ;
+case_stmt : CASE expr OF case_elems END ;
+case_elems : case_elem | case_elems ';' case_elem ;
+case_elem : case_consts ':' stmt ;
+while_stmt : WHILE expr DO stmt ;
+repeat_stmt : REPEAT stmt_list UNTIL expr ;
+for_stmt : FOR IDENT ASSIGN expr TO expr DO stmt
+         | FOR IDENT ASSIGN expr DOWNTO expr DO stmt ;
+with_stmt : WITH variable_list DO stmt ;
+variable_list : variable | variable_list ',' variable ;
+
+variable : IDENT | variable '[' expr_list ']' | variable '.' IDENT
+         | variable '^' ;
+expr_list : expr | expr_list ',' expr ;
+
+expr : simple_expr | simple_expr relop simple_expr ;
+relop : EQ | NE | LT | GT | LE | GE | IN ;
+simple_expr : term | sign term | simple_expr addop term ;
+addop : PLUS | MINUS | OR ;
+term : factor | term mulop factor ;
+mulop : STAR | SLASH | DIV | MOD | AND ;
+factor : variable | unsigned_const | '(' expr ')' | NOT factor
+       | IDENT '(' actual_params ')' | set_constructor ;
+set_constructor : '[' ']' | '[' member_list ']' ;
+member_list : member | member_list ',' member ;
+member : expr | expr DOTDOT expr ;
+)";
+
+} // namespace
+
+void corpus_detail::addPascalGrammars(std::vector<CorpusEntry> &Out) {
+  // The unmodified base grammar: conflict-free by construction. Its
+  // presence in the corpus guards the single-fault property of the
+  // variants (CorpusTest asserts zero reported conflicts).
+  Out.push_back({"Pascal.base", "bv10-base", PascalBase, false, 0});
+
+  // Pascal.1: the THEN/ELSE precedence is dropped — the dangling else
+  // comes back.
+  Out.push_back({"Pascal.1", "bv10",
+                 patch(PascalBase, "%nonassoc THEN\n%nonassoc ELSE\n", ""),
+                 true, 1});
+
+  // Pascal.2: relational operators become non-stratified (chained
+  // comparisons parse two ways).
+  Out.push_back(
+      {"Pascal.2", "bv10",
+       patch(PascalBase, "expr : simple_expr | simple_expr relop simple_expr ;",
+             "expr : simple_expr | expr relop expr ;"),
+       true, 7});
+
+  // Pascal.3: statement separators become lax — an extra juxtaposition
+  // alternative makes statement sequencing ambiguous (empty statements
+  // interact with ';').
+  Out.push_back({"Pascal.3", "bv10",
+                 patch(PascalBase, "stmt_list : stmt | stmt_list ';' stmt ;",
+                       "stmt_list : stmt | stmt_list ';' stmt "
+                       "| stmt_list ';' ;"),
+                 true, 1});
+
+  // Pascal.4: additive operators lose left-stratification.
+  Out.push_back({"Pascal.4", "bv10",
+                 patch(PascalBase,
+                       "simple_expr : term | sign term "
+                       "| simple_expr addop term ;",
+                       "simple_expr : term | sign term "
+                       "| simple_expr addop simple_expr ;"),
+                 true, 3});
+
+  // Pascal.5: a duplicated alternative — constants and variables both
+  // derive a bare IDENT, and an extra "factor : IDENT" makes the overlap
+  // a reported ambiguity (constant vs. variable reference).
+  Out.push_back({"Pascal.5", "bv10",
+                 patch(PascalBase,
+                       "factor : variable | unsigned_const | '(' expr ')'",
+                       "factor : variable | unsigned_const | IDENT "
+                       "| '(' expr ')'"),
+                 true, 1});
+}

@@ -1,0 +1,152 @@
+//===- corpus/CorpusSql.cpp - BV10-style SQL grammars ----------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+// The BV10 suite (Basten & Vinju 2010) injected conflicts into correct
+// grammars for mainstream languages. The original grammars are not
+// distributed with the paper, so this file rebuilds the SQL block: a
+// conflict-free base grammar plus five variants, each with one injected
+// fault of the kinds the paper describes (missing associativity,
+// self-recursive joins, unstratified operators). SQL.1 is the Table 1
+// mini-SQL row (8 nonterminals).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/CorpusInternal.h"
+
+#include <cassert>
+#include <string>
+
+using namespace lalrcex;
+
+namespace {
+
+/// Replaces exactly one occurrence of \p From in \p Text.
+std::string patch(std::string Text, const std::string &From,
+                  const std::string &To) {
+  size_t Pos = Text.find(From);
+  assert(Pos != std::string::npos && "corpus patch target missing");
+  Text.replace(Pos, From.size(), To);
+  assert(Text.find(From, Pos + To.size()) == std::string::npos &&
+         "corpus patch target ambiguous");
+  return Text;
+}
+
+/// Conflict-free SQL base grammar (SELECT/INSERT/UPDATE/DELETE/DDL with
+/// stratified conditions and arithmetic).
+const char *SqlBase = R"(
+%token SELECT FROM WHERE GROUP BY HAVING ORDER ASC DESC
+%token INSERT INTO VALUES UPDATE SET DELETE CREATE TABLE DROP
+%token AND OR NOT NULLX COMPARISON STRING INTNUM APPROXNUM NAME AS
+%token DISTINCT ALL BETWEEN IN LIKE IS JOIN ON INNER
+%%
+sql_list : sql ';' | sql_list sql ';' ;
+sql : select_stmt | insert_stmt | update_stmt | delete_stmt
+    | create_stmt | drop_stmt ;
+
+select_stmt : SELECT opt_distinct select_list table_exp ;
+opt_distinct : | DISTINCT | ALL ;
+select_list : '*' | derived_cols ;
+derived_cols : derived_col | derived_cols ',' derived_col ;
+derived_col : expr | expr AS NAME ;
+
+table_exp : from_clause opt_where opt_group opt_having opt_order ;
+from_clause : FROM table_refs ;
+table_refs : table_ref | table_refs ',' table_ref ;
+table_ref : table | table NAME | joined_table ;
+joined_table : table JOIN table ON cond
+             | table INNER JOIN table ON cond ;
+table : NAME | NAME '.' NAME ;
+
+opt_where : | WHERE cond ;
+opt_group : | GROUP BY column_list ;
+opt_having : | HAVING cond ;
+opt_order : | ORDER BY sort_list ;
+sort_list : sort_item | sort_list ',' sort_item ;
+sort_item : column opt_asc ;
+opt_asc : | ASC | DESC ;
+column_list : column | column_list ',' column ;
+column : NAME | NAME '.' NAME ;
+
+cond : cond OR and_cond | and_cond ;
+and_cond : and_cond AND not_cond | not_cond ;
+not_cond : NOT not_cond | predicate ;
+predicate : expr COMPARISON expr
+          | expr IS NULLX
+          | expr BETWEEN expr AND expr
+          | expr IN '(' value_list ')'
+          | expr LIKE STRING ;
+value_list : value | value_list ',' value ;
+
+expr : expr '+' term | expr '-' term | term ;
+term : term '*' factor | term '/' factor | factor ;
+factor : value | '-' factor ;
+value : INTNUM | APPROXNUM | STRING | column | '(' expr ')' | func ;
+func : NAME '(' expr ')' | NAME '(' '*' ')' ;
+
+insert_stmt : INSERT INTO table opt_cols VALUES '(' value_list ')' ;
+opt_cols : | '(' column_list ')' ;
+update_stmt : UPDATE table SET assign_list opt_where ;
+assign_list : assign | assign_list ',' assign ;
+assign : column COMPARISON expr ;
+delete_stmt : DELETE FROM table opt_where ;
+create_stmt : CREATE TABLE table '(' col_defs ')' ;
+col_defs : col_def | col_defs ',' col_def ;
+col_def : NAME type_name ;
+type_name : NAME | NAME '(' INTNUM ')' ;
+drop_stmt : DROP TABLE table ;
+)";
+
+} // namespace
+
+void corpus_detail::addSqlGrammars(std::vector<CorpusEntry> &Out) {
+  // The unmodified base grammar: conflict-free by construction. Its
+  // presence in the corpus guards the single-fault property of the
+  // variants (CorpusTest asserts zero reported conflicts).
+  Out.push_back({"SQL.base", "bv10-base", SqlBase, false, 0});
+
+  // SQL.1: the Table 1 mini-SQL (8 nonterminals): column expressions with
+  // an ambiguous binary minus.
+  Out.push_back({"SQL.1", "bv10", R"(
+%token SELECT FROM WHERE NAME
+%%
+query : SELECT cols FROM tables opt_where ;
+cols : '*' | collist ;
+collist : col | collist ',' col ;
+col : NAME | NAME '.' NAME | col '-' col ;
+tables : NAME | tables ',' NAME ;
+opt_where : | WHERE cond ;
+cond : col '=' col ;
+)",
+                 true, 1});
+
+  // SQL.2: OR loses its stratification — ambiguous disjunctions.
+  Out.push_back({"SQL.2", "bv10",
+                 patch(SqlBase, "cond : cond OR and_cond | and_cond ;",
+                       "cond : cond OR cond | and_cond ;"),
+                 true, 1});
+
+  // SQL.3: self-recursive joins — "a JOIN b ON c JOIN d ON e" groups two
+  // ways.
+  Out.push_back({"SQL.3", "bv10",
+                 patch(SqlBase,
+                       "joined_table : table JOIN table ON cond\n"
+                       "             | table INNER JOIN table ON cond ;",
+                       "joined_table : table_ref JOIN table_ref\n"
+                       "             | table_ref JOIN table_ref ON cond ;"),
+                 true, 3});
+
+  // SQL.4: AND loses its stratification; besides the plain ambiguity, the
+  // conflict interacts with BETWEEN ... AND.
+  Out.push_back({"SQL.4", "bv10",
+                 patch(SqlBase,
+                       "and_cond : and_cond AND not_cond | not_cond ;",
+                       "and_cond : and_cond AND and_cond | not_cond ;"),
+                 true, 1});
+
+  // SQL.5: arithmetic '-' becomes non-stratified — ambiguous expressions.
+  Out.push_back({"SQL.5", "bv10",
+                 patch(SqlBase, "expr : expr '+' term | expr '-' term | term ;",
+                       "expr : expr '+' term | expr '-' expr | term ;"),
+                 true, 2});
+}

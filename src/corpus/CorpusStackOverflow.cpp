@@ -1,0 +1,138 @@
+//===- corpus/CorpusStackOverflow.cpp --------------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+// Grammars reconstructed from the classes of StackOverflow/StackExchange
+// questions the paper evaluates on (Table 1 links). The original postings
+// are paraphrased; each entry keeps the conflict class that made the
+// question hard: dangling options, nullable-production surprises, LR(2)
+// constructs, and missing precedence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/CorpusInternal.h"
+
+using namespace lalrcex;
+
+void corpus_detail::addStackOverflowGrammars(std::vector<CorpusEntry> &Out) {
+  // math.stackexchange: "determining ambiguity in context-free grammars" —
+  // the classic unparenthesized expression grammar.
+  Out.push_back({"stackexc01", "stackoverflow", R"(
+%%
+e : e plus e | e star e | id ;
+)",
+                 true, 4});
+
+  // cstheory.stackexchange: "resolving ambiguity in an LALR grammar with
+  // empty productions" — two interchangeable nullable specifiers force an
+  // early reduce decision; the grammar is unambiguous but not LALR(1).
+  Out.push_back({"stackexc02", "stackoverflow", R"(
+%%
+s : X a y | Z a z ;
+X : | x ;
+Z : | x ;
+)",
+                 false, 2});
+
+  // "Bison shift/reduce conflict for simple grammar" — right-recursion
+  // meets an optional trailing element; unambiguous LR(2).
+  Out.push_back({"stackovf01", "stackoverflow", R"(
+%%
+list : | list item ;
+item : X | X X Y ;
+)",
+                 false, 1});
+
+  // "Issue resolving a shift-reduce conflict in my grammar" —
+  // juxtaposition plus an infix operator, ambiguous several ways.
+  Out.push_back({"stackovf02", "stackoverflow", R"(
+%%
+e : e e | e plus e | id ;
+)",
+                 true, 4});
+
+  // "Bison complained conflicts: 1 shift/reduce" — one missing
+  // precedence declaration.
+  Out.push_back({"stackovf03", "stackoverflow", R"(
+%%
+e : e plus e | lp e rp | id ;
+)",
+                 true, 1});
+
+  // "How to resolve a shift-reduce conflict in unambiguous grammar" —
+  // a reduce/reduce conflict between two single-token wrappers that only
+  // later input disambiguates; unambiguous LR(2).
+  Out.push_back({"stackovf04", "stackoverflow", R"(
+%%
+s : A c e | B c f ;
+A : x ;
+B : x ;
+)",
+                 false, 1});
+
+  // "Why are there 3 parsing conflicts in my tiny grammar" — compact
+  // dangling else.
+  Out.push_back({"stackovf05", "stackoverflow", R"(
+%%
+s : i s e s | i s | x ;
+)",
+                 true, 1});
+
+  // "Shift-reduce conflicts in a simple grammar" — two LR(2) list
+  // constructs sharing a prefix; unambiguous.
+  Out.push_back({"stackovf06", "stackoverflow", R"(
+%%
+s : p | s p ;
+p : X | X X Y | Z ;
+)",
+                 false, 1});
+
+  // "Shift-reduce conflict" — chained relations without associativity:
+  // ambiguous, three interacting conflicts.
+  Out.push_back({"stackovf07", "stackoverflow", R"(
+%%
+cond : cond andor cond | expr relop expr | expr ;
+expr : ID | NUM ;
+relop : lt | gt ;
+andor : and | or ;
+)",
+                 true, 2});
+
+  // "Why are these conflicts appearing in the following yacc grammar for
+  // XML" — optional prologue/epilogue lists around a document element;
+  // unambiguous, but the nullable lists are not LALR-friendly.
+  Out.push_back({"stackovf08", "stackoverflow", R"(
+%%
+doc : element ;
+element : open content close | empty ;
+open : LT ID attrs_a GT ;
+close : LT SLASH ID GT ;
+empty : LT ID attrs_b SLASH GT ;
+attrs_a : | attrs_a attr ;
+attrs_b : | attrs_b attr ;
+attr : ID EQ STRING ;
+content : | content element | content TEXT ;
+)",
+                 false, 1});
+
+  // "How to resolve this shift/reduce conflict in yacc" — an optional
+  // label sharing its first token with the labeled thing; unambiguous
+  // LR(2).
+  Out.push_back({"stackovf09", "stackoverflow", R"(
+%%
+cmd : opt_label ID args ;
+opt_label : | ID ':' ;
+args : | args ID ;
+)",
+                 false, 1});
+
+  // "Why are there 3 parsing conflicts..." variant with many operators:
+  // a fully unparenthesized operator zoo; every conflict is an ambiguity.
+  Out.push_back({"stackovf10", "stackoverflow", R"(
+%%
+e : e plus e | e minus e | e star e | e slash e
+  | minus e | e bang
+  | lp e rp | id | num ;
+)",
+                 true, 25});
+}

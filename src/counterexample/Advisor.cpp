@@ -1,0 +1,94 @@
+//===- counterexample/Advisor.cpp ------------------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "counterexample/Advisor.h"
+
+using namespace lalrcex;
+
+namespace {
+
+/// \returns true if \p Prefix is a proper prefix of \p Full.
+bool isProperPrefix(const std::vector<Symbol> &Prefix,
+                    const std::vector<Symbol> &Full) {
+  if (Prefix.size() >= Full.size())
+    return false;
+  for (size_t I = 0; I != Prefix.size(); ++I)
+    if (Prefix[I] != Full[I])
+      return false;
+  return true;
+}
+
+/// \returns true if the production looks like a binary operator rule:
+/// Lhs -> Lhs ... t ... Lhs with terminal \p *OutOp somewhere inside.
+bool isBinaryOperatorRule(const Grammar &G, const Production &P,
+                          Symbol *OutOp) {
+  if (P.Rhs.size() < 3)
+    return false;
+  if (P.Rhs.front() != P.Lhs || P.Rhs.back() != P.Lhs)
+    return false;
+  for (size_t I = 1; I + 1 < P.Rhs.size(); ++I) {
+    if (G.isTerminal(P.Rhs[I])) {
+      *OutOp = P.Rhs[I];
+      return true;
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+std::string lalrcex::suggestResolution(const Grammar &G, const Conflict &C) {
+  const Production &Reduce = G.production(C.ReduceProd);
+
+  if (C.K == Conflict::ShiftReduce) {
+    const Production &Shift = G.production(C.ShiftItm.Prod);
+
+    // Dangling-suffix conflict first: it also matches looser operator
+    // shapes, so it must win the classification.
+    if (Reduce.Lhs == Shift.Lhs && isProperPrefix(Reduce.Rhs, Shift.Rhs) &&
+        C.ShiftItm.Dot == Reduce.Rhs.size()) {
+      return "the rule " + G.productionString(C.ReduceProd) +
+             " is a prefix of " + G.productionString(C.ShiftItm.Prod) +
+             " (a dangling " + G.name(C.Token) +
+             "); keep the default shift to bind " + G.name(C.Token) +
+             " to the nearest candidate, silence the warning with "
+             "precedence (%nonassoc on the rule via %prec, %nonassoc " +
+             G.name(C.Token) +
+             "), or stratify the grammar (matched/unmatched variants)";
+    }
+
+    // Binary-operator conflict: expr -> expr OP1 expr . under OP2 where
+    // the shift item is another operator rule.
+    Symbol ReduceOp, ShiftOp;
+    if (isBinaryOperatorRule(G, Reduce, &ReduceOp) &&
+        isBinaryOperatorRule(G, Shift, &ShiftOp) &&
+        C.ShiftItm.afterDot(G) == C.Token) {
+      if (ReduceOp == C.Token)
+        return "declare the associativity of " + G.name(C.Token) +
+               " (e.g. %left " + G.name(C.Token) +
+               ") so the parser knows how to group chains of it";
+      return "declare relative precedence for " + G.name(ReduceOp) +
+             " and " + G.name(C.Token) +
+             " (e.g. %left " + G.name(ReduceOp) + " then %left " +
+             G.name(C.Token) + " if " + G.name(C.Token) +
+             " should bind tighter)";
+    }
+    return "";
+  }
+
+  // Reduce/reduce shapes.
+  const Production &Other = G.production(C.OtherProd);
+  if (Reduce.Rhs == Other.Rhs) {
+    return G.name(Reduce.Lhs) + " and " + G.name(Other.Lhs) +
+           " both derive exactly \"" + G.symbolsString(Reduce.Rhs) +
+           "\"; merge the two nonterminals or make their contexts "
+           "distinguishable before this point";
+  }
+  return "the inputs completing " + G.productionString(C.ReduceProd) +
+         " and " + G.productionString(C.OtherProd) +
+         " overlap with the same lookahead; consider distinguishing them "
+         "with an earlier marker token or merging the rules";
+}

@@ -1,0 +1,38 @@
+//===- counterexample/Advisor.h - Conflict-fix suggestions -----*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Heuristic fix suggestions for reported conflicts — the "helps guide the
+/// designer towards a better syntax" step the paper's §3.1 anecdote ends
+/// with. The advisor recognizes the classic shapes:
+///
+///   - binary-operator shift/reduce conflicts → precedence/associativity
+///     declarations (paper §2.4);
+///   - dangling-suffix conflicts (the reduce production is a proper prefix
+///     of the shift production) → the %prec guard or stratification;
+///   - duplicate / overlapping reductions → merge or distinguish rules.
+///
+/// Suggestions are heuristics: they describe the standard fix for the
+/// recognized shape, not a verified transformation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_COUNTEREXAMPLE_ADVISOR_H
+#define LALRCEX_COUNTEREXAMPLE_ADVISOR_H
+
+#include "lr/ParseTable.h"
+
+#include <string>
+
+namespace lalrcex {
+
+/// \returns a one-to-two sentence suggestion for resolving \p C, or an
+/// empty string when no common shape is recognized.
+std::string suggestResolution(const Grammar &G, const Conflict &C);
+
+} // namespace lalrcex
+
+#endif // LALRCEX_COUNTEREXAMPLE_ADVISOR_H

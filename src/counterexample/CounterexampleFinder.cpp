@@ -1,0 +1,175 @@
+//===- counterexample/CounterexampleFinder.cpp -----------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "counterexample/CounterexampleFinder.h"
+
+#include "counterexample/Advisor.h"
+#include "support/Stopwatch.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace lalrcex;
+
+CounterexampleFinder::CounterexampleFinder(const ParseTable &Table,
+                                           FinderOptions Opts)
+    : Table(Table), G(Table.automaton().grammar()),
+      Graph(Table.automaton()), Nonunifying(Graph), Unifying(Graph),
+      Opts(Opts) {}
+
+ConflictReport CounterexampleFinder::examine(const Conflict &C) {
+  Stopwatch Timer;
+  ConflictReport Report;
+  Report.TheConflict = C;
+
+  // Locate the conflict items in the state-item graph.
+  Item ReduceItem = C.reduceItem(G);
+  StateItemGraph::NodeId ReduceNode = Graph.nodeFor(C.State, ReduceItem);
+  assert(ReduceNode != StateItemGraph::InvalidNode &&
+         "conflict reduce item missing from its state");
+
+  std::vector<StateItemGraph::NodeId> OtherNodes;
+  if (C.K == Conflict::ShiftReduce) {
+    // One conflict record exists per shift item (CUP counting); search
+    // with that specific item.
+    StateItemGraph::NodeId N = Graph.nodeFor(C.State, C.ShiftItm);
+    assert(N != StateItemGraph::InvalidNode &&
+           "conflict shift item missing from its state");
+    OtherNodes.push_back(N);
+    Report.ShiftItem = C.ShiftItm;
+  } else {
+    Item OtherItem(C.OtherProd,
+                   uint32_t(G.production(C.OtherProd).Rhs.size()));
+    StateItemGraph::NodeId N = Graph.nodeFor(C.State, OtherItem);
+    assert(N != StateItemGraph::InvalidNode &&
+           "conflict reduce item missing from its state");
+    OtherNodes.push_back(N);
+  }
+
+  // Shortest lookahead-sensitive path for the reduce item (§4).
+  std::optional<LssPath> Path =
+      shortestLookaheadSensitivePath(Graph, ReduceNode, C.Token);
+  if (!Path) {
+    Report.Status = CounterexampleStatus::Failed;
+    Report.Seconds = Timer.seconds();
+    return Report;
+  }
+
+  // Unifying search (§5) within budget.
+  bool CumulativeExceeded =
+      CumulativeSeconds >= Opts.CumulativeTimeLimitSeconds;
+  if (Opts.UnifyingEnabled && !CumulativeExceeded) {
+    UnifyingOptions UO;
+    UO.TimeLimitSeconds = Opts.ConflictTimeLimitSeconds;
+    UO.ExtendedSearch = Opts.ExtendedSearch;
+    UO.MaxConfigurations = Opts.MaxConfigurations;
+    UnifyingResult UR =
+        Unifying.search(ReduceNode, OtherNodes, C.Token, &*Path, UO);
+    Report.Configurations = UR.ConfigurationsExplored;
+    if (UR.Status == UnifyingStatus::Found) {
+      Report.Status = CounterexampleStatus::UnifyingFound;
+      Report.Example = std::move(UR.Example);
+      Report.Seconds = Timer.seconds();
+      CumulativeSeconds += Report.Seconds;
+      return Report;
+    }
+    Report.Status = UR.Status == UnifyingStatus::Exhausted
+                        ? CounterexampleStatus::NonunifyingComplete
+                        : CounterexampleStatus::NonunifyingTimeout;
+  } else {
+    Report.Status = CounterexampleStatus::NonunifyingTimeout;
+  }
+
+  // Fall back to a nonunifying counterexample (§4), trying each candidate
+  // conflicting item.
+  for (StateItemGraph::NodeId Other : OtherNodes) {
+    std::optional<Counterexample> Ex =
+        Nonunifying.build(*Path, Other, C.Token);
+    if (Ex) {
+      Report.Example = std::move(Ex);
+      break;
+    }
+  }
+  if (!Report.Example)
+    Report.Status = CounterexampleStatus::Failed;
+  Report.Seconds = Timer.seconds();
+  CumulativeSeconds += Report.Seconds;
+  return Report;
+}
+
+std::vector<ConflictReport> CounterexampleFinder::examineAll() {
+  std::vector<ConflictReport> Out;
+  for (const Conflict &C : Table.conflicts())
+    if (C.reported())
+      Out.push_back(examine(C));
+  return Out;
+}
+
+std::string CounterexampleFinder::render(const ConflictReport &R) const {
+  const Conflict &C = R.TheConflict;
+  std::string Out;
+  Out += "Warning : *** ";
+  Out += C.K == Conflict::ShiftReduce ? "Shift/Reduce" : "Reduce/Reduce";
+  Out += " conflict found in state #" + std::to_string(C.State) + "\n";
+  Out += "  between reduction on " +
+         G.productionString(C.ReduceProd,
+                            int(G.production(C.ReduceProd).Rhs.size())) +
+         "\n";
+  if (C.K == Conflict::ShiftReduce)
+    Out += "  and shift on " +
+           G.productionString(R.ShiftItem.Prod, int(R.ShiftItem.Dot)) + "\n";
+  else
+    Out += "  and reduction on " +
+           G.productionString(C.OtherProd,
+                              int(G.production(C.OtherProd).Rhs.size())) +
+           "\n";
+  Out += "  under symbol " + G.name(C.Token) + "\n";
+
+  if (!R.Example) {
+    Out += "  (no counterexample constructed)\n";
+    return Out;
+  }
+  const Counterexample &Ex = *R.Example;
+  auto derivsString = [this](const std::vector<DerivPtr> &Ds) {
+    std::string S;
+    for (size_t I = 0, E = Ds.size(); I != E; ++I) {
+      if (I != 0)
+        S += " ";
+      S += Ds[I]->toString(G);
+    }
+    return S;
+  };
+  const char *Action2 =
+      C.K == Conflict::ShiftReduce ? "shift" : "second reduction";
+  if (Ex.Unifying) {
+    Out += "  Ambiguity detected for nonterminal " + G.name(Ex.Root) + "\n";
+    Out += "  Example: " + Ex.exampleString1(G) + "\n";
+    Out += "  Derivation using reduction:\n    " + derivsString(Ex.Derivs1) +
+           "\n";
+    Out += std::string("  Derivation using ") + Action2 + ":\n    " +
+           derivsString(Ex.Derivs2) + "\n";
+  } else {
+    if (R.Status == CounterexampleStatus::NonunifyingTimeout)
+      Out += "  Time limit exceeded: a unifying counterexample may exist\n";
+    else
+      Out += "  No unifying counterexample: the conflict is not an "
+             "ambiguity (within the default search)\n";
+    if (!Ex.PrefixShared)
+      Out += "  Note: no single context admits both actions; the conflict "
+             "is an artifact of LALR state merging, and each derivation "
+             "below is shown in its own context\n";
+    Out += "  First  example: " + Ex.exampleString1(G) + "\n";
+    Out += "  Derivation using reduction:\n    " + derivsString(Ex.Derivs1) +
+           "\n";
+    Out += "  Second example: " + Ex.exampleString2(G) + "\n";
+    Out += std::string("  Derivation using ") + Action2 + ":\n    " +
+           derivsString(Ex.Derivs2) + "\n";
+  }
+  std::string Hint = suggestResolution(G, C);
+  if (!Hint.empty())
+    Out += "  Hint: " + Hint + "\n";
+  return Out;
+}

@@ -1,0 +1,105 @@
+//===- counterexample/CounterexampleFinder.h - Orchestration ---*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The user-facing entry point: given a parse table, explain every reported
+/// conflict with a counterexample.
+///
+/// Mirrors the paper's implementation strategy (§6): build the state-item
+/// lookup tables once per grammar; per conflict, compute the shortest
+/// lookahead-sensitive path, run the unifying search under a per-conflict
+/// time budget (default 5 s), and fall back to a nonunifying counterexample
+/// when the search exhausts or times out. A cumulative budget (default
+/// 2 min) switches to nonunifying-only mode for the remaining conflicts.
+/// Conflicts resolved by precedence/associativity are not examined.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_COUNTEREXAMPLE_COUNTEREXAMPLEFINDER_H
+#define LALRCEX_COUNTEREXAMPLE_COUNTEREXAMPLEFINDER_H
+
+#include "counterexample/Counterexample.h"
+#include "counterexample/NonunifyingBuilder.h"
+#include "counterexample/StateItemGraph.h"
+#include "counterexample/UnifyingSearch.h"
+#include "lr/ParseTable.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lalrcex {
+
+/// Budgets and modes for counterexample construction.
+struct FinderOptions {
+  /// Per-conflict budget for the unifying search (paper: 5 s).
+  double ConflictTimeLimitSeconds = 5.0;
+  /// Cumulative unifying-search budget (paper: 2 min); afterwards only
+  /// nonunifying counterexamples are constructed.
+  double CumulativeTimeLimitSeconds = 120.0;
+  /// Allow reverse transitions off the shortest lookahead-sensitive path
+  /// (the paper's -extendedsearch flag).
+  bool ExtendedSearch = false;
+  /// Disable the unifying search entirely (nonunifying-only mode).
+  bool UnifyingEnabled = true;
+  /// Safety cap on configurations per unifying search.
+  size_t MaxConfigurations = 2'000'000;
+};
+
+/// How a conflict was explained; matches the Table 1 columns.
+enum class CounterexampleStatus {
+  UnifyingFound,       ///< "# unif": an ambiguity was demonstrated
+  NonunifyingComplete, ///< "# nonunif": the search space was exhausted, so
+                       ///< no unifying counterexample exists (within the
+                       ///< default restriction)
+  NonunifyingTimeout,  ///< "# time out": budget exceeded; nonunifying
+                       ///< counterexample reported instead
+  Failed,              ///< internal error (no counterexample built)
+};
+
+/// Everything known about one explained conflict.
+struct ConflictReport {
+  Conflict TheConflict;
+  CounterexampleStatus Status = CounterexampleStatus::Failed;
+  std::optional<Counterexample> Example;
+  /// The shift item shown in reports (invalid item for reduce/reduce).
+  Item ShiftItem;
+  double Seconds = 0;
+  size_t Configurations = 0;
+};
+
+/// Constructs counterexamples for the conflicts of one parse table.
+class CounterexampleFinder {
+public:
+  explicit CounterexampleFinder(const ParseTable &Table,
+                                FinderOptions Opts = FinderOptions());
+
+  const StateItemGraph &graph() const { return Graph; }
+  const FinderOptions &options() const { return Opts; }
+
+  /// Explains a single conflict.
+  ConflictReport examine(const Conflict &C);
+
+  /// Explains every reported (precedence-unresolved) conflict, honoring
+  /// the cumulative budget.
+  std::vector<ConflictReport> examineAll();
+
+  /// Renders a report in the style of the paper's Figure 11.
+  std::string render(const ConflictReport &R) const;
+
+private:
+  const ParseTable &Table;
+  const Grammar &G;
+  StateItemGraph Graph;
+  NonunifyingBuilder Nonunifying;
+  UnifyingSearch Unifying;
+  FinderOptions Opts;
+  double CumulativeSeconds = 0;
+};
+
+} // namespace lalrcex
+
+#endif // LALRCEX_COUNTEREXAMPLE_COUNTEREXAMPLEFINDER_H

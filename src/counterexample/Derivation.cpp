@@ -1,0 +1,119 @@
+//===- counterexample/Derivation.cpp --------------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "counterexample/Derivation.h"
+
+#include <cassert>
+
+using namespace lalrcex;
+
+DerivPtr Derivation::leaf(Symbol S) {
+  assert(S.valid() && "leaf requires a valid symbol");
+  auto D = std::shared_ptr<Derivation>(new Derivation());
+  D->Sym = S;
+  return D;
+}
+
+DerivPtr Derivation::node(Symbol Lhs, unsigned Prod,
+                          std::vector<DerivPtr> Children) {
+  assert(Lhs.valid() && "node requires a valid symbol");
+  auto D = std::shared_ptr<Derivation>(new Derivation());
+  D->Sym = Lhs;
+  D->Prod = Prod;
+  D->Expanded = true;
+  D->Children = std::move(Children);
+  return D;
+}
+
+DerivPtr Derivation::dot() {
+  static const DerivPtr Marker = [] {
+    auto D = std::shared_ptr<Derivation>(new Derivation());
+    D->Dot = true;
+    return DerivPtr(D);
+  }();
+  return Marker;
+}
+
+void Derivation::appendYield(std::vector<Symbol> &Out, int *DotPos) const {
+  if (Dot) {
+    if (DotPos)
+      *DotPos = int(Out.size());
+    return;
+  }
+  if (!Expanded) {
+    Out.push_back(Sym);
+    return;
+  }
+  for (const DerivPtr &C : Children)
+    C->appendYield(Out, DotPos);
+}
+
+std::string Derivation::toString(const Grammar &G) const {
+  if (Dot)
+    return "\xE2\x80\xA2";
+  if (!Expanded)
+    return G.name(Sym);
+  std::string Out = G.name(Sym) + " ::= [";
+  for (size_t I = 0, E = Children.size(); I != E; ++I) {
+    if (I != 0)
+      Out += " ";
+    Out += Children[I]->toString(G);
+  }
+  Out += "]";
+  return Out;
+}
+
+bool Derivation::equal(const DerivPtr &A, const DerivPtr &B) {
+  if (A.get() == B.get())
+    return true;
+  if (A->Dot != B->Dot || A->Expanded != B->Expanded || A->Sym != B->Sym)
+    return false;
+  if (!A->Expanded)
+    return true;
+  if (A->Prod != B->Prod || A->Children.size() != B->Children.size())
+    return false;
+  for (size_t I = 0, E = A->Children.size(); I != E; ++I)
+    if (!equal(A->Children[I], B->Children[I]))
+      return false;
+  return true;
+}
+
+unsigned Derivation::size() const {
+  unsigned N = 1;
+  for (const DerivPtr &C : Children)
+    N += C->size();
+  return N;
+}
+
+std::string lalrcex::yieldString(const Grammar &G,
+                                 const std::vector<DerivPtr> &Ds) {
+  std::vector<Symbol> Syms;
+  int DotPos = -1;
+  for (const DerivPtr &D : Ds)
+    D->appendYield(Syms, &DotPos);
+  std::string Out;
+  for (size_t I = 0, E = Syms.size(); I != E; ++I) {
+    if (!Out.empty())
+      Out += " ";
+    if (int(I) == DotPos)
+      Out += "\xE2\x80\xA2 ";
+    Out += G.name(Syms[I]);
+  }
+  if (DotPos == int(Syms.size())) {
+    if (!Out.empty())
+      Out += " ";
+    Out += "\xE2\x80\xA2";
+  }
+  return Out;
+}
+
+std::vector<Symbol> lalrcex::yieldOf(const std::vector<DerivPtr> &Ds,
+                                     int *DotPos) {
+  std::vector<Symbol> Out;
+  for (const DerivPtr &D : Ds)
+    D->appendYield(Out, DotPos);
+  return Out;
+}

@@ -1,0 +1,102 @@
+//===- counterexample/Derivation.h - Derivation trees ----------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immutable derivation trees used to present counterexamples.
+///
+/// A derivation is either:
+///   - a \e leaf: an unexpanded symbol (good counterexamples keep
+///     nonterminals unexpanded when their contents are not germane to the
+///     conflict, paper §3.2);
+///   - a \e node: a nonterminal expanded by a specific production, with a
+///     child derivation per right-hand-side symbol; or
+///   - the \e dot marker: a pseudo-leaf marking the conflict point, which
+///     renders as "•" and yields no symbols.
+///
+/// Trees are shared via shared_ptr so the unifying search can copy
+/// configurations cheaply.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_COUNTEREXAMPLE_DERIVATION_H
+#define LALRCEX_COUNTEREXAMPLE_DERIVATION_H
+
+#include "grammar/Grammar.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lalrcex {
+
+class Derivation;
+using DerivPtr = std::shared_ptr<const Derivation>;
+
+/// An immutable derivation tree (see file comment).
+class Derivation {
+public:
+  /// An unexpanded symbol.
+  static DerivPtr leaf(Symbol S);
+
+  /// \p Lhs expanded via production \p Prod into \p Children. The children
+  /// must match the production right-hand side (dot markers excluded).
+  static DerivPtr node(Symbol Lhs, unsigned Prod,
+                       std::vector<DerivPtr> Children);
+
+  /// The conflict-point marker.
+  static DerivPtr dot();
+
+  bool isDot() const { return Dot; }
+  /// \returns true for an unexpanded symbol (not a dot marker).
+  bool isLeaf() const { return !Dot && !Expanded; }
+  bool isNode() const { return Expanded; }
+
+  /// The symbol at the root; invalid for the dot marker.
+  Symbol symbol() const { return Sym; }
+
+  /// The production used at the root; only valid for nodes.
+  unsigned productionIndex() const { return Prod; }
+
+  const std::vector<DerivPtr> &children() const { return Children; }
+
+  /// Appends the yield (leaf symbols, left to right) to \p Out. When
+  /// \p DotPos is non-null and the dot marker occurs in this tree, the
+  /// index in \p Out where it occurred is stored there.
+  void appendYield(std::vector<Symbol> &Out, int *DotPos = nullptr) const;
+
+  /// Renders the tree in the CUP report style:
+  /// "expr ::= [expr ::= [expr PLUS expr •] PLUS expr]".
+  std::string toString(const Grammar &G) const;
+
+  /// Structural equality (same shape, symbols, and productions; dot
+  /// markers compare equal to each other and unequal to anything else).
+  static bool equal(const DerivPtr &A, const DerivPtr &B);
+
+  /// Total number of tree nodes (markers included); a simple size metric.
+  unsigned size() const;
+
+private:
+  Derivation() = default;
+
+  Symbol Sym;
+  unsigned Prod = 0;
+  bool Expanded = false;
+  bool Dot = false;
+  std::vector<DerivPtr> Children;
+};
+
+/// Renders a sequence of derivations as a space-separated sentential form
+/// of their yields (dot markers render as "•").
+std::string yieldString(const Grammar &G, const std::vector<DerivPtr> &Ds);
+
+/// Concatenated yield of several derivations. Dot markers are skipped;
+/// when \p DotPos is non-null the position of the first marker is stored.
+std::vector<Symbol> yieldOf(const std::vector<DerivPtr> &Ds,
+                            int *DotPos = nullptr);
+
+} // namespace lalrcex
+
+#endif // LALRCEX_COUNTEREXAMPLE_DERIVATION_H

@@ -1,0 +1,122 @@
+//===- counterexample/LookaheadSensitiveSearch.cpp -------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "counterexample/LookaheadSensitiveSearch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace lalrcex;
+
+std::vector<StateItemGraph::NodeId> LssPath::nodes() const {
+  std::vector<StateItemGraph::NodeId> Out;
+  Out.reserve(Steps.size());
+  for (const LssStep &S : Steps)
+    Out.push_back(S.Node);
+  return Out;
+}
+
+namespace {
+
+/// A discovered vertex of the lookahead-sensitive graph, linked to its BFS
+/// parent for path reconstruction.
+struct Vertex {
+  StateItemGraph::NodeId Node;
+  IndexSet Lookaheads;
+  int Parent;
+  LssStep::Kind EdgeKind;
+};
+
+} // namespace
+
+std::optional<LssPath> lalrcex::shortestLookaheadSensitivePath(
+    const StateItemGraph &Graph, StateItemGraph::NodeId ConflictNode,
+    Symbol ConflictTerm, bool PruneToReaching) {
+  const Automaton &M = Graph.automaton();
+  const Grammar &G = M.grammar();
+  const GrammarAnalysis &Analysis = M.analysis();
+
+  // Only explore state-items that can reach the conflict item at all.
+  std::vector<bool> Relevant =
+      PruneToReaching ? Graph.nodesReaching(ConflictNode)
+                      : std::vector<bool>(Graph.numNodes(), true);
+
+  StateItemGraph::NodeId StartNode =
+      Graph.nodeFor(M.startState(), Item(G.augmentedProduction(), 0));
+  assert(StartNode != StateItemGraph::InvalidNode && "missing start item");
+  if (!Relevant[StartNode])
+    return std::nullopt;
+
+  std::vector<Vertex> Vertices;
+  // Visited lookahead sets per node, compared exactly (hashing alone would
+  // risk dropping a genuinely new vertex on collision).
+  std::unordered_map<StateItemGraph::NodeId, std::vector<IndexSet>> Visited;
+  std::deque<int> Work;
+
+  auto enqueue = [&](StateItemGraph::NodeId Node, IndexSet L, int Parent,
+                     LssStep::Kind Kind) {
+    std::vector<IndexSet> &Seen = Visited[Node];
+    for (const IndexSet &Prev : Seen)
+      if (Prev == L)
+        return;
+    Seen.push_back(L);
+    Vertices.push_back(Vertex{Node, std::move(L), Parent, Kind});
+    Work.push_back(int(Vertices.size()) - 1);
+  };
+
+  IndexSet StartL(G.numTerminals());
+  StartL.insert(G.eof().id());
+  enqueue(StartNode, std::move(StartL), -1, LssStep::Start);
+
+  int Goal = -1;
+  while (!Work.empty() && Goal < 0) {
+    int VI = Work.front();
+    Work.pop_front();
+    // Note: Vertices may reallocate inside the loop; index anew each time.
+    StateItemGraph::NodeId N = Vertices[VI].Node;
+
+    // Goal test.
+    if (N == ConflictNode &&
+        Vertices[VI].Lookaheads.contains(ConflictTerm.id())) {
+      Goal = VI;
+      break;
+    }
+
+    // Transition edge: the precise lookahead set is preserved.
+    StateItemGraph::NodeId Succ = Graph.forwardTransition(N);
+    if (Succ != StateItemGraph::InvalidNode && Relevant[Succ]) {
+      IndexSet L = Vertices[VI].Lookaheads;
+      enqueue(Succ, std::move(L), VI, LssStep::Transition);
+    }
+
+    // Production-step edges: L becomes followL(item) (paper §4).
+    const Item &Itm = Graph.itemOf(N);
+    Symbol Next = Itm.afterDot(G);
+    if (Next.valid() && G.isNonterminal(Next)) {
+      const Production &P = G.production(Itm.Prod);
+      IndexSet Follow = Analysis.firstOfSequence(P.Rhs, Itm.Dot + 1,
+                                                 &Vertices[VI].Lookaheads);
+      for (StateItemGraph::NodeId Step : Graph.productionSteps(N)) {
+        if (!Relevant[Step])
+          continue;
+        enqueue(Step, Follow, VI, LssStep::Production);
+      }
+    }
+  }
+
+  if (Goal < 0)
+    return std::nullopt;
+
+  LssPath Path;
+  for (int VI = Goal; VI >= 0; VI = Vertices[VI].Parent)
+    Path.Steps.push_back(LssStep{Vertices[VI].Node, Vertices[VI].EdgeKind,
+                                 Vertices[VI].Lookaheads});
+  std::reverse(Path.Steps.begin(), Path.Steps.end());
+  return Path;
+}

@@ -1,0 +1,69 @@
+//===- counterexample/LookaheadSensitiveSearch.h ---------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shortest lookahead-sensitive path of paper §4.
+///
+/// Vertices of the lookahead-sensitive graph are (state, item, L) triples
+/// where L is a \e precise lookahead set: the set of terminals that can
+/// actually follow the current production given the production steps taken
+/// so far. Transition edges preserve L; production-step edges replace it
+/// with followL(item) (Fig. 4). The search runs a BFS from the start item
+/// with L = {$} to the conflict reduce item with conflict terminal in L,
+/// visiting only state-items from which the conflict item is reachable
+/// (the §6 pruning).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_COUNTEREXAMPLE_LOOKAHEADSENSITIVESEARCH_H
+#define LALRCEX_COUNTEREXAMPLE_LOOKAHEADSENSITIVESEARCH_H
+
+#include "counterexample/StateItemGraph.h"
+
+#include <optional>
+#include <vector>
+
+namespace lalrcex {
+
+/// One step of a lookahead-sensitive path.
+struct LssStep {
+  enum Kind : uint8_t {
+    Start,      ///< the initial vertex
+    Transition, ///< arrived by shifting the previous node's dot symbol
+    Production, ///< arrived by a production step within the same state
+  };
+  StateItemGraph::NodeId Node;
+  Kind EdgeKind;
+  /// The precise lookahead set at this vertex.
+  IndexSet Lookaheads;
+};
+
+/// A path from the start item to the conflict item; Steps.front() is the
+/// start vertex.
+struct LssPath {
+  std::vector<LssStep> Steps;
+
+  /// The state-item nodes on the path (used to restrict the unifying
+  /// search's reverse transitions, §6).
+  std::vector<StateItemGraph::NodeId> nodes() const;
+};
+
+/// Finds the shortest lookahead-sensitive path from the start item to
+/// (\p ConflictNode, L) with \p ConflictTerm in L. \returns nullopt only
+/// if the conflict item is unreachable (which would indicate an automaton
+/// bug for genuine conflicts).
+/// \p PruneToReaching restricts the search to state-items from which the
+/// conflict item is reachable (the paper's §6 optimization); disabling it
+/// exists for the ablation benchmark.
+std::optional<LssPath>
+shortestLookaheadSensitivePath(const StateItemGraph &Graph,
+                               StateItemGraph::NodeId ConflictNode,
+                               Symbol ConflictTerm,
+                               bool PruneToReaching = true);
+
+} // namespace lalrcex
+
+#endif // LALRCEX_COUNTEREXAMPLE_LOOKAHEADSENSITIVESEARCH_H

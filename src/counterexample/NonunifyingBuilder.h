@@ -1,0 +1,82 @@
+//===- counterexample/NonunifyingBuilder.h ---------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds nonunifying counterexamples from a shortest lookahead-sensitive
+/// path (paper §4).
+///
+/// The reduce-side derivation replays the path: transitions become leaves,
+/// production steps open derivation frames; the conflict production is then
+/// completed, the conflict dot is placed, and the path's pending
+/// productions are completed with a continuation that begins with the
+/// conflict terminal. The other side (the shift item, or the second reduce
+/// item of a reduce/reduce conflict) is found by searching backward from
+/// that item through the states of the same path (Fig. 5(b)) and replaying
+/// the spliced path the same way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_COUNTEREXAMPLE_NONUNIFYINGBUILDER_H
+#define LALRCEX_COUNTEREXAMPLE_NONUNIFYINGBUILDER_H
+
+#include "counterexample/Counterexample.h"
+#include "counterexample/LookaheadSensitiveSearch.h"
+
+#include <optional>
+
+namespace lalrcex {
+
+/// Stateless helper building both halves of a nonunifying counterexample.
+class NonunifyingBuilder {
+public:
+  explicit NonunifyingBuilder(const StateItemGraph &Graph);
+
+  /// Builds the counterexample for a conflict whose reduce item produced
+  /// \p Path. \p OtherNode is the conflicting shift item (its dot symbol
+  /// is \p ConflictTerm) or the second reduce item of a reduce/reduce
+  /// conflict. \returns nullopt only on internal inconsistency.
+  std::optional<Counterexample> build(const LssPath &Path,
+                                      StateItemGraph::NodeId OtherNode,
+                                      Symbol ConflictTerm) const;
+
+  /// Smallest derivation of nullable \p N deriving the empty string.
+  DerivPtr emptyDerivation(Symbol N) const;
+
+  /// Small derivation of \p N whose yield begins with terminal \p T; all
+  /// symbols not needed to expose \p T are left unexpanded. \p N must
+  /// satisfy T in FIRST(N).
+  DerivPtr derivationBeginningWith(Symbol N, Symbol T) const;
+
+  /// Finds a path to \p OtherNode that follows the same states as
+  /// \p Path when making transitions (Fig. 5(b)), choosing production
+  /// contexts that keep \p ConflictTerm placeable right after the
+  /// conflict point. Exposed for testing.
+  std::optional<std::vector<LssStep>>
+  bridgeToOtherItem(const LssPath &Path, StateItemGraph::NodeId OtherNode,
+                    Symbol ConflictTerm) const;
+
+  /// Replays \p Steps, completing the final item's production and placing
+  /// the conflict dot followed by a continuation beginning with
+  /// \p ConflictTerm. \returns the children of the augmented production's
+  /// frame (a derivation list for the start symbol).
+  std::optional<std::vector<DerivPtr>>
+  replayAndComplete(const std::vector<LssStep> &Steps,
+                    Symbol ConflictTerm) const;
+
+private:
+
+  const StateItemGraph &Graph;
+  const Grammar &G;
+  const GrammarAnalysis &Analysis;
+  /// Minimal epsilon-derivation tree size per symbol (Infinite when not
+  /// nullable) and the production achieving it.
+  std::vector<unsigned> EpsCost;
+  std::vector<unsigned> EpsProd;
+};
+
+} // namespace lalrcex
+
+#endif // LALRCEX_COUNTEREXAMPLE_NONUNIFYINGBUILDER_H

@@ -1,0 +1,93 @@
+//===- counterexample/StateItemGraph.cpp ----------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "counterexample/StateItemGraph.h"
+
+#include <cassert>
+#include <deque>
+
+using namespace lalrcex;
+
+StateItemGraph::StateItemGraph(const Automaton &M) : M(M) {
+  const Grammar &G = M.grammar();
+
+  // Enumerate nodes: per state, in the state's item order.
+  StateOffset.assign(M.numStates() + 1, 0);
+  for (unsigned S = 0, SE = M.numStates(); S != SE; ++S) {
+    StateOffset[S] = unsigned(Nodes.size());
+    const Automaton::State &St = M.state(S);
+    for (unsigned I = 0, IE = unsigned(St.Items.size()); I != IE; ++I)
+      Nodes.push_back(NodeData{S, I, St.Items[I]});
+  }
+  StateOffset[M.numStates()] = unsigned(Nodes.size());
+
+  Fwd.assign(Nodes.size(), InvalidNode);
+  ProdSteps.assign(Nodes.size(), {});
+  RevTransitions.assign(Nodes.size(), {});
+  RevProdSteps.assign(Nodes.size(), {});
+
+  for (NodeId N = 0, NE = NodeId(Nodes.size()); N != NE; ++N) {
+    const NodeData &D = Nodes[N];
+    Symbol Next = D.Itm.afterDot(G);
+    if (!Next.valid())
+      continue;
+
+    // Transition edge.
+    int Target = M.transition(D.State, Next);
+    assert(Target >= 0 && "state must have a transition on the dot symbol");
+    NodeId Succ = nodeFor(unsigned(Target), D.Itm.advanced());
+    assert(Succ != InvalidNode && "advanced item missing from target state");
+    Fwd[N] = Succ;
+    RevTransitions[Succ].push_back(N);
+
+    // Production-step edges.
+    if (G.isNonterminal(Next)) {
+      for (unsigned P : G.productionsOf(Next)) {
+        NodeId Step = nodeFor(D.State, Item(P, 0));
+        assert(Step != InvalidNode && "closure item missing from state");
+        ProdSteps[N].push_back(Step);
+        RevProdSteps[Step].push_back(N);
+      }
+    }
+  }
+}
+
+StateItemGraph::NodeId StateItemGraph::nodeFor(unsigned State,
+                                               const Item &I) const {
+  int Idx = M.state(State).indexOfItem(I);
+  if (Idx < 0)
+    return InvalidNode;
+  return StateOffset[State] + unsigned(Idx);
+}
+
+std::vector<bool> StateItemGraph::nodesReaching(NodeId Target) const {
+  std::vector<bool> Reaches(Nodes.size(), false);
+  Reaches[Target] = true;
+  std::deque<NodeId> Work = {Target};
+  while (!Work.empty()) {
+    NodeId N = Work.front();
+    Work.pop_front();
+    for (NodeId P : RevTransitions[N]) {
+      if (!Reaches[P]) {
+        Reaches[P] = true;
+        Work.push_back(P);
+      }
+    }
+    for (NodeId P : RevProdSteps[N]) {
+      if (!Reaches[P]) {
+        Reaches[P] = true;
+        Work.push_back(P);
+      }
+    }
+  }
+  return Reaches;
+}
+
+std::string StateItemGraph::describe(NodeId N) const {
+  const NodeData &D = Nodes[N];
+  return "(state #" + std::to_string(D.State) + ", " +
+         grammar().productionString(D.Itm.Prod, int(D.Itm.Dot)) + ")";
+}

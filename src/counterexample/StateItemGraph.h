@@ -1,0 +1,111 @@
+//===- counterexample/StateItemGraph.h - (state, item) graph ---*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The state-item graph underlying both counterexample searches.
+///
+/// A node is a pair of a parser state and an item within it. Edges are the
+/// two edge kinds of the paper's lookahead-sensitive graph (Fig. 4), here
+/// without lookahead components (searches layer lookaheads on top):
+///
+///   - \e transition: (s, A -> a . X b)  ->  (s', A -> a X . b) where the
+///     parser has a transition from s to s' on X;
+///   - \e production step: (s, A -> a . B b)  ->  (s, B -> . g) for every
+///     production B -> g (within the same state).
+///
+/// The paper's implementation section (§6) notes that parser generators do
+/// not index reverse transitions and reverse production steps; this class
+/// is exactly that precomputed lookup-table infrastructure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_COUNTEREXAMPLE_STATEITEMGRAPH_H
+#define LALRCEX_COUNTEREXAMPLE_STATEITEMGRAPH_H
+
+#include "lr/Automaton.h"
+
+#include <vector>
+
+namespace lalrcex {
+
+/// Precomputed node/edge tables over (state, item) pairs.
+class StateItemGraph {
+public:
+  using NodeId = uint32_t;
+  static constexpr NodeId InvalidNode = ~NodeId(0);
+
+  explicit StateItemGraph(const Automaton &M);
+
+  const Automaton &automaton() const { return M; }
+  const Grammar &grammar() const { return M.grammar(); }
+
+  unsigned numNodes() const { return unsigned(Nodes.size()); }
+
+  unsigned stateOf(NodeId N) const { return Nodes[N].State; }
+  const Item &itemOf(NodeId N) const { return Nodes[N].Itm; }
+
+  /// The LALR lookahead set of the node's item.
+  const IndexSet &lookahead(NodeId N) const {
+    return M.state(Nodes[N].State).Lookaheads[Nodes[N].ItemIndex];
+  }
+
+  /// The node for (\p State, \p I), or InvalidNode if the item is not in
+  /// the state.
+  NodeId nodeFor(unsigned State, const Item &I) const;
+
+  /// The symbol after the node's dot (the label of its out-transition);
+  /// invalid for reduce items.
+  Symbol transitionSymbol(NodeId N) const {
+    return Nodes[N].Itm.afterDot(grammar());
+  }
+
+  /// Transition successor, or InvalidNode for reduce items.
+  NodeId forwardTransition(NodeId N) const { return Fwd[N]; }
+
+  /// Production-step successors (targets are dot-0 items of the
+  /// nonterminal after the dot, in the same state).
+  const std::vector<NodeId> &productionSteps(NodeId N) const {
+    return ProdSteps[N];
+  }
+
+  /// Sources of transitions into \p N.
+  const std::vector<NodeId> &reverseTransitions(NodeId N) const {
+    return RevTransitions[N];
+  }
+
+  /// Sources of production steps into \p N (only nonempty for dot-0
+  /// items).
+  const std::vector<NodeId> &reverseProductionSteps(NodeId N) const {
+    return RevProdSteps[N];
+  }
+
+  /// Marks every node from which \p Target is reachable via transition or
+  /// production-step edges. Used to prune the lookahead-sensitive search
+  /// (§6) and to restrict reverse transitions to relevant states.
+  std::vector<bool> nodesReaching(NodeId Target) const;
+
+  /// A readable "(state #s, item)" string for diagnostics.
+  std::string describe(NodeId N) const;
+
+private:
+  struct NodeData {
+    unsigned State;
+    unsigned ItemIndex;
+    Item Itm;
+  };
+
+  const Automaton &M;
+  std::vector<NodeData> Nodes;
+  std::vector<unsigned> StateOffset; // state -> first node id
+  std::vector<NodeId> Fwd;
+  std::vector<std::vector<NodeId>> ProdSteps;
+  std::vector<std::vector<NodeId>> RevTransitions;
+  std::vector<std::vector<NodeId>> RevProdSteps;
+};
+
+} // namespace lalrcex
+
+#endif // LALRCEX_COUNTEREXAMPLE_STATEITEMGRAPH_H

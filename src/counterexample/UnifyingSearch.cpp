@@ -1,0 +1,406 @@
+//===- counterexample/UnifyingSearch.cpp -----------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "counterexample/UnifyingSearch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <unordered_set>
+
+using namespace lalrcex;
+
+namespace {
+
+using NodeId = StateItemGraph::NodeId;
+
+// Action costs. Shifts, reverse shifts, and reductions are cheap;
+// production steps are discouraged (they grow the example), and repeating
+// a production step within the same state pays a surcharge so that
+// potentially infinite expansions are postponed behind every other option
+// (paper §5.4). Reverse transitions off the shortest lookahead-sensitive
+// path are only possible in extended search and are costed like a fresh
+// exploration.
+constexpr int ShiftCost = 1;
+constexpr int RevTransitionCost = 1;
+constexpr int ProductionCost = 5;
+constexpr int RevProductionCost = 3;
+constexpr int ReduceCost = 1;
+
+/// One simulated parser copy.
+struct Side {
+  std::vector<NodeId> Items;
+  std::vector<DerivPtr> Derivs;
+  unsigned RealDerivs = 0; // derivations excluding dot markers
+
+  void appendDeriv(DerivPtr D) {
+    if (!D->isDot())
+      ++RealDerivs;
+    Derivs.push_back(std::move(D));
+  }
+  void prependDeriv(DerivPtr D) {
+    if (!D->isDot())
+      ++RealDerivs;
+    Derivs.insert(Derivs.begin(), std::move(D));
+  }
+};
+
+/// A product-parser search configuration (paper Fig. 8).
+struct Config {
+  Side S1, S2;
+  int Cost = 0;
+  bool Reduce1Done = false;
+  bool Reduce2Done = false;
+  bool ConflictShifted = false;
+
+  bool awaitingConflictShift() const {
+    return Reduce1Done && Reduce2Done && !ConflictShifted;
+  }
+};
+
+/// Dedup key: item sequences plus flags (derivation contents do not affect
+/// which successors are reachable, so the cheapest representative wins).
+struct VisitKey {
+  std::vector<NodeId> Items1, Items2;
+  uint8_t Flags;
+
+  bool operator==(const VisitKey &O) const {
+    return Flags == O.Flags && Items1 == O.Items1 && Items2 == O.Items2;
+  }
+};
+
+struct VisitKeyHash {
+  size_t operator()(const VisitKey &K) const {
+    size_t H = K.Flags;
+    for (NodeId N : K.Items1)
+      H = H * 0x9e3779b97f4a7c15ULL + N + 1;
+    H ^= 0x517cc1b727220a95ULL;
+    for (NodeId N : K.Items2)
+      H = H * 0x9e3779b97f4a7c15ULL + N + 1;
+    return H;
+  }
+};
+
+VisitKey keyOf(const Config &C) {
+  uint8_t Flags = uint8_t(C.Reduce1Done) | uint8_t(C.Reduce2Done) << 1 |
+                  uint8_t(C.ConflictShifted) << 2;
+  return VisitKey{C.S1.Items, C.S2.Items, Flags};
+}
+
+} // namespace
+
+UnifyingSearch::UnifyingSearch(const StateItemGraph &Graph)
+    : Graph(Graph), G(Graph.grammar()),
+      Analysis(Graph.automaton().analysis()) {}
+
+UnifyingResult
+UnifyingSearch::search(NodeId ReduceNode,
+                       const std::vector<NodeId> &OtherNodes,
+                       Symbol ConflictTerm, const LssPath *Slsp,
+                       const UnifyingOptions &Opts) const {
+  UnifyingResult Result;
+  Deadline Budget = Opts.TimeLimitSeconds > 0
+                        ? Deadline::afterSeconds(Opts.TimeLimitSeconds)
+                        : Deadline::unlimited();
+
+  const bool ReduceReduce =
+      !OtherNodes.empty() && Graph.itemOf(OtherNodes.front()).atEnd(G);
+
+  // States admissible for reverse transitions in default mode (§6). In
+  // extended search, off-path states are allowed but cost extra.
+  std::vector<bool> SlspState;
+  if (Slsp) {
+    SlspState.assign(Graph.automaton().numStates(), false);
+    for (const LssStep &Step : Slsp->Steps)
+      SlspState[Graph.stateOf(Step.Node)] = true;
+  }
+
+  // Priority queue over configurations by cost.
+  std::vector<Config> Pool;
+  auto Greater = [&Pool](size_t A, size_t B) {
+    return Pool[A].Cost > Pool[B].Cost;
+  };
+  std::priority_queue<size_t, std::vector<size_t>, decltype(Greater)> Queue(
+      Greater);
+  std::unordered_set<VisitKey, VisitKeyHash> Visited;
+
+  auto push = [&](Config C) {
+    VisitKey Key = keyOf(C);
+    if (!Visited.insert(std::move(Key)).second)
+      return;
+    Pool.push_back(std::move(C));
+    Queue.push(Pool.size() - 1);
+  };
+
+  for (NodeId Other : OtherNodes) {
+    Config C;
+    C.S1.Items.push_back(ReduceNode);
+    C.S2.Items.push_back(Other);
+    C.Reduce2Done = !ReduceReduce; // only R/R must complete both reductions
+    push(std::move(C));
+  }
+
+  // True if terminal T may appear next after the new dot-0 item; used to
+  // prune production steps taken while the conflict shift is pending.
+  auto usefulWhileAwaiting = [&](NodeId Step) {
+    const Production &P = G.production(Graph.itemOf(Step).Prod);
+    return Analysis.sequenceCanBeginWith(P.Rhs, 0, ConflictTerm) ||
+           Analysis.sequenceNullable(P.Rhs);
+  };
+
+  // Collects the last `Count` real derivations (with any interleaved dot
+  // markers) from the back of `Derivs` into production children.
+  auto popChildren = [](Side &S, unsigned Count) {
+    std::vector<DerivPtr> Children;
+    unsigned Reals = 0;
+    while (Reals < Count) {
+      assert(!S.Derivs.empty() && "not enough derivations for reduction");
+      DerivPtr D = std::move(S.Derivs.back());
+      S.Derivs.pop_back();
+      if (!D->isDot()) {
+        ++Reals;
+        --S.RealDerivs;
+      }
+      Children.push_back(std::move(D));
+    }
+    std::reverse(Children.begin(), Children.end());
+    return Children;
+  };
+
+  // Reduction on one side (Fig. 10(f)); generates one successor if the
+  // side has enough items, otherwise signals that preparation is needed.
+  auto tryReduce = [&](const Config &C, bool First) -> bool /*prepared*/ {
+    const Side &S = First ? C.S1 : C.S2;
+    NodeId Last = S.Items.back();
+    const Item &Itm = Graph.itemOf(Last);
+    if (!Itm.atEnd(G))
+      return true; // nothing pending
+    unsigned L = Itm.Dot;
+    // Before the conflict terminal is consumed, the very next terminal
+    // will be the conflict terminal, so any reduction taken now must have
+    // it in its lookahead set.
+    if (!C.ConflictShifted &&
+        !Graph.lookahead(Last).contains(ConflictTerm.id()))
+      return true; // reduction inadmissible; not a preparation problem
+    if (S.Items.size() > L + 1 &&
+        Graph.itemOf(S.Items[S.Items.size() - 1 - L]) == Item(Itm.Prod, 0)) {
+      Config N = C;
+      Side &NS = First ? N.S1 : N.S2;
+      NodeId Context = NS.Items[NS.Items.size() - 2 - L];
+      NodeId Goto = Graph.forwardTransition(Context);
+      assert(Goto != StateItemGraph::InvalidNode && "missing goto");
+      NS.Items.resize(NS.Items.size() - (L + 1));
+      NS.Items.push_back(Goto);
+      std::vector<DerivPtr> Children = popChildren(NS, L);
+      NS.appendDeriv(Derivation::node(G.production(Itm.Prod).Lhs, Itm.Prod,
+                                      std::move(Children)));
+      if (First && !N.Reduce1Done)
+        N.Reduce1Done = true;
+      else if (!First && !N.Reduce2Done)
+        N.Reduce2Done = true;
+      N.Cost += ReduceCost;
+      push(std::move(N));
+      return true;
+    }
+    return false; // needs reverse preparation
+  };
+
+  // Reverse production step prepending to side `First` (Fig. 10(d)/(e)).
+  auto revProductionSteps = [&](const Config &C, bool First,
+                                bool GuardConflict) {
+    const Side &S = First ? C.S1 : C.S2;
+    NodeId Head = S.Items.front();
+    for (NodeId Src : Graph.reverseProductionSteps(Head)) {
+      if (GuardConflict) {
+        // The conflict terminal must still be able to follow the
+        // completed production in the prepended context.
+        const Item &SrcItm = Graph.itemOf(Src);
+        const Production &P = G.production(SrcItm.Prod);
+        if (!Analysis.sequenceCanBeginWith(P.Rhs, SrcItm.Dot + 1,
+                                           ConflictTerm,
+                                           &Graph.lookahead(Src)))
+          continue;
+      }
+      Config N = C;
+      Side &NS = First ? N.S1 : N.S2;
+      NS.Items.insert(NS.Items.begin(), Src);
+      N.Cost += RevProductionCost;
+      push(std::move(N));
+    }
+  };
+
+  // Reverse transitions prepending to both sides (Fig. 10(c)).
+  auto revTransitions = [&](const Config &C, bool Stage1Guard) {
+    NodeId H1 = C.S1.Items.front();
+    NodeId H2 = C.S2.Items.front();
+    const Item &I1 = Graph.itemOf(H1);
+    const Item &I2 = Graph.itemOf(H2);
+    if (I1.Dot == 0 || I2.Dot == 0)
+      return;
+    Symbol Z = I1.beforeDot(G);
+    if (Z != I2.beforeDot(G))
+      return;
+    for (NodeId M1 : Graph.reverseTransitions(H1)) {
+      unsigned FromState = Graph.stateOf(M1);
+      bool OffPath = !SlspState.empty() && !SlspState[FromState];
+      if (OffPath && !Opts.ExtendedSearch)
+        continue;
+      if (Stage1Guard &&
+          !Graph.lookahead(M1).contains(ConflictTerm.id()))
+        continue;
+      for (NodeId M2 : Graph.reverseTransitions(H2)) {
+        if (Graph.stateOf(M2) != FromState)
+          continue;
+        Config N = C;
+        N.S1.Items.insert(N.S1.Items.begin(), M1);
+        N.S2.Items.insert(N.S2.Items.begin(), M2);
+        N.S1.prependDeriv(Derivation::leaf(Z));
+        N.S2.prependDeriv(Derivation::leaf(Z));
+        N.Cost += OffPath ? Opts.ExtendedRevTransitionCost : RevTransitionCost;
+        push(std::move(N));
+      }
+    }
+  };
+
+  while (!Queue.empty()) {
+    if (Result.ConfigurationsExplored >= Opts.MaxConfigurations) {
+      Result.Status = UnifyingStatus::LimitHit;
+      return Result;
+    }
+    if ((Result.ConfigurationsExplored & 0x3F) == 0 && Budget.expired()) {
+      Result.Status = UnifyingStatus::TimedOut;
+      return Result;
+    }
+    size_t CI = Queue.top();
+    Queue.pop();
+    ++Result.ConfigurationsExplored;
+    // Copy: Pool may grow (and reallocate) while we generate successors.
+    Config C = Pool[CI];
+
+    // Goal test (paper §5.4): both copies have performed their conflict
+    // action and reduced to a single derivation of the same nonterminal.
+    // Usually the conflict terminal has been consumed by then; for
+    // reduce/reduce conflicts the two parses may already unify before any
+    // further input, in which case the conflict terminal is merely the
+    // lookahead beyond the example and the dot lands at its end.
+    if (C.Reduce1Done && C.Reduce2Done && C.S1.RealDerivs == 1 &&
+        C.S2.RealDerivs == 1) {
+      auto rootOf = [](const Side &S) -> const DerivPtr & {
+        for (const DerivPtr &D : S.Derivs)
+          if (!D->isDot())
+            return D;
+        assert(false && "no real derivation at goal");
+        static const DerivPtr Null;
+        return Null;
+      };
+      const DerivPtr &D1 = rootOf(C.S1);
+      const DerivPtr &D2 = rootOf(C.S2);
+      if (D1->symbol() == D2->symbol() && G.isNonterminal(D1->symbol()) &&
+          !Derivation::equal(D1, D2)) {
+        Counterexample Ex;
+        Ex.Unifying = true;
+        Ex.Root = D1->symbol();
+        Ex.Derivs1 = C.S1.Derivs;
+        Ex.Derivs2 = C.S2.Derivs;
+        if (!C.ConflictShifted) {
+          // The conflict terminal was never consumed: the conflict point
+          // is at the end of the example.
+          Ex.Derivs1.push_back(Derivation::dot());
+          Ex.Derivs2.push_back(Derivation::dot());
+        }
+        Result.Status = UnifyingStatus::Found;
+        Result.Example = std::move(Ex);
+        return Result;
+      }
+    }
+
+    NodeId L1 = C.S1.Items.back();
+    NodeId L2 = C.S2.Items.back();
+
+    // Shared forward transition (Fig. 10(a)).
+    {
+      NodeId F1 = Graph.forwardTransition(L1);
+      NodeId F2 = Graph.forwardTransition(L2);
+      Symbol Z = Graph.transitionSymbol(L1);
+      if (F1 != StateItemGraph::InvalidNode &&
+          F2 != StateItemGraph::InvalidNode &&
+          Z == Graph.transitionSymbol(L2) &&
+          (!C.awaitingConflictShift() || Z == ConflictTerm)) {
+        Config N = C;
+        N.S1.Items.push_back(F1);
+        N.S2.Items.push_back(F2);
+        if (C.awaitingConflictShift() && Z == ConflictTerm) {
+          N.ConflictShifted = true;
+          // Paper presentation (Fig. 11): on the reduce side the dot sits
+          // inside the completed reduction's brackets — attach it as the
+          // last child of the latest derivation node. The shift side gets
+          // it right before the conflict terminal.
+          if (!N.S1.Derivs.empty() && N.S1.Derivs.back()->isNode()) {
+            const DerivPtr &Last = N.S1.Derivs.back();
+            std::vector<DerivPtr> Children = Last->children();
+            Children.push_back(Derivation::dot());
+            N.S1.Derivs.back() = Derivation::node(
+                Last->symbol(), Last->productionIndex(),
+                std::move(Children));
+          } else {
+            N.S1.appendDeriv(Derivation::dot());
+          }
+          N.S2.appendDeriv(Derivation::dot());
+        }
+        N.S1.appendDeriv(Derivation::leaf(Z));
+        N.S2.appendDeriv(Derivation::leaf(Z));
+        N.Cost += ShiftCost;
+        push(std::move(N));
+      }
+    }
+
+    // Per-side production steps (Fig. 10(b)).
+    for (bool First : {true, false}) {
+      const Side &S = First ? C.S1 : C.S2;
+      NodeId Last = S.Items.back();
+      for (NodeId Step : Graph.productionSteps(Last)) {
+        if (C.awaitingConflictShift() && !usefulWhileAwaiting(Step))
+          continue;
+        bool Duplicate =
+            std::find(S.Items.begin(), S.Items.end(), Step) != S.Items.end();
+        Config N = C;
+        Side &NS = First ? N.S1 : N.S2;
+        NS.Items.push_back(Step);
+        N.Cost += ProductionCost +
+                  (Duplicate ? Opts.DuplicateProductionCost : 0);
+        push(std::move(N));
+      }
+    }
+
+    // Per-side reductions, and reverse preparation when a pending
+    // reduction lacks left context (Fig. 10(c)-(f)).
+    for (bool First : {true, false}) {
+      if (tryReduce(C, First))
+        continue;
+      const Side &S = First ? C.S1 : C.S2;
+      const Side &O = First ? C.S2 : C.S1;
+      const Item &Pending = Graph.itemOf(S.Items.back());
+      bool GuardConflict = First ? !C.Reduce1Done : !C.Reduce2Done;
+      if (S.Items.size() == Pending.Dot + 1 &&
+          Graph.itemOf(S.Items.front()) == Item(Pending.Prod, 0)) {
+        // Fig. 10(d): the production's own items are all present; prepend
+        // a context item via a reverse production step on this side.
+        revProductionSteps(C, First, GuardConflict);
+        continue;
+      }
+      // Fig. 10(c)/(e): the walk extends past the head. If the other
+      // side's head is a dot-0 item it must first be un-produced;
+      // otherwise prepend a shared reverse transition.
+      if (Graph.itemOf(O.Items.front()).Dot == 0)
+        revProductionSteps(C, !First, /*GuardConflict=*/false);
+      else
+        revTransitions(C, GuardConflict);
+    }
+  }
+
+  Result.Status = UnifyingStatus::Exhausted;
+  return Result;
+}

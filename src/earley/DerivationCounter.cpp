@@ -1,0 +1,292 @@
+//===- earley/DerivationCounter.cpp --------------------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+// Derivation counting runs as a monotone fixpoint over two kinds of
+// subproblems, saturated at the cap:
+//
+//   sym(X, i, j):        #trees of symbol X yielding Input[i..j)
+//   path(P, d, k, j):    #ways rhs(P)[d..] yields Input[k..j)
+//
+// sym(X,i,j) = [terminal or self-scan match] + sum over productions P of X
+//              of path(P, 0, i, j);
+// path(P,d,k,j) = sum over split m of sym(rhs[d],k,m) * path(P,d+1,m,j).
+//
+// Cells are discovered on demand from the root cell; iteration to a least
+// fixpoint makes cyclic grammars (A -> A) saturate at the cap instead of
+// recursing forever, which is exactly the desired "infinitely many trees
+// counts as ambiguous" behavior.
+//
+//===----------------------------------------------------------------------===//
+
+#include "earley/DerivationCounter.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+using namespace lalrcex;
+
+DerivationCounter::DerivationCounter(const Grammar &G, const GrammarAnalysis &Analysis)
+    : G(G), Analysis(Analysis) {
+  assert(&Analysis.grammar() == &G && "analysis built for another grammar");
+}
+
+namespace {
+
+/// Cell keys: tag bit 63; sym cells pack (symbol, i, j), path cells pack
+/// (production, dot, k, j). Positions fit in 16 bits (inputs are
+/// counterexamples, not source files).
+uint64_t symKey(int32_t Sym, unsigned I, unsigned J) {
+  return (uint64_t(1) << 63) | (uint64_t(uint32_t(Sym)) << 32) | (I << 16) |
+         J;
+}
+uint64_t pathKey(unsigned Prod, unsigned Dot, unsigned K, unsigned J) {
+  return (uint64_t(Prod) << 40) | (uint64_t(Dot) << 32) | (K << 16) | J;
+}
+
+struct Counter {
+  const Grammar &G;
+  const std::vector<Symbol> &Input;
+  unsigned Cap;
+
+  std::unordered_map<uint64_t, unsigned> Val;
+  std::vector<uint64_t> Cells; // discovery order
+
+  unsigned satAdd(unsigned A, unsigned B) const {
+    return A + B >= Cap ? Cap : A + B;
+  }
+  unsigned satMul(unsigned A, unsigned B) const {
+    if (A == 0 || B == 0)
+      return 0;
+    return A >= (Cap + B - 1) / B ? Cap : A * B;
+  }
+
+  /// Reads the current value of a cell, registering it for evaluation if
+  /// new.
+  unsigned read(uint64_t Key) {
+    auto [It, Inserted] = Val.emplace(Key, 0);
+    if (Inserted)
+      Cells.push_back(Key);
+    return It->second;
+  }
+
+  unsigned readSym(Symbol S, unsigned I, unsigned J) {
+    // Terminals and self-scans need no registration; compute directly.
+    bool SelfScan = J == I + 1 && Input[I] == S;
+    if (G.isTerminal(S))
+      return SelfScan ? 1 : 0;
+    return satAdd(SelfScan ? 1 : 0, read(symKey(S.id(), I, J)));
+  }
+
+  unsigned evalSym(int32_t SymId, unsigned I, unsigned J) {
+    Symbol S(SymId);
+    unsigned Total = 0;
+    for (unsigned P : G.productionsOf(S))
+      Total = satAdd(Total, read(pathKey(P, 0, I, J)));
+    return Total;
+  }
+
+  unsigned evalPath(unsigned Prod, unsigned Dot, unsigned K, unsigned J) {
+    const Production &P = G.production(Prod);
+    if (Dot == P.Rhs.size())
+      return K == J ? 1 : 0;
+    Symbol X = P.Rhs[Dot];
+    unsigned Total = 0;
+    for (unsigned M = K; M <= J; ++M) {
+      unsigned Left = readSym(X, K, M);
+      if (Left == 0)
+        continue;
+      unsigned Right = Dot + 1 == P.Rhs.size()
+                           ? (M == J ? 1 : 0)
+                           : read(pathKey(Prod, Dot + 1, M, J));
+      Total = satAdd(Total, satMul(Left, Right));
+    }
+    return Total;
+  }
+
+  unsigned eval(uint64_t Key) {
+    if (Key >> 63)
+      return evalSym(int32_t((Key >> 32) & 0x7FFFFFFF),
+                     unsigned((Key >> 16) & 0xFFFF), unsigned(Key & 0xFFFF));
+    return evalPath(unsigned(Key >> 40), unsigned((Key >> 32) & 0xFF),
+                    unsigned((Key >> 16) & 0xFFFF), unsigned(Key & 0xFFFF));
+  }
+
+  unsigned run(Symbol Root) {
+    unsigned N = unsigned(Input.size());
+    // Seed with the root cell. The self-scan contribution of the root is
+    // handled here, outside the fixpoint.
+    unsigned Self = (N == 1 && Input[0] == Root) ? 1 : 0;
+    if (G.isTerminal(Root))
+      return Self;
+    read(symKey(Root.id(), 0, N));
+
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      size_t CellsBefore = Cells.size();
+      // Cells may be discovered during evaluation; index-based loop.
+      for (size_t CI = 0; CI != Cells.size(); ++CI) {
+        uint64_t Key = Cells[CI];
+        unsigned New = eval(Key);
+        unsigned &Slot = Val[Key];
+        if (New != Slot) {
+          assert(New > Slot && "fixpoint must be monotone");
+          Slot = New;
+          Changed = true;
+        }
+      }
+      Changed |= Cells.size() != CellsBefore;
+    }
+    return satAdd(Self, Val[symKey(Root.id(), 0, N)]);
+  }
+};
+
+} // namespace
+
+unsigned DerivationCounter::countDerivations(Symbol Root,
+                                        const std::vector<Symbol> &Input,
+                                        unsigned Cap) const {
+  assert(Cap >= 1 && "cap must be positive");
+  assert(Input.size() < 0xFFFF && "input too long for cell encoding");
+  Counter C{G, Input, Cap, {}, {}};
+  return C.run(Root);
+}
+
+namespace {
+
+/// Viable-prefix checking: boolean "open" cells layered over the exact
+/// counter (with cap 1). openSym(X, i) holds when X derives a string whose
+/// yield begins with Input[i..n) and may continue past it; openSeq(P, d,
+/// i) is the same for the rule suffix rhs(P)[d..].
+struct PrefixChecker {
+  const Grammar &G;
+  const GrammarAnalysis &Analysis;
+  const std::vector<Symbol> &Input;
+  Counter Exact;
+
+  std::unordered_map<uint64_t, bool> Open;
+  std::vector<uint64_t> OpenCells;
+
+  static uint64_t openSymKey(int32_t Sym, unsigned I) {
+    return (uint64_t(1) << 62) | (uint64_t(uint32_t(Sym)) << 16) | I;
+  }
+  static uint64_t openSeqKey(unsigned Prod, unsigned Dot, unsigned I) {
+    return (uint64_t(Prod) << 24) | (uint64_t(Dot) << 16) | I;
+  }
+
+  bool readOpen(uint64_t Key) {
+    auto [It, Inserted] = Open.emplace(Key, false);
+    if (Inserted)
+      OpenCells.push_back(Key);
+    return It->second;
+  }
+
+  bool allProductive(const Production &P, size_t From) const {
+    for (size_t I = From; I < P.Rhs.size(); ++I)
+      if (!Analysis.isProductive(P.Rhs[I]))
+        return false;
+    return true;
+  }
+
+  bool readOpenSym(Symbol X, unsigned I) {
+    unsigned N = unsigned(Input.size());
+    if (Input[I] == X && I + 1 == N)
+      return true;
+    if (G.isTerminal(X))
+      return false;
+    return readOpen(openSymKey(X.id(), I));
+  }
+
+  bool evalOpenSym(int32_t SymId, unsigned I) {
+    Symbol X(SymId);
+    for (unsigned P : G.productionsOf(X))
+      if (readOpen(openSeqKey(P, 0, I)))
+        return true;
+    return false;
+  }
+
+  bool evalOpenSeq(unsigned Prod, unsigned Dot, unsigned I) {
+    const Production &P = G.production(Prod);
+    unsigned N = unsigned(Input.size());
+    if (I == N)
+      return allProductive(P, Dot);
+    if (Dot == P.Rhs.size())
+      return false;
+    Symbol X = P.Rhs[Dot];
+    // (a) X stretches to the end of the prefix; later symbols only need
+    // to derive something.
+    if (readOpenSym(X, I) && allProductive(P, Dot + 1))
+      return true;
+    // (b) X matches Input[I..M) exactly and the rest of the rule
+    // continues from M.
+    for (unsigned M = I; M <= N; ++M) {
+      if (Exact.readSym(X, I, M) >= 1 &&
+          readOpen(openSeqKey(Prod, Dot + 1, M)))
+        return true;
+    }
+    return false;
+  }
+
+  bool eval(uint64_t Key) {
+    if ((Key >> 62) & 1)
+      return evalOpenSym(int32_t((Key >> 16) & 0x3FFFFFFF),
+                         unsigned(Key & 0xFFFF));
+    return evalOpenSeq(unsigned(Key >> 24), unsigned((Key >> 16) & 0xFF),
+                       unsigned(Key & 0xFFFF));
+  }
+
+  bool run(Symbol Root) {
+    unsigned N = unsigned(Input.size());
+    if (N == 0)
+      return Analysis.isProductive(Root);
+    if (Input[0] == Root && N == 1)
+      return true;
+    if (G.isTerminal(Root))
+      return false;
+    readOpen(openSymKey(Root.id(), 0));
+
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      size_t ExactCellsBefore = Exact.Cells.size();
+      size_t OpenCellsBefore = OpenCells.size();
+      // Advance the exact counter's cells one round.
+      for (size_t CI = 0; CI != Exact.Cells.size(); ++CI) {
+        uint64_t Key = Exact.Cells[CI];
+        unsigned New = Exact.eval(Key);
+        unsigned &Slot = Exact.Val[Key];
+        if (New != Slot) {
+          Slot = New;
+          Changed = true;
+        }
+      }
+      // Then the open cells.
+      for (size_t CI = 0; CI != OpenCells.size(); ++CI) {
+        uint64_t Key = OpenCells[CI];
+        bool New = eval(Key);
+        bool &Slot = Open[Key];
+        if (New && !Slot) {
+          Slot = true;
+          Changed = true;
+        }
+      }
+      // Open-cell evaluation can discover fresh exact cells (and vice
+      // versa); a growing frontier must trigger another round even when
+      // no value changed yet.
+      Changed |= Exact.Cells.size() != ExactCellsBefore ||
+                 OpenCells.size() != OpenCellsBefore;
+    }
+    return Open[openSymKey(Root.id(), 0)];
+  }
+};
+
+} // namespace
+
+bool DerivationCounter::derivesPrefix(
+    Symbol Root, const std::vector<Symbol> &Input) const {
+  assert(Input.size() < 0xFFFF && "input too long for cell encoding");
+  PrefixChecker P{G, Analysis, Input, Counter{G, Input, 1, {}, {}}, {}, {}};
+  return P.run(Root);
+}

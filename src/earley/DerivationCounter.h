@@ -1,0 +1,69 @@
+//===- earley/DerivationCounter.h - Sentential-form checker ----*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A recognizer and derivation counter over \e sentential forms, used to
+/// machine-check the counterexamples the main engine produces.
+///
+/// Counterexamples are strings of mixed terminals and nonterminals (good
+/// counterexamples keep irrelevant nonterminals unexpanded, paper §3.2), so
+/// the recognizer treats a nonterminal input symbol as matching either
+/// itself (a scan) or any derivation of it.
+///
+/// Beyond recognition, countDerivations() counts the derivation trees of a
+/// root symbol over the input, saturating at a small cap: a count >= 2
+/// certifies that a reported unifying counterexample really is ambiguous,
+/// and a count >= 1 certifies that a nonunifying counterexample really
+/// derives. Counting runs as a monotone fixpoint over discovered
+/// subproblems so cyclic grammars (A -> A) saturate instead of recursing
+/// forever.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_EARLEY_DERIVATIONCOUNTER_H
+#define LALRCEX_EARLEY_DERIVATIONCOUNTER_H
+
+#include "grammar/Analysis.h"
+#include "grammar/Grammar.h"
+
+#include <vector>
+
+namespace lalrcex {
+
+/// Sentential-form recognizer + saturating derivation counter over one
+/// grammar.
+class DerivationCounter {
+public:
+  /// \p Analysis must refer to \p G; both must outlive the parser.
+  DerivationCounter(const Grammar &G, const GrammarAnalysis &Analysis);
+
+  /// \returns true if \p Root derives the sentential form \p Input (where
+  /// a nonterminal input symbol may also stand for itself).
+  bool derives(Symbol Root, const std::vector<Symbol> &Input) const {
+    return countDerivations(Root, Input, 1) >= 1;
+  }
+
+  /// Number of distinct derivation trees of \p Root yielding \p Input,
+  /// saturated at \p Cap (default 2: enough to decide ambiguity). The
+  /// single-leaf tree (Input == [Root]) counts as one derivation.
+  unsigned countDerivations(Symbol Root, const std::vector<Symbol> &Input,
+                            unsigned Cap = 2) const;
+
+  /// \returns true if \p Input is a viable sentential prefix of \p Root:
+  /// some sentential form derived from \p Root starts with \p Input
+  /// (nonterminal input symbols may again stand for themselves). Used to
+  /// machine-check the claims lookahead-blind tools make about "the
+  /// conflict arises after this prefix".
+  bool derivesPrefix(Symbol Root, const std::vector<Symbol> &Input) const;
+
+private:
+  const Grammar &G;
+  const GrammarAnalysis &Analysis;
+};
+
+} // namespace lalrcex
+
+#endif // LALRCEX_EARLEY_DERIVATIONCOUNTER_H

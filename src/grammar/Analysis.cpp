@@ -1,0 +1,182 @@
+//===- grammar/Analysis.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/Analysis.h"
+
+#include <cassert>
+
+using namespace lalrcex;
+
+GrammarAnalysis::GrammarAnalysis(const Grammar &G) : G(G) {
+  computeNullable();
+  computeFirst();
+  computeFollow();
+  computeMinYield();
+  computeReachable();
+}
+
+void GrammarAnalysis::computeNullable() {
+  Nullable.assign(G.numSymbols(), false);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned P = 0, E = G.numProductions(); P != E; ++P) {
+      const Production &Prod = G.production(P);
+      if (Nullable[Prod.Lhs.id()])
+        continue;
+      bool AllNullable = true;
+      for (Symbol S : Prod.Rhs) {
+        if (!Nullable[S.id()]) {
+          AllNullable = false;
+          break;
+        }
+      }
+      if (AllNullable) {
+        Nullable[Prod.Lhs.id()] = true;
+        Changed = true;
+      }
+    }
+  }
+}
+
+void GrammarAnalysis::computeFirst() {
+  First.assign(G.numSymbols(), IndexSet(G.numTerminals()));
+  for (unsigned T = 0; T != G.numTerminals(); ++T)
+    First[T].insert(T);
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned P = 0, E = G.numProductions(); P != E; ++P) {
+      const Production &Prod = G.production(P);
+      IndexSet &Lhs = First[Prod.Lhs.id()];
+      for (Symbol S : Prod.Rhs) {
+        Changed |= Lhs.unionWith(First[S.id()]);
+        if (!Nullable[S.id()])
+          break;
+      }
+    }
+  }
+}
+
+void GrammarAnalysis::computeFollow() {
+  Follow.assign(G.numSymbols(), IndexSet(G.numTerminals()));
+  Follow[G.augmentedStart().id()].insert(G.eof().id());
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned P = 0, E = G.numProductions(); P != E; ++P) {
+      const Production &Prod = G.production(P);
+      for (size_t I = 0; I != Prod.Rhs.size(); ++I) {
+        Symbol S = Prod.Rhs[I];
+        if (!G.isNonterminal(S))
+          continue;
+        IndexSet F =
+            firstOfSequence(Prod.Rhs, I + 1, &Follow[Prod.Lhs.id()]);
+        Changed |= Follow[S.id()].unionWith(F);
+      }
+    }
+  }
+}
+
+void GrammarAnalysis::computeMinYield() {
+  MinYield.assign(G.numSymbols(), Infinite);
+  MinProdYield.assign(G.numProductions(), Infinite);
+  MinProd.assign(G.numNonterminals(), Infinite);
+  for (unsigned T = 0; T != G.numTerminals(); ++T)
+    MinYield[T] = 1;
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned P = 0, E = G.numProductions(); P != E; ++P) {
+      const Production &Prod = G.production(P);
+      unsigned Sum = 0;
+      bool Known = true;
+      for (Symbol S : Prod.Rhs) {
+        if (MinYield[S.id()] == Infinite) {
+          Known = false;
+          break;
+        }
+        Sum += MinYield[S.id()];
+      }
+      if (!Known)
+        continue;
+      if (Sum < MinProdYield[P]) {
+        MinProdYield[P] = Sum;
+        Changed = true;
+      }
+      if (Sum < MinYield[Prod.Lhs.id()]) {
+        MinYield[Prod.Lhs.id()] = Sum;
+        MinProd[Prod.Lhs.id() - G.numTerminals()] = P;
+        Changed = true;
+      }
+    }
+  }
+}
+
+void GrammarAnalysis::computeReachable() {
+  Reachable.assign(G.numSymbols(), false);
+  Reachable[G.augmentedStart().id()] = true;
+  Reachable[G.eof().id()] = true;
+  std::vector<Symbol> Work = {G.augmentedStart()};
+  while (!Work.empty()) {
+    Symbol S = Work.back();
+    Work.pop_back();
+    if (G.isTerminal(S))
+      continue;
+    for (unsigned P : G.productionsOf(S)) {
+      for (Symbol R : G.production(P).Rhs) {
+        if (!Reachable[R.id()]) {
+          Reachable[R.id()] = true;
+          Work.push_back(R);
+        }
+      }
+    }
+  }
+}
+
+bool GrammarAnalysis::sequenceNullable(const std::vector<Symbol> &Syms,
+                                       size_t From) const {
+  for (size_t I = From, E = Syms.size(); I != E; ++I)
+    if (!Nullable[Syms[I].id()])
+      return false;
+  return true;
+}
+
+IndexSet GrammarAnalysis::firstOfSequence(const std::vector<Symbol> &Syms,
+                                          size_t From,
+                                          const IndexSet *Tail) const {
+  IndexSet Out(G.numTerminals());
+  for (size_t I = From, E = Syms.size(); I != E; ++I) {
+    Out.unionWith(First[Syms[I].id()]);
+    if (!Nullable[Syms[I].id()])
+      return Out;
+  }
+  if (Tail)
+    Out.unionWith(*Tail);
+  return Out;
+}
+
+bool GrammarAnalysis::sequenceCanBeginWith(const std::vector<Symbol> &Syms,
+                                           size_t From, Symbol T,
+                                           const IndexSet *Tail) const {
+  assert(G.isTerminal(T) && "expected a terminal");
+  for (size_t I = From, E = Syms.size(); I != E; ++I) {
+    if (First[Syms[I].id()].contains(T.id()))
+      return true;
+    if (!Nullable[Syms[I].id()])
+      return false;
+  }
+  return Tail && Tail->contains(T.id());
+}
+
+unsigned GrammarAnalysis::minProduction(Symbol Nonterminal) const {
+  assert(G.isNonterminal(Nonterminal) && "expected a nonterminal");
+  unsigned P = MinProd[Nonterminal.id() - G.numTerminals()];
+  assert(P != Infinite && "nonterminal is unproductive");
+  return P;
+}

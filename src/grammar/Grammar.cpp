@@ -1,0 +1,41 @@
+//===- grammar/Grammar.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/Grammar.h"
+
+using namespace lalrcex;
+
+Symbol Grammar::symbolByName(const std::string &Name) const {
+  for (unsigned I = 0, E = numSymbols(); I != E; ++I)
+    if (Names[I] == Name)
+      return Symbol(int32_t(I));
+  return Symbol();
+}
+
+std::string Grammar::productionString(unsigned ProdIndex, int Dot) const {
+  const Production &P = production(ProdIndex);
+  std::string Out = name(P.Lhs) + " ::=";
+  for (size_t I = 0, E = P.Rhs.size(); I != E; ++I) {
+    if (Dot >= 0 && size_t(Dot) == I)
+      Out += " \xE2\x80\xA2"; // bullet
+    Out += " " + name(P.Rhs[I]);
+  }
+  if (Dot >= 0 && size_t(Dot) == P.Rhs.size())
+    Out += " \xE2\x80\xA2";
+  if (P.Rhs.empty() && Dot < 0)
+    Out += " /* empty */";
+  return Out;
+}
+
+std::string Grammar::symbolsString(const std::vector<Symbol> &Syms) const {
+  std::string Out;
+  for (size_t I = 0, E = Syms.size(); I != E; ++I) {
+    if (I != 0)
+      Out += " ";
+    Out += name(Syms[I]);
+  }
+  return Out;
+}

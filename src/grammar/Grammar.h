@@ -1,0 +1,139 @@
+//===- grammar/Grammar.h - Context-free grammar representation -*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immutable context-free grammar with yacc-style precedence declarations.
+///
+/// A Grammar is produced by GrammarBuilder (programmatic API) or
+/// parseGrammarText (yacc-like text format). The grammar is augmented on
+/// construction: a fresh start symbol S' with production S' -> S is added,
+/// and terminal 0 is the end-of-input marker "$".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_GRAMMAR_GRAMMAR_H
+#define LALRCEX_GRAMMAR_GRAMMAR_H
+
+#include "grammar/Symbol.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace lalrcex {
+
+/// Operator associativity for precedence-based conflict resolution.
+enum class Assoc { None, Left, Right, Nonassoc };
+
+/// One production A -> X1 X2 ... Xn. An empty Rhs denotes an epsilon
+/// production.
+struct Production {
+  Symbol Lhs;
+  std::vector<Symbol> Rhs;
+  /// Terminal supplying this production's precedence (from %prec or the
+  /// last terminal of Rhs); invalid if the production has no precedence.
+  Symbol PrecSym;
+  /// Position of this production in declaration order.
+  unsigned Index = 0;
+
+  size_t length() const { return Rhs.size(); }
+};
+
+/// An immutable augmented context-free grammar.
+class Grammar {
+public:
+  /// Total number of symbols (terminals followed by nonterminals).
+  unsigned numSymbols() const { return unsigned(Names.size()); }
+  unsigned numTerminals() const { return NumTerminals; }
+  unsigned numNonterminals() const { return numSymbols() - NumTerminals; }
+
+  bool isTerminal(Symbol S) const {
+    assert(S.valid() && "invalid symbol");
+    return unsigned(S.id()) < NumTerminals;
+  }
+  bool isNonterminal(Symbol S) const { return !isTerminal(S); }
+
+  /// The end-of-input terminal "$".
+  Symbol eof() const { return Symbol(0); }
+  /// The user-declared start symbol.
+  Symbol startSymbol() const { return Start; }
+  /// The synthetic augmented start symbol S'.
+  Symbol augmentedStart() const { return AugmentedStart; }
+  /// The index of the augmented production S' -> S.
+  unsigned augmentedProduction() const { return AugmentedProd; }
+
+  unsigned numProductions() const { return unsigned(Productions.size()); }
+  const Production &production(unsigned Index) const {
+    assert(Index < Productions.size() && "production index out of range");
+    return Productions[Index];
+  }
+
+  /// Indices of the productions whose left-hand side is \p Nonterminal.
+  const std::vector<unsigned> &productionsOf(Symbol Nonterminal) const {
+    assert(isNonterminal(Nonterminal) && "expected a nonterminal");
+    return ProdsOf[Nonterminal.id() - NumTerminals];
+  }
+
+  const std::string &name(Symbol S) const {
+    assert(S.valid() && unsigned(S.id()) < Names.size() && "bad symbol");
+    return Names[S.id()];
+  }
+
+  /// Looks up a symbol by name. \returns an invalid Symbol if absent.
+  Symbol symbolByName(const std::string &Name) const;
+
+  /// Precedence level of terminal \p T; 0 means "no precedence declared".
+  /// Higher levels bind tighter.
+  int precedenceLevel(Symbol T) const {
+    assert(isTerminal(T) && "expected a terminal");
+    return PrecLevel[T.id()];
+  }
+  Assoc associativity(Symbol T) const {
+    assert(isTerminal(T) && "expected a terminal");
+    return PrecAssoc[T.id()];
+  }
+
+  /// Precedence level of a production (via its PrecSym); 0 if none.
+  int productionPrecedence(unsigned ProdIndex) const {
+    const Production &P = production(ProdIndex);
+    return P.PrecSym.valid() ? precedenceLevel(P.PrecSym) : 0;
+  }
+
+  /// Renders a production as "lhs ::= x1 x2 ...". If \p Dot is
+  /// non-negative, a bullet is placed before the Dot-th right-hand-side
+  /// symbol (Dot == length places it at the end).
+  std::string productionString(unsigned ProdIndex, int Dot = -1) const;
+
+  /// Renders a sequence of symbols separated by spaces.
+  std::string symbolsString(const std::vector<Symbol> &Syms) const;
+
+  /// Number of shift/reduce conflicts the grammar author declared as
+  /// expected (%expect), or -1 when undeclared.
+  int expectedShiftReduce() const { return ExpectShiftReduce; }
+  /// Number of reduce/reduce conflicts declared expected (%expect-rr),
+  /// or -1 when undeclared.
+  int expectedReduceReduce() const { return ExpectReduceReduce; }
+
+private:
+  friend class GrammarBuilder;
+  Grammar() = default;
+
+  std::vector<std::string> Names;
+  unsigned NumTerminals = 0;
+  std::vector<Production> Productions;
+  std::vector<std::vector<unsigned>> ProdsOf;
+  std::vector<int> PrecLevel;
+  std::vector<Assoc> PrecAssoc;
+  Symbol Start;
+  Symbol AugmentedStart;
+  unsigned AugmentedProd = 0;
+  int ExpectShiftReduce = -1;
+  int ExpectReduceReduce = -1;
+};
+
+} // namespace lalrcex
+
+#endif // LALRCEX_GRAMMAR_GRAMMAR_H

@@ -1,0 +1,204 @@
+//===- grammar/GrammarBuilder.cpp -----------------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/GrammarBuilder.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace lalrcex;
+
+GrammarBuilder &GrammarBuilder::token(const std::string &Name) {
+  DeclaredTokens.push_back(Name);
+  return *this;
+}
+
+GrammarBuilder &GrammarBuilder::tokens(const std::vector<std::string> &Names) {
+  for (const std::string &N : Names)
+    token(N);
+  return *this;
+}
+
+GrammarBuilder &GrammarBuilder::rule(const std::string &Lhs,
+                                     const std::vector<std::string> &Rhs,
+                                     const std::string &PrecName) {
+  Rules.push_back(RawRule{Lhs, Rhs, PrecName});
+  return *this;
+}
+
+GrammarBuilder &
+GrammarBuilder::declarePrecLevel(const std::vector<std::string> &Names,
+                                 Assoc A) {
+  int Level = NextPrecLevel++;
+  for (const std::string &N : Names)
+    Precs.push_back(RawPrec{N, A, Level});
+  return *this;
+}
+
+GrammarBuilder &GrammarBuilder::left(const std::vector<std::string> &Names) {
+  return declarePrecLevel(Names, Assoc::Left);
+}
+
+GrammarBuilder &GrammarBuilder::right(const std::vector<std::string> &Names) {
+  return declarePrecLevel(Names, Assoc::Right);
+}
+
+GrammarBuilder &
+GrammarBuilder::nonassoc(const std::vector<std::string> &Names) {
+  return declarePrecLevel(Names, Assoc::Nonassoc);
+}
+
+GrammarBuilder &
+GrammarBuilder::precedence(const std::vector<std::string> &Names) {
+  return declarePrecLevel(Names, Assoc::None);
+}
+
+GrammarBuilder &GrammarBuilder::start(const std::string &Name) {
+  StartName = Name;
+  return *this;
+}
+
+std::optional<Grammar>
+GrammarBuilder::build(std::string *ErrorMessage) const {
+  auto Fail = [ErrorMessage](const std::string &Msg) -> std::optional<Grammar> {
+    if (ErrorMessage)
+      *ErrorMessage = Msg;
+    return std::nullopt;
+  };
+
+  if (Rules.empty())
+    return Fail("grammar has no rules");
+
+  // Classify names: rule left-hand sides are nonterminals; everything else
+  // mentioned is a terminal.
+  std::unordered_set<std::string> NonterminalNames;
+  for (const RawRule &R : Rules)
+    NonterminalNames.insert(R.Lhs);
+
+  for (const std::string &T : DeclaredTokens)
+    if (NonterminalNames.count(T))
+      return Fail("'" + T + "' is declared %token but has rules");
+
+  std::unordered_set<std::string> TokenNames(DeclaredTokens.begin(),
+                                             DeclaredTokens.end());
+  // Precedence declarations implicitly declare their tokens (as in yacc).
+  for (const RawPrec &P : Precs)
+    TokenNames.insert(P.Name);
+  // Collect terminals in order of first appearance: declared tokens first,
+  // then implicit terminals from rule bodies and precedence declarations.
+  std::vector<std::string> TerminalOrder;
+  std::unordered_set<std::string> SeenTerminal;
+  auto noteTerminal = [&](const std::string &Name) -> bool {
+    if (NonterminalNames.count(Name))
+      return true;
+    if (SeenTerminal.insert(Name).second)
+      TerminalOrder.push_back(Name);
+    return !StrictMode || TokenNames.count(Name) > 0;
+  };
+
+  for (const std::string &T : DeclaredTokens)
+    noteTerminal(T);
+  for (const RawPrec &P : Precs)
+    if (!NonterminalNames.count(P.Name))
+      noteTerminal(P.Name);
+  for (const RawRule &R : Rules) {
+    for (const std::string &S : R.Rhs)
+      if (!NonterminalNames.count(S) && !noteTerminal(S))
+        return Fail("undeclared symbol '" + S + "' (strict mode)");
+    if (!R.PrecName.empty() && !NonterminalNames.count(R.PrecName) &&
+        !noteTerminal(R.PrecName))
+      return Fail("undeclared %prec symbol '" + R.PrecName + "'");
+  }
+
+  for (const RawPrec &P : Precs)
+    if (NonterminalNames.count(P.Name))
+      return Fail("precedence declared for nonterminal '" + P.Name + "'");
+
+  std::string StartNm = StartName.empty() ? Rules.front().Lhs : StartName;
+  if (!NonterminalNames.count(StartNm))
+    return Fail("start symbol '" + StartNm + "' has no rules");
+
+  // Nonterminals in order of first rule appearance, start symbol's
+  // declaration order preserved.
+  std::vector<std::string> NonterminalOrder;
+  std::unordered_set<std::string> SeenNonterminal;
+  for (const RawRule &R : Rules)
+    if (SeenNonterminal.insert(R.Lhs).second)
+      NonterminalOrder.push_back(R.Lhs);
+
+  Grammar G;
+  G.NumTerminals = unsigned(TerminalOrder.size()) + 1; // +1 for "$"
+  G.Names.reserve(G.NumTerminals + NonterminalOrder.size() + 1);
+  G.Names.push_back("$");
+  for (const std::string &T : TerminalOrder)
+    G.Names.push_back(T);
+  std::unordered_map<std::string, Symbol> Ids;
+  for (unsigned I = 0; I != G.NumTerminals; ++I)
+    Ids[G.Names[I]] = Symbol(int32_t(I));
+  for (const std::string &N : NonterminalOrder) {
+    Ids[N] = Symbol(int32_t(G.Names.size()));
+    G.Names.push_back(N);
+  }
+  // Synthetic augmented start symbol, named to avoid collisions.
+  G.AugmentedStart = Symbol(int32_t(G.Names.size()));
+  G.Names.push_back("$accept");
+
+  G.Start = Ids[StartNm];
+
+  // Precedence tables (terminals only).
+  G.PrecLevel.assign(G.NumTerminals, 0);
+  G.PrecAssoc.assign(G.NumTerminals, Assoc::None);
+  for (const RawPrec &P : Precs) {
+    Symbol S = Ids[P.Name];
+    if (G.PrecLevel[S.id()] != 0)
+      return Fail("precedence of '" + P.Name + "' declared twice");
+    G.PrecLevel[S.id()] = P.Level;
+    G.PrecAssoc[S.id()] = P.A;
+  }
+
+  // Productions; the augmented production S' -> S comes first so that its
+  // index is stable (index 0).
+  G.ProdsOf.assign(G.numSymbols() - G.NumTerminals, {});
+  auto addProduction = [&G](Symbol Lhs, std::vector<Symbol> Rhs,
+                            Symbol PrecSym) {
+    Production P;
+    P.Lhs = Lhs;
+    P.Rhs = std::move(Rhs);
+    P.PrecSym = PrecSym;
+    P.Index = unsigned(G.Productions.size());
+    G.ProdsOf[Lhs.id() - G.NumTerminals].push_back(P.Index);
+    G.Productions.push_back(std::move(P));
+  };
+
+  addProduction(G.AugmentedStart, {G.Start}, Symbol());
+  G.AugmentedProd = 0;
+  G.ExpectShiftReduce = ExpectSr;
+  G.ExpectReduceReduce = ExpectRr;
+
+  for (const RawRule &R : Rules) {
+    std::vector<Symbol> Rhs;
+    Rhs.reserve(R.Rhs.size());
+    for (const std::string &S : R.Rhs)
+      Rhs.push_back(Ids[S]);
+    Symbol PrecSym;
+    if (!R.PrecName.empty()) {
+      PrecSym = Ids[R.PrecName];
+      if (G.isNonterminal(PrecSym))
+        return Fail("%prec symbol '" + R.PrecName + "' is a nonterminal");
+    } else {
+      // Yacc default: the last terminal of the right-hand side.
+      for (auto It = Rhs.rbegin(), E = Rhs.rend(); It != E; ++It) {
+        if (G.isTerminal(*It)) {
+          PrecSym = *It;
+          break;
+        }
+      }
+    }
+    addProduction(Ids[R.Lhs], std::move(Rhs), PrecSym);
+  }
+
+  return G;
+}

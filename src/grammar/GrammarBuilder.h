@@ -1,0 +1,122 @@
+//===- grammar/GrammarBuilder.h - Programmatic grammar builder -*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name-based builder for Grammar objects.
+///
+/// Symbols are referred to by name while building; the builder assigns
+/// final symbol ids (terminals first, then nonterminals) when build() is
+/// called. A name becomes a nonterminal if it appears as the left-hand side
+/// of some rule; otherwise it is a terminal (declaring it with token() is
+/// optional but catches typos when strict mode is enabled).
+///
+/// \code
+///   GrammarBuilder B;
+///   B.token("NUM");
+///   B.left({"PLUS"});
+///   B.rule("expr", {"expr", "PLUS", "expr"});
+///   B.rule("expr", {"NUM"});
+///   B.start("expr");
+///   std::optional<Grammar> G = B.build(&Err);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_GRAMMAR_GRAMMARBUILDER_H
+#define LALRCEX_GRAMMAR_GRAMMARBUILDER_H
+
+#include "grammar/Grammar.h"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lalrcex {
+
+/// Accumulates symbol, rule, and precedence declarations, then produces an
+/// immutable Grammar.
+class GrammarBuilder {
+public:
+  /// Declares \p Name as a terminal. Redundant declarations are harmless;
+  /// declaring a name that is later used as a rule left-hand side is an
+  /// error at build().
+  GrammarBuilder &token(const std::string &Name);
+
+  /// Declares several terminals at once.
+  GrammarBuilder &tokens(const std::vector<std::string> &Names);
+
+  /// Adds the rule \p Lhs -> \p Rhs. An empty \p Rhs adds an epsilon
+  /// production. \p PrecName, if nonempty, names the terminal providing the
+  /// rule's precedence (yacc %prec).
+  GrammarBuilder &rule(const std::string &Lhs,
+                       const std::vector<std::string> &Rhs,
+                       const std::string &PrecName = "");
+
+  /// Declares a left/right/nonassociative precedence level, one level per
+  /// call with later calls binding tighter (yacc %left / %right /
+  /// %nonassoc).
+  GrammarBuilder &left(const std::vector<std::string> &Names);
+  GrammarBuilder &right(const std::vector<std::string> &Names);
+  GrammarBuilder &nonassoc(const std::vector<std::string> &Names);
+  /// Declares a precedence level with no associativity (yacc %precedence).
+  GrammarBuilder &precedence(const std::vector<std::string> &Names);
+
+  /// Sets the start symbol. Defaults to the first rule's left-hand side.
+  GrammarBuilder &start(const std::string &Name);
+
+  /// Declares the number of expected shift/reduce conflicts (%expect).
+  GrammarBuilder &expectShiftReduce(int Count) {
+    ExpectSr = Count;
+    return *this;
+  }
+  /// Declares the number of expected reduce/reduce conflicts
+  /// (%expect-rr).
+  GrammarBuilder &expectReduceReduce(int Count) {
+    ExpectRr = Count;
+    return *this;
+  }
+
+  /// When strict, names that are neither declared tokens nor rule
+  /// left-hand sides are build() errors instead of implicit terminals.
+  GrammarBuilder &strict(bool Strict = true) {
+    StrictMode = Strict;
+    return *this;
+  }
+
+  /// Validates the declarations and produces the grammar. On failure
+  /// returns std::nullopt and, if \p ErrorMessage is non-null, stores a
+  /// description of the first problem found.
+  std::optional<Grammar> build(std::string *ErrorMessage = nullptr) const;
+
+private:
+  struct RawRule {
+    std::string Lhs;
+    std::vector<std::string> Rhs;
+    std::string PrecName;
+  };
+  struct RawPrec {
+    std::string Name;
+    Assoc A;
+    int Level;
+  };
+
+  GrammarBuilder &declarePrecLevel(const std::vector<std::string> &Names,
+                                   Assoc A);
+
+  std::vector<std::string> DeclaredTokens;
+  std::vector<RawRule> Rules;
+  std::vector<RawPrec> Precs;
+  std::string StartName;
+  int NextPrecLevel = 1;
+  bool StrictMode = false;
+  int ExpectSr = -1;
+  int ExpectRr = -1;
+};
+
+} // namespace lalrcex
+
+#endif // LALRCEX_GRAMMAR_GRAMMARBUILDER_H

@@ -1,0 +1,328 @@
+//===- grammar/GrammarParser.cpp ------------------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/GrammarParser.h"
+
+#include "grammar/GrammarBuilder.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+using namespace lalrcex;
+
+namespace {
+
+enum class TokKind {
+  Ident,     // identifier or quoted literal (text includes quotes)
+  Directive, // %token, %left, ...
+  Colon,
+  Pipe,
+  Semi,
+  Separator, // %%
+  End,
+};
+
+struct Tok {
+  TokKind Kind;
+  std::string Text;
+  int Line;
+};
+
+/// Tokenizer for the grammar text format. Skips comments, <tags>, and
+/// balanced { } action blocks.
+class Lexer {
+public:
+  Lexer(const std::string &Text, std::string *Err)
+      : Text(Text), Err(Err) {}
+
+  Tok next() {
+    if (!skipTrivia())
+      return fail("unterminated comment or action block");
+    if (Pos >= Text.size())
+      return Tok{TokKind::End, "", Line};
+    char C = Text[Pos];
+    if (C == ':')
+      return single(TokKind::Colon);
+    if (C == '|')
+      return single(TokKind::Pipe);
+    if (C == ';')
+      return single(TokKind::Semi);
+    if (C == '%')
+      return lexPercent();
+    if (C == '\'' || C == '"')
+      return lexQuoted(C);
+    if (isIdentChar(C))
+      return lexIdent();
+    return fail(std::string("unexpected character '") + C + "'");
+  }
+
+  bool failed() const { return Failed; }
+
+private:
+  static bool isIdentChar(char C) {
+    return std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+           C == '.' || C == '-';
+  }
+
+  Tok fail(const std::string &Msg) {
+    if (!Failed && Err)
+      *Err = "line " + std::to_string(Line) + ": " + Msg;
+    Failed = true;
+    return Tok{TokKind::End, "", Line};
+  }
+
+  Tok single(TokKind K) {
+    ++Pos;
+    return Tok{K, "", Line};
+  }
+
+  /// Skips whitespace, comments, <type tags>, and { action } blocks.
+  /// \returns false on an unterminated construct.
+  bool skipTrivia() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+      } else if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == '/' && Pos + 1 < Text.size() && Text[Pos + 1] == '/') {
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+      } else if (C == '/' && Pos + 1 < Text.size() && Text[Pos + 1] == '*') {
+        Pos += 2;
+        while (Pos + 1 < Text.size() &&
+               !(Text[Pos] == '*' && Text[Pos + 1] == '/')) {
+          if (Text[Pos] == '\n')
+            ++Line;
+          ++Pos;
+        }
+        if (Pos + 1 >= Text.size())
+          return false;
+        Pos += 2;
+      } else if (C == '<') {
+        // %token <tag> — skip the tag.
+        size_t Close = Text.find('>', Pos);
+        if (Close == std::string::npos)
+          return false;
+        Pos = Close + 1;
+      } else if (C == '{') {
+        // Semantic action: skip balanced braces (no string awareness
+        // needed; corpus grammars carry no actions with braces in
+        // strings).
+        int Depth = 0;
+        while (Pos < Text.size()) {
+          if (Text[Pos] == '{')
+            ++Depth;
+          else if (Text[Pos] == '}' && --Depth == 0) {
+            ++Pos;
+            break;
+          } else if (Text[Pos] == '\n')
+            ++Line;
+          ++Pos;
+        }
+        if (Depth != 0)
+          return false;
+      } else {
+        return true;
+      }
+    }
+    return true;
+  }
+
+  Tok lexPercent() {
+    size_t Start = Pos;
+    ++Pos;
+    if (Pos < Text.size() && Text[Pos] == '%') {
+      ++Pos;
+      return Tok{TokKind::Separator, "%%", Line};
+    }
+    while (Pos < Text.size() && isIdentChar(Text[Pos]))
+      ++Pos;
+    return Tok{TokKind::Directive, Text.substr(Start, Pos - Start), Line};
+  }
+
+  Tok lexQuoted(char Quote) {
+    size_t Start = Pos;
+    ++Pos;
+    while (Pos < Text.size() && Text[Pos] != Quote && Text[Pos] != '\n')
+      ++Pos;
+    if (Pos >= Text.size() || Text[Pos] != Quote)
+      return fail("unterminated quoted symbol");
+    ++Pos;
+    return Tok{TokKind::Ident, Text.substr(Start, Pos - Start), Line};
+  }
+
+  Tok lexIdent() {
+    size_t Start = Pos;
+    while (Pos < Text.size() && isIdentChar(Text[Pos]))
+      ++Pos;
+    return Tok{TokKind::Ident, Text.substr(Start, Pos - Start), Line};
+  }
+
+  const std::string &Text;
+  std::string *Err;
+  size_t Pos = 0;
+  int Line = 1;
+  bool Failed = false;
+};
+
+/// Recursive-descent parser over the token stream, driving a
+/// GrammarBuilder.
+class Parser {
+public:
+  Parser(const std::string &Text, std::string *Err)
+      : Lex(Text, Err), Err(Err) {
+    advance();
+  }
+
+  std::optional<Grammar> run() {
+    if (!parseDeclarations())
+      return std::nullopt;
+    if (!parseRules())
+      return std::nullopt;
+    std::string BuildErr;
+    std::optional<Grammar> G = B.build(&BuildErr);
+    if (!G && Err)
+      *Err = BuildErr;
+    return G;
+  }
+
+private:
+  void advance() { Cur = Lex.next(); }
+
+  bool error(const std::string &Msg) {
+    if (Err && !Lex.failed())
+      *Err = "line " + std::to_string(Cur.Line) + ": " + Msg;
+    return false;
+  }
+
+  bool parseDeclarations() {
+    while (true) {
+      if (Lex.failed())
+        return false;
+      if (Cur.Kind == TokKind::Separator) {
+        advance();
+        return true;
+      }
+      if (Cur.Kind == TokKind::End)
+        return error("expected %% before rules");
+      if (Cur.Kind != TokKind::Directive)
+        return error("expected a %-directive in the declaration section");
+      std::string D = Cur.Text;
+      advance();
+      if (D == "%start") {
+        if (Cur.Kind != TokKind::Ident)
+          return error("%start requires a symbol name");
+        B.start(Cur.Text);
+        advance();
+        continue;
+      }
+      // Directives taking a list of symbol names.
+      std::vector<std::string> Names;
+      while (Cur.Kind == TokKind::Ident) {
+        Names.push_back(Cur.Text);
+        advance();
+      }
+      if (D == "%token" || D == "%type") {
+        if (D == "%token")
+          B.tokens(Names);
+        // %type is accepted and ignored.
+      } else if (D == "%left") {
+        B.left(Names);
+      } else if (D == "%right") {
+        B.right(Names);
+      } else if (D == "%nonassoc") {
+        B.nonassoc(Names);
+      } else if (D == "%precedence") {
+        B.precedence(Names);
+      } else if (D == "%expect" || D == "%expect-rr") {
+        // Conflict-count annotations: one numeric argument.
+        if (Names.size() != 1)
+          return error(D + " requires one numeric argument");
+        int Count = std::atoi(Names[0].c_str());
+        if (D == "%expect")
+          B.expectShiftReduce(Count);
+        else
+          B.expectReduceReduce(Count);
+      } else {
+        return error("unknown directive '" + D + "'");
+      }
+    }
+  }
+
+  bool parseRules() {
+    while (true) {
+      if (Lex.failed())
+        return false;
+      if (Cur.Kind == TokKind::End || Cur.Kind == TokKind::Separator)
+        return true;
+      if (Cur.Kind != TokKind::Ident)
+        return error("expected a rule left-hand side");
+      std::string Lhs = Cur.Text;
+      advance();
+      if (Cur.Kind != TokKind::Colon)
+        return error("expected ':' after rule name '" + Lhs + "'");
+      advance();
+      if (!parseAlternatives(Lhs))
+        return false;
+      if (Cur.Kind == TokKind::Semi)
+        advance();
+      // A missing ';' is tolerated when the next token starts a new rule
+      // or ends the section, matching common yacc laxness only at EOF.
+    }
+  }
+
+  bool parseAlternatives(const std::string &Lhs) {
+    while (true) {
+      std::vector<std::string> Rhs;
+      std::string PrecName;
+      while (Cur.Kind == TokKind::Ident || Cur.Kind == TokKind::Directive) {
+        if (Cur.Kind == TokKind::Directive) {
+          if (Cur.Text == "%prec") {
+            advance();
+            if (Cur.Kind != TokKind::Ident)
+              return error("%prec requires a symbol name");
+            PrecName = Cur.Text;
+            advance();
+          } else if (Cur.Text == "%empty") {
+            advance();
+          } else {
+            return error("unexpected directive '" + Cur.Text +
+                         "' inside a rule");
+          }
+          continue;
+        }
+        Rhs.push_back(Cur.Text);
+        advance();
+      }
+      B.rule(Lhs, Rhs, PrecName);
+      if (Cur.Kind == TokKind::Pipe) {
+        advance();
+        continue;
+      }
+      if (Cur.Kind == TokKind::Semi || Cur.Kind == TokKind::End ||
+          Cur.Kind == TokKind::Separator)
+        return true;
+      return error("expected '|', ';', or end of rules");
+    }
+  }
+
+  Lexer Lex;
+  std::string *Err;
+  Tok Cur{TokKind::End, "", 0};
+  GrammarBuilder B;
+};
+
+} // namespace
+
+std::optional<Grammar>
+lalrcex::parseGrammarText(const std::string &Text,
+                          std::string *ErrorMessage) {
+  Parser P(Text, ErrorMessage);
+  return P.run();
+}

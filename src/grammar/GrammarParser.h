@@ -1,0 +1,49 @@
+//===- grammar/GrammarParser.h - Yacc-like grammar text format -*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses a yacc-like textual grammar description into a Grammar.
+///
+/// Supported syntax:
+/// \code
+///   /* comments */  // line comments
+///   %token NAME ...            (optional <tag> after the directive)
+///   %left  '+' '-'             (one precedence level per line, later
+///   %right UMINUS               lines bind tighter)
+///   %nonassoc '<'
+///   %precedence NAME
+///   %start name
+///   %%
+///   name : sym sym ...         (empty alternative or %empty for epsilon)
+///        | sym ... %prec NAME
+///        ;
+///   %%                          (anything after a second %% is ignored)
+/// \endcode
+///
+/// Quoted symbols ('+', "then") denote terminals; the quotes are kept in
+/// the symbol name. Semantic action blocks { ... } are skipped. Undeclared
+/// identifiers that never appear as a rule left-hand side become terminals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_GRAMMAR_GRAMMARPARSER_H
+#define LALRCEX_GRAMMAR_GRAMMARPARSER_H
+
+#include "grammar/Grammar.h"
+
+#include <optional>
+#include <string>
+
+namespace lalrcex {
+
+/// Parses \p Text into a Grammar. On failure returns std::nullopt and, if
+/// \p ErrorMessage is non-null, a message of the form "line N: ...".
+std::optional<Grammar> parseGrammarText(const std::string &Text,
+                                        std::string *ErrorMessage = nullptr);
+
+} // namespace lalrcex
+
+#endif // LALRCEX_GRAMMAR_GRAMMARPARSER_H

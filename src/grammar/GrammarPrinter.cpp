@@ -1,0 +1,102 @@
+//===- grammar/GrammarPrinter.cpp ------------------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/GrammarPrinter.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace lalrcex;
+
+std::string lalrcex::printGrammarText(const Grammar &G) {
+  std::string Out;
+
+  // %token for every terminal except "$" (quoted names carry their own
+  // quoting and need no declaration, but listing them is harmless and
+  // keeps the output explicit). Precedence-declared terminals are
+  // declared by their precedence lines instead.
+  std::string Tokens;
+  for (unsigned T = 1; T != G.numTerminals(); ++T) {
+    Symbol S{int32_t(T)};
+    if (G.precedenceLevel(S) != 0)
+      continue;
+    Tokens += " " + G.name(S);
+  }
+  if (!Tokens.empty())
+    Out += "%token" + Tokens + "\n";
+
+  // Precedence levels in increasing (later = tighter) order.
+  std::map<int, std::pair<Assoc, std::string>> Levels;
+  for (unsigned T = 1; T != G.numTerminals(); ++T) {
+    Symbol S{int32_t(T)};
+    int L = G.precedenceLevel(S);
+    if (L == 0)
+      continue;
+    auto &Entry = Levels[L];
+    Entry.first = G.associativity(S);
+    Entry.second += " " + G.name(S);
+  }
+  for (const auto &[Level, Decl] : Levels) {
+    (void)Level;
+    const char *Dir = "%precedence";
+    switch (Decl.first) {
+    case Assoc::Left:
+      Dir = "%left";
+      break;
+    case Assoc::Right:
+      Dir = "%right";
+      break;
+    case Assoc::Nonassoc:
+      Dir = "%nonassoc";
+      break;
+    case Assoc::None:
+      Dir = "%precedence";
+      break;
+    }
+    Out += std::string(Dir) + Decl.second + "\n";
+  }
+
+  if (G.expectedShiftReduce() >= 0)
+    Out += "%expect " + std::to_string(G.expectedShiftReduce()) + "\n";
+  if (G.expectedReduceReduce() >= 0)
+    Out += "%expect-rr " + std::to_string(G.expectedReduceReduce()) + "\n";
+  Out += "%start " + G.name(G.startSymbol()) + "\n%%\n";
+
+  // Rules grouped by nonterminal, in first-production order.
+  std::vector<Symbol> Order;
+  for (unsigned P = 0; P != G.numProductions(); ++P) {
+    if (P == G.augmentedProduction())
+      continue;
+    Symbol Lhs = G.production(P).Lhs;
+    if (std::find(Order.begin(), Order.end(), Lhs) == Order.end())
+      Order.push_back(Lhs);
+  }
+
+  for (Symbol Lhs : Order) {
+    Out += G.name(Lhs) + " :";
+    bool FirstAlt = true;
+    for (unsigned P : G.productionsOf(Lhs)) {
+      if (!FirstAlt)
+        Out += "\n  |";
+      FirstAlt = false;
+      const Production &Prod = G.production(P);
+      for (Symbol S : Prod.Rhs)
+        Out += " " + G.name(S);
+      // Emit %prec when it differs from the default (last terminal).
+      Symbol DefaultPrec;
+      for (auto It = Prod.Rhs.rbegin(); It != Prod.Rhs.rend(); ++It) {
+        if (G.isTerminal(*It)) {
+          DefaultPrec = *It;
+          break;
+        }
+      }
+      if (Prod.PrecSym.valid() && Prod.PrecSym != DefaultPrec)
+        Out += " %prec " + G.name(Prod.PrecSym);
+    }
+    Out += " ;\n";
+  }
+  return Out;
+}

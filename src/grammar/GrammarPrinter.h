@@ -1,0 +1,31 @@
+//===- grammar/GrammarPrinter.h - Grammar serialization --------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes a Grammar back into the yacc-like text format accepted by
+/// parseGrammarText. Round-tripping (parse, print, parse) yields an
+/// identical grammar, which the tests verify.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_GRAMMAR_GRAMMARPRINTER_H
+#define LALRCEX_GRAMMAR_GRAMMARPRINTER_H
+
+#include "grammar/Grammar.h"
+
+#include <string>
+
+namespace lalrcex {
+
+/// Renders \p G in the parseGrammarText format: %token declarations for
+/// terminals, precedence declarations in level order, %start, and one
+/// rule group per nonterminal in production order. The synthetic
+/// augmented production is omitted.
+std::string printGrammarText(const Grammar &G);
+
+} // namespace lalrcex
+
+#endif // LALRCEX_GRAMMAR_GRAMMARPRINTER_H

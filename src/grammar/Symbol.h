@@ -1,0 +1,49 @@
+//===- grammar/Symbol.h - Grammar symbol handle ----------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbol is a lightweight handle identifying a terminal or nonterminal of a
+/// Grammar. Terminals occupy the contiguous id range [0, numTerminals()), so
+/// a terminal's id doubles as its index into lookahead bit sets; nonterminals
+/// follow at [numTerminals(), numSymbols()).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_GRAMMAR_SYMBOL_H
+#define LALRCEX_GRAMMAR_SYMBOL_H
+
+#include <cstdint>
+#include <functional>
+
+namespace lalrcex {
+
+/// A handle to a grammar symbol. Only meaningful relative to the Grammar
+/// that created it. A default-constructed Symbol is invalid.
+class Symbol {
+public:
+  Symbol() = default;
+  explicit Symbol(int32_t Id) : Id(Id) {}
+
+  int32_t id() const { return Id; }
+  bool valid() const { return Id >= 0; }
+
+  bool operator==(const Symbol &Other) const { return Id == Other.Id; }
+  bool operator!=(const Symbol &Other) const { return Id != Other.Id; }
+  bool operator<(const Symbol &Other) const { return Id < Other.Id; }
+
+private:
+  int32_t Id = -1;
+};
+
+} // namespace lalrcex
+
+template <> struct std::hash<lalrcex::Symbol> {
+  size_t operator()(const lalrcex::Symbol &S) const {
+    return std::hash<int32_t>()(S.id());
+  }
+};
+
+#endif // LALRCEX_GRAMMAR_SYMBOL_H

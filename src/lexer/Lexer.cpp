@@ -1,0 +1,163 @@
+//===- lexer/Lexer.cpp ------------------------------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexer/Lexer.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace lalrcex;
+
+namespace {
+
+bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+bool isAlphabetic(const std::string &S) {
+  if (S.empty())
+    return false;
+  for (char C : S)
+    if (!std::isalpha(static_cast<unsigned char>(C)))
+      return false;
+  return true;
+}
+
+} // namespace
+
+LexSpec LexSpec::fromGrammar(const Grammar &G) {
+  LexSpec Spec(G);
+  for (unsigned T = 1; T != G.numTerminals(); ++T) {
+    Symbol S{int32_t(T)};
+    const std::string &Name = G.name(S);
+    if (Name.size() >= 3 && (Name.front() == '\'' || Name.front() == '"') &&
+        Name.back() == Name.front()) {
+      // Quoted terminal: the spelling is the content between the quotes.
+      Spec.literal(Name.substr(1, Name.size() - 2), S);
+    } else if (isAlphabetic(Name)) {
+      // Keyword-style terminal (if, then, else, ...).
+      Spec.literal(Name, S);
+    }
+    // Other terminals (NUM, IDENT, COMPARISON, ...) are wired manually.
+  }
+  return Spec;
+}
+
+LexSpec &LexSpec::literal(const std::string &Text, Symbol Terminal) {
+  Literals.emplace_back(Text, Terminal);
+  // Keep longest-first so maximal munch is a linear scan.
+  std::sort(Literals.begin(), Literals.end(),
+            [](const auto &A, const auto &B) {
+              if (A.first.size() != B.first.size())
+                return A.first.size() > B.first.size();
+              return A.first < B.first;
+            });
+  return *this;
+}
+
+LexOutcome LexSpec::tokenize(const std::string &Text) const {
+  LexOutcome Out;
+  size_t Pos = 0;
+  const size_t N = Text.size();
+
+  auto fail = [&Out](size_t At, const std::string &Msg) {
+    Out.Ok = false;
+    Out.ErrorOffset = At;
+    Out.ErrorMessage =
+        "lex error at offset " + std::to_string(At) + ": " + Msg;
+    return Out;
+  };
+
+  while (Pos < N) {
+    char C = Text[Pos];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++Pos;
+      continue;
+    }
+    if (C == '/' && Pos + 1 < N && Text[Pos + 1] == '/') {
+      while (Pos < N && Text[Pos] != '\n')
+        ++Pos;
+      continue;
+    }
+
+    // Identifiers and keywords: lex the whole word, then prefer an exact
+    // literal (keyword) match over the identifier rule.
+    if (isIdentStart(C)) {
+      size_t Start = Pos;
+      while (Pos < N && isIdentChar(Text[Pos]))
+        ++Pos;
+      std::string Word = Text.substr(Start, Pos - Start);
+      Symbol Terminal = IdentTerminal;
+      for (const auto &[Spelling, Sym] : Literals) {
+        if (Spelling == Word) {
+          Terminal = Sym;
+          break;
+        }
+      }
+      if (!Terminal.valid())
+        return fail(Start, "unexpected word '" + Word + "'");
+      Out.Tokens.push_back(Token{Terminal, Word, Start});
+      continue;
+    }
+
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      if (!NumberTerminal.valid())
+        return fail(Pos, "numbers are not part of this language");
+      size_t Start = Pos;
+      while (Pos < N && std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+      if (Pos + 1 < N && Text[Pos] == '.' &&
+          std::isdigit(static_cast<unsigned char>(Text[Pos + 1]))) {
+        ++Pos;
+        while (Pos < N &&
+               std::isdigit(static_cast<unsigned char>(Text[Pos])))
+          ++Pos;
+      }
+      Out.Tokens.push_back(
+          Token{NumberTerminal, Text.substr(Start, Pos - Start), Start});
+      continue;
+    }
+
+    // String literals.
+    if (C == '"' && StringTerminal.valid()) {
+      size_t Start = Pos++;
+      std::string Value;
+      while (Pos < N && Text[Pos] != '"') {
+        if (Text[Pos] == '\\' && Pos + 1 < N)
+          ++Pos;
+        Value += Text[Pos++];
+      }
+      if (Pos == N)
+        return fail(Start, "unterminated string literal");
+      ++Pos; // closing quote
+      Out.Tokens.push_back(Token{StringTerminal, Value, Start});
+      continue;
+    }
+
+    // Punctuation literals, longest first.
+    bool Matched = false;
+    for (const auto &[Spelling, Sym] : Literals) {
+      if (Text.compare(Pos, Spelling.size(), Spelling) == 0) {
+        // Alphabetic literals were handled by the word rule; skip them so
+        // "thenX" does not lex as "then" + "X".
+        if (isIdentStart(Spelling[0]))
+          continue;
+        Out.Tokens.push_back(Token{Sym, Spelling, Pos});
+        Pos += Spelling.size();
+        Matched = true;
+        break;
+      }
+    }
+    if (!Matched)
+      return fail(Pos, std::string("unexpected character '") + C + "'");
+  }
+
+  Out.Ok = true;
+  return Out;
+}

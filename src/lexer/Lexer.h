@@ -1,0 +1,110 @@
+//===- lexer/Lexer.h - Tokenizer substrate ----------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small maximal-munch tokenizer that turns real program text into the
+/// terminal symbols of a Grammar, so the parser runtime and the examples
+/// can run on actual input rather than space-separated token names. (The
+/// paper's CUP implementation pairs with a JFlex lexer; this is the
+/// equivalent substrate.)
+///
+/// A LexSpec maps surface syntax to terminals three ways:
+///   - literals: exact strings ("(", ":=", "then"), longest match wins;
+///   - an identifier rule: [A-Za-z_][A-Za-z0-9_]* for names that are not
+///     literal keywords;
+///   - a number rule: [0-9]+ (with optional fraction).
+///
+/// LexSpec::fromGrammar derives a spec automatically: quoted terminals
+/// ('+', ':=') become literals with the quotes stripped, purely
+/// alphabetic lowercase terminal names become keywords, and the caller
+/// wires identifier/number terminals explicitly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_LEXER_LEXER_H
+#define LALRCEX_LEXER_LEXER_H
+
+#include "grammar/Grammar.h"
+
+#include <string>
+#include <vector>
+
+namespace lalrcex {
+
+/// A lexed token: the terminal symbol plus the matched text and offset.
+struct Token {
+  Symbol Terminal;
+  std::string Text;
+  size_t Offset = 0;
+};
+
+/// Result of tokenizing a string.
+struct LexOutcome {
+  bool Ok = false;
+  std::vector<Token> Tokens;
+  size_t ErrorOffset = 0;
+  std::string ErrorMessage;
+
+  /// Just the terminal symbols, ready for LrParser::parse.
+  std::vector<Symbol> symbols() const {
+    std::vector<Symbol> Out;
+    Out.reserve(Tokens.size());
+    for (const Token &T : Tokens)
+      Out.push_back(T.Terminal);
+    return Out;
+  }
+};
+
+/// Maps surface text to the terminals of one grammar.
+class LexSpec {
+public:
+  /// Derives a spec from \p G: quoted terminals become literals (quotes
+  /// stripped) and alphabetic terminal names become keywords. Identifier
+  /// and number terminals must still be wired via identifiers()/numbers().
+  static LexSpec fromGrammar(const Grammar &G);
+
+  /// An empty spec for \p G (everything wired manually).
+  explicit LexSpec(const Grammar &G) : G(&G) {}
+
+  /// Maps the exact string \p Text to \p Terminal.
+  LexSpec &literal(const std::string &Text, Symbol Terminal);
+
+  /// Identifiers ([A-Za-z_][A-Za-z0-9_]*) that are not keywords lex as
+  /// \p Terminal.
+  LexSpec &identifiers(Symbol Terminal) {
+    IdentTerminal = Terminal;
+    return *this;
+  }
+
+  /// Numbers ([0-9]+ with optional ".[0-9]+") lex as \p Terminal.
+  LexSpec &numbers(Symbol Terminal) {
+    NumberTerminal = Terminal;
+    return *this;
+  }
+
+  /// Double-quoted string literals (with backslash escapes) lex as
+  /// \p Terminal.
+  LexSpec &strings(Symbol Terminal) {
+    StringTerminal = Terminal;
+    return *this;
+  }
+
+  /// Tokenizes \p Text. Whitespace separates tokens and is skipped; "//"
+  /// comments run to end of line.
+  LexOutcome tokenize(const std::string &Text) const;
+
+private:
+  const Grammar *G;
+  /// Literal spellings, each mapping to a terminal. Matched longest-first.
+  std::vector<std::pair<std::string, Symbol>> Literals;
+  Symbol IdentTerminal;
+  Symbol NumberTerminal;
+  Symbol StringTerminal;
+};
+
+} // namespace lalrcex
+
+#endif // LALRCEX_LEXER_LEXER_H

@@ -1,0 +1,393 @@
+//===- lr/Automaton.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lr/Automaton.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <unordered_set>
+
+using namespace lalrcex;
+
+int Automaton::State::indexOfItem(const Item &I) const {
+  for (unsigned Idx = 0, E = unsigned(Items.size()); Idx != E; ++Idx)
+    if (Items[Idx] == I)
+      return int(Idx);
+  return -1;
+}
+
+Automaton::Automaton(const Grammar &G, const GrammarAnalysis &Analysis,
+                     AutomatonKind Kind)
+    : G(G), Analysis(Analysis), Kind(Kind) {
+  assert(&Analysis.grammar() == &G && "analysis built for another grammar");
+  if (Kind == AutomatonKind::Canonical) {
+    buildCanonical();
+    return;
+  }
+  buildLr0();
+  computeKernelLookaheads();
+  computeClosureLookaheads();
+}
+
+void Automaton::buildCanonical() {
+  // Canonical LR(1): a state is a kernel of (item, lookahead set) pairs;
+  // states with equal kernels but different lookaheads stay distinct.
+  using Kernel = std::vector<std::pair<Item, IndexSet>>;
+
+  struct KernelLess {
+    bool operator()(const Kernel &A, const Kernel &B) const {
+      if (A.size() != B.size())
+        return A.size() < B.size();
+      for (size_t I = 0; I != A.size(); ++I) {
+        if (A[I].first != B[I].first)
+          return A[I].first < B[I].first;
+        // Compare lookahead sets element-wise for a total order.
+        std::vector<unsigned> EA = A[I].second.elements();
+        std::vector<unsigned> EB = B[I].second.elements();
+        if (EA != EB)
+          return EA < EB;
+      }
+      return false;
+    }
+  };
+
+  std::map<Kernel, unsigned, KernelLess> KernelToState;
+  std::deque<unsigned> Work;
+
+  // LR(1) closure of a kernel: item -> merged lookahead set, iterated to
+  // an in-set fixpoint; kernel items first, closure items in discovery
+  // order.
+  auto close = [this](const Kernel &K, State &Out) {
+    Out.Items.clear();
+    Out.Lookaheads.clear();
+    Out.NumKernel = unsigned(K.size());
+    std::map<uint64_t, unsigned> Index; // item key -> position
+    for (const auto &[Itm, L] : K) {
+      Index[Itm.key()] = unsigned(Out.Items.size());
+      Out.Items.push_back(Itm);
+      Out.Lookaheads.push_back(L);
+    }
+    std::deque<unsigned> Pending;
+    for (unsigned I = 0; I != Out.Items.size(); ++I)
+      Pending.push_back(I);
+    std::vector<bool> InPending(Out.Items.size(), true);
+    while (!Pending.empty()) {
+      unsigned I = Pending.front();
+      Pending.pop_front();
+      InPending[I] = false;
+      Symbol Next = Out.Items[I].afterDot(G);
+      if (!Next.valid() || G.isTerminal(Next))
+        continue;
+      const Production &P = G.production(Out.Items[I].Prod);
+      IndexSet Follow = Analysis.firstOfSequence(P.Rhs, Out.Items[I].Dot + 1,
+                                                 &Out.Lookaheads[I]);
+      for (unsigned Q : G.productionsOf(Next)) {
+        Item Step(Q, 0);
+        auto [It, Inserted] =
+            Index.emplace(Step.key(), unsigned(Out.Items.size()));
+        if (Inserted) {
+          Out.Items.push_back(Step);
+          Out.Lookaheads.push_back(Follow);
+          Pending.push_back(It->second);
+          InPending.push_back(true);
+        } else if (Out.Lookaheads[It->second].unionWith(Follow) &&
+                   !InPending[It->second]) {
+          Pending.push_back(It->second);
+          InPending[It->second] = true;
+        }
+      }
+    }
+  };
+
+  auto internState = [&](Kernel K) -> unsigned {
+    std::sort(K.begin(), K.end(),
+              [](const auto &A, const auto &B) { return A.first < B.first; });
+    auto It = KernelToState.find(K);
+    if (It != KernelToState.end())
+      return It->second;
+    unsigned Index = unsigned(States.size());
+    KernelToState.emplace(K, Index);
+    States.emplace_back();
+    close(K, States.back());
+    Work.push_back(Index);
+    return Index;
+  };
+
+  {
+    Kernel Start;
+    Start.emplace_back(Item(G.augmentedProduction(), 0),
+                       IndexSet::singleton(G.numTerminals(),
+                                           unsigned(G.eof().id())));
+    internState(std::move(Start));
+  }
+
+  while (!Work.empty()) {
+    unsigned Index = Work.front();
+    Work.pop_front();
+    // Group (advanced item, lookahead) pairs by the symbol after the dot.
+    std::map<Symbol, Kernel> Moves;
+    for (unsigned I = 0; I != States[Index].Items.size(); ++I) {
+      const Item &Itm = States[Index].Items[I];
+      Symbol Next = Itm.afterDot(G);
+      if (!Next.valid())
+        continue;
+      Kernel &K = Moves[Next];
+      // Merge lookaheads if the advanced item is already in the kernel.
+      bool Merged = false;
+      for (auto &[KItm, L] : K) {
+        if (KItm == Itm.advanced()) {
+          L.unionWith(States[Index].Lookaheads[I]);
+          Merged = true;
+          break;
+        }
+      }
+      if (!Merged)
+        K.emplace_back(Itm.advanced(), States[Index].Lookaheads[I]);
+    }
+    for (auto &[Sym, K] : Moves) {
+      unsigned Target = internState(std::move(K));
+      States[Index].Transitions.emplace_back(Sym, Target);
+    }
+  }
+}
+
+std::vector<Item> Automaton::closure(const std::vector<Item> &Kernel,
+                                     unsigned *NumKernel) const {
+  std::vector<Item> Items = Kernel;
+  *NumKernel = unsigned(Kernel.size());
+  std::unordered_set<uint32_t> ClosedProds;
+  // Kernel items with dot 0 only occur for the augmented production; treat
+  // any dot-0 kernel item as already closed to avoid duplicates.
+  for (const Item &I : Kernel)
+    if (I.Dot == 0)
+      ClosedProds.insert(I.Prod);
+
+  for (size_t Idx = 0; Idx != Items.size(); ++Idx) {
+    Symbol Next = Items[Idx].afterDot(G);
+    if (!Next.valid() || G.isTerminal(Next))
+      continue;
+    for (unsigned P : G.productionsOf(Next))
+      if (ClosedProds.insert(P).second)
+        Items.push_back(Item(P, 0));
+  }
+  return Items;
+}
+
+void Automaton::buildLr0() {
+  std::map<std::vector<Item>, unsigned> KernelToState;
+  std::deque<unsigned> Work;
+
+  auto internState = [&](std::vector<Item> Kernel) -> unsigned {
+    std::sort(Kernel.begin(), Kernel.end());
+    auto It = KernelToState.find(Kernel);
+    if (It != KernelToState.end())
+      return It->second;
+    unsigned Index = unsigned(States.size());
+    KernelToState.emplace(Kernel, Index);
+    State S;
+    S.Items = closure(Kernel, &S.NumKernel);
+    States.push_back(std::move(S));
+    Work.push_back(Index);
+    return Index;
+  };
+
+  internState({Item(G.augmentedProduction(), 0)});
+
+  while (!Work.empty()) {
+    unsigned Index = Work.front();
+    Work.pop_front();
+    // Group items by the symbol after the dot. Use a map for a
+    // deterministic transition order.
+    std::map<Symbol, std::vector<Item>> Moves;
+    for (const Item &I : States[Index].Items) {
+      Symbol Next = I.afterDot(G);
+      if (Next.valid())
+        Moves[Next].push_back(I.advanced());
+    }
+    for (auto &[Sym, Kernel] : Moves) {
+      unsigned Target = internState(std::move(Kernel));
+      States[Index].Transitions.emplace_back(Sym, Target);
+    }
+  }
+}
+
+int Automaton::transition(unsigned StateIndex, Symbol S) const {
+  const auto &Ts = States[StateIndex].Transitions;
+  auto It = std::lower_bound(
+      Ts.begin(), Ts.end(), S,
+      [](const std::pair<Symbol, unsigned> &T, Symbol S) {
+        return T.first < S;
+      });
+  if (It != Ts.end() && It->first == S)
+    return int(It->second);
+  return -1;
+}
+
+void Automaton::computeKernelLookaheads() {
+  const unsigned NumTerminals = G.numTerminals();
+  // The probe universe has one extra pseudo-terminal "#" used to discover
+  // propagation.
+  const unsigned Hash = NumTerminals;
+  const unsigned ProbeUniverse = NumTerminals + 1;
+
+  // Kernel lookaheads, indexed [state][kernel item index].
+  std::vector<std::vector<IndexSet>> KernelLA(States.size());
+  for (size_t S = 0; S != States.size(); ++S)
+    KernelLA[S].assign(States[S].NumKernel, IndexSet(NumTerminals));
+
+  struct PropLink {
+    unsigned FromState, FromItem, ToState, ToItem;
+  };
+  std::vector<PropLink> Links;
+
+  // FIRST over the probe universe: FIRST(beta) plus, when beta is
+  // nullable, the probing lookahead set.
+  auto probeFollow = [&](const std::vector<Symbol> &Rhs, size_t From,
+                         const IndexSet &L) {
+    IndexSet Out(ProbeUniverse);
+    bool AllNullable = true;
+    for (size_t I = From, E = Rhs.size(); I != E; ++I) {
+      Analysis.first(Rhs[I]).forEach([&Out](unsigned T) { Out.insert(T); });
+      if (!Analysis.isNullable(Rhs[I])) {
+        AllNullable = false;
+        break;
+      }
+    }
+    if (AllNullable)
+      Out.unionWith(L);
+    return Out;
+  };
+
+  // For each kernel item, run an LR(1) closure probe with lookahead {#}.
+  for (unsigned SI = 0, SE = unsigned(States.size()); SI != SE; ++SI) {
+    const State &St = States[SI];
+    for (unsigned KI = 0; KI != St.NumKernel; ++KI) {
+      // Probe closure: item -> probe lookahead set.
+      // Closure items all have dot 0, so key by production.
+      IndexSet KernelProbe(ProbeUniverse);
+      KernelProbe.insert(Hash);
+      std::map<uint32_t, IndexSet> ClosureLA; // production -> probe set
+
+      // Worklist of (item, lookahead snapshot to expand).
+      struct WorkEntry {
+        Item I;
+        IndexSet L;
+      };
+      std::vector<WorkEntry> Work;
+      Work.push_back({St.Items[KI], KernelProbe});
+      while (!Work.empty()) {
+        WorkEntry E = std::move(Work.back());
+        Work.pop_back();
+        Symbol Next = E.I.afterDot(G);
+        if (!Next.valid() || G.isTerminal(Next))
+          continue;
+        IndexSet Follow =
+            probeFollow(G.production(E.I.Prod).Rhs, E.I.Dot + 1, E.L);
+        for (unsigned P : G.productionsOf(Next)) {
+          auto [It, Inserted] =
+              ClosureLA.emplace(P, IndexSet(ProbeUniverse));
+          bool Changed = It->second.unionWith(Follow);
+          if (Inserted || Changed)
+            Work.push_back({Item(P, 0), It->second});
+        }
+      }
+
+      // Harvest spontaneous lookaheads and propagation links from every
+      // probed item that has a transition.
+      auto harvest = [&](const Item &I, const IndexSet &L) {
+        Symbol Next = I.afterDot(G);
+        if (!Next.valid())
+          return;
+        int Target = transition(SI, Next);
+        assert(Target >= 0 && "missing transition for item symbol");
+        const State &TargetState = States[unsigned(Target)];
+        int TargetItem = TargetState.indexOfItem(I.advanced());
+        assert(TargetItem >= 0 && unsigned(TargetItem) < TargetState.NumKernel &&
+               "advanced item must be in the target kernel");
+        L.forEach([&](unsigned T) {
+          if (T == Hash) {
+            Links.push_back({SI, KI, unsigned(Target), unsigned(TargetItem)});
+          } else {
+            KernelLA[unsigned(Target)][unsigned(TargetItem)].insert(T);
+          }
+        });
+      };
+
+      harvest(St.Items[KI], KernelProbe);
+      for (const auto &[Prod, L] : ClosureLA)
+        harvest(Item(Prod, 0), L);
+    }
+  }
+
+  // The augmented item starts with end-of-input lookahead.
+  {
+    int AugIdx = States[0].indexOfItem(Item(G.augmentedProduction(), 0));
+    assert(AugIdx >= 0 && "start state lacks the augmented item");
+    KernelLA[0][unsigned(AugIdx)].insert(G.eof().id());
+  }
+
+  // Propagate to fixpoint.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const PropLink &L : Links)
+      Changed |= KernelLA[L.ToState][L.ToItem].unionWith(
+          KernelLA[L.FromState][L.FromItem]);
+  }
+
+  for (size_t S = 0; S != States.size(); ++S) {
+    States[S].Lookaheads.assign(States[S].Items.size(),
+                                IndexSet(NumTerminals));
+    for (unsigned KI = 0; KI != States[S].NumKernel; ++KI)
+      States[S].Lookaheads[KI] = std::move(KernelLA[S][KI]);
+  }
+}
+
+void Automaton::computeClosureLookaheads() {
+  for (State &St : States) {
+    // Map production -> index of its dot-0 closure item in this state.
+    std::map<uint32_t, unsigned> ClosureIndex;
+    for (unsigned I = 0, E = unsigned(St.Items.size()); I != E; ++I)
+      if (St.Items[I].Dot == 0)
+        ClosureIndex[St.Items[I].Prod] = I;
+
+    // In-state fixpoint of the LR(1) closure rule.
+    std::deque<unsigned> Work;
+    for (unsigned I = 0, E = unsigned(St.Items.size()); I != E; ++I)
+      Work.push_back(I);
+    std::vector<bool> InWork(St.Items.size(), true);
+    while (!Work.empty()) {
+      unsigned I = Work.front();
+      Work.pop_front();
+      InWork[I] = false;
+      Symbol Next = St.Items[I].afterDot(G);
+      if (!Next.valid() || G.isTerminal(Next))
+        continue;
+      const Production &P = G.production(St.Items[I].Prod);
+      IndexSet Follow = Analysis.firstOfSequence(P.Rhs, St.Items[I].Dot + 1,
+                                                 &St.Lookaheads[I]);
+      for (unsigned Q : G.productionsOf(Next)) {
+        auto It = ClosureIndex.find(Q);
+        assert(It != ClosureIndex.end() && "closure item missing");
+        unsigned CI = It->second;
+        if (St.Lookaheads[CI].unionWith(Follow) && !InWork[CI]) {
+          Work.push_back(CI);
+          InWork[CI] = true;
+        }
+      }
+    }
+  }
+}
+
+const IndexSet &Automaton::lookahead(unsigned StateIndex,
+                                     const Item &I) const {
+  const State &St = States[StateIndex];
+  int Idx = St.indexOfItem(I);
+  assert(Idx >= 0 && "item not present in state");
+  return St.Lookaheads[unsigned(Idx)];
+}

@@ -1,0 +1,107 @@
+//===- lr/Automaton.h - LALR(1) parser state machine -----------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical LR(0) collection with LALR(1) lookahead sets.
+///
+/// Construction proceeds in three phases:
+///   1. the canonical LR(0) collection (states = kernel item sets, plus the
+///      closure items of each state);
+///   2. LALR(1) lookaheads of kernel items, via the classic
+///      spontaneous-generation / propagation algorithm (Dragon Book
+///      algorithm 4.63, i.e. the practical form of DeRemer-Pennello);
+///   3. lookaheads of closure items within each state, by an in-state
+///      fixpoint of the LR(1) closure rule.
+///
+/// Every item of every state therefore carries the merged LALR(1)
+/// lookahead set that the paper's counterexample algorithms consume.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_LR_AUTOMATON_H
+#define LALRCEX_LR_AUTOMATON_H
+
+#include "grammar/Analysis.h"
+#include "grammar/Grammar.h"
+#include "lr/Item.h"
+#include "support/IndexSet.h"
+
+#include <vector>
+
+namespace lalrcex {
+
+/// Which parser state machine to construct.
+enum class AutomatonKind {
+  /// LR(0) states with merged LALR(1) lookaheads (the paper's setting and
+  /// the default). Compact, but lookahead merging can manufacture
+  /// conflicts no single context exhibits.
+  Lalr1,
+  /// Canonical LR(1): states are distinguished by their lookahead sets.
+  /// Larger, but free of merge artifacts; the counterexample machinery
+  /// works on it unchanged.
+  Canonical,
+};
+
+/// The LALR(1) (or canonical LR(1)) parser state machine for a grammar.
+class Automaton {
+public:
+  /// One parser state: its items (kernel first, then closure, in a
+  /// deterministic order), their LALR(1) lookahead sets, and its outgoing
+  /// transitions.
+  struct State {
+    /// Kernel + closure items; the first NumKernel entries are the kernel.
+    std::vector<Item> Items;
+    unsigned NumKernel = 0;
+    /// Lookahead sets, parallel to Items, over the terminal universe.
+    std::vector<IndexSet> Lookaheads;
+    /// Outgoing transitions, sorted by symbol id.
+    std::vector<std::pair<Symbol, unsigned>> Transitions;
+
+    /// Index of \p I within Items, or -1 if absent.
+    int indexOfItem(const Item &I) const;
+  };
+
+  /// Builds the automaton. \p Analysis must refer to \p G; both must
+  /// outlive the automaton.
+  Automaton(const Grammar &G, const GrammarAnalysis &Analysis,
+            AutomatonKind Kind = AutomatonKind::Lalr1);
+
+  const Grammar &grammar() const { return G; }
+  const GrammarAnalysis &analysis() const { return Analysis; }
+  AutomatonKind kind() const { return Kind; }
+
+  unsigned numStates() const { return unsigned(States.size()); }
+  const State &state(unsigned Index) const { return States[Index]; }
+
+  /// The start state (always 0).
+  unsigned startState() const { return 0; }
+
+  /// Target of the transition from \p StateIndex on \p S, or -1 if none.
+  int transition(unsigned StateIndex, Symbol S) const;
+
+  /// Lookahead set of \p I in state \p StateIndex. The item must exist.
+  const IndexSet &lookahead(unsigned StateIndex, const Item &I) const;
+
+private:
+  void buildLr0();
+  void computeKernelLookaheads();
+  void computeClosureLookaheads();
+  void buildCanonical();
+
+  /// The closure item set of a kernel (LR(0) closure), returning items in
+  /// deterministic order with kernel items first.
+  std::vector<Item> closure(const std::vector<Item> &Kernel,
+                            unsigned *NumKernel) const;
+
+  const Grammar &G;
+  const GrammarAnalysis &Analysis;
+  AutomatonKind Kind;
+  std::vector<State> States;
+};
+
+} // namespace lalrcex
+
+#endif // LALRCEX_LR_AUTOMATON_H

@@ -1,0 +1,64 @@
+//===- lr/AutomatonPrinter.cpp ---------------------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lr/AutomatonPrinter.h"
+
+using namespace lalrcex;
+
+std::string lalrcex::describeState(const Automaton &M, unsigned StateIndex,
+                                   const ParseTable *Table) {
+  const Grammar &G = M.grammar();
+  const Automaton::State &St = M.state(StateIndex);
+  std::string Out = "State " + std::to_string(StateIndex) + "\n";
+
+  for (unsigned I = 0; I != St.Items.size(); ++I) {
+    Out += "  " + G.productionString(St.Items[I].Prod,
+                                     int(St.Items[I].Dot));
+    Out += "   {";
+    bool First = true;
+    St.Lookaheads[I].forEach([&](unsigned T) {
+      Out += (First ? " " : ", ") + G.name(Symbol{int32_t(T)});
+      First = false;
+    });
+    Out += " }";
+    if (I < St.NumKernel)
+      Out += "  (kernel)";
+    Out += "\n";
+  }
+
+  if (!St.Transitions.empty()) {
+    Out += "  transitions:";
+    for (const auto &[Sym, Target] : St.Transitions)
+      Out += " " + G.name(Sym) + "->" + std::to_string(Target);
+    Out += "\n";
+  }
+
+  if (Table) {
+    std::string Actions;
+    for (unsigned T = 0; T != G.numTerminals(); ++T) {
+      Action A = Table->action(StateIndex, Symbol{int32_t(T)});
+      if (A.K == Action::Reduce) {
+        Actions += "    on " + G.name(Symbol{int32_t(T)}) + ": reduce " +
+                   G.productionString(A.Target) + "\n";
+      } else if (A.K == Action::Accept) {
+        Actions += "    on " + G.name(Symbol{int32_t(T)}) + ": accept\n";
+      }
+    }
+    if (!Actions.empty())
+      Out += "  reductions:\n" + Actions;
+  }
+  return Out;
+}
+
+std::string lalrcex::dumpAutomaton(const Automaton &M,
+                                   const ParseTable *Table) {
+  std::string Out;
+  for (unsigned S = 0; S != M.numStates(); ++S) {
+    Out += describeState(M, S, Table);
+    Out += "\n";
+  }
+  return Out;
+}

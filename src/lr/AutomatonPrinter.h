@@ -1,0 +1,35 @@
+//===- lr/AutomatonPrinter.h - Human-readable state dumps ------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bison-style textual reports of the parser state machine: per-state item
+/// sets with lookaheads (as in the paper's Figure 2), transitions, and the
+/// resolved table actions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_LR_AUTOMATONPRINTER_H
+#define LALRCEX_LR_AUTOMATONPRINTER_H
+
+#include "lr/ParseTable.h"
+
+#include <string>
+
+namespace lalrcex {
+
+/// Renders state \p StateIndex in the Figure 2 style: items with
+/// lookahead sets, then transitions; when \p Table is non-null, the
+/// state's reductions/accept actions are appended.
+std::string describeState(const Automaton &M, unsigned StateIndex,
+                          const ParseTable *Table = nullptr);
+
+/// Renders the whole automaton, one state block per state.
+std::string dumpAutomaton(const Automaton &M,
+                          const ParseTable *Table = nullptr);
+
+} // namespace lalrcex
+
+#endif // LALRCEX_LR_AUTOMATONPRINTER_H

@@ -1,0 +1,105 @@
+//===- parser/LrParser.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/LrParser.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace lalrcex;
+
+std::string ParseNode::toSExpr(const Grammar &G) const {
+  if (isLeaf())
+    return G.name(Sym);
+  std::string Out = "(" + G.name(Sym);
+  for (const ParseNodePtr &C : Children)
+    Out += " " + C->toSExpr(G);
+  Out += ")";
+  return Out;
+}
+
+LrParser::LrParser(const ParseTable &Table)
+    : Table(Table), G(Table.automaton().grammar()) {}
+
+ParseOutcome LrParser::parse(const std::vector<Symbol> &Tokens) const {
+  ParseOutcome Out;
+  std::vector<unsigned> States = {Table.automaton().startState()};
+  std::vector<ParseNodePtr> Nodes;
+
+  size_t Pos = 0;
+  while (true) {
+    Symbol Next = Pos < Tokens.size() ? Tokens[Pos] : G.eof();
+    if (!G.isTerminal(Next)) {
+      Out.ErrorIndex = Pos;
+      Out.ErrorMessage =
+          "input symbol '" + G.name(Next) + "' is not a terminal";
+      return Out;
+    }
+    Action A = Table.action(States.back(), Next);
+    switch (A.K) {
+    case Action::Shift:
+      Nodes.push_back(ParseNode::makeLeaf(Next, Pos));
+      States.push_back(A.Target);
+      ++Pos;
+      break;
+    case Action::Reduce: {
+      const Production &P = G.production(A.Target);
+      size_t N = P.Rhs.size();
+      assert(Nodes.size() >= N && States.size() > N && "stack underflow");
+      std::vector<ParseNodePtr> Children(Nodes.end() - long(N), Nodes.end());
+      Nodes.resize(Nodes.size() - N);
+      States.resize(States.size() - N);
+      int Goto = Table.gotoState(States.back(), P.Lhs);
+      if (Goto < 0) {
+        Out.ErrorIndex = Pos;
+        Out.ErrorMessage = "internal error: missing goto for " +
+                           G.name(P.Lhs) + " in state " +
+                           std::to_string(States.back());
+        return Out;
+      }
+      Nodes.push_back(
+          ParseNode::makeNode(P.Lhs, A.Target, std::move(Children)));
+      States.push_back(unsigned(Goto));
+      break;
+    }
+    case Action::Accept:
+      if (Pos != Tokens.size()) {
+        // Only possible when the caller passed the reserved "$" terminal
+        // as an input token; real input cannot trigger an early accept.
+        Out.ErrorIndex = Pos;
+        Out.ErrorMessage = "syntax error at position " +
+                           std::to_string(Pos) +
+                           ": input continues past the accept point";
+        return Out;
+      }
+      assert(Nodes.size() == 1 && "accept with an unreduced stack");
+      Out.Accepted = true;
+      Out.Tree = Nodes.back();
+      return Out;
+    case Action::Error:
+      Out.ErrorIndex = Pos;
+      Out.ErrorMessage = "syntax error at position " + std::to_string(Pos) +
+                         ": unexpected " + G.name(Next);
+      return Out;
+    }
+  }
+}
+
+ParseOutcome LrParser::parseText(const std::string &Text) const {
+  std::vector<Symbol> Tokens;
+  std::istringstream In(Text);
+  std::string Word;
+  while (In >> Word) {
+    Symbol S = G.symbolByName(Word);
+    if (!S.valid() || !G.isTerminal(S)) {
+      ParseOutcome Out;
+      Out.ErrorMessage = "unknown terminal '" + Word + "'";
+      return Out;
+    }
+    Tokens.push_back(S);
+  }
+  return parse(Tokens);
+}

@@ -1,0 +1,57 @@
+//===- parser/LrParser.h - Table-driven LALR parser runtime ----*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A table-driven shift-reduce parser over a ParseTable. Conflicts were
+/// already settled during table construction (by precedence or by the
+/// yacc defaults), so parsing is deterministic. Used by the examples and
+/// to sanity-check resolved grammars against concrete inputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_PARSER_LRPARSER_H
+#define LALRCEX_PARSER_LRPARSER_H
+
+#include "lr/ParseTable.h"
+#include "parser/ParseTree.h"
+
+#include <string>
+#include <vector>
+
+namespace lalrcex {
+
+/// Outcome of a parse.
+struct ParseOutcome {
+  bool Accepted = false;
+  /// The tree for the start symbol, when accepted.
+  ParseNodePtr Tree;
+  /// Index of the offending token ("tokens.size()" for end of input).
+  size_t ErrorIndex = 0;
+  std::string ErrorMessage;
+};
+
+/// Deterministic LALR parser runtime.
+class LrParser {
+public:
+  explicit LrParser(const ParseTable &Table);
+
+  const Grammar &grammar() const { return G; }
+
+  /// Parses a token sequence (terminal symbols, without the trailing $).
+  ParseOutcome parse(const std::vector<Symbol> &Tokens) const;
+
+  /// Convenience: whitespace-separated terminal names, resolved against
+  /// the grammar. An unknown name produces an error outcome.
+  ParseOutcome parseText(const std::string &Text) const;
+
+private:
+  const ParseTable &Table;
+  const Grammar &G;
+};
+
+} // namespace lalrcex
+
+#endif // LALRCEX_PARSER_LRPARSER_H

@@ -1,0 +1,60 @@
+//===- parser/ParseTree.h - Concrete parse trees ---------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete syntax trees produced by the LR parser runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_PARSER_PARSETREE_H
+#define LALRCEX_PARSER_PARSETREE_H
+
+#include "grammar/Grammar.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lalrcex {
+
+struct ParseNode;
+using ParseNodePtr = std::shared_ptr<const ParseNode>;
+
+/// A node of a concrete syntax tree: a terminal leaf (with the index of
+/// the token it matched) or a nonterminal with a production and children.
+struct ParseNode {
+  Symbol Sym;
+  /// Production used at this node; -1 for terminal leaves.
+  int Prod = -1;
+  std::vector<ParseNodePtr> Children;
+  /// For leaves, the input position of the matched token.
+  size_t TokenIndex = 0;
+
+  static ParseNodePtr makeLeaf(Symbol S, size_t TokenIndex) {
+    auto N = std::make_shared<ParseNode>();
+    N->Sym = S;
+    N->TokenIndex = TokenIndex;
+    return N;
+  }
+
+  static ParseNodePtr makeNode(Symbol S, unsigned Prod,
+                               std::vector<ParseNodePtr> Children) {
+    auto N = std::make_shared<ParseNode>();
+    N->Sym = S;
+    N->Prod = int(Prod);
+    N->Children = std::move(Children);
+    return N;
+  }
+
+  bool isLeaf() const { return Prod < 0; }
+
+  /// Renders the tree as an s-expression, e.g. "(e (e NUM) PLUS (e NUM))".
+  std::string toSExpr(const Grammar &G) const;
+};
+
+} // namespace lalrcex
+
+#endif // LALRCEX_PARSER_PARSETREE_H

@@ -1,0 +1,300 @@
+//===- sat/Solver.cpp - CDCL SAT solver ------------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/Solver.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace lalrcex;
+using namespace lalrcex::sat;
+
+Solver::Solver() = default;
+
+Var Solver::newVar() {
+  Var V = Var(Assigns.size());
+  Assigns.push_back(Unassigned);
+  Polarity.push_back(false);
+  Activity.push_back(0.0);
+  Reason.push_back(-1);
+  Level.push_back(0);
+  Seen.push_back(0);
+  Watches.emplace_back();
+  Watches.emplace_back();
+  return V;
+}
+
+bool Solver::addClause(std::vector<Lit> Clause) {
+  assert(decisionLevel() == 0 && "clauses must be added at the root level");
+  if (!Ok)
+    return false;
+  // Simplify: remove duplicate and false literals; detect tautologies and
+  // satisfied clauses.
+  std::sort(Clause.begin(), Clause.end(),
+            [](Lit A, Lit B) { return A.index() < B.index(); });
+  std::vector<Lit> Out;
+  Lit Prev;
+  for (Lit L : Clause) {
+    if (!Out.empty() && L == ~Prev)
+      return true; // tautology
+    if (!Out.empty() && L == Prev)
+      continue;
+    Value V = valueOf(L);
+    if (V == True)
+      return true; // already satisfied at root
+    if (V == False)
+      continue; // drop root-false literal
+    Out.push_back(L);
+    Prev = L;
+  }
+  if (Out.empty())
+    return Ok = false;
+  if (Out.size() == 1) {
+    if (!enqueue(Out[0], -1))
+      return Ok = false;
+    return Ok = propagate() < 0;
+  }
+  Clauses.push_back(Solver::Clause{std::move(Out), /*Learnt=*/false});
+  attachClause(ClauseRef(Clauses.size()) - 1);
+  return true;
+}
+
+void Solver::attachClause(ClauseRef C) {
+  const std::vector<Lit> &Ls = Clauses[size_t(C)].Lits;
+  assert(Ls.size() >= 2 && "watching requires two literals");
+  Watches[size_t((~Ls[0]).index())].push_back(Watcher{C, Ls[1]});
+  Watches[size_t((~Ls[1]).index())].push_back(Watcher{C, Ls[0]});
+}
+
+bool Solver::enqueue(Lit L, ClauseRef R) {
+  Value V = valueOf(L);
+  if (V != Unassigned)
+    return V == True;
+  Assigns[size_t(L.var())] = Value(L.sign());
+  Polarity[size_t(L.var())] = L.sign();
+  Reason[size_t(L.var())] = R;
+  Level[size_t(L.var())] = decisionLevel();
+  Trail.push_back(L);
+  return true;
+}
+
+Solver::ClauseRef Solver::propagate() {
+  while (PropagateHead < Trail.size()) {
+    Lit P = Trail[PropagateHead++];
+    ++Propagations;
+    std::vector<Watcher> &Ws = Watches[size_t(P.index())];
+    size_t Keep = 0;
+    for (size_t WI = 0; WI != Ws.size(); ++WI) {
+      Watcher W = Ws[WI];
+      // Fast path: the blocker is already true.
+      if (valueOf(W.Blocker) == True) {
+        Ws[Keep++] = W;
+        continue;
+      }
+      std::vector<Lit> &Ls = Clauses[size_t(W.C)].Lits;
+      // Normalize so the false literal (~P) is at position 1.
+      Lit NotP = ~P;
+      if (Ls[0] == NotP)
+        std::swap(Ls[0], Ls[1]);
+      assert(Ls[1] == NotP && "watched literal bookkeeping broken");
+      // If the first watch is true, the clause is satisfied.
+      if (valueOf(Ls[0]) == True) {
+        Ws[Keep++] = Watcher{W.C, Ls[0]};
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool Moved = false;
+      for (size_t K = 2; K != Ls.size(); ++K) {
+        if (valueOf(Ls[K]) != False) {
+          std::swap(Ls[1], Ls[K]);
+          Watches[size_t((~Ls[1]).index())].push_back(Watcher{W.C, Ls[0]});
+          Moved = true;
+          break;
+        }
+      }
+      if (Moved)
+        continue;
+      // Unit or conflicting.
+      Ws[Keep++] = Watcher{W.C, Ls[0]};
+      if (valueOf(Ls[0]) == False) {
+        // Conflict: restore remaining watchers and report.
+        for (size_t K = WI + 1; K != Ws.size(); ++K)
+          Ws[Keep++] = Ws[K];
+        Ws.resize(Keep);
+        PropagateHead = Trail.size();
+        return W.C;
+      }
+      enqueue(Ls[0], W.C);
+    }
+    Ws.resize(Keep);
+  }
+  return -1;
+}
+
+void Solver::bumpVar(Var V) {
+  Activity[size_t(V)] += VarInc;
+  if (Activity[size_t(V)] > 1e100) {
+    for (double &A : Activity)
+      A *= 1e-100;
+    VarInc *= 1e-100;
+  }
+}
+
+void Solver::decayActivities() { VarInc /= 0.95; }
+
+void Solver::analyze(ClauseRef Confl, std::vector<Lit> &Learnt,
+                     int &BtLevel) {
+  Learnt.clear();
+  Learnt.push_back(Lit()); // placeholder for the asserting literal
+  int Counter = 0;
+  Lit P;
+  bool PValid = false;
+  size_t TrailIdx = Trail.size();
+
+  do {
+    assert(Confl >= 0 && "analysis requires a conflict clause");
+    const std::vector<Lit> &Ls = Clauses[size_t(Confl)].Lits;
+    for (size_t I = PValid ? 1 : 0; I != Ls.size(); ++I) {
+      Lit Q = Ls[I];
+      if (Seen[size_t(Q.var())] || Level[size_t(Q.var())] == 0)
+        continue;
+      Seen[size_t(Q.var())] = 1;
+      bumpVar(Q.var());
+      if (Level[size_t(Q.var())] >= decisionLevel())
+        ++Counter;
+      else
+        Learnt.push_back(Q);
+    }
+    // Select the next literal on the trail to resolve.
+    while (!Seen[size_t(Trail[TrailIdx - 1].var())])
+      --TrailIdx;
+    --TrailIdx;
+    P = Trail[TrailIdx];
+    PValid = true;
+    Confl = Reason[size_t(P.var())];
+    Seen[size_t(P.var())] = 0;
+    --Counter;
+  } while (Counter > 0);
+  Learnt[0] = ~P;
+
+  // Compute the backtrack level (second-highest level in the clause).
+  BtLevel = 0;
+  if (Learnt.size() > 1) {
+    size_t MaxIdx = 1;
+    for (size_t I = 2; I != Learnt.size(); ++I)
+      if (Level[size_t(Learnt[I].var())] >
+          Level[size_t(Learnt[MaxIdx].var())])
+        MaxIdx = I;
+    std::swap(Learnt[1], Learnt[MaxIdx]);
+    BtLevel = Level[size_t(Learnt[1].var())];
+  }
+  for (Lit L : Learnt)
+    Seen[size_t(L.var())] = 0;
+}
+
+void Solver::cancelUntil(int Lvl) {
+  if (decisionLevel() <= Lvl)
+    return;
+  size_t Bound = size_t(TrailLim[size_t(Lvl)]);
+  for (size_t I = Trail.size(); I-- > Bound;) {
+    Var V = Trail[I].var();
+    Assigns[size_t(V)] = Unassigned;
+    Reason[size_t(V)] = -1;
+  }
+  Trail.resize(Bound);
+  TrailLim.resize(size_t(Lvl));
+  PropagateHead = Trail.size();
+}
+
+Lit Solver::pickBranchLit() {
+  // Highest-activity unassigned variable (linear scan; adequate for the
+  // encodings this library generates).
+  Var Best = -1;
+  double BestAct = -1.0;
+  for (Var V = 0; V != Var(Assigns.size()); ++V) {
+    if (Assigns[size_t(V)] == Unassigned && Activity[size_t(V)] > BestAct) {
+      Best = V;
+      BestAct = Activity[size_t(V)];
+    }
+  }
+  if (Best < 0)
+    return Lit();
+  return Polarity[size_t(Best)] ? Lit::neg(Best) : Lit::pos(Best);
+}
+
+bool Solver::checkModel() const {
+  for (const Clause &C : Clauses) {
+    if (C.Learnt)
+      continue;
+    bool Satisfied = false;
+    for (Lit L : C.Lits) {
+      if (Model[size_t(L.var())] != L.sign()) {
+        Satisfied = true;
+        break;
+      }
+    }
+    if (!Satisfied)
+      return false;
+  }
+  return true;
+}
+
+Result Solver::solve(Deadline Budget, int64_t MaxConflicts) {
+  if (!Ok || propagate() >= 0)
+    return Result::Unsat;
+
+  uint64_t RestartLimit = 100;
+  uint64_t ConflictsSinceRestart = 0;
+  std::vector<Lit> Learnt;
+
+  while (true) {
+    ClauseRef Confl = propagate();
+    if (Confl >= 0) {
+      ++Conflicts;
+      ++ConflictsSinceRestart;
+      if (decisionLevel() == 0)
+        return Result::Unsat;
+      int BtLevel = 0;
+      analyze(Confl, Learnt, BtLevel);
+      cancelUntil(BtLevel);
+      if (Learnt.size() == 1) {
+        enqueue(Learnt[0], -1);
+      } else {
+        Clauses.push_back(Clause{Learnt, /*Learnt=*/true});
+        attachClause(ClauseRef(Clauses.size()) - 1);
+        enqueue(Learnt[0], ClauseRef(Clauses.size()) - 1);
+      }
+      decayActivities();
+      if (MaxConflicts >= 0 && Conflicts >= uint64_t(MaxConflicts))
+        return Result::Unknown;
+      if ((Conflicts & 0x3F) == 0 && Budget.expired())
+        return Result::Unknown;
+      continue;
+    }
+
+    if (ConflictsSinceRestart >= RestartLimit) {
+      // Geometric restart.
+      ConflictsSinceRestart = 0;
+      RestartLimit = RestartLimit + RestartLimit / 2;
+      cancelUntil(0);
+      continue;
+    }
+
+    Lit Next = pickBranchLit();
+    if (Next == Lit()) {
+      // All variables assigned: a model.
+      Model.assign(Assigns.size(), false);
+      for (size_t V = 0; V != Assigns.size(); ++V)
+        Model[V] = Assigns[V] == True;
+      cancelUntil(0);
+      assert(checkModel() && "satisfying assignment violates a clause");
+      return Result::Sat;
+    }
+    ++Decisions;
+    TrailLim.push_back(int(Trail.size()));
+    enqueue(Next, -1);
+  }
+}

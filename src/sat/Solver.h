@@ -1,0 +1,157 @@
+//===- sat/Solver.h - CDCL SAT solver --------------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A self-contained CDCL SAT solver in the MiniSat lineage: two-literal
+/// watching, first-UIP clause learning, VSIDS-style activity with phase
+/// saving, and geometric restarts.
+///
+/// This is the substrate for the CFGAnalyzer-style bounded ambiguity
+/// baseline (paper §7.3): CFGAnalyzer reduces "some word of length <= k is
+/// ambiguous" to propositional satisfiability and leans on an incremental
+/// SAT solver; we reproduce that architecture with our own solver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_SAT_SOLVER_H
+#define LALRCEX_SAT_SOLVER_H
+
+#include "support/Stopwatch.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace lalrcex {
+namespace sat {
+
+/// A propositional variable (non-negative integer).
+using Var = int32_t;
+
+/// A literal: a variable or its negation, encoded as 2*var+sign.
+class Lit {
+public:
+  Lit() = default;
+
+  static Lit pos(Var V) { return Lit(V << 1); }
+  static Lit neg(Var V) { return Lit((V << 1) | 1); }
+
+  Var var() const { return X >> 1; }
+  bool sign() const { return X & 1; } // true = negated
+  Lit operator~() const { return Lit(X ^ 1); }
+  /// Dense index for watch lists.
+  int32_t index() const { return X; }
+
+  bool operator==(const Lit &O) const { return X == O.X; }
+  bool operator!=(const Lit &O) const { return X != O.X; }
+
+private:
+  explicit Lit(int32_t X) : X(X) {}
+  int32_t X = -2;
+};
+
+/// Solver verdict.
+enum class Result { Sat, Unsat, Unknown };
+
+/// CDCL solver. Usage: newVar() for each variable, addClause() for each
+/// clause, then solve(); on Sat, query modelValue().
+class Solver {
+public:
+  Solver();
+
+  /// Creates a fresh variable and returns it.
+  Var newVar();
+  int numVars() const { return int(Assigns.size()); }
+
+  /// Adds a clause (a disjunction of literals). \returns false if the
+  /// formula is already unsatisfiable (empty clause after simplification
+  /// or a conflicting unit).
+  bool addClause(std::vector<Lit> Clause);
+
+  /// Convenience overloads.
+  bool addUnit(Lit A) { return addClause({A}); }
+  bool addBinary(Lit A, Lit B) { return addClause({A, B}); }
+  bool addTernary(Lit A, Lit B, Lit C) { return addClause({A, B, C}); }
+
+  /// Solves the current formula. \p Budget bounds wall-clock time and
+  /// \p MaxConflicts bounds learning effort (negative = unbounded);
+  /// exceeding either yields Result::Unknown.
+  Result solve(Deadline Budget = Deadline::unlimited(),
+               int64_t MaxConflicts = -1);
+
+  /// Model access after a Sat result.
+  bool modelValue(Var V) const { return Model[size_t(V)]; }
+  bool modelValue(Lit L) const { return Model[size_t(L.var())] ^ L.sign(); }
+
+  /// \returns true if the stored model satisfies every original clause;
+  /// only meaningful after a Sat result. Used by tests and asserted in
+  /// debug builds.
+  bool checkModel() const;
+
+  /// Statistics.
+  uint64_t numConflicts() const { return Conflicts; }
+  uint64_t numDecisions() const { return Decisions; }
+  uint64_t numPropagations() const { return Propagations; }
+
+private:
+  // Assignment values: 0 = true, 1 = false, 2 = unassigned (lbool-style).
+  using Value = uint8_t;
+  static constexpr Value True = 0, False = 1, Unassigned = 2;
+
+  Value valueOf(Lit L) const {
+    Value V = Assigns[size_t(L.var())];
+    return V == Unassigned ? Unassigned : Value(V ^ Value(L.sign()));
+  }
+
+  struct Clause {
+    std::vector<Lit> Lits;
+    bool Learnt;
+  };
+  using ClauseRef = int32_t;
+
+  struct Watcher {
+    ClauseRef C;
+    Lit Blocker;
+  };
+
+  void attachClause(ClauseRef C);
+  bool enqueue(Lit L, ClauseRef Reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef Confl, std::vector<Lit> &Learnt, int &BtLevel);
+  void cancelUntil(int Level);
+  Lit pickBranchLit();
+  void bumpVar(Var V);
+  void decayActivities();
+
+  int decisionLevel() const { return int(TrailLim.size()); }
+
+  std::vector<Clause> Clauses;
+  std::vector<std::vector<Watcher>> Watches; // indexed by Lit::index()
+  std::vector<Value> Assigns;                // per var
+  std::vector<bool> Polarity;                // phase saving, per var
+  std::vector<double> Activity;              // per var
+  std::vector<ClauseRef> Reason;             // per var
+  std::vector<int> Level;                    // per var
+  std::vector<Lit> Trail;
+  std::vector<int> TrailLim;
+  size_t PropagateHead = 0;
+  double VarInc = 1.0;
+  std::vector<bool> Model;
+
+  // Scratch for analyze().
+  std::vector<uint8_t> Seen;
+
+  /// Latched root-level consistency: once a contradiction is derived
+  /// while adding clauses, the formula stays unsatisfiable regardless of
+  /// whether the caller inspected addClause's return value.
+  bool Ok = true;
+
+  uint64_t Conflicts = 0, Decisions = 0, Propagations = 0;
+};
+
+} // namespace sat
+} // namespace lalrcex
+
+#endif // LALRCEX_SAT_SOLVER_H

@@ -1,0 +1,16 @@
+//===- support/IndexSet.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/IndexSet.h"
+
+using namespace lalrcex;
+
+std::vector<unsigned> IndexSet::elements() const {
+  std::vector<unsigned> Out;
+  Out.reserve(count());
+  forEach([&Out](unsigned E) { Out.push_back(E); });
+  return Out;
+}

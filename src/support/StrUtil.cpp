@@ -1,0 +1,40 @@
+//===- support/StrUtil.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StrUtil.h"
+
+#include <cstdio>
+
+using namespace lalrcex;
+
+std::string lalrcex::join(const std::vector<std::string> &Parts,
+                          const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0, E = Parts.size(); I != E; ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string lalrcex::formatSeconds(double Seconds) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", Seconds);
+  return Buf;
+}
+
+std::string lalrcex::padLeft(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S;
+  return std::string(Width - S.size(), ' ') + S;
+}
+
+std::string lalrcex::padRight(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S;
+  return S + std::string(Width - S.size(), ' ');
+}

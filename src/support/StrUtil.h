@@ -1,0 +1,30 @@
+//===- support/StrUtil.h - Small string helpers ----------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_SUPPORT_STRUTIL_H
+#define LALRCEX_SUPPORT_STRUTIL_H
+
+#include <string>
+#include <vector>
+
+namespace lalrcex {
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Formats \p Seconds with three decimal places (e.g. "0.072").
+std::string formatSeconds(double Seconds);
+
+/// Pads \p S on the left with spaces to at least \p Width characters.
+std::string padLeft(const std::string &S, size_t Width);
+
+/// Pads \p S on the right with spaces to at least \p Width characters.
+std::string padRight(const std::string &S, size_t Width);
+
+} // namespace lalrcex
+
+#endif // LALRCEX_SUPPORT_STRUTIL_H

@@ -1,0 +1,99 @@
+//===- tests/AdvisorTest.cpp - Fix-suggestion heuristics -------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "counterexample/Advisor.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalrcex;
+
+namespace {
+
+std::string hintFor(const BuiltGrammar &B, Symbol Token) {
+  for (const Conflict &C : B.T.reportedConflicts())
+    if (C.Token == Token)
+      return suggestResolution(B.G, C);
+  ADD_FAILURE() << "no conflict under " << B.G.name(Token);
+  return "";
+}
+
+TEST(AdvisorTest, SuggestsAssociativityForSameOperator) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus("expr_prec_unresolved");
+  std::string Hint = hintFor(B, B.G.symbolByName("PLUS"));
+  EXPECT_NE(Hint.find("associativity"), std::string::npos) << Hint;
+  EXPECT_NE(Hint.find("%left PLUS"), std::string::npos) << Hint;
+}
+
+TEST(AdvisorTest, SuggestsPrecedenceForOperatorPairs) {
+  BuiltGrammar B = BuiltGrammar::fromText(R"(
+%%
+e : e PLUS e | e TIMES e | NUM ;
+)");
+  // The (reduce e PLUS e, shift TIMES) conflict should suggest relative
+  // precedence.
+  bool Found = false;
+  for (const Conflict &C : B.T.reportedConflicts()) {
+    if (B.G.name(C.Token) == "TIMES" &&
+        B.G.production(C.ReduceProd).Rhs[1] == B.G.symbolByName("PLUS")) {
+      Found = true;
+      std::string Hint = suggestResolution(B.G, C);
+      EXPECT_NE(Hint.find("relative precedence"), std::string::npos)
+          << Hint;
+      EXPECT_NE(Hint.find("PLUS"), std::string::npos);
+      EXPECT_NE(Hint.find("TIMES"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(AdvisorTest, RecognizesDanglingElse) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  std::string Hint = hintFor(B, B.G.symbolByName("else"));
+  EXPECT_NE(Hint.find("dangling else"), std::string::npos) << Hint;
+  EXPECT_NE(Hint.find("prefix"), std::string::npos) << Hint;
+}
+
+TEST(AdvisorTest, RecognizesDuplicateReductions) {
+  BuiltGrammar B = BuiltGrammar::fromText(R"(
+%%
+s : a X | b X ;
+a : W ;
+b : W ;
+)");
+  const Conflict C = B.T.reportedConflicts()[0];
+  ASSERT_EQ(C.K, Conflict::ReduceReduce);
+  std::string Hint = suggestResolution(B.G, C);
+  EXPECT_NE(Hint.find("both derive exactly"), std::string::npos) << Hint;
+  EXPECT_NE(Hint.find("\"W\""), std::string::npos) << Hint;
+}
+
+TEST(AdvisorTest, GenericReduceReduceHint) {
+  // Overlapping but not identical right-hand sides.
+  BuiltGrammar B = BuiltGrammar::fromText(R"(
+%%
+s : a X | b X ;
+a : W ;
+b : V W ;
+)");
+  for (const Conflict &C : B.T.reportedConflicts()) {
+    if (C.K != Conflict::ReduceReduce)
+      continue;
+    std::string Hint = suggestResolution(B.G, C);
+    EXPECT_NE(Hint.find("overlap"), std::string::npos) << Hint;
+  }
+}
+
+TEST(AdvisorTest, UnrecognizedShapesYieldNoHint) {
+  // figure3's LR(2) conflict is neither an operator nor a dangling
+  // suffix: no hint, no nonsense.
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure3");
+  const Conflict C = B.T.reportedConflicts()[0];
+  EXPECT_EQ(suggestResolution(B.G, C), "");
+}
+
+} // namespace

@@ -1,0 +1,159 @@
+//===- tests/AnalysisTest.cpp - Nullable/FIRST/yield tests -----*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/Analysis.h"
+#include "grammar/GrammarParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalrcex;
+
+namespace {
+
+Grammar parse(const std::string &Text) {
+  std::string Err;
+  std::optional<Grammar> G = parseGrammarText(Text, &Err);
+  EXPECT_TRUE(G) << Err;
+  return std::move(*G);
+}
+
+TEST(AnalysisTest, NullableBasics) {
+  Grammar G = parse(R"(
+%%
+s : a b ;
+a : ;
+b : x | ;
+)");
+  GrammarAnalysis A(G);
+  EXPECT_TRUE(A.isNullable(G.symbolByName("a")));
+  EXPECT_TRUE(A.isNullable(G.symbolByName("b")));
+  EXPECT_TRUE(A.isNullable(G.symbolByName("s")));
+  EXPECT_FALSE(A.isNullable(G.symbolByName("x")));
+}
+
+TEST(AnalysisTest, NullableChains) {
+  Grammar G = parse(R"(
+%%
+s : a a a ;
+a : b b ;
+b : ;
+)");
+  GrammarAnalysis A(G);
+  EXPECT_TRUE(A.isNullable(G.symbolByName("s")));
+}
+
+TEST(AnalysisTest, FirstSets) {
+  Grammar G = parse(R"(
+%%
+e : t etail ;
+etail : plus t etail | ;
+t : f ttail ;
+ttail : star f ttail | ;
+f : lp e rp | id ;
+)");
+  GrammarAnalysis A(G);
+  Symbol E = G.symbolByName("e");
+  Symbol Etail = G.symbolByName("etail");
+  Symbol Id = G.symbolByName("id");
+  Symbol Lp = G.symbolByName("lp");
+  Symbol Plus = G.symbolByName("plus");
+  Symbol Star = G.symbolByName("star");
+
+  EXPECT_TRUE(A.first(E).contains(Id.id()));
+  EXPECT_TRUE(A.first(E).contains(Lp.id()));
+  EXPECT_FALSE(A.first(E).contains(Plus.id()));
+  EXPECT_TRUE(A.first(Etail).contains(Plus.id()));
+  EXPECT_FALSE(A.first(Etail).contains(Star.id()));
+  // Terminal FIRST is the singleton.
+  EXPECT_EQ(A.first(Id).count(), 1u);
+  EXPECT_TRUE(A.first(Id).contains(Id.id()));
+}
+
+TEST(AnalysisTest, FirstThroughNullable) {
+  Grammar G = parse(R"(
+%%
+s : a b c ;
+a : x | ;
+b : y | ;
+c : z ;
+)");
+  GrammarAnalysis A(G);
+  Symbol S = G.symbolByName("s");
+  EXPECT_TRUE(A.first(S).contains(G.symbolByName("x").id()));
+  EXPECT_TRUE(A.first(S).contains(G.symbolByName("y").id()));
+  EXPECT_TRUE(A.first(S).contains(G.symbolByName("z").id()));
+  EXPECT_FALSE(A.isNullable(S));
+}
+
+TEST(AnalysisTest, FirstOfSequenceWithTail) {
+  Grammar G = parse(R"(
+%%
+s : a b ;
+a : x | ;
+b : y ;
+)");
+  GrammarAnalysis A(G);
+  IndexSet Tail(G.numTerminals());
+  Symbol Z = G.eof();
+  Tail.insert(Z.id());
+
+  std::vector<Symbol> Seq = {G.symbolByName("a")};
+  IndexSet F = A.firstOfSequence(Seq, 0, &Tail);
+  EXPECT_TRUE(F.contains(G.symbolByName("x").id()));
+  EXPECT_TRUE(F.contains(Z.id())); // the whole sequence is nullable
+
+  std::vector<Symbol> Seq2 = {G.symbolByName("a"), G.symbolByName("b")};
+  IndexSet F2 = A.firstOfSequence(Seq2, 0, &Tail);
+  EXPECT_TRUE(F2.contains(G.symbolByName("x").id()));
+  EXPECT_TRUE(F2.contains(G.symbolByName("y").id()));
+  EXPECT_FALSE(F2.contains(Z.id())); // b is not nullable
+
+  EXPECT_TRUE(A.sequenceCanBeginWith(Seq2, 0, G.symbolByName("y")));
+  EXPECT_FALSE(A.sequenceCanBeginWith(Seq2, 0, Z));
+  EXPECT_TRUE(A.sequenceCanBeginWith(Seq, 0, Z, &Tail));
+}
+
+TEST(AnalysisTest, MinYield) {
+  Grammar G = parse(R"(
+%%
+s : s x | t ;
+t : y y | z ;
+)");
+  GrammarAnalysis A(G);
+  EXPECT_EQ(A.minYieldLength(G.symbolByName("x")), 1u);
+  EXPECT_EQ(A.minYieldLength(G.symbolByName("t")), 1u); // via z
+  EXPECT_EQ(A.minYieldLength(G.symbolByName("s")), 1u); // via t -> z
+  unsigned P = A.minProduction(G.symbolByName("t"));
+  EXPECT_EQ(G.production(P).Rhs.size(), 1u);
+}
+
+TEST(AnalysisTest, UnproductiveNonterminal) {
+  Grammar G = parse(R"(
+%%
+s : x | loop ;
+loop : loop y ;
+)");
+  GrammarAnalysis A(G);
+  EXPECT_FALSE(A.isProductive(G.symbolByName("loop")));
+  EXPECT_TRUE(A.isProductive(G.symbolByName("s")));
+  EXPECT_EQ(A.minYieldLength(G.symbolByName("loop")),
+            GrammarAnalysis::Infinite);
+}
+
+TEST(AnalysisTest, Reachability) {
+  Grammar G = parse(R"(
+%%
+s : x ;
+dead : y ;
+)");
+  GrammarAnalysis A(G);
+  EXPECT_TRUE(A.isReachable(G.symbolByName("s")));
+  EXPECT_TRUE(A.isReachable(G.symbolByName("x")));
+  EXPECT_FALSE(A.isReachable(G.symbolByName("dead")));
+  EXPECT_FALSE(A.isReachable(G.symbolByName("y")));
+}
+
+} // namespace

@@ -1,0 +1,174 @@
+//===- tests/AutomatonTest.cpp - LALR automaton tests ----------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lr/Automaton.h"
+
+#include "corpus/Corpus.h"
+#include "grammar/GrammarParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalrcex;
+
+namespace {
+
+Grammar parse(const std::string &Text) {
+  std::string Err;
+  std::optional<Grammar> G = parseGrammarText(Text, &Err);
+  EXPECT_TRUE(G) << Err;
+  return std::move(*G);
+}
+
+/// Dragon Book grammar 4.55, the classic LALR example:
+///   S -> C C ; C -> c C | d
+/// LR(0) has 7 states (plus accept bookkeeping); LALR lookaheads for the
+/// C -> d item differ per state.
+TEST(AutomatonTest, DragonGrammar455) {
+  Grammar G = parse(R"(
+%%
+S : C C ;
+C : c C | d ;
+)");
+  GrammarAnalysis A(G);
+  Automaton M(G, A);
+
+  // The canonical LR(0) collection for this grammar has 7 states.
+  EXPECT_EQ(M.numStates(), 7u);
+
+  Symbol C = G.symbolByName("C");
+  Symbol Sc = G.symbolByName("c");
+  Symbol Sd = G.symbolByName("d");
+
+  // State 0 kernel: the augmented item with lookahead {$}.
+  const IndexSet &AugLA =
+      M.lookahead(0, Item(G.augmentedProduction(), 0));
+  EXPECT_TRUE(AugLA.contains(G.eof().id()));
+  EXPECT_EQ(AugLA.count(), 1u);
+
+  // In state 0, the closure item C -> . c C has lookahead {c, d}: the
+  // first C of "C C" is followed by FIRST(C) = {c, d}.
+  unsigned CtoCC = G.productionsOf(C)[0]; // C -> c C
+  const IndexSet &LA0 = M.lookahead(0, Item(CtoCC, 0));
+  EXPECT_TRUE(LA0.contains(Sc.id()));
+  EXPECT_TRUE(LA0.contains(Sd.id()));
+  EXPECT_FALSE(LA0.contains(G.eof().id()));
+
+  // After shifting the first C, the next C is followed by {$} only:
+  // goto(0, C) has closure item C -> . c C with lookahead {$}.
+  int S2 = M.transition(0, C);
+  ASSERT_GE(S2, 0);
+  const IndexSet &LA2 = M.lookahead(unsigned(S2), Item(CtoCC, 0));
+  EXPECT_TRUE(LA2.contains(G.eof().id()));
+  EXPECT_FALSE(LA2.contains(Sc.id()));
+
+  // LALR merging: goto(0, c) reaches the c-kernel state whose C -> . d
+  // item has the merged lookahead {c, d, $}.
+  int Sc1 = M.transition(0, Sc);
+  ASSERT_GE(Sc1, 0);
+  unsigned CtoD = G.productionsOf(C)[1]; // C -> d
+  const IndexSet &LAcd = M.lookahead(unsigned(Sc1), Item(CtoD, 0));
+  EXPECT_TRUE(LAcd.contains(Sc.id()));
+  EXPECT_TRUE(LAcd.contains(Sd.id()));
+  EXPECT_TRUE(LAcd.contains(G.eof().id()));
+}
+
+TEST(AutomatonTest, TransitionsAreDeterministicAndComplete) {
+  Grammar G = loadCorpusGrammar("figure1");
+  GrammarAnalysis A(G);
+  Automaton M(G, A);
+
+  for (unsigned S = 0; S != M.numStates(); ++S) {
+    const Automaton::State &St = M.state(S);
+    // Every item with a symbol after the dot has a transition on it, and
+    // the advanced item is in the target state.
+    for (const Item &I : St.Items) {
+      Symbol Next = I.afterDot(G);
+      if (!Next.valid())
+        continue;
+      int T = M.transition(S, Next);
+      ASSERT_GE(T, 0);
+      EXPECT_GE(M.state(unsigned(T)).indexOfItem(I.advanced()), 0);
+    }
+    // Transitions are sorted and unique per symbol.
+    for (size_t I = 1; I < St.Transitions.size(); ++I)
+      EXPECT_LT(St.Transitions[I - 1].first, St.Transitions[I].first);
+  }
+}
+
+TEST(AutomatonTest, KernelItemsComeFirst) {
+  Grammar G = loadCorpusGrammar("figure3");
+  GrammarAnalysis A(G);
+  Automaton M(G, A);
+  for (unsigned S = 0; S != M.numStates(); ++S) {
+    const Automaton::State &St = M.state(S);
+    ASSERT_LE(St.NumKernel, St.Items.size());
+    for (unsigned I = 0; I != St.Items.size(); ++I) {
+      bool IsKernel = St.Items[I].Dot > 0 ||
+                      St.Items[I].Prod == G.augmentedProduction();
+      EXPECT_EQ(I < St.NumKernel, IsKernel)
+          << "state " << S << " item " << I;
+    }
+  }
+}
+
+TEST(AutomatonTest, LookaheadsNeverEmptyForReachableReduceItems) {
+  for (const char *Name : {"figure1", "figure3", "figure7"}) {
+    Grammar G = loadCorpusGrammar(Name);
+    GrammarAnalysis A(G);
+    Automaton M(G, A);
+    for (unsigned S = 0; S != M.numStates(); ++S) {
+      const Automaton::State &St = M.state(S);
+      for (unsigned I = 0; I != St.Items.size(); ++I) {
+        if (St.Items[I].atEnd(G)) {
+          EXPECT_FALSE(St.Lookaheads[I].empty())
+              << Name << " state " << S;
+        }
+      }
+    }
+  }
+}
+
+/// The dangling-else conflict state must contain both conflicting items
+/// with "else" in the reduce item's lookahead (paper Fig. 2, state 10).
+TEST(AutomatonTest, DanglingElseLookaheads) {
+  Grammar G = loadCorpusGrammar("figure1");
+  GrammarAnalysis A(G);
+  Automaton M(G, A);
+
+  Symbol Stmt = G.symbolByName("stmt");
+  Symbol Else = G.symbolByName("else");
+  ASSERT_TRUE(Else.valid());
+
+  Symbol If = G.symbolByName("if");
+  unsigned LongIf = 0, ShortIf = 0;
+  for (unsigned P : G.productionsOf(Stmt)) {
+    const Production &Prod = G.production(P);
+    if (Prod.Rhs.empty() || Prod.Rhs[0] != If)
+      continue;
+    if (Prod.Rhs.size() == 6)
+      LongIf = P;
+    else if (Prod.Rhs.size() == 4)
+      ShortIf = P;
+  }
+  ASSERT_NE(LongIf, 0u);
+  ASSERT_NE(ShortIf, 0u);
+
+  // Find the state containing the completed short-if item.
+  bool Found = false;
+  for (unsigned S = 0; S != M.numStates(); ++S) {
+    int Idx = M.state(S).indexOfItem(Item(ShortIf, 4));
+    if (Idx < 0)
+      continue;
+    Found = true;
+    EXPECT_GE(M.state(S).indexOfItem(Item(LongIf, 4)), 0)
+        << "shift item missing from conflict state";
+    EXPECT_TRUE(M.state(S).Lookaheads[unsigned(Idx)].contains(Else.id()))
+        << "reduce item lacks 'else' lookahead";
+  }
+  EXPECT_TRUE(Found);
+}
+
+} // namespace

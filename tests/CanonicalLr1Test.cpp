@@ -1,0 +1,155 @@
+//===- tests/CanonicalLr1Test.cpp - Canonical LR(1) mode -------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+// The canonical LR(1) construction (AutomatonKind::Canonical): more
+// states, no lookahead merging. The counterexample machinery runs on it
+// unchanged, which lets us verify the LALR-merge-artifact story: genuine
+// ambiguities keep their conflicts in LR(1), while merge-artifact
+// reduce/reduce conflicts disappear.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "earley/DerivationCounter.h"
+#include "parser/LrParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalrcex;
+
+namespace {
+
+struct CanonicalBuilt {
+  Grammar G;
+  GrammarAnalysis A;
+  Automaton M;
+  ParseTable T;
+
+  explicit CanonicalBuilt(Grammar InG)
+      : G(std::move(InG)), A(G), M(G, A, AutomatonKind::Canonical), T(M) {}
+};
+
+TEST(CanonicalLr1Test, DragonGrammar455HasMoreStates) {
+  // Dragon 4.55: LALR has 7 states, canonical LR(1) has 10.
+  std::optional<Grammar> G = parseGrammarText(R"(
+%%
+S : C C ;
+C : c C | d ;
+)");
+  ASSERT_TRUE(G);
+  GrammarAnalysis A(*G);
+  Automaton Lalr(*G, A, AutomatonKind::Lalr1);
+  Automaton Canon(*G, A, AutomatonKind::Canonical);
+  EXPECT_EQ(Lalr.numStates(), 7u);
+  EXPECT_EQ(Canon.numStates(), 10u);
+  EXPECT_EQ(Canon.kind(), AutomatonKind::Canonical);
+  // Both are conflict-free.
+  EXPECT_TRUE(ParseTable(Lalr).conflicts().empty());
+  EXPECT_TRUE(ParseTable(Canon).conflicts().empty());
+}
+
+TEST(CanonicalLr1Test, AmbiguityConflictsSurvive) {
+  // Genuine ambiguities conflict in any LR(k) automaton. Canonical
+  // construction splits merged states, so the same item-pair conflict can
+  // recur in several states: at least as many conflicts as LALR.
+  CanonicalBuilt B(loadCorpusGrammar("figure1"));
+  EXPECT_GE(B.T.reportedConflicts().size(), 3u);
+
+  CanonicalBuilt B2(loadCorpusGrammar("expr_prec_unresolved"));
+  EXPECT_EQ(B2.T.reportedConflicts().size(), 1u);
+}
+
+TEST(CanonicalLr1Test, Lr2ConflictSurvives) {
+  // figure3 is LR(2): one lookahead cannot decide, even canonically.
+  CanonicalBuilt B(loadCorpusGrammar("figure3"));
+  EXPECT_EQ(B.T.reportedConflicts().size(), 1u);
+}
+
+TEST(CanonicalLr1Test, MergeArtifactConflictDisappears) {
+  // An LALR-only reduce/reduce conflict: "q A y | q B z" puts A -> x and
+  // B -> x into one LR(0) state where LALR merges the {y} and {z}
+  // contexts with those of "r A z | r B y", manufacturing a conflict.
+  // Canonical LR(1) keeps the contexts apart.
+  const char *Text = R"(
+%%
+s : q A y | q B z | r A z | r B y ;
+A : x ;
+B : x ;
+)";
+  std::optional<Grammar> G = parseGrammarText(Text);
+  ASSERT_TRUE(G);
+  GrammarAnalysis A(*G);
+  Automaton Lalr(*G, A, AutomatonKind::Lalr1);
+  Automaton Canon(*G, A, AutomatonKind::Canonical);
+  EXPECT_FALSE(ParseTable(Lalr).reportedConflicts().empty())
+      << "LALR merging should manufacture a conflict";
+  EXPECT_TRUE(ParseTable(Canon).reportedConflicts().empty())
+      << "canonical LR(1) must not have the merge artifact";
+
+  // And the LALR counterexample engine flags exactly this situation.
+  ParseTable T(Lalr);
+  CounterexampleFinder Finder(T);
+  bool SawMergeArtifact = false;
+  for (const ConflictReport &R : Finder.examineAll()) {
+    ASSERT_TRUE(R.Example);
+    if (!R.Example->Unifying && !R.Example->PrefixShared)
+      SawMergeArtifact = true;
+  }
+  EXPECT_TRUE(SawMergeArtifact);
+}
+
+TEST(CanonicalLr1Test, CounterexamplesWorkOnCanonicalAutomata) {
+  // The searches consume only items/lookaheads/transitions, so the whole
+  // pipeline runs on canonical automata too — and still reproduces the
+  // dangling-else counterexample.
+  CanonicalBuilt B(loadCorpusGrammar("figure1"));
+  DerivationCounter D(B.G, B.A);
+  CounterexampleFinder Finder(B.T);
+  Symbol Else = B.G.symbolByName("else");
+  bool Checked = false;
+  for (const ConflictReport &R : Finder.examineAll()) {
+    ASSERT_TRUE(R.Example);
+    expectCounterexampleWellFormed(B.G, *R.Example, R.TheConflict.Token);
+    if (R.Example->Unifying) {
+      EXPECT_GE(D.countDerivations(R.Example->Root, R.Example->yield1()),
+                2u);
+    }
+    if (R.TheConflict.Token == Else) {
+      Checked = true;
+      EXPECT_EQ(R.Example->exampleString1(B.G),
+                "if expr then if expr then stmt \xE2\x80\xA2 else stmt");
+    }
+  }
+  EXPECT_TRUE(Checked);
+}
+
+TEST(CanonicalLr1Test, ParserRuntimeWorksOnCanonicalTables) {
+  std::optional<Grammar> G = parseGrammarText(R"(
+%left PLUS
+%left TIMES
+%%
+e : e PLUS e | e TIMES e | NUM ;
+)");
+  ASSERT_TRUE(G);
+  GrammarAnalysis A(*G);
+  Automaton M(*G, A, AutomatonKind::Canonical);
+  ParseTable T(M);
+  LrParser P(T);
+  ParseOutcome R = P.parseText("NUM PLUS NUM TIMES NUM");
+  ASSERT_TRUE(R.Accepted) << R.ErrorMessage;
+  EXPECT_EQ(R.Tree->toSExpr(*G),
+            "(e (e NUM) PLUS (e (e NUM) TIMES (e NUM)))");
+}
+
+TEST(CanonicalLr1Test, CorpusConflictClassesAgreeWithLalrForAmbiguity) {
+  // For every small ambiguous corpus grammar, canonical LR(1) still has
+  // at least one conflict (ambiguity is automaton-independent).
+  for (const char *Name : {"figure1", "figure7", "abcd", "eqn",
+                           "stackovf05", "SQL.1"}) {
+    CanonicalBuilt B(loadCorpusGrammar(Name));
+    EXPECT_FALSE(B.T.reportedConflicts().empty()) << Name;
+  }
+}
+
+} // namespace

@@ -1,0 +1,253 @@
+//===- tests/CounterexampleTest.cpp - End-to-end engine tests --*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+// Reproduces the paper's worked examples: the dangling-else conflict
+// (Fig. 2/5), the precedence conflict (§2.4, Fig. 11), the challenging
+// conflict (§3.1), the LR(2) grammar (Fig. 3), and the grammar where the
+// shortest lookahead-sensitive path fails for one conflict (Fig. 7).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace lalrcex;
+
+namespace {
+
+std::string yield1(const BuiltGrammar &B, const ConflictReport &R) {
+  return R.Example ? R.Example->exampleString1(B.G) : "<none>";
+}
+
+TEST(CounterexampleTest, DanglingElseUnifying) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  CounterexampleFinder Finder(B.T);
+
+  Symbol Else = B.G.symbolByName("else");
+  ASSERT_TRUE(Else.valid());
+
+  bool FoundDanglingElse = false;
+  for (const Conflict &C : B.T.reportedConflicts()) {
+    if (C.Token != Else)
+      continue;
+    FoundDanglingElse = true;
+    ConflictReport R = Finder.examine(C);
+    ASSERT_EQ(R.Status, CounterexampleStatus::UnifyingFound)
+        << Finder.render(R);
+    ASSERT_TRUE(R.Example);
+    expectCounterexampleWellFormed(B.G, *R.Example, C.Token);
+    EXPECT_EQ(B.G.name(R.Example->Root), "stmt");
+    EXPECT_EQ(R.Example->exampleString1(B.G),
+              "if expr then if expr then stmt \xE2\x80\xA2 else stmt")
+        << Finder.render(R);
+  }
+  EXPECT_TRUE(FoundDanglingElse);
+}
+
+TEST(CounterexampleTest, PlusAssociativityUnifying) {
+  // Section 2.4 / Figure 11: expr PLUS expr • PLUS expr, a derivation of
+  // expr (the innermost ambiguous nonterminal), not of the start symbol.
+  BuiltGrammar B = BuiltGrammar::fromCorpus("expr_prec_unresolved");
+  CounterexampleFinder Finder(B.T);
+
+  ASSERT_EQ(B.T.reportedConflicts().size(), 1u);
+  ConflictReport R = Finder.examine(B.T.reportedConflicts()[0]);
+  ASSERT_EQ(R.Status, CounterexampleStatus::UnifyingFound)
+      << Finder.render(R);
+  expectCounterexampleWellFormed(B.G, *R.Example,
+                                 B.T.reportedConflicts()[0].Token);
+  EXPECT_EQ(B.G.name(R.Example->Root), "expr");
+  EXPECT_EQ(R.Example->exampleString1(B.G),
+            "expr PLUS expr \xE2\x80\xA2 PLUS expr");
+}
+
+TEST(CounterexampleTest, ChallengingConflictUnifying) {
+  // Section 3.1: the num/expr conflict under digit. The unifying
+  // counterexample needs stage-3/4 work across two statements.
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  CounterexampleFinder Finder(B.T);
+
+  Symbol Digit = B.G.symbolByName("digit");
+  ASSERT_TRUE(Digit.valid());
+
+  bool Found = false;
+  for (const Conflict &C : B.T.reportedConflicts()) {
+    if (C.Token != Digit)
+      continue;
+    Found = true;
+    ConflictReport R = Finder.examine(C);
+    ASSERT_TRUE(R.Example) << Finder.render(R);
+    expectCounterexampleWellFormed(B.G, *R.Example, C.Token);
+    EXPECT_EQ(R.Status, CounterexampleStatus::UnifyingFound)
+        << Finder.render(R);
+    EXPECT_EQ(B.G.name(R.Example->Root), "stmt") << Finder.render(R);
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(CounterexampleTest, Figure3NonunifyingOnly) {
+  // The grammar is LR(2) and unambiguous: the unifying search must
+  // exhaust and a nonunifying counterexample is reported.
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure3");
+  CounterexampleFinder Finder(B.T);
+
+  ASSERT_EQ(B.T.reportedConflicts().size(), 1u);
+  const Conflict C = B.T.reportedConflicts()[0];
+  ConflictReport R = Finder.examine(C);
+  EXPECT_EQ(R.Status, CounterexampleStatus::NonunifyingComplete)
+      << Finder.render(R);
+  ASSERT_TRUE(R.Example);
+  EXPECT_FALSE(R.Example->Unifying);
+  expectCounterexampleWellFormed(B.G, *R.Example, C.Token);
+}
+
+TEST(CounterexampleTest, Figure7BothConflictsUnifying) {
+  // Table 1: figure7 has 2 conflicts, both with unifying counterexamples.
+  // One of them requires reverse transitions beyond the obvious prefix
+  // (the paper's motivating example for outward search).
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure7");
+  FinderOptions Opts;
+  Opts.ExtendedSearch = true; // allow off-path reverse transitions
+  CounterexampleFinder Finder(B.T, Opts);
+
+  ASSERT_EQ(B.T.reportedConflicts().size(), 2u);
+  for (const Conflict &C : B.T.reportedConflicts()) {
+    ConflictReport R = Finder.examine(C);
+    ASSERT_TRUE(R.Example) << Finder.render(R);
+    expectCounterexampleWellFormed(B.G, *R.Example, C.Token);
+    EXPECT_EQ(R.Status, CounterexampleStatus::UnifyingFound)
+        << Finder.render(R);
+    // Both conflicts unify at S (the two parses split N/c differently, so
+    // N itself derives different substrings); the paper's examples
+    // "n a • b c" and "n n a • b d c" are reproduced.
+    EXPECT_TRUE(B.G.isNonterminal(R.Example->Root));
+  }
+}
+
+TEST(CounterexampleTest, Figure7ReproducesPaperExamples) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure7");
+  CounterexampleFinder Finder(B.T);
+  std::vector<std::string> Examples;
+  for (const Conflict &C : B.T.reportedConflicts()) {
+    ConflictReport R = Finder.examine(C);
+    ASSERT_TRUE(R.Example);
+    Examples.push_back(R.Example->exampleString1(B.G));
+  }
+  ASSERT_EQ(Examples.size(), 2u);
+  std::sort(Examples.begin(), Examples.end());
+  EXPECT_EQ(Examples[0], "n a \xE2\x80\xA2 b c");
+  EXPECT_EQ(Examples[1], "n n a \xE2\x80\xA2 b d c");
+}
+
+TEST(CounterexampleTest, AmbfailedNeedsExtendedSearch) {
+  // ambfailed01 reproduces the §7.2 failure mode: the grammar is
+  // ambiguous, but the default search (restricted to the states of the
+  // shortest lookahead-sensitive path) cannot find the unifying
+  // counterexample; -extendedsearch does.
+  BuiltGrammar B = BuiltGrammar::fromCorpus("ambfailed01");
+  ASSERT_EQ(B.T.reportedConflicts().size(), 1u);
+  const Conflict C = B.T.reportedConflicts()[0];
+
+  CounterexampleFinder Default(B.T);
+  ConflictReport R1 = Default.examine(C);
+  EXPECT_EQ(R1.Status, CounterexampleStatus::NonunifyingComplete)
+      << Default.render(R1);
+  ASSERT_TRUE(R1.Example);
+  expectCounterexampleWellFormed(B.G, *R1.Example, C.Token);
+
+  FinderOptions Opts;
+  Opts.ExtendedSearch = true;
+  CounterexampleFinder Extended(B.T, Opts);
+  ConflictReport R2 = Extended.examine(C);
+  EXPECT_EQ(R2.Status, CounterexampleStatus::UnifyingFound)
+      << Extended.render(R2);
+  ASSERT_TRUE(R2.Example);
+  expectCounterexampleWellFormed(B.G, *R2.Example, C.Token);
+  EXPECT_EQ(R2.Example->exampleString1(B.G), "r r a \xE2\x80\xA2 b");
+}
+
+TEST(CounterexampleTest, ReduceReduceUnifying) {
+  // A classic ambiguous reduce/reduce conflict: two nonterminals deriving
+  // the same string.
+  BuiltGrammar B = BuiltGrammar::fromText(R"(
+%%
+s : a X | b X ;
+a : W ;
+b : W ;
+)");
+  CounterexampleFinder Finder(B.T);
+  ASSERT_EQ(B.T.reportedConflicts().size(), 1u);
+  const Conflict C = B.T.reportedConflicts()[0];
+  ASSERT_EQ(C.K, Conflict::ReduceReduce);
+  ConflictReport R = Finder.examine(C);
+  ASSERT_TRUE(R.Example) << Finder.render(R);
+  expectCounterexampleWellFormed(B.G, *R.Example, C.Token);
+  EXPECT_EQ(R.Status, CounterexampleStatus::UnifyingFound)
+      << Finder.render(R);
+  EXPECT_EQ(B.G.name(R.Example->Root), "s") << yield1(B, R);
+}
+
+TEST(CounterexampleTest, UnambiguousReduceReduceNonunifying) {
+  // LR(2), unambiguous, with a reduce/reduce conflict: a X c vs b Y c
+  // where X and Y derive the same terminal.
+  BuiltGrammar B = BuiltGrammar::fromText(R"(
+%%
+s : a C | b D ;
+a : W ;
+b : W ;
+)");
+  CounterexampleFinder Finder(B.T);
+  ASSERT_EQ(B.T.reportedConflicts().size(), 0u);
+  // No conflict at all: lookaheads C vs D are disjoint. Make them clash:
+  BuiltGrammar B2 = BuiltGrammar::fromText(R"(
+%%
+s : a C | b C D ;
+a : W ;
+b : W ;
+)");
+  CounterexampleFinder Finder2(B2.T);
+  ASSERT_EQ(B2.T.reportedConflicts().size(), 1u);
+  const Conflict C = B2.T.reportedConflicts()[0];
+  ConflictReport R = Finder2.examine(C);
+  ASSERT_TRUE(R.Example) << Finder2.render(R);
+  EXPECT_EQ(R.Status, CounterexampleStatus::NonunifyingComplete)
+      << Finder2.render(R);
+  expectCounterexampleWellFormed(B2.G, *R.Example, C.Token);
+}
+
+TEST(CounterexampleTest, ExamineAllCoversEveryReportedConflict) {
+  for (const char *Name : {"figure1", "figure3", "figure7"}) {
+    BuiltGrammar B = BuiltGrammar::fromCorpus(Name);
+    CounterexampleFinder Finder(B.T);
+    std::vector<ConflictReport> Reports = Finder.examineAll();
+    EXPECT_EQ(Reports.size(), B.T.reportedConflicts().size());
+    for (const ConflictReport &R : Reports) {
+      ASSERT_TRUE(R.Example) << Name << ": " << Finder.render(R);
+      expectCounterexampleWellFormed(B.G, *R.Example, R.TheConflict.Token);
+    }
+  }
+}
+
+TEST(CounterexampleTest, RenderMatchesFigure11Shape) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus("expr_prec_unresolved");
+  CounterexampleFinder Finder(B.T);
+  ConflictReport R = Finder.examine(B.T.reportedConflicts()[0]);
+  std::string Text = Finder.render(R);
+  EXPECT_NE(Text.find("Shift/Reduce conflict found in state #"),
+            std::string::npos);
+  EXPECT_NE(Text.find("between reduction on expr ::= expr PLUS expr"),
+            std::string::npos);
+  EXPECT_NE(Text.find("under symbol PLUS"), std::string::npos);
+  EXPECT_NE(Text.find("Ambiguity detected for nonterminal expr"),
+            std::string::npos);
+  EXPECT_NE(Text.find("Example: expr PLUS expr \xE2\x80\xA2 PLUS expr"),
+            std::string::npos);
+  EXPECT_NE(Text.find("Derivation using reduction:"), std::string::npos);
+  EXPECT_NE(Text.find("Derivation using shift:"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,150 @@
+//===- tests/DerivationTest.cpp - Derivation tree unit tests ---*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "counterexample/Derivation.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalrcex;
+
+namespace {
+
+struct Fixture {
+  BuiltGrammar B = BuiltGrammar::fromText(R"(
+%%
+e : e PLUS t | t ;
+t : NUM ;
+)");
+  Symbol E = B.G.symbolByName("e");
+  Symbol T = B.G.symbolByName("t");
+  Symbol Plus = B.G.symbolByName("PLUS");
+  Symbol Num = B.G.symbolByName("NUM");
+  unsigned EPlusT = B.G.productionsOf(E)[0];
+  unsigned EfromT = B.G.productionsOf(E)[1];
+  unsigned TfromNum = B.G.productionsOf(T)[0];
+};
+
+TEST(DerivationTest, LeafBasics) {
+  Fixture F;
+  DerivPtr L = Derivation::leaf(F.Num);
+  EXPECT_TRUE(L->isLeaf());
+  EXPECT_FALSE(L->isNode());
+  EXPECT_FALSE(L->isDot());
+  EXPECT_EQ(L->symbol(), F.Num);
+  EXPECT_EQ(L->toString(F.B.G), "NUM");
+  EXPECT_EQ(L->size(), 1u);
+}
+
+TEST(DerivationTest, DotMarkerIsSingletonAndYieldsNothing) {
+  DerivPtr D1 = Derivation::dot();
+  DerivPtr D2 = Derivation::dot();
+  EXPECT_EQ(D1.get(), D2.get());
+  EXPECT_TRUE(D1->isDot());
+  std::vector<Symbol> Yield;
+  int Pos = -1;
+  D1->appendYield(Yield, &Pos);
+  EXPECT_TRUE(Yield.empty());
+  EXPECT_EQ(Pos, 0);
+}
+
+TEST(DerivationTest, NodeRenderingMatchesCupStyle) {
+  Fixture F;
+  // e ::= [e ::= [t] PLUS t]
+  DerivPtr Inner = Derivation::node(F.E, F.EfromT,
+                                    {Derivation::leaf(F.T)});
+  DerivPtr Outer = Derivation::node(
+      F.E, F.EPlusT,
+      {Inner, Derivation::leaf(F.Plus), Derivation::leaf(F.T)});
+  EXPECT_EQ(Outer->toString(F.B.G), "e ::= [e ::= [t] PLUS t]");
+  EXPECT_EQ(Outer->size(), 5u);
+
+  std::vector<Symbol> Yield;
+  Outer->appendYield(Yield);
+  EXPECT_EQ(F.B.G.symbolsString(Yield), "t PLUS t");
+}
+
+TEST(DerivationTest, YieldTracksDotThroughNesting) {
+  Fixture F;
+  // e ::= [e PLUS • t]: dot between PLUS and t.
+  DerivPtr D = Derivation::node(F.E, F.EPlusT,
+                                {Derivation::leaf(F.E),
+                                 Derivation::leaf(F.Plus),
+                                 Derivation::dot(), Derivation::leaf(F.T)});
+  int Pos = -1;
+  std::vector<Symbol> Yield;
+  D->appendYield(Yield, &Pos);
+  EXPECT_EQ(Pos, 2);
+  EXPECT_EQ(Yield.size(), 3u);
+  EXPECT_EQ(yieldString(F.B.G, {D}), "e PLUS \xE2\x80\xA2 t");
+}
+
+TEST(DerivationTest, DotAtVeryEndRenders) {
+  Fixture F;
+  std::vector<DerivPtr> Ds = {Derivation::leaf(F.Num), Derivation::dot()};
+  EXPECT_EQ(yieldString(F.B.G, Ds), "NUM \xE2\x80\xA2");
+}
+
+TEST(DerivationTest, StructuralEquality) {
+  Fixture F;
+  auto mk = [&F] {
+    return Derivation::node(F.E, F.EPlusT,
+                            {Derivation::leaf(F.E),
+                             Derivation::leaf(F.Plus),
+                             Derivation::leaf(F.T)});
+  };
+  EXPECT_TRUE(Derivation::equal(mk(), mk()));
+  // Different production, same yield shape.
+  DerivPtr ViaT = Derivation::node(F.E, F.EfromT, {Derivation::leaf(F.T)});
+  DerivPtr Leaf = Derivation::leaf(F.E);
+  EXPECT_FALSE(Derivation::equal(ViaT, Leaf));
+  EXPECT_FALSE(Derivation::equal(mk(), ViaT));
+  // Dots compare equal to dots only.
+  EXPECT_TRUE(Derivation::equal(Derivation::dot(), Derivation::dot()));
+  EXPECT_FALSE(Derivation::equal(Derivation::dot(), Leaf));
+}
+
+TEST(ConflictResolutionTest, DescribesPrecedenceDecisions) {
+  BuiltGrammar B = BuiltGrammar::fromText(R"(
+%left PLUS
+%right POW
+%nonassoc EQ
+%%
+e : e PLUS e | e POW e | e EQ e | NUM ;
+)");
+  EXPECT_TRUE(B.T.reportedConflicts().empty());
+  bool SawLeft = false, SawRight = false, SawNonassoc = false;
+  for (const Conflict &C : B.T.conflicts()) {
+    std::string S = C.describeResolution(B.G);
+    if (C.R == Conflict::PrecReduce && B.G.name(C.Token) == "PLUS" &&
+        C.ReduceProd == 1) {
+      EXPECT_NE(S.find("left-associative"), std::string::npos) << S;
+      SawLeft = true;
+    }
+    if (C.R == Conflict::PrecShift && B.G.name(C.Token) == "POW" &&
+        C.ReduceProd == 2) {
+      EXPECT_NE(S.find("right-associative"), std::string::npos) << S;
+      SawRight = true;
+    }
+    if (C.R == Conflict::PrecError) {
+      EXPECT_NE(S.find("non-associative"), std::string::npos) << S;
+      SawNonassoc = true;
+    }
+  }
+  EXPECT_TRUE(SawLeft);
+  EXPECT_TRUE(SawRight);
+  EXPECT_TRUE(SawNonassoc);
+}
+
+TEST(ConflictResolutionTest, DescribesDefaults) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus("expr_prec_unresolved");
+  const Conflict C = B.T.reportedConflicts()[0];
+  EXPECT_NE(C.describeResolution(B.G).find("shift wins by default"),
+            std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+//===- tests/GoldenReportTest.cpp - Pinned report texts --------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+// Full-report golden tests: the exact CUP-style text (paper Fig. 11) for
+// the paper's worked examples. These pin the user-visible output format —
+// any intentional change must update the goldens.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalrcex;
+
+namespace {
+
+std::string reportFor(const std::string &Corpus, const std::string &Token) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus(Corpus);
+  CounterexampleFinder Finder(B.T);
+  Symbol T = B.G.symbolByName(Token);
+  for (const Conflict &C : B.T.reportedConflicts())
+    if (C.Token == T)
+      return Finder.render(Finder.examine(C));
+  ADD_FAILURE() << "no conflict under " << Token << " in " << Corpus;
+  return "";
+}
+
+TEST(GoldenReportTest, Figure11PlusConflict) {
+  // The paper's Figure 11, with our state numbering and the advisor hint.
+  EXPECT_EQ(reportFor("expr_prec_unresolved", "PLUS"),
+            "Warning : *** Shift/Reduce conflict found in state #4\n"
+            "  between reduction on expr ::= expr PLUS expr •\n"
+            "  and shift on expr ::= expr • PLUS expr\n"
+            "  under symbol PLUS\n"
+            "  Ambiguity detected for nonterminal expr\n"
+            "  Example: expr PLUS expr • PLUS expr\n"
+            "  Derivation using reduction:\n"
+            "    expr ::= [expr ::= [expr PLUS expr •] PLUS expr]\n"
+            "  Derivation using shift:\n"
+            "    expr ::= [expr PLUS expr ::= [expr • PLUS expr]]\n"
+            "  Hint: declare the associativity of PLUS (e.g. %left PLUS) "
+            "so the parser knows how to group chains of it\n");
+}
+
+TEST(GoldenReportTest, DanglingElse) {
+  std::string R = reportFor("figure1", "else");
+  EXPECT_NE(R.find("Warning : *** Shift/Reduce conflict"),
+            std::string::npos);
+  EXPECT_NE(
+      R.find("  between reduction on stmt ::= if expr then stmt •\n"),
+      std::string::npos);
+  EXPECT_NE(R.find("  and shift on stmt ::= if expr then stmt • else "
+                   "stmt\n"),
+            std::string::npos);
+  EXPECT_NE(R.find("  Ambiguity detected for nonterminal stmt\n"),
+            std::string::npos);
+  EXPECT_NE(
+      R.find(
+          "  Example: if expr then if expr then stmt • else stmt\n"),
+      std::string::npos);
+  EXPECT_NE(R.find("  Hint: the rule stmt ::= if expr then stmt is a "
+                   "prefix of"),
+            std::string::npos);
+}
+
+TEST(GoldenReportTest, ChallengingConflictExampleString) {
+  // §3.1: the counterexample an experienced designer needed a while to
+  // find by hand.
+  std::string R = reportFor("figure1", "digit");
+  EXPECT_NE(R.find("Example: expr '?' arr '[' expr ']' ':=' num • "
+                   "digit digit '?' stmt stmt\n"),
+            std::string::npos)
+      << R;
+}
+
+TEST(GoldenReportTest, NonunifyingFigure3) {
+  EXPECT_EQ(reportFor("figure3", "a"),
+            "Warning : *** Shift/Reduce conflict found in state #1\n"
+            "  between reduction on X ::= a •\n"
+            "  and shift on Y ::= a • a b\n"
+            "  under symbol a\n"
+            "  No unifying counterexample: the conflict is not an "
+            "ambiguity (within the default search)\n"
+            "  First  example: a • a\n"
+            "  Derivation using reduction:\n"
+            "    S ::= [S ::= [T ::= [X ::= [a] •]] T ::= [X ::= "
+            "[a]]]\n"
+            "  Second example: a • a b T\n"
+            "  Derivation using shift:\n"
+            "    S ::= [S ::= [T ::= [Y ::= [a • a b]]] T]\n");
+}
+
+TEST(GoldenReportTest, MergeArtifactNote) {
+  BuiltGrammar B = BuiltGrammar::fromText(R"(
+%%
+s : q A y | q B z | r A z | r B y ;
+A : x ;
+B : x ;
+)");
+  CounterexampleFinder Finder(B.T);
+  std::string R = Finder.render(Finder.examine(B.T.reportedConflicts()[0]));
+  EXPECT_NE(R.find("artifact of LALR state merging"), std::string::npos)
+      << R;
+}
+
+} // namespace

@@ -1,0 +1,148 @@
+//===- tests/GrammarParserTest.cpp - Text format tests ---------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/GrammarParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalrcex;
+
+namespace {
+
+TEST(GrammarParserTest, ParsesMinimalGrammar) {
+  std::string Err;
+  std::optional<Grammar> G = parseGrammarText(R"(
+%%
+s : a b ;
+)",
+                                              &Err);
+  ASSERT_TRUE(G) << Err;
+  EXPECT_EQ(G->numProductions(), 2u);
+  EXPECT_TRUE(G->symbolByName("a").valid());
+}
+
+TEST(GrammarParserTest, ParsesDirectives) {
+  std::string Err;
+  std::optional<Grammar> G = parseGrammarText(R"(
+%token NUM ID
+%left '+' '-'
+%left '*'
+%right UMINUS
+%start expr
+%%
+expr : expr '+' expr
+     | expr '-' expr
+     | expr '*' expr
+     | '-' expr %prec UMINUS
+     | NUM
+     ;
+)",
+                                              &Err);
+  ASSERT_TRUE(G) << Err;
+  Symbol Plus = G->symbolByName("'+'");
+  Symbol Star = G->symbolByName("'*'");
+  ASSERT_TRUE(Plus.valid());
+  ASSERT_TRUE(Star.valid());
+  EXPECT_LT(G->precedenceLevel(Plus), G->precedenceLevel(Star));
+  EXPECT_EQ(G->associativity(Plus), Assoc::Left);
+  // %prec UMINUS on the unary rule.
+  Symbol Uminus = G->symbolByName("UMINUS");
+  bool FoundUnary = false;
+  for (unsigned P = 0; P != G->numProductions(); ++P)
+    if (G->production(P).Rhs.size() == 2 && G->production(P).PrecSym == Uminus)
+      FoundUnary = true;
+  EXPECT_TRUE(FoundUnary);
+}
+
+TEST(GrammarParserTest, EmptyAlternativesAndComments) {
+  std::string Err;
+  std::optional<Grammar> G = parseGrammarText(R"(
+/* block comment
+   spanning lines */
+// line comment
+%%
+list : list item
+     | %empty      // explicit empty
+     ;
+item : x | ;       /* trailing empty alternative */
+)",
+                                              &Err);
+  ASSERT_TRUE(G) << Err;
+  // list has 2 productions, one of them epsilon; item has 2.
+  Symbol List = G->symbolByName("list");
+  Symbol ItemSym = G->symbolByName("item");
+  ASSERT_EQ(G->productionsOf(List).size(), 2u);
+  ASSERT_EQ(G->productionsOf(ItemSym).size(), 2u);
+  EXPECT_TRUE(G->production(G->productionsOf(List)[1]).Rhs.empty());
+}
+
+TEST(GrammarParserTest, SkipsActionsAndTags) {
+  std::string Err;
+  std::optional<Grammar> G = parseGrammarText(R"(
+%token <ival> NUM
+%type <node> expr
+%%
+expr : expr '+' NUM { $$ = mk($1, $3); }
+     | NUM          { $$ = leaf($1); }
+     ;
+)",
+                                              &Err);
+  ASSERT_TRUE(G) << Err;
+  EXPECT_EQ(G->productionsOf(G->symbolByName("expr")).size(), 2u);
+}
+
+TEST(GrammarParserTest, SecondSeparatorEndsRules) {
+  std::string Err;
+  std::optional<Grammar> G = parseGrammarText(R"(
+%%
+s : x ;
+%%
+arbitrary trailing code that : is ; not parsed
+)",
+                                              &Err);
+  ASSERT_TRUE(G) << Err;
+  EXPECT_EQ(G->numProductions(), 2u);
+}
+
+TEST(GrammarParserTest, ExpectDirectives) {
+  std::string Err;
+  std::optional<Grammar> G = parseGrammarText(R"(
+%expect 3
+%expect-rr 1
+%%
+s : x ;
+)",
+                                              &Err);
+  ASSERT_TRUE(G) << Err;
+  EXPECT_EQ(G->expectedShiftReduce(), 3);
+  EXPECT_EQ(G->expectedReduceReduce(), 1);
+
+  std::optional<Grammar> G2 = parseGrammarText("%%\ns : x ;\n");
+  ASSERT_TRUE(G2);
+  EXPECT_EQ(G2->expectedShiftReduce(), -1);
+  EXPECT_EQ(G2->expectedReduceReduce(), -1);
+
+  EXPECT_FALSE(parseGrammarText("%expect\n%%\ns : x ;\n", &Err));
+}
+
+TEST(GrammarParserTest, ReportsErrorsWithLine) {
+  std::string Err;
+  EXPECT_FALSE(parseGrammarText("%%\ns ;\n", &Err));
+  EXPECT_NE(Err.find("line 2"), std::string::npos);
+
+  EXPECT_FALSE(parseGrammarText("%bogus x\n%%\ns : x ;\n", &Err));
+  EXPECT_NE(Err.find("%bogus"), std::string::npos);
+
+  EXPECT_FALSE(parseGrammarText("s : x ;\n", &Err)); // missing %%
+}
+
+TEST(GrammarParserTest, UnterminatedConstructs) {
+  std::string Err;
+  EXPECT_FALSE(parseGrammarText("%% /* unterminated", &Err));
+  EXPECT_FALSE(parseGrammarText("%%\ns : 'x ;\n", &Err));
+}
+
+} // namespace

@@ -1,0 +1,164 @@
+//===- tests/GrammarTest.cpp - Grammar and builder tests -------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/GrammarBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalrcex;
+
+namespace {
+
+TEST(GrammarBuilderTest, BuildsSimpleGrammar) {
+  GrammarBuilder B;
+  B.token("NUM");
+  B.rule("expr", {"expr", "PLUS", "NUM"});
+  B.rule("expr", {"NUM"});
+  std::string Err;
+  std::optional<Grammar> G = B.build(&Err);
+  ASSERT_TRUE(G) << Err;
+
+  // Terminals: $, NUM, PLUS. Nonterminals: expr, $accept.
+  EXPECT_EQ(G->numTerminals(), 3u);
+  EXPECT_EQ(G->numNonterminals(), 2u);
+  EXPECT_EQ(G->numProductions(), 3u); // augmented + 2
+
+  Symbol Expr = G->symbolByName("expr");
+  ASSERT_TRUE(Expr.valid());
+  EXPECT_TRUE(G->isNonterminal(Expr));
+  EXPECT_EQ(G->startSymbol(), Expr);
+  EXPECT_EQ(G->productionsOf(Expr).size(), 2u);
+
+  Symbol Num = G->symbolByName("NUM");
+  ASSERT_TRUE(Num.valid());
+  EXPECT_TRUE(G->isTerminal(Num));
+
+  // The augmented production is S' -> expr.
+  const Production &Aug = G->production(G->augmentedProduction());
+  EXPECT_EQ(Aug.Lhs, G->augmentedStart());
+  ASSERT_EQ(Aug.Rhs.size(), 1u);
+  EXPECT_EQ(Aug.Rhs[0], Expr);
+}
+
+TEST(GrammarBuilderTest, EofIsTerminalZero) {
+  GrammarBuilder B;
+  B.rule("s", {"a"});
+  std::optional<Grammar> G = B.build();
+  ASSERT_TRUE(G);
+  EXPECT_EQ(G->eof().id(), 0);
+  EXPECT_EQ(G->name(G->eof()), "$");
+  EXPECT_TRUE(G->isTerminal(G->eof()));
+}
+
+TEST(GrammarBuilderTest, ExplicitStartSymbol) {
+  GrammarBuilder B;
+  B.rule("a", {"x"});
+  B.rule("b", {"y"});
+  B.start("b");
+  std::optional<Grammar> G = B.build();
+  ASSERT_TRUE(G);
+  EXPECT_EQ(G->startSymbol(), G->symbolByName("b"));
+}
+
+TEST(GrammarBuilderTest, RejectsMissingStart) {
+  GrammarBuilder B;
+  B.rule("a", {"x"});
+  B.start("nosuch");
+  std::string Err;
+  EXPECT_FALSE(B.build(&Err));
+  EXPECT_NE(Err.find("nosuch"), std::string::npos);
+}
+
+TEST(GrammarBuilderTest, RejectsTokenWithRules) {
+  GrammarBuilder B;
+  B.token("a");
+  B.rule("a", {"x"});
+  std::string Err;
+  EXPECT_FALSE(B.build(&Err));
+}
+
+TEST(GrammarBuilderTest, RejectsEmptyGrammar) {
+  GrammarBuilder B;
+  std::string Err;
+  EXPECT_FALSE(B.build(&Err));
+}
+
+TEST(GrammarBuilderTest, StrictModeRejectsUndeclared) {
+  GrammarBuilder B;
+  B.strict();
+  B.rule("s", {"undeclared"});
+  std::string Err;
+  EXPECT_FALSE(B.build(&Err));
+  EXPECT_NE(Err.find("undeclared"), std::string::npos);
+
+  GrammarBuilder B2;
+  B2.strict();
+  B2.token("tok");
+  B2.rule("s", {"tok"});
+  EXPECT_TRUE(B2.build());
+}
+
+TEST(GrammarBuilderTest, PrecedenceLevelsIncrease) {
+  GrammarBuilder B;
+  B.left({"PLUS", "MINUS"});
+  B.left({"TIMES"});
+  B.right({"POW"});
+  B.nonassoc({"EQ"});
+  B.rule("e", {"e", "PLUS", "e"});
+  std::optional<Grammar> G = B.build();
+  ASSERT_TRUE(G);
+
+  Symbol Plus = G->symbolByName("PLUS");
+  Symbol Minus = G->symbolByName("MINUS");
+  Symbol Times = G->symbolByName("TIMES");
+  Symbol Pow = G->symbolByName("POW");
+  Symbol Eq = G->symbolByName("EQ");
+  EXPECT_EQ(G->precedenceLevel(Plus), G->precedenceLevel(Minus));
+  EXPECT_LT(G->precedenceLevel(Plus), G->precedenceLevel(Times));
+  EXPECT_LT(G->precedenceLevel(Times), G->precedenceLevel(Pow));
+  EXPECT_EQ(G->associativity(Plus), Assoc::Left);
+  EXPECT_EQ(G->associativity(Pow), Assoc::Right);
+  EXPECT_EQ(G->associativity(Eq), Assoc::Nonassoc);
+}
+
+TEST(GrammarBuilderTest, DefaultProductionPrecedenceIsLastTerminal) {
+  GrammarBuilder B;
+  B.left({"PLUS"});
+  B.left({"TIMES"});
+  B.rule("e", {"e", "PLUS", "e", "TIMES", "e"});
+  B.rule("e", {"e", "PLUS", "e"});
+  B.rule("e", {"NUM"}, /*PrecName=*/"TIMES");
+  std::optional<Grammar> G = B.build();
+  ASSERT_TRUE(G);
+  Symbol Times = G->symbolByName("TIMES");
+  Symbol Plus = G->symbolByName("PLUS");
+  EXPECT_EQ(G->production(1).PrecSym, Times);
+  EXPECT_EQ(G->production(2).PrecSym, Plus);
+  EXPECT_EQ(G->production(3).PrecSym, Times); // %prec override
+}
+
+TEST(GrammarTest, ProductionStringWithDot) {
+  GrammarBuilder B;
+  B.rule("e", {"e", "PLUS", "e"});
+  std::optional<Grammar> G = B.build();
+  ASSERT_TRUE(G);
+  EXPECT_EQ(G->productionString(1), "e ::= e PLUS e");
+  EXPECT_EQ(G->productionString(1, 0), "e ::= \xE2\x80\xA2 e PLUS e");
+  EXPECT_EQ(G->productionString(1, 2), "e ::= e PLUS \xE2\x80\xA2 e");
+  EXPECT_EQ(G->productionString(1, 3), "e ::= e PLUS e \xE2\x80\xA2");
+}
+
+TEST(GrammarTest, EpsilonProduction) {
+  GrammarBuilder B;
+  B.rule("opt", {});
+  B.rule("opt", {"x"});
+  std::optional<Grammar> G = B.build();
+  ASSERT_TRUE(G);
+  EXPECT_EQ(G->production(1).Rhs.size(), 0u);
+  EXPECT_EQ(G->productionString(1), "opt ::= /* empty */");
+}
+
+} // namespace

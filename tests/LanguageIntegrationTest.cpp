@@ -1,0 +1,242 @@
+//===- tests/LanguageIntegrationTest.cpp - Full-pipeline tests -*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+// End-to-end integration over the conflict-free base grammars: real
+// program text -> lexer -> LALR parser -> parse tree. This exercises
+// grammar loading, table construction, the tokenizer substrate, and the
+// runtime together, and pins down that the corpus base languages actually
+// accept/reject what they should.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexer/Lexer.h"
+#include "parser/LrParser.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalrcex;
+
+namespace {
+
+/// Builds the parser + lexer for one corpus base grammar.
+struct Language {
+  BuiltGrammar B;
+  LexSpec Lex;
+  LrParser Parser;
+
+  explicit Language(const std::string &Corpus)
+      : B(BuiltGrammar::fromCorpus(Corpus)), Lex(LexSpec::fromGrammar(B.G)),
+        Parser(B.T) {}
+
+  Symbol sym(const std::string &Name) {
+    Symbol S = B.G.symbolByName(Name);
+    EXPECT_TRUE(S.valid()) << Name;
+    return S;
+  }
+
+  ::testing::AssertionResult accepts(const std::string &Text) {
+    LexOutcome L = Lex.tokenize(Text);
+    if (!L.Ok)
+      return ::testing::AssertionFailure() << L.ErrorMessage;
+    ParseOutcome R = Parser.parse(L.symbols());
+    if (!R.Accepted)
+      return ::testing::AssertionFailure() << R.ErrorMessage;
+    return ::testing::AssertionSuccess();
+  }
+
+  ::testing::AssertionResult rejects(const std::string &Text) {
+    LexOutcome L = Lex.tokenize(Text);
+    if (!L.Ok)
+      return ::testing::AssertionSuccess(); // lex error counts as reject
+    ParseOutcome R = Parser.parse(L.symbols());
+    if (R.Accepted)
+      return ::testing::AssertionFailure() << "unexpectedly accepted";
+    return ::testing::AssertionSuccess();
+  }
+};
+
+TEST(LanguageIntegrationTest, SqlParsesRealQueries) {
+  Language L("SQL.base");
+  // SQL keywords are upper-case terminal names; wire the value tokens and
+  // comparison operators.
+  L.Lex.identifiers(L.sym("NAME"));
+  L.Lex.numbers(L.sym("INTNUM"));
+  L.Lex.strings(L.sym("STRING"));
+  for (const char *Op : {"=", "<", ">", "<=", ">=", "<>"})
+    L.Lex.literal(Op, L.sym("COMPARISON"));
+
+  EXPECT_TRUE(L.accepts("SELECT * FROM t ;"));
+  EXPECT_TRUE(L.accepts("SELECT a , b AS total FROM t , u "
+                        "WHERE a = 1 AND b < 2 OR NOT c = 3 ;"));
+  EXPECT_TRUE(L.accepts("SELECT DISTINCT price * 2 + 1 FROM products "
+                        "WHERE name LIKE \"x%\" "
+                        "GROUP BY category HAVING n > 10 "
+                        "ORDER BY price DESC ;"));
+  EXPECT_TRUE(L.accepts("INSERT INTO t ( a , b ) VALUES ( 1 , 2 ) ;"));
+  EXPECT_TRUE(L.accepts("UPDATE t SET a = 1 WHERE b = 2 ;"));
+  EXPECT_TRUE(L.accepts("DELETE FROM t ;"));
+  EXPECT_TRUE(L.accepts("CREATE TABLE t ( id int , name varchar ( 32 ) ) ;"));
+  EXPECT_TRUE(L.accepts("DROP TABLE t ; SELECT * FROM t ;"));
+  EXPECT_TRUE(L.accepts("SELECT x FROM a JOIN b ON a . id = b . id ;"));
+
+  EXPECT_TRUE(L.rejects("SELECT FROM t ;"));
+  EXPECT_TRUE(L.rejects("SELECT * FROM ;"));
+  EXPECT_TRUE(L.rejects("SELECT * FROM t"));  // missing semicolon
+  EXPECT_TRUE(L.rejects("UPDATE SET a = 1 ;"));
+}
+
+TEST(LanguageIntegrationTest, PascalParsesRealPrograms) {
+  Language L("Pascal.base");
+  // Pascal keywords are upper-case terminal names; map real spellings.
+  struct {
+    const char *Spelling, *Terminal;
+  } Keywords[] = {
+      {"program", "PROGRAM"}, {"label", "LABEL"},   {"const", "CONST"},
+      {"type", "TYPE"},       {"var", "VAR"},       {"procedure", "PROCEDURE"},
+      {"function", "FUNCTION"}, {"begin", "BEGINT"}, {"end", "END"},
+      {"if", "IF"},           {"then", "THEN"},     {"else", "ELSE"},
+      {"case", "CASE"},       {"of", "OF"},         {"while", "WHILE"},
+      {"do", "DO"},           {"repeat", "REPEAT"}, {"until", "UNTIL"},
+      {"for", "FOR"},         {"to", "TO"},         {"downto", "DOWNTO"},
+      {"with", "WITH"},       {"goto", "GOTO"},     {"nil", "NIL"},
+      {"not", "NOT"},         {"div", "DIV"},       {"mod", "MOD"},
+      {"and", "AND"},         {"or", "OR"},         {"in", "IN"},
+      {"array", "ARRAY"},     {"record", "RECORD"}, {"set", "SET"},
+      {"file", "FILEOF"},     {"packed", "PACKED"},
+  };
+  for (const auto &K : Keywords)
+    L.Lex.literal(K.Spelling, L.sym(K.Terminal));
+  struct {
+    const char *Spelling, *Terminal;
+  } Ops[] = {
+      {":=", "ASSIGN"}, {"..", "DOTDOT"}, {"=", "EQ"},  {"<>", "NE"},
+      {"<", "LT"},      {">", "GT"},      {"<=", "LE"}, {">=", "GE"},
+      {"+", "PLUS"},    {"-", "MINUS"},   {"*", "STAR"}, {"/", "SLASH"},
+  };
+  for (const auto &O : Ops)
+    L.Lex.literal(O.Spelling, L.sym(O.Terminal));
+  L.Lex.identifiers(L.sym("IDENT"));
+  L.Lex.numbers(L.sym("UNSIGNED_INT"));
+  L.Lex.strings(L.sym("STRING"));
+
+  EXPECT_TRUE(L.accepts("program p ; begin end ."));
+  EXPECT_TRUE(L.accepts(R"(
+program sums ( input , output ) ;
+const limit = 10 ;
+var i , total : integer ;
+begin
+  total := 0 ;
+  for i := 1 to limit do
+    total := total + i ;
+  if total > 50 then
+    writeln ( total )
+  else
+    writeln ( 0 )
+end .)"));
+  EXPECT_TRUE(L.accepts(R"(
+program decls ;
+type
+  range = 1 .. 100 ;
+  point = record x , y : integer end ;
+var p : point ;
+    a : array [ range ] of integer ;
+procedure reset ( var v : integer ) ;
+begin v := 0 end ;
+begin
+  p . x := 3 ;
+  a [ 2 ] := p . x * 2 ;
+  while a [ 2 ] < 10 do a [ 2 ] := a [ 2 ] + 1 ;
+  repeat reset ( p . y ) until p . y = 0
+end .)"));
+
+  EXPECT_TRUE(L.rejects("program p begin end ."));  // missing ';'
+  EXPECT_TRUE(L.rejects("program p ; begin end"));  // missing '.'
+  EXPECT_TRUE(L.rejects("program p ; begin x := end ."));
+}
+
+TEST(LanguageIntegrationTest, CParsesRealTranslationUnits) {
+  Language L("C.base");
+  struct {
+    const char *Spelling, *Terminal;
+  } Keywords[] = {
+      {"typedef", "TYPEDEF"}, {"extern", "EXTERN"},  {"static", "STATIC"},
+      {"auto", "AUTO"},       {"register", "REGISTER"}, {"char", "CHAR"},
+      {"short", "SHORT"},     {"int", "INT"},        {"long", "LONG"},
+      {"signed", "SIGNED"},   {"unsigned", "UNSIGNED"}, {"float", "FLOAT"},
+      {"double", "DOUBLE"},   {"const", "CONST"},    {"volatile", "VOLATILE"},
+      {"void", "VOID"},       {"struct", "STRUCT"},  {"union", "UNION"},
+      {"enum", "ENUM"},       {"case", "CASE"},      {"default", "DEFAULT"},
+      {"if", "IF"},           {"else", "ELSE"},      {"switch", "SWITCH"},
+      {"while", "WHILE"},     {"do", "DO"},          {"for", "FOR"},
+      {"goto", "GOTO"},       {"continue", "CONTINUE"}, {"break", "BREAK"},
+      {"return", "RETURN"},   {"sizeof", "SIZEOF"},
+  };
+  for (const auto &K : Keywords)
+    L.Lex.literal(K.Spelling, L.sym(K.Terminal));
+  struct {
+    const char *Spelling, *Terminal;
+  } Ops[] = {
+      {"->", "PTR_OP"},    {"++", "INC_OP"},       {"--", "DEC_OP"},
+      {"<<", "LEFT_OP"},   {">>", "RIGHT_OP"},     {"<=", "LE_OP"},
+      {">=", "GE_OP"},     {"==", "EQ_OP"},        {"!=", "NE_OP"},
+      {"&&", "AND_OP"},    {"||", "OR_OP"},        {"*=", "MUL_ASSIGN"},
+      {"/=", "DIV_ASSIGN"}, {"%=", "MOD_ASSIGN"},  {"+=", "ADD_ASSIGN"},
+      {"-=", "SUB_ASSIGN"}, {"<<=", "LEFT_ASSIGN"}, {">>=", "RIGHT_ASSIGN"},
+      {"&=", "AND_ASSIGN"}, {"^=", "XOR_ASSIGN"},   {"|=", "OR_ASSIGN"},
+      {"...", "ELLIPSIS"},
+  };
+  for (const auto &O : Ops)
+    L.Lex.literal(O.Spelling, L.sym(O.Terminal));
+  L.Lex.identifiers(L.sym("IDENTIFIER"));
+  L.Lex.numbers(L.sym("CONSTANT"));
+  L.Lex.strings(L.sym("STRING_LITERAL"));
+
+  EXPECT_TRUE(L.accepts("int x ;"));
+  EXPECT_TRUE(L.accepts(R"(
+int fib ( int n ) {
+  if ( n < 2 ) return n ;
+  return fib ( n - 1 ) + fib ( n - 2 ) ;
+}
+)"));
+  EXPECT_TRUE(L.accepts(R"(
+struct point { int x ; int y ; } ;
+static unsigned long total = 0 ;
+void bump ( struct point * p , int by ) {
+  int i ;
+  for ( i = 0 ; i < by ; i ++ ) {
+    p -> x += 1 ;
+    total = total + ( unsigned long ) 0 ;
+  }
+  switch ( by ) {
+    case 0 : break ;
+    default : p -> y = by ? by : - by ; break ;
+  }
+  while ( p -> x > 100 ) p -> x >>= 1 ;
+  do { p -> y -- ; } while ( p -> y && p -> x ) ;
+}
+)"));
+  EXPECT_TRUE(L.accepts("enum color { RED , GREEN = 2 } c ;"));
+
+  EXPECT_TRUE(L.rejects("int x"));            // missing semicolon
+  EXPECT_TRUE(L.accepts("int f ( ) { return 0 ; ; ; }"))
+      << "empty statements should parse";
+  EXPECT_TRUE(L.rejects("struct { } ;")); // struct bodies need a member
+}
+
+TEST(LanguageIntegrationTest, CRejectsMalformedInput) {
+  Language L("C.base");
+  L.Lex.identifiers(L.sym("IDENTIFIER"));
+  L.Lex.numbers(L.sym("CONSTANT"));
+  for (const auto &KV : {std::pair<const char *, const char *>{"int", "INT"},
+                         {"return", "RETURN"}})
+    L.Lex.literal(KV.first, L.sym(KV.second));
+
+  EXPECT_TRUE(L.rejects("int f ( { }"));
+  EXPECT_TRUE(L.rejects("int f ( ) { return 1 + ; }"));
+  EXPECT_TRUE(L.rejects("( ) int f { }"));
+}
+
+} // namespace

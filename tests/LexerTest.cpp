@@ -1,0 +1,147 @@
+//===- tests/LexerTest.cpp - Tokenizer substrate tests ---------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexer/Lexer.h"
+
+#include "TestUtil.h"
+#include "parser/LrParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalrcex;
+
+namespace {
+
+TEST(LexerTest, FromGrammarDerivesLiteralsAndKeywords) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  LexSpec Spec = LexSpec::fromGrammar(B.G);
+  // digit is alphabetic -> keyword; '?' is quoted -> punctuation literal.
+  LexOutcome R = Spec.tokenize("if digit then arr [ digit ] := digit");
+  ASSERT_TRUE(R.Ok) << R.ErrorMessage;
+  ASSERT_EQ(R.Tokens.size(), 9u);
+  EXPECT_EQ(B.G.name(R.Tokens[0].Terminal), "if");
+  EXPECT_EQ(B.G.name(R.Tokens[3].Terminal), "arr");
+  EXPECT_EQ(B.G.name(R.Tokens[4].Terminal), "'['");
+  EXPECT_EQ(B.G.name(R.Tokens[7].Terminal), "':='");
+}
+
+TEST(LexerTest, MaximalMunchOnPunctuation) {
+  BuiltGrammar B = BuiltGrammar::fromText(R"(
+%%
+s : ':=' | ':' | '=' | '==' ;
+)");
+  LexSpec Spec = LexSpec::fromGrammar(B.G);
+  LexOutcome R = Spec.tokenize(":= : == =");
+  ASSERT_TRUE(R.Ok) << R.ErrorMessage;
+  ASSERT_EQ(R.Tokens.size(), 4u);
+  EXPECT_EQ(B.G.name(R.Tokens[0].Terminal), "':='");
+  EXPECT_EQ(B.G.name(R.Tokens[1].Terminal), "':'");
+  EXPECT_EQ(B.G.name(R.Tokens[2].Terminal), "'=='");
+  EXPECT_EQ(B.G.name(R.Tokens[3].Terminal), "'='");
+  // No-space maximal munch too: ":==" is ":=" then "=".
+  LexOutcome R2 = Spec.tokenize(":==");
+  ASSERT_TRUE(R2.Ok);
+  ASSERT_EQ(R2.Tokens.size(), 2u);
+  EXPECT_EQ(B.G.name(R2.Tokens[0].Terminal), "':='");
+}
+
+TEST(LexerTest, KeywordsBeatIdentifiersButNotPrefixes) {
+  BuiltGrammar B = BuiltGrammar::fromText(R"(
+%token ID
+%%
+s : if ID then ID ;
+)");
+  LexSpec Spec = LexSpec::fromGrammar(B.G);
+  Spec.identifiers(B.G.symbolByName("ID"));
+  LexOutcome R = Spec.tokenize("if iffy then thenx");
+  ASSERT_TRUE(R.Ok) << R.ErrorMessage;
+  ASSERT_EQ(R.Tokens.size(), 4u);
+  EXPECT_EQ(B.G.name(R.Tokens[0].Terminal), "if");
+  EXPECT_EQ(B.G.name(R.Tokens[1].Terminal), "ID"); // iffy is not "if"
+  EXPECT_EQ(B.G.name(R.Tokens[2].Terminal), "then");
+  EXPECT_EQ(B.G.name(R.Tokens[3].Terminal), "ID");
+}
+
+TEST(LexerTest, NumbersStringsAndComments) {
+  BuiltGrammar B = BuiltGrammar::fromText(R"(
+%token NUM STR
+%%
+s : NUM '+' NUM | STR ;
+)");
+  LexSpec Spec = LexSpec::fromGrammar(B.G);
+  Spec.numbers(B.G.symbolByName("NUM"));
+  Spec.strings(B.G.symbolByName("STR"));
+  LexOutcome R = Spec.tokenize("12 + 3.5 // trailing comment\n\"a\\\"b\"");
+  ASSERT_TRUE(R.Ok) << R.ErrorMessage;
+  ASSERT_EQ(R.Tokens.size(), 4u);
+  EXPECT_EQ(R.Tokens[0].Text, "12");
+  EXPECT_EQ(R.Tokens[2].Text, "3.5");
+  EXPECT_EQ(R.Tokens[3].Text, "a\"b");
+}
+
+TEST(LexerTest, ErrorsAreReportedWithOffsets) {
+  BuiltGrammar B = BuiltGrammar::fromText(R"(
+%token NUM
+%%
+s : NUM ;
+)");
+  LexSpec Spec = LexSpec::fromGrammar(B.G);
+  Spec.numbers(B.G.symbolByName("NUM"));
+
+  LexOutcome R = Spec.tokenize("12 $ 3");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.ErrorOffset, 3u);
+
+  LexOutcome R2 = Spec.tokenize("hello");
+  EXPECT_FALSE(R2.Ok); // no identifier terminal wired
+
+  BuiltGrammar B2 = BuiltGrammar::fromText(R"(
+%token STR
+%%
+s : STR ;
+)");
+  LexSpec Spec2 = LexSpec::fromGrammar(B2.G);
+  Spec2.strings(B2.G.symbolByName("STR"));
+  EXPECT_FALSE(Spec2.tokenize("\"unterminated").Ok);
+}
+
+TEST(LexerTest, EndToEndWithParser) {
+  // Real text -> tokens -> LALR parse, the full pipeline.
+  BuiltGrammar B = BuiltGrammar::fromText(R"(
+%token NUM
+%left '+' '-'
+%left '*' '/'
+%%
+e : e '+' e | e '-' e | e '*' e | e '/' e | '(' e ')' | NUM ;
+)");
+  LexSpec Spec = LexSpec::fromGrammar(B.G);
+  Spec.numbers(B.G.symbolByName("NUM"));
+  LrParser P(B.T);
+
+  LexOutcome L = Spec.tokenize("(1+2)*3");
+  ASSERT_TRUE(L.Ok) << L.ErrorMessage;
+  ParseOutcome R = P.parse(L.symbols());
+  ASSERT_TRUE(R.Accepted) << R.ErrorMessage;
+  EXPECT_EQ(R.Tree->toSExpr(B.G),
+            "(e (e '(' (e (e NUM) '+' (e NUM)) ')') '*' (e NUM))");
+
+  EXPECT_FALSE(P.parse(Spec.tokenize("1++2").symbols()).Accepted);
+}
+
+TEST(LexerTest, TokenizesFigure1CounterexampleText) {
+  // The paper's §3.2 concrete input: "if 2 + 5 then arr[4] := 7" — with a
+  // number terminal standing in for digit.
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  LexSpec Spec = LexSpec::fromGrammar(B.G);
+  Spec.numbers(B.G.symbolByName("digit"));
+  LrParser P(B.T);
+  LexOutcome L = Spec.tokenize("if 2 + 5 then arr[4] := 7");
+  ASSERT_TRUE(L.Ok) << L.ErrorMessage;
+  ParseOutcome R = P.parse(L.symbols());
+  EXPECT_TRUE(R.Accepted) << R.ErrorMessage;
+}
+
+} // namespace

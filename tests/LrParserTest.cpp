@@ -1,0 +1,155 @@
+//===- tests/LrParserTest.cpp - Parser runtime tests -----------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/LrParser.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalrcex;
+
+namespace {
+
+TEST(LrParserTest, ParsesSimpleExpression) {
+  BuiltGrammar B = BuiltGrammar::fromText(R"(
+%%
+e : t | e PLUS t ;
+t : NUM ;
+)");
+  LrParser P(B.T);
+  ParseOutcome R = P.parseText("NUM PLUS NUM PLUS NUM");
+  ASSERT_TRUE(R.Accepted) << R.ErrorMessage;
+  // Left recursion: ((NUM + NUM) + NUM).
+  EXPECT_EQ(R.Tree->toSExpr(B.G),
+            "(e (e (e (t NUM)) PLUS (t NUM)) PLUS (t NUM))");
+}
+
+TEST(LrParserTest, PrecedenceShapesTheTree) {
+  BuiltGrammar B = BuiltGrammar::fromText(R"(
+%left PLUS
+%left TIMES
+%%
+e : e PLUS e | e TIMES e | NUM ;
+)");
+  LrParser P(B.T);
+  ParseOutcome R = P.parseText("NUM PLUS NUM TIMES NUM");
+  ASSERT_TRUE(R.Accepted) << R.ErrorMessage;
+  // TIMES binds tighter: NUM + (NUM * NUM).
+  EXPECT_EQ(R.Tree->toSExpr(B.G),
+            "(e (e NUM) PLUS (e (e NUM) TIMES (e NUM)))");
+
+  // Left associativity: (NUM + NUM) + NUM.
+  ParseOutcome R2 = P.parseText("NUM PLUS NUM PLUS NUM");
+  ASSERT_TRUE(R2.Accepted);
+  EXPECT_EQ(R2.Tree->toSExpr(B.G),
+            "(e (e (e NUM) PLUS (e NUM)) PLUS (e NUM))");
+}
+
+TEST(LrParserTest, RightAssociativity) {
+  BuiltGrammar B = BuiltGrammar::fromText(R"(
+%right ARROW
+%%
+ty : ty ARROW ty | ID ;
+)");
+  LrParser P(B.T);
+  ParseOutcome R = P.parseText("ID ARROW ID ARROW ID");
+  ASSERT_TRUE(R.Accepted);
+  // Right assoc: ID -> (ID -> ID).
+  EXPECT_EQ(R.Tree->toSExpr(B.G),
+            "(ty (ty ID) ARROW (ty (ty ID) ARROW (ty ID)))");
+}
+
+TEST(LrParserTest, DanglingElseDefaultsToShift) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  LrParser P(B.T);
+  // The default shift binds else to the inner if. (Statements in figure1
+  // are assignments, conditionals, or "expr ? stmt stmt".)
+  ParseOutcome R = P.parseText("if digit then if digit then "
+                               "arr '[' digit ']' ':=' digit "
+                               "else arr '[' digit ']' ':=' digit");
+  ASSERT_TRUE(R.Accepted) << R.ErrorMessage;
+  std::string S = R.Tree->toSExpr(B.G);
+  // Inner if carries the else: the outer stmt has the 4-ary form.
+  EXPECT_NE(S.find("(stmt if"), std::string::npos);
+  // Outer production is "if expr then stmt" (4 children after stmt).
+  ASSERT_FALSE(R.Tree->isLeaf());
+  EXPECT_EQ(B.G.production(unsigned(R.Tree->Prod)).Rhs.size(), 4u);
+}
+
+TEST(LrParserTest, SyntaxErrorsAreReported) {
+  BuiltGrammar B = BuiltGrammar::fromText(R"(
+%%
+e : e PLUS t | t ;
+t : NUM ;
+)");
+  LrParser P(B.T);
+  ParseOutcome R = P.parseText("NUM PLUS PLUS NUM");
+  EXPECT_FALSE(R.Accepted);
+  EXPECT_EQ(R.ErrorIndex, 2u);
+  EXPECT_NE(R.ErrorMessage.find("PLUS"), std::string::npos);
+
+  ParseOutcome R2 = P.parseText("NUM PLUS");
+  EXPECT_FALSE(R2.Accepted);
+  EXPECT_EQ(R2.ErrorIndex, 2u); // unexpected end of input
+
+  ParseOutcome R3 = P.parseText("");
+  EXPECT_FALSE(R3.Accepted);
+
+  ParseOutcome R4 = P.parseText("BOGUS");
+  EXPECT_FALSE(R4.Accepted);
+  EXPECT_NE(R4.ErrorMessage.find("unknown terminal"), std::string::npos);
+}
+
+TEST(LrParserTest, NonassocInputRejected) {
+  BuiltGrammar B = BuiltGrammar::fromText(R"(
+%nonassoc EQ
+%%
+e : e EQ e | NUM ;
+)");
+  LrParser P(B.T);
+  EXPECT_TRUE(P.parseText("NUM EQ NUM").Accepted);
+  EXPECT_FALSE(P.parseText("NUM EQ NUM EQ NUM").Accepted);
+}
+
+TEST(LrParserTest, EpsilonProductions) {
+  BuiltGrammar B = BuiltGrammar::fromText(R"(
+%%
+list : | list X ;
+)");
+  LrParser P(B.T);
+  EXPECT_TRUE(P.parseText("").Accepted);
+  EXPECT_TRUE(P.parseText("X X X").Accepted);
+}
+
+TEST(LrParserTest, AcceptsMinimalYieldsOfCorpusGrammars) {
+  // Property: the minimal terminal yield of the start symbol parses (for
+  // grammars without reported conflicts this must hold; with conflicts
+  // the default resolutions still accept the language subset we check).
+  for (const char *Name : {"figure1", "expr_prec_resolved"}) {
+    BuiltGrammar B = BuiltGrammar::fromCorpus(Name);
+    LrParser P(B.T);
+    // Expand the start symbol to its minimal terminal string.
+    std::vector<Symbol> Work = {B.G.startSymbol()};
+    std::vector<Symbol> Tokens;
+    while (!Work.empty()) {
+      Symbol S = Work.back();
+      Work.pop_back();
+      if (B.G.isTerminal(S)) {
+        Tokens.push_back(S);
+        continue;
+      }
+      const Production &Prod =
+          B.G.production(B.A.minProduction(S));
+      for (auto It = Prod.Rhs.rbegin(); It != Prod.Rhs.rend(); ++It)
+        Work.push_back(*It);
+    }
+    ParseOutcome R = P.parse(Tokens);
+    EXPECT_TRUE(R.Accepted) << Name << ": " << R.ErrorMessage;
+  }
+}
+
+} // namespace

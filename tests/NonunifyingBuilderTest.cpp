@@ -1,0 +1,181 @@
+//===- tests/NonunifyingBuilderTest.cpp - Builder internals ----*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+// Unit tests for the §4 machinery: the shortest lookahead-sensitive path,
+// the bridge to the other conflicted item (Fig. 5(b)), and the derivation
+// helpers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "counterexample/NonunifyingBuilder.h"
+
+#include "TestUtil.h"
+#include "support/StrUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalrcex;
+
+namespace {
+
+TEST(LssPathTest, DanglingElsePathMatchesFigure5) {
+  // The paper's Fig. 5(a): the shortest lookahead-sensitive path to the
+  // dangling-else reduce item nests one short-if inside a long-if, nine
+  // steps after the start vertex.
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  StateItemGraph Graph(B.M);
+  Symbol Else = B.G.symbolByName("else");
+  Conflict C;
+  for (const Conflict &Cand : B.T.reportedConflicts())
+    if (Cand.Token == Else)
+      C = Cand;
+  StateItemGraph::NodeId Reduce = Graph.nodeFor(C.State, C.reduceItem(B.G));
+  std::optional<LssPath> Path =
+      shortestLookaheadSensitivePath(Graph, Reduce, Else);
+  ASSERT_TRUE(Path);
+  // Fig. 5(a) has 10 vertices: start, [prod], if, expr, then, [prod], if,
+  // expr, then, stmt.
+  EXPECT_EQ(Path->Steps.size(), 10u);
+  EXPECT_EQ(Path->Steps.front().EdgeKind, LssStep::Start);
+  EXPECT_EQ(Path->Steps.back().Node, Reduce);
+  // The final precise lookahead set contains exactly {else}: the inner
+  // statement is followed only by "else" on this path.
+  EXPECT_TRUE(Path->Steps.back().Lookaheads.contains(Else.id()));
+  EXPECT_EQ(Path->Steps.back().Lookaheads.count(), 1u);
+  // Transition symbols spell the counterexample prefix.
+  std::vector<std::string> Syms;
+  for (size_t I = 1; I < Path->Steps.size(); ++I)
+    if (Path->Steps[I].EdgeKind == LssStep::Transition)
+      Syms.push_back(
+          B.G.name(Graph.itemOf(Path->Steps[I].Node).beforeDot(B.G)));
+  EXPECT_EQ(join(Syms, " "), "if expr then if expr then stmt");
+}
+
+TEST(LssPathTest, PathIsLookaheadSensitiveNotJustShortest) {
+  // The plain shortest path to the dangling-else reduce item is
+  // "if expr then stmt" (4 transitions), but its lookahead there is {$},
+  // not {else}; the lookahead-sensitive path must be longer.
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  StateItemGraph Graph(B.M);
+  Symbol Else = B.G.symbolByName("else");
+  Conflict C;
+  for (const Conflict &Cand : B.T.reportedConflicts())
+    if (Cand.Token == Else)
+      C = Cand;
+  StateItemGraph::NodeId Reduce = Graph.nodeFor(C.State, C.reduceItem(B.G));
+  std::optional<LssPath> Path =
+      shortestLookaheadSensitivePath(Graph, Reduce, Else);
+  ASSERT_TRUE(Path);
+  unsigned Transitions = 0;
+  for (const LssStep &S : Path->Steps)
+    if (S.EdgeKind == LssStep::Transition)
+      ++Transitions;
+  EXPECT_EQ(Transitions, 7u); // if expr then if expr then stmt
+}
+
+TEST(NonunifyingBuilderTest, BridgeFollowsPathStates) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  StateItemGraph Graph(B.M);
+  NonunifyingBuilder Builder(Graph);
+  Symbol Else = B.G.symbolByName("else");
+  Conflict C;
+  for (const Conflict &Cand : B.T.reportedConflicts())
+    if (Cand.Token == Else)
+      C = Cand;
+  StateItemGraph::NodeId Reduce = Graph.nodeFor(C.State, C.reduceItem(B.G));
+  StateItemGraph::NodeId Shift = Graph.nodeFor(C.State, C.ShiftItm);
+  std::optional<LssPath> Path =
+      shortestLookaheadSensitivePath(Graph, Reduce, Else);
+  ASSERT_TRUE(Path);
+
+  std::optional<std::vector<LssStep>> Bridge =
+      Builder.bridgeToOtherItem(*Path, Shift, Else);
+  ASSERT_TRUE(Bridge);
+  EXPECT_EQ(Bridge->back().Node, Shift);
+  // Same number of transitions as the reduce path (Fig. 5(b): same state
+  // sequence, different production steps).
+  auto countTransitions = [](const std::vector<LssStep> &Steps) {
+    unsigned N = 0;
+    for (const LssStep &S : Steps)
+      if (S.EdgeKind == LssStep::Transition)
+        ++N;
+    return N;
+  };
+  EXPECT_EQ(countTransitions(*Bridge), countTransitions(Path->Steps));
+}
+
+TEST(NonunifyingBuilderTest, EmptyDerivationIsMinimal) {
+  BuiltGrammar B = BuiltGrammar::fromText(R"(
+%%
+s : a b X ;
+a : | a Y ;
+b : a a | ;
+)");
+  StateItemGraph Graph(B.M);
+  NonunifyingBuilder Builder(Graph);
+  Symbol A = B.G.symbolByName("a");
+  Symbol Bsym = B.G.symbolByName("b");
+  DerivPtr Ea = Builder.emptyDerivation(A);
+  expectDerivationConsistent(B.G, Ea);
+  std::vector<Symbol> Yield;
+  Ea->appendYield(Yield);
+  EXPECT_TRUE(Yield.empty());
+  EXPECT_EQ(Ea->size(), 1u); // a ::= [] directly, not via b
+  DerivPtr Eb = Builder.emptyDerivation(Bsym);
+  std::vector<Symbol> YieldB;
+  Eb->appendYield(YieldB);
+  EXPECT_TRUE(YieldB.empty());
+  expectDerivationConsistent(B.G, Eb);
+}
+
+TEST(NonunifyingBuilderTest, DerivationBeginningWithExposesTerminal) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  StateItemGraph Graph(B.M);
+  NonunifyingBuilder Builder(Graph);
+  Symbol Stmt = B.G.symbolByName("stmt");
+  Symbol Digit = B.G.symbolByName("digit");
+
+  DerivPtr D = Builder.derivationBeginningWith(Stmt, Digit);
+  expectDerivationConsistent(B.G, D);
+  std::vector<Symbol> Yield;
+  D->appendYield(Yield);
+  ASSERT_FALSE(Yield.empty());
+  EXPECT_EQ(Yield.front(), Digit);
+  // Unrelated symbols stay unexpanded: a stmt beginning with a digit is
+  // "digit ? stmt stmt" with both trailing stmts as leaves.
+  EXPECT_EQ(B.G.symbolsString(Yield), "digit '?' stmt stmt");
+}
+
+TEST(NonunifyingBuilderTest, TerminalCaseOfDerivationBeginningWith) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  StateItemGraph Graph(B.M);
+  NonunifyingBuilder Builder(Graph);
+  Symbol Digit = B.G.symbolByName("digit");
+  DerivPtr D = Builder.derivationBeginningWith(Digit, Digit);
+  EXPECT_TRUE(D->isLeaf());
+  EXPECT_EQ(D->symbol(), Digit);
+}
+
+TEST(NonunifyingBuilderTest, Figure3ExamplesMatchPaperShape) {
+  // figure3's conflict: X ::= a . vs Y ::= a . a b under 'a'. The
+  // nonunifying pair shares "a" and diverges after the dot.
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure3");
+  StateItemGraph Graph(B.M);
+  NonunifyingBuilder Builder(Graph);
+  const Conflict C = B.T.reportedConflicts()[0];
+  StateItemGraph::NodeId Reduce = Graph.nodeFor(C.State, C.reduceItem(B.G));
+  StateItemGraph::NodeId Shift = Graph.nodeFor(C.State, C.ShiftItm);
+  std::optional<LssPath> Path =
+      shortestLookaheadSensitivePath(Graph, Reduce, C.Token);
+  ASSERT_TRUE(Path);
+  std::optional<Counterexample> Ex = Builder.build(*Path, Shift, C.Token);
+  ASSERT_TRUE(Ex);
+  expectCounterexampleWellFormed(B.G, *Ex, C.Token);
+  // Reduce side completes X ::= a and continues with a T starting in 'a';
+  // shift side stays inside Y ::= a . a b.
+  EXPECT_EQ(Ex->exampleString1(B.G), "a \xE2\x80\xA2 a");
+  EXPECT_EQ(Ex->exampleString2(B.G), "a \xE2\x80\xA2 a b T");
+}
+
+} // namespace

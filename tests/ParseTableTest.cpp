@@ -1,0 +1,204 @@
+//===- tests/ParseTableTest.cpp - ACTION/GOTO + conflict tests -*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lr/ParseTable.h"
+
+#include "corpus/Corpus.h"
+#include "grammar/GrammarParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalrcex;
+
+namespace {
+
+struct Built {
+  Grammar G;
+  GrammarAnalysis A;
+  Automaton M;
+  ParseTable T;
+
+  explicit Built(Grammar InG)
+      : G(std::move(InG)), A(G), M(G, A), T(M) {}
+};
+
+Built build(const std::string &Name) { return Built(loadCorpusGrammar(Name)); }
+
+Built buildText(const std::string &Text) {
+  std::string Err;
+  std::optional<Grammar> G = parseGrammarText(Text, &Err);
+  EXPECT_TRUE(G) << Err;
+  return Built(std::move(*G));
+}
+
+unsigned reportedCount(const ParseTable &T) {
+  return unsigned(T.reportedConflicts().size());
+}
+
+TEST(ParseTableTest, ConflictFreeGrammarHasNoConflicts) {
+  Built B = buildText(R"(
+%%
+e : t | e plus t ;
+t : f | t star f ;
+f : lp e rp | id ;
+)");
+  EXPECT_EQ(B.T.conflicts().size(), 0u);
+}
+
+TEST(ParseTableTest, Figure1HasThreeConflicts) {
+  Built B = build("figure1");
+  EXPECT_EQ(reportedCount(B.T), 3u);
+  // All three are shift/reduce.
+  for (const Conflict &C : B.T.reportedConflicts())
+    EXPECT_EQ(C.K, Conflict::ShiftReduce);
+}
+
+TEST(ParseTableTest, Figure3HasOneConflict) {
+  Built B = build("figure3");
+  ASSERT_EQ(reportedCount(B.T), 1u);
+  Conflict C = B.T.reportedConflicts()[0];
+  EXPECT_EQ(C.K, Conflict::ShiftReduce);
+  EXPECT_EQ(B.G.name(C.Token), "a");
+}
+
+TEST(ParseTableTest, Figure7HasTwoConflicts) {
+  Built B = build("figure7");
+  ASSERT_EQ(reportedCount(B.T), 2u);
+  for (const Conflict &C : B.T.reportedConflicts()) {
+    EXPECT_EQ(C.K, Conflict::ShiftReduce);
+    EXPECT_EQ(B.G.name(C.Token), "b");
+  }
+}
+
+TEST(ParseTableTest, PrecedenceResolvesPlusConflict) {
+  Built B = build("expr_prec_resolved");
+  EXPECT_EQ(reportedCount(B.T), 0u);
+  // The conflict is still recorded, as precedence-resolved.
+  ASSERT_EQ(B.T.conflicts().size(), 1u);
+  EXPECT_EQ(B.T.conflicts()[0].R, Conflict::PrecReduce); // left assoc
+}
+
+TEST(ParseTableTest, WithoutPrecedencePlusConflictReported) {
+  Built B = build("expr_prec_unresolved");
+  ASSERT_EQ(reportedCount(B.T), 1u);
+  Conflict C = B.T.reportedConflicts()[0];
+  EXPECT_EQ(C.K, Conflict::ShiftReduce);
+  EXPECT_EQ(C.R, Conflict::DefaultShift);
+}
+
+TEST(ParseTableTest, RightAssociativityKeepsShift) {
+  Built B = buildText(R"(
+%right ARROW
+%%
+ty : ty ARROW ty | ID ;
+)");
+  EXPECT_EQ(reportedCount(B.T), 0u);
+  ASSERT_EQ(B.T.conflicts().size(), 1u);
+  EXPECT_EQ(B.T.conflicts()[0].R, Conflict::PrecShift);
+}
+
+TEST(ParseTableTest, NonassocRemovesBothActions) {
+  Built B = buildText(R"(
+%nonassoc EQ
+%%
+e : e EQ e | ID ;
+)");
+  EXPECT_EQ(reportedCount(B.T), 0u);
+  ASSERT_EQ(B.T.conflicts().size(), 1u);
+  ASSERT_EQ(B.T.conflicts()[0].R, Conflict::PrecError);
+  // The table cell is an error: "ID EQ ID EQ ID" must not parse.
+  const Conflict &C = B.T.conflicts()[0];
+  EXPECT_EQ(B.T.action(C.State, C.Token).K, Action::Error);
+}
+
+TEST(ParseTableTest, PrecedenceLevelsOrderActions) {
+  Built B = buildText(R"(
+%left PLUS
+%left TIMES
+%%
+e : e PLUS e | e TIMES e | NUM ;
+)");
+  EXPECT_EQ(reportedCount(B.T), 0u);
+  // Four resolved conflicts: (PLUS rule, PLUS tok) reduce; (PLUS rule,
+  // TIMES tok) shift; (TIMES rule, PLUS tok) reduce; (TIMES, TIMES)
+  // reduce.
+  unsigned Shifts = 0, Reduces = 0;
+  for (const Conflict &C : B.T.conflicts()) {
+    if (C.R == Conflict::PrecShift)
+      ++Shifts;
+    else if (C.R == Conflict::PrecReduce)
+      ++Reduces;
+  }
+  EXPECT_EQ(Shifts, 1u);
+  EXPECT_EQ(Reduces, 3u);
+}
+
+TEST(ParseTableTest, ReduceReduceConflictDetected) {
+  // After shifting W, both a -> W . and b -> W . want to reduce with X in
+  // their LALR lookahead sets.
+  Built B = buildText(R"(
+%%
+s : a X | b X Y ;
+a : W ;
+b : W ;
+)");
+  ASSERT_EQ(reportedCount(B.T), 1u);
+  Conflict C = B.T.reportedConflicts()[0];
+  EXPECT_EQ(C.K, Conflict::ReduceReduce);
+  EXPECT_EQ(C.R, Conflict::DefaultFirstRule);
+  EXPECT_LT(C.ReduceProd, C.OtherProd);
+  // The earlier production wins in the table.
+  EXPECT_EQ(B.T.action(C.State, C.Token).K, Action::Reduce);
+  EXPECT_EQ(B.T.action(C.State, C.Token).Target, C.ReduceProd);
+}
+
+TEST(ParseTableTest, AcceptActionOnEof) {
+  Built B = buildText(R"(
+%%
+s : x ;
+)");
+  // Parse s: state 0 --x--> shift, reduce to s, then accept on $.
+  int SState = B.M.transition(0, B.G.symbolByName("s"));
+  ASSERT_GE(SState, 0);
+  EXPECT_EQ(B.T.action(unsigned(SState), B.G.eof()).K, Action::Accept);
+}
+
+TEST(ParseTableTest, ExpectationChecking) {
+  // Declared expectations matching reality: silent.
+  Built BOk = buildText(R"(
+%expect 1
+%%
+e : e PLUS e | NUM ;
+)");
+  EXPECT_EQ(BOk.T.checkExpectations(), "");
+
+  // Mismatch: reported.
+  Built BBad = buildText(R"(
+%expect 0
+%%
+e : e PLUS e | NUM ;
+)");
+  std::string Msg = BBad.T.checkExpectations();
+  EXPECT_NE(Msg.find("expected 0 shift/reduce"), std::string::npos) << Msg;
+  EXPECT_NE(Msg.find("found 1"), std::string::npos) << Msg;
+
+  // Nothing declared: silent regardless of conflicts.
+  Built BNone = buildText(R"(
+%%
+e : e PLUS e | NUM ;
+)");
+  EXPECT_EQ(BNone.T.checkExpectations(), "");
+}
+
+TEST(ParseTableTest, ConflictDescribeMentionsStateAndToken) {
+  Built B = build("figure3");
+  Conflict C = B.T.reportedConflicts()[0];
+  std::string D = C.describe(B.G);
+  EXPECT_NE(D.find("shift/reduce"), std::string::npos);
+  EXPECT_NE(D.find("state #"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,124 @@
+//===- tests/PrinterTest.cpp - Grammar/automaton printers ------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/GrammarPrinter.h"
+#include "lr/AutomatonPrinter.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalrcex;
+
+namespace {
+
+/// Structural grammar equality: same symbols (by name), same productions
+/// (order and contents), same precedence table, same start symbol.
+void expectGrammarsEqual(const Grammar &A, const Grammar &B) {
+  ASSERT_EQ(A.numTerminals(), B.numTerminals());
+  ASSERT_EQ(A.numNonterminals(), B.numNonterminals());
+  ASSERT_EQ(A.numProductions(), B.numProductions());
+  EXPECT_EQ(A.name(A.startSymbol()), B.name(B.startSymbol()));
+
+  for (unsigned P = 0; P != A.numProductions(); ++P) {
+    const Production &PA = A.production(P);
+    const Production &PB = B.production(P);
+    EXPECT_EQ(A.name(PA.Lhs), B.name(PB.Lhs)) << "production " << P;
+    ASSERT_EQ(PA.Rhs.size(), PB.Rhs.size()) << "production " << P;
+    for (size_t I = 0; I != PA.Rhs.size(); ++I)
+      EXPECT_EQ(A.name(PA.Rhs[I]), B.name(PB.Rhs[I]))
+          << "production " << P << " symbol " << I;
+    EXPECT_EQ(PA.PrecSym.valid(), PB.PrecSym.valid()) << "production " << P;
+    if (PA.PrecSym.valid() && PB.PrecSym.valid()) {
+      EXPECT_EQ(A.name(PA.PrecSym), B.name(PB.PrecSym));
+    }
+  }
+
+  for (unsigned T = 0; T != A.numTerminals(); ++T) {
+    Symbol SA{int32_t(T)};
+    Symbol SB = B.symbolByName(A.name(SA));
+    ASSERT_TRUE(SB.valid()) << A.name(SA);
+    // Levels may be renumbered but must order identically; compare via
+    // pairwise ordering against terminal 0..T.
+    EXPECT_EQ(A.associativity(SA), B.associativity(SB)) << A.name(SA);
+    for (unsigned U = 0; U != T; ++U) {
+      Symbol UA{int32_t(U)};
+      Symbol UB = B.symbolByName(A.name(UA));
+      auto Cmp = [](int X, int Y) { return X < Y ? -1 : (X > Y ? 1 : 0); };
+      EXPECT_EQ(Cmp(A.precedenceLevel(SA), A.precedenceLevel(UA)),
+                Cmp(B.precedenceLevel(SB), B.precedenceLevel(UB)))
+          << A.name(SA) << " vs " << A.name(UA);
+    }
+  }
+}
+
+class RoundTripTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RoundTripTest, PrintedGrammarReparsesIdentically) {
+  const CorpusEntry *E = findCorpusEntry(GetParam());
+  ASSERT_NE(E, nullptr);
+  std::string Err;
+  std::optional<Grammar> G1 = parseGrammarText(E->Text, &Err);
+  ASSERT_TRUE(G1) << Err;
+  std::string Printed = printGrammarText(*G1);
+  std::optional<Grammar> G2 = parseGrammarText(Printed, &Err);
+  ASSERT_TRUE(G2) << E->Name << ": reprint fails to parse: " << Err << "\n"
+                  << Printed;
+  expectGrammarsEqual(*G1, *G2);
+}
+
+std::vector<std::string> corpusNames() {
+  std::vector<std::string> Names;
+  for (const CorpusEntry &E : corpus())
+    Names.push_back(E.Name);
+  return Names;
+}
+
+std::string sanitize(const ::testing::TestParamInfo<std::string> &Info) {
+  std::string Out = Info.param;
+  for (char &C : Out)
+    if (!std::isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return Out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGrammars, RoundTripTest,
+                         ::testing::ValuesIn(corpusNames()), sanitize);
+
+TEST(AutomatonPrinterTest, DescribeStateShowsItemsAndLookaheads) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure3");
+  std::string S0 = describeState(B.M, 0, &B.T);
+  EXPECT_NE(S0.find("State 0"), std::string::npos);
+  EXPECT_NE(S0.find("$accept ::= \xE2\x80\xA2 S"), std::string::npos);
+  EXPECT_NE(S0.find("(kernel)"), std::string::npos);
+  EXPECT_NE(S0.find("transitions:"), std::string::npos);
+
+  // The conflict state shows the reduce item with both lookaheads.
+  const Conflict C = B.T.reportedConflicts()[0];
+  std::string SC = describeState(B.M, C.State, &B.T);
+  EXPECT_NE(SC.find("X ::= a \xE2\x80\xA2"), std::string::npos);
+  EXPECT_NE(SC.find("reduce"), std::string::npos);
+}
+
+TEST(AutomatonPrinterTest, DumpCoversEveryState) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  std::string Dump = dumpAutomaton(B.M);
+  for (unsigned S = 0; S != B.M.numStates(); ++S)
+    EXPECT_NE(Dump.find("State " + std::to_string(S) + "\n"),
+              std::string::npos)
+        << S;
+}
+
+TEST(AutomatonPrinterTest, AcceptActionIsShown) {
+  BuiltGrammar B = BuiltGrammar::fromText(R"(
+%%
+s : x ;
+)");
+  std::string Dump = dumpAutomaton(B.M, &B.T);
+  EXPECT_NE(Dump.find("accept"), std::string::npos);
+}
+
+} // namespace

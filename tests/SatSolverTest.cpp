@@ -1,0 +1,212 @@
+//===- tests/SatSolverTest.cpp - CDCL solver tests -------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/Solver.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace lalrcex;
+using namespace lalrcex::sat;
+
+namespace {
+
+TEST(SatSolverTest, TrivialSat) {
+  Solver S;
+  Var A = S.newVar();
+  Var B = S.newVar();
+  ASSERT_TRUE(S.addBinary(Lit::pos(A), Lit::pos(B)));
+  ASSERT_TRUE(S.addUnit(Lit::neg(A)));
+  ASSERT_EQ(S.solve(), Result::Sat);
+  EXPECT_FALSE(S.modelValue(A));
+  EXPECT_TRUE(S.modelValue(B));
+}
+
+TEST(SatSolverTest, TrivialUnsat) {
+  Solver S;
+  Var A = S.newVar();
+  ASSERT_TRUE(S.addUnit(Lit::pos(A)));
+  EXPECT_FALSE(S.addUnit(Lit::neg(A)));
+}
+
+TEST(SatSolverTest, EmptyClauseIsUnsat) {
+  Solver S;
+  (void)S.newVar();
+  EXPECT_FALSE(S.addClause({}));
+}
+
+TEST(SatSolverTest, TautologyAndDuplicatesAreSimplified) {
+  Solver S;
+  Var A = S.newVar();
+  Var B = S.newVar();
+  EXPECT_TRUE(S.addClause({Lit::pos(A), Lit::neg(A)})); // tautology
+  EXPECT_TRUE(S.addClause({Lit::pos(B), Lit::pos(B)})); // duplicate -> unit
+  ASSERT_EQ(S.solve(), Result::Sat);
+  EXPECT_TRUE(S.modelValue(B));
+}
+
+TEST(SatSolverTest, PropagationChain) {
+  // x0 and a chain x_i -> x_{i+1}; then force ~x_n: unsat.
+  Solver S;
+  const int N = 50;
+  std::vector<Var> X;
+  for (int I = 0; I <= N; ++I)
+    X.push_back(S.newVar());
+  ASSERT_TRUE(S.addUnit(Lit::pos(X[0])));
+  for (int I = 0; I != N; ++I)
+    ASSERT_TRUE(S.addBinary(Lit::neg(X[size_t(I)]), Lit::pos(X[size_t(I) + 1])));
+  EXPECT_FALSE(S.addUnit(Lit::neg(X[size_t(N)])) && S.solve() == Result::Sat);
+}
+
+TEST(SatSolverTest, XorChainSat) {
+  // (a xor b), (b xor c) encoded in CNF; satisfiable.
+  Solver S;
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar();
+  auto addXor = [&S](Var X, Var Y) {
+    EXPECT_TRUE(S.addBinary(Lit::pos(X), Lit::pos(Y)));
+    EXPECT_TRUE(S.addBinary(Lit::neg(X), Lit::neg(Y)));
+  };
+  addXor(A, B);
+  addXor(B, C);
+  ASSERT_EQ(S.solve(), Result::Sat);
+  EXPECT_NE(S.modelValue(A), S.modelValue(B));
+  EXPECT_NE(S.modelValue(B), S.modelValue(C));
+}
+
+/// Pigeonhole principle PHP(P, P-1): P pigeons, P-1 holes — unsatisfiable
+/// and requires genuine clause learning to refute quickly.
+void buildPigeonhole(Solver &S, int Pigeons, int Holes,
+                     std::vector<std::vector<Var>> &X) {
+  X.assign(size_t(Pigeons), {});
+  for (int P = 0; P != Pigeons; ++P)
+    for (int H = 0; H != Holes; ++H)
+      X[size_t(P)].push_back(S.newVar());
+  // Every pigeon in some hole.
+  for (int P = 0; P != Pigeons; ++P) {
+    std::vector<Lit> Clause;
+    for (int H = 0; H != Holes; ++H)
+      Clause.push_back(Lit::pos(X[size_t(P)][size_t(H)]));
+    ASSERT_TRUE(S.addClause(Clause));
+  }
+  // No two pigeons share a hole.
+  for (int H = 0; H != Holes; ++H)
+    for (int P1 = 0; P1 != Pigeons; ++P1)
+      for (int P2 = P1 + 1; P2 != Pigeons; ++P2)
+        ASSERT_TRUE(S.addBinary(Lit::neg(X[size_t(P1)][size_t(H)]),
+                                Lit::neg(X[size_t(P2)][size_t(H)])));
+}
+
+TEST(SatSolverTest, PigeonholeUnsat) {
+  Solver S;
+  std::vector<std::vector<Var>> X;
+  buildPigeonhole(S, 5, 4, X);
+  EXPECT_EQ(S.solve(), Result::Unsat);
+  EXPECT_GT(S.numConflicts(), 0u);
+}
+
+TEST(SatSolverTest, PigeonholeSatWhenEnoughHoles) {
+  Solver S;
+  std::vector<std::vector<Var>> X;
+  buildPigeonhole(S, 4, 4, X);
+  ASSERT_EQ(S.solve(), Result::Sat);
+  // Verify the model respects the at-most-one constraints.
+  for (int H = 0; H != 4; ++H) {
+    int Count = 0;
+    for (int P = 0; P != 4; ++P)
+      Count += S.modelValue(X[size_t(P)][size_t(H)]);
+    EXPECT_LE(Count, 1);
+  }
+}
+
+TEST(SatSolverTest, ConflictBudgetReturnsUnknown) {
+  Solver S;
+  std::vector<std::vector<Var>> X;
+  buildPigeonhole(S, 8, 7, X); // hard instance
+  EXPECT_EQ(S.solve(Deadline::unlimited(), /*MaxConflicts=*/1),
+            Result::Unknown);
+}
+
+/// Property test: on random small 3-CNF formulas the solver agrees with
+/// brute-force enumeration.
+class RandomCnfTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCnfTest, AgreesWithBruteForce) {
+  uint64_t Seed = uint64_t(GetParam()) * 0x9E3779B97F4A7C15ULL + 12345;
+  auto Rand = [&Seed]() {
+    Seed = Seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    return unsigned(Seed >> 33);
+  };
+
+  const int NumVars = 8;
+  const int NumClauses = 3 + int(Rand() % 32);
+  std::vector<std::vector<int>> Formula; // +v / -v encoding
+  for (int C = 0; C != NumClauses; ++C) {
+    std::vector<int> Clause;
+    for (int L = 0; L != 3; ++L) {
+      int V = int(Rand() % NumVars) + 1;
+      Clause.push_back(Rand() % 2 ? V : -V);
+    }
+    Formula.push_back(Clause);
+  }
+
+  // Brute force.
+  bool BruteSat = false;
+  for (unsigned M = 0; M != (1u << NumVars) && !BruteSat; ++M) {
+    bool Ok = true;
+    for (const auto &Clause : Formula) {
+      bool ClauseSat = false;
+      for (int L : Clause) {
+        bool Val = (M >> (std::abs(L) - 1)) & 1;
+        if ((L > 0) == Val) {
+          ClauseSat = true;
+          break;
+        }
+      }
+      if (!ClauseSat) {
+        Ok = false;
+        break;
+      }
+    }
+    BruteSat = Ok;
+  }
+
+  // CDCL.
+  Solver S;
+  std::vector<Var> Vars;
+  for (int V = 0; V != NumVars; ++V)
+    Vars.push_back(S.newVar());
+  bool AddOk = true;
+  for (const auto &Clause : Formula) {
+    std::vector<Lit> Ls;
+    for (int L : Clause)
+      Ls.push_back(L > 0 ? Lit::pos(Vars[size_t(L - 1)])
+                         : Lit::neg(Vars[size_t(-L - 1)]));
+    if (!S.addClause(Ls)) {
+      AddOk = false;
+      break;
+    }
+  }
+  bool CdclSat = AddOk && S.solve() == Result::Sat;
+  EXPECT_EQ(CdclSat, BruteSat);
+
+  // If SAT, the model must actually satisfy the formula.
+  if (CdclSat) {
+    for (const auto &Clause : Formula) {
+      bool ClauseSat = false;
+      for (int L : Clause) {
+        bool Val = S.modelValue(Vars[size_t(std::abs(L) - 1)]);
+        if ((L > 0) == Val)
+          ClauseSat = true;
+      }
+      EXPECT_TRUE(ClauseSat);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCnfTest, ::testing::Range(0, 40));
+
+} // namespace

@@ -1,0 +1,100 @@
+//===- tests/StateItemGraphTest.cpp - state-item graph tests ---*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "counterexample/StateItemGraph.h"
+
+#include "corpus/Corpus.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalrcex;
+
+namespace {
+
+struct Built {
+  Grammar G;
+  GrammarAnalysis A;
+  Automaton M;
+  StateItemGraph Graph;
+
+  explicit Built(Grammar InG) : G(std::move(InG)), A(G), M(G, A), Graph(M) {}
+};
+
+TEST(StateItemGraphTest, NodeCountMatchesItemCount) {
+  Built B(loadCorpusGrammar("figure1"));
+  unsigned Total = 0;
+  for (unsigned S = 0; S != B.M.numStates(); ++S)
+    Total += unsigned(B.M.state(S).Items.size());
+  EXPECT_EQ(B.Graph.numNodes(), Total);
+}
+
+TEST(StateItemGraphTest, ForwardAndReverseTransitionsAgree) {
+  Built B(loadCorpusGrammar("figure7"));
+  for (StateItemGraph::NodeId N = 0; N != B.Graph.numNodes(); ++N) {
+    StateItemGraph::NodeId F = B.Graph.forwardTransition(N);
+    if (F == StateItemGraph::InvalidNode) {
+      EXPECT_TRUE(B.Graph.itemOf(N).atEnd(B.G));
+      continue;
+    }
+    // The successor item is the advanced item.
+    EXPECT_EQ(B.Graph.itemOf(F), B.Graph.itemOf(N).advanced());
+    // Reverse edge present.
+    const auto &Rev = B.Graph.reverseTransitions(F);
+    EXPECT_NE(std::find(Rev.begin(), Rev.end(), N), Rev.end());
+  }
+}
+
+TEST(StateItemGraphTest, ProductionStepsWithinState) {
+  Built B(loadCorpusGrammar("figure1"));
+  for (StateItemGraph::NodeId N = 0; N != B.Graph.numNodes(); ++N) {
+    Symbol Next = B.Graph.itemOf(N).afterDot(B.G);
+    const auto &Steps = B.Graph.productionSteps(N);
+    if (!Next.valid() || B.G.isTerminal(Next)) {
+      EXPECT_TRUE(Steps.empty());
+      continue;
+    }
+    EXPECT_EQ(Steps.size(), B.G.productionsOf(Next).size());
+    for (StateItemGraph::NodeId S : Steps) {
+      EXPECT_EQ(B.Graph.stateOf(S), B.Graph.stateOf(N));
+      EXPECT_EQ(B.Graph.itemOf(S).Dot, 0u);
+      EXPECT_EQ(B.G.production(B.Graph.itemOf(S).Prod).Lhs, Next);
+      // Reverse edge present.
+      const auto &Rev = B.Graph.reverseProductionSteps(S);
+      EXPECT_NE(std::find(Rev.begin(), Rev.end(), N), Rev.end());
+    }
+  }
+}
+
+TEST(StateItemGraphTest, EveryNodeReachesSomeConflictOrNot) {
+  // nodesReaching is a sound over-approximation check: the target reaches
+  // itself, and anything with a forward edge to a reaching node reaches.
+  Built B(loadCorpusGrammar("figure3"));
+  StateItemGraph::NodeId Target = B.Graph.numNodes() - 1;
+  std::vector<bool> R = B.Graph.nodesReaching(Target);
+  EXPECT_TRUE(R[Target]);
+  for (StateItemGraph::NodeId N = 0; N != B.Graph.numNodes(); ++N) {
+    StateItemGraph::NodeId F = B.Graph.forwardTransition(N);
+    if (F != StateItemGraph::InvalidNode && R[F]) {
+      EXPECT_TRUE(R[N]);
+    }
+    for (StateItemGraph::NodeId S : B.Graph.productionSteps(N)) {
+      if (R[S]) {
+        EXPECT_TRUE(R[N]);
+      }
+    }
+  }
+}
+
+TEST(StateItemGraphTest, StartItemHasNode) {
+  Built B(loadCorpusGrammar("figure1"));
+  StateItemGraph::NodeId N =
+      B.Graph.nodeFor(0, Item(B.G.augmentedProduction(), 0));
+  ASSERT_NE(N, StateItemGraph::InvalidNode);
+  EXPECT_EQ(B.Graph.stateOf(N), 0u);
+  EXPECT_FALSE(B.Graph.describe(N).empty());
+}
+
+} // namespace

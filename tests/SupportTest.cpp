@@ -1,0 +1,131 @@
+//===- tests/SupportTest.cpp - Support utility tests -----------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/IndexSet.h"
+#include "support/Stopwatch.h"
+#include "support/StrUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalrcex;
+
+namespace {
+
+TEST(IndexSetTest, BasicOperations) {
+  IndexSet S(100);
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.count(), 0u);
+  S.insert(0);
+  S.insert(63);
+  S.insert(64);
+  S.insert(99);
+  EXPECT_FALSE(S.empty());
+  EXPECT_EQ(S.count(), 4u);
+  EXPECT_TRUE(S.contains(0));
+  EXPECT_TRUE(S.contains(63));
+  EXPECT_TRUE(S.contains(64));
+  EXPECT_TRUE(S.contains(99));
+  EXPECT_FALSE(S.contains(1));
+  S.erase(63);
+  EXPECT_FALSE(S.contains(63));
+  EXPECT_EQ(S.count(), 3u);
+  S.clear();
+  EXPECT_TRUE(S.empty());
+}
+
+TEST(IndexSetTest, SetAlgebra) {
+  IndexSet A(70), B(70);
+  A.insert(1);
+  A.insert(65);
+  B.insert(2);
+  B.insert(65);
+
+  EXPECT_TRUE(A.intersects(B)); // both contain 65
+  IndexSet C = A;
+  EXPECT_TRUE(C.unionWith(B));  // changed
+  EXPECT_FALSE(C.unionWith(B)); // idempotent
+  EXPECT_EQ(C.count(), 3u);
+  EXPECT_TRUE(A.isSubsetOf(C));
+  EXPECT_TRUE(B.isSubsetOf(C));
+  EXPECT_FALSE(C.isSubsetOf(A));
+
+  C.intersectWith(A);
+  EXPECT_EQ(C, A);
+
+  IndexSet D(70), E(70);
+  D.insert(3);
+  E.insert(4);
+  EXPECT_FALSE(D.intersects(E));
+}
+
+TEST(IndexSetTest, SingletonAndIteration) {
+  IndexSet S = IndexSet::singleton(200, 130);
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_EQ(S.firstElement(), 130u);
+  S.insert(5);
+  S.insert(199);
+  std::vector<unsigned> Got = S.elements();
+  EXPECT_EQ(Got, (std::vector<unsigned>{5, 130, 199}));
+
+  unsigned Sum = 0;
+  S.forEach([&Sum](unsigned E) { Sum += E; });
+  EXPECT_EQ(Sum, 5u + 130u + 199u);
+
+  IndexSet Empty(64);
+  EXPECT_EQ(Empty.firstElement(), 64u); // universe size when empty
+}
+
+TEST(IndexSetTest, EqualityAndHash) {
+  IndexSet A(50), B(50);
+  A.insert(7);
+  B.insert(7);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+  B.insert(8);
+  EXPECT_NE(A, B);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch W;
+  double T1 = W.seconds();
+  EXPECT_GE(T1, 0.0);
+  volatile unsigned Sink = 0;
+  for (unsigned I = 0; I != 100000; ++I)
+    Sink = Sink + I;
+  double T2 = W.seconds();
+  EXPECT_GE(T2, T1);
+  W.restart();
+  EXPECT_LE(W.seconds(), T2 + 1.0);
+}
+
+TEST(DeadlineTest, UnlimitedNeverExpires) {
+  Deadline D = Deadline::unlimited();
+  EXPECT_FALSE(D.expired());
+  EXPECT_GT(D.remainingSeconds(), 1e9);
+  Deadline Default;
+  EXPECT_FALSE(Default.expired());
+}
+
+TEST(DeadlineTest, ExpiredAfterBudget) {
+  Deadline D = Deadline::afterSeconds(-1.0);
+  EXPECT_TRUE(D.expired());
+  Deadline Soon = Deadline::afterSeconds(3600.0);
+  EXPECT_FALSE(Soon.expired());
+  EXPECT_LE(Soon.remainingSeconds(), 3600.0);
+}
+
+TEST(StrUtilTest, JoinAndPad) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(padLeft("x", 3), "  x");
+  EXPECT_EQ(padLeft("xyz", 2), "xyz");
+  EXPECT_EQ(padRight("x", 3), "x  ");
+  EXPECT_EQ(formatSeconds(0.0716), "0.072"); // three decimals, rounded
+  EXPECT_EQ(formatSeconds(2.0), "2.000");
+}
+
+} // namespace

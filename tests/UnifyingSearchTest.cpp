@@ -1,0 +1,148 @@
+//===- tests/UnifyingSearchTest.cpp - Search internals ---------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+// Unit tests targeting the product-parser search directly: option limits,
+// the shortest-path restriction, dot placement, and stage behavior.
+//
+//===----------------------------------------------------------------------===//
+
+#include "counterexample/UnifyingSearch.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalrcex;
+
+namespace {
+
+struct ConflictFixture {
+  BuiltGrammar B;
+  StateItemGraph Graph;
+  Conflict C;
+  StateItemGraph::NodeId ReduceNode;
+  std::vector<StateItemGraph::NodeId> OtherNodes;
+  std::optional<LssPath> Path;
+
+  ConflictFixture(const std::string &Corpus, const std::string &Token)
+      : B(BuiltGrammar::fromCorpus(Corpus)), Graph(B.M) {
+    Symbol T = B.G.symbolByName(Token);
+    bool Found = false;
+    for (const Conflict &Cand : B.T.reportedConflicts()) {
+      if (Cand.Token == T) {
+        C = Cand;
+        Found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(Found) << "no conflict under " << Token;
+    ReduceNode = Graph.nodeFor(C.State, C.reduceItem(B.G));
+    if (C.K == Conflict::ShiftReduce)
+      OtherNodes.push_back(Graph.nodeFor(C.State, C.ShiftItm));
+    else
+      OtherNodes.push_back(Graph.nodeFor(
+          C.State,
+          Item(C.OtherProd,
+               uint32_t(B.G.production(C.OtherProd).Rhs.size()))));
+    Path = shortestLookaheadSensitivePath(Graph, ReduceNode, C.Token);
+    EXPECT_TRUE(Path.has_value());
+  }
+};
+
+TEST(UnifyingSearchTest, FindsDanglingElse) {
+  ConflictFixture S("figure1", "else");
+  UnifyingSearch Search(S.Graph);
+  UnifyingResult R = Search.search(S.ReduceNode, S.OtherNodes, S.C.Token,
+                                   &*S.Path, UnifyingOptions());
+  ASSERT_EQ(R.Status, UnifyingStatus::Found);
+  ASSERT_TRUE(R.Example);
+  EXPECT_TRUE(R.Example->Unifying);
+  EXPECT_GT(R.ConfigurationsExplored, 0u);
+  // The dot sits immediately before the conflict terminal.
+  int DotPos = -1;
+  std::vector<Symbol> Yield = yieldOf(R.Example->Derivs1, &DotPos);
+  ASSERT_GE(DotPos, 0);
+  ASSERT_LT(size_t(DotPos), Yield.size());
+  EXPECT_EQ(Yield[size_t(DotPos)], S.C.Token);
+}
+
+TEST(UnifyingSearchTest, ConfigurationLimitReturnsLimitHit) {
+  ConflictFixture S("figure1", "else");
+  UnifyingSearch Search(S.Graph);
+  UnifyingOptions Opts;
+  Opts.MaxConfigurations = 1;
+  UnifyingResult R =
+      Search.search(S.ReduceNode, S.OtherNodes, S.C.Token, &*S.Path, Opts);
+  EXPECT_EQ(R.Status, UnifyingStatus::LimitHit);
+  EXPECT_FALSE(R.Example);
+}
+
+TEST(UnifyingSearchTest, ZeroBudgetTimesOut) {
+  ConflictFixture S("figure1", "else");
+  UnifyingSearch Search(S.Graph);
+  UnifyingOptions Opts;
+  Opts.TimeLimitSeconds = 1e-9;
+  UnifyingResult R =
+      Search.search(S.ReduceNode, S.OtherNodes, S.C.Token, &*S.Path, Opts);
+  EXPECT_EQ(R.Status, UnifyingStatus::TimedOut);
+}
+
+TEST(UnifyingSearchTest, ExhaustsOnUnambiguousLr2Conflict) {
+  ConflictFixture S("figure3", "a");
+  UnifyingSearch Search(S.Graph);
+  UnifyingResult R = Search.search(S.ReduceNode, S.OtherNodes, S.C.Token,
+                                   &*S.Path, UnifyingOptions());
+  EXPECT_EQ(R.Status, UnifyingStatus::Exhausted);
+}
+
+TEST(UnifyingSearchTest, RestrictionBlocksOffPathAmbiguity) {
+  // ambfailed01: restricted search exhausts; extended search finds the
+  // off-path unifying counterexample (paper §6 tradeoff).
+  ConflictFixture S("ambfailed01", "b");
+  UnifyingSearch Search(S.Graph);
+
+  UnifyingResult Restricted = Search.search(
+      S.ReduceNode, S.OtherNodes, S.C.Token, &*S.Path, UnifyingOptions());
+  EXPECT_EQ(Restricted.Status, UnifyingStatus::Exhausted);
+
+  UnifyingOptions Extended;
+  Extended.ExtendedSearch = true;
+  UnifyingResult Full = Search.search(S.ReduceNode, S.OtherNodes, S.C.Token,
+                                      &*S.Path, Extended);
+  ASSERT_EQ(Full.Status, UnifyingStatus::Found);
+  expectCounterexampleWellFormed(S.B.G, *Full.Example, S.C.Token);
+}
+
+TEST(UnifyingSearchTest, ReduceReduceDotAtEnd) {
+  // A reduce/reduce ambiguity that unifies before consuming the conflict
+  // terminal (the Pascal.5 shape: constants and variables both derive a
+  // bare identifier): the dot must land at the end of the example.
+  BuiltGrammar B = BuiltGrammar::fromText(R"(
+%%
+s : factor X ;
+factor : variable | W ;
+variable : W ;
+)");
+  StateItemGraph Graph(B.M);
+  const Conflict C = B.T.reportedConflicts()[0];
+  ASSERT_EQ(C.K, Conflict::ReduceReduce);
+  StateItemGraph::NodeId Reduce = Graph.nodeFor(C.State, C.reduceItem(B.G));
+  StateItemGraph::NodeId Other = Graph.nodeFor(
+      C.State,
+      Item(C.OtherProd, uint32_t(B.G.production(C.OtherProd).Rhs.size())));
+  std::optional<LssPath> Path =
+      shortestLookaheadSensitivePath(Graph, Reduce, C.Token);
+  ASSERT_TRUE(Path);
+
+  UnifyingSearch Search(Graph);
+  UnifyingResult R =
+      Search.search(Reduce, {Other}, C.Token, &*Path, UnifyingOptions());
+  ASSERT_EQ(R.Status, UnifyingStatus::Found);
+  int DotPos = -1;
+  std::vector<Symbol> Yield = yieldOf(R.Example->Derivs1, &DotPos);
+  EXPECT_EQ(DotPos, int(Yield.size())) << "dot must be at the end";
+  EXPECT_EQ(R.Example->exampleString1(B.G), "W \xE2\x80\xA2");
+}
+
+} // namespace
