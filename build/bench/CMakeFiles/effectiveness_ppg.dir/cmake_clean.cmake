@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/effectiveness_ppg.dir/effectiveness_ppg.cpp.o"
+  "CMakeFiles/effectiveness_ppg.dir/effectiveness_ppg.cpp.o.d"
+  "effectiveness_ppg"
+  "effectiveness_ppg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/effectiveness_ppg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

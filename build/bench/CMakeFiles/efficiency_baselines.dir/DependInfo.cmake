@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/efficiency_baselines.cpp" "bench/CMakeFiles/efficiency_baselines.dir/efficiency_baselines.cpp.o" "gcc" "bench/CMakeFiles/efficiency_baselines.dir/efficiency_baselines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/lalrcex_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/counterexample/CMakeFiles/lalrcex_counterexample.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/lalrcex_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/earley/CMakeFiles/lalrcex_earley.dir/DependInfo.cmake"
+  "/root/repo/build/src/lr/CMakeFiles/lalrcex_lr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/lalrcex_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/grammar/CMakeFiles/lalrcex_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lalrcex_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

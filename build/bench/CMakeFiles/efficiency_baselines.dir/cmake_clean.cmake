@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efficiency_baselines.dir/efficiency_baselines.cpp.o"
+  "CMakeFiles/efficiency_baselines.dir/efficiency_baselines.cpp.o.d"
+  "efficiency_baselines"
+  "efficiency_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efficiency_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

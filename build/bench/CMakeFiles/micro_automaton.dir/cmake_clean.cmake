@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_automaton.dir/micro_automaton.cpp.o"
+  "CMakeFiles/micro_automaton.dir/micro_automaton.cpp.o.d"
+  "micro_automaton"
+  "micro_automaton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_automaton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

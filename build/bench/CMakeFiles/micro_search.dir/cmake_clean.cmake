@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_search.dir/micro_search.cpp.o"
+  "CMakeFiles/micro_search.dir/micro_search.cpp.o.d"
+  "micro_search"
+  "micro_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

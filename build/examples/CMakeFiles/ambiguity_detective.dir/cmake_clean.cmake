@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ambiguity_detective.dir/ambiguity_detective.cpp.o"
+  "CMakeFiles/ambiguity_detective.dir/ambiguity_detective.cpp.o.d"
+  "ambiguity_detective"
+  "ambiguity_detective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ambiguity_detective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

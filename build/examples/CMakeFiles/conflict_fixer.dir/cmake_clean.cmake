@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conflict_fixer.dir/conflict_fixer.cpp.o"
+  "CMakeFiles/conflict_fixer.dir/conflict_fixer.cpp.o.d"
+  "conflict_fixer"
+  "conflict_fixer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conflict_fixer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

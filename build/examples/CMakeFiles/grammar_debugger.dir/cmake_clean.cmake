@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grammar_debugger.dir/grammar_debugger.cpp.o"
+  "CMakeFiles/grammar_debugger.dir/grammar_debugger.cpp.o.d"
+  "grammar_debugger"
+  "grammar_debugger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grammar_debugger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lalrcex_baseline.dir/AmberDetector.cpp.o"
+  "CMakeFiles/lalrcex_baseline.dir/AmberDetector.cpp.o.d"
+  "CMakeFiles/lalrcex_baseline.dir/CfgAnalyzerDetector.cpp.o"
+  "CMakeFiles/lalrcex_baseline.dir/CfgAnalyzerDetector.cpp.o.d"
+  "CMakeFiles/lalrcex_baseline.dir/CnfTransform.cpp.o"
+  "CMakeFiles/lalrcex_baseline.dir/CnfTransform.cpp.o.d"
+  "CMakeFiles/lalrcex_baseline.dir/PpgFinder.cpp.o"
+  "CMakeFiles/lalrcex_baseline.dir/PpgFinder.cpp.o.d"
+  "liblalrcex_baseline.a"
+  "liblalrcex_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lalrcex_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/Corpus.cpp" "src/corpus/CMakeFiles/lalrcex_corpus.dir/Corpus.cpp.o" "gcc" "src/corpus/CMakeFiles/lalrcex_corpus.dir/Corpus.cpp.o.d"
+  "/root/repo/src/corpus/CorpusC.cpp" "src/corpus/CMakeFiles/lalrcex_corpus.dir/CorpusC.cpp.o" "gcc" "src/corpus/CMakeFiles/lalrcex_corpus.dir/CorpusC.cpp.o.d"
+  "/root/repo/src/corpus/CorpusJava.cpp" "src/corpus/CMakeFiles/lalrcex_corpus.dir/CorpusJava.cpp.o" "gcc" "src/corpus/CMakeFiles/lalrcex_corpus.dir/CorpusJava.cpp.o.d"
+  "/root/repo/src/corpus/CorpusPascal.cpp" "src/corpus/CMakeFiles/lalrcex_corpus.dir/CorpusPascal.cpp.o" "gcc" "src/corpus/CMakeFiles/lalrcex_corpus.dir/CorpusPascal.cpp.o.d"
+  "/root/repo/src/corpus/CorpusSql.cpp" "src/corpus/CMakeFiles/lalrcex_corpus.dir/CorpusSql.cpp.o" "gcc" "src/corpus/CMakeFiles/lalrcex_corpus.dir/CorpusSql.cpp.o.d"
+  "/root/repo/src/corpus/CorpusStackOverflow.cpp" "src/corpus/CMakeFiles/lalrcex_corpus.dir/CorpusStackOverflow.cpp.o" "gcc" "src/corpus/CMakeFiles/lalrcex_corpus.dir/CorpusStackOverflow.cpp.o.d"
+  "/root/repo/src/corpus/CorpusSynthetic.cpp" "src/corpus/CMakeFiles/lalrcex_corpus.dir/CorpusSynthetic.cpp.o" "gcc" "src/corpus/CMakeFiles/lalrcex_corpus.dir/CorpusSynthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grammar/CMakeFiles/lalrcex_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lalrcex_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

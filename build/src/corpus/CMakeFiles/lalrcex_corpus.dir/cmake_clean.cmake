@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lalrcex_corpus.dir/Corpus.cpp.o"
+  "CMakeFiles/lalrcex_corpus.dir/Corpus.cpp.o.d"
+  "CMakeFiles/lalrcex_corpus.dir/CorpusC.cpp.o"
+  "CMakeFiles/lalrcex_corpus.dir/CorpusC.cpp.o.d"
+  "CMakeFiles/lalrcex_corpus.dir/CorpusJava.cpp.o"
+  "CMakeFiles/lalrcex_corpus.dir/CorpusJava.cpp.o.d"
+  "CMakeFiles/lalrcex_corpus.dir/CorpusPascal.cpp.o"
+  "CMakeFiles/lalrcex_corpus.dir/CorpusPascal.cpp.o.d"
+  "CMakeFiles/lalrcex_corpus.dir/CorpusSql.cpp.o"
+  "CMakeFiles/lalrcex_corpus.dir/CorpusSql.cpp.o.d"
+  "CMakeFiles/lalrcex_corpus.dir/CorpusStackOverflow.cpp.o"
+  "CMakeFiles/lalrcex_corpus.dir/CorpusStackOverflow.cpp.o.d"
+  "CMakeFiles/lalrcex_corpus.dir/CorpusSynthetic.cpp.o"
+  "CMakeFiles/lalrcex_corpus.dir/CorpusSynthetic.cpp.o.d"
+  "liblalrcex_corpus.a"
+  "liblalrcex_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lalrcex_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

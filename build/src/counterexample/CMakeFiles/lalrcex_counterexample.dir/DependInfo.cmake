@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/counterexample/Advisor.cpp" "src/counterexample/CMakeFiles/lalrcex_counterexample.dir/Advisor.cpp.o" "gcc" "src/counterexample/CMakeFiles/lalrcex_counterexample.dir/Advisor.cpp.o.d"
+  "/root/repo/src/counterexample/CounterexampleFinder.cpp" "src/counterexample/CMakeFiles/lalrcex_counterexample.dir/CounterexampleFinder.cpp.o" "gcc" "src/counterexample/CMakeFiles/lalrcex_counterexample.dir/CounterexampleFinder.cpp.o.d"
+  "/root/repo/src/counterexample/Derivation.cpp" "src/counterexample/CMakeFiles/lalrcex_counterexample.dir/Derivation.cpp.o" "gcc" "src/counterexample/CMakeFiles/lalrcex_counterexample.dir/Derivation.cpp.o.d"
+  "/root/repo/src/counterexample/LookaheadSensitiveSearch.cpp" "src/counterexample/CMakeFiles/lalrcex_counterexample.dir/LookaheadSensitiveSearch.cpp.o" "gcc" "src/counterexample/CMakeFiles/lalrcex_counterexample.dir/LookaheadSensitiveSearch.cpp.o.d"
+  "/root/repo/src/counterexample/NonunifyingBuilder.cpp" "src/counterexample/CMakeFiles/lalrcex_counterexample.dir/NonunifyingBuilder.cpp.o" "gcc" "src/counterexample/CMakeFiles/lalrcex_counterexample.dir/NonunifyingBuilder.cpp.o.d"
+  "/root/repo/src/counterexample/StateItemGraph.cpp" "src/counterexample/CMakeFiles/lalrcex_counterexample.dir/StateItemGraph.cpp.o" "gcc" "src/counterexample/CMakeFiles/lalrcex_counterexample.dir/StateItemGraph.cpp.o.d"
+  "/root/repo/src/counterexample/UnifyingSearch.cpp" "src/counterexample/CMakeFiles/lalrcex_counterexample.dir/UnifyingSearch.cpp.o" "gcc" "src/counterexample/CMakeFiles/lalrcex_counterexample.dir/UnifyingSearch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lr/CMakeFiles/lalrcex_lr.dir/DependInfo.cmake"
+  "/root/repo/build/src/grammar/CMakeFiles/lalrcex_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lalrcex_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lalrcex_counterexample.dir/Advisor.cpp.o"
+  "CMakeFiles/lalrcex_counterexample.dir/Advisor.cpp.o.d"
+  "CMakeFiles/lalrcex_counterexample.dir/CounterexampleFinder.cpp.o"
+  "CMakeFiles/lalrcex_counterexample.dir/CounterexampleFinder.cpp.o.d"
+  "CMakeFiles/lalrcex_counterexample.dir/Derivation.cpp.o"
+  "CMakeFiles/lalrcex_counterexample.dir/Derivation.cpp.o.d"
+  "CMakeFiles/lalrcex_counterexample.dir/LookaheadSensitiveSearch.cpp.o"
+  "CMakeFiles/lalrcex_counterexample.dir/LookaheadSensitiveSearch.cpp.o.d"
+  "CMakeFiles/lalrcex_counterexample.dir/NonunifyingBuilder.cpp.o"
+  "CMakeFiles/lalrcex_counterexample.dir/NonunifyingBuilder.cpp.o.d"
+  "CMakeFiles/lalrcex_counterexample.dir/StateItemGraph.cpp.o"
+  "CMakeFiles/lalrcex_counterexample.dir/StateItemGraph.cpp.o.d"
+  "CMakeFiles/lalrcex_counterexample.dir/UnifyingSearch.cpp.o"
+  "CMakeFiles/lalrcex_counterexample.dir/UnifyingSearch.cpp.o.d"
+  "liblalrcex_counterexample.a"
+  "liblalrcex_counterexample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lalrcex_counterexample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

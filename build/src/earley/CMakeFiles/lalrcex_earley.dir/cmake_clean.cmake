@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lalrcex_earley.dir/DerivationCounter.cpp.o"
+  "CMakeFiles/lalrcex_earley.dir/DerivationCounter.cpp.o.d"
+  "liblalrcex_earley.a"
+  "liblalrcex_earley.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lalrcex_earley.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

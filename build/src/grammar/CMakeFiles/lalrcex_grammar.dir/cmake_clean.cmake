@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lalrcex_grammar.dir/Analysis.cpp.o"
+  "CMakeFiles/lalrcex_grammar.dir/Analysis.cpp.o.d"
+  "CMakeFiles/lalrcex_grammar.dir/Grammar.cpp.o"
+  "CMakeFiles/lalrcex_grammar.dir/Grammar.cpp.o.d"
+  "CMakeFiles/lalrcex_grammar.dir/GrammarBuilder.cpp.o"
+  "CMakeFiles/lalrcex_grammar.dir/GrammarBuilder.cpp.o.d"
+  "CMakeFiles/lalrcex_grammar.dir/GrammarParser.cpp.o"
+  "CMakeFiles/lalrcex_grammar.dir/GrammarParser.cpp.o.d"
+  "CMakeFiles/lalrcex_grammar.dir/GrammarPrinter.cpp.o"
+  "CMakeFiles/lalrcex_grammar.dir/GrammarPrinter.cpp.o.d"
+  "liblalrcex_grammar.a"
+  "liblalrcex_grammar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lalrcex_grammar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lalrcex_lexer.dir/Lexer.cpp.o"
+  "CMakeFiles/lalrcex_lexer.dir/Lexer.cpp.o.d"
+  "liblalrcex_lexer.a"
+  "liblalrcex_lexer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lalrcex_lexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lalrcex_lr.dir/Automaton.cpp.o"
+  "CMakeFiles/lalrcex_lr.dir/Automaton.cpp.o.d"
+  "CMakeFiles/lalrcex_lr.dir/AutomatonPrinter.cpp.o"
+  "CMakeFiles/lalrcex_lr.dir/AutomatonPrinter.cpp.o.d"
+  "CMakeFiles/lalrcex_lr.dir/ParseTable.cpp.o"
+  "CMakeFiles/lalrcex_lr.dir/ParseTable.cpp.o.d"
+  "liblalrcex_lr.a"
+  "liblalrcex_lr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lalrcex_lr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lalrcex_lr.
+# This may be replaced when dependencies are built.

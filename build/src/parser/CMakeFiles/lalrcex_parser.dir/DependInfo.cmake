@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parser/LrParser.cpp" "src/parser/CMakeFiles/lalrcex_parser.dir/LrParser.cpp.o" "gcc" "src/parser/CMakeFiles/lalrcex_parser.dir/LrParser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lr/CMakeFiles/lalrcex_lr.dir/DependInfo.cmake"
+  "/root/repo/build/src/grammar/CMakeFiles/lalrcex_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lalrcex_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lalrcex_parser.dir/LrParser.cpp.o"
+  "CMakeFiles/lalrcex_parser.dir/LrParser.cpp.o.d"
+  "liblalrcex_parser.a"
+  "liblalrcex_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lalrcex_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

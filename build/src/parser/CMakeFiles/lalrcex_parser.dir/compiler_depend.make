@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lalrcex_parser.
+# This may be replaced when dependencies are built.

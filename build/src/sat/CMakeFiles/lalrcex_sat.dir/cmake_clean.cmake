@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lalrcex_sat.dir/Solver.cpp.o"
+  "CMakeFiles/lalrcex_sat.dir/Solver.cpp.o.d"
+  "liblalrcex_sat.a"
+  "liblalrcex_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lalrcex_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblalrcex_sat.a"
+)

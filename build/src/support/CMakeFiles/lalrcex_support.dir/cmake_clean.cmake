@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lalrcex_support.dir/IndexSet.cpp.o"
+  "CMakeFiles/lalrcex_support.dir/IndexSet.cpp.o.d"
+  "CMakeFiles/lalrcex_support.dir/StrUtil.cpp.o"
+  "CMakeFiles/lalrcex_support.dir/StrUtil.cpp.o.d"
+  "liblalrcex_support.a"
+  "liblalrcex_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lalrcex_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

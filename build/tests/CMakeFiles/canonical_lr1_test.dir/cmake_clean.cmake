@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canonical_lr1_test.dir/CanonicalLr1Test.cpp.o"
+  "CMakeFiles/canonical_lr1_test.dir/CanonicalLr1Test.cpp.o.d"
+  "canonical_lr1_test"
+  "canonical_lr1_test.pdb"
+  "canonical_lr1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canonical_lr1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

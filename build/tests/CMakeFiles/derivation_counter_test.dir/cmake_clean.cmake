@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derivation_counter_test.dir/DerivationCounterTest.cpp.o"
+  "CMakeFiles/derivation_counter_test.dir/DerivationCounterTest.cpp.o.d"
+  "derivation_counter_test"
+  "derivation_counter_test.pdb"
+  "derivation_counter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derivation_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_report_test.dir/GoldenReportTest.cpp.o"
+  "CMakeFiles/golden_report_test.dir/GoldenReportTest.cpp.o.d"
+  "golden_report_test"
+  "golden_report_test.pdb"
+  "golden_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/language_integration_test.dir/LanguageIntegrationTest.cpp.o"
+  "CMakeFiles/language_integration_test.dir/LanguageIntegrationTest.cpp.o.d"
+  "language_integration_test"
+  "language_integration_test.pdb"
+  "language_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/language_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

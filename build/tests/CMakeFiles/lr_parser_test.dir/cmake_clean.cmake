@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lr_parser_test.dir/LrParserTest.cpp.o"
+  "CMakeFiles/lr_parser_test.dir/LrParserTest.cpp.o.d"
+  "lr_parser_test"
+  "lr_parser_test.pdb"
+  "lr_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lr_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

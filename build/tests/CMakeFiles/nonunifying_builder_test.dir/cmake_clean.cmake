@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonunifying_builder_test.dir/NonunifyingBuilderTest.cpp.o"
+  "CMakeFiles/nonunifying_builder_test.dir/NonunifyingBuilderTest.cpp.o.d"
+  "nonunifying_builder_test"
+  "nonunifying_builder_test.pdb"
+  "nonunifying_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonunifying_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parse_table_test.dir/ParseTableTest.cpp.o"
+  "CMakeFiles/parse_table_test.dir/ParseTableTest.cpp.o.d"
+  "parse_table_test"
+  "parse_table_test.pdb"
+  "parse_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parse_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_grammar_test.dir/RandomGrammarTest.cpp.o"
+  "CMakeFiles/random_grammar_test.dir/RandomGrammarTest.cpp.o.d"
+  "random_grammar_test"
+  "random_grammar_test.pdb"
+  "random_grammar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_grammar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_item_graph_test.dir/StateItemGraphTest.cpp.o"
+  "CMakeFiles/state_item_graph_test.dir/StateItemGraphTest.cpp.o.d"
+  "state_item_graph_test"
+  "state_item_graph_test.pdb"
+  "state_item_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_item_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unifying_search_test.dir/UnifyingSearchTest.cpp.o"
+  "CMakeFiles/unifying_search_test.dir/UnifyingSearchTest.cpp.o.d"
+  "unifying_search_test"
+  "unifying_search_test.pdb"
+  "unifying_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unifying_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

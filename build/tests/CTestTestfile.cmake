@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/grammar_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/grammar_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/automaton_test[1]_include.cmake")
+include("/root/repo/build/tests/parse_table_test[1]_include.cmake")
+include("/root/repo/build/tests/state_item_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/counterexample_test[1]_include.cmake")
+include("/root/repo/build/tests/lr_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/derivation_counter_test[1]_include.cmake")
+include("/root/repo/build/tests/sat_solver_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/unifying_search_test[1]_include.cmake")
+include("/root/repo/build/tests/nonunifying_builder_test[1]_include.cmake")
+include("/root/repo/build/tests/random_grammar_test[1]_include.cmake")
+include("/root/repo/build/tests/canonical_lr1_test[1]_include.cmake")
+include("/root/repo/build/tests/printer_test[1]_include.cmake")
+include("/root/repo/build/tests/lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/derivation_test[1]_include.cmake")
+include("/root/repo/build/tests/language_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/advisor_test[1]_include.cmake")
+include("/root/repo/build/tests/golden_report_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_case_test[1]_include.cmake")
