@@ -74,6 +74,7 @@ int main(int argc, char **argv) {
       case CounterexampleStatus::NonunifyingTimeout:
         ++Timeout;
         break;
+      case CounterexampleStatus::Cancelled:
       case CounterexampleStatus::Failed:
         break;
       }

@@ -10,6 +10,10 @@
 //     -extendedsearch     full product-parser search (paper §6)
 //     -nonunifying        skip the unifying search entirely
 //     -timeout <seconds>  per-conflict unifying budget (default 5)
+//     -cumulative <sec>   cumulative budget across all conflicts (default
+//                         120; 0 = unlimited)
+//     -steps <n>          deterministic per-conflict configuration budget
+//     -memory-mb <n>      accounted memory budget per unifying search
 //     -canonical          use a canonical LR(1) automaton (no LALR merging)
 //     -dump               print the automaton states (Figure 2 style)
 //     -print              echo the normalized grammar and exit
@@ -34,7 +38,8 @@ using namespace lalrcex;
 static int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [-extendedsearch] [-nonunifying] "
-               "[-timeout <sec>] [-canonical] [-dump] [-print] [-list] "
+               "[-timeout <sec>] [-cumulative <sec>] [-steps <n>] "
+               "[-memory-mb <n>] [-canonical] [-dump] [-print] [-list] "
                "<grammar-file | corpus:NAME>\n",
                Prog);
   return 2;
@@ -56,6 +61,18 @@ int main(int argc, char **argv) {
       if (++I == argc)
         return usage(argv[0]);
       Opts.ConflictTimeLimitSeconds = std::atof(argv[I]);
+    } else if (Arg == "-cumulative") {
+      if (++I == argc)
+        return usage(argv[0]);
+      Opts.CumulativeTimeLimitSeconds = std::atof(argv[I]);
+    } else if (Arg == "-steps") {
+      if (++I == argc)
+        return usage(argv[0]);
+      Opts.MaxConfigurations = size_t(std::atoll(argv[I]));
+    } else if (Arg == "-memory-mb") {
+      if (++I == argc)
+        return usage(argv[0]);
+      Opts.MemoryLimitBytes = size_t(std::atoll(argv[I])) << 20;
     } else if (Arg == "-dump") {
       Dump = true;
     } else if (Arg == "-print") {
@@ -132,10 +149,17 @@ int main(int argc, char **argv) {
     std::printf("warning: %s\n", Expectation.c_str());
 
   CounterexampleFinder Finder(Table, Opts);
-  for (const Conflict &C : Conflicts) {
-    ConflictReport R = Finder.examine(C);
-    std::printf("%s  (%.3fs, %zu configurations)\n\n",
+  std::vector<ConflictReport> Reports = Finder.examineAll();
+  for (const ConflictReport &R : Reports) {
+    std::printf("%s  (%.3fs, %zu configurations)\n",
                 Finder.render(R).c_str(), R.Seconds, R.Configurations);
+    if (R.Failure)
+      std::printf("  [degraded: %s in %s%s%s]\n",
+                  FailureReason::kindName(R.Failure->K),
+                  R.Failure->Stage.c_str(),
+                  R.Failure->Detail.empty() ? "" : ": ",
+                  R.Failure->Detail.c_str());
+    std::printf("\n");
   }
   return Conflicts.empty() ? 0 : 1;
 }

@@ -2,6 +2,12 @@
 //
 // Part of lalrcex.
 //
+// The degradation ladder lives here: unifying search -> nonunifying
+// counterexample -> bare item-pair report. Every rung is guarded — budget
+// exhaustion, cancellation, allocation failure, and malformed search state
+// all fall to the next rung and record a FailureReason, so examine() and
+// examineAll() never throw and every conflict always gets a report.
+//
 //===----------------------------------------------------------------------===//
 
 #include "counterexample/CounterexampleFinder.h"
@@ -10,101 +16,299 @@
 #include "support/Stopwatch.h"
 
 #include <algorithm>
-#include <cassert>
+#include <new>
 
 using namespace lalrcex;
+
+const char *FailureReason::kindName(Kind K) {
+  switch (K) {
+  case InternalError:
+    return "internal-error";
+  case AllocationFailure:
+    return "allocation-failure";
+  case StepLimit:
+    return "step-limit";
+  case MemoryLimit:
+    return "memory-limit";
+  case Deadline:
+    return "deadline";
+  case Cancelled:
+    return "cancelled";
+  case PathUnavailable:
+    return "path-unavailable";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// The cumulative budget across one examineAll run.
+ResourceLimits cumulativeLimits(const FinderOptions &Opts) {
+  ResourceLimits L;
+  L.MaxSteps = Opts.CumulativeMaxConfigurations;
+  if (Opts.CumulativeTimeLimitSeconds != 0)
+    L.WallClockSeconds = Opts.CumulativeTimeLimitSeconds;
+  L.WallPollPeriod = Opts.WallPollPeriod;
+  return L;
+}
+
+FailureReason::Kind kindOfStop(GuardStop S) {
+  switch (S) {
+  case GuardStop::StepLimit:
+    return FailureReason::StepLimit;
+  case GuardStop::MemoryLimit:
+    return FailureReason::MemoryLimit;
+  case GuardStop::Deadline:
+    return FailureReason::Deadline;
+  case GuardStop::Cancelled:
+    return FailureReason::Cancelled;
+  case GuardStop::None:
+    break;
+  }
+  return FailureReason::InternalError;
+}
+
+} // namespace
 
 CounterexampleFinder::CounterexampleFinder(const ParseTable &Table,
                                            FinderOptions Opts)
     : Table(Table), G(Table.automaton().grammar()),
       Graph(Table.automaton()), Nonunifying(Graph), Unifying(Graph),
-      Opts(Opts) {}
+      Opts(Opts), Cumulative(cumulativeLimits(Opts), Opts.Cancellation) {}
 
 ConflictReport CounterexampleFinder::examine(const Conflict &C) {
+  // Last-resort boundary: examineImpl degrades failures itself, but an
+  // allocation failure can strike anywhere, and examine() must not throw.
+  try {
+    return examineImpl(C);
+  } catch (const SearchError &E) {
+    ConflictReport R;
+    R.TheConflict = C;
+    R.Status = CounterexampleStatus::Failed;
+    R.Failure =
+        FailureReason{FailureReason::InternalError, "examine", E.what()};
+    return R;
+  } catch (const std::bad_alloc &) {
+    ConflictReport R;
+    R.TheConflict = C;
+    R.Status = CounterexampleStatus::Failed;
+    R.Failure = FailureReason{FailureReason::AllocationFailure, "examine",
+                              "allocation failure"};
+    return R;
+  }
+}
+
+ConflictReport CounterexampleFinder::examineImpl(const Conflict &C) {
   Stopwatch Timer;
   ConflictReport Report;
   Report.TheConflict = C;
 
-  // Locate the conflict items in the state-item graph.
+  // Records the first (most significant) degradation reason only.
+  auto fail = [&](FailureReason::Kind K, const char *Stage,
+                  std::string Detail) {
+    if (!Report.Failure)
+      Report.Failure = FailureReason{K, Stage, std::move(Detail)};
+  };
+  auto finish = [&]() {
+    Report.Seconds = Timer.seconds();
+    return std::move(Report);
+  };
+
+  // Locate the conflict items in the state-item graph. Malformed conflict
+  // records (bad production index, state, or item) degrade to a bare
+  // item-pair report instead of corrupting the searches.
+  if (C.ReduceProd >= G.numProductions() ||
+      (C.K == Conflict::ReduceReduce && C.OtherProd >= G.numProductions())) {
+    fail(FailureReason::InternalError, "conflict-setup",
+         "conflict references an out-of-range production");
+    return finish();
+  }
   Item ReduceItem = C.reduceItem(G);
   StateItemGraph::NodeId ReduceNode = Graph.nodeFor(C.State, ReduceItem);
-  assert(ReduceNode != StateItemGraph::InvalidNode &&
+  if (ReduceNode == StateItemGraph::InvalidNode) {
+    fail(FailureReason::InternalError, "conflict-setup",
          "conflict reduce item missing from its state");
+    return finish();
+  }
 
   std::vector<StateItemGraph::NodeId> OtherNodes;
   if (C.K == Conflict::ShiftReduce) {
     // One conflict record exists per shift item (CUP counting); search
     // with that specific item.
     StateItemGraph::NodeId N = Graph.nodeFor(C.State, C.ShiftItm);
-    assert(N != StateItemGraph::InvalidNode &&
+    if (N == StateItemGraph::InvalidNode) {
+      fail(FailureReason::InternalError, "conflict-setup",
            "conflict shift item missing from its state");
+      return finish();
+    }
     OtherNodes.push_back(N);
     Report.ShiftItem = C.ShiftItm;
   } else {
     Item OtherItem(C.OtherProd,
                    uint32_t(G.production(C.OtherProd).Rhs.size()));
     StateItemGraph::NodeId N = Graph.nodeFor(C.State, OtherItem);
-    assert(N != StateItemGraph::InvalidNode &&
-           "conflict reduce item missing from its state");
+    if (N == StateItemGraph::InvalidNode) {
+      fail(FailureReason::InternalError, "conflict-setup",
+           "second conflict reduce item missing from its state");
+      return finish();
+    }
     OtherNodes.push_back(N);
   }
 
-  // Shortest lookahead-sensitive path for the reduce item (§4).
-  std::optional<LssPath> Path =
-      shortestLookaheadSensitivePath(Graph, ReduceNode, C.Token);
+  // Shortest lookahead-sensitive path (§4). Both fallback rungs need it,
+  // so it is bounded only by cancellation, not by the cumulative search
+  // budgets (nonunifying-only mode must still work after exhaustion).
+  ResourceLimits LssLimits;
+  LssLimits.WallPollPeriod = Opts.WallPollPeriod;
+  ResourceGuard LssGuard(LssLimits, Opts.Cancellation);
+  std::optional<LssPath> Path;
+  try {
+    Path = shortestLookaheadSensitivePath(Graph, ReduceNode, C.Token,
+                                          /*PruneToReaching=*/true,
+                                          &LssGuard);
+  } catch (const SearchError &E) {
+    fail(FailureReason::InternalError, "lss-path", E.what());
+    return finish();
+  }
   if (!Path) {
-    Report.Status = CounterexampleStatus::Failed;
-    Report.Seconds = Timer.seconds();
-    return Report;
+    if (LssGuard.stopped() == GuardStop::Cancelled) {
+      Report.Status = CounterexampleStatus::Cancelled;
+      fail(FailureReason::Cancelled, "lss-path", "cancellation requested");
+    } else {
+      fail(FailureReason::PathUnavailable, "lss-path",
+           "no shortest lookahead-sensitive path to the conflict item");
+    }
+    return finish();
   }
 
-  // Unifying search (§5) within budget.
-  bool CumulativeExceeded =
-      CumulativeSeconds >= Opts.CumulativeTimeLimitSeconds;
-  if (Opts.UnifyingEnabled && !CumulativeExceeded) {
+  // Unifying search (§5) within the per-conflict and cumulative budgets.
+  GuardStop CumStop = Cumulative.stop();
+  if (CumStop == GuardStop::Cancelled) {
+    Report.Status = CounterexampleStatus::Cancelled;
+    fail(FailureReason::Cancelled, "cumulative-budget",
+         "cancellation requested");
+    return finish();
+  }
+  if (Opts.UnifyingEnabled && CumStop == GuardStop::None) {
     UnifyingOptions UO;
-    UO.TimeLimitSeconds = Opts.ConflictTimeLimitSeconds;
+    // Effective wall budget: the smaller of the per-conflict limit and
+    // whatever remains of the cumulative deadline. Zero means unlimited,
+    // so a computed non-positive remainder maps to "already expired".
+    double Remaining = Cumulative.remainingSeconds();
+    double Effective = Opts.ConflictTimeLimitSeconds;
+    if (Effective == 0 || (Remaining < 1e17 && Remaining < Effective))
+      Effective = Remaining < 1e17 ? Remaining : 0;
+    if (Effective == 0 && Opts.ConflictTimeLimitSeconds != 0)
+      Effective = -1;
+    UO.TimeLimitSeconds = Effective;
     UO.ExtendedSearch = Opts.ExtendedSearch;
+    UO.MemoryLimitBytes = Opts.MemoryLimitBytes;
+    UO.Cancellation = Opts.Cancellation;
+    UO.WallPollPeriod = Opts.WallPollPeriod;
+    // Effective step budget: per-conflict cap, shrunk to what the
+    // cumulative deterministic budget still allows.
     UO.MaxConfigurations = Opts.MaxConfigurations;
+    if (Cumulative.limits().MaxSteps != ResourceLimits::Unlimited) {
+      size_t CumLeft = Cumulative.limits().MaxSteps > Cumulative.steps()
+                           ? Cumulative.limits().MaxSteps -
+                                 Cumulative.steps()
+                           : 0;
+      UO.MaxConfigurations = std::min(UO.MaxConfigurations, CumLeft);
+    }
+
     UnifyingResult UR =
         Unifying.search(ReduceNode, OtherNodes, C.Token, &*Path, UO);
     Report.Configurations = UR.ConfigurationsExplored;
-    if (UR.Status == UnifyingStatus::Found) {
+    Report.PeakBytes = UR.PeakBytes;
+    Report.UnifyingOutcome = UR.Status;
+    // One shared guard accounts cumulative work exactly — no per-conflict
+    // wall-clock summation drift.
+    Cumulative.chargeSteps(UR.ConfigurationsExplored);
+
+    switch (UR.Status) {
+    case UnifyingStatus::Found:
       Report.Status = CounterexampleStatus::UnifyingFound;
       Report.Example = std::move(UR.Example);
-      Report.Seconds = Timer.seconds();
-      CumulativeSeconds += Report.Seconds;
-      return Report;
+      return finish();
+    case UnifyingStatus::Exhausted:
+      Report.Status = CounterexampleStatus::NonunifyingComplete;
+      break;
+    case UnifyingStatus::TimedOut:
+      Report.Status = CounterexampleStatus::NonunifyingTimeout;
+      fail(FailureReason::Deadline, "unifying-search",
+           "per-conflict wall-clock budget exhausted");
+      break;
+    case UnifyingStatus::LimitHit:
+      Report.Status = CounterexampleStatus::NonunifyingTimeout;
+      fail(FailureReason::StepLimit, "unifying-search",
+           "configuration step budget exhausted");
+      break;
+    case UnifyingStatus::MemoryLimit:
+      Report.Status = CounterexampleStatus::NonunifyingTimeout;
+      fail(FailureReason::MemoryLimit, "unifying-search",
+           "search memory budget exhausted");
+      break;
+    case UnifyingStatus::Cancelled:
+      Report.Status = CounterexampleStatus::Cancelled;
+      fail(FailureReason::Cancelled, "unifying-search",
+           "cancellation requested");
+      return finish();
+    case UnifyingStatus::Error:
+      Report.Status = CounterexampleStatus::Failed;
+      fail(UR.BadAlloc ? FailureReason::AllocationFailure
+                       : FailureReason::InternalError,
+           "unifying-search", UR.Message);
+      break;
     }
-    Report.Status = UR.Status == UnifyingStatus::Exhausted
-                        ? CounterexampleStatus::NonunifyingComplete
-                        : CounterexampleStatus::NonunifyingTimeout;
-  } else {
+  } else if (!Opts.UnifyingEnabled) {
+    // Nonunifying-only mode by configuration.
     Report.Status = CounterexampleStatus::NonunifyingTimeout;
+  } else {
+    // Cumulative budget exhausted: nonunifying-only for the remainder.
+    Report.Status = CounterexampleStatus::NonunifyingTimeout;
+    fail(kindOfStop(CumStop), "cumulative-budget",
+         std::string("cumulative budget exhausted (") + toString(CumStop) +
+             ")");
   }
 
   // Fall back to a nonunifying counterexample (§4), trying each candidate
-  // conflicting item.
+  // conflicting item. Builder failures degrade to the bare report.
   for (StateItemGraph::NodeId Other : OtherNodes) {
-    std::optional<Counterexample> Ex =
-        Nonunifying.build(*Path, Other, C.Token);
+    std::optional<Counterexample> Ex;
+    try {
+      Ex = Nonunifying.build(*Path, Other, C.Token);
+    } catch (const SearchError &E) {
+      Report.Status = CounterexampleStatus::Failed;
+      fail(FailureReason::InternalError, "nonunifying-builder", E.what());
+      continue;
+    } catch (const std::bad_alloc &) {
+      Report.Status = CounterexampleStatus::Failed;
+      fail(FailureReason::AllocationFailure, "nonunifying-builder",
+           "allocation failure");
+      continue;
+    }
     if (Ex) {
       Report.Example = std::move(Ex);
       break;
     }
   }
-  if (!Report.Example)
+  if (!Report.Example && Report.Status != CounterexampleStatus::Failed) {
     Report.Status = CounterexampleStatus::Failed;
-  Report.Seconds = Timer.seconds();
-  CumulativeSeconds += Report.Seconds;
-  return Report;
+    fail(FailureReason::PathUnavailable, "nonunifying-builder",
+         "no nonunifying derivation for the conflicting item");
+  }
+  return finish();
 }
 
 std::vector<ConflictReport> CounterexampleFinder::examineAll() {
+  // Fresh cumulative guard per run; the caller's token is shared, so a
+  // cancellation tripped earlier still applies.
+  Cumulative = ResourceGuard(cumulativeLimits(Opts), Opts.Cancellation);
   std::vector<ConflictReport> Out;
-  for (const Conflict &C : Table.conflicts())
-    if (C.reported())
-      Out.push_back(examine(C));
+  std::vector<Conflict> Reported = Table.reportedConflicts(Cumulative);
+  Out.reserve(Reported.size());
+  for (const Conflict &C : Reported)
+    Out.push_back(examine(C));
   return Out;
 }
 
@@ -127,6 +331,17 @@ std::string CounterexampleFinder::render(const ConflictReport &R) const {
                               int(G.production(C.OtherProd).Rhs.size())) +
            "\n";
   Out += "  under symbol " + G.name(C.Token) + "\n";
+
+  if (R.Status == CounterexampleStatus::Failed ||
+      R.Status == CounterexampleStatus::Cancelled) {
+    Out += "  Degraded report";
+    if (R.Failure)
+      Out += std::string(" (") + FailureReason::kindName(R.Failure->K) +
+             " in " + R.Failure->Stage +
+             (R.Failure->Detail.empty() ? "" : ": " + R.Failure->Detail) +
+             ")";
+    Out += "\n";
+  }
 
   if (!R.Example) {
     Out += "  (no counterexample constructed)\n";
@@ -154,7 +369,7 @@ std::string CounterexampleFinder::render(const ConflictReport &R) const {
   } else {
     if (R.Status == CounterexampleStatus::NonunifyingTimeout)
       Out += "  Time limit exceeded: a unifying counterexample may exist\n";
-    else
+    else if (R.Status == CounterexampleStatus::NonunifyingComplete)
       Out += "  No unifying counterexample: the conflict is not an "
              "ambiguity (within the default search)\n";
     if (!Ex.PrefixShared)

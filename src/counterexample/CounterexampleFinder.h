@@ -26,6 +26,7 @@
 #include "counterexample/StateItemGraph.h"
 #include "counterexample/UnifyingSearch.h"
 #include "lr/ParseTable.h"
+#include "support/Budget.h"
 
 #include <optional>
 #include <string>
@@ -35,18 +36,30 @@ namespace lalrcex {
 
 /// Budgets and modes for counterexample construction.
 struct FinderOptions {
-  /// Per-conflict budget for the unifying search (paper: 5 s).
+  /// Per-conflict wall-clock budget for the unifying search (paper: 5 s).
+  /// Zero disables the deadline; negative values are already expired
+  /// (deterministic timeouts for tests).
   double ConflictTimeLimitSeconds = 5.0;
-  /// Cumulative unifying-search budget (paper: 2 min); afterwards only
-  /// nonunifying counterexamples are constructed.
+  /// Cumulative wall-clock budget across examineAll (paper: 2 min);
+  /// afterwards only nonunifying counterexamples are constructed.
   double CumulativeTimeLimitSeconds = 120.0;
   /// Allow reverse transitions off the shortest lookahead-sensitive path
   /// (the paper's -extendedsearch flag).
   bool ExtendedSearch = false;
   /// Disable the unifying search entirely (nonunifying-only mode).
   bool UnifyingEnabled = true;
-  /// Safety cap on configurations per unifying search.
+  /// Deterministic step budget per unifying search (configurations).
   size_t MaxConfigurations = 2'000'000;
+  /// Deterministic cumulative step budget across examineAll; once spent,
+  /// remaining conflicts degrade to nonunifying counterexamples.
+  size_t CumulativeMaxConfigurations = ResourceLimits::Unlimited;
+  /// Byte budget for each unifying search's accounted memory.
+  size_t MemoryLimitBytes = ResourceLimits::Unlimited;
+  /// Cooperative cancellation: trip from another thread to stop all
+  /// remaining work; every conflict still gets a (bare) report.
+  CancellationToken Cancellation;
+  /// Configurations between wall-clock / cancellation polls.
+  unsigned WallPollPeriod = 64;
 };
 
 /// How a conflict was explained; matches the Table 1 columns.
@@ -55,9 +68,35 @@ enum class CounterexampleStatus {
   NonunifyingComplete, ///< "# nonunif": the search space was exhausted, so
                        ///< no unifying counterexample exists (within the
                        ///< default restriction)
-  NonunifyingTimeout,  ///< "# time out": budget exceeded; nonunifying
-                       ///< counterexample reported instead
-  Failed,              ///< internal error (no counterexample built)
+  NonunifyingTimeout,  ///< "# time out": a budget (time, steps, or memory)
+                       ///< was exceeded; nonunifying counterexample
+                       ///< reported instead (see Failure for which budget)
+  Cancelled,           ///< cancellation tripped; bare item-pair report
+  Failed,              ///< recoverable internal failure; Example, when
+                       ///< present, is a best-effort nonunifying fallback
+};
+
+/// Structured record of why a report was degraded: which stage of the
+/// pipeline gave up and for what reason.
+struct FailureReason {
+  enum Kind : uint8_t {
+    InternalError,     ///< malformed search state (recovered SearchError)
+    AllocationFailure, ///< std::bad_alloc caught at a search boundary
+    StepLimit,         ///< deterministic step budget exhausted
+    MemoryLimit,       ///< accounted byte budget exhausted
+    Deadline,          ///< wall-clock budget exhausted
+    Cancelled,         ///< cancellation token tripped
+    PathUnavailable,   ///< no shortest lookahead-sensitive path / bridge
+  };
+  Kind K = InternalError;
+  /// Pipeline stage that degraded: "conflict-setup", "lss-path",
+  /// "unifying-search", "nonunifying-builder", "cumulative-budget".
+  std::string Stage;
+  /// Human-readable detail (e.g. the recovered error message).
+  std::string Detail;
+
+  /// Short name of \p K for diagnostics.
+  static const char *kindName(Kind K);
 };
 
 /// Everything known about one explained conflict.
@@ -69,6 +108,13 @@ struct ConflictReport {
   Item ShiftItem;
   double Seconds = 0;
   size_t Configurations = 0;
+  /// Peak accounted memory of the unifying search.
+  size_t PeakBytes = 0;
+  /// How the unifying search ended, when it ran.
+  std::optional<UnifyingStatus> UnifyingOutcome;
+  /// Why the report was degraded (set for every status except
+  /// UnifyingFound / NonunifyingComplete).
+  std::optional<FailureReason> Failure;
 };
 
 /// Constructs counterexamples for the conflicts of one parse table.
@@ -80,24 +126,35 @@ public:
   const StateItemGraph &graph() const { return Graph; }
   const FinderOptions &options() const { return Opts; }
 
-  /// Explains a single conflict.
+  /// Explains a single conflict. Never throws: every failure mode
+  /// degrades down the ladder (unifying -> nonunifying -> bare item-pair
+  /// report) and is recorded in ConflictReport::Failure.
   ConflictReport examine(const Conflict &C);
 
-  /// Explains every reported (precedence-unresolved) conflict, honoring
-  /// the cumulative budget.
+  /// Explains every reported (precedence-unresolved) conflict, charging
+  /// one shared cumulative guard (wall clock, steps, cancellation).
+  /// Always returns exactly one report per reported conflict.
   std::vector<ConflictReport> examineAll();
 
   /// Renders a report in the style of the paper's Figure 11.
   std::string render(const ConflictReport &R) const;
 
+  /// The cumulative guard of the current/last examineAll run (also
+  /// consulted by standalone examine calls for cancellation).
+  const ResourceGuard &cumulativeGuard() const { return Cumulative; }
+
 private:
+  ConflictReport examineImpl(const Conflict &C);
+
   const ParseTable &Table;
   const Grammar &G;
   StateItemGraph Graph;
   NonunifyingBuilder Nonunifying;
   UnifyingSearch Unifying;
   FinderOptions Opts;
-  double CumulativeSeconds = 0;
+  /// Shared cumulative budget: wall clock, deterministic steps, and the
+  /// caller's cancellation token.
+  ResourceGuard Cumulative;
 };
 
 } // namespace lalrcex

@@ -6,8 +6,9 @@
 
 #include "counterexample/LookaheadSensitiveSearch.h"
 
+#include "support/FaultInjection.h"
+
 #include <algorithm>
-#include <cassert>
 #include <deque>
 #include <unordered_map>
 #include <unordered_set>
@@ -37,10 +38,15 @@ struct Vertex {
 
 std::optional<LssPath> lalrcex::shortestLookaheadSensitivePath(
     const StateItemGraph &Graph, StateItemGraph::NodeId ConflictNode,
-    Symbol ConflictTerm, bool PruneToReaching) {
+    Symbol ConflictTerm, bool PruneToReaching, ResourceGuard *Guard) {
   const Automaton &M = Graph.automaton();
   const Grammar &G = M.grammar();
   const GrammarAnalysis &Analysis = M.analysis();
+
+  if (LALRCEX_FAULT_FIRES(LssPathFailure, 0))
+    return std::nullopt;
+  if (ConflictNode >= Graph.numNodes())
+    throw SearchError("lss path: conflict node out of range");
 
   // Only explore state-items that can reach the conflict item at all.
   std::vector<bool> Relevant =
@@ -49,7 +55,8 @@ std::optional<LssPath> lalrcex::shortestLookaheadSensitivePath(
 
   StateItemGraph::NodeId StartNode =
       Graph.nodeFor(M.startState(), Item(G.augmentedProduction(), 0));
-  assert(StartNode != StateItemGraph::InvalidNode && "missing start item");
+  if (StartNode == StateItemGraph::InvalidNode)
+    throw SearchError("lss path: start item missing from start state");
   if (!Relevant[StartNode])
     return std::nullopt;
 
@@ -76,6 +83,10 @@ std::optional<LssPath> lalrcex::shortestLookaheadSensitivePath(
 
   int Goal = -1;
   while (!Work.empty() && Goal < 0) {
+    // The BFS is polynomial and fast, but a cancelled or exhausted guard
+    // must still be able to stop it (the "never hang" contract).
+    if (Guard && Guard->step() != GuardStop::None)
+      return std::nullopt;
     int VI = Work.front();
     Work.pop_front();
     // Note: Vertices may reallocate inside the loop; index anew each time.

@@ -22,6 +22,7 @@
 #define LALRCEX_COUNTEREXAMPLE_LOOKAHEADSENSITIVESEARCH_H
 
 #include "counterexample/StateItemGraph.h"
+#include "support/Budget.h"
 
 #include <optional>
 #include <vector>
@@ -58,11 +59,15 @@ struct LssPath {
 /// \p PruneToReaching restricts the search to state-items from which the
 /// conflict item is reachable (the paper's §6 optimization); disabling it
 /// exists for the ablation benchmark.
+/// \p Guard, when given, is charged one step per expanded vertex; if it
+/// trips (cancellation, cumulative budget), the search stops and returns
+/// nullopt — callers degrade to a bare item-pair report.
 std::optional<LssPath>
 shortestLookaheadSensitivePath(const StateItemGraph &Graph,
                                StateItemGraph::NodeId ConflictNode,
                                Symbol ConflictTerm,
-                               bool PruneToReaching = true);
+                               bool PruneToReaching = true,
+                               ResourceGuard *Guard = nullptr);
 
 } // namespace lalrcex
 

@@ -6,9 +6,12 @@
 
 #include "counterexample/NonunifyingBuilder.h"
 
+#include "support/Budget.h"
+#include "support/FaultInjection.h"
+
 #include <algorithm>
-#include <cassert>
 #include <deque>
+#include <new>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -45,10 +48,12 @@ NonunifyingBuilder::NonunifyingBuilder(const StateItemGraph &Graph)
 }
 
 DerivPtr NonunifyingBuilder::emptyDerivation(Symbol N) const {
-  assert(G.isNonterminal(N) && Analysis.isNullable(N) &&
-         "epsilon derivation requires a nullable nonterminal");
+  if (!G.isNonterminal(N) || !Analysis.isNullable(N))
+    throw SearchError(
+        "nonunifying builder: epsilon derivation of a non-nullable symbol");
   unsigned P = EpsProd[N.id()];
-  assert(P != GrammarAnalysis::Infinite && "missing epsilon production");
+  if (P == GrammarAnalysis::Infinite)
+    throw SearchError("nonunifying builder: missing epsilon production");
   std::vector<DerivPtr> Children;
   for (Symbol S : G.production(P).Rhs)
     Children.push_back(emptyDerivation(S));
@@ -57,11 +62,13 @@ DerivPtr NonunifyingBuilder::emptyDerivation(Symbol N) const {
 
 DerivPtr NonunifyingBuilder::derivationBeginningWith(Symbol N,
                                                      Symbol T) const {
-  assert(G.isTerminal(T) && "expected a terminal");
+  if (!G.isTerminal(T))
+    throw SearchError("nonunifying builder: continuation is not a terminal");
   if (N == T)
     return Derivation::leaf(T);
-  assert(G.isNonterminal(N) && Analysis.first(N).contains(T.id()) &&
-         "T must be able to begin N");
+  if (!G.isNonterminal(N) || !Analysis.first(N).contains(T.id()))
+    throw SearchError(
+        "nonunifying builder: terminal cannot begin the continuation");
 
   // Minimal begins-with-T derivation sizes per symbol (fixpoint).
   const unsigned Inf = GrammarAnalysis::Infinite;
@@ -106,7 +113,9 @@ DerivPtr NonunifyingBuilder::derivationBeginningWith(Symbol N,
       if (N == T)
         return Derivation::leaf(T);
       const Choice &C = Best[N.id()];
-      assert(C.Prod != GrammarAnalysis::Infinite && "unreconstructible");
+      if (C.Prod == GrammarAnalysis::Infinite)
+        throw SearchError(
+            "nonunifying builder: unreconstructible continuation");
       const Production &Prod = B.G.production(C.Prod);
       std::vector<DerivPtr> Children;
       for (unsigned J = 0, JE = unsigned(Prod.Rhs.size()); J != JE; ++J) {
@@ -141,9 +150,10 @@ NonunifyingBuilder::replayAndComplete(const std::vector<LssStep> &Steps,
       Frames.push_back(Frame{Itm.Prod, {}, 0});
       break;
     case LssStep::Transition: {
-      assert(!Frames.empty() && Frames.back().Prod == Itm.Prod &&
-             Frames.back().RealCount + 1 == Itm.Dot &&
-             "transition inconsistent with open frame");
+      if (Frames.empty() || Frames.back().Prod != Itm.Prod ||
+          Frames.back().RealCount + 1 != Itm.Dot)
+        throw SearchError(
+            "nonunifying builder: transition inconsistent with open frame");
       Symbol S = Itm.beforeDot(G);
       Frames.back().Children.push_back(Derivation::leaf(S));
       ++Frames.back().RealCount;
@@ -164,7 +174,8 @@ NonunifyingBuilder::replayAndComplete(const std::vector<LssStep> &Steps,
     if (Frames.empty())
       return std::nullopt; // conflict on the augmented production
     const Production &P = G.production(Top.Prod);
-    assert(Top.RealCount == P.Rhs.size() && "reduce item frame incomplete");
+    if (Top.RealCount != P.Rhs.size())
+      throw SearchError("nonunifying builder: reduce item frame incomplete");
     DerivPtr D = Derivation::node(P.Lhs, Top.Prod, std::move(Top.Children));
     Frames.back().Children.push_back(std::move(D));
     ++Frames.back().RealCount;
@@ -353,6 +364,12 @@ std::optional<Counterexample>
 NonunifyingBuilder::build(const LssPath &Path,
                           StateItemGraph::NodeId OtherNode,
                           Symbol ConflictTerm) const {
+  if (LALRCEX_FAULT_FIRES(NonunifyingBadAlloc, 0))
+    throw std::bad_alloc();
+  if (LALRCEX_FAULT_FIRES(NonunifyingError, 0))
+    throw SearchError("injected nonunifying builder fault");
+  if (Path.Steps.empty() || OtherNode >= Graph.numNodes())
+    throw SearchError("nonunifying builder: malformed conflict inputs");
   std::optional<std::vector<DerivPtr>> Reduce =
       replayAndComplete(Path.Steps, ConflictTerm);
   if (!Reduce)

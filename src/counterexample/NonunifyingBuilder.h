@@ -37,7 +37,9 @@ public:
   /// Builds the counterexample for a conflict whose reduce item produced
   /// \p Path. \p OtherNode is the conflicting shift item (its dot symbol
   /// is \p ConflictTerm) or the second reduce item of a reduce/reduce
-  /// conflict. \returns nullopt only on internal inconsistency.
+  /// conflict. \returns nullopt when no derivation exists; throws
+  /// SearchError on malformed path/grammar state (callers catch it at the
+  /// degradation boundary and fall back to a bare item-pair report).
   std::optional<Counterexample> build(const LssPath &Path,
                                       StateItemGraph::NodeId OtherNode,
                                       Symbol ConflictTerm) const;

@@ -57,6 +57,10 @@ StateItemGraph::StateItemGraph(const Automaton &M) : M(M) {
 
 StateItemGraph::NodeId StateItemGraph::nodeFor(unsigned State,
                                                const Item &I) const {
+  // Out-of-range states come from malformed Conflict records; report
+  // "not found" so callers degrade instead of indexing out of bounds.
+  if (State >= M.numStates())
+    return InvalidNode;
   int Idx = M.state(State).indexOfItem(I);
   if (Idx < 0)
     return InvalidNode;

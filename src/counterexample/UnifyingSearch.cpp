@@ -6,8 +6,10 @@
 
 #include "counterexample/UnifyingSearch.h"
 
+#include "support/FaultInjection.h"
+
 #include <algorithm>
-#include <cassert>
+#include <new>
 #include <queue>
 #include <unordered_set>
 
@@ -90,6 +92,17 @@ VisitKey keyOf(const Config &C) {
   return VisitKey{C.S1.Items, C.S2.Items, Flags};
 }
 
+/// Approximate heap footprint of one retained configuration (pool entry
+/// plus its visited-set key); the item sequences and derivation handle
+/// lists dominate.
+size_t approxBytes(const Config &C) {
+  size_t Items = C.S1.Items.size() + C.S2.Items.size();
+  size_t Derivs = C.S1.Derivs.size() + C.S2.Derivs.size();
+  return sizeof(Config) + sizeof(VisitKey) +
+         2 * Items * sizeof(NodeId) + // pool copy + visited key
+         Derivs * sizeof(DerivPtr);
+}
+
 } // namespace
 
 UnifyingSearch::UnifyingSearch(const StateItemGraph &Graph)
@@ -102,9 +115,50 @@ UnifyingSearch::search(NodeId ReduceNode,
                        Symbol ConflictTerm, const LssPath *Slsp,
                        const UnifyingOptions &Opts) const {
   UnifyingResult Result;
-  Deadline Budget = Opts.TimeLimitSeconds > 0
-                        ? Deadline::afterSeconds(Opts.TimeLimitSeconds)
-                        : Deadline::unlimited();
+  ResourceLimits Limits;
+  Limits.MaxSteps = Opts.MaxConfigurations;
+  Limits.MaxBytes = Opts.MemoryLimitBytes;
+  if (Opts.TimeLimitSeconds != 0)
+    Limits.WallClockSeconds = Opts.TimeLimitSeconds;
+  Limits.WallPollPeriod = Opts.WallPollPeriod;
+  ResourceGuard Guard(Limits, Opts.Cancellation);
+
+  // The search boundary: malformed search state (SearchError) and real
+  // allocation failure degrade to a structured Error result instead of
+  // propagating; partial statistics survive.
+  try {
+    searchImpl(ReduceNode, OtherNodes, ConflictTerm, Slsp, Opts, Guard,
+               Result);
+  } catch (const SearchError &E) {
+    Result.Status = UnifyingStatus::Error;
+    Result.Message = E.what();
+    Result.Example.reset();
+  } catch (const std::bad_alloc &) {
+    Result.Status = UnifyingStatus::Error;
+    Result.Message = "allocation failure during unifying search";
+    Result.BadAlloc = true;
+    Result.Example.reset();
+  }
+  Result.PeakBytes = Guard.peakBytes();
+  return Result;
+}
+
+void UnifyingSearch::searchImpl(NodeId ReduceNode,
+                                const std::vector<NodeId> &OtherNodes,
+                                Symbol ConflictTerm, const LssPath *Slsp,
+                                const UnifyingOptions &Opts,
+                                ResourceGuard &Guard,
+                                UnifyingResult &Result) const {
+  // Malformed caller input is a recoverable error, not UB: these checks
+  // replace what used to be implicit assumptions on valid node ids.
+  if (OtherNodes.empty())
+    throw SearchError("unifying search: no conflicting items given");
+  if (ReduceNode >= Graph.numNodes() ||
+      !Graph.itemOf(ReduceNode).atEnd(G))
+    throw SearchError("unifying search: reduce node is not a reduce item");
+  for (NodeId Other : OtherNodes)
+    if (Other >= Graph.numNodes())
+      throw SearchError("unifying search: conflicting node out of range");
 
   const bool ReduceReduce =
       !OtherNodes.empty() && Graph.itemOf(OtherNodes.front()).atEnd(G);
@@ -131,6 +185,10 @@ UnifyingSearch::search(NodeId ReduceNode,
     VisitKey Key = keyOf(C);
     if (!Visited.insert(std::move(Key)).second)
       return;
+    // The pool and visited set only grow until the search ends, so bytes
+    // are charged on admission and never released; a tripped byte budget
+    // surfaces at the next step() check as MemoryLimit.
+    Guard.chargeBytes(approxBytes(C));
     Pool.push_back(std::move(C));
     Queue.push(Pool.size() - 1);
   };
@@ -157,7 +215,9 @@ UnifyingSearch::search(NodeId ReduceNode,
     std::vector<DerivPtr> Children;
     unsigned Reals = 0;
     while (Reals < Count) {
-      assert(!S.Derivs.empty() && "not enough derivations for reduction");
+      if (S.Derivs.empty())
+        throw SearchError(
+            "unifying search: derivation ledger underflow during reduction");
       DerivPtr D = std::move(S.Derivs.back());
       S.Derivs.pop_back();
       if (!D->isDot()) {
@@ -191,7 +251,9 @@ UnifyingSearch::search(NodeId ReduceNode,
       Side &NS = First ? N.S1 : N.S2;
       NodeId Context = NS.Items[NS.Items.size() - 2 - L];
       NodeId Goto = Graph.forwardTransition(Context);
-      assert(Goto != StateItemGraph::InvalidNode && "missing goto");
+      if (Goto == StateItemGraph::InvalidNode)
+        throw SearchError(
+            "unifying search: missing goto transition after reduction");
       NS.Items.resize(NS.Items.size() - (L + 1));
       NS.Items.push_back(Goto);
       std::vector<DerivPtr> Children = popChildren(NS, L);
@@ -266,19 +328,43 @@ UnifyingSearch::search(NodeId ReduceNode,
   };
 
   while (!Queue.empty()) {
-    if (Result.ConfigurationsExplored >= Opts.MaxConfigurations) {
+    // One deterministic step per configuration; the guard folds in the
+    // step budget, the byte budget (charged by push), the periodic
+    // wall-clock poll, and cancellation.
+    switch (Guard.step()) {
+    case GuardStop::None:
+      break;
+    case GuardStop::StepLimit:
       Result.Status = UnifyingStatus::LimitHit;
-      return Result;
-    }
-    if ((Result.ConfigurationsExplored & 0x3F) == 0 && Budget.expired()) {
+      return;
+    case GuardStop::MemoryLimit:
+      Result.Status = UnifyingStatus::MemoryLimit;
+      return;
+    case GuardStop::Deadline:
       Result.Status = UnifyingStatus::TimedOut;
-      return Result;
+      return;
+    case GuardStop::Cancelled:
+      Result.Status = UnifyingStatus::Cancelled;
+      return;
     }
     size_t CI = Queue.top();
     Queue.pop();
     ++Result.ConfigurationsExplored;
     // Copy: Pool may grow (and reallocate) while we generate successors.
     Config C = Pool[CI];
+
+    if (LALRCEX_FAULT_FIRES(BadAllocAtStep, Result.ConfigurationsExplored))
+      throw std::bad_alloc();
+    if (LALRCEX_FAULT_FIRES(CorruptSuccessorAtStep,
+                            Result.ConfigurationsExplored))
+      C.S1.Items.clear(); // simulate a corrupted configuration
+
+    // Integrity check: a configuration always carries at least the
+    // conflict item on each side; losing the sequence would previously
+    // have been undefined behavior at the .back() calls below.
+    if (C.S1.Items.empty() || C.S2.Items.empty())
+      throw SearchError(
+          "unifying search: configuration lost its item sequence");
 
     // Goal test (paper §5.4): both copies have performed their conflict
     // action and reduced to a single derivation of the same nonterminal.
@@ -292,9 +378,8 @@ UnifyingSearch::search(NodeId ReduceNode,
         for (const DerivPtr &D : S.Derivs)
           if (!D->isDot())
             return D;
-        assert(false && "no real derivation at goal");
-        static const DerivPtr Null;
-        return Null;
+        throw SearchError(
+            "unifying search: goal configuration has no derivation");
       };
       const DerivPtr &D1 = rootOf(C.S1);
       const DerivPtr &D2 = rootOf(C.S2);
@@ -313,7 +398,7 @@ UnifyingSearch::search(NodeId ReduceNode,
         }
         Result.Status = UnifyingStatus::Found;
         Result.Example = std::move(Ex);
-        return Result;
+        return;
       }
     }
 
@@ -402,5 +487,4 @@ UnifyingSearch::search(NodeId ReduceNode,
   }
 
   Result.Status = UnifyingStatus::Exhausted;
-  return Result;
 }

@@ -36,22 +36,32 @@
 
 #include "counterexample/Counterexample.h"
 #include "counterexample/LookaheadSensitiveSearch.h"
-#include "support/Stopwatch.h"
+#include "support/Budget.h"
 
 #include <optional>
+#include <string>
 #include <vector>
 
 namespace lalrcex {
 
 /// Tuning knobs for the unifying search.
 struct UnifyingOptions {
-  /// Wall-clock budget; the paper uses 5 seconds per conflict.
+  /// Wall-clock budget; the paper uses 5 seconds per conflict. Zero
+  /// disables the deadline; negative values create an already-expired
+  /// deadline (deterministic timeouts for tests).
   double TimeLimitSeconds = 5.0;
   /// Allow reverse transitions through states off the shortest
   /// lookahead-sensitive path (the paper's -extendedsearch).
   bool ExtendedSearch = false;
-  /// Hard cap on explored configurations (safety valve).
+  /// Deterministic step budget: explored configurations.
   size_t MaxConfigurations = 2'000'000;
+  /// Byte budget for the search's accounted memory (configuration pool,
+  /// visited set, derivation lists).
+  size_t MemoryLimitBytes = ResourceLimits::Unlimited;
+  /// Cooperative cancellation; trip from any thread to stop the search.
+  CancellationToken Cancellation;
+  /// Configurations between wall-clock / cancellation polls.
+  unsigned WallPollPeriod = 64;
 
   /// Cost surcharge for repeating a production step within the same state
   /// (the paper's "postpone infinite expansions" rule, §5.4). Exposed for
@@ -64,18 +74,30 @@ struct UnifyingOptions {
 
 /// Why the search stopped.
 enum class UnifyingStatus {
-  Found,      ///< unifying counterexample constructed
-  Exhausted,  ///< no unifying counterexample exists within the (possibly
-              ///< restricted) search space
-  TimedOut,   ///< the time budget ran out
-  LimitHit,   ///< MaxConfigurations reached
+  Found,       ///< unifying counterexample constructed
+  Exhausted,   ///< no unifying counterexample exists within the (possibly
+               ///< restricted) search space
+  TimedOut,    ///< the wall-clock budget ran out
+  LimitHit,    ///< MaxConfigurations reached
+  MemoryLimit, ///< MemoryLimitBytes exceeded by accounted allocations
+  Cancelled,   ///< the cancellation token was tripped
+  Error,       ///< recoverable internal error (malformed search state or
+               ///< allocation failure); see UnifyingResult::Message
 };
 
-/// Search outcome.
+/// Search outcome. The search never throws: internal errors and
+/// allocation failures surface as Status == Error with the partial
+/// statistics intact.
 struct UnifyingResult {
   UnifyingStatus Status = UnifyingStatus::Exhausted;
   std::optional<Counterexample> Example;
   size_t ConfigurationsExplored = 0;
+  /// Peak accounted memory of the search.
+  size_t PeakBytes = 0;
+  /// Human-readable detail for Status == Error.
+  std::string Message;
+  /// True when Status == Error was caused by an allocation failure.
+  bool BadAlloc = false;
 };
 
 /// Runs product-parser searches for one conflict.
@@ -90,12 +112,20 @@ public:
   /// \p ConflictTerm. \p Slsp is the shortest lookahead-sensitive path for
   /// the reduce item, used to restrict reverse transitions unless extended
   /// search is enabled.
+  /// Never throws: budget exhaustion, cancellation, allocation failure,
+  /// and malformed search state all surface through UnifyingResult.
   UnifyingResult search(StateItemGraph::NodeId ReduceNode,
                         const std::vector<StateItemGraph::NodeId> &OtherNodes,
                         Symbol ConflictTerm, const LssPath *Slsp,
                         const UnifyingOptions &Opts) const;
 
 private:
+  void searchImpl(StateItemGraph::NodeId ReduceNode,
+                  const std::vector<StateItemGraph::NodeId> &OtherNodes,
+                  Symbol ConflictTerm, const LssPath *Slsp,
+                  const UnifyingOptions &Opts, ResourceGuard &Guard,
+                  UnifyingResult &Result) const;
+
   const StateItemGraph &Graph;
   const Grammar &G;
   const GrammarAnalysis &Analysis;

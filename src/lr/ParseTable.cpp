@@ -222,3 +222,16 @@ std::vector<Conflict> ParseTable::reportedConflicts() const {
       Out.push_back(C);
   return Out;
 }
+
+std::vector<Conflict>
+ParseTable::reportedConflicts(ResourceGuard &Guard) const {
+  std::vector<Conflict> Out;
+  for (const Conflict &C : Conflicts) {
+    Guard.chargeSteps(1);
+    if (!C.reported())
+      continue;
+    Guard.chargeBytes(sizeof(Conflict));
+    Out.push_back(C);
+  }
+  return Out;
+}

@@ -16,6 +16,7 @@
 #define LALRCEX_LR_PARSETABLE_H
 
 #include "lr/Automaton.h"
+#include "support/Budget.h"
 
 #include <string>
 #include <vector>
@@ -105,6 +106,13 @@ public:
 
   /// Only the conflicts that survive precedence resolution.
   std::vector<Conflict> reportedConflicts() const;
+
+  /// Guard-tolerant enumeration: charges \p Guard one deterministic step
+  /// per scanned conflict and the bytes of the returned vector, but always
+  /// returns the complete list — a tripped guard is recorded (sticky) for
+  /// the caller to observe, so downstream degradation still covers every
+  /// conflict rather than silently dropping some.
+  std::vector<Conflict> reportedConflicts(ResourceGuard &Guard) const;
 
   /// Compares reported conflict counts against the grammar's %expect /
   /// %expect-rr declarations. \returns an empty string when everything

@@ -1,0 +1,89 @@
+//===- support/Budget.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Budget.h"
+
+#include "support/FaultInjection.h"
+
+using namespace lalrcex;
+
+const char *lalrcex::toString(GuardStop S) {
+  switch (S) {
+  case GuardStop::None:
+    return "none";
+  case GuardStop::StepLimit:
+    return "step-limit";
+  case GuardStop::MemoryLimit:
+    return "memory-limit";
+  case GuardStop::Deadline:
+    return "deadline";
+  case GuardStop::Cancelled:
+    return "cancelled";
+  }
+  return "unknown";
+}
+
+ResourceGuard::ResourceGuard(const ResourceLimits &L, CancellationToken Tok)
+    : Limits(L), Token(std::move(Tok)) {
+  if (Limits.WallPollPeriod == 0)
+    Limits.WallPollPeriod = 1;
+  if (Limits.WallClockSeconds)
+    Expiry = Deadline::afterSeconds(*Limits.WallClockSeconds);
+}
+
+GuardStop ResourceGuard::trip(GuardStop S) {
+  if (Stop == GuardStop::None)
+    Stop = S;
+  return Stop;
+}
+
+GuardStop ResourceGuard::poll() {
+  if (Stop != GuardStop::None)
+    return Stop;
+  if (LALRCEX_FAULT_FIRES(DeadlineAtStep, Steps))
+    return trip(GuardStop::Deadline);
+  if (LALRCEX_FAULT_FIRES(CancelAtStep, Steps))
+    return trip(GuardStop::Cancelled);
+  if (Token.cancelled())
+    return trip(GuardStop::Cancelled);
+  if (Expiry.expired())
+    return trip(GuardStop::Deadline);
+  return GuardStop::None;
+}
+
+GuardStop ResourceGuard::chargeSteps(size_t N) {
+  if (Stop != GuardStop::None)
+    return Stop;
+  Steps += N;
+  if (Steps > Limits.MaxSteps)
+    return trip(GuardStop::StepLimit);
+  // The wall clock and the token are polled on a step cadence so the hot
+  // loop pays for a syscall / atomic load only every WallPollPeriod steps.
+  // The very first charge polls too, so an already-expired deadline or a
+  // pre-cancelled token trips deterministically before any work is done.
+  if (Steps >= NextPoll) {
+    NextPoll = Steps + Limits.WallPollPeriod;
+    return poll();
+  }
+  return GuardStop::None;
+}
+
+GuardStop ResourceGuard::chargeBytes(size_t Bytes_) {
+  Bytes += Bytes_;
+  if (Bytes > PeakBytes)
+    PeakBytes = Bytes;
+  if (Stop != GuardStop::None)
+    return Stop;
+  if (Bytes > Limits.MaxBytes)
+    return trip(GuardStop::MemoryLimit);
+  return GuardStop::None;
+}
+
+void ResourceGuard::releaseBytes(size_t Bytes_) {
+  Bytes = Bytes_ > Bytes ? 0 : Bytes - Bytes_;
+}
+
+GuardStop ResourceGuard::stop() { return poll(); }

@@ -1,0 +1,161 @@
+//===- support/Budget.h - Resource governance ------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resource-governance layer behind the paper's "always answers"
+/// contract: counterexample construction must degrade (unifying ->
+/// nonunifying -> bare item-pair report) when it runs out of budget, never
+/// hang, abort, or eat the machine.
+///
+/// A ResourceGuard combines four independent brakes:
+///
+///   - a \e deterministic step budget (configurations explored / vertices
+///     expanded), the primary limit because it is reproducible;
+///   - a byte-accounted \e memory budget covering the search's dominant
+///     allocations (priority-queue pool, visited set, derivation lists);
+///   - a monotonic \e wall-clock deadline, polled only every
+///     WallPollPeriod steps so the hot loop stays syscall-free (this
+///     replaces the magic `(Explored & 0x3F) == 0` polls that used to be
+///     open-coded in the searches);
+///   - a cooperative \e CancellationToken that another thread (a CLI
+///     signal handler, a server request context) can trip at any time.
+///
+/// Once any brake trips, the guard is \e stuck: every later step() returns
+/// the same sticky GuardStop, so callers may poll coarsely without losing
+/// the original reason. SearchError is the recoverable-error type the
+/// searches throw instead of assert()ing on malformed internal state; it
+/// is caught at the search boundary and turned into a degraded report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_SUPPORT_BUDGET_H
+#define LALRCEX_SUPPORT_BUDGET_H
+
+#include "support/Stopwatch.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace lalrcex {
+
+/// A recoverable internal error in a search or builder: malformed search
+/// state, inconsistent derivation ledgers, invalid caller input. Replaces
+/// the hard asserts that used to abort the process; callers catch it at
+/// the search boundary and fall down the degradation ladder.
+class SearchError : public std::runtime_error {
+public:
+  explicit SearchError(const std::string &What)
+      : std::runtime_error(What) {}
+};
+
+/// Why a guard stopped the work (GuardStop::None while within budget).
+enum class GuardStop : uint8_t {
+  None,
+  StepLimit,   ///< the deterministic step budget ran out
+  MemoryLimit, ///< the accounted byte budget ran out
+  Deadline,    ///< the wall-clock deadline passed
+  Cancelled,   ///< the cancellation token was tripped
+};
+
+/// Short name for diagnostics ("step-limit", "cancelled", ...).
+const char *toString(GuardStop S);
+
+/// A thread-safe flag for cooperative cancellation. Copies share the same
+/// underlying flag, so a token handed to a search can be tripped from any
+/// thread holding another copy.
+class CancellationToken {
+public:
+  CancellationToken()
+      : Flag(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests that all work holding a copy of this token stop soon.
+  void cancel() { Flag->store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const { return Flag->load(std::memory_order_relaxed); }
+
+private:
+  std::shared_ptr<std::atomic<bool>> Flag;
+};
+
+/// Limits enforced by a ResourceGuard; defaults are all unlimited.
+struct ResourceLimits {
+  static constexpr size_t Unlimited = ~size_t(0);
+
+  /// Deterministic work-unit budget (configurations / vertices).
+  size_t MaxSteps = Unlimited;
+  /// Accounted heap-byte budget.
+  size_t MaxBytes = Unlimited;
+  /// Wall-clock budget. Unset: no deadline. Non-positive values create an
+  /// already-expired deadline (used by tests for deterministic timeouts).
+  std::optional<double> WallClockSeconds;
+  /// Steps between wall-clock / cancellation polls (>= 1). Step counting
+  /// and memory accounting are exact regardless.
+  unsigned WallPollPeriod = 64;
+};
+
+/// Tracks consumption against a ResourceLimits and reports the first
+/// budget that trips. Not thread-safe except through the token.
+class ResourceGuard {
+public:
+  /// An unlimited guard with a private (untripped) token.
+  ResourceGuard() : ResourceGuard(ResourceLimits()) {}
+
+  explicit ResourceGuard(const ResourceLimits &L,
+                         CancellationToken Token = CancellationToken());
+
+  /// Charges one unit of deterministic work. \returns GuardStop::None
+  /// while within budget, otherwise the sticky stop reason.
+  GuardStop step() { return chargeSteps(1); }
+
+  /// Charges \p N units at once (e.g. a sub-search's step count).
+  GuardStop chargeSteps(size_t N);
+
+  /// Charges \p Bytes of accounted memory. \returns the sticky stop
+  /// reason (MemoryLimit once the budget is exceeded).
+  GuardStop chargeBytes(size_t Bytes);
+
+  /// Returns accounted memory (never un-trips a stopped guard).
+  void releaseBytes(size_t Bytes);
+
+  /// The sticky stop reason, polling the deadline and token first so
+  /// callers that do no step-charged work still observe expiry.
+  GuardStop stop();
+
+  /// The sticky stop reason without polling (what has tripped so far).
+  GuardStop stopped() const { return Stop; }
+
+  size_t steps() const { return Steps; }
+  size_t bytesInUse() const { return Bytes; }
+  size_t peakBytes() const { return PeakBytes; }
+
+  /// Seconds until the deadline; effectively infinite when none is set.
+  double remainingSeconds() const { return Expiry.remainingSeconds(); }
+
+  const ResourceLimits &limits() const { return Limits; }
+  const CancellationToken &token() const { return Token; }
+
+private:
+  GuardStop trip(GuardStop S);
+  GuardStop poll();
+
+  ResourceLimits Limits;
+  CancellationToken Token;
+  Deadline Expiry;
+  size_t Steps = 0;
+  size_t Bytes = 0;
+  size_t PeakBytes = 0;
+  size_t NextPoll = 0;
+  GuardStop Stop = GuardStop::None;
+};
+
+} // namespace lalrcex
+
+#endif // LALRCEX_SUPPORT_BUDGET_H

@@ -1,0 +1,36 @@
+//===- support/FaultInjection.cpp ------------------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#if defined(LALRCEX_FAULT_INJECTION)
+
+namespace lalrcex {
+namespace faults {
+
+namespace {
+Kind ArmedKind = Kind::None;
+std::size_t ArmedStep = 0;
+} // namespace
+
+void arm(Kind K, std::size_t AtStep) {
+  ArmedKind = K;
+  ArmedStep = AtStep;
+}
+
+void disarm() { ArmedKind = Kind::None; }
+
+bool fires(Kind K, std::size_t Step) {
+  if (ArmedKind != K || Step < ArmedStep)
+    return false;
+  disarm();
+  return true;
+}
+
+} // namespace faults
+} // namespace lalrcex
+
+#endif // LALRCEX_FAULT_INJECTION

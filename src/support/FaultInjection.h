@@ -1,0 +1,73 @@
+//===- support/FaultInjection.h - Deterministic fault hooks ----*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Test-only fault injection for the counterexample pipeline.
+///
+/// Built only under -DLALRCEX_FAULT_INJECTION=ON; in regular builds every
+/// hook collapses to the constant `false` and costs nothing. Each fault is
+/// one-shot: it fires at the first hook whose step counter reaches the
+/// armed step, then disarms itself, so a single armed fault perturbs
+/// exactly one point of an otherwise deterministic search. This is how
+/// every degradation path (timeout, step limit, allocation failure,
+/// cancellation, corrupt successor) gets a deterministic reproduction
+/// without wall-clock games.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_SUPPORT_FAULTINJECTION_H
+#define LALRCEX_SUPPORT_FAULTINJECTION_H
+
+#if defined(LALRCEX_FAULT_INJECTION)
+
+#include <cstddef>
+
+namespace lalrcex {
+namespace faults {
+
+/// Where and how the armed fault strikes.
+enum class Kind : unsigned char {
+  None,
+  DeadlineAtStep,         ///< ResourceGuard reports Deadline at step >= N
+  CancelAtStep,           ///< ResourceGuard reports Cancelled at step >= N
+  BadAllocAtStep,         ///< unifying search throws std::bad_alloc
+  CorruptSuccessorAtStep, ///< unifying search corrupts a configuration
+  LssPathFailure,         ///< shortestLookaheadSensitivePath finds nothing
+  NonunifyingBadAlloc,    ///< NonunifyingBuilder::build throws bad_alloc
+  NonunifyingError,       ///< NonunifyingBuilder::build throws SearchError
+};
+
+/// Arms one fault; any previously armed fault is replaced.
+void arm(Kind K, std::size_t AtStep = 0);
+
+/// Disarms whatever is armed.
+void disarm();
+
+/// \returns true (exactly once) if the armed fault matches \p K and
+/// \p Step has reached its trigger step; firing disarms the fault.
+bool fires(Kind K, std::size_t Step = 0);
+
+/// RAII arming for tests: disarms on scope exit even if the test fails.
+struct ScopedFault {
+  explicit ScopedFault(Kind K, std::size_t AtStep = 0) { arm(K, AtStep); }
+  ~ScopedFault() { disarm(); }
+  ScopedFault(const ScopedFault &) = delete;
+  ScopedFault &operator=(const ScopedFault &) = delete;
+};
+
+} // namespace faults
+} // namespace lalrcex
+
+#define LALRCEX_FAULT_FIRES(KIND, STEP)                                     \
+  ::lalrcex::faults::fires(::lalrcex::faults::Kind::KIND, (STEP))
+
+#else // !LALRCEX_FAULT_INJECTION
+
+#define LALRCEX_FAULT_FIRES(KIND, STEP) false
+
+#endif // LALRCEX_FAULT_INJECTION
+
+#endif // LALRCEX_SUPPORT_FAULTINJECTION_H

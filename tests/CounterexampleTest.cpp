@@ -11,6 +11,8 @@
 
 #include "TestUtil.h"
 
+#include "support/FaultInjection.h"
+
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -231,6 +233,250 @@ TEST(CounterexampleTest, ExamineAllCoversEveryReportedConflict) {
     }
   }
 }
+
+// ---- Budgets and graceful degradation ---------------------------------
+
+Conflict elseConflict(const BuiltGrammar &B) {
+  Symbol Else = B.G.symbolByName("else");
+  for (const Conflict &C : B.T.reportedConflicts())
+    if (C.Token == Else)
+      return C;
+  ADD_FAILURE() << "no else conflict";
+  return B.T.conflicts().front();
+}
+
+TEST(CounterexampleTest, ExpiredDeadlineDegradesToNonunifying) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  FinderOptions Opts;
+  Opts.ConflictTimeLimitSeconds = -1; // pre-expired: deterministic timeout
+  CounterexampleFinder Finder(B.T, Opts);
+  ConflictReport R = Finder.examine(elseConflict(B));
+  EXPECT_EQ(R.Status, CounterexampleStatus::NonunifyingTimeout);
+  ASSERT_TRUE(R.UnifyingOutcome.has_value());
+  EXPECT_EQ(*R.UnifyingOutcome, UnifyingStatus::TimedOut);
+  ASSERT_TRUE(R.Example) << "timeout must still yield the nonunifying rung";
+  EXPECT_FALSE(R.Example->Unifying);
+  expectCounterexampleWellFormed(B.G, *R.Example, R.TheConflict.Token);
+  ASSERT_TRUE(R.Failure.has_value());
+  EXPECT_EQ(R.Failure->K, FailureReason::Deadline);
+  EXPECT_EQ(R.Failure->Stage, "unifying-search");
+}
+
+TEST(CounterexampleTest, StepBudgetDegradesToNonunifying) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  FinderOptions Opts;
+  Opts.MaxConfigurations = 1;
+  CounterexampleFinder Finder(B.T, Opts);
+  ConflictReport R = Finder.examine(elseConflict(B));
+  EXPECT_EQ(R.Status, CounterexampleStatus::NonunifyingTimeout);
+  ASSERT_TRUE(R.UnifyingOutcome.has_value());
+  EXPECT_EQ(*R.UnifyingOutcome, UnifyingStatus::LimitHit);
+  ASSERT_TRUE(R.Example);
+  EXPECT_FALSE(R.Example->Unifying);
+  ASSERT_TRUE(R.Failure.has_value());
+  EXPECT_EQ(R.Failure->K, FailureReason::StepLimit);
+}
+
+TEST(CounterexampleTest, MemoryBudgetDegradesToNonunifying) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  FinderOptions Opts;
+  Opts.MemoryLimitBytes = 1; // first admitted configuration trips it
+  CounterexampleFinder Finder(B.T, Opts);
+  ConflictReport R = Finder.examine(elseConflict(B));
+  EXPECT_EQ(R.Status, CounterexampleStatus::NonunifyingTimeout);
+  ASSERT_TRUE(R.UnifyingOutcome.has_value());
+  EXPECT_EQ(*R.UnifyingOutcome, UnifyingStatus::MemoryLimit);
+  EXPECT_GT(R.PeakBytes, 0u);
+  ASSERT_TRUE(R.Example);
+  ASSERT_TRUE(R.Failure.has_value());
+  EXPECT_EQ(R.Failure->K, FailureReason::MemoryLimit);
+}
+
+TEST(CounterexampleTest, PreCancelledTokenYieldsBareReports) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  FinderOptions Opts;
+  Opts.Cancellation.cancel();
+  CounterexampleFinder Finder(B.T, Opts);
+  std::vector<ConflictReport> Reports = Finder.examineAll();
+  // Cancellation never reduces the report count: one bare report each.
+  ASSERT_EQ(Reports.size(), B.T.reportedConflicts().size());
+  for (const ConflictReport &R : Reports) {
+    EXPECT_EQ(R.Status, CounterexampleStatus::Cancelled);
+    EXPECT_FALSE(R.Example);
+    ASSERT_TRUE(R.Failure.has_value());
+    EXPECT_EQ(R.Failure->K, FailureReason::Cancelled);
+    // render() must still produce the bare item-pair description.
+    std::string Text = Finder.render(R);
+    EXPECT_NE(Text.find("conflict found in state #"), std::string::npos);
+    EXPECT_NE(Text.find("cancelled"), std::string::npos);
+  }
+}
+
+TEST(CounterexampleTest, CumulativeStepBudgetSwitchesToNonunifyingOnly) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  FinderOptions Opts;
+  Opts.CumulativeMaxConfigurations = 1; // trips while scanning conflicts
+  CounterexampleFinder Finder(B.T, Opts);
+  std::vector<ConflictReport> Reports = Finder.examineAll();
+  ASSERT_EQ(Reports.size(), B.T.reportedConflicts().size());
+  ASSERT_GT(Reports.size(), 1u);
+  unsigned DegradedByCumulative = 0;
+  for (const ConflictReport &R : Reports) {
+    // Nobody gets the unifying rung, but everyone still gets an example.
+    EXPECT_NE(R.Status, CounterexampleStatus::UnifyingFound);
+    ASSERT_TRUE(R.Example) << Finder.render(R);
+    EXPECT_FALSE(R.Example->Unifying);
+    if (R.Failure && R.Failure->Stage == "cumulative-budget") {
+      ++DegradedByCumulative;
+      EXPECT_EQ(R.Failure->K, FailureReason::StepLimit);
+    }
+  }
+  EXPECT_GT(DegradedByCumulative, 0u);
+  EXPECT_EQ(Finder.cumulativeGuard().stopped(), GuardStop::StepLimit);
+}
+
+TEST(CounterexampleTest, CumulativeExpiredDeadlineStillReportsEveryConflict) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  FinderOptions Opts;
+  Opts.CumulativeTimeLimitSeconds = -1; // pre-expired
+  CounterexampleFinder Finder(B.T, Opts);
+  std::vector<ConflictReport> Reports = Finder.examineAll();
+  ASSERT_EQ(Reports.size(), B.T.reportedConflicts().size());
+  for (const ConflictReport &R : Reports) {
+    EXPECT_NE(R.Status, CounterexampleStatus::UnifyingFound);
+    ASSERT_TRUE(R.Example) << Finder.render(R);
+  }
+  EXPECT_EQ(Finder.cumulativeGuard().stopped(), GuardStop::Deadline);
+}
+
+TEST(CounterexampleTest, MalformedConflictFailsGracefully) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  CounterexampleFinder Finder(B.T);
+
+  // Out-of-range production index.
+  Conflict BadProd = B.T.reportedConflicts()[0];
+  BadProd.ReduceProd = 1u << 20;
+  ConflictReport R1 = Finder.examine(BadProd);
+  EXPECT_EQ(R1.Status, CounterexampleStatus::Failed);
+  EXPECT_FALSE(R1.Example);
+  ASSERT_TRUE(R1.Failure.has_value());
+  EXPECT_EQ(R1.Failure->Stage, "conflict-setup");
+
+  // Out-of-range state.
+  Conflict BadState = B.T.reportedConflicts()[0];
+  BadState.State = 1u << 20;
+  ConflictReport R2 = Finder.examine(BadState);
+  EXPECT_EQ(R2.Status, CounterexampleStatus::Failed);
+  ASSERT_TRUE(R2.Failure.has_value());
+  EXPECT_EQ(R2.Failure->Stage, "conflict-setup");
+
+  // render() on a degraded report must not crash and names the reason.
+  std::string Text = Finder.render(R2);
+  EXPECT_NE(Text.find("internal-error"), std::string::npos);
+}
+
+TEST(CounterexampleTest, ExamineAllNeverLosesReportsUnderAnyBudget) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  const size_t Expected = B.T.reportedConflicts().size();
+  FinderOptions Variants[5];
+  Variants[1].ConflictTimeLimitSeconds = -1;
+  Variants[2].MaxConfigurations = 0;
+  Variants[3].CumulativeMaxConfigurations = 0;
+  Variants[4].MemoryLimitBytes = 0;
+  for (FinderOptions &Opts : Variants) {
+    CounterexampleFinder Finder(B.T, Opts);
+    EXPECT_EQ(Finder.examineAll().size(), Expected);
+  }
+}
+
+#if defined(LALRCEX_FAULT_INJECTION)
+
+// ---- Fault injection: forced failures at every pipeline stage ---------
+
+TEST(CounterexampleTest, InjectedAllocFailureInUnifyingSearch) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  CounterexampleFinder Finder(B.T);
+  faults::ScopedFault F(faults::Kind::BadAllocAtStep, 1);
+  ConflictReport R = Finder.examine(elseConflict(B));
+  EXPECT_EQ(R.Status, CounterexampleStatus::Failed);
+  ASSERT_TRUE(R.UnifyingOutcome.has_value());
+  EXPECT_EQ(*R.UnifyingOutcome, UnifyingStatus::Error);
+  ASSERT_TRUE(R.Failure.has_value());
+  EXPECT_EQ(R.Failure->K, FailureReason::AllocationFailure);
+  EXPECT_EQ(R.Failure->Stage, "unifying-search");
+  // Best-effort fallback: the nonunifying rung still produced an example.
+  ASSERT_TRUE(R.Example);
+  EXPECT_FALSE(R.Example->Unifying);
+}
+
+TEST(CounterexampleTest, InjectedCorruptSuccessorRecovered) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  CounterexampleFinder Finder(B.T);
+  faults::ScopedFault F(faults::Kind::CorruptSuccessorAtStep, 1);
+  ConflictReport R = Finder.examine(elseConflict(B));
+  EXPECT_EQ(R.Status, CounterexampleStatus::Failed);
+  ASSERT_TRUE(R.UnifyingOutcome.has_value());
+  EXPECT_EQ(*R.UnifyingOutcome, UnifyingStatus::Error);
+  ASSERT_TRUE(R.Failure.has_value());
+  EXPECT_EQ(R.Failure->K, FailureReason::InternalError);
+  EXPECT_FALSE(R.Failure->Detail.empty());
+  ASSERT_TRUE(R.Example); // nonunifying fallback still works
+}
+
+TEST(CounterexampleTest, InjectedLssFailureDegradesToBareReport) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  CounterexampleFinder Finder(B.T);
+  faults::ScopedFault F(faults::Kind::LssPathFailure);
+  ConflictReport R = Finder.examine(elseConflict(B));
+  EXPECT_EQ(R.Status, CounterexampleStatus::Failed);
+  EXPECT_FALSE(R.Example); // no path: both fallback rungs unavailable
+  ASSERT_TRUE(R.Failure.has_value());
+  EXPECT_EQ(R.Failure->K, FailureReason::PathUnavailable);
+  EXPECT_EQ(R.Failure->Stage, "lss-path");
+}
+
+TEST(CounterexampleTest, InjectedNonunifyingAllocFailure) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  FinderOptions Opts;
+  Opts.UnifyingEnabled = false; // go straight to the builder
+  CounterexampleFinder Finder(B.T, Opts);
+  faults::ScopedFault F(faults::Kind::NonunifyingBadAlloc);
+  ConflictReport R = Finder.examine(elseConflict(B));
+  EXPECT_EQ(R.Status, CounterexampleStatus::Failed);
+  ASSERT_TRUE(R.Failure.has_value());
+  EXPECT_EQ(R.Failure->K, FailureReason::AllocationFailure);
+  EXPECT_EQ(R.Failure->Stage, "nonunifying-builder");
+}
+
+TEST(CounterexampleTest, InjectedNonunifyingErrorRecovered) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  FinderOptions Opts;
+  Opts.UnifyingEnabled = false;
+  CounterexampleFinder Finder(B.T, Opts);
+  faults::ScopedFault F(faults::Kind::NonunifyingError);
+  ConflictReport R = Finder.examine(elseConflict(B));
+  EXPECT_EQ(R.Status, CounterexampleStatus::Failed);
+  ASSERT_TRUE(R.Failure.has_value());
+  EXPECT_EQ(R.Failure->K, FailureReason::InternalError);
+  EXPECT_EQ(R.Failure->Stage, "nonunifying-builder");
+}
+
+TEST(CounterexampleTest, InjectedFaultsAreOneShotAcrossExamineAll) {
+  // A single armed fault degrades exactly one conflict; the rest of the
+  // run proceeds normally and no report is lost.
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  CounterexampleFinder Finder(B.T);
+  faults::ScopedFault F(faults::Kind::BadAllocAtStep, 1);
+  std::vector<ConflictReport> Reports = Finder.examineAll();
+  ASSERT_EQ(Reports.size(), B.T.reportedConflicts().size());
+  unsigned Failed = 0;
+  for (const ConflictReport &R : Reports)
+    if (R.Status == CounterexampleStatus::Failed)
+      ++Failed;
+  EXPECT_EQ(Failed, 1u);
+}
+
+#endif // LALRCEX_FAULT_INJECTION
 
 TEST(CounterexampleTest, RenderMatchesFigure11Shape) {
   BuiltGrammar B = BuiltGrammar::fromCorpus("expr_prec_unresolved");

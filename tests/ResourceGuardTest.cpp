@@ -1,0 +1,185 @@
+//===- tests/ResourceGuardTest.cpp - Budget/guard unit tests ---*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+// Unit tests for the resource-governance layer: deterministic step
+// budgets, byte accounting, deadlines, cancellation, stickiness, and the
+// fault-injection hooks (when compiled in).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Budget.h"
+
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace lalrcex;
+
+namespace {
+
+TEST(ResourceGuardTest, UnlimitedGuardNeverTrips) {
+  ResourceGuard G;
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_EQ(G.step(), GuardStop::None);
+  EXPECT_EQ(G.chargeBytes(1 << 20), GuardStop::None);
+  EXPECT_EQ(G.stop(), GuardStop::None);
+  EXPECT_EQ(G.steps(), 1000u);
+}
+
+TEST(ResourceGuardTest, StepLimitTripsExactlyAfterBudget) {
+  ResourceLimits L;
+  L.MaxSteps = 3;
+  ResourceGuard G(L);
+  EXPECT_EQ(G.step(), GuardStop::None);
+  EXPECT_EQ(G.step(), GuardStop::None);
+  EXPECT_EQ(G.step(), GuardStop::None);
+  EXPECT_EQ(G.step(), GuardStop::StepLimit);
+  // Sticky: later charges keep reporting the original reason.
+  EXPECT_EQ(G.step(), GuardStop::StepLimit);
+  EXPECT_EQ(G.stopped(), GuardStop::StepLimit);
+}
+
+TEST(ResourceGuardTest, BulkStepChargeTrips) {
+  ResourceLimits L;
+  L.MaxSteps = 100;
+  ResourceGuard G(L);
+  EXPECT_EQ(G.chargeSteps(100), GuardStop::None);
+  EXPECT_EQ(G.chargeSteps(1), GuardStop::StepLimit);
+}
+
+TEST(ResourceGuardTest, ByteAccountingAndPeak) {
+  ResourceLimits L;
+  L.MaxBytes = 1000;
+  ResourceGuard G(L);
+  EXPECT_EQ(G.chargeBytes(600), GuardStop::None);
+  G.releaseBytes(200);
+  EXPECT_EQ(G.bytesInUse(), 400u);
+  EXPECT_EQ(G.chargeBytes(500), GuardStop::None);
+  EXPECT_EQ(G.peakBytes(), 900u);
+  EXPECT_EQ(G.chargeBytes(200), GuardStop::MemoryLimit);
+  // A release never un-trips the guard.
+  G.releaseBytes(1100);
+  EXPECT_EQ(G.stopped(), GuardStop::MemoryLimit);
+  EXPECT_EQ(G.bytesInUse(), 0u);
+}
+
+TEST(ResourceGuardTest, ExpiredDeadlineTripsOnFirstStep) {
+  ResourceLimits L;
+  L.WallClockSeconds = -1.0; // already expired; deterministic
+  ResourceGuard G(L);
+  EXPECT_EQ(G.step(), GuardStop::Deadline);
+  EXPECT_EQ(G.stopped(), GuardStop::Deadline);
+}
+
+TEST(ResourceGuardTest, ExpiredDeadlineVisibleViaStopWithoutSteps) {
+  ResourceLimits L;
+  L.WallClockSeconds = 0.0;
+  ResourceGuard G(L);
+  EXPECT_EQ(G.stop(), GuardStop::Deadline);
+}
+
+TEST(ResourceGuardTest, NoDeadlineMeansEffectivelyInfiniteRemaining) {
+  ResourceGuard G;
+  EXPECT_GT(G.remainingSeconds(), 1e17);
+}
+
+TEST(ResourceGuardTest, DeadlinePollHonorsPollPeriod) {
+  ResourceLimits L;
+  L.WallClockSeconds = -1.0;
+  L.WallPollPeriod = 10;
+  ResourceGuard G(L);
+  // First charge always polls (trips the pre-expired deadline), so the
+  // cadence never lets a pre-set condition slip through.
+  EXPECT_EQ(G.step(), GuardStop::Deadline);
+}
+
+TEST(ResourceGuardTest, CancellationTokenSharedBetweenCopies) {
+  CancellationToken Tok;
+  CancellationToken Copy = Tok;
+  ResourceLimits L;
+  ResourceGuard G(L, Copy);
+  EXPECT_EQ(G.step(), GuardStop::None);
+  Tok.cancel(); // tripping the original reaches the guard via the copy
+  EXPECT_EQ(G.stop(), GuardStop::Cancelled);
+}
+
+TEST(ResourceGuardTest, CancellationFromAnotherThread) {
+  CancellationToken Tok;
+  ResourceGuard G(ResourceLimits(), Tok);
+  std::thread Canceller([&Tok] { Tok.cancel(); });
+  Canceller.join();
+  EXPECT_EQ(G.stop(), GuardStop::Cancelled);
+}
+
+TEST(ResourceGuardTest, FirstTripWins) {
+  ResourceLimits L;
+  L.MaxSteps = 1;
+  L.MaxBytes = 1;
+  ResourceGuard G(L);
+  EXPECT_EQ(G.chargeSteps(2), GuardStop::StepLimit);
+  // A later memory trip cannot overwrite the sticky reason.
+  EXPECT_EQ(G.chargeBytes(100), GuardStop::StepLimit);
+}
+
+TEST(ResourceGuardTest, GuardStopNames) {
+  EXPECT_STREQ(toString(GuardStop::None), "none");
+  EXPECT_STREQ(toString(GuardStop::StepLimit), "step-limit");
+  EXPECT_STREQ(toString(GuardStop::MemoryLimit), "memory-limit");
+  EXPECT_STREQ(toString(GuardStop::Deadline), "deadline");
+  EXPECT_STREQ(toString(GuardStop::Cancelled), "cancelled");
+}
+
+TEST(ResourceGuardTest, ZeroPollPeriodIsClampedNotDivZero) {
+  ResourceLimits L;
+  L.WallPollPeriod = 0;
+  L.WallClockSeconds = -1.0;
+  ResourceGuard G(L);
+  EXPECT_EQ(G.limits().WallPollPeriod, 1u);
+  EXPECT_EQ(G.step(), GuardStop::Deadline);
+}
+
+#if defined(LALRCEX_FAULT_INJECTION)
+
+TEST(ResourceGuardTest, InjectedDeadlineFiresAtRequestedStep) {
+  faults::ScopedFault F(faults::Kind::DeadlineAtStep, 5);
+  ResourceLimits L;
+  L.WallPollPeriod = 1; // poll every step so the fault fires exactly at 5
+  ResourceGuard G(L);
+  GuardStop S = GuardStop::None;
+  size_t TripStep = 0;
+  for (size_t I = 1; I <= 10 && S == GuardStop::None; ++I) {
+    S = G.step();
+    TripStep = I;
+  }
+  EXPECT_EQ(S, GuardStop::Deadline);
+  EXPECT_EQ(TripStep, 5u);
+}
+
+TEST(ResourceGuardTest, InjectedCancellationIsOneShot) {
+  faults::arm(faults::Kind::CancelAtStep, 0);
+  ResourceLimits L;
+  L.WallPollPeriod = 1;
+  ResourceGuard G1(L);
+  EXPECT_EQ(G1.step(), GuardStop::Cancelled);
+  // The fault disarmed itself: a second guard is unaffected.
+  ResourceGuard G2(L);
+  EXPECT_EQ(G2.step(), GuardStop::None);
+  faults::disarm();
+}
+
+TEST(ResourceGuardTest, DisarmedFaultNeverFires) {
+  faults::arm(faults::Kind::DeadlineAtStep, 1);
+  faults::disarm();
+  ResourceLimits L;
+  L.WallPollPeriod = 1;
+  ResourceGuard G(L);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(G.step(), GuardStop::None);
+}
+
+#endif // LALRCEX_FAULT_INJECTION
+
+} // namespace

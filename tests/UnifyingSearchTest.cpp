@@ -78,14 +78,71 @@ TEST(UnifyingSearchTest, ConfigurationLimitReturnsLimitHit) {
   EXPECT_FALSE(R.Example);
 }
 
-TEST(UnifyingSearchTest, ZeroBudgetTimesOut) {
+TEST(UnifyingSearchTest, ExpiredDeadlineTimesOutDeterministically) {
   ConflictFixture S("figure1", "else");
   UnifyingSearch Search(S.Graph);
   UnifyingOptions Opts;
-  Opts.TimeLimitSeconds = 1e-9;
+  // Negative budget = already-expired deadline: the first poll trips it,
+  // with no dependence on machine speed.
+  Opts.TimeLimitSeconds = -1;
   UnifyingResult R =
       Search.search(S.ReduceNode, S.OtherNodes, S.C.Token, &*S.Path, Opts);
   EXPECT_EQ(R.Status, UnifyingStatus::TimedOut);
+  EXPECT_FALSE(R.Example);
+}
+
+TEST(UnifyingSearchTest, TinyMemoryBudgetStopsSearch) {
+  ConflictFixture S("figure1", "else");
+  UnifyingSearch Search(S.Graph);
+  UnifyingOptions Opts;
+  Opts.MemoryLimitBytes = 1; // the first admitted configuration trips it
+  UnifyingResult R =
+      Search.search(S.ReduceNode, S.OtherNodes, S.C.Token, &*S.Path, Opts);
+  EXPECT_EQ(R.Status, UnifyingStatus::MemoryLimit);
+  EXPECT_FALSE(R.Example);
+  EXPECT_GT(R.PeakBytes, 0u);
+}
+
+TEST(UnifyingSearchTest, PreCancelledTokenStopsSearch) {
+  ConflictFixture S("figure1", "else");
+  UnifyingSearch Search(S.Graph);
+  UnifyingOptions Opts;
+  Opts.Cancellation.cancel();
+  UnifyingResult R =
+      Search.search(S.ReduceNode, S.OtherNodes, S.C.Token, &*S.Path, Opts);
+  EXPECT_EQ(R.Status, UnifyingStatus::Cancelled);
+  EXPECT_FALSE(R.Example);
+}
+
+TEST(UnifyingSearchTest, MalformedInputsReturnErrorNotCrash) {
+  ConflictFixture S("figure1", "else");
+  UnifyingSearch Search(S.Graph);
+
+  // No conflicting items at all.
+  UnifyingResult NoOther = Search.search(S.ReduceNode, {}, S.C.Token,
+                                         &*S.Path, UnifyingOptions());
+  EXPECT_EQ(NoOther.Status, UnifyingStatus::Error);
+  EXPECT_FALSE(NoOther.Message.empty());
+  EXPECT_FALSE(NoOther.BadAlloc);
+
+  // Out-of-range reduce node.
+  UnifyingResult BadNode =
+      Search.search(StateItemGraph::NodeId(S.Graph.numNodes()), S.OtherNodes,
+                    S.C.Token, &*S.Path, UnifyingOptions());
+  EXPECT_EQ(BadNode.Status, UnifyingStatus::Error);
+
+  // A node whose item is not a completed reduction.
+  StateItemGraph::NodeId NotReduce = StateItemGraph::InvalidNode;
+  for (StateItemGraph::NodeId N = 0; N != S.Graph.numNodes(); ++N) {
+    if (!S.Graph.itemOf(N).atEnd(S.B.G)) {
+      NotReduce = N;
+      break;
+    }
+  }
+  ASSERT_NE(NotReduce, StateItemGraph::InvalidNode);
+  UnifyingResult NotAtEnd = Search.search(NotReduce, S.OtherNodes, S.C.Token,
+                                          &*S.Path, UnifyingOptions());
+  EXPECT_EQ(NotAtEnd.Status, UnifyingStatus::Error);
 }
 
 TEST(UnifyingSearchTest, ExhaustsOnUnambiguousLr2Conflict) {
