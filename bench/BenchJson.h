@@ -1,0 +1,103 @@
+//===- bench/BenchJson.h - Machine-readable bench output -------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BENCH_*.json emission: every benchmark tool writes one machine-readable
+/// file next to its human-readable output, so each PR's perf numbers can
+/// be compared against the recorded trajectory instead of eyeballed.
+///
+/// Schema (version 1), documented in README.md:
+///
+///   {
+///     "tool": "<tool name>",
+///     "schema": 1,
+///     "records": [
+///       {
+///         "name": "<benchmark / section name>",
+///         "grammar": "<corpus grammar>",
+///         "conflicts": <reported conflict count>,
+///         "jobs": <job count used for wall_ms_parallel>,
+///         "wall_ms_serial": <examineAll wall ms with Jobs = 1>,
+///         "wall_ms_parallel": <examineAll wall ms with Jobs = jobs>,
+///         "configurations": <configurations explored>,
+///         "peak_bytes": <peak guard-accounted bytes>
+///       }, ...
+///     ]
+///   }
+///
+/// Unmeasured wall fields (negative in BenchRecord) are omitted from the
+/// record. Files are written as BENCH_<tool>.json in $LALRCEX_BENCH_DIR
+/// (or the working directory when unset).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_BENCH_BENCHJSON_H
+#define LALRCEX_BENCH_BENCHJSON_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lalrcex {
+namespace bench {
+
+/// Minimal streaming JSON writer; supports exactly the shapes the bench
+/// schema needs (nested objects/arrays of string and number fields).
+class JsonWriter {
+public:
+  JsonWriter &beginObject();
+  JsonWriter &endObject();
+  JsonWriter &beginArray();
+  JsonWriter &endArray();
+  JsonWriter &key(const std::string &K);
+  JsonWriter &value(const std::string &S);
+  JsonWriter &value(const char *S);
+  JsonWriter &value(double D);
+  JsonWriter &value(size_t N);
+  JsonWriter &value(unsigned N);
+  JsonWriter &value(bool B);
+
+  template <typename T> JsonWriter &field(const std::string &K, T V) {
+    key(K);
+    return value(V);
+  }
+
+  const std::string &str() const { return Out; }
+
+private:
+  void separate();
+  void raw(const std::string &S);
+
+  std::string Out;
+  std::vector<bool> NeedComma; // one flag per open object/array
+  bool PendingKey = false;
+};
+
+/// One measurement row of the schema above.
+struct BenchRecord {
+  std::string Name;
+  std::string Grammar;
+  size_t Conflicts = 0;
+  unsigned Jobs = 1;
+  double WallMsSerial = -1;   // < 0: not measured, omitted
+  double WallMsParallel = -1; // < 0: not measured, omitted
+  size_t Configurations = 0;
+  size_t PeakBytes = 0;
+};
+
+/// Resolved output path for a tool: $LALRCEX_BENCH_DIR/BENCH_<tool>.json,
+/// or ./BENCH_<tool>.json when the variable is unset.
+std::string benchJsonPath(const std::string &Tool);
+
+/// Writes BENCH_<tool>.json with the schema-1 envelope; returns the path
+/// written, or an empty string (with a note on stderr) on I/O failure.
+std::string writeBenchRecords(const std::string &Tool,
+                              const std::vector<BenchRecord> &Records);
+
+} // namespace bench
+} // namespace lalrcex
+
+#endif // LALRCEX_BENCH_BENCHJSON_H

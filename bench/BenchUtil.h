@@ -10,7 +10,9 @@
 #include "corpus/Corpus.h"
 #include "grammar/GrammarParser.h"
 #include "lr/ParseTable.h"
+#include "support/Stopwatch.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -52,6 +54,18 @@ inline double budgetScale(int argc, char **argv, double Default = 1.0) {
   if (const char *Env = std::getenv("LALRCEX_BENCH_BUDGET"))
     return std::atof(Env);
   return Default;
+}
+
+/// Best-of-N wall time of \p Fn in milliseconds; the BENCH_*.json numbers
+/// use best-of-N to damp scheduler noise on shared CI machines.
+template <typename F> double minWallMs(F &&Fn, int Reps = 5) {
+  double Best = 1e300;
+  for (int I = 0; I < Reps; ++I) {
+    Stopwatch SW;
+    Fn();
+    Best = std::min(Best, SW.milliseconds());
+  }
+  return Best;
 }
 
 } // namespace bench

@@ -8,6 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "BenchUtil.h"
 
 #include "counterexample/StateItemGraph.h"
@@ -132,6 +133,53 @@ void BM_DerivationCounting(benchmark::State &State) {
 }
 BENCHMARK(BM_DerivationCounting);
 
+/// Construction-phase timings for one grammar, as BENCH_*.json rows.
+void constructionRecords(const char *Name,
+                         std::vector<BenchRecord> &Records) {
+  const CorpusEntry *E = findCorpusEntry(Name);
+  Grammar G = *parseGrammarText(E->Text);
+  GrammarAnalysis A(G);
+  Automaton M(G, A);
+  ParseTable T(M);
+  size_t Conflicts = T.conflicts().size();
+
+  auto Push = [&](const char *Phase, double Ms) {
+    BenchRecord R;
+    R.Name = Phase;
+    R.Grammar = Name;
+    R.Conflicts = Conflicts;
+    R.WallMsSerial = Ms;
+    Records.push_back(R);
+  };
+  Push("parse-grammar", minWallMs([&] {
+         std::optional<Grammar> G2 = parseGrammarText(E->Text);
+         benchmark::DoNotOptimize(G2);
+       }));
+  Push("build-automaton", minWallMs([&] {
+         Automaton M2(G, A);
+         benchmark::DoNotOptimize(M2.numStates());
+       }));
+  Push("build-parse-table", minWallMs([&] {
+         ParseTable T2(M);
+         benchmark::DoNotOptimize(T2.conflicts().size());
+       }));
+  Push("build-state-item-graph", minWallMs([&] {
+         StateItemGraph Graph(M);
+         benchmark::DoNotOptimize(Graph.numNodes());
+       }));
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  // Machine-readable baseline (README.md documents the schema).
+  std::vector<BenchRecord> Records;
+  constructionRecords("figure1", Records);
+  constructionRecords("C.1", Records);
+  constructionRecords("Java.1", Records);
+  writeBenchRecords("micro_automaton", Records);
+  return 0;
+}

@@ -8,6 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "BenchUtil.h"
 
 #include "counterexample/CounterexampleFinder.h"
@@ -117,6 +118,78 @@ void BM_CanonicalLr1Construction(benchmark::State &State) {
 }
 BENCHMARK(BM_CanonicalLr1Construction);
 
+/// One unifying-search measurement row for BENCH_micro_search.json.
+BenchRecord searchRecord(const char *Name, const char *Grammar,
+                         const char *Token) {
+  ConflictSetup S(Grammar, Token);
+  UnifyingSearch Search(*S.Graph);
+  auto Path =
+      shortestLookaheadSensitivePath(*S.Graph, S.ReduceNode, S.C.Token);
+  StateItemGraph::NodeId Other = S.Graph->nodeFor(S.C.State, S.C.ShiftItm);
+  UnifyingOptions Opts;
+  UnifyingResult Last;
+  double Ms = minWallMs([&] {
+    Last = Search.search(S.ReduceNode, {Other}, S.C.Token, &*Path, Opts);
+  });
+
+  BenchRecord R;
+  R.Name = Name;
+  R.Grammar = Grammar;
+  R.Conflicts = 1;
+  R.WallMsSerial = Ms;
+  R.Configurations = Last.ConfigurationsExplored;
+  R.PeakBytes = Last.PeakBytes;
+  return R;
+}
+
+/// examineAll over a whole grammar, serial vs. a small worker pool.
+BenchRecord examineAllRecord(const char *Grammar, unsigned Jobs) {
+  auto B = buildEntry(*findCorpusEntry(Grammar));
+
+  FinderOptions Opts;
+  Opts.Jobs = 1;
+  size_t Conflicts = 0, Confs = 0, Peak = 0;
+  double SerialMs = minWallMs([&] {
+    CounterexampleFinder Finder(B->T, Opts);
+    std::vector<ConflictReport> Reports = Finder.examineAll();
+    Conflicts = Reports.size();
+    Confs = Peak = 0;
+    for (const ConflictReport &R : Reports) {
+      Confs += R.Configurations;
+      Peak = std::max(Peak, R.PeakBytes);
+    }
+  });
+  Opts.Jobs = Jobs;
+  double ParallelMs = minWallMs([&] {
+    CounterexampleFinder Finder(B->T, Opts);
+    benchmark::DoNotOptimize(Finder.examineAll().size());
+  });
+
+  BenchRecord R;
+  R.Name = "examine-all";
+  R.Grammar = Grammar;
+  R.Conflicts = Conflicts;
+  R.Jobs = Jobs;
+  R.WallMsSerial = SerialMs;
+  R.WallMsParallel = ParallelMs;
+  R.Configurations = Confs;
+  R.PeakBytes = Peak;
+  return R;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  // Machine-readable baseline (README.md documents the schema).
+  std::vector<BenchRecord> Records;
+  Records.push_back(
+      searchRecord("unifying-dangling-else", "figure1", "else"));
+  Records.push_back(
+      searchRecord("unifying-challenging", "figure1", "digit"));
+  Records.push_back(examineAllRecord("C.1", 4));
+  writeBenchRecords("micro_search", Records);
+  return 0;
+}

@@ -18,6 +18,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "BenchUtil.h"
 
 #include "counterexample/CounterexampleFinder.h"
@@ -32,9 +33,16 @@ using namespace lalrcex::bench;
 int main(int argc, char **argv) {
   double Scale = budgetScale(argc, argv);
   bool ShowExamples = false;
-  for (int I = 1; I < argc; ++I)
+  unsigned Jobs = 4;
+  for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--show-examples"))
       ShowExamples = true;
+    else if (!std::strncmp(argv[I], "--jobs=", 7))
+      Jobs = unsigned(std::atoi(argv[I] + 7));
+  }
+  if (Jobs == 0)
+    Jobs = 1;
+  std::vector<BenchRecord> Records;
 
   std::printf("Table 1 reproduction (budgets: %.1fs/conflict, %.0fs "
               "cumulative; scale with --budget=X)\n\n",
@@ -60,7 +68,14 @@ int main(int argc, char **argv) {
     // Like the paper, "total" counts only the conflicts resolved within
     // the time limit; timeouts are reported in their own column.
     double Total = 0;
+    Stopwatch RowClock;
     std::vector<ConflictReport> Reports = Finder.examineAll();
+    double RowMs = RowClock.milliseconds();
+    size_t Confs = 0, Peak = 0;
+    for (const ConflictReport &R : Reports) {
+      Confs += R.Configurations;
+      Peak = std::max(Peak, R.PeakBytes);
+    }
     for (const ConflictReport &R : Reports) {
       switch (R.Status) {
       case CounterexampleStatus::UnifyingFound:
@@ -90,10 +105,72 @@ int main(int argc, char **argv) {
                 B->G.numProductions() - 1, B->M.numStates(), Reports.size(),
                 Amb, Unif, Nonunif, Timeout, Total, Avg.c_str());
 
+    BenchRecord Rec;
+    Rec.Name = "table1-row";
+    Rec.Grammar = E.Name;
+    Rec.Conflicts = Reports.size();
+    Rec.Jobs = 1;
+    Rec.WallMsSerial = RowMs;
+    Rec.Configurations = Confs;
+    Rec.PeakBytes = Peak;
+    Records.push_back(Rec);
+
     if (ShowExamples) {
       for (const ConflictReport &R : Reports)
         std::printf("%s\n", Finder.render(R).c_str());
     }
   }
+
+  // Parallel examineAll: serial vs. --jobs=N wall clock on the
+  // multi-conflict grammars. stackovf10 and the java-ext rows are
+  // deadline-dominated, so their per-conflict timeouts overlap across
+  // workers and the speedup shows even on a single core.
+  std::printf("\nParallel examineAll (Jobs=1 vs. Jobs=%u)\n", Jobs);
+  std::printf("%-22s %6s %12s %12s %9s\n", "grammar", "#conf", "serial(ms)",
+              "jobs(ms)", "speedup");
+  for (const char *Name : {"figure1", "xi", "stackovf10", "java-ext1"}) {
+    const CorpusEntry *E = findCorpusEntry(Name);
+    if (!E)
+      continue;
+    auto B = buildEntry(*E);
+
+    FinderOptions Opts;
+    Opts.ConflictTimeLimitSeconds = 5.0 * Scale;
+    Opts.CumulativeTimeLimitSeconds = 120.0 * Scale;
+
+    Opts.Jobs = 1;
+    CounterexampleFinder Serial(B->T, Opts);
+    Stopwatch SerialClock;
+    std::vector<ConflictReport> SerialReports = Serial.examineAll();
+    double SerialMs = SerialClock.milliseconds();
+
+    Opts.Jobs = Jobs;
+    CounterexampleFinder Parallel(B->T, Opts);
+    Stopwatch ParallelClock;
+    std::vector<ConflictReport> ParallelReports = Parallel.examineAll();
+    double ParallelMs = ParallelClock.milliseconds();
+
+    size_t Confs = 0, Peak = 0;
+    for (const ConflictReport &R : ParallelReports) {
+      Confs += R.Configurations;
+      Peak = std::max(Peak, R.PeakBytes);
+    }
+    std::printf("%-22s %6zu %12.1f %12.1f %8.2fx\n", E->Name.c_str(),
+                SerialReports.size(), SerialMs, ParallelMs,
+                ParallelMs > 0 ? SerialMs / ParallelMs : 0.0);
+
+    BenchRecord Rec;
+    Rec.Name = "examine-all";
+    Rec.Grammar = E->Name;
+    Rec.Conflicts = SerialReports.size();
+    Rec.Jobs = Jobs;
+    Rec.WallMsSerial = SerialMs;
+    Rec.WallMsParallel = ParallelMs;
+    Rec.Configurations = Confs;
+    Rec.PeakBytes = Peak;
+    Records.push_back(Rec);
+  }
+
+  writeBenchRecords("table1", Records);
   return 0;
 }

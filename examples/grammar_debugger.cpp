@@ -14,6 +14,8 @@
 //                         120; 0 = unlimited)
 //     -steps <n>          deterministic per-conflict configuration budget
 //     -memory-mb <n>      accounted memory budget per unifying search
+//     -jobs <n>           worker threads for conflict examination
+//                         (default: hardware concurrency; 1 = serial)
 //     -canonical          use a canonical LR(1) automaton (no LALR merging)
 //     -dump               print the automaton states (Figure 2 style)
 //     -print              echo the normalized grammar and exit
@@ -39,8 +41,8 @@ static int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [-extendedsearch] [-nonunifying] "
                "[-timeout <sec>] [-cumulative <sec>] [-steps <n>] "
-               "[-memory-mb <n>] [-canonical] [-dump] [-print] [-list] "
-               "<grammar-file | corpus:NAME>\n",
+               "[-memory-mb <n>] [-jobs <n>] [-canonical] [-dump] [-print] "
+               "[-list] <grammar-file | corpus:NAME>\n",
                Prog);
   return 2;
 }
@@ -73,6 +75,10 @@ int main(int argc, char **argv) {
       if (++I == argc)
         return usage(argv[0]);
       Opts.MemoryLimitBytes = size_t(std::atoll(argv[I])) << 20;
+    } else if (Arg == "-jobs") {
+      if (++I == argc)
+        return usage(argv[0]);
+      Opts.Jobs = unsigned(std::atoi(argv[I]));
     } else if (Arg == "-dump") {
       Dump = true;
     } else if (Arg == "-print") {
@@ -161,5 +167,10 @@ int main(int argc, char **argv) {
                   R.Failure->Detail.c_str());
     std::printf("\n");
   }
+  std::printf("examined %zu conflicts with %u worker thread(s); "
+              "%zu cumulative configurations charged\n",
+              Reports.size(),
+              CounterexampleFinder::resolveJobs(Opts.Jobs),
+              Finder.cumulativeGuard().steps());
   return Conflicts.empty() ? 0 : 1;
 }

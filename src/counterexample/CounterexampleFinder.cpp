@@ -17,6 +17,8 @@
 
 #include <algorithm>
 #include <new>
+#include <system_error>
+#include <thread>
 
 using namespace lalrcex;
 
@@ -300,15 +302,61 @@ ConflictReport CounterexampleFinder::examineImpl(const Conflict &C) {
   return finish();
 }
 
+unsigned CounterexampleFinder::resolveJobs(unsigned Jobs) {
+  if (Jobs == 0)
+    Jobs = std::thread::hardware_concurrency();
+  return Jobs == 0 ? 1 : Jobs;
+}
+
 std::vector<ConflictReport> CounterexampleFinder::examineAll() {
   // Fresh cumulative guard per run; the caller's token is shared, so a
   // cancellation tripped earlier still applies.
-  Cumulative = ResourceGuard(cumulativeLimits(Opts), Opts.Cancellation);
-  std::vector<ConflictReport> Out;
+  Cumulative.reset(cumulativeLimits(Opts), Opts.Cancellation);
   std::vector<Conflict> Reported = Table.reportedConflicts(Cumulative);
-  Out.reserve(Reported.size());
-  for (const Conflict &C : Reported)
-    Out.push_back(examine(C));
+  std::vector<ConflictReport> Out(Reported.size());
+
+  unsigned Jobs = resolveJobs(Opts.Jobs);
+  if (size_t(Jobs) > Reported.size())
+    Jobs = unsigned(Reported.size());
+  if (Jobs <= 1) {
+    for (size_t I = 0, E = Reported.size(); I != E; ++I)
+      Out[I] = examine(Reported[I]);
+    return Out;
+  }
+
+  // Worker pool over an atomic index dispenser. The graph, analysis, and
+  // builders are read-only after construction; the cumulative guard is
+  // charged atomically; and each worker writes only Out[I] for indices it
+  // claimed, so reports land in conflict order without any reordering
+  // step. examine() never throws, but a worker still shields the pool so
+  // an unexpected exception degrades one report instead of terminating.
+  std::atomic<size_t> Next{0};
+  auto Work = [&] {
+    for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+         I < Reported.size();
+         I = Next.fetch_add(1, std::memory_order_relaxed)) {
+      try {
+        Out[I] = examine(Reported[I]);
+      } catch (...) {
+        Out[I].TheConflict = Reported[I];
+        Out[I].Status = CounterexampleStatus::Failed;
+        Out[I].Failure = FailureReason{FailureReason::InternalError,
+                                       "examine-all", "worker failure"};
+      }
+    }
+  };
+  std::vector<std::thread> Pool;
+  Pool.reserve(Jobs - 1);
+  for (unsigned T = 1; T < Jobs; ++T) {
+    try {
+      Pool.emplace_back(Work);
+    } catch (const std::system_error &) {
+      break; // thread exhaustion: degrade to fewer workers
+    }
+  }
+  Work(); // the calling thread is always worker 0
+  for (std::thread &T : Pool)
+    T.join();
   return Out;
 }
 

@@ -60,6 +60,12 @@ struct FinderOptions {
   CancellationToken Cancellation;
   /// Configurations between wall-clock / cancellation polls.
   unsigned WallPollPeriod = 64;
+  /// Worker threads for examineAll (0 = hardware concurrency). Conflicts
+  /// are examined concurrently over shared read-only tables and one
+  /// shared cumulative guard; reports come back in conflict order and the
+  /// deterministic report fields are identical for every job count. 1
+  /// preserves strictly serial examination.
+  unsigned Jobs = 0;
 };
 
 /// How a conflict was explained; matches the Table 1 columns.
@@ -133,8 +139,16 @@ public:
 
   /// Explains every reported (precedence-unresolved) conflict, charging
   /// one shared cumulative guard (wall clock, steps, cancellation).
-  /// Always returns exactly one report per reported conflict.
+  /// Always returns exactly one report per reported conflict, in conflict
+  /// order. With FinderOptions::Jobs != 1, conflicts are examined
+  /// concurrently on a worker pool; the state-item graph and analysis
+  /// tables are shared read-only and the cumulative guard is charged
+  /// atomically, so the budget caps the whole run, not each worker.
   std::vector<ConflictReport> examineAll();
+
+  /// The worker count examineAll will use for \p Jobs (resolves the
+  /// 0 = hardware-concurrency default; never returns 0).
+  static unsigned resolveJobs(unsigned Jobs);
 
   /// Renders a report in the style of the paper's Figure 11.
   std::string render(const ConflictReport &R) const;

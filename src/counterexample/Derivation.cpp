@@ -12,7 +12,7 @@ using namespace lalrcex;
 
 DerivPtr Derivation::leaf(Symbol S) {
   assert(S.valid() && "leaf requires a valid symbol");
-  auto D = std::shared_ptr<Derivation>(new Derivation());
+  auto D = std::make_shared<Derivation>(PassKey{});
   D->Sym = S;
   return D;
 }
@@ -20,7 +20,7 @@ DerivPtr Derivation::leaf(Symbol S) {
 DerivPtr Derivation::node(Symbol Lhs, unsigned Prod,
                           std::vector<DerivPtr> Children) {
   assert(Lhs.valid() && "node requires a valid symbol");
-  auto D = std::shared_ptr<Derivation>(new Derivation());
+  auto D = std::make_shared<Derivation>(PassKey{});
   D->Sym = Lhs;
   D->Prod = Prod;
   D->Expanded = true;
@@ -30,7 +30,7 @@ DerivPtr Derivation::node(Symbol Lhs, unsigned Prod,
 
 DerivPtr Derivation::dot() {
   static const DerivPtr Marker = [] {
-    auto D = std::shared_ptr<Derivation>(new Derivation());
+    auto D = std::make_shared<Derivation>(PassKey{});
     D->Dot = true;
     return DerivPtr(D);
   }();

@@ -37,7 +37,16 @@ using DerivPtr = std::shared_ptr<const Derivation>;
 
 /// An immutable derivation tree (see file comment).
 class Derivation {
+  // Pass-key: lets the factories use std::make_shared's single
+  // allocation (control block + object fused) while keeping construction
+  // effectively private.
+  struct PassKey {
+    explicit PassKey() = default;
+  };
+
 public:
+  explicit Derivation(PassKey) {}
+
   /// An unexpanded symbol.
   static DerivPtr leaf(Symbol S);
 
@@ -79,8 +88,6 @@ public:
   unsigned size() const;
 
 private:
-  Derivation() = default;
-
   Symbol Sym;
   unsigned Prod = 0;
   bool Expanded = false;

@@ -25,9 +25,9 @@ StateItemGraph::StateItemGraph(const Automaton &M) : M(M) {
   StateOffset[M.numStates()] = unsigned(Nodes.size());
 
   Fwd.assign(Nodes.size(), InvalidNode);
-  ProdSteps.assign(Nodes.size(), {});
-  RevTransitions.assign(Nodes.size(), {});
-  RevProdSteps.assign(Nodes.size(), {});
+  std::vector<std::vector<NodeId>> ProdRows(Nodes.size());
+  std::vector<std::vector<NodeId>> RevTransRows(Nodes.size());
+  std::vector<std::vector<NodeId>> RevProdRows(Nodes.size());
 
   for (NodeId N = 0, NE = NodeId(Nodes.size()); N != NE; ++N) {
     const NodeData &D = Nodes[N];
@@ -41,18 +41,38 @@ StateItemGraph::StateItemGraph(const Automaton &M) : M(M) {
     NodeId Succ = nodeFor(unsigned(Target), D.Itm.advanced());
     assert(Succ != InvalidNode && "advanced item missing from target state");
     Fwd[N] = Succ;
-    RevTransitions[Succ].push_back(N);
+    RevTransRows[Succ].push_back(N);
 
     // Production-step edges.
     if (G.isNonterminal(Next)) {
       for (unsigned P : G.productionsOf(Next)) {
         NodeId Step = nodeFor(D.State, Item(P, 0));
         assert(Step != InvalidNode && "closure item missing from state");
-        ProdSteps[N].push_back(Step);
-        RevProdSteps[Step].push_back(N);
+        ProdRows[N].push_back(Step);
+        RevProdRows[Step].push_back(N);
       }
     }
   }
+
+  ProdSteps = Csr::fromRows(ProdRows);
+  RevTransitions = Csr::fromRows(RevTransRows);
+  RevProdSteps = Csr::fromRows(RevProdRows);
+}
+
+StateItemGraph::Csr
+StateItemGraph::Csr::fromRows(const std::vector<std::vector<NodeId>> &Rows) {
+  Csr Out;
+  Out.Offsets.reserve(Rows.size() + 1);
+  size_t Total = 0;
+  for (const std::vector<NodeId> &R : Rows) {
+    Out.Offsets.push_back(uint32_t(Total));
+    Total += R.size();
+  }
+  Out.Offsets.push_back(uint32_t(Total));
+  Out.Data.reserve(Total);
+  for (const std::vector<NodeId> &R : Rows)
+    Out.Data.insert(Out.Data.end(), R.begin(), R.end());
+  return Out;
 }
 
 StateItemGraph::NodeId StateItemGraph::nodeFor(unsigned State,
@@ -74,13 +94,13 @@ std::vector<bool> StateItemGraph::nodesReaching(NodeId Target) const {
   while (!Work.empty()) {
     NodeId N = Work.front();
     Work.pop_front();
-    for (NodeId P : RevTransitions[N]) {
+    for (NodeId P : RevTransitions.row(N)) {
       if (!Reaches[P]) {
         Reaches[P] = true;
         Work.push_back(P);
       }
     }
-    for (NodeId P : RevProdSteps[N]) {
+    for (NodeId P : RevProdSteps.row(N)) {
       if (!Reaches[P]) {
         Reaches[P] = true;
         Work.push_back(P);

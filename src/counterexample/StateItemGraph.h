@@ -37,6 +37,21 @@ public:
   using NodeId = uint32_t;
   static constexpr NodeId InvalidNode = ~NodeId(0);
 
+  /// A borrowed contiguous range of node ids — one adjacency row of the
+  /// compressed-sparse-row edge tables. Valid as long as the graph lives.
+  class NodeRange {
+  public:
+    NodeRange(const NodeId *B, const NodeId *E) : B(B), E(E) {}
+    const NodeId *begin() const { return B; }
+    const NodeId *end() const { return E; }
+    size_t size() const { return size_t(E - B); }
+    bool empty() const { return B == E; }
+
+  private:
+    const NodeId *B;
+    const NodeId *E;
+  };
+
   explicit StateItemGraph(const Automaton &M);
 
   const Automaton &automaton() const { return M; }
@@ -67,19 +82,17 @@ public:
 
   /// Production-step successors (targets are dot-0 items of the
   /// nonterminal after the dot, in the same state).
-  const std::vector<NodeId> &productionSteps(NodeId N) const {
-    return ProdSteps[N];
-  }
+  NodeRange productionSteps(NodeId N) const { return ProdSteps.row(N); }
 
   /// Sources of transitions into \p N.
-  const std::vector<NodeId> &reverseTransitions(NodeId N) const {
-    return RevTransitions[N];
+  NodeRange reverseTransitions(NodeId N) const {
+    return RevTransitions.row(N);
   }
 
   /// Sources of production steps into \p N (only nonempty for dot-0
   /// items).
-  const std::vector<NodeId> &reverseProductionSteps(NodeId N) const {
-    return RevProdSteps[N];
+  NodeRange reverseProductionSteps(NodeId N) const {
+    return RevProdSteps.row(N);
   }
 
   /// Marks every node from which \p Target is reachable via transition or
@@ -97,13 +110,29 @@ private:
     Item Itm;
   };
 
+  /// Compressed-sparse-row adjacency: all rows in one contiguous array
+  /// with per-node offsets. One allocation per edge kind instead of one
+  /// vector per node, and the search's hottest loops walk cache-dense
+  /// spans instead of chasing vector headers.
+  struct Csr {
+    std::vector<uint32_t> Offsets; // numNodes + 1 entries
+    std::vector<NodeId> Data;
+
+    NodeRange row(NodeId N) const {
+      return NodeRange(Data.data() + Offsets[N],
+                       Data.data() + Offsets[N + 1]);
+    }
+    /// Flattens per-node rows (used only during construction).
+    static Csr fromRows(const std::vector<std::vector<NodeId>> &Rows);
+  };
+
   const Automaton &M;
   std::vector<NodeData> Nodes;
   std::vector<unsigned> StateOffset; // state -> first node id
   std::vector<NodeId> Fwd;
-  std::vector<std::vector<NodeId>> ProdSteps;
-  std::vector<std::vector<NodeId>> RevTransitions;
-  std::vector<std::vector<NodeId>> RevProdSteps;
+  Csr ProdSteps;
+  Csr RevTransitions;
+  Csr RevProdSteps;
 };
 
 } // namespace lalrcex

@@ -2,6 +2,23 @@
 //
 // Part of lalrcex.
 //
+// Search-core data layout (see DESIGN.md "Parallelism and search-core
+// data structures"):
+//
+//   - Item sequences are hash-consed persistent stacks interned in an
+//     arena: a configuration holds a 32-bit stack id, successors share
+//     tails with their parent instead of deep-copying vectors, and the
+//     visited-set key is two stack ids plus a flag byte (canonical ids
+//     make equality O(1), and the duplicate-hit path allocates nothing).
+//   - Derivation ledgers are persistent two-chain deques (a front chain
+//     for prepends, a back chain for appends), so the reverse-transition
+//     prepend that used to be a vector front-insert is O(1).
+//   - The frontier is a monotone bucket queue (Dial's algorithm): edge
+//     costs are small dense constants, so a circular array of FIFO
+//     buckets replaces the binary heap's O(log n) pushes and pops.
+//   - Guard.chargeBytes is charged on actual arena/pool/visited growth,
+//     not per-configuration approximations.
+//
 //===----------------------------------------------------------------------===//
 
 #include "counterexample/UnifyingSearch.h"
@@ -10,7 +27,7 @@
 
 #include <algorithm>
 #include <new>
-#include <queue>
+#include <unordered_map>
 #include <unordered_set>
 
 using namespace lalrcex;
@@ -25,83 +42,218 @@ using NodeId = StateItemGraph::NodeId;
 // potentially infinite expansions are postponed behind every other option
 // (paper §5.4). Reverse transitions off the shortest lookahead-sensitive
 // path are only possible in extended search and are costed like a fresh
-// exploration.
+// exploration. The bucket queue requires non-negative deltas, so the two
+// configurable costs are clamped at zero.
 constexpr int ShiftCost = 1;
 constexpr int RevTransitionCost = 1;
 constexpr int ProductionCost = 5;
 constexpr int RevProductionCost = 3;
 constexpr int ReduceCost = 1;
 
-/// One simulated parser copy.
-struct Side {
-  std::vector<NodeId> Items;
-  std::vector<DerivPtr> Derivs;
-  unsigned RealDerivs = 0; // derivations excluding dot markers
+/// Sentinel id for an empty persistent chain/stack.
+constexpr uint32_t NilChain = ~uint32_t(0);
 
-  void appendDeriv(DerivPtr D) {
-    if (!D->isDot())
-      ++RealDerivs;
-    Derivs.push_back(std::move(D));
+/// Hash-consed persistent stacks of state-item nodes. Each entry extends a
+/// parent stack by one node; interning (parent, node) pairs makes ids
+/// canonical, so two configurations with equal item sequences always hold
+/// the same id and the visited set can compare 32-bit ids instead of
+/// vectors. Pushes are O(1); sequences share tails structurally.
+class ItemStackArena {
+public:
+  explicit ItemStackArena(ResourceGuard &Guard) : Guard(Guard) {}
+
+  /// The stack \p Parent extended by \p N on top (the sequence back).
+  uint32_t push(uint32_t Parent, NodeId N) {
+    uint64_t Key = (uint64_t(Parent) << 32) | N;
+    auto [It, New] = Intern.try_emplace(Key, uint32_t(Entries.size()));
+    if (New) {
+      Entry E;
+      E.Parent = Parent;
+      E.Node = N;
+      if (Parent == NilChain) {
+        E.Root = uint32_t(Entries.size());
+        E.Depth = 1;
+      } else {
+        E.Root = Entries[Parent].Root;
+        E.Depth = Entries[Parent].Depth + 1;
+      }
+      Entries.push_back(E);
+      Guard.chargeBytes(sizeof(Entry) + InternSlotBytes);
+    }
+    return It->second;
   }
-  void prependDeriv(DerivPtr D) {
-    if (!D->isDot())
-      ++RealDerivs;
-    Derivs.insert(Derivs.begin(), std::move(D));
+
+  NodeId top(uint32_t Id) const { return Entries[Id].Node; }
+  uint32_t depth(uint32_t Id) const {
+    return Id == NilChain ? 0 : Entries[Id].Depth;
   }
+  /// The sequence front (the bottom of the stack), in O(1).
+  NodeId front(uint32_t Id) const { return Entries[Entries[Id].Root].Node; }
+
+  /// The node \p K levels below the top (K = 0 is the top itself).
+  NodeId fromTop(uint32_t Id, unsigned K) const {
+    while (K--)
+      Id = Entries[Id].Parent;
+    return Entries[Id].Node;
+  }
+
+  /// The stack with the top \p K nodes removed.
+  uint32_t popN(uint32_t Id, unsigned K) const {
+    while (K--)
+      Id = Entries[Id].Parent;
+    return Id;
+  }
+
+  bool contains(uint32_t Id, NodeId N) const {
+    for (; Id != NilChain; Id = Entries[Id].Parent)
+      if (Entries[Id].Node == N)
+        return true;
+    return false;
+  }
+
+  /// The sequence with \p N prepended below the whole stack. O(depth):
+  /// every prefix is re-interned, but repeated prepends of the same
+  /// (sequence, node) pair hit the intern table and allocate nothing.
+  uint32_t prepend(uint32_t Id, NodeId N) {
+    Scratch.clear();
+    for (uint32_t I = Id; I != NilChain; I = Entries[I].Parent)
+      Scratch.push_back(Entries[I].Node); // top .. front
+    uint32_t Out = push(NilChain, N);
+    for (size_t I = Scratch.size(); I--;)
+      Out = push(Out, Scratch[I]);
+    return Out;
+  }
+
+private:
+  struct Entry {
+    uint32_t Parent;
+    uint32_t Root;
+    NodeId Node;
+    uint32_t Depth;
+  };
+  // Amortized intern-table footprint per entry (key, value, bucket link).
+  static constexpr size_t InternSlotBytes = 3 * sizeof(uint64_t);
+
+  ResourceGuard &Guard;
+  std::vector<Entry> Entries;
+  std::unordered_map<uint64_t, uint32_t> Intern;
+  std::vector<NodeId> Scratch;
 };
 
-/// A product-parser search configuration (paper Fig. 8).
+/// Persistent chains of derivation handles. Unlike item stacks these are
+/// not interned (ledgers are never used as keys); a chain id plus the
+/// arena gives an immutable singly-linked list that configurations share
+/// structurally, so copying a configuration copies two 32-bit ids per
+/// side instead of a vector of shared_ptrs.
+class DerivChainArena {
+public:
+  explicit DerivChainArena(ResourceGuard &Guard) : Guard(Guard) {}
+
+  uint32_t push(uint32_t Parent, DerivPtr D) {
+    Entries.push_back(Entry{Parent, std::move(D)});
+    Guard.chargeBytes(sizeof(Entry));
+    return uint32_t(Entries.size() - 1);
+  }
+
+  const DerivPtr &at(uint32_t Id) const { return Entries[Id].D; }
+  uint32_t parent(uint32_t Id) const { return Entries[Id].Parent; }
+
+private:
+  struct Entry {
+    uint32_t Parent;
+    DerivPtr D;
+  };
+  ResourceGuard &Guard;
+  std::vector<Entry> Entries;
+};
+
+/// One simulated parser copy: an interned item stack and a derivation
+/// ledger as a two-chain persistent deque. The front chain's head is the
+/// ledger's first element (prepends are O(1)); the back chain's head is
+/// its last element (appends and pops are O(1), with a lazy transfer from
+/// the front chain when the back runs dry).
+struct SideRef {
+  uint32_t Items = NilChain;
+  uint32_t Front = NilChain;
+  uint32_t Back = NilChain;
+  uint16_t Reals = 0; // derivations excluding dot markers
+};
+
+/// A product-parser search configuration (paper Fig. 8). Trivially
+/// copyable: 40 bytes of ids and flags, all heavy state lives in arenas.
 struct Config {
-  Side S1, S2;
+  SideRef S1, S2;
   int Cost = 0;
-  bool Reduce1Done = false;
-  bool Reduce2Done = false;
-  bool ConflictShifted = false;
-
-  bool awaitingConflictShift() const {
-    return Reduce1Done && Reduce2Done && !ConflictShifted;
-  }
+  uint8_t Flags = 0;
 };
 
-/// Dedup key: item sequences plus flags (derivation contents do not affect
-/// which successors are reachable, so the cheapest representative wins).
+constexpr uint8_t FlagReduce1 = 1;
+constexpr uint8_t FlagReduce2 = 2;
+constexpr uint8_t FlagShifted = 4;
+
+bool awaitingConflictShift(const Config &C) {
+  return (C.Flags & (FlagReduce1 | FlagReduce2)) ==
+             (FlagReduce1 | FlagReduce2) &&
+         !(C.Flags & FlagShifted);
+}
+
+/// Dedup key: two canonical item-stack ids plus the flag byte (derivation
+/// contents do not affect which successors are reachable, so the first
+/// representative wins). Probing allocates nothing — this is the fix for
+/// the old keyOf(C) that copied both item vectors even on duplicate hits.
 struct VisitKey {
-  std::vector<NodeId> Items1, Items2;
+  uint32_t S1, S2;
   uint8_t Flags;
 
   bool operator==(const VisitKey &O) const {
-    return Flags == O.Flags && Items1 == O.Items1 && Items2 == O.Items2;
+    return S1 == O.S1 && S2 == O.S2 && Flags == O.Flags;
   }
 };
 
 struct VisitKeyHash {
   size_t operator()(const VisitKey &K) const {
-    size_t H = K.Flags;
-    for (NodeId N : K.Items1)
-      H = H * 0x9e3779b97f4a7c15ULL + N + 1;
-    H ^= 0x517cc1b727220a95ULL;
-    for (NodeId N : K.Items2)
-      H = H * 0x9e3779b97f4a7c15ULL + N + 1;
-    return H;
+    uint64_t H = (uint64_t(K.S1) << 29) ^ (uint64_t(K.S2) << 7) ^ K.Flags;
+    H *= 0x9e3779b97f4a7c15ULL;
+    H ^= H >> 32;
+    return size_t(H);
   }
 };
 
-VisitKey keyOf(const Config &C) {
-  uint8_t Flags = uint8_t(C.Reduce1Done) | uint8_t(C.Reduce2Done) << 1 |
-                  uint8_t(C.ConflictShifted) << 2;
-  return VisitKey{C.S1.Items, C.S2.Items, Flags};
-}
+/// Monotone circular bucket queue (Dial's algorithm). Every successor
+/// costs at most MaxDelta more than its parent and the minimum extracted
+/// cost never decreases, so NumBuckets = MaxDelta + 1 FIFO buckets indexed
+/// by cost modulo NumBuckets replace a binary heap; push and pop are O(1).
+class BucketQueue {
+public:
+  explicit BucketQueue(size_t MaxDelta) : Buckets(MaxDelta + 1) {}
 
-/// Approximate heap footprint of one retained configuration (pool entry
-/// plus its visited-set key); the item sequences and derivation handle
-/// lists dominate.
-size_t approxBytes(const Config &C) {
-  size_t Items = C.S1.Items.size() + C.S2.Items.size();
-  size_t Derivs = C.S1.Derivs.size() + C.S2.Derivs.size();
-  return sizeof(Config) + sizeof(VisitKey) +
-         2 * Items * sizeof(NodeId) + // pool copy + visited key
-         Derivs * sizeof(DerivPtr);
-}
+  void push(int Cost, uint32_t Id) {
+    Buckets[size_t(Cost) % Buckets.size()].push_back(Id);
+    ++Count;
+  }
+
+  bool empty() const { return Count == 0; }
+
+  /// The lowest-cost configuration; FIFO among equal costs.
+  uint32_t pop() {
+    for (;;) {
+      std::vector<uint32_t> &B = Buckets[size_t(Cur) % Buckets.size()];
+      if (Head < B.size()) {
+        --Count;
+        return B[Head++];
+      }
+      B.clear();
+      Head = 0;
+      ++Cur;
+    }
+  }
+
+private:
+  std::vector<std::vector<uint32_t>> Buckets;
+  size_t Head = 0; // consumed prefix of the current bucket
+  size_t Count = 0;
+  int Cur = 0; // current minimum cost (monotone)
+};
 
 } // namespace
 
@@ -162,6 +314,8 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
 
   const bool ReduceReduce =
       !OtherNodes.empty() && Graph.itemOf(OtherNodes.front()).atEnd(G);
+  const int DupCost = std::max(0, Opts.DuplicateProductionCost);
+  const int ExtRevCost = std::max(0, Opts.ExtendedRevTransitionCost);
 
   // States admissible for reverse transitions in default mode (§6). In
   // extended search, off-path states are allowed but cost extra.
@@ -172,33 +326,98 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
       SlspState[Graph.stateOf(Step.Node)] = true;
   }
 
-  // Priority queue over configurations by cost.
+  ItemStackArena IA(Guard);
+  DerivChainArena DA(Guard);
   std::vector<Config> Pool;
-  auto Greater = [&Pool](size_t A, size_t B) {
-    return Pool[A].Cost > Pool[B].Cost;
-  };
-  std::priority_queue<size_t, std::vector<size_t>, decltype(Greater)> Queue(
-      Greater);
   std::unordered_set<VisitKey, VisitKeyHash> Visited;
+  BucketQueue Queue(size_t(std::max(
+      {ShiftCost, RevTransitionCost, ReduceCost, RevProductionCost,
+       ProductionCost + DupCost, Opts.ExtendedSearch ? ExtRevCost : 0})));
 
-  auto push = [&](Config C) {
-    VisitKey Key = keyOf(C);
-    if (!Visited.insert(std::move(Key)).second)
+  // One leaf per symbol: derivation trees are immutable, so every shift
+  // of the same symbol can share one leaf instead of allocating anew.
+  std::vector<DerivPtr> LeafCache(G.numSymbols());
+  auto leafOf = [&](Symbol Z) -> const DerivPtr & {
+    DerivPtr &P = LeafCache[size_t(Z.id())];
+    if (!P)
+      P = Derivation::leaf(Z);
+    return P;
+  };
+
+  // Ledger operations over the two-chain deque.
+  auto appendDeriv = [&](SideRef &S, DerivPtr D) {
+    if (!D->isDot())
+      ++S.Reals;
+    S.Back = DA.push(S.Back, std::move(D));
+  };
+  auto prependDeriv = [&](SideRef &S, DerivPtr D) {
+    if (!D->isDot())
+      ++S.Reals;
+    S.Front = DA.push(S.Front, std::move(D));
+  };
+  std::vector<DerivPtr> TransferScratch;
+  auto normalizeBack = [&](SideRef &S) {
+    // Lazy deque transfer: when the back chain runs dry, the front chain
+    // (head = first element) is replayed onto the back chain (head = last
+    // element). Rare — only a reduction popping past every append since
+    // the last prepend triggers it.
+    if (S.Back != NilChain || S.Front == NilChain)
       return;
-    // The pool and visited set only grow until the search ends, so bytes
-    // are charged on admission and never released; a tripped byte budget
-    // surfaces at the next step() check as MemoryLimit.
-    Guard.chargeBytes(approxBytes(C));
-    Pool.push_back(std::move(C));
-    Queue.push(Pool.size() - 1);
+    TransferScratch.clear();
+    for (uint32_t I = S.Front; I != NilChain; I = DA.parent(I))
+      TransferScratch.push_back(DA.at(I)); // first .. last
+    S.Front = NilChain;
+    for (DerivPtr &D : TransferScratch)
+      S.Back = DA.push(S.Back, std::move(D));
+  };
+  auto ledgerEmpty = [](const SideRef &S) {
+    return S.Front == NilChain && S.Back == NilChain;
+  };
+  auto lastDeriv = [&](SideRef &S) -> const DerivPtr & {
+    normalizeBack(S);
+    return DA.at(S.Back);
+  };
+  auto popBackDeriv = [&](SideRef &S) {
+    normalizeBack(S);
+    DerivPtr D = DA.at(S.Back);
+    S.Back = DA.parent(S.Back);
+    if (!D->isDot())
+      --S.Reals;
+    return D;
+  };
+
+  // Admission: insert the (items, items, flags) key, charging the pool,
+  // visited-set, and queue growth the admitted configuration will cause.
+  // Derivation-ledger work happens only after admission, so the
+  // duplicate-hit path costs two interning lookups and one probe.
+  constexpr size_t AdmitBytes =
+      sizeof(Config) + sizeof(VisitKey) + 3 * sizeof(void *);
+  auto admit = [&](uint32_t I1, uint32_t I2, uint8_t Flags) {
+    if (!Visited.insert(VisitKey{I1, I2, Flags}).second)
+      return false;
+    // The pool, visited set, and arenas only grow until the search ends,
+    // so bytes are charged on admission and never released; a tripped
+    // byte budget surfaces at the next step() check as MemoryLimit.
+    Guard.chargeBytes(AdmitBytes);
+    return true;
+  };
+  auto enqueue = [&](const Config &N) {
+    Pool.push_back(N);
+    Queue.push(N.Cost, uint32_t(Pool.size() - 1));
   };
 
   for (NodeId Other : OtherNodes) {
+    uint32_t I1 = IA.push(NilChain, ReduceNode);
+    uint32_t I2 = IA.push(NilChain, Other);
+    uint8_t Flags =
+        ReduceReduce ? 0 : FlagReduce2; // only R/R must complete both
+    if (!admit(I1, I2, Flags))
+      continue;
     Config C;
-    C.S1.Items.push_back(ReduceNode);
-    C.S2.Items.push_back(Other);
-    C.Reduce2Done = !ReduceReduce; // only R/R must complete both reductions
-    push(std::move(C));
+    C.S1.Items = I1;
+    C.S2.Items = I2;
+    C.Flags = Flags;
+    enqueue(C);
   }
 
   // True if terminal T may appear next after the new dot-0 item; used to
@@ -210,19 +429,20 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
   };
 
   // Collects the last `Count` real derivations (with any interleaved dot
-  // markers) from the back of `Derivs` into production children.
-  auto popChildren = [](Side &S, unsigned Count) {
+  // markers) from the ledger back into production children.
+  auto popChildren = [&](SideRef &S, unsigned Count) {
     std::vector<DerivPtr> Children;
     unsigned Reals = 0;
     while (Reals < Count) {
-      if (S.Derivs.empty())
+      normalizeBack(S);
+      if (S.Back == NilChain)
         throw SearchError(
             "unifying search: derivation ledger underflow during reduction");
-      DerivPtr D = std::move(S.Derivs.back());
-      S.Derivs.pop_back();
+      DerivPtr D = DA.at(S.Back);
+      S.Back = DA.parent(S.Back);
       if (!D->isDot()) {
         ++Reals;
-        --S.RealDerivs;
+        --S.Reals;
       }
       Children.push_back(std::move(D));
     }
@@ -233,8 +453,8 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
   // Reduction on one side (Fig. 10(f)); generates one successor if the
   // side has enough items, otherwise signals that preparation is needed.
   auto tryReduce = [&](const Config &C, bool First) -> bool /*prepared*/ {
-    const Side &S = First ? C.S1 : C.S2;
-    NodeId Last = S.Items.back();
+    const SideRef &S = First ? C.S1 : C.S2;
+    NodeId Last = IA.top(S.Items);
     const Item &Itm = Graph.itemOf(Last);
     if (!Itm.atEnd(G))
       return true; // nothing pending
@@ -242,29 +462,29 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
     // Before the conflict terminal is consumed, the very next terminal
     // will be the conflict terminal, so any reduction taken now must have
     // it in its lookahead set.
-    if (!C.ConflictShifted &&
+    if (!(C.Flags & FlagShifted) &&
         !Graph.lookahead(Last).contains(ConflictTerm.id()))
       return true; // reduction inadmissible; not a preparation problem
-    if (S.Items.size() > L + 1 &&
-        Graph.itemOf(S.Items[S.Items.size() - 1 - L]) == Item(Itm.Prod, 0)) {
-      Config N = C;
-      Side &NS = First ? N.S1 : N.S2;
-      NodeId Context = NS.Items[NS.Items.size() - 2 - L];
+    if (IA.depth(S.Items) > L + 1 &&
+        Graph.itemOf(IA.fromTop(S.Items, L)) == Item(Itm.Prod, 0)) {
+      NodeId Context = IA.fromTop(S.Items, L + 1);
       NodeId Goto = Graph.forwardTransition(Context);
       if (Goto == StateItemGraph::InvalidNode)
         throw SearchError(
             "unifying search: missing goto transition after reduction");
-      NS.Items.resize(NS.Items.size() - (L + 1));
-      NS.Items.push_back(Goto);
-      std::vector<DerivPtr> Children = popChildren(NS, L);
-      NS.appendDeriv(Derivation::node(G.production(Itm.Prod).Lhs, Itm.Prod,
-                                      std::move(Children)));
-      if (First && !N.Reduce1Done)
-        N.Reduce1Done = true;
-      else if (!First && !N.Reduce2Done)
-        N.Reduce2Done = true;
-      N.Cost += ReduceCost;
-      push(std::move(N));
+      uint32_t NI = IA.push(IA.popN(S.Items, L + 1), Goto);
+      uint8_t NF = C.Flags | (First ? FlagReduce1 : FlagReduce2);
+      if (admit(First ? NI : C.S1.Items, First ? C.S2.Items : NI, NF)) {
+        Config N = C;
+        SideRef &NS = First ? N.S1 : N.S2;
+        NS.Items = NI;
+        std::vector<DerivPtr> Children = popChildren(NS, L);
+        appendDeriv(NS, Derivation::node(G.production(Itm.Prod).Lhs,
+                                         Itm.Prod, std::move(Children)));
+        N.Flags = NF;
+        N.Cost += ReduceCost;
+        enqueue(N);
+      }
       return true;
     }
     return false; // needs reverse preparation
@@ -273,8 +493,8 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
   // Reverse production step prepending to side `First` (Fig. 10(d)/(e)).
   auto revProductionSteps = [&](const Config &C, bool First,
                                 bool GuardConflict) {
-    const Side &S = First ? C.S1 : C.S2;
-    NodeId Head = S.Items.front();
+    const SideRef &S = First ? C.S1 : C.S2;
+    NodeId Head = IA.front(S.Items);
     for (NodeId Src : Graph.reverseProductionSteps(Head)) {
       if (GuardConflict) {
         // The conflict terminal must still be able to follow the
@@ -286,18 +506,21 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
                                            &Graph.lookahead(Src)))
           continue;
       }
+      uint32_t NI = IA.prepend(S.Items, Src);
+      if (!admit(First ? NI : C.S1.Items, First ? C.S2.Items : NI,
+                 C.Flags))
+        continue;
       Config N = C;
-      Side &NS = First ? N.S1 : N.S2;
-      NS.Items.insert(NS.Items.begin(), Src);
+      (First ? N.S1 : N.S2).Items = NI;
       N.Cost += RevProductionCost;
-      push(std::move(N));
+      enqueue(N);
     }
   };
 
   // Reverse transitions prepending to both sides (Fig. 10(c)).
   auto revTransitions = [&](const Config &C, bool Stage1Guard) {
-    NodeId H1 = C.S1.Items.front();
-    NodeId H2 = C.S2.Items.front();
+    NodeId H1 = IA.front(C.S1.Items);
+    NodeId H2 = IA.front(C.S2.Items);
     const Item &I1 = Graph.itemOf(H1);
     const Item &I2 = Graph.itemOf(H2);
     if (I1.Dot == 0 || I2.Dot == 0)
@@ -313,24 +536,41 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
       if (Stage1Guard &&
           !Graph.lookahead(M1).contains(ConflictTerm.id()))
         continue;
+      uint32_t NI1 = IA.prepend(C.S1.Items, M1);
       for (NodeId M2 : Graph.reverseTransitions(H2)) {
         if (Graph.stateOf(M2) != FromState)
           continue;
+        uint32_t NI2 = IA.prepend(C.S2.Items, M2);
+        if (!admit(NI1, NI2, C.Flags))
+          continue;
         Config N = C;
-        N.S1.Items.insert(N.S1.Items.begin(), M1);
-        N.S2.Items.insert(N.S2.Items.begin(), M2);
-        N.S1.prependDeriv(Derivation::leaf(Z));
-        N.S2.prependDeriv(Derivation::leaf(Z));
-        N.Cost += OffPath ? Opts.ExtendedRevTransitionCost : RevTransitionCost;
-        push(std::move(N));
+        N.S1.Items = NI1;
+        N.S2.Items = NI2;
+        prependDeriv(N.S1, leafOf(Z));
+        prependDeriv(N.S2, leafOf(Z));
+        N.Cost += OffPath ? ExtRevCost : RevTransitionCost;
+        enqueue(N);
       }
     }
   };
 
+  // Flattens a ledger (front chain, then reversed back chain) into the
+  // derivation list of a counterexample; only the goal pays for this.
+  auto materialize = [&](const SideRef &S) {
+    std::vector<DerivPtr> Out;
+    for (uint32_t I = S.Front; I != NilChain; I = DA.parent(I))
+      Out.push_back(DA.at(I));
+    size_t Mid = Out.size();
+    for (uint32_t I = S.Back; I != NilChain; I = DA.parent(I))
+      Out.push_back(DA.at(I));
+    std::reverse(Out.begin() + Mid, Out.end());
+    return Out;
+  };
+
   while (!Queue.empty()) {
     // One deterministic step per configuration; the guard folds in the
-    // step budget, the byte budget (charged by push), the periodic
-    // wall-clock poll, and cancellation.
+    // step budget, the byte budget (charged on admission and arena
+    // growth), the periodic wall-clock poll, and cancellation.
     switch (Guard.step()) {
     case GuardStop::None:
       break;
@@ -347,22 +587,19 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
       Result.Status = UnifyingStatus::Cancelled;
       return;
     }
-    size_t CI = Queue.top();
-    Queue.pop();
+    Config C = Pool[Queue.pop()]; // 40-byte copy; arenas hold the state
     ++Result.ConfigurationsExplored;
-    // Copy: Pool may grow (and reallocate) while we generate successors.
-    Config C = Pool[CI];
 
     if (LALRCEX_FAULT_FIRES(BadAllocAtStep, Result.ConfigurationsExplored))
       throw std::bad_alloc();
     if (LALRCEX_FAULT_FIRES(CorruptSuccessorAtStep,
                             Result.ConfigurationsExplored))
-      C.S1.Items.clear(); // simulate a corrupted configuration
+      C.S1.Items = NilChain; // simulate a corrupted configuration
 
     // Integrity check: a configuration always carries at least the
     // conflict item on each side; losing the sequence would previously
-    // have been undefined behavior at the .back() calls below.
-    if (C.S1.Items.empty() || C.S2.Items.empty())
+    // have been undefined behavior at the top() calls below.
+    if (C.S1.Items == NilChain || C.S2.Items == NilChain)
       throw SearchError(
           "unifying search: configuration lost its item sequence");
 
@@ -372,12 +609,17 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
     // reduce/reduce conflicts the two parses may already unify before any
     // further input, in which case the conflict terminal is merely the
     // lookahead beyond the example and the dot lands at its end.
-    if (C.Reduce1Done && C.Reduce2Done && C.S1.RealDerivs == 1 &&
-        C.S2.RealDerivs == 1) {
-      auto rootOf = [](const Side &S) -> const DerivPtr & {
-        for (const DerivPtr &D : S.Derivs)
-          if (!D->isDot())
-            return D;
+    if ((C.Flags & (FlagReduce1 | FlagReduce2)) ==
+            (FlagReduce1 | FlagReduce2) &&
+        C.S1.Reals == 1 && C.S2.Reals == 1) {
+      auto rootOf = [&](const SideRef &S) -> const DerivPtr & {
+        // Reals == 1: exactly one non-dot derivation exists in the ledger.
+        for (uint32_t I = S.Front; I != NilChain; I = DA.parent(I))
+          if (!DA.at(I)->isDot())
+            return DA.at(I);
+        for (uint32_t I = S.Back; I != NilChain; I = DA.parent(I))
+          if (!DA.at(I)->isDot())
+            return DA.at(I);
         throw SearchError(
             "unifying search: goal configuration has no derivation");
       };
@@ -388,9 +630,9 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
         Counterexample Ex;
         Ex.Unifying = true;
         Ex.Root = D1->symbol();
-        Ex.Derivs1 = C.S1.Derivs;
-        Ex.Derivs2 = C.S2.Derivs;
-        if (!C.ConflictShifted) {
+        Ex.Derivs1 = materialize(C.S1);
+        Ex.Derivs2 = materialize(C.S2);
+        if (!(C.Flags & FlagShifted)) {
           // The conflict terminal was never consumed: the conflict point
           // is at the end of the example.
           Ex.Derivs1.push_back(Derivation::dot());
@@ -402,8 +644,8 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
       }
     }
 
-    NodeId L1 = C.S1.Items.back();
-    NodeId L2 = C.S2.Items.back();
+    NodeId L1 = IA.top(C.S1.Items);
+    NodeId L2 = IA.top(C.S2.Items);
 
     // Shared forward transition (Fig. 10(a)).
     {
@@ -413,50 +655,58 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
       if (F1 != StateItemGraph::InvalidNode &&
           F2 != StateItemGraph::InvalidNode &&
           Z == Graph.transitionSymbol(L2) &&
-          (!C.awaitingConflictShift() || Z == ConflictTerm)) {
-        Config N = C;
-        N.S1.Items.push_back(F1);
-        N.S2.Items.push_back(F2);
-        if (C.awaitingConflictShift() && Z == ConflictTerm) {
-          N.ConflictShifted = true;
-          // Paper presentation (Fig. 11): on the reduce side the dot sits
-          // inside the completed reduction's brackets — attach it as the
-          // last child of the latest derivation node. The shift side gets
-          // it right before the conflict terminal.
-          if (!N.S1.Derivs.empty() && N.S1.Derivs.back()->isNode()) {
-            const DerivPtr &Last = N.S1.Derivs.back();
-            std::vector<DerivPtr> Children = Last->children();
-            Children.push_back(Derivation::dot());
-            N.S1.Derivs.back() = Derivation::node(
-                Last->symbol(), Last->productionIndex(),
-                std::move(Children));
-          } else {
-            N.S1.appendDeriv(Derivation::dot());
+          (!awaitingConflictShift(C) || Z == ConflictTerm)) {
+        bool ShiftsConflict = awaitingConflictShift(C) && Z == ConflictTerm;
+        uint32_t NI1 = IA.push(C.S1.Items, F1);
+        uint32_t NI2 = IA.push(C.S2.Items, F2);
+        uint8_t NF = C.Flags | (ShiftsConflict ? FlagShifted : 0);
+        if (admit(NI1, NI2, NF)) {
+          Config N = C;
+          N.S1.Items = NI1;
+          N.S2.Items = NI2;
+          N.Flags = NF;
+          if (ShiftsConflict) {
+            // Paper presentation (Fig. 11): on the reduce side the dot
+            // sits inside the completed reduction's brackets — attach it
+            // as the last child of the latest derivation node. The shift
+            // side gets it right before the conflict terminal.
+            if (!ledgerEmpty(N.S1) && lastDeriv(N.S1)->isNode()) {
+              DerivPtr Last = popBackDeriv(N.S1);
+              std::vector<DerivPtr> Children = Last->children();
+              Children.push_back(Derivation::dot());
+              appendDeriv(N.S1,
+                          Derivation::node(Last->symbol(),
+                                           Last->productionIndex(),
+                                           std::move(Children)));
+            } else {
+              appendDeriv(N.S1, Derivation::dot());
+            }
+            appendDeriv(N.S2, Derivation::dot());
           }
-          N.S2.appendDeriv(Derivation::dot());
+          appendDeriv(N.S1, leafOf(Z));
+          appendDeriv(N.S2, leafOf(Z));
+          N.Cost += ShiftCost;
+          enqueue(N);
         }
-        N.S1.appendDeriv(Derivation::leaf(Z));
-        N.S2.appendDeriv(Derivation::leaf(Z));
-        N.Cost += ShiftCost;
-        push(std::move(N));
       }
     }
 
     // Per-side production steps (Fig. 10(b)).
     for (bool First : {true, false}) {
-      const Side &S = First ? C.S1 : C.S2;
-      NodeId Last = S.Items.back();
+      const SideRef &S = First ? C.S1 : C.S2;
+      NodeId Last = IA.top(S.Items);
       for (NodeId Step : Graph.productionSteps(Last)) {
-        if (C.awaitingConflictShift() && !usefulWhileAwaiting(Step))
+        if (awaitingConflictShift(C) && !usefulWhileAwaiting(Step))
           continue;
-        bool Duplicate =
-            std::find(S.Items.begin(), S.Items.end(), Step) != S.Items.end();
+        bool Duplicate = IA.contains(S.Items, Step);
+        uint32_t NI = IA.push(S.Items, Step);
+        if (!admit(First ? NI : C.S1.Items, First ? C.S2.Items : NI,
+                   C.Flags))
+          continue;
         Config N = C;
-        Side &NS = First ? N.S1 : N.S2;
-        NS.Items.push_back(Step);
-        N.Cost += ProductionCost +
-                  (Duplicate ? Opts.DuplicateProductionCost : 0);
-        push(std::move(N));
+        (First ? N.S1 : N.S2).Items = NI;
+        N.Cost += ProductionCost + (Duplicate ? DupCost : 0);
+        enqueue(N);
       }
     }
 
@@ -465,12 +715,13 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
     for (bool First : {true, false}) {
       if (tryReduce(C, First))
         continue;
-      const Side &S = First ? C.S1 : C.S2;
-      const Side &O = First ? C.S2 : C.S1;
-      const Item &Pending = Graph.itemOf(S.Items.back());
-      bool GuardConflict = First ? !C.Reduce1Done : !C.Reduce2Done;
-      if (S.Items.size() == Pending.Dot + 1 &&
-          Graph.itemOf(S.Items.front()) == Item(Pending.Prod, 0)) {
+      const SideRef &S = First ? C.S1 : C.S2;
+      const SideRef &O = First ? C.S2 : C.S1;
+      const Item &Pending = Graph.itemOf(IA.top(S.Items));
+      bool GuardConflict =
+          First ? !(C.Flags & FlagReduce1) : !(C.Flags & FlagReduce2);
+      if (IA.depth(S.Items) == Pending.Dot + 1 &&
+          Graph.itemOf(IA.front(S.Items)) == Item(Pending.Prod, 0)) {
         // Fig. 10(d): the production's own items are all present; prepend
         // a context item via a reverse production step on this side.
         revProductionSteps(C, First, GuardConflict);
@@ -479,7 +730,7 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
       // Fig. 10(c)/(e): the walk extends past the head. If the other
       // side's head is a dot-0 item it must first be un-produced;
       // otherwise prepend a shared reverse transition.
-      if (Graph.itemOf(O.Items.front()).Dot == 0)
+      if (Graph.itemOf(IA.front(O.Items)).Dot == 0)
         revProductionSteps(C, !First, /*GuardConflict=*/false);
       else
         revTransitions(C, GuardConflict);

@@ -15,7 +15,7 @@
 ///   - a \e deterministic step budget (configurations explored / vertices
 ///     expanded), the primary limit because it is reproducible;
 ///   - a byte-accounted \e memory budget covering the search's dominant
-///     allocations (priority-queue pool, visited set, derivation lists);
+///     allocations (configuration pool, visited set, interning arenas);
 ///   - a monotonic \e wall-clock deadline, polled only every
 ///     WallPollPeriod steps so the hot loop stays syscall-free (this
 ///     replaces the magic `(Explored & 0x3F) == 0` polls that used to be
@@ -28,6 +28,11 @@
 /// the original reason. SearchError is the recoverable-error type the
 /// searches throw instead of assert()ing on malformed internal state; it
 /// is caught at the search boundary and turned into a degraded report.
+///
+/// A guard may be charged concurrently from several worker threads (the
+/// parallel examineAll shares one cumulative guard): counters are atomic,
+/// and the sticky stop is published with a single compare-and-swap so the
+/// first brake to trip wins on every thread.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -102,7 +107,15 @@ struct ResourceLimits {
 };
 
 /// Tracks consumption against a ResourceLimits and reports the first
-/// budget that trips. Not thread-safe except through the token.
+/// budget that trips.
+///
+/// Thread-safe: any number of threads may charge steps and bytes against
+/// one guard. Counters use relaxed atomics (only their totals matter, not
+/// their ordering against other memory); the sticky Stop is set with an
+/// acq_rel compare-and-swap from None so exactly one trip reason is ever
+/// published, and readers acquire it so whatever state the tripping thread
+/// wrote beforehand is visible. reset() is not thread-safe: it must happen
+/// before workers start or after they join.
 class ResourceGuard {
 public:
   /// An unlimited guard with a private (untripped) token.
@@ -110,6 +123,16 @@ public:
 
   explicit ResourceGuard(const ResourceLimits &L,
                          CancellationToken Token = CancellationToken());
+
+  // The atomics make a guard address-stable; share it by reference.
+  ResourceGuard(const ResourceGuard &) = delete;
+  ResourceGuard &operator=(const ResourceGuard &) = delete;
+
+  /// Re-arms this guard with fresh limits and a fresh deadline, clearing
+  /// all consumption and any sticky stop. Must not race with concurrent
+  /// charges (call between runs, not during one).
+  void reset(const ResourceLimits &L,
+             CancellationToken Token = CancellationToken());
 
   /// Charges one unit of deterministic work. \returns GuardStop::None
   /// while within budget, otherwise the sticky stop reason.
@@ -130,11 +153,13 @@ public:
   GuardStop stop();
 
   /// The sticky stop reason without polling (what has tripped so far).
-  GuardStop stopped() const { return Stop; }
+  GuardStop stopped() const { return Stop.load(std::memory_order_acquire); }
 
-  size_t steps() const { return Steps; }
-  size_t bytesInUse() const { return Bytes; }
-  size_t peakBytes() const { return PeakBytes; }
+  size_t steps() const { return Steps.load(std::memory_order_relaxed); }
+  size_t bytesInUse() const { return Bytes.load(std::memory_order_relaxed); }
+  size_t peakBytes() const {
+    return PeakBytes.load(std::memory_order_relaxed);
+  }
 
   /// Seconds until the deadline; effectively infinite when none is set.
   double remainingSeconds() const { return Expiry.remainingSeconds(); }
@@ -144,16 +169,16 @@ public:
 
 private:
   GuardStop trip(GuardStop S);
-  GuardStop poll();
+  GuardStop poll(size_t StepsNow);
 
   ResourceLimits Limits;
   CancellationToken Token;
   Deadline Expiry;
-  size_t Steps = 0;
-  size_t Bytes = 0;
-  size_t PeakBytes = 0;
-  size_t NextPoll = 0;
-  GuardStop Stop = GuardStop::None;
+  std::atomic<size_t> Steps{0};
+  std::atomic<size_t> Bytes{0};
+  std::atomic<size_t> PeakBytes{0};
+  std::atomic<size_t> NextPoll{0};
+  std::atomic<GuardStop> Stop{GuardStop::None};
 };
 
 } // namespace lalrcex

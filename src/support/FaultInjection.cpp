@@ -8,26 +8,34 @@
 
 #if defined(LALRCEX_FAULT_INJECTION)
 
+#include <atomic>
+
 namespace lalrcex {
 namespace faults {
 
 namespace {
-Kind ArmedKind = Kind::None;
-std::size_t ArmedStep = 0;
+// Hooks are consulted from every examineAll worker, so the armed fault is
+// atomic and firing is a single exchange: even when several workers reach
+// their trigger step simultaneously, exactly one observes the fault.
+std::atomic<Kind> ArmedKind{Kind::None};
+std::atomic<std::size_t> ArmedStep{0};
 } // namespace
 
 void arm(Kind K, std::size_t AtStep) {
-  ArmedKind = K;
-  ArmedStep = AtStep;
+  ArmedStep.store(AtStep, std::memory_order_relaxed);
+  ArmedKind.store(K, std::memory_order_release);
 }
 
-void disarm() { ArmedKind = Kind::None; }
+void disarm() { ArmedKind.store(Kind::None, std::memory_order_release); }
 
 bool fires(Kind K, std::size_t Step) {
-  if (ArmedKind != K || Step < ArmedStep)
+  if (ArmedKind.load(std::memory_order_acquire) != K ||
+      Step < ArmedStep.load(std::memory_order_relaxed))
     return false;
-  disarm();
-  return true;
+  // One-shot across threads: only the thread that swings K -> None fires.
+  Kind Expected = K;
+  return ArmedKind.compare_exchange_strong(Expected, Kind::None,
+                                           std::memory_order_acq_rel);
 }
 
 } // namespace faults

@@ -11,7 +11,9 @@
 /// hook collapses to the constant `false` and costs nothing. Each fault is
 /// one-shot: it fires at the first hook whose step counter reaches the
 /// armed step, then disarms itself, so a single armed fault perturbs
-/// exactly one point of an otherwise deterministic search. This is how
+/// exactly one point of an otherwise deterministic search. Firing is an
+/// atomic exchange, so the one-shot contract holds even when several
+/// examineAll workers poll their guards concurrently. This is how
 /// every degradation path (timeout, step limit, allocation failure,
 /// cancellation, corrupt successor) gets a deterministic reproduction
 /// without wall-clock games.

@@ -389,6 +389,81 @@ TEST(CounterexampleTest, ExamineAllNeverLosesReportsUnderAnyBudget) {
   }
 }
 
+// ---- Parallelism: determinism across job counts -----------------------
+
+// Every report field that must not depend on the job count. Seconds is
+// wall clock and legitimately varies, so it is excluded.
+std::string deterministicKey(const CounterexampleFinder &Finder,
+                             const ConflictReport &R) {
+  std::string Key = Finder.render(R);
+  Key += "|status=" + std::to_string(int(R.Status));
+  Key += "|configs=" + std::to_string(R.Configurations);
+  Key += "|peak=" + std::to_string(R.PeakBytes);
+  Key += "|unif=";
+  Key += R.UnifyingOutcome ? std::to_string(int(*R.UnifyingOutcome)) : "-";
+  if (R.Failure) {
+    Key += "|fail=";
+    Key += FailureReason::kindName(R.Failure->K);
+    Key += "@" + R.Failure->Stage;
+  }
+  return Key;
+}
+
+TEST(CounterexampleTest, ExamineAllDeterministicAcrossJobCounts) {
+  // With wall-clock deadlines disabled, every budget is deterministic:
+  // the report sequence must be identical whatever the worker count.
+  for (const char *Name : {"figure1", "xi"}) {
+    BuiltGrammar B = BuiltGrammar::fromCorpus(Name);
+    FinderOptions Base;
+    Base.ConflictTimeLimitSeconds = 0;
+    Base.CumulativeTimeLimitSeconds = 0;
+    Base.MaxConfigurations = 20'000; // caps xi's hardest conflicts
+    std::vector<std::string> Expected;
+    for (unsigned Jobs : {1u, 2u, 8u}) {
+      FinderOptions Opts = Base;
+      Opts.Jobs = Jobs;
+      CounterexampleFinder Finder(B.T, Opts);
+      std::vector<ConflictReport> Reports = Finder.examineAll();
+      ASSERT_EQ(Reports.size(), B.T.reportedConflicts().size());
+      std::vector<std::string> Keys;
+      for (const ConflictReport &R : Reports)
+        Keys.push_back(deterministicKey(Finder, R));
+      if (Jobs == 1)
+        Expected = Keys;
+      else
+        EXPECT_EQ(Keys, Expected) << Name << " with Jobs=" << Jobs;
+    }
+  }
+}
+
+TEST(CounterexampleTest, CumulativeStepTripSameKindAcrossJobCounts) {
+  // A cumulative step budget that trips during the conflict scan must
+  // degrade every report with the same FailureReason kind regardless of
+  // how many workers examineAll uses.
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  for (unsigned Jobs : {1u, 2u, 8u}) {
+    FinderOptions Opts;
+    Opts.ConflictTimeLimitSeconds = 0;
+    Opts.CumulativeTimeLimitSeconds = 0;
+    Opts.CumulativeMaxConfigurations = 1;
+    Opts.Jobs = Jobs;
+    CounterexampleFinder Finder(B.T, Opts);
+    std::vector<ConflictReport> Reports = Finder.examineAll();
+    ASSERT_EQ(Reports.size(), B.T.reportedConflicts().size());
+    unsigned Degraded = 0;
+    for (const ConflictReport &R : Reports) {
+      EXPECT_NE(R.Status, CounterexampleStatus::UnifyingFound);
+      ASSERT_TRUE(R.Example) << Finder.render(R);
+      if (R.Failure && R.Failure->Stage == "cumulative-budget") {
+        EXPECT_EQ(R.Failure->K, FailureReason::StepLimit);
+        ++Degraded;
+      }
+    }
+    EXPECT_GT(Degraded, 0u) << "Jobs=" << Jobs;
+    EXPECT_EQ(Finder.cumulativeGuard().stopped(), GuardStop::StepLimit);
+  }
+}
+
 #if defined(LALRCEX_FAULT_INJECTION)
 
 // ---- Fault injection: forced failures at every pipeline stage ---------
@@ -474,6 +549,56 @@ TEST(CounterexampleTest, InjectedFaultsAreOneShotAcrossExamineAll) {
     if (R.Status == CounterexampleStatus::Failed)
       ++Failed;
   EXPECT_EQ(Failed, 1u);
+}
+
+TEST(CounterexampleTest, InjectedAllocFailureDegradesOneConflictInPool) {
+  // With a worker pool, a forced bad_alloc still degrades exactly one
+  // conflict (the fault is an atomic one-shot); every other report is
+  // healthy and none is lost.
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  FinderOptions Opts;
+  Opts.Jobs = 4;
+  CounterexampleFinder Finder(B.T, Opts);
+  faults::ScopedFault F(faults::Kind::BadAllocAtStep, 1);
+  std::vector<ConflictReport> Reports = Finder.examineAll();
+  ASSERT_EQ(Reports.size(), B.T.reportedConflicts().size());
+  unsigned Failed = 0;
+  for (const ConflictReport &R : Reports) {
+    if (R.Status == CounterexampleStatus::Failed) {
+      ++Failed;
+      ASSERT_TRUE(R.Failure.has_value());
+      EXPECT_EQ(R.Failure->K, FailureReason::AllocationFailure);
+    } else {
+      EXPECT_TRUE(R.Example) << Finder.render(R);
+    }
+  }
+  EXPECT_EQ(Failed, 1u);
+}
+
+TEST(CounterexampleTest, InjectedCancellationInPoolNeverDeadlocks) {
+  // A cancellation injected into one worker's guard poll must not hang
+  // the pool: examineAll returns a full report sequence, the cancelled
+  // conflict is marked as such, and the rest complete normally.
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  FinderOptions Opts;
+  Opts.Jobs = 4;
+  CounterexampleFinder Finder(B.T, Opts);
+  // Step 40 sits below the first cumulative poll window, so the fault
+  // fires on one search-local guard (polling at WallPollPeriod = 64).
+  faults::ScopedFault F(faults::Kind::CancelAtStep, 40);
+  std::vector<ConflictReport> Reports = Finder.examineAll();
+  ASSERT_EQ(Reports.size(), B.T.reportedConflicts().size());
+  unsigned Cancelled = 0;
+  for (const ConflictReport &R : Reports) {
+    if (R.Status == CounterexampleStatus::Cancelled) {
+      ++Cancelled;
+      ASSERT_TRUE(R.Failure.has_value());
+      EXPECT_EQ(R.Failure->K, FailureReason::Cancelled);
+    } else {
+      EXPECT_TRUE(R.Example) << Finder.render(R);
+    }
+  }
+  EXPECT_LE(Cancelled, 1u);
 }
 
 #endif // LALRCEX_FAULT_INJECTION

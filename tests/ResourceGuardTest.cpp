@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <thread>
+#include <vector>
 
 using namespace lalrcex;
 
@@ -139,6 +140,52 @@ TEST(ResourceGuardTest, ZeroPollPeriodIsClampedNotDivZero) {
   ResourceGuard G(L);
   EXPECT_EQ(G.limits().WallPollPeriod, 1u);
   EXPECT_EQ(G.step(), GuardStop::Deadline);
+}
+
+TEST(ResourceGuardTest, ConcurrentChargesAccumulateExactly) {
+  // Several threads hammering one guard must lose no charges and agree
+  // on a single trip reason (the shared cumulative guard's contract).
+  ResourceLimits L;
+  ResourceGuard G(L);
+  constexpr int Threads = 4, PerThread = 10'000;
+  std::vector<std::thread> Pool;
+  for (int T = 0; T != Threads; ++T)
+    Pool.emplace_back([&G] {
+      for (int I = 0; I != PerThread; ++I) {
+        G.chargeSteps(1);
+        G.chargeBytes(3);
+        G.releaseBytes(1);
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(G.steps(), size_t(Threads) * PerThread);
+  EXPECT_EQ(G.bytesInUse(), size_t(Threads) * PerThread * 2);
+  EXPECT_GE(G.peakBytes(), G.bytesInUse());
+  EXPECT_EQ(G.stopped(), GuardStop::None);
+}
+
+TEST(ResourceGuardTest, ConcurrentTripAgreesOnOneReason) {
+  // When step and byte budgets are both exceeded from different threads,
+  // every thread observes the same sticky first-trip reason afterwards.
+  ResourceLimits L;
+  L.MaxSteps = 100;
+  L.MaxBytes = ResourceLimits::Unlimited;
+  ResourceGuard G(L);
+  std::vector<std::thread> Pool;
+  for (int T = 0; T != 4; ++T)
+    Pool.emplace_back([&G] {
+      for (int I = 0; I != 1'000; ++I)
+        G.chargeSteps(1);
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(G.stopped(), GuardStop::StepLimit);
+  // Charges stop accumulating once the guard trips (sticky early-out),
+  // so the count lands at the limit plus at most one in-flight charge
+  // per thread.
+  EXPECT_GE(G.steps(), 100u);
+  EXPECT_LE(G.steps(), 104u);
 }
 
 #if defined(LALRCEX_FAULT_INJECTION)
