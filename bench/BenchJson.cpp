@@ -142,7 +142,7 @@ lalrcex::bench::writeBenchRecords(const std::string &Tool,
   JsonWriter W;
   W.beginObject();
   W.field("tool", Tool);
-  W.field("schema", size_t(1));
+  W.field("schema", size_t(2));
   W.key("records").beginArray();
   for (const BenchRecord &R : Records) {
     W.beginObject();
@@ -154,6 +154,14 @@ lalrcex::bench::writeBenchRecords(const std::string &Tool,
       W.field("wall_ms_serial", R.WallMsSerial);
     if (R.WallMsParallel >= 0)
       W.field("wall_ms_parallel", R.WallMsParallel);
+    if (R.WallMsCold >= 0)
+      W.field("wall_ms_cold", R.WallMsCold);
+    if (R.WallMsWarm >= 0)
+      W.field("wall_ms_warm", R.WallMsWarm);
+    if (R.CacheHits >= 0)
+      W.field("cache_hits", size_t(R.CacheHits));
+    if (R.CacheMisses >= 0)
+      W.field("cache_misses", size_t(R.CacheMisses));
     W.field("configurations", R.Configurations);
     W.field("peak_bytes", R.PeakBytes);
     W.endObject();

@@ -9,11 +9,11 @@
 /// file next to its human-readable output, so each PR's perf numbers can
 /// be compared against the recorded trajectory instead of eyeballed.
 ///
-/// Schema (version 1), documented in README.md:
+/// Schema (version 2), documented in README.md:
 ///
 ///   {
 ///     "tool": "<tool name>",
-///     "schema": 1,
+///     "schema": 2,
 ///     "records": [
 ///       {
 ///         "name": "<benchmark / section name>",
@@ -22,15 +22,20 @@
 ///         "jobs": <job count used for wall_ms_parallel>,
 ///         "wall_ms_serial": <examineAll wall ms with Jobs = 1>,
 ///         "wall_ms_parallel": <examineAll wall ms with Jobs = jobs>,
+///         "wall_ms_cold": <wall ms with an empty analysis cache>,
+///         "wall_ms_warm": <wall ms re-run against the populated cache>,
+///         "cache_hits": <analysis-cache blob hits>,
+///         "cache_misses": <analysis-cache blob misses/degradations>,
 ///         "configurations": <configurations explored>,
 ///         "peak_bytes": <peak guard-accounted bytes>
 ///       }, ...
 ///     ]
 ///   }
 ///
-/// Unmeasured wall fields (negative in BenchRecord) are omitted from the
-/// record. Files are written as BENCH_<tool>.json in $LALRCEX_BENCH_DIR
-/// (or the working directory when unset).
+/// Unmeasured wall and cache fields (negative in BenchRecord) are omitted
+/// from the record; schema 2 is a pure field addition, so schema-1
+/// consumers keep working. Files are written as BENCH_<tool>.json in
+/// $LALRCEX_BENCH_DIR (or the working directory when unset).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -84,6 +89,10 @@ struct BenchRecord {
   unsigned Jobs = 1;
   double WallMsSerial = -1;   // < 0: not measured, omitted
   double WallMsParallel = -1; // < 0: not measured, omitted
+  double WallMsCold = -1;     // < 0: not measured, omitted
+  double WallMsWarm = -1;     // < 0: not measured, omitted
+  long CacheHits = -1;        // < 0: not counted, omitted
+  long CacheMisses = -1;      // < 0: not counted, omitted
   size_t Configurations = 0;
   size_t PeakBytes = 0;
 };

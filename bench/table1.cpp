@@ -21,11 +21,14 @@
 #include "BenchJson.h"
 #include "BenchUtil.h"
 
+#include "cache/AnalysisCache.h"
 #include "counterexample/CounterexampleFinder.h"
+#include "grammar/GrammarParser.h"
 #include "support/StrUtil.h"
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 
 using namespace lalrcex;
 using namespace lalrcex::bench;
@@ -169,6 +172,74 @@ int main(int argc, char **argv) {
     Rec.Configurations = Confs;
     Rec.PeakBytes = Peak;
     Records.push_back(Rec);
+  }
+
+  // Persistent analysis cache: the full pipeline (parse, automaton +
+  // table, state-item graph, conflict reports) cold against an empty
+  // cache directory, then warm against the populated one. The warm run
+  // serves every artifact from disk, so it measures deserialization +
+  // validation instead of search.
+  std::printf("\nPersistent cache (cold vs. warm, full pipeline)\n");
+  std::printf("%-22s %6s %12s %12s %9s\n", "grammar", "#conf", "cold(ms)",
+              "warm(ms)", "speedup");
+  std::string CacheDir =
+      (std::filesystem::temp_directory_path() / "lalrcex_table1_cache")
+          .string();
+  for (const char *Name : {"figure1", "xi", "stackovf10", "SQL.4"}) {
+    const CorpusEntry *E = findCorpusEntry(Name);
+    if (!E)
+      continue;
+    std::error_code Ec;
+    std::filesystem::remove_all(CacheDir, Ec); // ensure a cold start
+
+    long Hits = 0, Misses = 0;
+    size_t Conflicts = 0;
+    auto runOnce = [&](long &HitSlot, long &MissSlot) {
+      std::string Err;
+      std::optional<Grammar> G = parseGrammarText(E->Text, &Err);
+      if (!G)
+        return;
+      cache::AnalysisCache Cache(CacheDir);
+      cache::AnalysisSession S(std::move(*G), AutomatonKind::Lalr1, &Cache);
+      (S.analysisProbe().hit() ? HitSlot : MissSlot) += 1;
+
+      FinderOptions Opts;
+      Opts.ConflictTimeLimitSeconds = 5.0 * Scale;
+      Opts.CumulativeTimeLimitSeconds = 120.0 * Scale;
+      Opts.CachePath = CacheDir;
+      Opts.Jobs = 1;
+      CounterexampleFinder Finder(S.table(), Opts);
+      Conflicts = Finder.examineAll().size();
+      const CacheActivity &A = Finder.cacheActivity();
+      (A.GraphFromCache ? HitSlot : MissSlot) += 1;
+      (A.ReportsFromCache ? HitSlot : MissSlot) += 1;
+    };
+
+    Stopwatch ColdClock;
+    runOnce(Misses, Misses); // cold: everything misses
+    double ColdMs = ColdClock.milliseconds();
+    Stopwatch WarmClock;
+    runOnce(Hits, Misses);
+    double WarmMs = WarmClock.milliseconds();
+
+    std::printf("%-22s %6zu %12.1f %12.1f %8.2fx\n", E->Name.c_str(),
+                Conflicts, ColdMs, WarmMs,
+                WarmMs > 0 ? ColdMs / WarmMs : 0.0);
+
+    BenchRecord Rec;
+    Rec.Name = "cache-pipeline";
+    Rec.Grammar = E->Name;
+    Rec.Conflicts = Conflicts;
+    Rec.Jobs = 1;
+    Rec.WallMsCold = ColdMs;
+    Rec.WallMsWarm = WarmMs;
+    Rec.CacheHits = Hits;
+    Rec.CacheMisses = Misses;
+    Records.push_back(Rec);
+  }
+  {
+    std::error_code Ec;
+    std::filesystem::remove_all(CacheDir, Ec);
   }
 
   writeBenchRecords("table1", Records);

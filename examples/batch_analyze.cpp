@@ -1,0 +1,335 @@
+//===- examples/batch_analyze.cpp - Batch corpus driver --------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+// Analyzes a whole directory of grammar files (or the built-in corpus)
+// with the persistent analysis cache: grammars are sharded across a
+// worker pool, each worker running the full pipeline — automaton + table
+// (restored via cache::AnalysisSession when warm), state-item graph, and
+// conflict reports (FinderOptions::CachePath) — and rendering one report
+// file per grammar. A second run against the same cache directory serves
+// every artifact warm and must produce byte-identical report files; the
+// CI cache-smoke job diffs the two output directories and compares the
+// TOTAL_MS lines.
+//
+//   batch_analyze [options] <grammar-dir | corpus>
+//     -cache <dir>      analysis cache directory (default: cache disabled)
+//     -out <dir>        write <grammar>.txt report files here
+//     -jobs <n>         grammar-level workers (default: hardware
+//                       concurrency; conflicts within a grammar run
+//                       serially so the pool is not oversubscribed)
+//     -timeout <sec>    per-conflict unifying budget (default 5)
+//     -cumulative <sec> per-grammar cumulative budget (default 120)
+//     -steps <n>        deterministic per-conflict configuration budget
+//     -canonical        use canonical LR(1) automatons
+//
+// Output: one summary line per grammar, a final "TOTAL_MS <ms>" line, and
+// BENCH_batch_analyze.json (schema 2) with per-grammar cold/warm wall
+// times and cache hit/miss counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchJson.h"
+#include "cache/AnalysisCache.h"
+#include "corpus/Corpus.h"
+#include "counterexample/CounterexampleFinder.h"
+#include "grammar/GrammarParser.h"
+#include "support/Stopwatch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+using namespace lalrcex;
+
+namespace {
+
+int usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s [-cache <dir>] [-out <dir>] [-jobs <n>] "
+               "[-timeout <sec>] [-cumulative <sec>] [-steps <n>] "
+               "[-canonical] <grammar-dir | corpus>\n",
+               Prog);
+  return 2;
+}
+
+struct Job {
+  std::string Name; // report/bench label
+  std::string Text; // grammar text
+};
+
+struct JobResult {
+  bool Ok = false;
+  std::string Error;
+  size_t Conflicts = 0;
+  double WallMs = 0;
+  bool Warm = false; // report set came from the cache
+  long CacheHits = 0;
+  long CacheMisses = 0;
+  std::string Rendered; // concatenated reports (deterministic bytes)
+};
+
+/// Safe file stem for a grammar name ("corpus:SQL.1" -> "corpus_SQL.1").
+std::string fileStem(const std::string &Name) {
+  std::string Out = Name;
+  for (char &C : Out)
+    if (C == '/' || C == ':' || C == '\\')
+      C = '_';
+  return Out;
+}
+
+void countProbe(JobResult &R, const cache::CacheProbe &P) {
+  if (P.Outcome == cache::CacheOutcome::Disabled)
+    return;
+  if (P.hit())
+    ++R.CacheHits;
+  else
+    ++R.CacheMisses;
+}
+
+JobResult analyzeOne(const Job &J, const FinderOptions &BaseOpts,
+                     AutomatonKind Kind, const std::string &CacheDir) {
+  JobResult R;
+  Stopwatch Timer;
+
+  std::string Err;
+  std::optional<Grammar> G = parseGrammarText(J.Text, &Err);
+  if (!G) {
+    R.Error = "grammar error: " + Err;
+    return R;
+  }
+
+  cache::AnalysisCache Cache(CacheDir);
+  cache::AnalysisSession Session(std::move(*G), Kind,
+                                 CacheDir.empty() ? nullptr : &Cache);
+  countProbe(R, Session.analysisProbe());
+
+  FinderOptions Opts = BaseOpts;
+  Opts.CachePath = CacheDir;
+  Opts.Jobs = 1; // parallelism lives at the grammar level here
+  CounterexampleFinder Finder(Session.table(), Opts);
+  std::vector<ConflictReport> Reports = Finder.examineAll();
+
+  const CacheActivity &Activity = Finder.cacheActivity();
+  if (!CacheDir.empty()) {
+    ++(Activity.GraphFromCache ? R.CacheHits : R.CacheMisses);
+    ++(Activity.ReportsFromCache ? R.CacheHits : R.CacheMisses);
+  }
+  R.Warm = Activity.ReportsFromCache;
+
+  std::string Out;
+  Out += "== " + J.Name + ": " + std::to_string(Reports.size()) +
+         " conflict(s) ==\n";
+  for (const ConflictReport &Rep : Reports)
+    Out += Finder.render(Rep) + "\n";
+  R.Rendered = std::move(Out);
+  R.Conflicts = Reports.size();
+  R.Ok = true;
+  R.WallMs = Timer.seconds() * 1000.0;
+  return R;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  FinderOptions Opts;
+  std::string Source, CacheDir, OutDir;
+  unsigned Jobs = 0;
+  AutomatonKind Kind = AutomatonKind::Lalr1;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "-cache") {
+      if (++I == argc)
+        return usage(argv[0]);
+      CacheDir = argv[I];
+    } else if (Arg == "-out") {
+      if (++I == argc)
+        return usage(argv[0]);
+      OutDir = argv[I];
+    } else if (Arg == "-jobs") {
+      if (++I == argc)
+        return usage(argv[0]);
+      Jobs = unsigned(std::atoi(argv[I]));
+    } else if (Arg == "-timeout") {
+      if (++I == argc)
+        return usage(argv[0]);
+      Opts.ConflictTimeLimitSeconds = std::atof(argv[I]);
+    } else if (Arg == "-cumulative") {
+      if (++I == argc)
+        return usage(argv[0]);
+      Opts.CumulativeTimeLimitSeconds = std::atof(argv[I]);
+    } else if (Arg == "-steps") {
+      if (++I == argc)
+        return usage(argv[0]);
+      Opts.MaxConfigurations = size_t(std::atoll(argv[I]));
+    } else if (Arg == "-canonical") {
+      Kind = AutomatonKind::Canonical;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      Source = Arg;
+    }
+  }
+  if (Source.empty())
+    return usage(argv[0]);
+
+  // Collect the work list, sorted by name for deterministic output.
+  std::vector<Job> Work;
+  if (Source == "corpus") {
+    for (const CorpusEntry &E : corpus())
+      Work.push_back(Job{E.Name, E.Text});
+  } else {
+    std::error_code Ec;
+    if (std::filesystem::is_directory(Source, Ec)) {
+      for (const auto &Entry :
+           std::filesystem::directory_iterator(Source, Ec)) {
+        if (!Entry.is_regular_file())
+          continue;
+        std::string Ext = Entry.path().extension().string();
+        if (Ext != ".y" && Ext != ".cfg" && Ext != ".grammar")
+          continue;
+        std::ifstream In(Entry.path());
+        std::ostringstream Buf;
+        Buf << In.rdbuf();
+        Work.push_back(Job{Entry.path().stem().string(), Buf.str()});
+      }
+    } else {
+      std::ifstream In(Source);
+      if (!In) {
+        std::fprintf(stderr, "cannot open '%s'\n", Source.c_str());
+        return 1;
+      }
+      std::ostringstream Buf;
+      Buf << In.rdbuf();
+      Work.push_back(
+          Job{std::filesystem::path(Source).stem().string(), Buf.str()});
+    }
+  }
+  if (Work.empty()) {
+    std::fprintf(stderr, "no grammars found in '%s'\n", Source.c_str());
+    return 1;
+  }
+  std::sort(Work.begin(), Work.end(),
+            [](const Job &A, const Job &B) { return A.Name < B.Name; });
+
+  if (!OutDir.empty()) {
+    std::error_code Ec;
+    std::filesystem::create_directories(OutDir, Ec);
+    if (Ec) {
+      std::fprintf(stderr, "cannot create '%s'\n", OutDir.c_str());
+      return 1;
+    }
+  }
+
+  // Shard grammars across the pool with an atomic dispenser (same shape
+  // as CounterexampleFinder::examineAll's conflict-level pool).
+  unsigned Workers = CounterexampleFinder::resolveJobs(Jobs);
+  if (size_t(Workers) > Work.size())
+    Workers = unsigned(Work.size());
+  std::vector<JobResult> Results(Work.size());
+  Stopwatch Total;
+  std::atomic<size_t> Next{0};
+  auto Worker = [&] {
+    for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+         I < Work.size();
+         I = Next.fetch_add(1, std::memory_order_relaxed)) {
+      try {
+        Results[I] = analyzeOne(Work[I], Opts, Kind, CacheDir);
+      } catch (const std::exception &E) {
+        Results[I].Error = E.what();
+      }
+    }
+  };
+  std::vector<std::thread> Pool;
+  Pool.reserve(Workers - 1);
+  for (unsigned T = 1; T < Workers; ++T) {
+    try {
+      Pool.emplace_back(Worker);
+    } catch (const std::system_error &) {
+      break; // degrade to fewer workers
+    }
+  }
+  Worker();
+  for (std::thread &T : Pool)
+    T.join();
+  double TotalMs = Total.seconds() * 1000.0;
+
+  // Report, write output files, and accumulate bench records.
+  std::vector<bench::BenchRecord> Records;
+  size_t TotalConflicts = 0, Failures = 0;
+  long TotalHits = 0, TotalMisses = 0;
+  for (size_t I = 0; I != Work.size(); ++I) {
+    const JobResult &R = Results[I];
+    if (!R.Ok) {
+      ++Failures;
+      std::printf("%-24s FAILED: %s\n", Work[I].Name.c_str(),
+                  R.Error.c_str());
+      continue;
+    }
+    TotalConflicts += R.Conflicts;
+    TotalHits += R.CacheHits;
+    TotalMisses += R.CacheMisses;
+    std::printf("%-24s %3zu conflict(s)  %8.1f ms  %s", Work[I].Name.c_str(),
+                R.Conflicts, R.WallMs, R.Warm ? "warm" : "cold");
+    if (!CacheDir.empty())
+      std::printf("  (cache %ld hit / %ld miss)", R.CacheHits,
+                  R.CacheMisses);
+    std::printf("\n");
+
+    if (!OutDir.empty()) {
+      std::string Path = OutDir + "/" + fileStem(Work[I].Name) + ".txt";
+      std::ofstream OS(Path, std::ios::trunc | std::ios::binary);
+      OS << R.Rendered;
+      if (!OS.flush()) {
+        std::fprintf(stderr, "cannot write '%s'\n", Path.c_str());
+        ++Failures;
+      }
+    }
+
+    bench::BenchRecord Rec;
+    Rec.Name = "batch/" + Work[I].Name;
+    Rec.Grammar = Work[I].Name;
+    Rec.Conflicts = R.Conflicts;
+    Rec.Jobs = Workers;
+    (R.Warm ? Rec.WallMsWarm : Rec.WallMsCold) = R.WallMs;
+    if (!CacheDir.empty()) {
+      Rec.CacheHits = R.CacheHits;
+      Rec.CacheMisses = R.CacheMisses;
+    }
+    Records.push_back(Rec);
+  }
+
+  bench::BenchRecord TotalRec;
+  TotalRec.Name = "batch/TOTAL";
+  TotalRec.Grammar = Source;
+  TotalRec.Conflicts = TotalConflicts;
+  TotalRec.Jobs = Workers;
+  // The whole run counts as warm only if every report set was served from
+  // the cache.
+  bool AllWarm = !CacheDir.empty() &&
+                 std::all_of(Results.begin(), Results.end(),
+                             [](const JobResult &R) { return R.Warm; });
+  (AllWarm ? TotalRec.WallMsWarm : TotalRec.WallMsCold) = TotalMs;
+  if (!CacheDir.empty()) {
+    TotalRec.CacheHits = TotalHits;
+    TotalRec.CacheMisses = TotalMisses;
+  }
+  Records.push_back(TotalRec);
+  bench::writeBenchRecords("batch_analyze", Records);
+
+  std::printf("analyzed %zu grammar(s), %zu conflict(s), %u worker(s)",
+              Work.size(), TotalConflicts, Workers);
+  if (!CacheDir.empty())
+    std::printf(", cache %ld hit / %ld miss", TotalHits, TotalMisses);
+  std::printf("\nTOTAL_MS %.1f\n", TotalMs);
+  return Failures == 0 ? 0 : 1;
+}

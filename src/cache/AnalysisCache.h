@@ -1,0 +1,231 @@
+//===- cache/AnalysisCache.h - Persistent analysis cache -------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A content-addressed persistent cache for the expensive per-grammar
+/// artifacts: the LALR automaton + ACTION/GOTO table, the state-item
+/// graph, and complete conflict-report sets. A grammar author's workflow
+/// is iterative — re-run the analyzer after every small edit — and this
+/// layer makes the "nothing changed" (or "only this grammar changed")
+/// hot path near-free.
+///
+/// Addressing. Every blob file is named by a stable 128-bit fingerprint
+/// (support/Hash.h) of its inputs:
+///
+///   <gfp>.art  automaton + parse table   gfp = grammarFingerprint():
+///              symbols, productions, precedence/associativity, %expect,
+///              automaton kind, and a format-version salt
+///   <gfp>.sig  state-item graph          same key
+///   <gfp>-<ofp>.rep  conflict reports    ofp = optionsFingerprint():
+///              every FinderOptions field that can change report content
+///
+/// Invalidation is therefore structural: editing the grammar (reordering
+/// productions, flipping a precedence declaration, renaming a symbol)
+/// changes the fingerprint and the next run simply misses and recomputes;
+/// nothing is ever updated in place. Bumping FormatVersion re-salts every
+/// fingerprint, orphaning all old blobs at once.
+///
+/// Robustness. Blobs are untrusted input. Every file carries a magic tag,
+/// the version salt, its own key, and a trailing checksum of all prior
+/// bytes; loads verify all four and then bounds-check and range-check
+/// every field while reconstructing (cache/Serialization.h). Any
+/// mismatch — truncation, bit rot, a hostile file — degrades to a cold
+/// recompute reported through the existing FailureReason machinery, never
+/// a crash. Stores write to a temp file and rename, so concurrent batch
+/// workers and crashed runs can never publish a half-written blob.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_CACHE_ANALYSISCACHE_H
+#define LALRCEX_CACHE_ANALYSISCACHE_H
+
+#include "counterexample/CounterexampleFinder.h"
+#include "support/Hash.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lalrcex {
+namespace cache {
+
+/// Bump whenever a blob layout or a fingerprinted field set changes; it
+/// salts every fingerprint, so stale blobs miss instead of misparsing.
+constexpr uint32_t FormatVersion = 1;
+
+/// How a cache probe concluded.
+enum class CacheOutcome : uint8_t {
+  Hit,             ///< blob found, verified, and reconstructed
+  Disabled,        ///< no cache directory configured
+  Miss,            ///< no blob for this fingerprint (a cold key)
+  VersionMismatch, ///< blob written under a different FormatVersion
+  KeyMismatch,     ///< blob's embedded key disagrees with its file name
+  Corrupt,         ///< checksum, bounds, or semantic validation failed
+  IoError,         ///< file unreadable / unwritable
+  Stored,          ///< (store probes) blob written successfully
+  NotStored,       ///< (store probes) skipped, e.g. a cancelled run
+};
+
+/// Short name for diagnostics ("hit", "corrupt", ...).
+const char *toString(CacheOutcome O);
+
+/// Result of one load or store: the outcome plus a human-readable detail
+/// for the degraded cases.
+struct CacheProbe {
+  CacheOutcome Outcome = CacheOutcome::Disabled;
+  std::string Detail;
+
+  bool hit() const { return Outcome == CacheOutcome::Hit; }
+  /// True for the outcomes that indicate a damaged or unreadable blob —
+  /// the ones worth surfacing as a FailureReason (a plain miss is not).
+  bool degraded() const {
+    return Outcome == CacheOutcome::VersionMismatch ||
+           Outcome == CacheOutcome::KeyMismatch ||
+           Outcome == CacheOutcome::Corrupt ||
+           Outcome == CacheOutcome::IoError;
+  }
+};
+
+/// Stable fingerprint of everything the automaton/table/graph artifacts
+/// depend on (see file comment). \p VersionSalt defaults to the current
+/// format version; tests override it to prove version bumps invalidate.
+Fingerprint128 grammarFingerprint(const Grammar &G, AutomatonKind Kind,
+                                  uint32_t VersionSalt = FormatVersion);
+
+/// Stable fingerprint of every FinderOptions field that can change report
+/// content (budgets, search mode). Jobs is deliberately excluded: reports
+/// are byte-identical for every job count, so all job counts share one
+/// cache entry.
+Fingerprint128 optionsFingerprint(const FinderOptions &Opts,
+                                  uint32_t VersionSalt = FormatVersion);
+
+/// An automaton + parse table reconstructed from a blob. The table
+/// borrows the automaton, so they travel together.
+struct RestoredAnalysis {
+  std::unique_ptr<Automaton> M;
+  std::unique_ptr<ParseTable> T;
+};
+
+//===----------------------------------------------------------------------===//
+// In-memory (de)serialization. The round-trip tests hit these directly;
+// AnalysisCache adds the file naming, checksum-at-rest, and atomic-rename
+// layer on top.
+//===----------------------------------------------------------------------===//
+
+/// Serializes automaton + table into a complete blob (header + payload +
+/// checksum) keyed by \p VersionSalt's grammar fingerprint.
+std::string serializeAnalysis(const ParseTable &T,
+                              uint32_t VersionSalt = FormatVersion);
+
+/// Reconstructs automaton + table from \p Blob. \p G and \p A must be the
+/// grammar the blob was keyed by (the caller looked the blob up by
+/// fingerprint); both must outlive the result.
+CacheProbe deserializeAnalysis(const std::string &Blob, const Grammar &G,
+                               const GrammarAnalysis &A, AutomatonKind Kind,
+                               RestoredAnalysis &Out,
+                               uint32_t VersionSalt = FormatVersion);
+
+std::string serializeGraph(const StateItemGraph &Graph,
+                           uint32_t VersionSalt = FormatVersion);
+
+CacheProbe deserializeGraph(const std::string &Blob, const Automaton &M,
+                            std::optional<StateItemGraph> &Out,
+                            uint32_t VersionSalt = FormatVersion);
+
+std::string serializeReports(const Grammar &G, AutomatonKind Kind,
+                             const FinderOptions &Opts,
+                             const std::vector<ConflictReport> &Reports,
+                             uint32_t VersionSalt = FormatVersion);
+
+CacheProbe deserializeReports(const std::string &Blob, const Grammar &G,
+                              AutomatonKind Kind, const FinderOptions &Opts,
+                              std::vector<ConflictReport> &Out,
+                              uint32_t VersionSalt = FormatVersion);
+
+//===----------------------------------------------------------------------===//
+// The on-disk cache.
+//===----------------------------------------------------------------------===//
+
+/// One content-addressed cache directory (created on first store).
+/// Stateless between calls; any number of AnalysisCache objects — across
+/// threads and processes — may share a directory, because files are only
+/// ever published complete via rename and never modified in place.
+class AnalysisCache {
+public:
+  explicit AnalysisCache(std::string Dir,
+                         uint32_t VersionSalt = FormatVersion)
+      : Dir(std::move(Dir)), Salt(VersionSalt) {}
+
+  const std::string &directory() const { return Dir; }
+
+  CacheProbe loadAnalysis(const Grammar &G, const GrammarAnalysis &A,
+                          AutomatonKind Kind, RestoredAnalysis &Out) const;
+  CacheProbe storeAnalysis(const ParseTable &T) const;
+
+  CacheProbe loadGraph(const Automaton &M,
+                       std::optional<StateItemGraph> &Out) const;
+  CacheProbe storeGraph(const StateItemGraph &Graph) const;
+
+  CacheProbe loadReports(const Grammar &G, AutomatonKind Kind,
+                         const FinderOptions &Opts,
+                         std::vector<ConflictReport> &Out) const;
+  CacheProbe storeReports(const Grammar &G, AutomatonKind Kind,
+                          const FinderOptions &Opts,
+                          const std::vector<ConflictReport> &Reports) const;
+
+  /// The file path a blob kind lives at, for tests that corrupt blobs
+  /// deliberately. \p Extension is "art", "sig", or "rep" (the latter
+  /// needs \p Opts).
+  std::string blobPath(const Grammar &G, AutomatonKind Kind,
+                       const char *Extension,
+                       const FinderOptions *Opts = nullptr) const;
+
+private:
+  CacheProbe readBlob(const std::string &Path, std::string &Out) const;
+  CacheProbe writeBlob(const std::string &Path,
+                       const std::string &Blob) const;
+
+  std::string Dir;
+  uint32_t Salt;
+};
+
+//===----------------------------------------------------------------------===//
+// Batch-driver convenience.
+//===----------------------------------------------------------------------===//
+
+/// Owns one grammar's full analysis pipeline up to the parse table,
+/// restoring the structural artifacts from \p Cache when possible and
+/// storing them after a cold build. GrammarAnalysis is always recomputed:
+/// it is a cheap fixpoint, and reconstructing it keeps the blob format
+/// small and the restore path simple.
+class AnalysisSession {
+public:
+  /// \p Cache may be null (caching disabled).
+  AnalysisSession(Grammar G, AutomatonKind Kind, const AnalysisCache *Cache);
+
+  const Grammar &grammar() const { return G; }
+  const GrammarAnalysis &analysis() const { return A; }
+  const Automaton &automaton() const { return *M; }
+  const ParseTable &table() const { return *T; }
+
+  /// True when automaton + table were restored rather than built.
+  bool analysisFromCache() const { return Probe.hit(); }
+  /// How the artifact load concluded (Disabled when no cache was given).
+  const CacheProbe &analysisProbe() const { return Probe; }
+
+private:
+  Grammar G;
+  GrammarAnalysis A;
+  std::unique_ptr<Automaton> M;
+  std::unique_ptr<ParseTable> T;
+  CacheProbe Probe;
+};
+
+} // namespace cache
+} // namespace lalrcex
+
+#endif // LALRCEX_CACHE_ANALYSISCACHE_H

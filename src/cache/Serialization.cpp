@@ -1,0 +1,101 @@
+//===- cache/Serialization.cpp ---------------------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/Serialization.h"
+
+#include <cstring>
+
+using namespace lalrcex::cache;
+
+void BlobWriter::u32(uint32_t V) {
+  for (unsigned I = 0; I != 4; ++I)
+    Buf.push_back(char(uint8_t(V >> (8 * I))));
+}
+
+void BlobWriter::u64(uint64_t V) {
+  for (unsigned I = 0; I != 8; ++I)
+    Buf.push_back(char(uint8_t(V >> (8 * I))));
+}
+
+void BlobWriter::f64(double V) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  u64(Bits);
+}
+
+void BlobWriter::str(const std::string &S) {
+  u64(S.size());
+  Buf.append(S);
+}
+
+void BlobWriter::bytes(const void *Data, size_t Size) {
+  Buf.append(static_cast<const char *>(Data), Size);
+}
+
+void BlobReader::fail(const char *Why) {
+  if (!Failed) {
+    Failed = true;
+    Err = Why;
+  }
+}
+
+bool BlobReader::take(void *Out, size_t N) {
+  if (Failed || size_t(End - P) < N) {
+    fail("blob truncated");
+    return false;
+  }
+  std::memcpy(Out, P, N);
+  P += N;
+  return true;
+}
+
+uint8_t BlobReader::u8() {
+  uint8_t V = 0;
+  take(&V, 1);
+  return V;
+}
+
+uint32_t BlobReader::u32() {
+  uint8_t Buf[4] = {};
+  if (!take(Buf, 4))
+    return 0;
+  uint32_t V = 0;
+  for (unsigned I = 0; I != 4; ++I)
+    V |= uint32_t(Buf[I]) << (8 * I);
+  return V;
+}
+
+uint64_t BlobReader::u64() {
+  uint8_t Buf[8] = {};
+  if (!take(Buf, 8))
+    return 0;
+  uint64_t V = 0;
+  for (unsigned I = 0; I != 8; ++I)
+    V |= uint64_t(Buf[I]) << (8 * I);
+  return V;
+}
+
+double BlobReader::f64() {
+  uint64_t Bits = u64();
+  double V = 0;
+  std::memcpy(&V, &Bits, sizeof(V));
+  return V;
+}
+
+std::string BlobReader::str() {
+  uint64_t N = u64();
+  if (Failed)
+    return std::string();
+  // The length prefix itself is untrusted: reject anything longer than
+  // the bytes actually present before allocating.
+  if (N > size_t(End - P)) {
+    fail("string length exceeds blob");
+    return std::string();
+  }
+  std::string S(reinterpret_cast<const char *>(P), size_t(N));
+  P += N;
+  return S;
+}

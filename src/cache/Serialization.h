@@ -1,0 +1,91 @@
+//===- cache/Serialization.h - Bounds-checked binary blobs -----*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte-level reader/writer pair under the persistent analysis cache.
+///
+/// The writer is canonical: a given logical value always produces the same
+/// bytes (fixed little-endian integers, length-prefixed strings, no
+/// padding), which is what makes save -> load -> save byte-identical and
+/// lets warm-vs-cold equality be checked with memcmp.
+///
+/// The reader is paranoid: cache blobs are untrusted input (truncated
+/// writes, bit rot, hostile files), so every read is bounds-checked and a
+/// failed read makes the reader sticky-failed and returns zero values
+/// instead of touching out-of-range memory. Callers check failed() once
+/// at the end of a section instead of after every field.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_CACHE_SERIALIZATION_H
+#define LALRCEX_CACHE_SERIALIZATION_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace lalrcex {
+namespace cache {
+
+/// Canonical little-endian blob writer (see file comment).
+class BlobWriter {
+public:
+  void u8(uint8_t V) { Buf.push_back(char(V)); }
+  void u32(uint32_t V);
+  void u64(uint64_t V);
+  /// IEEE-754 bit pattern; round-trips every value exactly.
+  void f64(double V);
+  /// Length-prefixed (u64) byte string.
+  void str(const std::string &S);
+  void bytes(const void *Data, size_t Size);
+
+  const std::string &buffer() const { return Buf; }
+  std::string take() { return std::move(Buf); }
+
+private:
+  std::string Buf;
+};
+
+/// Sticky-failing bounds-checked reader (see file comment).
+class BlobReader {
+public:
+  BlobReader(const void *Data, size_t Size)
+      : P(static_cast<const uint8_t *>(Data)),
+        End(static_cast<const uint8_t *>(Data) + Size) {}
+  explicit BlobReader(const std::string &Blob)
+      : BlobReader(Blob.data(), Blob.size()) {}
+
+  uint8_t u8();
+  uint32_t u32();
+  uint64_t u64();
+  double f64();
+  std::string str();
+
+  /// Marks the reader failed with \p Why (first failure wins). Also used
+  /// by deserializers for semantic validation ("production index out of
+  /// range"), so one error channel covers both syntax and semantics.
+  void fail(const char *Why);
+
+  bool failed() const { return Failed; }
+  /// Static description of the first failure; "" while healthy.
+  const char *error() const { return Err; }
+
+  size_t remaining() const { return size_t(End - P); }
+  bool atEnd() const { return P == End; }
+
+private:
+  bool take(void *Out, size_t N);
+
+  const uint8_t *P;
+  const uint8_t *End;
+  bool Failed = false;
+  const char *Err = "";
+};
+
+} // namespace cache
+} // namespace lalrcex
+
+#endif // LALRCEX_CACHE_SERIALIZATION_H

@@ -12,6 +12,7 @@
 
 #include "counterexample/CounterexampleFinder.h"
 
+#include "cache/AnalysisCache.h"
 #include "counterexample/Advisor.h"
 #include "support/Stopwatch.h"
 
@@ -70,13 +71,44 @@ FailureReason::Kind kindOfStop(GuardStop S) {
   return FailureReason::InternalError;
 }
 
+/// Folds a degraded cache probe into \p Activity as a structured
+/// FailureReason (first degradation wins; plain misses are ignored).
+void noteCacheProbe(CacheActivity &Activity, const cache::CacheProbe &P) {
+  if (!P.degraded() || Activity.Degradation)
+    return;
+  std::string Detail = cache::toString(P.Outcome);
+  if (!P.Detail.empty())
+    Detail += ": " + P.Detail;
+  Activity.Degradation = FailureReason{FailureReason::InternalError,
+                                       "cache-load", std::move(Detail)};
+}
+
 } // namespace
+
+StateItemGraph CounterexampleFinder::buildOrRestoreGraph(
+    const ParseTable &Table, const FinderOptions &Opts,
+    CacheActivity &Activity) {
+  if (Opts.CachePath.empty())
+    return StateItemGraph(Table.automaton());
+  cache::AnalysisCache Cache(Opts.CachePath);
+  std::optional<StateItemGraph> Restored;
+  cache::CacheProbe P = Cache.loadGraph(Table.automaton(), Restored);
+  if (P.hit()) {
+    Activity.GraphFromCache = true;
+    return std::move(*Restored);
+  }
+  noteCacheProbe(Activity, P);
+  StateItemGraph Built(Table.automaton());
+  Cache.storeGraph(Built);
+  return Built;
+}
 
 CounterexampleFinder::CounterexampleFinder(const ParseTable &Table,
                                            FinderOptions Opts)
     : Table(Table), G(Table.automaton().grammar()),
-      Graph(Table.automaton()), Nonunifying(Graph), Unifying(Graph),
-      Opts(Opts), Cumulative(cumulativeLimits(Opts), Opts.Cancellation) {}
+      Graph(buildOrRestoreGraph(Table, Opts, Cache)), Nonunifying(Graph),
+      Unifying(Graph), Opts(Opts),
+      Cumulative(cumulativeLimits(Opts), Opts.Cancellation) {}
 
 ConflictReport CounterexampleFinder::examine(const Conflict &C) {
   // Last-resort boundary: examineImpl degrades failures itself, but an
@@ -312,6 +344,23 @@ std::vector<ConflictReport> CounterexampleFinder::examineAll() {
   // Fresh cumulative guard per run; the caller's token is shared, so a
   // cancellation tripped earlier still applies.
   Cumulative.reset(cumulativeLimits(Opts), Opts.Cancellation);
+
+  // Warm path: a cached report set for this exact (grammar, automaton
+  // kind, options) key is returned verbatim — including the cold run's
+  // timing fields — so warm output is byte-identical to cold output.
+  AutomatonKind Kind = Table.automaton().kind();
+  Cache.ReportsFromCache = false;
+  if (!Opts.CachePath.empty()) {
+    cache::AnalysisCache ReportCache(Opts.CachePath);
+    std::vector<ConflictReport> Cached;
+    cache::CacheProbe P = ReportCache.loadReports(G, Kind, Opts, Cached);
+    if (P.hit()) {
+      Cache.ReportsFromCache = true;
+      return Cached;
+    }
+    noteCacheProbe(Cache, P);
+  }
+
   std::vector<Conflict> Reported = Table.reportedConflicts(Cumulative);
   std::vector<ConflictReport> Out(Reported.size());
 
@@ -321,42 +370,52 @@ std::vector<ConflictReport> CounterexampleFinder::examineAll() {
   if (Jobs <= 1) {
     for (size_t I = 0, E = Reported.size(); I != E; ++I)
       Out[I] = examine(Reported[I]);
-    return Out;
-  }
-
-  // Worker pool over an atomic index dispenser. The graph, analysis, and
-  // builders are read-only after construction; the cumulative guard is
-  // charged atomically; and each worker writes only Out[I] for indices it
-  // claimed, so reports land in conflict order without any reordering
-  // step. examine() never throws, but a worker still shields the pool so
-  // an unexpected exception degrades one report instead of terminating.
-  std::atomic<size_t> Next{0};
-  auto Work = [&] {
-    for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
-         I < Reported.size();
-         I = Next.fetch_add(1, std::memory_order_relaxed)) {
+  } else {
+    // Worker pool over an atomic index dispenser. The graph, analysis,
+    // and builders are read-only after construction; the cumulative guard
+    // is charged atomically; and each worker writes only Out[I] for
+    // indices it claimed, so reports land in conflict order without any
+    // reordering step. examine() never throws, but a worker still shields
+    // the pool so an unexpected exception degrades one report instead of
+    // terminating.
+    std::atomic<size_t> Next{0};
+    auto Work = [&] {
+      for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+           I < Reported.size();
+           I = Next.fetch_add(1, std::memory_order_relaxed)) {
+        try {
+          Out[I] = examine(Reported[I]);
+        } catch (...) {
+          Out[I].TheConflict = Reported[I];
+          Out[I].Status = CounterexampleStatus::Failed;
+          Out[I].Failure = FailureReason{FailureReason::InternalError,
+                                         "examine-all", "worker failure"};
+        }
+      }
+    };
+    std::vector<std::thread> Pool;
+    Pool.reserve(Jobs - 1);
+    for (unsigned T = 1; T < Jobs; ++T) {
       try {
-        Out[I] = examine(Reported[I]);
-      } catch (...) {
-        Out[I].TheConflict = Reported[I];
-        Out[I].Status = CounterexampleStatus::Failed;
-        Out[I].Failure = FailureReason{FailureReason::InternalError,
-                                       "examine-all", "worker failure"};
+        Pool.emplace_back(Work);
+      } catch (const std::system_error &) {
+        break; // thread exhaustion: degrade to fewer workers
       }
     }
-  };
-  std::vector<std::thread> Pool;
-  Pool.reserve(Jobs - 1);
-  for (unsigned T = 1; T < Jobs; ++T) {
-    try {
-      Pool.emplace_back(Work);
-    } catch (const std::system_error &) {
-      break; // thread exhaustion: degrade to fewer workers
-    }
+    Work(); // the calling thread is always worker 0
+    for (std::thread &T : Pool)
+      T.join();
   }
-  Work(); // the calling thread is always worker 0
-  for (std::thread &T : Pool)
-    T.join();
+
+  // Publish the report set unless cancellation truncated it: a cancelled
+  // run's reports are a function of *when* the token tripped, not of the
+  // (grammar, options) key, so caching them would serve nondeterministic
+  // bytes to later runs.
+  if (!Opts.CachePath.empty() &&
+      std::none_of(Out.begin(), Out.end(), [](const ConflictReport &R) {
+        return R.Status == CounterexampleStatus::Cancelled;
+      }))
+    cache::AnalysisCache(Opts.CachePath).storeReports(G, Kind, Opts, Out);
   return Out;
 }
 

@@ -66,6 +66,14 @@ struct FinderOptions {
   /// deterministic report fields are identical for every job count. 1
   /// preserves strictly serial examination.
   unsigned Jobs = 0;
+  /// Directory of the persistent analysis cache (cache/AnalysisCache.h);
+  /// empty disables caching. The constructor restores the state-item
+  /// graph from it and examineAll() serves warm report sets that are
+  /// byte-identical to a cold run; damaged or stale blobs degrade to a
+  /// cold recompute recorded in cacheActivity(), never a crash. Not part
+  /// of the cache key: two finders differing only in CachePath (or Jobs)
+  /// produce identical reports.
+  std::string CachePath;
 };
 
 /// How a conflict was explained; matches the Table 1 columns.
@@ -123,6 +131,19 @@ struct ConflictReport {
   std::optional<FailureReason> Failure;
 };
 
+/// What the persistent analysis cache did for one finder; all-false when
+/// FinderOptions::CachePath is empty.
+struct CacheActivity {
+  /// The state-item graph was restored instead of rebuilt.
+  bool GraphFromCache = false;
+  /// The last examineAll() returned a cached report set verbatim.
+  bool ReportsFromCache = false;
+  /// First damaged/unreadable blob encountered (stage "cache-load");
+  /// the affected artifact was recomputed cold. A plain miss is not a
+  /// degradation and is not recorded.
+  std::optional<FailureReason> Degradation;
+};
+
 /// Constructs counterexamples for the conflicts of one parse table.
 class CounterexampleFinder {
 public:
@@ -131,6 +152,10 @@ public:
 
   const StateItemGraph &graph() const { return Graph; }
   const FinderOptions &options() const { return Opts; }
+
+  /// How FinderOptions::CachePath participated so far (graph restore at
+  /// construction, report reuse per examineAll call, degradations).
+  const CacheActivity &cacheActivity() const { return Cache; }
 
   /// Explains a single conflict. Never throws: every failure mode
   /// degrades down the ladder (unifying -> nonunifying -> bare item-pair
@@ -160,8 +185,19 @@ public:
 private:
   ConflictReport examineImpl(const Conflict &C);
 
+  /// Restores the state-item graph from the cache when possible (storing
+  /// it after a cold build), recording hits and degradations in
+  /// \p Activity. Declared here so the Graph member can be initialized
+  /// through it without the header depending on cache/AnalysisCache.h.
+  static StateItemGraph buildOrRestoreGraph(const ParseTable &Table,
+                                            const FinderOptions &Opts,
+                                            CacheActivity &Activity);
+
   const ParseTable &Table;
   const Grammar &G;
+  /// Declared before Graph: buildOrRestoreGraph fills it during Graph's
+  /// initialization.
+  CacheActivity Cache;
   StateItemGraph Graph;
   NonunifyingBuilder Nonunifying;
   UnifyingSearch Unifying;

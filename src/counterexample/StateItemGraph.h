@@ -31,6 +31,10 @@
 
 namespace lalrcex {
 
+namespace cache {
+struct ArtifactAccess;
+}
+
 /// Precomputed node/edge tables over (state, item) pairs.
 class StateItemGraph {
 public:
@@ -125,6 +129,12 @@ private:
     /// Flattens per-node rows (used only during construction).
     static Csr fromRows(const std::vector<std::vector<NodeId>> &Rows);
   };
+
+  /// Cache restore: an empty shell whose tables the cache subsystem
+  /// fills from a validated blob (see Automaton::RestoreTag).
+  friend struct cache::ArtifactAccess;
+  struct RestoreTag {};
+  StateItemGraph(const Automaton &M, RestoreTag) : M(M) {}
 
   const Automaton &M;
   std::vector<NodeData> Nodes;

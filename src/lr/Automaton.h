@@ -33,6 +33,10 @@
 
 namespace lalrcex {
 
+namespace cache {
+struct ArtifactAccess;
+}
+
 /// Which parser state machine to construct.
 enum class AutomatonKind {
   /// LR(0) states with merged LALR(1) lookaheads (the paper's setting and
@@ -86,6 +90,15 @@ public:
   const IndexSet &lookahead(unsigned StateIndex, const Item &I) const;
 
 private:
+  /// Cache restore: constructs an empty shell whose States the cache
+  /// subsystem fills from a validated blob, skipping all three build
+  /// phases. Only reachable through the persistent analysis cache.
+  friend struct cache::ArtifactAccess;
+  struct RestoreTag {};
+  Automaton(const Grammar &G, const GrammarAnalysis &Analysis,
+            AutomatonKind Kind, RestoreTag)
+      : G(G), Analysis(Analysis), Kind(Kind) {}
+
   void buildLr0();
   void computeKernelLookaheads();
   void computeClosureLookaheads();

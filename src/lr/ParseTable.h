@@ -120,6 +120,12 @@ public:
   std::string checkExpectations() const;
 
 private:
+  /// Cache restore: an empty shell whose Actions/Conflicts the cache
+  /// subsystem fills from a validated blob (see Automaton::RestoreTag).
+  friend struct cache::ArtifactAccess;
+  struct RestoreTag {};
+  ParseTable(const Automaton &M, RestoreTag) : M(M) {}
+
   const Automaton &M;
   std::vector<Action> Actions;
   std::vector<Conflict> Conflicts;

@@ -40,6 +40,8 @@ enum class Kind : unsigned char {
   LssPathFailure,         ///< shortestLookaheadSensitivePath finds nothing
   NonunifyingBadAlloc,    ///< NonunifyingBuilder::build throws bad_alloc
   NonunifyingError,       ///< NonunifyingBuilder::build throws SearchError
+  CacheCorrupt,           ///< AnalysisCache treats the next blob read as
+                          ///< corrupt (forced cold recompute)
 };
 
 /// Arms one fault; any previously armed fault is replaced.

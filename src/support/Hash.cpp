@@ -1,0 +1,119 @@
+//===- support/Hash.cpp ----------------------------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Hash.h"
+
+#include <cstring>
+
+using namespace lalrcex;
+
+namespace {
+
+constexpr uint64_t M1 = 0x9E3779B97F4A7C15ULL; // golden-ratio odd constant
+constexpr uint64_t M2 = 0xC2B2AE3D27D4EB4FULL; // xxHash prime
+constexpr uint64_t M3 = 0x165667B19E3779F9ULL; // xxHash prime
+
+uint64_t rotl(uint64_t V, int S) { return (V << S) | (V >> (64 - S)); }
+
+/// SplitMix64 finalizer: full avalanche over one 64-bit lane.
+uint64_t avalanche(uint64_t V) {
+  V ^= V >> 30;
+  V *= 0xBF58476D1CE4E5B9ULL;
+  V ^= V >> 27;
+  V *= 0x94D049BB133111EBULL;
+  V ^= V >> 31;
+  return V;
+}
+
+} // namespace
+
+std::string Fingerprint128::hex() const {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Out;
+  Out.reserve(32);
+  for (uint64_t Lane : {Hi, Lo})
+    for (int Shift = 60; Shift >= 0; Shift -= 4)
+      Out += Digits[(Lane >> Shift) & 0xF];
+  return Out;
+}
+
+StableHasher::StableHasher() : A(M1 ^ 0x6C616C72ULL), B(M2 ^ 0x63657863ULL) {}
+
+void StableHasher::mixWord(uint64_t W) {
+  A = rotl(A ^ (W * M2), 31) * M1;
+  B = rotl(B + W, 29) * M3 + 0x27D4EB2F165667C5ULL;
+}
+
+void StableHasher::addBytes(const void *Data, size_t Size) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  Length += Size;
+  while (Size != 0) {
+    unsigned Take = unsigned(Size < 8 - PendingLen ? Size : 8 - PendingLen);
+    std::memcpy(Pending + PendingLen, P, Take);
+    PendingLen += Take;
+    P += Take;
+    Size -= Take;
+    if (PendingLen == 8) {
+      // Assemble explicitly little-endian so the stream is byte-order
+      // independent of the host.
+      uint64_t W = 0;
+      for (unsigned I = 0; I != 8; ++I)
+        W |= uint64_t(Pending[I]) << (8 * I);
+      mixWord(W);
+      PendingLen = 0;
+    }
+  }
+}
+
+void StableHasher::addU32(uint32_t V) {
+  uint8_t Buf[4];
+  for (unsigned I = 0; I != 4; ++I)
+    Buf[I] = uint8_t(V >> (8 * I));
+  addBytes(Buf, 4);
+}
+
+void StableHasher::addU64(uint64_t V) {
+  uint8_t Buf[8];
+  for (unsigned I = 0; I != 8; ++I)
+    Buf[I] = uint8_t(V >> (8 * I));
+  addBytes(Buf, 8);
+}
+
+void StableHasher::addF64(double V) {
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(V), "double is not 64-bit");
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  addU64(Bits);
+}
+
+void StableHasher::addString(const std::string &S) {
+  addU64(S.size());
+  addBytes(S.data(), S.size());
+}
+
+Fingerprint128 StableHasher::finish() const {
+  // Fold the partial word and total length without disturbing the
+  // streaming state, so finish() is repeatable.
+  uint64_t FA = A, FB = B;
+  uint64_t Tail = uint64_t(PendingLen) << 56;
+  for (unsigned I = 0; I != PendingLen; ++I)
+    Tail |= uint64_t(Pending[I]) << (8 * I);
+  FA = rotl(FA ^ (Tail * M2), 31) * M1;
+  FB = rotl(FB + Tail, 29) * M3;
+  FA ^= Length * M2;
+  FB += Length * M1;
+
+  Fingerprint128 F;
+  F.Lo = avalanche(FA + FB * M3);
+  F.Hi = avalanche(FB ^ rotl(FA, 23) ^ Length);
+  return F;
+}
+
+Fingerprint128 lalrcex::fingerprintBytes(const void *Data, size_t Size) {
+  StableHasher H;
+  H.addBytes(Data, Size);
+  return H.finish();
+}

@@ -1,0 +1,81 @@
+//===- support/Hash.h - Stable 128-bit content hashing ---------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A streaming, platform-stable 128-bit hash used for content-addressing
+/// the persistent analysis cache.
+///
+/// Stability is the whole point: the same logical input must fingerprint
+/// identically across processes, platforms, and compilers, so blobs
+/// written by one run are found by the next. Callers therefore feed
+/// explicit fields (integers in a fixed little-endian encoding,
+/// length-prefixed strings), never raw struct memory, and std::hash is
+/// never involved. The mixing is a two-lane multiply-xor-rotate
+/// construction in the xxHash/SplitMix family: not cryptographic, but
+/// with strong avalanche over 128 bits — ample for distinguishing
+/// grammars, where a collision merely serves a stale analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_SUPPORT_HASH_H
+#define LALRCEX_SUPPORT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace lalrcex {
+
+/// A 128-bit content fingerprint; value-comparable and hex-renderable
+/// (used as the cache's file name, so the cache is content-addressed).
+struct Fingerprint128 {
+  uint64_t Lo = 0;
+  uint64_t Hi = 0;
+
+  bool operator==(const Fingerprint128 &O) const {
+    return Lo == O.Lo && Hi == O.Hi;
+  }
+  bool operator!=(const Fingerprint128 &O) const { return !(*this == O); }
+
+  /// 32 lowercase hex digits, Hi lane first.
+  std::string hex() const;
+};
+
+/// Streaming stable hasher (see file comment). Feed fields, then
+/// finish(); finish() may be called repeatedly and does not perturb the
+/// stream state.
+class StableHasher {
+public:
+  StableHasher();
+
+  void addBytes(const void *Data, size_t Size);
+  void addU8(uint8_t V) { addBytes(&V, 1); }
+  void addU32(uint32_t V);
+  void addU64(uint64_t V);
+  /// Doubles hash by IEEE-754 bit pattern, so -0.0 != 0.0 and every NaN
+  /// payload is distinct; what matters is that equal stored values hash
+  /// equally.
+  void addF64(double V);
+  /// Length-prefixed, so ("ab","c") never collides with ("a","bc").
+  void addString(const std::string &S);
+
+  Fingerprint128 finish() const;
+
+private:
+  void mixWord(uint64_t W);
+
+  uint64_t A, B;
+  uint64_t Length = 0;
+  uint8_t Pending[8];
+  unsigned PendingLen = 0;
+};
+
+/// One-shot convenience, used for blob checksums.
+Fingerprint128 fingerprintBytes(const void *Data, size_t Size);
+
+} // namespace lalrcex
+
+#endif // LALRCEX_SUPPORT_HASH_H

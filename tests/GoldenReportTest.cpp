@@ -9,8 +9,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "TestUtil.h"
+#include "cache/AnalysisCache.h"
 
 #include <gtest/gtest.h>
+
+#include <filesystem>
 
 using namespace lalrcex;
 
@@ -91,6 +94,56 @@ TEST(GoldenReportTest, NonunifyingFigure3) {
             "  Derivation using shift:\n"
             "    S ::= [S ::= [T ::= [Y ::= [a • a b]]] T]\n");
 }
+
+/// Full-corpus snapshot equality through the cache: for every corpus
+/// grammar, the rendered report text must be identical between a cold run
+/// and warm runs at Jobs 1 and 4. This pins the entire user-visible
+/// output surface across the persistence layer — any serialization field
+/// that fails to round-trip shows up as a render diff here.
+class CorpusGoldenTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorpusGoldenTest, WarmRenderMatchesCold) {
+  const CorpusEntry &E = corpus()[size_t(GetParam())];
+  std::string Dir = ::testing::TempDir() + "lalrcex_golden_" +
+                    std::to_string(GetParam());
+  std::filesystem::remove_all(Dir);
+  BuiltGrammar B = BuiltGrammar::fromCorpus(E.Name);
+
+  // Deterministic budgets (step caps only) so cold output is repeatable
+  // and the full corpus stays fast.
+  FinderOptions Opts;
+  Opts.ConflictTimeLimitSeconds = 0;
+  Opts.CumulativeTimeLimitSeconds = 0;
+  Opts.MaxConfigurations = 20'000;
+  Opts.CachePath = Dir;
+  Opts.Jobs = 1;
+
+  CounterexampleFinder Cold(B.T, Opts);
+  std::vector<ConflictReport> ColdReports = Cold.examineAll();
+  ASSERT_FALSE(Cold.cacheActivity().ReportsFromCache) << E.Name;
+  std::string ColdText;
+  for (const ConflictReport &R : ColdReports)
+    ColdText += Cold.render(R);
+
+  for (unsigned Jobs : {1u, 4u}) {
+    FinderOptions WarmOpts = Opts;
+    WarmOpts.Jobs = Jobs;
+    CounterexampleFinder Warm(B.T, WarmOpts);
+    std::vector<ConflictReport> WarmReports = Warm.examineAll();
+    EXPECT_TRUE(Warm.cacheActivity().ReportsFromCache)
+        << E.Name << " Jobs=" << Jobs;
+    ASSERT_EQ(WarmReports.size(), ColdReports.size()) << E.Name;
+    std::string WarmText;
+    for (const ConflictReport &R : WarmReports)
+      WarmText += Warm.render(R);
+    EXPECT_EQ(WarmText, ColdText)
+        << E.Name << ": warm render diverges at Jobs=" << Jobs;
+  }
+  std::filesystem::remove_all(Dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CorpusGoldenTest,
+                         ::testing::Range(0, int(corpus().size())));
 
 TEST(GoldenReportTest, MergeArtifactNote) {
   BuiltGrammar B = BuiltGrammar::fromText(R"(

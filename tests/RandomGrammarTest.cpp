@@ -11,6 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "RandomGrammar.h"
 #include "TestUtil.h"
 #include "earley/DerivationCounter.h"
 #include "grammar/GrammarPrinter.h"
@@ -18,47 +19,10 @@
 #include <gtest/gtest.h>
 
 using namespace lalrcex;
+using lalrcex::testing::randomGrammarText;
+using lalrcex::testing::Rng;
 
 namespace {
-
-/// Deterministic xorshift-style generator (seeded per test).
-struct Rng {
-  uint64_t S;
-  explicit Rng(uint64_t Seed) : S(Seed * 0x9E3779B97F4A7C15ULL + 1) {}
-  unsigned next(unsigned Bound) {
-    S ^= S << 13;
-    S ^= S >> 7;
-    S ^= S << 17;
-    return unsigned(S % Bound);
-  }
-};
-
-/// Builds a random grammar: NumNts nonterminals n0..nk, NumTs terminals
-/// t0..tj, each nonterminal getting 1-3 productions of length 0-4 drawn
-/// from the full symbol pool. n0 is the start symbol.
-std::string randomGrammarText(uint64_t Seed, unsigned NumNts,
-                              unsigned NumTs) {
-  Rng R(Seed);
-  std::string Out = "%%\n";
-  for (unsigned N = 0; N != NumNts; ++N) {
-    Out += "n" + std::to_string(N) + " :";
-    unsigned Prods = 1 + R.next(3);
-    for (unsigned P = 0; P != Prods; ++P) {
-      if (P != 0)
-        Out += " |";
-      unsigned Len = R.next(5);
-      for (unsigned L = 0; L != Len; ++L) {
-        // Bias toward terminals so most grammars are productive.
-        if (R.next(10) < 6)
-          Out += " t" + std::to_string(R.next(NumTs));
-        else
-          Out += " n" + std::to_string(R.next(NumNts));
-      }
-    }
-    Out += " ;\n";
-  }
-  return Out;
-}
 
 class RandomGrammarTest : public ::testing::TestWithParam<int> {};
 
