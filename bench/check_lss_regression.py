@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Gate the lookahead-sensitive search's perf against a committed baseline.
+
+Compares the "lss-pooled" rows of a freshly produced BENCH_micro_search.json
+against the committed bench/baselines/BENCH_micro_search.json and fails
+(exit 1) when the search regressed by more than --max-ratio.
+
+CI machines are not the machine the baseline was recorded on, so raw
+wall-clock comparisons would flap. By default each lss-pooled time is
+therefore normalized by the same run's "lss-reference" time (the retained
+pre-pool BFS measured in the same process on the same grammar): the gated
+quantity is the pooled/reference speedup ratio, which is stable across
+machine speeds. --absolute compares raw wall_ms_serial instead, for use on
+a pinned perf box.
+
+Usage:
+  check_lss_regression.py <baseline.json> <current.json> [--max-ratio 1.5]
+                          [--absolute]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    with open(path) as f:
+        data = json.load(f)
+    records = {}
+    for rec in data.get("records", []):
+        records[(rec.get("name"), rec.get("grammar"))] = rec
+    return records
+
+
+def metric(records, grammar, absolute):
+    pooled = records.get(("lss-pooled", grammar))
+    if pooled is None:
+        return None
+    if absolute:
+        return pooled["wall_ms_serial"]
+    reference = records.get(("lss-reference", grammar))
+    if reference is None or reference["wall_ms_serial"] <= 0:
+        return None
+    return pooled["wall_ms_serial"] / reference["wall_ms_serial"]
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--max-ratio", type=float, default=1.5,
+                    help="fail when current/baseline exceeds this (default 1.5)")
+    ap.add_argument("--absolute", action="store_true",
+                    help="compare raw wall_ms_serial instead of the "
+                         "reference-normalized speedup")
+    args = ap.parse_args()
+
+    base = load_records(args.baseline)
+    cur = load_records(args.current)
+
+    grammars = sorted({g for (name, g) in base if name == "lss-pooled"})
+    if not grammars:
+        print(f"error: no lss-pooled records in {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    unit = "ms" if args.absolute else "x-of-reference"
+    failed = False
+    for grammar in grammars:
+        b = metric(base, grammar, args.absolute)
+        c = metric(cur, grammar, args.absolute)
+        if b is None or b <= 0:
+            print(f"  {grammar}: unusable baseline metric, skipping")
+            continue
+        if c is None:
+            print(f"error: {args.current} has no usable lss rows for "
+                  f"'{grammar}'", file=sys.stderr)
+            failed = True
+            continue
+        ratio = c / b
+        verdict = "OK" if ratio <= args.max_ratio else "REGRESSED"
+        if verdict == "REGRESSED":
+            failed = True
+        print(f"  {grammar}: baseline {b:.4f} {unit}, current {c:.4f} {unit}"
+              f" -> ratio {ratio:.2f} (limit {args.max_ratio:.2f}) {verdict}")
+    if failed:
+        print("lss perf regression gate FAILED", file=sys.stderr)
+        return 1
+    print("lss perf regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,6 +59,21 @@ void BM_BuildAutomaton(benchmark::State &State) {
 }
 BENCHMARK(BM_BuildAutomaton)->DenseRange(0, 4);
 
+void BM_BuildAutomatonBaseline(benchmark::State &State) {
+  // The pre-pool IndexSet fixpoints (AutomatonOptions::PooledSets off).
+  const CorpusEntry *E = findCorpusEntry(grammarFor(int(State.range(0))));
+  Grammar G = *parseGrammarText(E->Text);
+  GrammarAnalysis A(G);
+  AutomatonOptions Opts;
+  Opts.PooledSets = false;
+  for (auto _ : State) {
+    Automaton M(G, A, Opts);
+    benchmark::DoNotOptimize(M.numStates());
+  }
+  State.SetLabel(E->Name);
+}
+BENCHMARK(BM_BuildAutomatonBaseline)->DenseRange(0, 4);
+
 void BM_BuildParseTable(benchmark::State &State) {
   const CorpusEntry *E = findCorpusEntry(grammarFor(int(State.range(0))));
   Grammar G = *parseGrammarText(E->Text);
@@ -157,6 +172,12 @@ void constructionRecords(const char *Name,
        }));
   Push("build-automaton", minWallMs([&] {
          Automaton M2(G, A);
+         benchmark::DoNotOptimize(M2.numStates());
+       }));
+  AutomatonOptions Baseline;
+  Baseline.PooledSets = false;
+  Push("build-automaton-baseline", minWallMs([&] {
+         Automaton M2(G, A, Baseline);
          benchmark::DoNotOptimize(M2.numStates());
        }));
   Push("build-parse-table", minWallMs([&] {

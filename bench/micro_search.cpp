@@ -50,6 +50,17 @@ void BM_ShortestLookaheadSensitivePath(benchmark::State &State) {
 }
 BENCHMARK(BM_ShortestLookaheadSensitivePath);
 
+void BM_ShortestLookaheadSensitivePathReference(benchmark::State &State) {
+  // The retained pre-pool BFS, for pooled-vs-baseline comparison.
+  ConflictSetup S("figure1", "else");
+  for (auto _ : State) {
+    auto Path = shortestLookaheadSensitivePathReference(
+        *S.Graph, S.ReduceNode, S.C.Token);
+    benchmark::DoNotOptimize(Path->Steps.size());
+  }
+}
+BENCHMARK(BM_ShortestLookaheadSensitivePathReference);
+
 void BM_NonunifyingCounterexample(benchmark::State &State) {
   ConflictSetup S("figure3", "a");
   NonunifyingBuilder Builder(*S.Graph);
@@ -142,6 +153,59 @@ BenchRecord searchRecord(const char *Name, const char *Grammar,
   return R;
 }
 
+/// Shortest lookahead-sensitive path over every reported conflict of one
+/// grammar: the pooled rewrite ("lss-pooled") vs. the retained reference
+/// BFS ("lss-reference"). The two rows share a grammar and step count, so
+/// baseline comparisons divide their wall_ms_serial fields directly; the
+/// CI perf smoke checks lss-pooled against bench/baselines.
+void lssRecords(const char *Grammar, std::vector<BenchRecord> &Records) {
+  auto B = buildEntry(*findCorpusEntry(Grammar));
+  StateItemGraph Graph(B->M);
+  std::vector<std::pair<StateItemGraph::NodeId, Symbol>> Conflicts;
+  for (const Conflict &C : B->T.reportedConflicts())
+    Conflicts.emplace_back(Graph.nodeFor(C.State, C.reduceItem(B->G)),
+                           C.Token);
+
+  size_t PooledSteps = 0;
+  double PooledMs = minWallMs([&] {
+    PooledSteps = 0;
+    for (const auto &[Node, Token] : Conflicts) {
+      auto Path = shortestLookaheadSensitivePath(Graph, Node, Token);
+      PooledSteps += Path ? Path->Steps.size() : 0;
+    }
+  });
+  size_t RefSteps = 0;
+  double RefMs = minWallMs([&] {
+    RefSteps = 0;
+    for (const auto &[Node, Token] : Conflicts) {
+      auto Path =
+          shortestLookaheadSensitivePathReference(Graph, Node, Token);
+      RefSteps += Path ? Path->Steps.size() : 0;
+    }
+  });
+  if (PooledSteps != RefSteps)
+    std::fprintf(stderr,
+                 "warning: pooled/reference LSS step totals differ on %s "
+                 "(%zu vs %zu)\n",
+                 Grammar, PooledSteps, RefSteps);
+
+  BenchRecord Pooled;
+  Pooled.Name = "lss-pooled";
+  Pooled.Grammar = Grammar;
+  Pooled.Conflicts = Conflicts.size();
+  Pooled.WallMsSerial = PooledMs;
+  Pooled.Configurations = PooledSteps;
+  Records.push_back(Pooled);
+
+  BenchRecord Ref;
+  Ref.Name = "lss-reference";
+  Ref.Grammar = Grammar;
+  Ref.Conflicts = Conflicts.size();
+  Ref.WallMsSerial = RefMs;
+  Ref.Configurations = RefSteps;
+  Records.push_back(Ref);
+}
+
 /// examineAll over a whole grammar, serial vs. a small worker pool.
 BenchRecord examineAllRecord(const char *Grammar, unsigned Jobs) {
   auto B = buildEntry(*findCorpusEntry(Grammar));
@@ -190,6 +254,10 @@ int main(int argc, char **argv) {
   Records.push_back(
       searchRecord("unifying-challenging", "figure1", "digit"));
   Records.push_back(examineAllRecord("C.1", 4));
+  lssRecords("figure1", Records);
+  lssRecords("Pascal.1", Records);
+  lssRecords("C.1", Records);
+  lssRecords("Java.1", Records);
   writeBenchRecords("micro_search", Records);
   return 0;
 }

@@ -16,6 +16,9 @@
 //     -memory-mb <n>      accounted memory budget per unifying search
 //     -jobs <n>           worker threads for conflict examination
 //                         (default: hardware concurrency; 1 = serial)
+//     -lss-stats          print per-conflict lookahead-sensitive search
+//                         stats (pool occupancy, union-cache hit rate,
+//                         dominance-check counts)
 //     -canonical          use a canonical LR(1) automaton (no LALR merging)
 //     -dump               print the automaton states (Figure 2 style)
 //     -print              echo the normalized grammar and exit
@@ -41,8 +44,8 @@ static int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [-extendedsearch] [-nonunifying] "
                "[-timeout <sec>] [-cumulative <sec>] [-steps <n>] "
-               "[-memory-mb <n>] [-jobs <n>] [-canonical] [-dump] [-print] "
-               "[-list] <grammar-file | corpus:NAME>\n",
+               "[-memory-mb <n>] [-jobs <n>] [-lss-stats] [-canonical] "
+               "[-dump] [-print] [-list] <grammar-file | corpus:NAME>\n",
                Prog);
   return 2;
 }
@@ -79,6 +82,8 @@ int main(int argc, char **argv) {
       if (++I == argc)
         return usage(argv[0]);
       Opts.Jobs = unsigned(std::atoi(argv[I]));
+    } else if (Arg == "-lss-stats") {
+      Opts.CollectLssStats = true;
     } else if (Arg == "-dump") {
       Dump = true;
     } else if (Arg == "-print") {
@@ -165,6 +170,19 @@ int main(int argc, char **argv) {
                   R.Failure->Stage.c_str(),
                   R.Failure->Detail.empty() ? "" : ": ",
                   R.Failure->Detail.c_str());
+    if (R.Lss) {
+      const LssStats &S = *R.Lss;
+      double HitRate = S.UnionCalls
+                           ? 100.0 * double(S.UnionCacheHits) /
+                                 double(S.UnionCalls)
+                           : 0.0;
+      std::printf("  [lss: %zu expanded, %zu enqueued, %zu pruned by "
+                  "dominance (%zu subset checks); pool %zu wide sets / "
+                  "%zu arena bytes; union cache %zu/%zu hits (%.1f%%)]\n",
+                  S.Expanded, S.Enqueued, S.DominancePruned, S.SubsetChecks,
+                  S.PoolWideSets, S.PoolArenaBytes, S.UnionCacheHits,
+                  S.UnionCalls, HitRate);
+    }
     std::printf("\n");
   }
   std::printf("examined %zu conflicts with %u worker thread(s); "

@@ -360,6 +360,10 @@ struct ArtifactAccess {
 
     if (R.failed())
       return std::nullopt;
+    // Tables validated against the automaton: derive the pooled node
+    // lookahead ids exactly as the build path does (ids are in-memory
+    // only; blobs stay structural, so fingerprints are unaffected).
+    Graph.internNodeLookaheads();
     return Graph;
   }
 };

@@ -196,10 +196,14 @@ ConflictReport CounterexampleFinder::examineImpl(const Conflict &C) {
   LssLimits.WallPollPeriod = Opts.WallPollPeriod;
   ResourceGuard LssGuard(LssLimits, Opts.Cancellation);
   std::optional<LssPath> Path;
+  LssStats PathStats;
   try {
-    Path = shortestLookaheadSensitivePath(Graph, ReduceNode, C.Token,
-                                          /*PruneToReaching=*/true,
-                                          &LssGuard);
+    Path = shortestLookaheadSensitivePath(
+        Graph, ReduceNode, C.Token,
+        /*PruneToReaching=*/true, &LssGuard,
+        Opts.CollectLssStats ? &PathStats : nullptr);
+    if (Opts.CollectLssStats)
+      Report.Lss = PathStats;
   } catch (const SearchError &E) {
     fail(FailureReason::InternalError, "lss-path", E.what());
     return finish();

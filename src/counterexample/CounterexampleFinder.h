@@ -22,6 +22,7 @@
 #define LALRCEX_COUNTEREXAMPLE_COUNTEREXAMPLEFINDER_H
 
 #include "counterexample/Counterexample.h"
+#include "counterexample/LookaheadSensitiveSearch.h"
 #include "counterexample/NonunifyingBuilder.h"
 #include "counterexample/StateItemGraph.h"
 #include "counterexample/UnifyingSearch.h"
@@ -66,6 +67,10 @@ struct FinderOptions {
   /// deterministic report fields are identical for every job count. 1
   /// preserves strictly serial examination.
   unsigned Jobs = 0;
+  /// Collect per-conflict LssStats (pool occupancy, union-cache hit rate,
+  /// dominance-check counts) into ConflictReport::Lss. Observability
+  /// only: never changes reports or rendering.
+  bool CollectLssStats = false;
   /// Directory of the persistent analysis cache (cache/AnalysisCache.h);
   /// empty disables caching. The constructor restores the state-item
   /// graph from it and examineAll() serves warm report sets that are
@@ -129,6 +134,9 @@ struct ConflictReport {
   /// Why the report was degraded (set for every status except
   /// UnifyingFound / NonunifyingComplete).
   std::optional<FailureReason> Failure;
+  /// Lookahead-sensitive search counters; only populated when
+  /// FinderOptions::CollectLssStats is set. Not rendered in reports.
+  std::optional<LssStats> Lss;
 };
 
 /// What the persistent analysis cache did for one finder; all-false when

@@ -7,6 +7,7 @@
 #include "counterexample/LookaheadSensitiveSearch.h"
 
 #include "support/FaultInjection.h"
+#include "support/TerminalSetPool.h"
 
 #include <algorithm>
 #include <deque>
@@ -23,6 +24,188 @@ std::vector<StateItemGraph::NodeId> LssPath::nodes() const {
   return Out;
 }
 
+//===----------------------------------------------------------------------===//
+// Pooled search
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A discovered vertex: a (node, pooled lookahead id) pair linked to its
+/// BFS parent. 16 bytes flat in the vertex arena, vs a node id plus a
+/// heap-allocated bitset copy in the reference implementation.
+struct PooledVertex {
+  StateItemGraph::NodeId Node;
+  TerminalSetPool::SetId L;
+  int32_t Parent;
+  LssStep::Kind EdgeKind;
+};
+
+} // namespace
+
+std::optional<LssPath> lalrcex::shortestLookaheadSensitivePath(
+    const StateItemGraph &Graph, StateItemGraph::NodeId ConflictNode,
+    Symbol ConflictTerm, bool PruneToReaching, ResourceGuard *Guard,
+    LssStats *Stats) {
+  const Automaton &M = Graph.automaton();
+  const Grammar &G = M.grammar();
+  const GrammarAnalysis &Analysis = M.analysis();
+
+  if (LALRCEX_FAULT_FIRES(LssPathFailure, 0))
+    return std::nullopt;
+  if (ConflictNode >= Graph.numNodes())
+    throw SearchError("lss path: conflict node out of range");
+
+  // Only explore state-items that can reach the conflict item at all.
+  std::vector<bool> Relevant =
+      PruneToReaching ? Graph.nodesReaching(ConflictNode)
+                      : std::vector<bool>(Graph.numNodes(), true);
+
+  StateItemGraph::NodeId StartNode =
+      Graph.nodeFor(M.startState(), Item(G.augmentedProduction(), 0));
+  if (StartNode == StateItemGraph::InvalidNode)
+    throw SearchError("lss path: start item missing from start state");
+
+  // Thread-local overlay over the graph's frozen pool; the guard is
+  // charged for everything the search interns.
+  TerminalSetPool Pool = TerminalSetPool::overlay(Graph.pool(), Guard);
+
+  size_t Expanded = 0, Enqueued = 0, Pruned = 0;
+  auto finish = [&] {
+    if (!Stats)
+      return;
+    Stats->Expanded = Expanded;
+    Stats->Enqueued = Enqueued;
+    Stats->DominancePruned = Pruned;
+    Stats->SubsetChecks = Pool.stats().SubsetChecks;
+    Stats->PoolWideSets = Pool.stats().WideSets;
+    Stats->PoolArenaBytes = Pool.stats().ArenaBytes;
+    Stats->UnionCalls = Pool.stats().UnionCalls;
+    Stats->UnionCacheHits = Pool.stats().UnionCacheHits;
+  };
+
+  if (!Relevant[StartNode]) {
+    finish();
+    return std::nullopt;
+  }
+
+  std::vector<PooledVertex> Vertices;
+  // Per-node dominance frontier: the maximal lookahead ids admitted so
+  // far. A candidate covered by any admitted set is pruned; DESIGN.md §5e
+  // proves the surviving BFS still finds the reference path exactly.
+  std::vector<std::vector<TerminalSetPool::SetId>> Frontier(Graph.numNodes());
+  // Per-node union of all admitted elements, as raw words. L ⊆ some Prev
+  // requires L ⊆ union, so a failed mask probe admits without scanning
+  // the frontier; for |L| <= 1 the mask answer is exact (an element in
+  // the union is in some one admitted set). Only genuinely ambiguous
+  // candidates pay the linear containsAll scan.
+  const unsigned MaskWords = Pool.wordsPerSet();
+  std::vector<uint64_t> UnionMask(size_t(Graph.numNodes()) * MaskWords, 0);
+
+  // Unit edge costs make Dial's bucket queue two flat buckets: the depth
+  // being drained and the depth being filled. Draining front-to-back
+  // reproduces the reference BFS's FIFO order exactly.
+  std::vector<int32_t> Buckets[2];
+  std::vector<int32_t> *CurB = &Buckets[0], *NextB = &Buckets[1];
+
+  auto enqueue = [&](StateItemGraph::NodeId Node, TerminalSetPool::SetId L,
+                     int32_t Parent, LssStep::Kind Kind) {
+    std::vector<TerminalSetPool::SetId> &Seen = Frontier[Node];
+    uint64_t *Mask = &UnionMask[size_t(Node) * MaskWords];
+    if (!Seen.empty() && Pool.coveredByWords(L, Mask)) {
+      if (Pool.count(L) <= 1) {
+        // Exact via the mask: each element of L sits in some admitted
+        // set, and a set of at most one element needs only one of them.
+        ++Pruned;
+        return;
+      }
+      for (TerminalSetPool::SetId Prev : Seen) {
+        if (Pool.containsAll(Prev, L)) {
+          ++Pruned;
+          return;
+        }
+      }
+    }
+    // L is new and maximal; admitted sets it covers are now redundant
+    // (anything they would prune, L prunes too). The mask needs no
+    // repair: removed sets are subsets of L, which stays admitted.
+    Seen.erase(std::remove_if(Seen.begin(), Seen.end(),
+                              [&](TerminalSetPool::SetId Prev) {
+                                return Pool.containsAll(L, Prev);
+                              }),
+               Seen.end());
+    Seen.push_back(L);
+    Pool.addToWords(L, Mask);
+    Vertices.push_back(PooledVertex{Node, L, Parent, Kind});
+    NextB->push_back(int32_t(Vertices.size()) - 1);
+    ++Enqueued;
+  };
+
+  enqueue(StartNode, Pool.singleton(G.eof().id()), -1, LssStep::Start);
+  std::swap(CurB, NextB); // the start vertex is depth 0
+
+  int32_t Goal = -1;
+  while (!CurB->empty() && Goal < 0) {
+    for (size_t H = 0; H != CurB->size() && Goal < 0; ++H) {
+      // The BFS is polynomial and fast, but a cancelled or exhausted
+      // guard must still be able to stop it (the "never hang" contract).
+      if (Guard && Guard->step() != GuardStop::None) {
+        finish();
+        return std::nullopt;
+      }
+      int32_t VI = (*CurB)[H];
+      ++Expanded;
+      StateItemGraph::NodeId N = Vertices[VI].Node;
+      TerminalSetPool::SetId L = Vertices[VI].L;
+
+      // Goal test.
+      if (N == ConflictNode && Pool.contains(L, ConflictTerm.id())) {
+        Goal = VI;
+        break;
+      }
+
+      // Transition edge: the precise lookahead set is preserved (and so
+      // is its id — no copy).
+      StateItemGraph::NodeId Succ = Graph.forwardTransition(N);
+      if (Succ != StateItemGraph::InvalidNode && Relevant[Succ])
+        enqueue(Succ, L, VI, LssStep::Transition);
+
+      // Production-step edges: L becomes followL(item) (paper §4), one
+      // memoized table lookup plus at most one cached union.
+      const Item &Itm = Graph.itemOf(N);
+      Symbol Next = Itm.afterDot(G);
+      if (Next.valid() && G.isNonterminal(Next)) {
+        TerminalSetPool::SetId Follow =
+            Analysis.firstOfSequenceId(Itm.Prod, Itm.Dot + 1);
+        if (Analysis.suffixNullable(Itm.Prod, Itm.Dot + 1))
+          Follow = Pool.unionSets(Follow, L);
+        for (StateItemGraph::NodeId Step : Graph.productionSteps(N)) {
+          if (!Relevant[Step])
+            continue;
+          enqueue(Step, Follow, VI, LssStep::Production);
+        }
+      }
+    }
+    CurB->clear();
+    std::swap(CurB, NextB);
+  }
+
+  finish();
+  if (Goal < 0)
+    return std::nullopt;
+
+  LssPath Path;
+  for (int32_t VI = Goal; VI >= 0; VI = Vertices[VI].Parent)
+    Path.Steps.push_back(LssStep{Vertices[VI].Node, Vertices[VI].EdgeKind,
+                                 Pool.materialize(Vertices[VI].L)});
+  std::reverse(Path.Steps.begin(), Path.Steps.end());
+  return Path;
+}
+
+//===----------------------------------------------------------------------===//
+// Reference implementation (pre-pool), retained for equivalence testing
+// and the pooled-vs-baseline benchmark sections.
+//===----------------------------------------------------------------------===//
+
 namespace {
 
 /// A discovered vertex of the lookahead-sensitive graph, linked to its BFS
@@ -36,7 +219,7 @@ struct Vertex {
 
 } // namespace
 
-std::optional<LssPath> lalrcex::shortestLookaheadSensitivePath(
+std::optional<LssPath> lalrcex::shortestLookaheadSensitivePathReference(
     const StateItemGraph &Graph, StateItemGraph::NodeId ConflictNode,
     Symbol ConflictTerm, bool PruneToReaching, ResourceGuard *Guard) {
   const Automaton &M = Graph.automaton();

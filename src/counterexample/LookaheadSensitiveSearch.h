@@ -16,6 +16,16 @@
 /// visiting only state-items from which the conflict item is reachable
 /// (the §6 pruning).
 ///
+/// The production implementation runs on hash-consed TerminalSetPool ids:
+/// vertices carry a canonical SetId instead of a copied bitset, the FIFO
+/// is a two-bucket Dial queue over flat arrays, per-node visited sets are
+/// dominance frontiers (a vertex is pruned when an earlier vertex at the
+/// same node already covers its lookahead set — see DESIGN.md §5e for the
+/// proof this preserves the exact path the plain BFS finds), and followL
+/// is one cached union over the analysis's memoized suffix-FIRST tables.
+/// The pre-pool BFS is retained as shortestLookaheadSensitivePathReference
+/// for the equivalence tests and the pooled-vs-baseline benchmarks.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LALRCEX_COUNTEREXAMPLE_LOOKAHEADSENSITIVESEARCH_H
@@ -52,6 +62,20 @@ struct LssPath {
   std::vector<StateItemGraph::NodeId> nodes() const;
 };
 
+/// Observability counters for one lookahead-sensitive search (surfaced by
+/// grammar_debugger -lss-stats and the microbenchmarks). Never affects
+/// the search result.
+struct LssStats {
+  size_t Expanded = 0;        ///< vertices popped from the queue
+  size_t Enqueued = 0;        ///< vertices admitted to the frontier
+  size_t DominancePruned = 0; ///< candidates covered by an earlier vertex
+  size_t SubsetChecks = 0;    ///< pooled containsAll dominance probes
+  size_t PoolWideSets = 0;    ///< wide sets interned by this search
+  size_t PoolArenaBytes = 0;  ///< arena bytes owned by this search's pool
+  size_t UnionCalls = 0;      ///< non-trivial pooled unions requested
+  size_t UnionCacheHits = 0;  ///< of which answered from the union cache
+};
+
 /// Finds the shortest lookahead-sensitive path from the start item to
 /// (\p ConflictNode, L) with \p ConflictTerm in L. \returns nullopt only
 /// if the conflict item is unreachable (which would indicate an automaton
@@ -59,15 +83,28 @@ struct LssPath {
 /// \p PruneToReaching restricts the search to state-items from which the
 /// conflict item is reachable (the paper's §6 optimization); disabling it
 /// exists for the ablation benchmark.
-/// \p Guard, when given, is charged one step per expanded vertex; if it
-/// trips (cancellation, cumulative budget), the search stops and returns
-/// nullopt — callers degrade to a bare item-pair report.
+/// \p Guard, when given, is charged one step per expanded vertex and for
+/// the search pool's memory; if it trips (cancellation, cumulative
+/// budget), the search stops and returns nullopt — callers degrade to a
+/// bare item-pair report.
+/// \p Stats, when given, receives the search's counters.
 std::optional<LssPath>
 shortestLookaheadSensitivePath(const StateItemGraph &Graph,
                                StateItemGraph::NodeId ConflictNode,
                                Symbol ConflictTerm,
                                bool PruneToReaching = true,
-                               ResourceGuard *Guard = nullptr);
+                               ResourceGuard *Guard = nullptr,
+                               LssStats *Stats = nullptr);
+
+/// The pre-pool reference implementation (plain BFS, per-vertex IndexSet
+/// copies, exact-equality visited sets). Kept verbatim so the equivalence
+/// test and the pooled-vs-baseline benchmark can compare against it.
+std::optional<LssPath>
+shortestLookaheadSensitivePathReference(const StateItemGraph &Graph,
+                                        StateItemGraph::NodeId ConflictNode,
+                                        Symbol ConflictTerm,
+                                        bool PruneToReaching = true,
+                                        ResourceGuard *Guard = nullptr);
 
 } // namespace lalrcex
 

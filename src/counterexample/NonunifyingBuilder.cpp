@@ -267,8 +267,8 @@ NonunifyingBuilder::bridgeToOtherItem(const LssPath &Path,
     const Production &Prod = G.production(Itm.Prod);
     size_t From = FirstEdge == LssStep::Production ? Itm.Dot + 1
                                                    : Prod.Rhs.size();
-    return Analysis.sequenceCanBeginWith(Prod.Rhs, From, ConflictTerm,
-                                         &Steps[P].Lookaheads);
+    return Analysis.suffixCanBeginWith(Itm.Prod, unsigned(From), ConflictTerm,
+                                       &Steps[P].Lookaheads);
   };
 
   // Vertices carry a "satisfied" bit: whether the conflict terminal is
@@ -300,9 +300,8 @@ NonunifyingBuilder::bridgeToOtherItem(const LssPath &Path,
     // production; a reduce item (reduce/reduce conflicts) relies on outer
     // frames.
     const Item &OtherItm = Graph.itemOf(OtherNode);
-    const Production &P = G.production(OtherItm.Prod);
     bool Sat0 =
-        Analysis.sequenceCanBeginWith(P.Rhs, OtherItm.Dot, ConflictTerm);
+        Analysis.suffixCanBeginWith(OtherItm.Prod, OtherItm.Dot, ConflictTerm);
     enqueue(OtherNode, TotalTrans, Sat0, -1, LssStep::Start);
   }
 
@@ -333,11 +332,10 @@ NonunifyingBuilder::bridgeToOtherItem(const LssPath &Path,
       bool Sat = V.Sat;
       if (!Sat) {
         const Item &SrcItm = Graph.itemOf(Src);
-        const Production &P = G.production(SrcItm.Prod);
-        if (Analysis.sequenceCanBeginWith(P.Rhs, SrcItm.Dot + 1,
-                                          ConflictTerm))
+        if (Analysis.suffixCanBeginWith(SrcItm.Prod, SrcItm.Dot + 1,
+                                        ConflictTerm))
           Sat = true;
-        else if (!Analysis.sequenceNullable(P.Rhs, SrcItm.Dot + 1))
+        else if (!Analysis.suffixNullable(SrcItm.Prod, SrcItm.Dot + 1))
           continue; // the terminal could never follow here
       }
       enqueue(Src, V.K, Sat, VI, LssStep::Production);

@@ -11,7 +11,8 @@
 
 using namespace lalrcex;
 
-StateItemGraph::StateItemGraph(const Automaton &M) : M(M) {
+StateItemGraph::StateItemGraph(const Automaton &M)
+    : M(M), LaPool(TerminalSetPool::overlay(M.analysis().pool())) {
   const Grammar &G = M.grammar();
 
   // Enumerate nodes: per state, in the state's item order.
@@ -57,6 +58,16 @@ StateItemGraph::StateItemGraph(const Automaton &M) : M(M) {
   ProdSteps = Csr::fromRows(ProdRows);
   RevTransitions = Csr::fromRows(RevTransRows);
   RevProdSteps = Csr::fromRows(RevProdRows);
+  internNodeLookaheads();
+}
+
+void StateItemGraph::internNodeLookaheads() {
+  NodeLookIds.clear();
+  NodeLookIds.reserve(Nodes.size());
+  for (const NodeData &D : Nodes)
+    NodeLookIds.push_back(
+        LaPool.intern(M.state(D.State).Lookaheads[D.ItemIndex]));
+  LaPool.freeze();
 }
 
 StateItemGraph::Csr

@@ -71,6 +71,16 @@ public:
     return M.state(Nodes[N].State).Lookaheads[Nodes[N].ItemIndex];
   }
 
+  /// The node's lookahead set as a canonical id in pool(). Searches union
+  /// and compare these without touching the underlying bitsets.
+  TerminalSetPool::SetId lookaheadId(NodeId N) const {
+    return NodeLookIds[N];
+  }
+
+  /// Frozen pool holding the analysis's FIRST/suffix-FIRST sets plus every
+  /// node lookahead set; per-search overlays extend it thread-locally.
+  const TerminalSetPool &pool() const { return LaPool; }
+
   /// The node for (\p State, \p I), or InvalidNode if the item is not in
   /// the state.
   NodeId nodeFor(unsigned State, const Item &I) const;
@@ -131,10 +141,16 @@ private:
   };
 
   /// Cache restore: an empty shell whose tables the cache subsystem
-  /// fills from a validated blob (see Automaton::RestoreTag).
+  /// fills from a validated blob (see Automaton::RestoreTag). The restore
+  /// path calls internNodeLookaheads() once the tables are validated.
   friend struct cache::ArtifactAccess;
   struct RestoreTag {};
-  StateItemGraph(const Automaton &M, RestoreTag) : M(M) {}
+  StateItemGraph(const Automaton &M, RestoreTag)
+      : M(M), LaPool(TerminalSetPool::overlay(M.analysis().pool())) {}
+
+  /// Interns every node's lookahead set into LaPool and freezes it; the
+  /// last construction step on both the build and cache-restore paths.
+  void internNodeLookaheads();
 
   const Automaton &M;
   std::vector<NodeData> Nodes;
@@ -143,6 +159,10 @@ private:
   Csr ProdSteps;
   Csr RevTransitions;
   Csr RevProdSteps;
+  /// Overlay of the analysis pool holding node lookahead ids; frozen by
+  /// internNodeLookaheads so concurrent searches can overlay it again.
+  TerminalSetPool LaPool;
+  std::vector<TerminalSetPool::SetId> NodeLookIds;
 };
 
 } // namespace lalrcex

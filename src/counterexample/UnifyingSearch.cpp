@@ -423,9 +423,9 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
   // True if terminal T may appear next after the new dot-0 item; used to
   // prune production steps taken while the conflict shift is pending.
   auto usefulWhileAwaiting = [&](NodeId Step) {
-    const Production &P = G.production(Graph.itemOf(Step).Prod);
-    return Analysis.sequenceCanBeginWith(P.Rhs, 0, ConflictTerm) ||
-           Analysis.sequenceNullable(P.Rhs);
+    unsigned Prod = Graph.itemOf(Step).Prod;
+    return Analysis.suffixCanBeginWith(Prod, 0, ConflictTerm) ||
+           Analysis.suffixNullable(Prod, 0);
   };
 
   // Collects the last `Count` real derivations (with any interleaved dot
@@ -500,10 +500,9 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
         // The conflict terminal must still be able to follow the
         // completed production in the prepended context.
         const Item &SrcItm = Graph.itemOf(Src);
-        const Production &P = G.production(SrcItm.Prod);
-        if (!Analysis.sequenceCanBeginWith(P.Rhs, SrcItm.Dot + 1,
-                                           ConflictTerm,
-                                           &Graph.lookahead(Src)))
+        if (!Analysis.suffixCanBeginWith(SrcItm.Prod, SrcItm.Dot + 1,
+                                         ConflictTerm,
+                                         &Graph.lookahead(Src)))
           continue;
       }
       uint32_t NI = IA.prepend(S.Items, Src);

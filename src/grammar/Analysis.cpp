@@ -10,12 +10,49 @@
 
 using namespace lalrcex;
 
-GrammarAnalysis::GrammarAnalysis(const Grammar &G) : G(G) {
+GrammarAnalysis::GrammarAnalysis(const Grammar &G)
+    : G(G), Pool(G.numTerminals()) {
   computeNullable();
   computeFirst();
   computeFollow();
   computeMinYield();
   computeReachable();
+  buildPool();
+}
+
+void GrammarAnalysis::buildPool() {
+  // Intern every FIRST set and every production-suffix FIRST set once, so
+  // the searches' hot queries become table lookups and pooled-id unions.
+  FirstIds.reserve(G.numSymbols());
+  for (unsigned S = 0; S != G.numSymbols(); ++S)
+    FirstIds.push_back(Pool.intern(First[S]));
+
+  SuffixOffset.assign(G.numProductions(), 0);
+  unsigned Total = 0;
+  for (unsigned P = 0; P != G.numProductions(); ++P) {
+    SuffixOffset[P] = Total;
+    Total += unsigned(G.production(P).Rhs.size()) + 1;
+  }
+  SuffixFirstIds.assign(Total, Pool.emptySet());
+  SuffixNullableBits.assign(Total, false);
+  for (unsigned P = 0; P != G.numProductions(); ++P) {
+    const std::vector<Symbol> &Rhs = G.production(P).Rhs;
+    // Fill each row back-to-front so suffix (dot) extends suffix (dot+1)
+    // with one cached union.
+    unsigned Row = SuffixOffset[P];
+    unsigned Len = unsigned(Rhs.size());
+    SuffixNullableBits[Row + Len] = true;
+    for (unsigned Dot = Len; Dot-- > 0;) {
+      TerminalSetPool::SetId Rest = SuffixFirstIds[Row + Dot + 1];
+      bool SymNullable = Nullable[Rhs[Dot].id()];
+      SuffixFirstIds[Row + Dot] =
+          SymNullable ? Pool.unionSets(FirstIds[Rhs[Dot].id()], Rest)
+                      : FirstIds[Rhs[Dot].id()];
+      SuffixNullableBits[Row + Dot] =
+          SymNullable && SuffixNullableBits[Row + Dot + 1];
+    }
+  }
+  Pool.freeze();
 }
 
 void GrammarAnalysis::computeNullable() {

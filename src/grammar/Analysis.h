@@ -17,6 +17,7 @@
 
 #include "grammar/Grammar.h"
 #include "support/IndexSet.h"
+#include "support/TerminalSetPool.h"
 
 #include <limits>
 #include <vector>
@@ -58,6 +59,41 @@ public:
   bool sequenceCanBeginWith(const std::vector<Symbol> &Syms, size_t From,
                             Symbol T, const IndexSet *Tail = nullptr) const;
 
+  /// The frozen pool holding every FIRST and suffix-FIRST set, interned
+  /// once at construction. Searches extend it with thread-local overlays
+  /// (TerminalSetPool::overlay) so pooled ids stay valid across layers.
+  const TerminalSetPool &pool() const { return Pool; }
+
+  /// Pooled FIRST(\p S).
+  TerminalSetPool::SetId firstId(Symbol S) const { return FirstIds[S.id()]; }
+
+  /// Pooled FIRST of production \p ProdIndex's right-hand side from
+  /// position \p Dot (no tail). Memoized: this is a table lookup, where
+  /// firstOfSequence rescans the suffix on every call. Combine with
+  /// suffixNullable and a pooled union for the full followL of paper §4:
+  ///   followL = suffix-FIRST ∪ (suffix nullable ? tail : ∅).
+  TerminalSetPool::SetId firstOfSequenceId(unsigned ProdIndex,
+                                           unsigned Dot) const {
+    return SuffixFirstIds[SuffixOffset[ProdIndex] + Dot];
+  }
+
+  /// \returns true if every symbol of production \p ProdIndex's right-hand
+  /// side from position \p Dot is nullable. Memoized sequenceNullable.
+  bool suffixNullable(unsigned ProdIndex, unsigned Dot) const {
+    return SuffixNullableBits[SuffixOffset[ProdIndex] + Dot];
+  }
+
+  /// Memoized O(1) form of sequenceCanBeginWith for a production suffix:
+  /// true if terminal \p T can begin a derivation of Rhs[Dot..] (or the
+  /// suffix is nullable and \p Tail contains T).
+  bool suffixCanBeginWith(unsigned ProdIndex, unsigned Dot, Symbol T,
+                          const IndexSet *Tail = nullptr) const {
+    assert(G.isTerminal(T) && "expected a terminal");
+    if (Pool.contains(firstOfSequenceId(ProdIndex, Dot), T.id()))
+      return true;
+    return suffixNullable(ProdIndex, Dot) && Tail && Tail->contains(T.id());
+  }
+
   /// Length of the shortest terminal string derivable from \p S
   /// (1 for terminals); Infinite if \p S is unproductive.
   unsigned minYieldLength(Symbol S) const { return MinYield[S.id()]; }
@@ -94,6 +130,7 @@ private:
   void computeFollow();
   void computeMinYield();
   void computeReachable();
+  void buildPool();
 
   const Grammar &G;
   std::vector<bool> Nullable;      // indexed by symbol id
@@ -103,6 +140,15 @@ private:
   std::vector<unsigned> MinProdYield; // indexed by production
   std::vector<unsigned> MinProd;   // indexed by nonterminal offset
   std::vector<bool> Reachable;     // indexed by symbol id
+
+  /// Hash-consed terminal sets; frozen once construction finishes.
+  TerminalSetPool Pool;
+  std::vector<TerminalSetPool::SetId> FirstIds; // indexed by symbol id
+  /// Per-(production, dot) memo tables, flattened; production P's row
+  /// starts at SuffixOffset[P] and has rhs-length + 1 entries.
+  std::vector<unsigned> SuffixOffset;
+  std::vector<TerminalSetPool::SetId> SuffixFirstIds;
+  std::vector<bool> SuffixNullableBits;
 };
 
 } // namespace lalrcex

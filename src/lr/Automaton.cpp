@@ -10,6 +10,7 @@
 #include <cassert>
 #include <deque>
 #include <map>
+#include <optional>
 #include <unordered_set>
 
 using namespace lalrcex;
@@ -22,19 +23,24 @@ int Automaton::State::indexOfItem(const Item &I) const {
 }
 
 Automaton::Automaton(const Grammar &G, const GrammarAnalysis &Analysis,
-                     AutomatonKind Kind)
-    : G(G), Analysis(Analysis), Kind(Kind) {
+                     const AutomatonOptions &Opts)
+    : G(G), Analysis(Analysis), Kind(Opts.Kind) {
   assert(&Analysis.grammar() == &G && "analysis built for another grammar");
   if (Kind == AutomatonKind::Canonical) {
-    buildCanonical();
+    buildCanonical(Opts.PooledSets);
     return;
   }
   buildLr0();
-  computeKernelLookaheads();
-  computeClosureLookaheads();
+  if (Opts.PooledSets) {
+    computeKernelLookaheadsPooled();
+    computeClosureLookaheadsPooled();
+  } else {
+    computeKernelLookaheads();
+    computeClosureLookaheads();
+  }
 }
 
-void Automaton::buildCanonical() {
+void Automaton::buildCanonical(bool PooledSets) {
   // Canonical LR(1): a state is a kernel of (item, lookahead set) pairs;
   // states with equal kernels but different lookaheads stay distinct.
   using Kernel = std::vector<std::pair<Item, IndexSet>>;
@@ -59,14 +65,71 @@ void Automaton::buildCanonical() {
   std::map<Kernel, unsigned, KernelLess> KernelToState;
   std::deque<unsigned> Work;
 
+  // Overlay pool shared by every pooled close() fixpoint of this build.
+  std::optional<TerminalSetPool> Pool;
+  if (PooledSets)
+    Pool.emplace(TerminalSetPool::overlay(Analysis.pool()));
+
   // LR(1) closure of a kernel: item -> merged lookahead set, iterated to
   // an in-set fixpoint; kernel items first, closure items in discovery
   // order.
-  auto close = [this](const Kernel &K, State &Out) {
+  auto close = [this, &Pool](const Kernel &K, State &Out) {
     Out.Items.clear();
     Out.Lookaheads.clear();
     Out.NumKernel = unsigned(K.size());
     std::map<uint64_t, unsigned> Index; // item key -> position
+    if (Pool) {
+      // Pooled form: lookaheads are canonical ids, the changed test is an
+      // id compare, and the fixpoint's re-merges hit the union cache.
+      std::vector<TerminalSetPool::SetId> Ids;
+      for (const auto &[Itm, L] : K) {
+        Index[Itm.key()] = unsigned(Out.Items.size());
+        Out.Items.push_back(Itm);
+        Ids.push_back(Pool->intern(L));
+      }
+      std::deque<unsigned> Pending;
+      for (unsigned I = 0; I != Out.Items.size(); ++I)
+        Pending.push_back(I);
+      std::vector<bool> InPending(Out.Items.size(), true);
+      while (!Pending.empty()) {
+        unsigned I = Pending.front();
+        Pending.pop_front();
+        InPending[I] = false;
+        Symbol Next = Out.Items[I].afterDot(G);
+        if (!Next.valid() || G.isTerminal(Next))
+          continue;
+        unsigned Prod = Out.Items[I].Prod, Dot = Out.Items[I].Dot;
+        TerminalSetPool::SetId Follow =
+            Analysis.firstOfSequenceId(Prod, Dot + 1);
+        if (Analysis.suffixNullable(Prod, Dot + 1))
+          Follow = Pool->unionSets(Follow, Ids[I]);
+        for (unsigned Q : G.productionsOf(Next)) {
+          Item Step(Q, 0);
+          auto [It, Inserted] =
+              Index.emplace(Step.key(), unsigned(Out.Items.size()));
+          if (Inserted) {
+            Out.Items.push_back(Step);
+            Ids.push_back(Follow);
+            Pending.push_back(It->second);
+            InPending.push_back(true);
+            continue;
+          }
+          TerminalSetPool::SetId Merged =
+              Pool->unionSets(Ids[It->second], Follow);
+          if (Merged != Ids[It->second]) {
+            Ids[It->second] = Merged;
+            if (!InPending[It->second]) {
+              Pending.push_back(It->second);
+              InPending[It->second] = true;
+            }
+          }
+        }
+      }
+      Out.Lookaheads.reserve(Ids.size());
+      for (TerminalSetPool::SetId Id : Ids)
+        Out.Lookaheads.push_back(Pool->materialize(Id));
+      return;
+    }
     for (const auto &[Itm, L] : K) {
       Index[Itm.key()] = unsigned(Out.Items.size());
       Out.Items.push_back(Itm);
@@ -381,6 +444,191 @@ void Automaton::computeClosureLookaheads() {
         }
       }
     }
+  }
+}
+
+void Automaton::computeKernelLookaheadsPooled() {
+  const unsigned NumTerminals = G.numTerminals();
+  const unsigned Hash = NumTerminals;
+  const unsigned ProbeUniverse = NumTerminals + 1;
+
+  // The probe closure runs over the extended universe with the "#"
+  // pseudo-terminal, which the analysis pool does not know; it gets its
+  // own standalone pool. Harvested (real-terminal) lookaheads live in an
+  // overlay of the analysis pool.
+  TerminalSetPool ProbePool(ProbeUniverse);
+  TerminalSetPool LaPool = TerminalSetPool::overlay(Analysis.pool());
+
+  // Probe-universe copies of the memoized suffix-FIRST sets ("#" never
+  // occurs in FIRST, so the bit patterns are the analysis tables',
+  // re-interned over the wider universe).
+  std::vector<TerminalSetPool::SetId> ProbeSuffix;
+  std::vector<unsigned> ProbeOffset(G.numProductions(), 0);
+  {
+    unsigned Total = 0;
+    for (unsigned P = 0; P != G.numProductions(); ++P) {
+      ProbeOffset[P] = Total;
+      Total += unsigned(G.production(P).Rhs.size()) + 1;
+    }
+    ProbeSuffix.reserve(Total);
+    for (unsigned P = 0; P != G.numProductions(); ++P) {
+      unsigned Len = unsigned(G.production(P).Rhs.size());
+      for (unsigned Dot = 0; Dot <= Len; ++Dot)
+        ProbeSuffix.push_back(ProbePool.intern(Analysis.pool().materialize(
+            Analysis.firstOfSequenceId(P, Dot), ProbeUniverse)));
+    }
+  }
+  auto probeFollow = [&](unsigned Prod, unsigned Dot,
+                         TerminalSetPool::SetId L) {
+    TerminalSetPool::SetId Out = ProbeSuffix[ProbeOffset[Prod] + Dot];
+    return Analysis.suffixNullable(Prod, Dot) ? ProbePool.unionSets(Out, L)
+                                              : Out;
+  };
+
+  std::vector<std::vector<TerminalSetPool::SetId>> KernelLA(States.size());
+  for (size_t S = 0; S != States.size(); ++S)
+    KernelLA[S].assign(States[S].NumKernel, LaPool.emptySet());
+
+  struct PropLink {
+    unsigned FromState, FromItem, ToState, ToItem;
+  };
+  std::vector<PropLink> Links;
+
+  const TerminalSetPool::SetId KernelProbe = ProbePool.singleton(Hash);
+  for (unsigned SI = 0, SE = unsigned(States.size()); SI != SE; ++SI) {
+    const State &St = States[SI];
+    for (unsigned KI = 0; KI != St.NumKernel; ++KI) {
+      // Probe closure: production -> probe lookahead id, to a fixpoint.
+      std::map<uint32_t, TerminalSetPool::SetId> ClosureLA;
+      std::vector<std::pair<Item, TerminalSetPool::SetId>> Work;
+      Work.push_back({St.Items[KI], KernelProbe});
+      while (!Work.empty()) {
+        auto [I, L] = Work.back();
+        Work.pop_back();
+        Symbol Next = I.afterDot(G);
+        if (!Next.valid() || G.isTerminal(Next))
+          continue;
+        TerminalSetPool::SetId Follow = probeFollow(I.Prod, I.Dot + 1, L);
+        for (unsigned P : G.productionsOf(Next)) {
+          auto [It, Inserted] = ClosureLA.emplace(P, Follow);
+          if (Inserted) {
+            Work.push_back({Item(P, 0), Follow});
+            continue;
+          }
+          TerminalSetPool::SetId Merged =
+              ProbePool.unionSets(It->second, Follow);
+          if (Merged != It->second) {
+            It->second = Merged;
+            Work.push_back({Item(P, 0), Merged});
+          }
+        }
+      }
+
+      // Harvest spontaneous lookaheads and propagation links.
+      auto harvest = [&](const Item &I, TerminalSetPool::SetId L) {
+        Symbol Next = I.afterDot(G);
+        if (!Next.valid())
+          return;
+        int Target = transition(SI, Next);
+        assert(Target >= 0 && "missing transition for item symbol");
+        const State &TargetState = States[unsigned(Target)];
+        int TargetItem = TargetState.indexOfItem(I.advanced());
+        assert(TargetItem >= 0 &&
+               unsigned(TargetItem) < TargetState.NumKernel &&
+               "advanced item must be in the target kernel");
+        auto &Slot = KernelLA[unsigned(Target)][unsigned(TargetItem)];
+        ProbePool.forEach(L, [&](unsigned T) {
+          if (T == Hash)
+            Links.push_back({SI, KI, unsigned(Target), unsigned(TargetItem)});
+          else
+            Slot = LaPool.withElement(Slot, T);
+        });
+      };
+
+      harvest(St.Items[KI], KernelProbe);
+      for (const auto &[Prod, L] : ClosureLA)
+        harvest(Item(Prod, 0), L);
+    }
+  }
+
+  {
+    int AugIdx = States[0].indexOfItem(Item(G.augmentedProduction(), 0));
+    assert(AugIdx >= 0 && "start state lacks the augmented item");
+    KernelLA[0][unsigned(AugIdx)] =
+        LaPool.withElement(KernelLA[0][unsigned(AugIdx)], G.eof().id());
+  }
+
+  // Propagate to fixpoint: an id compare detects convergence, and the
+  // union cache answers the re-merges every round after the first.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const PropLink &L : Links) {
+      TerminalSetPool::SetId &To = KernelLA[L.ToState][L.ToItem];
+      TerminalSetPool::SetId Merged =
+          LaPool.unionSets(To, KernelLA[L.FromState][L.FromItem]);
+      if (Merged != To) {
+        To = Merged;
+        Changed = true;
+      }
+    }
+  }
+
+  for (size_t S = 0; S != States.size(); ++S) {
+    States[S].Lookaheads.assign(States[S].Items.size(),
+                                IndexSet(NumTerminals));
+    for (unsigned KI = 0; KI != States[S].NumKernel; ++KI)
+      States[S].Lookaheads[KI] = LaPool.materialize(KernelLA[S][KI]);
+  }
+}
+
+void Automaton::computeClosureLookaheadsPooled() {
+  TerminalSetPool Pool = TerminalSetPool::overlay(Analysis.pool());
+  std::vector<TerminalSetPool::SetId> Ids;
+  for (State &St : States) {
+    std::map<uint32_t, unsigned> ClosureIndex;
+    for (unsigned I = 0, E = unsigned(St.Items.size()); I != E; ++I)
+      if (St.Items[I].Dot == 0)
+        ClosureIndex[St.Items[I].Prod] = I;
+
+    Ids.clear();
+    Ids.reserve(St.Items.size());
+    for (const IndexSet &L : St.Lookaheads)
+      Ids.push_back(Pool.intern(L));
+
+    // In-state fixpoint of the LR(1) closure rule on pooled ids.
+    std::deque<unsigned> Work;
+    for (unsigned I = 0, E = unsigned(St.Items.size()); I != E; ++I)
+      Work.push_back(I);
+    std::vector<bool> InWork(St.Items.size(), true);
+    while (!Work.empty()) {
+      unsigned I = Work.front();
+      Work.pop_front();
+      InWork[I] = false;
+      Symbol Next = St.Items[I].afterDot(G);
+      if (!Next.valid() || G.isTerminal(Next))
+        continue;
+      unsigned Prod = St.Items[I].Prod, Dot = St.Items[I].Dot;
+      TerminalSetPool::SetId Follow = Analysis.firstOfSequenceId(Prod, Dot + 1);
+      if (Analysis.suffixNullable(Prod, Dot + 1))
+        Follow = Pool.unionSets(Follow, Ids[I]);
+      for (unsigned Q : G.productionsOf(Next)) {
+        auto It = ClosureIndex.find(Q);
+        assert(It != ClosureIndex.end() && "closure item missing");
+        unsigned CI = It->second;
+        TerminalSetPool::SetId Merged = Pool.unionSets(Ids[CI], Follow);
+        if (Merged != Ids[CI]) {
+          Ids[CI] = Merged;
+          if (!InWork[CI]) {
+            Work.push_back(CI);
+            InWork[CI] = true;
+          }
+        }
+      }
+    }
+
+    for (unsigned I = 0, E = unsigned(St.Items.size()); I != E; ++I)
+      St.Lookaheads[I] = Pool.materialize(Ids[I]);
   }
 }
 

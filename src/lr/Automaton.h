@@ -49,6 +49,18 @@ enum class AutomatonKind {
   Canonical,
 };
 
+/// Construction options beyond the machine kind.
+struct AutomatonOptions {
+  AutomatonKind Kind = AutomatonKind::Lalr1;
+  /// Run the lookahead fixpoints (closure rule, LALR probe + propagation,
+  /// canonical LR(1) closure) on hash-consed TerminalSetPool ids, where a
+  /// "did the union change anything" test is an integer compare and
+  /// repeated merges hit the union cache. The resulting lookahead sets
+  /// are identical; the baseline IndexSet fixpoints are retained for the
+  /// equivalence tests and the pooled-vs-baseline benchmarks.
+  bool PooledSets = true;
+};
+
 /// The LALR(1) (or canonical LR(1)) parser state machine for a grammar.
 class Automaton {
 public:
@@ -71,7 +83,11 @@ public:
   /// Builds the automaton. \p Analysis must refer to \p G; both must
   /// outlive the automaton.
   Automaton(const Grammar &G, const GrammarAnalysis &Analysis,
-            AutomatonKind Kind = AutomatonKind::Lalr1);
+            AutomatonKind Kind = AutomatonKind::Lalr1)
+      : Automaton(G, Analysis, AutomatonOptions{Kind, true}) {}
+
+  Automaton(const Grammar &G, const GrammarAnalysis &Analysis,
+            const AutomatonOptions &Opts);
 
   const Grammar &grammar() const { return G; }
   const GrammarAnalysis &analysis() const { return Analysis; }
@@ -102,7 +118,9 @@ private:
   void buildLr0();
   void computeKernelLookaheads();
   void computeClosureLookaheads();
-  void buildCanonical();
+  void computeKernelLookaheadsPooled();
+  void computeClosureLookaheadsPooled();
+  void buildCanonical(bool PooledSets);
 
   /// The closure item set of a kernel (LR(0) closure), returning items in
   /// deterministic order with kernel items first.

@@ -145,6 +145,10 @@ public:
   /// Collects the elements into a vector, in increasing order.
   std::vector<unsigned> elements() const;
 
+  /// Raw word storage, for word-level consumers (TerminalSetPool).
+  const uint64_t *words() const { return Words.data(); }
+  size_t wordCount() const { return Words.size(); }
+
   /// A stable hash of the set contents, suitable for unordered containers.
   size_t hash() const {
     size_t H = 0x9e3779b97f4a7c15ULL;

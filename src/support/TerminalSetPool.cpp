@@ -1,0 +1,361 @@
+//===- support/TerminalSetPool.cpp - Hash-consed terminal sets ------------===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TerminalSetPool.h"
+
+#include "support/Budget.h"
+
+#include <algorithm>
+
+namespace lalrcex {
+
+namespace {
+/// Sentinel for "no such interned set". Inline ids never set bit 30 and
+/// wide ids never set bit 31, so all-ones is unused by both encodings.
+constexpr TerminalSetPool::SetId InvalidId = 0xFFFFFFFFu;
+} // namespace
+
+TerminalSetPool::TerminalSetPool(unsigned UniverseSize)
+    : Universe(UniverseSize), WordsPerSet((UniverseSize + 63) / 64) {
+  Scratch.resize(WordsPerSet);
+  if (inlineEnabled()) {
+    EmptyId = EmptyInlineId;
+  } else {
+    // No inline encoding: the empty set is the pool's first wide set.
+    std::fill(Scratch.begin(), Scratch.end(), 0);
+    EmptyId = internScratch();
+  }
+}
+
+TerminalSetPool::TerminalSetPool(const TerminalSetPool *BasePool,
+                                 ResourceGuard *G)
+    : Universe(BasePool->Universe), WordsPerSet(BasePool->WordsPerSet),
+      Base(BasePool),
+      FirstLocalId(BasePool->FirstLocalId +
+                   uint32_t(BasePool->Counters.WideSets)),
+      Guard(G), EmptyId(BasePool->EmptyId) {
+  Scratch.resize(WordsPerSet);
+}
+
+TerminalSetPool TerminalSetPool::overlay(const TerminalSetPool &Base,
+                                         ResourceGuard *Guard) {
+  assert(Base.frozen() && "overlay base must be frozen first");
+  return TerminalSetPool(&Base, Guard);
+}
+
+const uint64_t *TerminalSetPool::wordsOf(SetId A) const {
+  assert(!isInline(A) && "inline sets have no arena words");
+  const TerminalSetPool *P = this;
+  while (A < P->FirstLocalId) {
+    P = P->Base;
+    assert(P && "wide id below the root pool");
+  }
+  return &P->Arena[size_t(A - P->FirstLocalId) * WordsPerSet];
+}
+
+void TerminalSetPool::loadScratch(SetId A) const {
+  if (isInline(A)) {
+    std::fill(Scratch.begin(), Scratch.end(), 0);
+    unsigned Lo = A & SlotMask, Hi = (A >> SlotBits) & SlotMask;
+    if (Lo != SlotEmpty)
+      Scratch[Lo / 64] |= uint64_t(1) << (Lo % 64);
+    if (Hi != SlotEmpty)
+      Scratch[Hi / 64] |= uint64_t(1) << (Hi % 64);
+    return;
+  }
+  const uint64_t *W = wordsOf(A);
+  std::copy(W, W + WordsPerSet, Scratch.begin());
+}
+
+uint64_t TerminalSetPool::hashWords(const uint64_t *W) const {
+  uint64_t H = 0x9e3779b97f4a7c15ULL;
+  for (unsigned I = 0; I != WordsPerSet; ++I)
+    H = (H ^ W[I]) * 0x100000001b3ULL;
+  return H;
+}
+
+bool TerminalSetPool::equalsScratch(SetId A) const {
+  const uint64_t *W = wordsOf(A);
+  return std::equal(W, W + WordsPerSet, Scratch.begin());
+}
+
+TerminalSetPool::SetId TerminalSetPool::findScratchLocal(uint64_t Hash) const {
+  auto [It, End] = Intern.equal_range(Hash);
+  for (; It != End; ++It)
+    if (equalsScratch(It->second))
+      return It->second;
+  return InvalidId;
+}
+
+TerminalSetPool::SetId TerminalSetPool::findScratch(uint64_t Hash) const {
+  // Probe the frozen base chain first so an overlay never re-interns a set
+  // the base already owns (canonical ids are global across the chain).
+  for (const TerminalSetPool *P = this; P; P = P->Base) {
+    SetId Found = P->findScratchLocal(Hash);
+    if (Found != InvalidId)
+      return Found;
+  }
+  return InvalidId;
+}
+
+void TerminalSetPool::chargeGrowth(size_t Bytes) {
+  // A tripped memory budget is observed by the search's own guard polls;
+  // the pool itself keeps functioning so degradation stays graceful.
+  if (Guard)
+    Guard->chargeBytes(Bytes);
+}
+
+TerminalSetPool::SetId TerminalSetPool::internScratch() {
+  if (inlineEnabled()) {
+    // Demote to the inline encoding when at most two bits are set.
+    unsigned Elems[3];
+    unsigned N = 0;
+    for (unsigned I = 0; I != WordsPerSet && N <= 2; ++I) {
+      uint64_t Word = Scratch[I];
+      while (Word) {
+        if (N == 3)
+          break;
+        Elems[N >= 2 ? 2 : N] = unsigned(I * 64 + __builtin_ctzll(Word));
+        ++N;
+        Word &= Word - 1;
+      }
+    }
+    if (N == 0)
+      return EmptyInlineId;
+    if (N == 1)
+      return makeInline(Elems[0], SlotEmpty);
+    if (N == 2)
+      return makeInline(Elems[0], Elems[1]);
+  }
+  ++Counters.InternProbes;
+  uint64_t Hash = hashWords(Scratch.data());
+  SetId Found = findScratch(Hash);
+  if (Found != InvalidId)
+    return Found;
+
+  assert(!Frozen && "interning into a frozen pool");
+  SetId Id = FirstLocalId + uint32_t(Counters.WideSets);
+  Arena.insert(Arena.end(), Scratch.begin(), Scratch.end());
+  Intern.emplace(Hash, Id);
+  ++Counters.WideSets;
+  size_t Grown = WordsPerSet * sizeof(uint64_t) +
+                 sizeof(std::pair<uint64_t, SetId>) + 2 * sizeof(void *);
+  Counters.ArenaBytes += WordsPerSet * sizeof(uint64_t);
+  chargeGrowth(Grown);
+  return Id;
+}
+
+TerminalSetPool::SetId TerminalSetPool::singleton(unsigned Element) {
+  assert(Element < Universe && "element outside universe");
+  if (inlineEnabled())
+    return makeInline(Element, SlotEmpty);
+  std::fill(Scratch.begin(), Scratch.end(), 0);
+  Scratch[Element / 64] |= uint64_t(1) << (Element % 64);
+  return internScratch();
+}
+
+TerminalSetPool::SetId TerminalSetPool::intern(const IndexSet &S) {
+  assert(S.universeSize() == Universe && "universe mismatch");
+  assert(S.wordCount() == WordsPerSet && "word count mismatch");
+  std::copy(S.words(), S.words() + WordsPerSet, Scratch.begin());
+  return internScratch();
+}
+
+bool TerminalSetPool::contains(SetId A, unsigned Element) const {
+  assert(Element < Universe && "element outside universe");
+  if (isInline(A))
+    return (A & SlotMask) == Element || ((A >> SlotBits) & SlotMask) == Element;
+  return (wordsOf(A)[Element / 64] >> (Element % 64)) & 1;
+}
+
+unsigned TerminalSetPool::count(SetId A) const {
+  if (isInline(A)) {
+    unsigned N = 0;
+    if ((A & SlotMask) != SlotEmpty)
+      ++N;
+    if (((A >> SlotBits) & SlotMask) != SlotEmpty)
+      ++N;
+    return N;
+  }
+  const uint64_t *W = wordsOf(A);
+  unsigned N = 0;
+  for (unsigned I = 0; I != WordsPerSet; ++I)
+    N += __builtin_popcountll(W[I]);
+  return N;
+}
+
+bool TerminalSetPool::containsAll(SetId A, SetId B) const {
+  ++Counters.SubsetChecks;
+  if (A == B || B == EmptyId)
+    return true;
+  if (A == EmptyId)
+    return false;
+  if (isInline(B)) {
+    unsigned Lo = B & SlotMask, Hi = (B >> SlotBits) & SlotMask;
+    if (Lo != SlotEmpty && !contains(A, Lo))
+      return false;
+    if (Hi != SlotEmpty && !contains(A, Hi))
+      return false;
+    return true;
+  }
+  // B is wide: with the inline encoding active a wide set always has at
+  // least three elements, so an inline A (at most two) can't cover it.
+  if (isInline(A))
+    return false;
+  const uint64_t *AW = wordsOf(A), *BW = wordsOf(B);
+  for (unsigned I = 0; I != WordsPerSet; ++I)
+    if (BW[I] & ~AW[I])
+      return false;
+  return true;
+}
+
+bool TerminalSetPool::coveredByWords(SetId A, const uint64_t *Mask) const {
+  if (isInline(A)) {
+    unsigned Lo = A & SlotMask, Hi = (A >> SlotBits) & SlotMask;
+    if (Lo != SlotEmpty && !((Mask[Lo / 64] >> (Lo % 64)) & 1))
+      return false;
+    if (Hi != SlotEmpty && !((Mask[Hi / 64] >> (Hi % 64)) & 1))
+      return false;
+    return true;
+  }
+  const uint64_t *W = wordsOf(A);
+  for (unsigned I = 0; I != WordsPerSet; ++I)
+    if (W[I] & ~Mask[I])
+      return false;
+  return true;
+}
+
+void TerminalSetPool::addToWords(SetId A, uint64_t *Mask) const {
+  if (isInline(A)) {
+    unsigned Lo = A & SlotMask, Hi = (A >> SlotBits) & SlotMask;
+    if (Lo != SlotEmpty)
+      Mask[Lo / 64] |= uint64_t(1) << (Lo % 64);
+    if (Hi != SlotEmpty)
+      Mask[Hi / 64] |= uint64_t(1) << (Hi % 64);
+    return;
+  }
+  const uint64_t *W = wordsOf(A);
+  for (unsigned I = 0; I != WordsPerSet; ++I)
+    Mask[I] |= W[I];
+}
+
+TerminalSetPool::SetId TerminalSetPool::unionSets(SetId A, SetId B) {
+  if (A == B || B == EmptyId)
+    return A;
+  if (A == EmptyId)
+    return B;
+
+  if (isInline(A) && isInline(B)) {
+    // Merge up to four inline elements without touching the arena.
+    unsigned Merged[4] = {0, 0, 0, 0};
+    unsigned N = 0;
+    auto Add = [&](unsigned E) {
+      if (E == SlotEmpty)
+        return;
+      for (unsigned I = 0; I != N; ++I)
+        if (Merged[I] == E)
+          return;
+      Merged[N++] = E;
+    };
+    Add(A & SlotMask);
+    Add((A >> SlotBits) & SlotMask);
+    Add(B & SlotMask);
+    Add((B >> SlotBits) & SlotMask);
+    if (N <= 2) {
+      std::sort(Merged, Merged + N);
+      return N == 1 ? makeInline(Merged[0], SlotEmpty)
+                    : makeInline(Merged[0], Merged[1]);
+    }
+  } else if (isInline(B)) {
+    // Cheap absorption test: two bit probes against the wide side.
+    unsigned Lo = B & SlotMask, Hi = (B >> SlotBits) & SlotMask;
+    if ((Lo == SlotEmpty || contains(A, Lo)) &&
+        (Hi == SlotEmpty || contains(A, Hi)))
+      return A;
+  } else if (isInline(A)) {
+    unsigned Lo = A & SlotMask, Hi = (A >> SlotBits) & SlotMask;
+    if ((Lo == SlotEmpty || contains(B, Lo)) &&
+        (Hi == SlotEmpty || contains(B, Hi)))
+      return B;
+  }
+
+  ++Counters.UnionCalls;
+  uint64_t Key = (uint64_t(std::min(A, B)) << 32) | std::max(A, B);
+  for (const TerminalSetPool *P = this; P; P = P->Base) {
+    auto It = P->UnionCache.find(Key);
+    if (It != P->UnionCache.end()) {
+      ++Counters.UnionCacheHits;
+      return It->second;
+    }
+  }
+
+  loadScratch(A);
+  if (isInline(B)) {
+    unsigned Lo = B & SlotMask, Hi = (B >> SlotBits) & SlotMask;
+    if (Lo != SlotEmpty)
+      Scratch[Lo / 64] |= uint64_t(1) << (Lo % 64);
+    if (Hi != SlotEmpty)
+      Scratch[Hi / 64] |= uint64_t(1) << (Hi % 64);
+  } else {
+    const uint64_t *BW = wordsOf(B);
+    for (unsigned I = 0; I != WordsPerSet; ++I)
+      Scratch[I] |= BW[I];
+  }
+  SetId R = internScratch();
+  assert(!Frozen && "caching into a frozen pool");
+  UnionCache.emplace(Key, R);
+  chargeGrowth(sizeof(std::pair<uint64_t, SetId>) + 2 * sizeof(void *));
+  return R;
+}
+
+TerminalSetPool::SetId TerminalSetPool::withElement(SetId A,
+                                                    unsigned Element) {
+  assert(Element < Universe && "element outside universe");
+  if (isInline(A)) {
+    unsigned Lo = A & SlotMask, Hi = (A >> SlotBits) & SlotMask;
+    if (Lo == Element || Hi == Element)
+      return A;
+    if (Lo == SlotEmpty)
+      return makeInline(Element, SlotEmpty);
+    if (Hi == SlotEmpty)
+      return Lo < Element ? makeInline(Lo, Element) : makeInline(Element, Lo);
+    // Two occupied slots plus a third element: promote to a wide set.
+  } else if (contains(A, Element)) {
+    return A;
+  }
+
+  ++Counters.WithElementCalls;
+  uint64_t Key = (uint64_t(A) << 32) | Element;
+  for (const TerminalSetPool *P = this; P; P = P->Base) {
+    auto It = P->WithElementCache.find(Key);
+    if (It != P->WithElementCache.end()) {
+      ++Counters.WithElementCacheHits;
+      return It->second;
+    }
+  }
+
+  loadScratch(A);
+  Scratch[Element / 64] |= uint64_t(1) << (Element % 64);
+  SetId R = internScratch();
+  assert(!Frozen && "caching into a frozen pool");
+  WithElementCache.emplace(Key, R);
+  chargeGrowth(sizeof(std::pair<uint64_t, SetId>) + 2 * sizeof(void *));
+  return R;
+}
+
+IndexSet TerminalSetPool::materialize(SetId A) const {
+  return materialize(A, Universe);
+}
+
+IndexSet TerminalSetPool::materialize(SetId A,
+                                      unsigned UniverseOverride) const {
+  assert(UniverseOverride >= Universe && "cannot shrink the universe");
+  IndexSet S(UniverseOverride);
+  forEach(A, [&](unsigned E) { S.insert(E); });
+  return S;
+}
+
+} // namespace lalrcex

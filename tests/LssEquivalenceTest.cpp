@@ -1,0 +1,138 @@
+//===- tests/LssEquivalenceTest.cpp - Pooled vs reference LSS --*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+// The pooled lookahead-sensitive search (Dial queue, dominance frontiers,
+// hash-consed lookahead sets) must return the exact path — node for node,
+// edge kind for edge kind, lookahead set for lookahead set — that the
+// retained reference BFS returns. DESIGN.md §5e proves this; the suite
+// checks it over the worked corpus grammars and a random-grammar sweep,
+// with the §6 reachability pruning both on and off.
+//
+//===----------------------------------------------------------------------===//
+
+#include "RandomGrammar.h"
+#include "corpus/Corpus.h"
+#include "counterexample/LookaheadSensitiveSearch.h"
+#include "grammar/GrammarParser.h"
+#include "lr/ParseTable.h"
+
+#include <gtest/gtest.h>
+
+using namespace lalrcex;
+using lalrcex::testing::randomGrammarText;
+
+namespace {
+
+/// Runs both implementations on every reported conflict of \p T and
+/// asserts step-for-step equality.
+void expectEquivalentPaths(const Grammar &G, const Automaton &M,
+                           const ParseTable &T,
+                           const std::string &Context) {
+  StateItemGraph Graph(M);
+  for (const Conflict &C : T.reportedConflicts()) {
+    StateItemGraph::NodeId Node = Graph.nodeFor(C.State, C.reduceItem(G));
+    for (bool Prune : {true, false}) {
+      LssStats Stats;
+      std::optional<LssPath> Pooled = shortestLookaheadSensitivePath(
+          Graph, Node, C.Token, Prune, /*Guard=*/nullptr, &Stats);
+      std::optional<LssPath> Ref = shortestLookaheadSensitivePathReference(
+          Graph, Node, C.Token, Prune);
+
+      ASSERT_EQ(Pooled.has_value(), Ref.has_value())
+          << Context << "\nconflict " << C.describe(G)
+          << " prune=" << Prune;
+      if (!Pooled)
+        continue;
+      ASSERT_EQ(Pooled->Steps.size(), Ref->Steps.size())
+          << Context << "\nconflict " << C.describe(G)
+          << " prune=" << Prune;
+      for (size_t I = 0; I != Pooled->Steps.size(); ++I) {
+        const LssStep &P = Pooled->Steps[I], &R = Ref->Steps[I];
+        ASSERT_EQ(P.Node, R.Node)
+            << Context << "\nstep " << I << " of " << C.describe(G);
+        ASSERT_EQ(P.EdgeKind, R.EdgeKind)
+            << Context << "\nstep " << I << " of " << C.describe(G);
+        ASSERT_EQ(P.Lookaheads, R.Lookaheads)
+            << Context << "\nstep " << I << " of " << C.describe(G);
+      }
+      // The stats hook observed the search that just ran.
+      EXPECT_GT(Stats.Expanded, 0u) << Context;
+      EXPECT_GE(Stats.Enqueued, Pooled->Steps.size()) << Context;
+    }
+  }
+}
+
+class LssCorpusEquivalenceTest
+    : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(LssCorpusEquivalenceTest, PooledMatchesReference) {
+  const CorpusEntry *E = findCorpusEntry(GetParam());
+  ASSERT_NE(E, nullptr);
+  std::optional<Grammar> G = parseGrammarText(E->Text);
+  ASSERT_TRUE(G);
+  GrammarAnalysis A(*G);
+  Automaton M(*G, A);
+  ParseTable T(M);
+  expectEquivalentPaths(*G, M, T, E->Name);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, LssCorpusEquivalenceTest,
+                         ::testing::Values("figure1", "figure3", "SQL.2",
+                                           "Pascal.1", "C.1", "Java.1"));
+
+class LssRandomEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LssRandomEquivalenceTest, PooledMatchesReference) {
+  uint64_t Seed = uint64_t(GetParam()) + 9000;
+  std::string Text =
+      randomGrammarText(Seed, 4 + unsigned(Seed % 5), 3 + unsigned(Seed % 4));
+  std::optional<Grammar> G = parseGrammarText(Text);
+  ASSERT_TRUE(G) << Text;
+  GrammarAnalysis A(*G);
+  if (!A.isProductive(G->startSymbol()))
+    GTEST_SKIP() << "start symbol unproductive for this seed";
+  Automaton M(*G, A);
+  ParseTable T(M);
+  expectEquivalentPaths(*G, M, T, Text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LssRandomEquivalenceTest,
+                         ::testing::Range(0, 40));
+
+/// The pooled automaton fixpoints must produce exactly the lookahead
+/// tables the baseline IndexSet fixpoints produce, for both automaton
+/// kinds (the canonical path pools only its closure fixpoint).
+class AutomatonPoolEquivalenceTest
+    : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(AutomatonPoolEquivalenceTest, PooledLookaheadsMatchBaseline) {
+  const CorpusEntry *E = findCorpusEntry(GetParam());
+  ASSERT_NE(E, nullptr);
+  std::optional<Grammar> G = parseGrammarText(E->Text);
+  ASSERT_TRUE(G);
+  GrammarAnalysis A(*G);
+  for (AutomatonKind Kind :
+       {AutomatonKind::Lalr1, AutomatonKind::Canonical}) {
+    AutomatonOptions Pooled{Kind, /*PooledSets=*/true};
+    AutomatonOptions Baseline{Kind, /*PooledSets=*/false};
+    Automaton MP(*G, A, Pooled);
+    Automaton MB(*G, A, Baseline);
+    ASSERT_EQ(MP.numStates(), MB.numStates()) << E->Name;
+    for (unsigned S = 0; S != MP.numStates(); ++S) {
+      const Automaton::State &SP = MP.state(S), &SB = MB.state(S);
+      ASSERT_EQ(SP.Items, SB.Items) << E->Name << " state " << S;
+      ASSERT_EQ(SP.Lookaheads.size(), SB.Lookaheads.size())
+          << E->Name << " state " << S;
+      for (size_t I = 0; I != SP.Lookaheads.size(); ++I)
+        ASSERT_EQ(SP.Lookaheads[I], SB.Lookaheads[I])
+            << E->Name << " state " << S << " item " << I;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, AutomatonPoolEquivalenceTest,
+                         ::testing::Values("figure1", "figure3", "SQL.2",
+                                           "Pascal.1", "C.1"));
+
+} // namespace
