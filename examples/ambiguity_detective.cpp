@@ -21,16 +21,29 @@
 #include "earley/DerivationCounter.h"
 #include "grammar/GrammarParser.h"
 #include "support/Stopwatch.h"
+#include "support/StrUtil.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 using namespace lalrcex;
 
 int main(int argc, char **argv) {
   std::string Source = argc > 1 ? argv[1] : "corpus:figure1";
-  unsigned MaxLength = argc > 2 ? unsigned(std::atoi(argv[2])) : 12;
+  unsigned MaxLength = 12;
+  if (argc > 2) {
+    std::optional<uint64_t> V = parseUnsigned(argv[2], UINT32_MAX);
+    if (!V) {
+      std::fprintf(stderr,
+                   "max-length '%s' is not a non-negative integer\n",
+                   argv[2]);
+      return 2;
+    }
+    MaxLength = unsigned(*V);
+  }
 
   std::string Text;
   if (Source.rfind("corpus:", 0) == 0) {

@@ -22,10 +22,14 @@
 //     -cumulative <sec> per-grammar cumulative budget (default 120)
 //     -steps <n>        deterministic per-conflict configuration budget
 //     -canonical        use canonical LR(1) automatons
+//     -metrics          collect the pipeline metrics registry per grammar:
+//                       appends a metrics section to each report file,
+//                       prints the merged aggregate after the summary, and
+//                       attaches flattened metrics to the bench records
 //
 // Output: one summary line per grammar, a final "TOTAL_MS <ms>" line, and
-// BENCH_batch_analyze.json (schema 2) with per-grammar cold/warm wall
-// times and cache hit/miss counts.
+// BENCH_batch_analyze.json (schema 3) with per-grammar cold/warm wall
+// times and cache hit/miss counts (plus metrics under -metrics).
 //
 //===----------------------------------------------------------------------===//
 
@@ -34,10 +38,13 @@
 #include "corpus/Corpus.h"
 #include "counterexample/CounterexampleFinder.h"
 #include "grammar/GrammarParser.h"
+#include "support/Metrics.h"
 #include "support/Stopwatch.h"
+#include "support/StrUtil.h"
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -56,9 +63,23 @@ int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [-cache <dir>] [-out <dir>] [-jobs <n>] "
                "[-timeout <sec>] [-cumulative <sec>] [-steps <n>] "
-               "[-canonical] <grammar-dir | corpus>\n",
+               "[-canonical] [-metrics] <grammar-dir | corpus>\n",
                Prog);
   return 2;
+}
+
+/// Strictly validated numeric flag value; reports and fails on input that
+/// std::atoi would have silently read as 0.
+bool parseFlagValue(const char *Flag, const char *Value, uint64_t Max,
+                    uint64_t &Out) {
+  std::optional<uint64_t> V = parseUnsigned(Value, Max);
+  if (!V) {
+    std::fprintf(stderr, "%s: '%s' is not a non-negative integer (max %llu)\n",
+                 Flag, Value, (unsigned long long)Max);
+    return false;
+  }
+  Out = *V;
+  return true;
 }
 
 struct Job {
@@ -75,6 +96,11 @@ struct JobResult {
   long CacheHits = 0;
   long CacheMisses = 0;
   std::string Rendered; // concatenated reports (deterministic bytes)
+  /// Per-grammar metrics (only under -metrics): the snapshot for the
+  /// aggregate merge / bench records, and its rendered text for the
+  /// report file.
+  MetricsSnapshot Metrics;
+  std::string MetricsText;
 };
 
 /// Safe file stem for a grammar name ("corpus:SQL.1" -> "corpus_SQL.1").
@@ -96,7 +122,8 @@ void countProbe(JobResult &R, const cache::CacheProbe &P) {
 }
 
 JobResult analyzeOne(const Job &J, const FinderOptions &BaseOpts,
-                     AutomatonKind Kind, const std::string &CacheDir) {
+                     AutomatonKind Kind, const std::string &CacheDir,
+                     bool CollectMetrics) {
   JobResult R;
   Stopwatch Timer;
 
@@ -107,14 +134,21 @@ JobResult analyzeOne(const Job &J, const FinderOptions &BaseOpts,
     return R;
   }
 
+  // One registry per grammar job: workers never share a registry, so the
+  // per-grammar numbers are exact; main merges the snapshots afterwards.
+  MetricsRegistry Registry;
+  MetricsRegistry *Metrics = CollectMetrics ? &Registry : nullptr;
+
   cache::AnalysisCache Cache(CacheDir);
   cache::AnalysisSession Session(std::move(*G), Kind,
-                                 CacheDir.empty() ? nullptr : &Cache);
+                                 CacheDir.empty() ? nullptr : &Cache,
+                                 Metrics);
   countProbe(R, Session.analysisProbe());
 
   FinderOptions Opts = BaseOpts;
   Opts.CachePath = CacheDir;
   Opts.Jobs = 1; // parallelism lives at the grammar level here
+  Opts.Metrics = Metrics;
   CounterexampleFinder Finder(Session.table(), Opts);
   std::vector<ConflictReport> Reports = Finder.examineAll();
 
@@ -134,6 +168,10 @@ JobResult analyzeOne(const Job &J, const FinderOptions &BaseOpts,
   R.Conflicts = Reports.size();
   R.Ok = true;
   R.WallMs = Timer.seconds() * 1000.0;
+  if (Metrics) {
+    R.Metrics = Metrics->snapshot();
+    R.MetricsText = R.Metrics.renderText();
+  }
   return R;
 }
 
@@ -143,6 +181,7 @@ int main(int argc, char **argv) {
   FinderOptions Opts;
   std::string Source, CacheDir, OutDir;
   unsigned Jobs = 0;
+  bool CollectMetrics = false;
   AutomatonKind Kind = AutomatonKind::Lalr1;
 
   for (int I = 1; I < argc; ++I) {
@@ -156,9 +195,10 @@ int main(int argc, char **argv) {
         return usage(argv[0]);
       OutDir = argv[I];
     } else if (Arg == "-jobs") {
-      if (++I == argc)
+      uint64_t V;
+      if (++I == argc || !parseFlagValue("-jobs", argv[I], UINT32_MAX, V))
         return usage(argv[0]);
-      Jobs = unsigned(std::atoi(argv[I]));
+      Jobs = unsigned(V);
     } else if (Arg == "-timeout") {
       if (++I == argc)
         return usage(argv[0]);
@@ -168,11 +208,14 @@ int main(int argc, char **argv) {
         return usage(argv[0]);
       Opts.CumulativeTimeLimitSeconds = std::atof(argv[I]);
     } else if (Arg == "-steps") {
-      if (++I == argc)
+      uint64_t V;
+      if (++I == argc || !parseFlagValue("-steps", argv[I], SIZE_MAX, V))
         return usage(argv[0]);
-      Opts.MaxConfigurations = size_t(std::atoll(argv[I]));
+      Opts.MaxConfigurations = size_t(V);
     } else if (Arg == "-canonical") {
       Kind = AutomatonKind::Canonical;
+    } else if (Arg == "-metrics") {
+      CollectMetrics = true;
     } else if (!Arg.empty() && Arg[0] == '-') {
       return usage(argv[0]);
     } else {
@@ -243,7 +286,8 @@ int main(int argc, char **argv) {
          I < Work.size();
          I = Next.fetch_add(1, std::memory_order_relaxed)) {
       try {
-        Results[I] = analyzeOne(Work[I], Opts, Kind, CacheDir);
+        Results[I] = analyzeOne(Work[I], Opts, Kind, CacheDir,
+                                CollectMetrics);
       } catch (const std::exception &E) {
         Results[I].Error = E.what();
       }
@@ -267,6 +311,7 @@ int main(int argc, char **argv) {
   std::vector<bench::BenchRecord> Records;
   size_t TotalConflicts = 0, Failures = 0;
   long TotalHits = 0, TotalMisses = 0;
+  MetricsSnapshot Aggregate;
   for (size_t I = 0; I != Work.size(); ++I) {
     const JobResult &R = Results[I];
     if (!R.Ok) {
@@ -285,10 +330,17 @@ int main(int argc, char **argv) {
                   R.CacheMisses);
     std::printf("\n");
 
+    if (CollectMetrics)
+      Aggregate.merge(R.Metrics);
+
     if (!OutDir.empty()) {
       std::string Path = OutDir + "/" + fileStem(Work[I].Name) + ".txt";
       std::ofstream OS(Path, std::ios::trunc | std::ios::binary);
       OS << R.Rendered;
+      // Metrics carry wall times, so this section is opt-in: the default
+      // report bytes stay deterministic for the cache-smoke byte diff.
+      if (CollectMetrics)
+        OS << "-- metrics --\n" << R.MetricsText;
       if (!OS.flush()) {
         std::fprintf(stderr, "cannot write '%s'\n", Path.c_str());
         ++Failures;
@@ -305,6 +357,8 @@ int main(int argc, char **argv) {
       Rec.CacheHits = R.CacheHits;
       Rec.CacheMisses = R.CacheMisses;
     }
+    if (CollectMetrics)
+      Rec.Metrics = R.Metrics.flatten();
     Records.push_back(Rec);
   }
 
@@ -323,6 +377,8 @@ int main(int argc, char **argv) {
     TotalRec.CacheHits = TotalHits;
     TotalRec.CacheMisses = TotalMisses;
   }
+  if (CollectMetrics)
+    TotalRec.Metrics = Aggregate.flatten();
   Records.push_back(TotalRec);
   bench::writeBenchRecords("batch_analyze", Records);
 
@@ -330,6 +386,9 @@ int main(int argc, char **argv) {
               Work.size(), TotalConflicts, Workers);
   if (!CacheDir.empty())
     std::printf(", cache %ld hit / %ld miss", TotalHits, TotalMisses);
+  if (CollectMetrics)
+    std::printf("\n-- aggregate metrics --\n%s",
+                Aggregate.renderText().c_str());
   std::printf("\nTOTAL_MS %.1f\n", TotalMs);
   return Failures == 0 ? 0 : 1;
 }

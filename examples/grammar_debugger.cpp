@@ -19,6 +19,11 @@
 //     -lss-stats          print per-conflict lookahead-sensitive search
 //                         stats (pool occupancy, union-cache hit rate,
 //                         dominance-check counts)
+//     -metrics            print the pipeline metrics registry (per-phase
+//                         wall times, search-effort counters, guard trips)
+//                         after the run
+//     -trace-out <file>   write phase trace spans as Chrome trace_event
+//                         JSON (load in chrome://tracing or Perfetto)
 //     -canonical          use a canonical LR(1) automaton (no LALR merging)
 //     -dump               print the automaton states (Figure 2 style)
 //     -print              echo the normalized grammar and exit
@@ -31,7 +36,11 @@
 #include "grammar/GrammarParser.h"
 #include "grammar/GrammarPrinter.h"
 #include "lr/AutomatonPrinter.h"
+#include "support/Metrics.h"
+#include "support/StrUtil.h"
+#include "support/Trace.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -44,16 +53,33 @@ static int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [-extendedsearch] [-nonunifying] "
                "[-timeout <sec>] [-cumulative <sec>] [-steps <n>] "
-               "[-memory-mb <n>] [-jobs <n>] [-lss-stats] [-canonical] "
+               "[-memory-mb <n>] [-jobs <n>] [-lss-stats] [-metrics] "
+               "[-trace-out <file>] [-canonical] "
                "[-dump] [-print] [-list] <grammar-file | corpus:NAME>\n",
                Prog);
   return 2;
 }
 
+/// Parses the value of numeric flag \p Flag with strict validation; prints
+/// a usage error and exits via the caller's `return` on garbage like
+/// "-jobs banana" that std::atoi would silently turn into 0.
+static bool parseFlagValue(const char *Flag, const char *Value, uint64_t Max,
+                           uint64_t &Out) {
+  std::optional<uint64_t> V = parseUnsigned(Value, Max);
+  if (!V) {
+    std::fprintf(stderr, "%s: '%s' is not a non-negative integer (max %llu)\n",
+                 Flag, Value, (unsigned long long)Max);
+    return false;
+  }
+  Out = *V;
+  return true;
+}
+
 int main(int argc, char **argv) {
   FinderOptions Opts;
   std::string Source;
-  bool Dump = false, Print = false;
+  std::string TracePath;
+  bool Dump = false, Print = false, PrintMetrics = false;
   AutomatonKind Kind = AutomatonKind::Lalr1;
 
   for (int I = 1; I < argc; ++I) {
@@ -71,19 +97,30 @@ int main(int argc, char **argv) {
         return usage(argv[0]);
       Opts.CumulativeTimeLimitSeconds = std::atof(argv[I]);
     } else if (Arg == "-steps") {
-      if (++I == argc)
+      uint64_t V;
+      if (++I == argc || !parseFlagValue("-steps", argv[I], SIZE_MAX, V))
         return usage(argv[0]);
-      Opts.MaxConfigurations = size_t(std::atoll(argv[I]));
+      Opts.MaxConfigurations = size_t(V);
     } else if (Arg == "-memory-mb") {
-      if (++I == argc)
+      // Cap at SIZE_MAX >> 20 so the megabyte-to-byte shift cannot wrap.
+      uint64_t V;
+      if (++I == argc ||
+          !parseFlagValue("-memory-mb", argv[I], SIZE_MAX >> 20, V))
         return usage(argv[0]);
-      Opts.MemoryLimitBytes = size_t(std::atoll(argv[I])) << 20;
+      Opts.MemoryLimitBytes = size_t(V) << 20;
     } else if (Arg == "-jobs") {
-      if (++I == argc)
+      uint64_t V;
+      if (++I == argc || !parseFlagValue("-jobs", argv[I], UINT32_MAX, V))
         return usage(argv[0]);
-      Opts.Jobs = unsigned(std::atoi(argv[I]));
+      Opts.Jobs = unsigned(V);
     } else if (Arg == "-lss-stats") {
       Opts.CollectLssStats = true;
+    } else if (Arg == "-metrics") {
+      PrintMetrics = true;
+    } else if (Arg == "-trace-out") {
+      if (++I == argc)
+        return usage(argv[0]);
+      TracePath = argv[I];
     } else if (Arg == "-dump") {
       Dump = true;
     } else if (Arg == "-print") {
@@ -136,8 +173,21 @@ int main(int argc, char **argv) {
     return 0;
   }
 
-  GrammarAnalysis Analysis(*G);
-  Automaton M(*G, Analysis, Kind);
+  // Observability sinks: only materialized when requested, so the default
+  // run keeps every instrumentation site on its null fast path.
+  MetricsRegistry Metrics;
+  TraceRecorder Trace;
+  if (PrintMetrics)
+    Opts.Metrics = &Metrics;
+  if (!TracePath.empty())
+    Opts.Trace = &Trace;
+
+  GrammarAnalysis Analysis(*G, Opts.Metrics, Opts.Trace);
+  AutomatonOptions AutoOpts;
+  AutoOpts.Kind = Kind;
+  AutoOpts.Metrics = Opts.Metrics;
+  AutoOpts.Trace = Opts.Trace;
+  Automaton M(*G, Analysis, AutoOpts);
   ParseTable Table(M);
 
   if (Dump) {
@@ -190,5 +240,19 @@ int main(int argc, char **argv) {
               Reports.size(),
               CounterexampleFinder::resolveJobs(Opts.Jobs),
               Finder.cumulativeGuard().steps());
+
+  if (PrintMetrics) {
+    std::printf("\n-- metrics --\n%s",
+                Metrics.snapshot().renderText().c_str());
+  }
+  if (!TracePath.empty()) {
+    if (!Trace.writeChromeJson(TracePath)) {
+      std::fprintf(stderr, "cannot write trace '%s'\n", TracePath.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu trace span(s) to %s (%llu dropped)\n",
+                 Trace.events().size(), TracePath.c_str(),
+                 (unsigned long long)Trace.dropped());
+  }
   return Conflicts.empty() ? 0 : 1;
 }

@@ -17,6 +17,7 @@
 
 #include "cache/Serialization.h"
 #include "support/FaultInjection.h"
+#include "support/Metrics.h"
 
 #include <algorithm>
 #include <cstring>
@@ -947,19 +948,39 @@ AnalysisCache::storeReports(const Grammar &G, AutomatonKind Kind,
 //===----------------------------------------------------------------------===//
 
 AnalysisSession::AnalysisSession(Grammar InG, AutomatonKind Kind,
-                                 const AnalysisCache *Cache)
-    : G(std::move(InG)), A(G) {
+                                 const AnalysisCache *Cache,
+                                 MetricsRegistry *Metrics,
+                                 TraceRecorder *Trace)
+    : G(std::move(InG)), A(G, Metrics, Trace) {
   if (Cache) {
     RestoredAnalysis Restored;
-    Probe = Cache->loadAnalysis(G, A, Kind, Restored);
+    {
+      ScopedTimer LoadTimer(Metrics, metric::TimeCacheLoadNs);
+      Probe = Cache->loadAnalysis(G, A, Kind, Restored);
+    }
     if (Probe.hit()) {
+      if (Metrics)
+        Metrics->add(metric::CacheHits);
       M = std::move(Restored.M);
       T = std::move(Restored.T);
       return;
     }
+    if (Metrics) {
+      Metrics->add(metric::CacheMisses);
+      if (Probe.degraded())
+        Metrics->add(metric::CacheDegradations);
+    }
   }
-  M = std::make_unique<Automaton>(G, A, Kind);
+  AutomatonOptions MOpts;
+  MOpts.Kind = Kind;
+  MOpts.Metrics = Metrics;
+  MOpts.Trace = Trace;
+  M = std::make_unique<Automaton>(G, A, MOpts);
   T = std::make_unique<ParseTable>(*M);
-  if (Cache)
+  if (Cache) {
+    ScopedTimer StoreTimer(Metrics, metric::TimeCacheStoreNs);
     Cache->storeAnalysis(*T);
+    if (Metrics)
+      Metrics->add(metric::CacheStores);
+  }
 }

@@ -204,8 +204,13 @@ private:
 /// small and the restore path simple.
 class AnalysisSession {
 public:
-  /// \p Cache may be null (caching disabled).
-  AnalysisSession(Grammar G, AutomatonKind Kind, const AnalysisCache *Cache);
+  /// \p Cache may be null (caching disabled). \p Metrics and \p Trace are
+  /// optional observability sinks threaded into the grammar analysis and
+  /// automaton construction (plus cache.* load/store accounting); they
+  /// never affect the artifacts or the cache key.
+  AnalysisSession(Grammar G, AutomatonKind Kind, const AnalysisCache *Cache,
+                  MetricsRegistry *Metrics = nullptr,
+                  TraceRecorder *Trace = nullptr);
 
   const Grammar &grammar() const { return G; }
   const GrammarAnalysis &analysis() const { return A; }

@@ -14,7 +14,9 @@
 
 #include "cache/AnalysisCache.h"
 #include "counterexample/Advisor.h"
+#include "support/Metrics.h"
 #include "support/Stopwatch.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <new>
@@ -88,18 +90,35 @@ void noteCacheProbe(CacheActivity &Activity, const cache::CacheProbe &P) {
 StateItemGraph CounterexampleFinder::buildOrRestoreGraph(
     const ParseTable &Table, const FinderOptions &Opts,
     CacheActivity &Activity) {
+  MetricsRegistry *M = Opts.Metrics;
   if (Opts.CachePath.empty())
-    return StateItemGraph(Table.automaton());
+    return StateItemGraph(Table.automaton(), M, Opts.Trace);
   cache::AnalysisCache Cache(Opts.CachePath);
   std::optional<StateItemGraph> Restored;
-  cache::CacheProbe P = Cache.loadGraph(Table.automaton(), Restored);
+  cache::CacheProbe P;
+  {
+    ScopedTimer LoadTimer(M, metric::TimeCacheLoadNs);
+    P = Cache.loadGraph(Table.automaton(), Restored);
+  }
   if (P.hit()) {
+    if (M)
+      M->add(metric::CacheHits);
     Activity.GraphFromCache = true;
     return std::move(*Restored);
   }
+  if (M) {
+    M->add(metric::CacheMisses);
+    if (P.degraded())
+      M->add(metric::CacheDegradations);
+  }
   noteCacheProbe(Activity, P);
-  StateItemGraph Built(Table.automaton());
-  Cache.storeGraph(Built);
+  StateItemGraph Built(Table.automaton(), M, Opts.Trace);
+  {
+    ScopedTimer StoreTimer(M, metric::TimeCacheStoreNs);
+    Cache.storeGraph(Built);
+  }
+  if (M)
+    M->add(metric::CacheStores);
   return Built;
 }
 
@@ -108,32 +127,48 @@ CounterexampleFinder::CounterexampleFinder(const ParseTable &Table,
     : Table(Table), G(Table.automaton().grammar()),
       Graph(buildOrRestoreGraph(Table, Opts, Cache)), Nonunifying(Graph),
       Unifying(Graph), Opts(Opts),
-      Cumulative(cumulativeLimits(Opts), Opts.Cancellation) {}
+      Cumulative(cumulativeLimits(Opts), Opts.Cancellation) {
+  Cumulative.attachMetrics(this->Opts.Metrics);
+}
+
+ConflictReport CounterexampleFinder::failureReport(const Conflict &C,
+                                                   FailureReason::Kind K,
+                                                   const char *Stage,
+                                                   std::string Detail) {
+  ConflictReport R;
+  R.TheConflict = C;
+  R.Status = CounterexampleStatus::Failed;
+  R.UnifyingOutcome = UnifyingStatus::Error;
+  R.Failure = FailureReason{K, Stage, std::move(Detail)};
+  return R;
+}
 
 ConflictReport CounterexampleFinder::examine(const Conflict &C) {
+  return examineIndexed(C, -1);
+}
+
+ConflictReport CounterexampleFinder::examineIndexed(const Conflict &C,
+                                                    long long Index) {
   // Last-resort boundary: examineImpl degrades failures itself, but an
   // allocation failure can strike anywhere, and examine() must not throw.
   try {
-    return examineImpl(C);
+    return examineImpl(C, Index);
   } catch (const SearchError &E) {
-    ConflictReport R;
-    R.TheConflict = C;
-    R.Status = CounterexampleStatus::Failed;
-    R.Failure =
-        FailureReason{FailureReason::InternalError, "examine", E.what()};
-    return R;
+    return failureReport(C, FailureReason::InternalError, "examine",
+                         E.what());
   } catch (const std::bad_alloc &) {
-    ConflictReport R;
-    R.TheConflict = C;
-    R.Status = CounterexampleStatus::Failed;
-    R.Failure = FailureReason{FailureReason::AllocationFailure, "examine",
-                              "allocation failure"};
-    return R;
+    return failureReport(C, FailureReason::AllocationFailure, "examine",
+                         "allocation failure");
   }
 }
 
-ConflictReport CounterexampleFinder::examineImpl(const Conflict &C) {
+ConflictReport CounterexampleFinder::examineImpl(const Conflict &C,
+                                                 long long Index) {
   Stopwatch Timer;
+  ScopedTimer MetricTimer(Opts.Metrics, metric::TimeConflictNs);
+  TraceSpan ConflictSpan(Opts.Trace, "conflict", Index);
+  if (Opts.Metrics)
+    Opts.Metrics->add(metric::ExamineConflicts);
   ConflictReport Report;
   Report.TheConflict = C;
 
@@ -195,13 +230,15 @@ ConflictReport CounterexampleFinder::examineImpl(const Conflict &C) {
   ResourceLimits LssLimits;
   LssLimits.WallPollPeriod = Opts.WallPollPeriod;
   ResourceGuard LssGuard(LssLimits, Opts.Cancellation);
+  LssGuard.attachMetrics(Opts.Metrics);
   std::optional<LssPath> Path;
   LssStats PathStats;
   try {
+    TraceSpan LssSpan(Opts.Trace, "lss", Index);
     Path = shortestLookaheadSensitivePath(
         Graph, ReduceNode, C.Token,
         /*PruneToReaching=*/true, &LssGuard,
-        Opts.CollectLssStats ? &PathStats : nullptr);
+        Opts.CollectLssStats ? &PathStats : nullptr, Opts.Metrics);
     if (Opts.CollectLssStats)
       Report.Lss = PathStats;
   } catch (const SearchError &E) {
@@ -243,6 +280,7 @@ ConflictReport CounterexampleFinder::examineImpl(const Conflict &C) {
     UO.MemoryLimitBytes = Opts.MemoryLimitBytes;
     UO.Cancellation = Opts.Cancellation;
     UO.WallPollPeriod = Opts.WallPollPeriod;
+    UO.Metrics = Opts.Metrics;
     // Effective step budget: per-conflict cap, shrunk to what the
     // cumulative deterministic budget still allows.
     UO.MaxConfigurations = Opts.MaxConfigurations;
@@ -254,8 +292,10 @@ ConflictReport CounterexampleFinder::examineImpl(const Conflict &C) {
       UO.MaxConfigurations = std::min(UO.MaxConfigurations, CumLeft);
     }
 
-    UnifyingResult UR =
-        Unifying.search(ReduceNode, OtherNodes, C.Token, &*Path, UO);
+    UnifyingResult UR = [&] {
+      TraceSpan UnifySpan(Opts.Trace, "unifying", Index);
+      return Unifying.search(ReduceNode, OtherNodes, C.Token, &*Path, UO);
+    }();
     Report.Configurations = UR.ConfigurationsExplored;
     Report.PeakBytes = UR.PeakBytes;
     Report.UnifyingOutcome = UR.Status;
@@ -311,23 +351,33 @@ ConflictReport CounterexampleFinder::examineImpl(const Conflict &C) {
 
   // Fall back to a nonunifying counterexample (§4), trying each candidate
   // conflicting item. Builder failures degrade to the bare report.
-  for (StateItemGraph::NodeId Other : OtherNodes) {
-    std::optional<Counterexample> Ex;
-    try {
-      Ex = Nonunifying.build(*Path, Other, C.Token);
-    } catch (const SearchError &E) {
-      Report.Status = CounterexampleStatus::Failed;
-      fail(FailureReason::InternalError, "nonunifying-builder", E.what());
-      continue;
-    } catch (const std::bad_alloc &) {
-      Report.Status = CounterexampleStatus::Failed;
-      fail(FailureReason::AllocationFailure, "nonunifying-builder",
-           "allocation failure");
-      continue;
-    }
-    if (Ex) {
-      Report.Example = std::move(Ex);
-      break;
+  {
+    ScopedTimer NonunifTimer(Opts.Metrics, metric::TimeNonunifyingNs);
+    TraceSpan NonunifSpan(Opts.Trace, "nonunifying", Index);
+    for (StateItemGraph::NodeId Other : OtherNodes) {
+      std::optional<Counterexample> Ex;
+      try {
+        if (Opts.Metrics)
+          Opts.Metrics->add(metric::NonunifyingBuilds);
+        Ex = Nonunifying.build(*Path, Other, C.Token);
+      } catch (const SearchError &E) {
+        if (Opts.Metrics)
+          Opts.Metrics->add(metric::NonunifyingFailures);
+        Report.Status = CounterexampleStatus::Failed;
+        fail(FailureReason::InternalError, "nonunifying-builder", E.what());
+        continue;
+      } catch (const std::bad_alloc &) {
+        if (Opts.Metrics)
+          Opts.Metrics->add(metric::NonunifyingFailures);
+        Report.Status = CounterexampleStatus::Failed;
+        fail(FailureReason::AllocationFailure, "nonunifying-builder",
+             "allocation failure");
+        continue;
+      }
+      if (Ex) {
+        Report.Example = std::move(Ex);
+        break;
+      }
     }
   }
   if (!Report.Example && Report.Status != CounterexampleStatus::Failed) {
@@ -345,6 +395,12 @@ unsigned CounterexampleFinder::resolveJobs(unsigned Jobs) {
 }
 
 std::vector<ConflictReport> CounterexampleFinder::examineAll() {
+  MetricsRegistry *M = Opts.Metrics;
+  ScopedTimer RunTimer(M, metric::TimeExamineAllNs);
+  TraceSpan RunSpan(Opts.Trace, "examine-all");
+  if (M)
+    M->add(metric::ExamineRuns);
+
   // Fresh cumulative guard per run; the caller's token is shared, so a
   // cancellation tripped earlier still applies.
   Cumulative.reset(cumulativeLimits(Opts), Opts.Cancellation);
@@ -357,10 +413,21 @@ std::vector<ConflictReport> CounterexampleFinder::examineAll() {
   if (!Opts.CachePath.empty()) {
     cache::AnalysisCache ReportCache(Opts.CachePath);
     std::vector<ConflictReport> Cached;
-    cache::CacheProbe P = ReportCache.loadReports(G, Kind, Opts, Cached);
+    cache::CacheProbe P;
+    {
+      ScopedTimer LoadTimer(M, metric::TimeCacheLoadNs);
+      P = ReportCache.loadReports(G, Kind, Opts, Cached);
+    }
     if (P.hit()) {
+      if (M)
+        M->add(metric::CacheHits);
       Cache.ReportsFromCache = true;
       return Cached;
+    }
+    if (M) {
+      M->add(metric::CacheMisses);
+      if (P.degraded())
+        M->add(metric::CacheDegradations);
     }
     noteCacheProbe(Cache, P);
   }
@@ -372,8 +439,10 @@ std::vector<ConflictReport> CounterexampleFinder::examineAll() {
   if (size_t(Jobs) > Reported.size())
     Jobs = unsigned(Reported.size());
   if (Jobs <= 1) {
+    if (M)
+      M->gaugeMax(metric::ExamineWorkers, 1);
     for (size_t I = 0, E = Reported.size(); I != E; ++I)
-      Out[I] = examine(Reported[I]);
+      Out[I] = examineIndexed(Reported[I], (long long)I);
   } else {
     // Worker pool over an atomic index dispenser. The graph, analysis,
     // and builders are read-only after construction; the cumulative guard
@@ -381,21 +450,26 @@ std::vector<ConflictReport> CounterexampleFinder::examineAll() {
     // indices it claimed, so reports land in conflict order without any
     // reordering step. examine() never throws, but a worker still shields
     // the pool so an unexpected exception degrades one report instead of
-    // terminating.
+    // terminating — through the same failure-report path as examine's own
+    // boundary, so shielded reports carry the error UnifyingOutcome too.
     std::atomic<size_t> Next{0};
     auto Work = [&] {
+      Stopwatch Busy;
       for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
            I < Reported.size();
            I = Next.fetch_add(1, std::memory_order_relaxed)) {
         try {
-          Out[I] = examine(Reported[I]);
+          Out[I] = examineIndexed(Reported[I], (long long)I);
         } catch (...) {
-          Out[I].TheConflict = Reported[I];
-          Out[I].Status = CounterexampleStatus::Failed;
-          Out[I].Failure = FailureReason{FailureReason::InternalError,
-                                         "examine-all", "worker failure"};
+          if (M)
+            M->add(metric::ExamineWorkerFailures);
+          Out[I] = failureReport(Reported[I], FailureReason::InternalError,
+                                 "examine-all", "worker failure");
         }
       }
+      if (M)
+        M->observe(metric::TimeWorkerBusyNs,
+                   uint64_t(Busy.seconds() * 1e9));
     };
     std::vector<std::thread> Pool;
     Pool.reserve(Jobs - 1);
@@ -406,6 +480,8 @@ std::vector<ConflictReport> CounterexampleFinder::examineAll() {
         break; // thread exhaustion: degrade to fewer workers
       }
     }
+    if (M)
+      M->gaugeMax(metric::ExamineWorkers, Pool.size() + 1);
     Work(); // the calling thread is always worker 0
     for (std::thread &T : Pool)
       T.join();
@@ -418,8 +494,12 @@ std::vector<ConflictReport> CounterexampleFinder::examineAll() {
   if (!Opts.CachePath.empty() &&
       std::none_of(Out.begin(), Out.end(), [](const ConflictReport &R) {
         return R.Status == CounterexampleStatus::Cancelled;
-      }))
+      })) {
+    ScopedTimer StoreTimer(M, metric::TimeCacheStoreNs);
     cache::AnalysisCache(Opts.CachePath).storeReports(G, Kind, Opts, Out);
+    if (M)
+      M->add(metric::CacheStores);
+  }
   return Out;
 }
 

@@ -79,6 +79,17 @@ struct FinderOptions {
   /// of the cache key: two finders differing only in CachePath (or Jobs)
   /// produce identical reports.
   std::string CachePath;
+  /// Pipeline-wide metrics sink (support/Metrics.h). When null (the
+  /// default) every instrumentation site reduces to a pointer test and no
+  /// clock is read; when set, per-phase wall times and search-effort
+  /// counters for every stage (lss.*, unifying.*, cache.*, examine.*,
+  /// guard.trips.*) accumulate into the registry. Observability only:
+  /// never part of the cache key and never changes reports.
+  MetricsRegistry *Metrics = nullptr;
+  /// Trace-span sink (support/Trace.h): phase spans with parent linkage
+  /// and conflict ids, exportable as Chrome trace_event JSON. Same
+  /// zero-cost-when-null and not-part-of-the-key contract as Metrics.
+  TraceRecorder *Trace = nullptr;
 };
 
 /// How a conflict was explained; matches the Table 1 columns.
@@ -191,7 +202,19 @@ public:
   const ResourceGuard &cumulativeGuard() const { return Cumulative; }
 
 private:
-  ConflictReport examineImpl(const Conflict &C);
+  /// examine() with a conflict index for trace spans and worker metrics
+  /// (-1 for standalone calls); shares the never-throws boundary.
+  ConflictReport examineIndexed(const Conflict &C, long long Index);
+  ConflictReport examineImpl(const Conflict &C, long long Index);
+
+  /// The shared failure-report construction path: every boundary that
+  /// catches an escaped exception (examine's SearchError / bad_alloc
+  /// handlers, the examineAll worker shield) builds its degraded report
+  /// here so all of them carry the same shape — Failed status, a
+  /// structured FailureReason, and UnifyingOutcome = Error.
+  static ConflictReport failureReport(const Conflict &C,
+                                      FailureReason::Kind K,
+                                      const char *Stage, std::string Detail);
 
   /// Restores the state-item graph from the cache when possible (storing
   /// it after a cold build), recording hits and degradations in

@@ -7,6 +7,7 @@
 #include "counterexample/LookaheadSensitiveSearch.h"
 
 #include "support/FaultInjection.h"
+#include "support/Metrics.h"
 #include "support/TerminalSetPool.h"
 
 #include <algorithm>
@@ -45,7 +46,8 @@ struct PooledVertex {
 std::optional<LssPath> lalrcex::shortestLookaheadSensitivePath(
     const StateItemGraph &Graph, StateItemGraph::NodeId ConflictNode,
     Symbol ConflictTerm, bool PruneToReaching, ResourceGuard *Guard,
-    LssStats *Stats) {
+    LssStats *Stats, MetricsRegistry *Metrics) {
+  ScopedTimer Timer(Metrics, metric::TimeLssNs);
   const Automaton &M = Graph.automaton();
   const Grammar &G = M.grammar();
   const GrammarAnalysis &Analysis = M.analysis();
@@ -71,6 +73,17 @@ std::optional<LssPath> lalrcex::shortestLookaheadSensitivePath(
 
   size_t Expanded = 0, Enqueued = 0, Pruned = 0;
   auto finish = [&] {
+    if (Metrics) {
+      const TerminalSetPool::Stats &PS = Pool.stats();
+      Metrics->add(metric::LssSearches);
+      Metrics->add(metric::LssExpanded, Expanded);
+      Metrics->add(metric::LssEnqueued, Enqueued);
+      Metrics->add(metric::LssDominancePruned, Pruned);
+      Metrics->add(metric::LssSubsetChecks, PS.SubsetChecks);
+      Metrics->add(metric::LssUnionCalls, PS.UnionCalls);
+      Metrics->add(metric::LssUnionCacheHits, PS.UnionCacheHits);
+      Metrics->gaugeMax(metric::LssPoolArenaBytes, PS.ArenaBytes);
+    }
     if (!Stats)
       return;
     Stats->Expanded = Expanded;

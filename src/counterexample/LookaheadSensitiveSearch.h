@@ -64,7 +64,9 @@ struct LssPath {
 
 /// Observability counters for one lookahead-sensitive search (surfaced by
 /// grammar_debugger -lss-stats and the microbenchmarks). Never affects
-/// the search result.
+/// the search result. Deprecated in favor of the pipeline-wide
+/// MetricsRegistry (lss.* counters), which reports the same quantities;
+/// retained so -lss-stats and the PR 4 benchmarks keep their exact shape.
 struct LssStats {
   size_t Expanded = 0;        ///< vertices popped from the queue
   size_t Enqueued = 0;        ///< vertices admitted to the frontier
@@ -88,13 +90,16 @@ struct LssStats {
 /// budget), the search stops and returns nullopt — callers degrade to a
 /// bare item-pair report.
 /// \p Stats, when given, receives the search's counters.
+/// \p Metrics, when given, receives the same counters as lss.* metrics
+/// plus the search wall time (time.lss_ns).
 std::optional<LssPath>
 shortestLookaheadSensitivePath(const StateItemGraph &Graph,
                                StateItemGraph::NodeId ConflictNode,
                                Symbol ConflictTerm,
                                bool PruneToReaching = true,
                                ResourceGuard *Guard = nullptr,
-                               LssStats *Stats = nullptr);
+                               LssStats *Stats = nullptr,
+                               MetricsRegistry *Metrics = nullptr);
 
 /// The pre-pool reference implementation (plain BFS, per-vertex IndexSet
 /// copies, exact-equality visited sets). Kept verbatim so the equivalence

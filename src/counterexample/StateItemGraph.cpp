@@ -6,13 +6,19 @@
 
 #include "counterexample/StateItemGraph.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <cassert>
 #include <deque>
 
 using namespace lalrcex;
 
-StateItemGraph::StateItemGraph(const Automaton &M)
+StateItemGraph::StateItemGraph(const Automaton &M, MetricsRegistry *Metrics,
+                               TraceRecorder *Trace)
     : M(M), LaPool(TerminalSetPool::overlay(M.analysis().pool())) {
+  ScopedTimer Timer(Metrics, metric::TimeGraphBuildNs);
+  TraceSpan Span(Trace, "graph-build");
   const Grammar &G = M.grammar();
 
   // Enumerate nodes: per state, in the state's item order.
@@ -59,6 +65,16 @@ StateItemGraph::StateItemGraph(const Automaton &M)
   RevTransitions = Csr::fromRows(RevTransRows);
   RevProdSteps = Csr::fromRows(RevProdRows);
   internNodeLookaheads();
+
+  if (Metrics) {
+    Metrics->add(metric::GraphBuilds);
+    Metrics->add(metric::GraphNodes, Nodes.size());
+    size_t Edges = ProdSteps.Data.size();
+    for (NodeId F : Fwd)
+      if (F != InvalidNode)
+        ++Edges;
+    Metrics->add(metric::GraphEdges, Edges);
+  }
 }
 
 void StateItemGraph::internNodeLookaheads() {

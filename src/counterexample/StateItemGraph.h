@@ -35,6 +35,8 @@ namespace cache {
 struct ArtifactAccess;
 }
 
+class TraceRecorder;
+
 /// Precomputed node/edge tables over (state, item) pairs.
 class StateItemGraph {
 public:
@@ -56,7 +58,11 @@ public:
     const NodeId *E;
   };
 
-  explicit StateItemGraph(const Automaton &M);
+  /// \p Metrics / \p Trace, when non-null, record build wall time and
+  /// node/edge counts (graph.* metrics, "graph-build" span).
+  explicit StateItemGraph(const Automaton &M,
+                          MetricsRegistry *Metrics = nullptr,
+                          TraceRecorder *Trace = nullptr);
 
   const Automaton &automaton() const { return M; }
   const Grammar &grammar() const { return M.grammar(); }

@@ -24,6 +24,7 @@
 #include "counterexample/UnifyingSearch.h"
 
 #include "support/FaultInjection.h"
+#include "support/Metrics.h"
 
 #include <algorithm>
 #include <new>
@@ -230,12 +231,14 @@ public:
   void push(int Cost, uint32_t Id) {
     Buckets[size_t(Cost) % Buckets.size()].push_back(Id);
     ++Count;
+    ++PushCount;
   }
 
   bool empty() const { return Count == 0; }
 
   /// The lowest-cost configuration; FIFO among equal costs.
   uint32_t pop() {
+    ++PopCount;
     for (;;) {
       std::vector<uint32_t> &B = Buckets[size_t(Cur) % Buckets.size()];
       if (Head < B.size()) {
@@ -248,11 +251,29 @@ public:
     }
   }
 
+  size_t pushes() const { return PushCount; }
+  size_t pops() const { return PopCount; }
+
 private:
   std::vector<std::vector<uint32_t>> Buckets;
   size_t Head = 0; // consumed prefix of the current bucket
   size_t Count = 0;
+  size_t PushCount = 0; // lifetime totals, flushed into unifying.* metrics
+  size_t PopCount = 0;
   int Cur = 0; // current minimum cost (monotone)
+};
+
+/// Flushes a queue's lifetime push/pop totals into the metrics registry
+/// when searchImpl exits, including via SearchError / bad_alloc.
+struct QueueMetricsFlusher {
+  const BucketQueue &Queue;
+  MetricsRegistry *Metrics;
+  ~QueueMetricsFlusher() {
+    if (!Metrics)
+      return;
+    Metrics->add(metric::UnifyingQueuePushes, Queue.pushes());
+    Metrics->add(metric::UnifyingQueuePops, Queue.pops());
+  }
 };
 
 } // namespace
@@ -267,6 +288,7 @@ UnifyingSearch::search(NodeId ReduceNode,
                        Symbol ConflictTerm, const LssPath *Slsp,
                        const UnifyingOptions &Opts) const {
   UnifyingResult Result;
+  ScopedTimer Timer(Opts.Metrics, metric::TimeUnifyingNs);
   ResourceLimits Limits;
   Limits.MaxSteps = Opts.MaxConfigurations;
   Limits.MaxBytes = Opts.MemoryLimitBytes;
@@ -274,6 +296,7 @@ UnifyingSearch::search(NodeId ReduceNode,
     Limits.WallClockSeconds = Opts.TimeLimitSeconds;
   Limits.WallPollPeriod = Opts.WallPollPeriod;
   ResourceGuard Guard(Limits, Opts.Cancellation);
+  Guard.attachMetrics(Opts.Metrics);
 
   // The search boundary: malformed search state (SearchError) and real
   // allocation failure degrade to a structured Error result instead of
@@ -292,6 +315,29 @@ UnifyingSearch::search(NodeId ReduceNode,
     Result.Example.reset();
   }
   Result.PeakBytes = Guard.peakBytes();
+  if (MetricsRegistry *M = Opts.Metrics) {
+    M->add(metric::UnifyingSearches);
+    M->add(metric::UnifyingConfigurations, Result.ConfigurationsExplored);
+    M->observe(metric::EffortConflictConfigurations,
+               Result.ConfigurationsExplored);
+    M->gaugeMax(metric::UnifyingPeakBytes, Result.PeakBytes);
+    switch (Result.Status) {
+    case UnifyingStatus::Found:
+      M->add(metric::UnifyingFound);
+      break;
+    case UnifyingStatus::Exhausted:
+      M->add(metric::UnifyingExhausted);
+      break;
+    case UnifyingStatus::TimedOut:
+    case UnifyingStatus::LimitHit:
+    case UnifyingStatus::MemoryLimit:
+    case UnifyingStatus::Cancelled:
+      M->add(metric::UnifyingBudgetStops);
+      break;
+    case UnifyingStatus::Error:
+      break;
+    }
+  }
   return Result;
 }
 
@@ -333,6 +379,7 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
   BucketQueue Queue(size_t(std::max(
       {ShiftCost, RevTransitionCost, ReduceCost, RevProductionCost,
        ProductionCost + DupCost, Opts.ExtendedSearch ? ExtRevCost : 0})));
+  QueueMetricsFlusher Flusher{Queue, Opts.Metrics};
 
   // One leaf per symbol: derivation trees are immutable, so every shift
   // of the same symbol can share one leaf instead of allocating anew.

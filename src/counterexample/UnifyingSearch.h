@@ -70,6 +70,11 @@ struct UnifyingOptions {
   /// Cost of a reverse transition through a state off the shortest
   /// lookahead-sensitive path (extended search only).
   int ExtendedRevTransitionCost = 100;
+
+  /// Optional observability sink: wall time, configuration and bucket-queue
+  /// counters, peak arena bytes, and guard trips (unifying.* metrics).
+  /// Never affects the search result.
+  MetricsRegistry *Metrics = nullptr;
 };
 
 /// Why the search stopped.

@@ -6,18 +6,31 @@
 
 #include "grammar/Analysis.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <cassert>
 
 using namespace lalrcex;
 
-GrammarAnalysis::GrammarAnalysis(const Grammar &G)
+GrammarAnalysis::GrammarAnalysis(const Grammar &G, MetricsRegistry *Metrics,
+                                 TraceRecorder *Trace)
     : G(G), Pool(G.numTerminals()) {
-  computeNullable();
-  computeFirst();
-  computeFollow();
-  computeMinYield();
+  ScopedTimer Timer(Metrics, metric::TimeAnalysisNs);
+  TraceSpan Span(Trace, "analysis");
+  unsigned NullablePasses = computeNullable();
+  unsigned FirstPasses = computeFirst();
+  unsigned FollowPasses = computeFollow();
+  unsigned MinYieldPasses = computeMinYield();
   computeReachable();
   buildPool();
+  if (Metrics) {
+    Metrics->add(metric::AnalysisRuns);
+    Metrics->add(metric::AnalysisNullablePasses, NullablePasses);
+    Metrics->add(metric::AnalysisFirstPasses, FirstPasses);
+    Metrics->add(metric::AnalysisFollowPasses, FollowPasses);
+    Metrics->add(metric::AnalysisMinYieldPasses, MinYieldPasses);
+  }
 }
 
 void GrammarAnalysis::buildPool() {
@@ -55,11 +68,13 @@ void GrammarAnalysis::buildPool() {
   Pool.freeze();
 }
 
-void GrammarAnalysis::computeNullable() {
+unsigned GrammarAnalysis::computeNullable() {
   Nullable.assign(G.numSymbols(), false);
+  unsigned Passes = 0;
   bool Changed = true;
   while (Changed) {
     Changed = false;
+    ++Passes;
     for (unsigned P = 0, E = G.numProductions(); P != E; ++P) {
       const Production &Prod = G.production(P);
       if (Nullable[Prod.Lhs.id()])
@@ -77,16 +92,19 @@ void GrammarAnalysis::computeNullable() {
       }
     }
   }
+  return Passes;
 }
 
-void GrammarAnalysis::computeFirst() {
+unsigned GrammarAnalysis::computeFirst() {
   First.assign(G.numSymbols(), IndexSet(G.numTerminals()));
   for (unsigned T = 0; T != G.numTerminals(); ++T)
     First[T].insert(T);
 
+  unsigned Passes = 0;
   bool Changed = true;
   while (Changed) {
     Changed = false;
+    ++Passes;
     for (unsigned P = 0, E = G.numProductions(); P != E; ++P) {
       const Production &Prod = G.production(P);
       IndexSet &Lhs = First[Prod.Lhs.id()];
@@ -97,14 +115,17 @@ void GrammarAnalysis::computeFirst() {
       }
     }
   }
+  return Passes;
 }
 
-void GrammarAnalysis::computeFollow() {
+unsigned GrammarAnalysis::computeFollow() {
   Follow.assign(G.numSymbols(), IndexSet(G.numTerminals()));
   Follow[G.augmentedStart().id()].insert(G.eof().id());
+  unsigned Passes = 0;
   bool Changed = true;
   while (Changed) {
     Changed = false;
+    ++Passes;
     for (unsigned P = 0, E = G.numProductions(); P != E; ++P) {
       const Production &Prod = G.production(P);
       for (size_t I = 0; I != Prod.Rhs.size(); ++I) {
@@ -117,18 +138,21 @@ void GrammarAnalysis::computeFollow() {
       }
     }
   }
+  return Passes;
 }
 
-void GrammarAnalysis::computeMinYield() {
+unsigned GrammarAnalysis::computeMinYield() {
   MinYield.assign(G.numSymbols(), Infinite);
   MinProdYield.assign(G.numProductions(), Infinite);
   MinProd.assign(G.numNonterminals(), Infinite);
   for (unsigned T = 0; T != G.numTerminals(); ++T)
     MinYield[T] = 1;
 
+  unsigned Passes = 0;
   bool Changed = true;
   while (Changed) {
     Changed = false;
+    ++Passes;
     for (unsigned P = 0, E = G.numProductions(); P != E; ++P) {
       const Production &Prod = G.production(P);
       unsigned Sum = 0;
@@ -153,6 +177,7 @@ void GrammarAnalysis::computeMinYield() {
       }
     }
   }
+  return Passes;
 }
 
 void GrammarAnalysis::computeReachable() {

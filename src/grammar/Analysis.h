@@ -24,13 +24,20 @@
 
 namespace lalrcex {
 
+class MetricsRegistry;
+class TraceRecorder;
+
 /// Precomputed analyses over a Grammar. The referenced grammar must outlive
 /// the analysis object.
 class GrammarAnalysis {
 public:
   static constexpr unsigned Infinite = std::numeric_limits<unsigned>::max();
 
-  explicit GrammarAnalysis(const Grammar &G);
+  /// \p Metrics / \p Trace, when non-null, record the construction's wall
+  /// time and the pass count of each fixpoint (analysis.* counters).
+  explicit GrammarAnalysis(const Grammar &G,
+                           MetricsRegistry *Metrics = nullptr,
+                           TraceRecorder *Trace = nullptr);
 
   const Grammar &grammar() const { return G; }
 
@@ -125,10 +132,10 @@ public:
   }
 
 private:
-  void computeNullable();
-  void computeFirst();
-  void computeFollow();
-  void computeMinYield();
+  unsigned computeNullable();
+  unsigned computeFirst();
+  unsigned computeFollow();
+  unsigned computeMinYield();
   void computeReachable();
   void buildPool();
 

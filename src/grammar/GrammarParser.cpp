@@ -7,9 +7,13 @@
 #include "grammar/GrammarParser.h"
 
 #include "grammar/GrammarBuilder.h"
+#include "support/StrUtil.h"
 
 #include <cctype>
+#include <cstdint>
 #include <cstdlib>
+#include <limits>
+#include <optional>
 #include <vector>
 
 using namespace lalrcex;
@@ -196,8 +200,14 @@ private:
   void advance() { Cur = Lex.next(); }
 
   bool error(const std::string &Msg) {
+    return errorAt(Cur.Line, Msg);
+  }
+
+  /// Positioned error for constructs whose tokens have already been
+  /// consumed (Cur.Line would point past them).
+  bool errorAt(unsigned Line, const std::string &Msg) {
     if (Err && !Lex.failed())
-      *Err = "line " + std::to_string(Cur.Line) + ": " + Msg;
+      *Err = "line " + std::to_string(Line) + ": " + Msg;
     return false;
   }
 
@@ -214,6 +224,7 @@ private:
       if (Cur.Kind != TokKind::Directive)
         return error("expected a %-directive in the declaration section");
       std::string D = Cur.Text;
+      unsigned DirectiveLine = Cur.Line;
       advance();
       if (D == "%start") {
         if (Cur.Kind != TokKind::Ident)
@@ -241,14 +252,23 @@ private:
       } else if (D == "%precedence") {
         B.precedence(Names);
       } else if (D == "%expect" || D == "%expect-rr") {
-        // Conflict-count annotations: one numeric argument.
+        // Conflict-count annotations: one numeric argument. atoi used to
+        // live here and silently turned "%expect foo" or "%expect -3"
+        // into 0; a count that does not parse as a non-negative integer
+        // is now a positioned hard error. (The lexer treats '-' as an
+        // identifier character, so "-3" arrives as one Ident token.)
         if (Names.size() != 1)
-          return error(D + " requires one numeric argument");
-        int Count = std::atoi(Names[0].c_str());
+          return errorAt(DirectiveLine, D + " requires one numeric argument");
+        std::optional<uint64_t> Count =
+            parseUnsigned(Names[0], uint64_t(std::numeric_limits<int>::max()));
+        if (!Count)
+          return errorAt(DirectiveLine,
+                         D + " count '" + Names[0] +
+                             "' is not a non-negative integer");
         if (D == "%expect")
-          B.expectShiftReduce(Count);
+          B.expectShiftReduce(int(*Count));
         else
-          B.expectReduceReduce(Count);
+          B.expectReduceReduce(int(*Count));
       } else {
         return error("unknown directive '" + D + "'");
       }

@@ -6,6 +6,9 @@
 
 #include "lr/Automaton.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <deque>
@@ -26,17 +29,30 @@ Automaton::Automaton(const Grammar &G, const GrammarAnalysis &Analysis,
                      const AutomatonOptions &Opts)
     : G(G), Analysis(Analysis), Kind(Opts.Kind) {
   assert(&Analysis.grammar() == &G && "analysis built for another grammar");
+  ScopedTimer Timer(Opts.Metrics, metric::TimeAutomatonNs);
+  TraceSpan Span(Opts.Trace, "automaton");
+  unsigned KernelPasses = 0, ClosurePasses = 0;
   if (Kind == AutomatonKind::Canonical) {
     buildCanonical(Opts.PooledSets);
-    return;
-  }
-  buildLr0();
-  if (Opts.PooledSets) {
-    computeKernelLookaheadsPooled();
-    computeClosureLookaheadsPooled();
   } else {
-    computeKernelLookaheads();
-    computeClosureLookaheads();
+    buildLr0();
+    if (Opts.PooledSets) {
+      KernelPasses = computeKernelLookaheadsPooled();
+      ClosurePasses = computeClosureLookaheadsPooled();
+    } else {
+      KernelPasses = computeKernelLookaheads();
+      ClosurePasses = computeClosureLookaheads();
+    }
+  }
+  if (Opts.Metrics) {
+    Opts.Metrics->add(metric::AutomatonBuilds);
+    Opts.Metrics->add(metric::AutomatonStates, States.size());
+    size_t Items = 0;
+    for (const State &St : States)
+      Items += St.Items.size();
+    Opts.Metrics->add(metric::AutomatonClosureItems, Items);
+    Opts.Metrics->add(metric::AutomatonKernelLaPasses, KernelPasses);
+    Opts.Metrics->add(metric::AutomatonClosureLaPasses, ClosurePasses);
   }
 }
 
@@ -291,7 +307,7 @@ int Automaton::transition(unsigned StateIndex, Symbol S) const {
   return -1;
 }
 
-void Automaton::computeKernelLookaheads() {
+unsigned Automaton::computeKernelLookaheads() {
   const unsigned NumTerminals = G.numTerminals();
   // The probe universe has one extra pseudo-terminal "#" used to discover
   // propagation.
@@ -395,9 +411,11 @@ void Automaton::computeKernelLookaheads() {
   }
 
   // Propagate to fixpoint.
+  unsigned Passes = 0;
   bool Changed = true;
   while (Changed) {
     Changed = false;
+    ++Passes;
     for (const PropLink &L : Links)
       Changed |= KernelLA[L.ToState][L.ToItem].unionWith(
           KernelLA[L.FromState][L.FromItem]);
@@ -409,9 +427,11 @@ void Automaton::computeKernelLookaheads() {
     for (unsigned KI = 0; KI != States[S].NumKernel; ++KI)
       States[S].Lookaheads[KI] = std::move(KernelLA[S][KI]);
   }
+  return Passes;
 }
 
-void Automaton::computeClosureLookaheads() {
+unsigned Automaton::computeClosureLookaheads() {
+  unsigned Pops = 0;
   for (State &St : States) {
     // Map production -> index of its dot-0 closure item in this state.
     std::map<uint32_t, unsigned> ClosureIndex;
@@ -428,6 +448,7 @@ void Automaton::computeClosureLookaheads() {
       unsigned I = Work.front();
       Work.pop_front();
       InWork[I] = false;
+      ++Pops;
       Symbol Next = St.Items[I].afterDot(G);
       if (!Next.valid() || G.isTerminal(Next))
         continue;
@@ -445,9 +466,10 @@ void Automaton::computeClosureLookaheads() {
       }
     }
   }
+  return Pops;
 }
 
-void Automaton::computeKernelLookaheadsPooled() {
+unsigned Automaton::computeKernelLookaheadsPooled() {
   const unsigned NumTerminals = G.numTerminals();
   const unsigned Hash = NumTerminals;
   const unsigned ProbeUniverse = NumTerminals + 1;
@@ -560,9 +582,11 @@ void Automaton::computeKernelLookaheadsPooled() {
 
   // Propagate to fixpoint: an id compare detects convergence, and the
   // union cache answers the re-merges every round after the first.
+  unsigned Passes = 0;
   bool Changed = true;
   while (Changed) {
     Changed = false;
+    ++Passes;
     for (const PropLink &L : Links) {
       TerminalSetPool::SetId &To = KernelLA[L.ToState][L.ToItem];
       TerminalSetPool::SetId Merged =
@@ -580,11 +604,13 @@ void Automaton::computeKernelLookaheadsPooled() {
     for (unsigned KI = 0; KI != States[S].NumKernel; ++KI)
       States[S].Lookaheads[KI] = LaPool.materialize(KernelLA[S][KI]);
   }
+  return Passes;
 }
 
-void Automaton::computeClosureLookaheadsPooled() {
+unsigned Automaton::computeClosureLookaheadsPooled() {
   TerminalSetPool Pool = TerminalSetPool::overlay(Analysis.pool());
   std::vector<TerminalSetPool::SetId> Ids;
+  unsigned Pops = 0;
   for (State &St : States) {
     std::map<uint32_t, unsigned> ClosureIndex;
     for (unsigned I = 0, E = unsigned(St.Items.size()); I != E; ++I)
@@ -605,6 +631,7 @@ void Automaton::computeClosureLookaheadsPooled() {
       unsigned I = Work.front();
       Work.pop_front();
       InWork[I] = false;
+      ++Pops;
       Symbol Next = St.Items[I].afterDot(G);
       if (!Next.valid() || G.isTerminal(Next))
         continue;
@@ -630,6 +657,7 @@ void Automaton::computeClosureLookaheadsPooled() {
     for (unsigned I = 0, E = unsigned(St.Items.size()); I != E; ++I)
       St.Lookaheads[I] = Pool.materialize(Ids[I]);
   }
+  return Pops;
 }
 
 const IndexSet &Automaton::lookahead(unsigned StateIndex,

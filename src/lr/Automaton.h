@@ -37,6 +37,9 @@ namespace cache {
 struct ArtifactAccess;
 }
 
+class MetricsRegistry;
+class TraceRecorder;
+
 /// Which parser state machine to construct.
 enum class AutomatonKind {
   /// LR(0) states with merged LALR(1) lookaheads (the paper's setting and
@@ -59,6 +62,11 @@ struct AutomatonOptions {
   /// are identical; the baseline IndexSet fixpoints are retained for the
   /// equivalence tests and the pooled-vs-baseline benchmarks.
   bool PooledSets = true;
+  /// Optional observability sinks: construction wall time, state/item
+  /// counts, and lookahead-fixpoint pass counts (automaton.* metrics) plus
+  /// an "automaton" trace span. Never affect the constructed machine.
+  MetricsRegistry *Metrics = nullptr;
+  TraceRecorder *Trace = nullptr;
 };
 
 /// The LALR(1) (or canonical LR(1)) parser state machine for a grammar.
@@ -116,10 +124,10 @@ private:
       : G(G), Analysis(Analysis), Kind(Kind) {}
 
   void buildLr0();
-  void computeKernelLookaheads();
-  void computeClosureLookaheads();
-  void computeKernelLookaheadsPooled();
-  void computeClosureLookaheadsPooled();
+  unsigned computeKernelLookaheads();
+  unsigned computeClosureLookaheads();
+  unsigned computeKernelLookaheadsPooled();
+  unsigned computeClosureLookaheadsPooled();
   void buildCanonical(bool PooledSets);
 
   /// The closure item set of a kernel (LR(0) closure), returning items in

@@ -7,8 +7,24 @@
 #include "support/Budget.h"
 
 #include "support/FaultInjection.h"
+#include "support/Metrics.h"
 
 using namespace lalrcex;
+
+static metric::Counter tripCounter(GuardStop S) {
+  switch (S) {
+  case GuardStop::MemoryLimit:
+    return metric::GuardTripsMemoryLimit;
+  case GuardStop::Deadline:
+    return metric::GuardTripsDeadline;
+  case GuardStop::Cancelled:
+    return metric::GuardTripsCancelled;
+  case GuardStop::StepLimit:
+  case GuardStop::None:
+    break;
+  }
+  return metric::GuardTripsStepLimit;
+}
 
 const char *lalrcex::toString(GuardStop S) {
   switch (S) {
@@ -54,8 +70,11 @@ GuardStop ResourceGuard::trip(GuardStop S) {
   // thread observes the same (earliest) reason no matter which brake it
   // hit itself.
   GuardStop Expected = GuardStop::None;
-  Stop.compare_exchange_strong(Expected, S, std::memory_order_acq_rel,
-                               std::memory_order_acquire);
+  if (Stop.compare_exchange_strong(Expected, S, std::memory_order_acq_rel,
+                                   std::memory_order_acquire)) {
+    if (MetricsRegistry *M = Metrics.load(std::memory_order_acquire))
+      M->add(tripCounter(S));
+  }
   return Stop.load(std::memory_order_acquire);
 }
 

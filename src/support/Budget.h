@@ -51,6 +51,8 @@
 
 namespace lalrcex {
 
+class MetricsRegistry;
+
 /// A recoverable internal error in a search or builder: malformed search
 /// state, inconsistent derivation ledgers, invalid caller input. Replaces
 /// the hard asserts that used to abort the process; callers catch it at
@@ -167,6 +169,14 @@ public:
   const ResourceLimits &limits() const { return Limits; }
   const CancellationToken &token() const { return Token; }
 
+  /// Attaches a metrics registry (may be null to detach): each published
+  /// trip bumps the matching guard.trips.* counter exactly once, on the
+  /// thread whose compare-and-swap won. Survives reset(); safe to call
+  /// while charges are in flight.
+  void attachMetrics(MetricsRegistry *M) {
+    Metrics.store(M, std::memory_order_release);
+  }
+
 private:
   GuardStop trip(GuardStop S);
   GuardStop poll(size_t StepsNow);
@@ -179,6 +189,7 @@ private:
   std::atomic<size_t> PeakBytes{0};
   std::atomic<size_t> NextPoll{0};
   std::atomic<GuardStop> Stop{GuardStop::None};
+  std::atomic<MetricsRegistry *> Metrics{nullptr};
 };
 
 } // namespace lalrcex

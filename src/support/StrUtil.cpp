@@ -38,3 +38,21 @@ std::string lalrcex::padRight(const std::string &S, size_t Width) {
     return S;
   return S + std::string(Width - S.size(), ' ');
 }
+
+std::optional<uint64_t> lalrcex::parseUnsigned(const std::string &S,
+                                               uint64_t Max) {
+  if (S.empty())
+    return std::nullopt;
+  uint64_t Value = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return std::nullopt;
+    unsigned Digit = unsigned(C - '0');
+    if (Value > (UINT64_MAX - Digit) / 10)
+      return std::nullopt;
+    Value = Value * 10 + Digit;
+  }
+  if (Value > Max)
+    return std::nullopt;
+  return Value;
+}

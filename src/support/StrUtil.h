@@ -7,6 +7,8 @@
 #ifndef LALRCEX_SUPPORT_STRUTIL_H
 #define LALRCEX_SUPPORT_STRUTIL_H
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,6 +26,14 @@ std::string padLeft(const std::string &S, size_t Width);
 
 /// Pads \p S on the right with spaces to at least \p Width characters.
 std::string padRight(const std::string &S, size_t Width);
+
+/// Strictly parses \p S as a non-negative decimal integer no larger than
+/// \p Max. Returns nullopt for an empty string, any non-digit character
+/// (including signs and whitespace), or a value out of range. Use this
+/// instead of std::atoi for every numeric CLI argument and directive:
+/// atoi silently maps garbage to 0 and wraps negatives through unsigned.
+std::optional<uint64_t> parseUnsigned(const std::string &S,
+                                      uint64_t Max = UINT64_MAX);
 
 } // namespace lalrcex
 

@@ -1,0 +1,160 @@
+//===- support/Trace.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <cstdio>
+
+using namespace lalrcex;
+
+namespace {
+
+/// Innermost live span on this thread, keyed by recorder so spans from
+/// unrelated recorders never adopt each other.
+struct ThreadSpanState {
+  TraceRecorder *Rec = nullptr;
+  uint64_t Current = 0;
+};
+thread_local ThreadSpanState CurrentSpan;
+
+void appendEscaped(std::string &Out, const char *S) {
+  for (; *S; ++S) {
+    char C = *S;
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else if ((unsigned char)C < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+    } else {
+      Out += C;
+    }
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// TraceRecorder
+//===----------------------------------------------------------------------===//
+
+TraceRecorder::TraceRecorder(size_t Capacity)
+    : Epoch(std::chrono::steady_clock::now()),
+      Capacity(Capacity ? Capacity : 1) {
+  Ring.reserve(this->Capacity);
+}
+
+uint32_t TraceRecorder::threadId() {
+  static std::atomic<uint32_t> NextTid{0};
+  thread_local uint32_t Tid =
+      NextTid.fetch_add(1, std::memory_order_relaxed) + 1;
+  return Tid;
+}
+
+void TraceRecorder::record(const Event &E) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Ring.size() < Capacity) {
+    Ring.push_back(E);
+    return;
+  }
+  // Full: overwrite the oldest slot.
+  Ring[Next] = E;
+  Next = (Next + 1) % Capacity;
+  Wrapped = true;
+  ++Dropped;
+}
+
+std::vector<TraceRecorder::Event> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (!Wrapped)
+    return Ring;
+  std::vector<Event> Out;
+  Out.reserve(Ring.size());
+  for (size_t I = 0; I != Ring.size(); ++I)
+    Out.push_back(Ring[(Next + I) % Ring.size()]);
+  return Out;
+}
+
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Dropped;
+}
+
+std::string TraceRecorder::toChromeJson() const {
+  std::vector<Event> Evs = events();
+  std::string Out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char Buf[256];
+  bool First = true;
+  for (const Event &E : Evs) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "{\"name\":\"";
+    appendEscaped(Out, E.Name);
+    Out += "\",\"cat\":\"lalrcex\",\"ph\":\"X\",\"pid\":1";
+    std::snprintf(Buf, sizeof(Buf), ",\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f",
+                  E.Tid, double(E.StartNs) / 1000.0, double(E.DurNs) / 1000.0);
+    Out += Buf;
+    std::snprintf(Buf, sizeof(Buf), ",\"args\":{\"id\":%llu,\"parent\":%llu",
+                  (unsigned long long)E.Id, (unsigned long long)E.Parent);
+    Out += Buf;
+    if (E.ConflictId >= 0) {
+      std::snprintf(Buf, sizeof(Buf), ",\"conflict\":%lld",
+                    (long long)E.ConflictId);
+      Out += Buf;
+    }
+    Out += "}}";
+  }
+  Out += "]}";
+  return Out;
+}
+
+bool TraceRecorder::writeChromeJson(const std::string &Path) const {
+  std::string Json = toChromeJson();
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  size_t Written = std::fwrite(Json.data(), 1, Json.size(), F);
+  bool Ok = Written == Json.size();
+  if (std::fclose(F) != 0)
+    Ok = false;
+  return Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// TraceSpan
+//===----------------------------------------------------------------------===//
+
+TraceSpan::TraceSpan(TraceRecorder *Rec, const char *Name, int64_t ConflictId)
+    : Rec(Rec), Name(Name), ConflictId(ConflictId) {
+  if (!Rec)
+    return;
+  StartNs = Rec->nowNs();
+  Id = Rec->nextSpanId();
+  SavedRec = CurrentSpan.Rec;
+  SavedParent = CurrentSpan.Current;
+  Parent = (CurrentSpan.Rec == Rec) ? CurrentSpan.Current : 0;
+  CurrentSpan.Rec = Rec;
+  CurrentSpan.Current = Id;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!Rec)
+    return;
+  TraceRecorder::Event E;
+  E.Name = Name;
+  E.StartNs = StartNs;
+  uint64_t End = Rec->nowNs();
+  E.DurNs = End > StartNs ? End - StartNs : 0;
+  E.Tid = TraceRecorder::threadId();
+  E.Id = Id;
+  E.Parent = Parent;
+  E.ConflictId = ConflictId;
+  Rec->record(E);
+  CurrentSpan.Rec = SavedRec;
+  CurrentSpan.Current = SavedParent;
+}

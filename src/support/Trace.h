@@ -1,0 +1,113 @@
+//===- support/Trace.h - RAII trace spans + Chrome exporter ----*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+// Lightweight phase tracing: a TraceSpan marks a region of wall time with
+// a static name, its parent span (tracked per thread), and an optional
+// conflict id. Finished spans land in a fixed-capacity ring buffer inside
+// a TraceRecorder, which can serialize them in Chrome's trace_event JSON
+// format (load via chrome://tracing or Perfetto). Spans are coarse —
+// one per pipeline phase, not per search step — so the recorder uses a
+// plain mutex; the per-step hot paths go through MetricsRegistry instead.
+// Like metrics, every site takes a nullable recorder pointer and a null
+// recorder reduces a span to a pointer test.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_SUPPORT_TRACE_H
+#define LALRCEX_SUPPORT_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lalrcex {
+
+/// Collects finished spans into a bounded ring buffer. When the buffer is
+/// full the oldest events are overwritten and counted in dropped().
+class TraceRecorder {
+public:
+  struct Event {
+    const char *Name;   ///< Static phase name (not owned).
+    uint64_t StartNs;   ///< Start, ns since the recorder's epoch.
+    uint64_t DurNs;     ///< Wall duration in ns.
+    uint32_t Tid;       ///< Small per-thread id.
+    uint64_t Id;        ///< Span id, unique within the recorder.
+    uint64_t Parent;    ///< Enclosing span id on the same thread; 0 = none.
+    int64_t ConflictId; ///< Conflict index, or -1 when not conflict-scoped.
+  };
+
+  explicit TraceRecorder(size_t Capacity = 1 << 16);
+
+  /// Events in completion order (oldest surviving first).
+  std::vector<Event> events() const;
+
+  /// Number of events overwritten because the ring was full.
+  uint64_t dropped() const;
+
+  /// Serializes the buffer as a Chrome trace_event JSON object
+  /// ({"displayTimeUnit":"ms","traceEvents":[...]}); timestamps and
+  /// durations are microseconds relative to the recorder's epoch.
+  std::string toChromeJson() const;
+
+  /// Writes toChromeJson() to \p Path. Returns false on I/O failure.
+  bool writeChromeJson(const std::string &Path) const;
+
+  /// Nanoseconds since the recorder's construction.
+  uint64_t nowNs() const {
+    return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - Epoch)
+                        .count());
+  }
+
+private:
+  friend class TraceSpan;
+
+  void record(const Event &E);
+  uint64_t nextSpanId() {
+    return NextId.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  static uint32_t threadId();
+
+  std::chrono::steady_clock::time_point Epoch;
+  std::atomic<uint64_t> NextId{0};
+
+  mutable std::mutex Mu;
+  std::vector<Event> Ring;
+  size_t Capacity;
+  size_t Next = 0;    ///< Next slot to write (wraps).
+  bool Wrapped = false;
+  uint64_t Dropped = 0;
+};
+
+/// RAII span. Construct at phase entry with a string literal name;
+/// destruction records the event. Parent linkage follows strict nesting
+/// per thread: the innermost live span on the constructing thread (for
+/// the same recorder) becomes the parent.
+class TraceSpan {
+public:
+  TraceSpan(TraceRecorder *Rec, const char *Name, int64_t ConflictId = -1);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  /// Span id within the recorder (0 when the recorder is null).
+  uint64_t id() const { return Id; }
+
+private:
+  TraceRecorder *Rec;
+  const char *Name;
+  uint64_t StartNs = 0;
+  uint64_t Id = 0;
+  uint64_t Parent = 0;
+  TraceRecorder *SavedRec = nullptr;
+  uint64_t SavedParent = 0;
+  int64_t ConflictId;
+};
+
+} // namespace lalrcex
+
+#endif // LALRCEX_SUPPORT_TRACE_H

@@ -128,6 +128,40 @@ s : x ;
   EXPECT_FALSE(parseGrammarText("%expect\n%%\ns : x ;\n", &Err));
 }
 
+TEST(GrammarParserTest, ExpectDirectiveRejectsMalformedCounts) {
+  // atoi used to read all of these as 0; they must now be positioned
+  // hard errors that name the directive and the bad token.
+  std::string Err;
+  EXPECT_FALSE(parseGrammarText("%expect foo\n%%\ns : x ;\n", &Err));
+  EXPECT_NE(Err.find("line 1"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("%expect"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("foo"), std::string::npos) << Err;
+
+  // The lexer treats '-' as an identifier character, so "-3" arrives as
+  // a single malformed token rather than a negative number.
+  EXPECT_FALSE(parseGrammarText("%expect -3\n%%\ns : x ;\n", &Err));
+  EXPECT_NE(Err.find("-3"), std::string::npos) << Err;
+
+  // Trailing garbage stuck to the digits.
+  EXPECT_FALSE(parseGrammarText("%expect 3x\n%%\ns : x ;\n", &Err));
+
+  // Out of range for the int-typed expectation fields.
+  EXPECT_FALSE(
+      parseGrammarText("%expect 99999999999999999999\n%%\ns : x ;\n", &Err));
+  EXPECT_FALSE(parseGrammarText("%expect 2147483648\n%%\ns : x ;\n", &Err));
+
+  // Same validation for %expect-rr, and two counts are rejected too.
+  EXPECT_FALSE(parseGrammarText("%expect-rr bar\n%%\ns : x ;\n", &Err));
+  EXPECT_NE(Err.find("%expect-rr"), std::string::npos) << Err;
+  EXPECT_FALSE(parseGrammarText("%expect 1 2\n%%\ns : x ;\n", &Err));
+
+  // The boundary value still parses.
+  std::optional<Grammar> G =
+      parseGrammarText("%expect 2147483647\n%%\ns : x ;\n", &Err);
+  ASSERT_TRUE(G) << Err;
+  EXPECT_EQ(G->expectedShiftReduce(), 2147483647);
+}
+
 TEST(GrammarParserTest, ReportsErrorsWithLine) {
   std::string Err;
   EXPECT_FALSE(parseGrammarText("%%\ns ;\n", &Err));

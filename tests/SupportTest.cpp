@@ -309,4 +309,30 @@ TEST(StrUtilTest, JoinAndPad) {
   EXPECT_EQ(formatSeconds(2.0), "2.000");
 }
 
+TEST(StrUtilTest, ParseUnsigned) {
+  // The strict CLI/number parser: everything std::atoi silently mangles
+  // must come back as nullopt instead.
+  EXPECT_EQ(parseUnsigned("0"), std::optional<uint64_t>(0));
+  EXPECT_EQ(parseUnsigned("42"), std::optional<uint64_t>(42));
+  EXPECT_EQ(parseUnsigned("007"), std::optional<uint64_t>(7));
+  EXPECT_EQ(parseUnsigned("18446744073709551615"),
+            std::optional<uint64_t>(UINT64_MAX));
+
+  EXPECT_FALSE(parseUnsigned(""));
+  EXPECT_FALSE(parseUnsigned("banana"));
+  EXPECT_FALSE(parseUnsigned("12x"));
+  EXPECT_FALSE(parseUnsigned("x12"));
+  EXPECT_FALSE(parseUnsigned("-3"));
+  EXPECT_FALSE(parseUnsigned("+3"));
+  EXPECT_FALSE(parseUnsigned(" 3"));
+  EXPECT_FALSE(parseUnsigned("3 "));
+  EXPECT_FALSE(parseUnsigned("3.5"));
+  EXPECT_FALSE(parseUnsigned("18446744073709551616")); // UINT64_MAX + 1
+  EXPECT_FALSE(parseUnsigned("99999999999999999999999"));
+
+  // The Max cap rejects values the caller's field cannot hold.
+  EXPECT_EQ(parseUnsigned("100", 100), std::optional<uint64_t>(100));
+  EXPECT_FALSE(parseUnsigned("101", 100));
+}
+
 } // namespace
