@@ -61,12 +61,14 @@ int main(int argc, char **argv) {
     Text = Buf.str();
   }
 
-  std::string Err;
-  std::optional<Grammar> G = parseGrammarText(Text, &Err);
-  if (!G) {
-    std::fprintf(stderr, "grammar error: %s\n", Err.c_str());
-    return 1;
+  GrammarParseResult Parsed = parseGrammar(Text);
+  if (!Parsed.Diags.empty())
+    std::fputs(Parsed.renderDiagnostics(Text).c_str(), stderr);
+  if (!Parsed.ok()) {
+    std::fprintf(stderr, "grammar error: %zu error(s)\n", Parsed.ErrorCount);
+    return 3;
   }
+  std::optional<Grammar> G = std::move(Parsed.G);
   GrammarAnalysis A(*G);
   DerivationCounter Validator(*G, A);
 

@@ -89,7 +89,13 @@ struct Job {
 
 struct JobResult {
   bool Ok = false;
+  /// Failure stage, for the structured per-file failure record: "parse"
+  /// (frontend diagnostics, counted under frontend.parse_failures) or
+  /// "analysis" (an exception out of the pipeline).
+  std::string FailStage;
   std::string Error;
+  /// Parse failures only: the full caret-annotated diagnostic list.
+  std::string DiagText;
   size_t Conflicts = 0;
   double WallMs = 0;
   bool Warm = false; // report set came from the cache
@@ -127,17 +133,31 @@ JobResult analyzeOne(const Job &J, const FinderOptions &BaseOpts,
   JobResult R;
   Stopwatch Timer;
 
-  std::string Err;
-  std::optional<Grammar> G = parseGrammarText(J.Text, &Err);
-  if (!G) {
-    R.Error = "grammar error: " + Err;
-    return R;
-  }
-
   // One registry per grammar job: workers never share a registry, so the
   // per-grammar numbers are exact; main merges the snapshots afterwards.
   MetricsRegistry Registry;
   MetricsRegistry *Metrics = CollectMetrics ? &Registry : nullptr;
+
+  // A grammar that fails to parse is a structured per-file failure (the
+  // batch carries on); the caret-annotated diagnostics ride along for the
+  // summary and the failure is counted under frontend.parse_failures.
+  GrammarParseResult Parsed = parseGrammar(J.Text);
+  if (Metrics && Parsed.WarningCount > 0)
+    Metrics->add(metric::FrontendParseWarnings, Parsed.WarningCount);
+  if (!Parsed.ok()) {
+    if (Metrics) {
+      Metrics->add(metric::FrontendParseFailures);
+      R.Metrics = Metrics->snapshot();
+    }
+    R.FailStage = "parse";
+    const Diagnostic *First = Parsed.firstError();
+    R.Error = "grammar error: " +
+              (First ? First->header() : std::string("no rules"));
+    R.DiagText = Parsed.renderDiagnostics(J.Text);
+    R.WallMs = Timer.seconds() * 1000.0;
+    return R;
+  }
+  std::optional<Grammar> G = std::move(Parsed.G);
 
   cache::AnalysisCache Cache(CacheDir);
   cache::AnalysisSession Session(std::move(*G), Kind,
@@ -289,6 +309,7 @@ int main(int argc, char **argv) {
         Results[I] = analyzeOne(Work[I], Opts, Kind, CacheDir,
                                 CollectMetrics);
       } catch (const std::exception &E) {
+        Results[I].FailStage = "analysis";
         Results[I].Error = E.what();
       }
     }
@@ -309,15 +330,30 @@ int main(int argc, char **argv) {
 
   // Report, write output files, and accumulate bench records.
   std::vector<bench::BenchRecord> Records;
-  size_t TotalConflicts = 0, Failures = 0;
+  size_t TotalConflicts = 0, Failures = 0, ParseFailures = 0;
   long TotalHits = 0, TotalMisses = 0;
   MetricsSnapshot Aggregate;
   for (size_t I = 0; I != Work.size(); ++I) {
     const JobResult &R = Results[I];
     if (!R.Ok) {
       ++Failures;
-      std::printf("%-24s FAILED: %s\n", Work[I].Name.c_str(),
-                  R.Error.c_str());
+      if (R.FailStage == "parse")
+        ++ParseFailures;
+      std::printf("%-24s FAILED (%s): %s\n", Work[I].Name.c_str(),
+                  R.FailStage.c_str(), R.Error.c_str());
+      if (!R.DiagText.empty())
+        std::fputs(R.DiagText.c_str(), stderr);
+      if (CollectMetrics)
+        Aggregate.merge(R.Metrics);
+      // Structured per-file failure record: the run's BENCH json names
+      // every file that failed and at which stage.
+      bench::BenchRecord Rec;
+      Rec.Name = "batch/FAILED-" + R.FailStage + "/" + Work[I].Name;
+      Rec.Grammar = Work[I].Name;
+      Rec.WallMsCold = R.WallMs;
+      if (CollectMetrics)
+        Rec.Metrics = R.Metrics.flatten();
+      Records.push_back(Rec);
       continue;
     }
     TotalConflicts += R.Conflicts;
@@ -384,6 +420,8 @@ int main(int argc, char **argv) {
 
   std::printf("analyzed %zu grammar(s), %zu conflict(s), %u worker(s)",
               Work.size(), TotalConflicts, Workers);
+  if (Failures > 0)
+    std::printf(", %zu failure(s) (%zu parse)", Failures, ParseFailures);
   if (!CacheDir.empty())
     std::printf(", cache %ld hit / %ld miss", TotalHits, TotalMisses);
   if (CollectMetrics)

@@ -51,7 +51,7 @@ long evaluate(const Grammar &G, const std::vector<Token> &Tokens,
 } // namespace
 
 int main() {
-  std::optional<Grammar> G = parseGrammarText(R"(
+  GrammarParseResult Parsed = parseGrammar(R"(
 %token NUM
 %left '+' '-'
 %left '*' '/'
@@ -66,10 +66,11 @@ expr : expr '+' expr
      | NUM
      ;
 )");
-  if (!G) {
-    std::fprintf(stderr, "grammar error\n");
-    return 1;
+  if (!Parsed.ok()) {
+    std::fprintf(stderr, "grammar error: %zu error(s)\n", Parsed.ErrorCount);
+    return 3;
   }
+  std::optional<Grammar> G = std::move(Parsed.G);
 
   GrammarAnalysis A(*G);
   Automaton M(*G, A);

@@ -84,12 +84,14 @@ int main(int argc, char **argv) {
     Text = Buf.str();
   }
 
-  std::string Err;
-  std::optional<Grammar> G = parseGrammarText(Text, &Err);
-  if (!G) {
-    std::fprintf(stderr, "grammar error: %s\n", Err.c_str());
-    return 1;
+  GrammarParseResult Parsed = parseGrammar(Text);
+  if (!Parsed.Diags.empty())
+    std::fputs(Parsed.renderDiagnostics(Text).c_str(), stderr);
+  if (!Parsed.ok()) {
+    std::fprintf(stderr, "grammar error: %zu error(s)\n", Parsed.ErrorCount);
+    return 3;
   }
+  std::optional<Grammar> G = std::move(Parsed.G);
   GrammarAnalysis A(*G);
   Automaton M(*G, A);
   ParseTable T(M);
@@ -113,12 +115,13 @@ int main(int argc, char **argv) {
               Patch.c_str());
   std::string Fixed = Patch + Text;
 
-  std::optional<Grammar> G2 = parseGrammarText(Fixed, &Err);
-  if (!G2) {
-    std::fprintf(stderr, "patched grammar fails to parse: %s\n",
-                 Err.c_str());
-    return 1;
+  GrammarParseResult Patched = parseGrammar(Fixed);
+  if (!Patched.ok()) {
+    std::fprintf(stderr, "patched grammar fails to parse:\n%s",
+                 Patched.renderDiagnostics(Fixed).c_str());
+    return 3;
   }
+  std::optional<Grammar> G2 = std::move(Patched.G);
   GrammarAnalysis A2(*G2);
   Automaton M2(*G2, A2);
   ParseTable T2(M2);

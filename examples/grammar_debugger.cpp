@@ -29,6 +29,15 @@
 //     -print              echo the normalized grammar and exit
 //     -list               list built-in corpus grammar names and exit
 //
+// Exit codes (distinct so CI and the differential harness can tell the
+// failure modes apart):
+//   0  success, no reported conflicts
+//   1  success, grammar has reported conflicts
+//   2  usage error
+//   3  input/parse failure (file unreadable, or diagnostics with errors)
+//   4  analysis/budget failure (some report degraded by a tripped budget
+//      or an internal search failure)
+//
 //===----------------------------------------------------------------------===//
 
 #include "corpus/Corpus.h"
@@ -154,19 +163,25 @@ int main(int argc, char **argv) {
     std::ifstream In(Source);
     if (!In) {
       std::fprintf(stderr, "cannot open '%s'\n", Source.c_str());
-      return 1;
+      return 3;
     }
     std::ostringstream Buf;
     Buf << In.rdbuf();
     Text = Buf.str();
   }
 
-  std::string Err;
-  std::optional<Grammar> G = parseGrammarText(Text, &Err);
-  if (!G) {
-    std::fprintf(stderr, "grammar error: %s\n", Err.c_str());
-    return 1;
+  GrammarParseResult Parsed = parseGrammar(Text);
+  // Warnings (ignored %glr-parser, duplicate %token, ...) always print;
+  // with errors the full caret-annotated list goes to stderr and the
+  // distinct parse-failure exit code tells tooling what happened.
+  if (!Parsed.Diags.empty())
+    std::fputs(Parsed.renderDiagnostics(Text).c_str(), stderr);
+  if (!Parsed.ok()) {
+    std::fprintf(stderr, "%s: %zu error(s), %zu warning(s)\n", Source.c_str(),
+                 Parsed.ErrorCount, Parsed.WarningCount);
+    return 3;
   }
+  std::optional<Grammar> G = std::move(Parsed.G);
 
   if (Print) {
     std::fputs(printGrammarText(*G).c_str(), stdout);
@@ -211,7 +226,10 @@ int main(int argc, char **argv) {
 
   CounterexampleFinder Finder(Table, Opts);
   std::vector<ConflictReport> Reports = Finder.examineAll();
+  unsigned Degraded = 0;
   for (const ConflictReport &R : Reports) {
+    if (R.Failure)
+      ++Degraded;
     std::printf("%s  (%.3fs, %zu configurations)\n",
                 Finder.render(R).c_str(), R.Seconds, R.Configurations);
     if (R.Failure)
@@ -248,11 +266,17 @@ int main(int argc, char **argv) {
   if (!TracePath.empty()) {
     if (!Trace.writeChromeJson(TracePath)) {
       std::fprintf(stderr, "cannot write trace '%s'\n", TracePath.c_str());
-      return 1;
+      return 3;
     }
     std::fprintf(stderr, "wrote %zu trace span(s) to %s (%llu dropped)\n",
                  Trace.events().size(), TracePath.c_str(),
                  (unsigned long long)Trace.dropped());
+  }
+  if (Degraded > 0) {
+    std::fprintf(stderr,
+                 "%u report(s) degraded by budget/analysis failure\n",
+                 Degraded);
+    return 4;
   }
   return Conflicts.empty() ? 0 : 1;
 }

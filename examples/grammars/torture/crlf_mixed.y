@@ -1,0 +1,4 @@
+%token A
+%token B%%
+s : A
+  | B ;

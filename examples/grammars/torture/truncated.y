@@ -1,0 +1,4 @@
+%token TRUNCATED
+%%
+s : a b
+  | c

@@ -1,0 +1,3 @@
+%{
+prologue never closed
+int x;

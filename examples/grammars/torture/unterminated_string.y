@@ -1,0 +1,3 @@
+%token STR "no closing quote
+%%
+s : STR

@@ -202,12 +202,11 @@ Grammar lalrcex::loadCorpusGrammar(const std::string &Name) {
     std::fprintf(stderr, "corpus: no grammar named '%s'\n", Name.c_str());
     std::abort();
   }
-  std::string Err;
-  std::optional<Grammar> G = parseGrammarText(E->Text, &Err);
-  if (!G) {
-    std::fprintf(stderr, "corpus: grammar '%s' fails to parse: %s\n",
-                 Name.c_str(), Err.c_str());
+  GrammarParseResult R = parseGrammar(E->Text);
+  if (!R.ok()) {
+    std::fprintf(stderr, "corpus: grammar '%s' fails to parse:\n%s",
+                 Name.c_str(), R.renderDiagnostics(E->Text).c_str());
     std::abort();
   }
-  return std::move(*G);
+  return std::move(*R.G);
 }

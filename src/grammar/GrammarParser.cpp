@@ -2,6 +2,26 @@
 //
 // Part of lalrcex.
 //
+// The robust bison/yacc frontend. Two layers, both built to survive
+// arbitrary bytes:
+//
+//  - a Lexer that tokenizes the grammar dialect while skipping C
+//    prologues, semantic actions (brace/string/char/comment aware, with a
+//    nesting-depth guard), type tags, named references, and comments.
+//    Every malformed construct produces a positioned diagnostic and the
+//    lexer resynchronizes; next() always makes progress, so lexing any
+//    input terminates in O(bytes);
+//
+//  - a recursive-descent Parser with panic-mode recovery: an error inside
+//    a declaration skips to the next %directive / %% / EOF, an error
+//    inside a rule skips to the next ';', '|', '%%', %directive, or rule
+//    head (IDENT ':'), so a single pass reports every problem up to the
+//    error cap.
+//
+// A grammar is only produced when the text had zero errors (warnings are
+// fine); recovery exists to make the diagnostics complete, not to guess a
+// grammar from broken input.
+//
 //===----------------------------------------------------------------------===//
 
 #include "grammar/GrammarParser.h"
@@ -14,6 +34,8 @@
 #include <cstdlib>
 #include <limits>
 #include <optional>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 using namespace lalrcex;
@@ -27,44 +49,61 @@ enum class TokKind {
   Pipe,
   Semi,
   Separator, // %%
+  Action,    // { ... } semantic action block (content skipped)
   End,
 };
 
 struct Tok {
   TokKind Kind;
   std::string Text;
-  int Line;
+  unsigned Line = 1;
+  unsigned Col = 1;
 };
 
-/// Tokenizer for the grammar text format. Skips comments, <tags>, and
-/// balanced { } action blocks.
+/// Tokenizer for the bison/yacc grammar dialect. Reports malformed
+/// constructs to the DiagnosticEngine and keeps going; the only
+/// termination condition is end of input.
 class Lexer {
 public:
-  Lexer(const std::string &Text, std::string *Err)
-      : Text(Text), Err(Err) {}
+  Lexer(const std::string &Text, const GrammarParseOptions &Opts,
+        DiagnosticEngine &DE)
+      : Text(Text), Opts(Opts), DE(DE) {}
 
   Tok next() {
-    if (!skipTrivia())
-      return fail("unterminated comment or action block");
-    if (Pos >= Text.size())
-      return Tok{TokKind::End, "", Line};
-    char C = Text[Pos];
-    if (C == ':')
-      return single(TokKind::Colon);
-    if (C == '|')
-      return single(TokKind::Pipe);
-    if (C == ';')
-      return single(TokKind::Semi);
-    if (C == '%')
-      return lexPercent();
-    if (C == '\'' || C == '"')
-      return lexQuoted(C);
-    if (isIdentChar(C))
-      return lexIdent();
-    return fail(std::string("unexpected character '") + C + "'");
+    while (true) {
+      skipTrivia();
+      if (Pos >= Text.size())
+        return make(TokKind::End, "");
+      char C = Text[Pos];
+      if (C == ':')
+        return single(TokKind::Colon);
+      if (C == '|')
+        return single(TokKind::Pipe);
+      if (C == ';')
+        return single(TokKind::Semi);
+      if (C == '%') {
+        std::optional<Tok> T = lexPercent();
+        if (T)
+          return *T;
+        continue; // prologue block or stray '%' consumed
+      }
+      if (C == '{')
+        return lexAction();
+      if (C == '\'' || C == '"')
+        return lexQuoted(C);
+      if (isIdentChar(C))
+        return lexIdent();
+      // Arbitrary byte: diagnose once per byte value, always advance.
+      char Buf[32];
+      unsigned char U = static_cast<unsigned char>(C);
+      if (std::isprint(U))
+        std::snprintf(Buf, sizeof(Buf), "unexpected character '%c'", C);
+      else
+        std::snprintf(Buf, sizeof(Buf), "unexpected byte 0x%02X", U);
+      DE.error(Diag::UnexpectedChar, line(), col(), Buf);
+      ++Pos;
+    }
   }
-
-  bool failed() const { return Failed; }
 
 private:
   static bool isIdentChar(char C) {
@@ -72,28 +111,176 @@ private:
            C == '.' || C == '-';
   }
 
-  Tok fail(const std::string &Msg) {
-    if (!Failed && Err)
-      *Err = "line " + std::to_string(Line) + ": " + Msg;
-    Failed = true;
-    return Tok{TokKind::End, "", Line};
+  unsigned line() const { return Line; }
+  unsigned col() const { return unsigned(Pos - LineStart) + 1; }
+
+  Tok make(TokKind K, std::string Text) const {
+    return Tok{K, std::move(Text), line(), col()};
   }
 
   Tok single(TokKind K) {
+    Tok T = make(K, std::string(1, Text[Pos]));
     ++Pos;
-    return Tok{K, "", Line};
+    return T;
   }
 
-  /// Skips whitespace, comments, <type tags>, and { action } blocks.
-  /// \returns false on an unterminated construct.
-  bool skipTrivia() {
+  void newline() {
+    ++Line;
+    LineStart = Pos + 1;
+  }
+
+  /// Skips whitespace, comments, NUL bytes, <type tags>, and [named
+  /// references]. Malformed constructs are diagnosed and skipped.
+  void skipTrivia() {
     while (Pos < Text.size()) {
       char C = Text[Pos];
       if (C == '\n') {
-        ++Line;
+        newline();
+        ++Pos;
+      } else if (C == '\0') {
+        if (!NulReported) {
+          NulReported = true;
+          DE.error(Diag::NulByte, line(), col(),
+                   "NUL byte in input (binary data?)");
+        }
         ++Pos;
       } else if (std::isspace(static_cast<unsigned char>(C))) {
         ++Pos;
+      } else if (C == '/' && Pos + 1 < Text.size() && Text[Pos + 1] == '/') {
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+      } else if (C == '/' && Pos + 1 < Text.size() && Text[Pos + 1] == '*') {
+        unsigned OpenLine = line(), OpenCol = col();
+        Pos += 2;
+        while (Pos + 1 < Text.size() &&
+               !(Text[Pos] == '*' && Text[Pos + 1] == '/')) {
+          if (Text[Pos] == '\n')
+            newline();
+          ++Pos;
+        }
+        if (Pos + 1 >= Text.size()) {
+          DE.error(Diag::UnterminatedComment, OpenLine, OpenCol,
+                   "unterminated /* comment");
+          Pos = Text.size();
+          return;
+        }
+        Pos += 2;
+      } else if (C == '<') {
+        // %token <tag> — skip the tag, tolerating nested template angle
+        // brackets, but never across a newline (a bare '<' on a broken
+        // line must not swallow the rest of the file).
+        unsigned OpenLine = line(), OpenCol = col();
+        size_t P = Pos + 1;
+        int Depth = 1;
+        while (P < Text.size() && Text[P] != '\n' && Depth > 0) {
+          if (Text[P] == '<')
+            ++Depth;
+          else if (Text[P] == '>')
+            --Depth;
+          ++P;
+        }
+        if (Depth != 0) {
+          DE.error(Diag::UnterminatedTag, OpenLine, OpenCol,
+                   "unterminated <type tag>");
+          Pos = P; // resume at the newline / EOF
+        } else {
+          Pos = P;
+        }
+      } else if (C == '[') {
+        // Bison named reference: sym[alias]. Skipped; aliases only name
+        // semantic values, which we do not model.
+        unsigned OpenLine = line(), OpenCol = col();
+        size_t Close = Pos + 1;
+        while (Close < Text.size() && Text[Close] != ']' &&
+               Text[Close] != '\n')
+          ++Close;
+        if (Close >= Text.size() || Text[Close] != ']') {
+          DE.error(Diag::UnterminatedAlias, OpenLine, OpenCol,
+                   "unterminated [named reference]");
+          Pos = Close;
+        } else {
+          Pos = Close + 1;
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  /// '%' dispatch: "%%" separator, "%{ prologue %}", "%directive", or a
+  /// stray '%'. Returns nullopt when the construct was trivia (prologue,
+  /// stray '%', stray '%}') and lexing should continue.
+  std::optional<Tok> lexPercent() {
+    unsigned StartLine = line(), StartCol = col();
+    size_t Start = Pos;
+    ++Pos;
+    if (Pos < Text.size() && Text[Pos] == '%') {
+      ++Pos;
+      return Tok{TokKind::Separator, "%%", StartLine, StartCol};
+    }
+    if (Pos < Text.size() && Text[Pos] == '{') {
+      // %{ C prologue %} — opaque; scan for the closing %}.
+      ++Pos;
+      while (Pos + 1 < Text.size() &&
+             !(Text[Pos] == '%' && Text[Pos + 1] == '}')) {
+        if (Text[Pos] == '\n')
+          newline();
+        ++Pos;
+      }
+      if (Pos + 1 >= Text.size()) {
+        DE.error(Diag::UnterminatedPrologue, StartLine, StartCol,
+                 "unterminated %{ prologue (no closing %})");
+        Pos = Text.size();
+      } else {
+        Pos += 2;
+      }
+      return std::nullopt;
+    }
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      DE.error(Diag::UnexpectedChar, StartLine, StartCol,
+               "stray %} without matching %{");
+      ++Pos;
+      return std::nullopt;
+    }
+    if (Pos >= Text.size() || !isIdentChar(Text[Pos])) {
+      DE.error(Diag::UnexpectedChar, StartLine, StartCol, "stray '%'");
+      return std::nullopt;
+    }
+    while (Pos < Text.size() && isIdentChar(Text[Pos]))
+      ++Pos;
+    return Tok{TokKind::Directive, Text.substr(Start, Pos - Start), StartLine,
+               StartCol};
+  }
+
+  /// { ... } semantic action. Brace counting is string/char/comment
+  /// aware so "}" inside a C string cannot derail it; nesting depth is
+  /// bounded by an explicit guard (diagnosed once, counting continues so
+  /// the scan still terminates).
+  Tok lexAction() {
+    unsigned OpenLine = line(), OpenCol = col();
+    ++Pos;
+    size_t Depth = 1;
+    bool DepthDiagnosed = false;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '\n') {
+        newline();
+        ++Pos;
+      } else if (C == '{') {
+        ++Depth;
+        ++Pos;
+        if (Depth > Opts.MaxActionDepth && !DepthDiagnosed) {
+          DepthDiagnosed = true;
+          DE.error(Diag::DepthLimit, line(), col(),
+                   "action brace nesting exceeds limit (" +
+                       std::to_string(Opts.MaxActionDepth) + ")");
+        }
+      } else if (C == '}') {
+        ++Pos;
+        if (--Depth == 0)
+          return Tok{TokKind::Action, "{...}", OpenLine, OpenCol};
+      } else if (C == '\'' || C == '"') {
+        skipActionString(C);
       } else if (C == '/' && Pos + 1 < Text.size() && Text[Pos + 1] == '/') {
         while (Pos < Text.size() && Text[Pos] != '\n')
           ++Pos;
@@ -102,247 +289,577 @@ private:
         while (Pos + 1 < Text.size() &&
                !(Text[Pos] == '*' && Text[Pos + 1] == '/')) {
           if (Text[Pos] == '\n')
-            ++Line;
+            newline();
           ++Pos;
         }
-        if (Pos + 1 >= Text.size())
-          return false;
-        Pos += 2;
-      } else if (C == '<') {
-        // %token <tag> — skip the tag.
-        size_t Close = Text.find('>', Pos);
-        if (Close == std::string::npos)
-          return false;
-        Pos = Close + 1;
-      } else if (C == '{') {
-        // Semantic action: skip balanced braces (no string awareness
-        // needed; corpus grammars carry no actions with braces in
-        // strings).
-        int Depth = 0;
-        while (Pos < Text.size()) {
-          if (Text[Pos] == '{')
-            ++Depth;
-          else if (Text[Pos] == '}' && --Depth == 0) {
-            ++Pos;
-            break;
-          } else if (Text[Pos] == '\n')
-            ++Line;
-          ++Pos;
-        }
-        if (Depth != 0)
-          return false;
+        Pos = Pos + 1 < Text.size() ? Pos + 2 : Text.size();
       } else {
-        return true;
+        ++Pos;
       }
     }
-    return true;
+    DE.error(Diag::UnterminatedAction, OpenLine, OpenCol,
+             "unterminated { action } block");
+    return Tok{TokKind::Action, "{...}", OpenLine, OpenCol};
   }
 
-  Tok lexPercent() {
-    size_t Start = Pos;
-    ++Pos;
-    if (Pos < Text.size() && Text[Pos] == '%') {
-      ++Pos;
-      return Tok{TokKind::Separator, "%%", Line};
+  /// String/char literal inside an action: consumed opaquely with
+  /// backslash escapes; an unterminated literal ends at the newline (the
+  /// action scan resumes there — actions are not our code to check).
+  void skipActionString(char Quote) {
+    ++Pos; // opening quote
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '\\' && Pos + 1 < Text.size()) {
+        if (Text[Pos + 1] == '\n')
+          newline();
+        Pos += 2;
+      } else if (C == Quote) {
+        ++Pos;
+        return;
+      } else if (C == '\n') {
+        return; // unterminated: resynchronize at the newline
+      } else {
+        ++Pos;
+      }
     }
-    while (Pos < Text.size() && isIdentChar(Text[Pos]))
-      ++Pos;
-    return Tok{TokKind::Directive, Text.substr(Start, Pos - Start), Line};
   }
 
+  /// Quoted grammar symbol ('+' or "then"), backslash escapes honored,
+  /// quotes kept in the token text. An unterminated literal is diagnosed
+  /// and the consumed prefix returned as a best-effort token so the
+  /// parse continues on this line's remains.
   Tok lexQuoted(char Quote) {
+    unsigned StartLine = line(), StartCol = col();
     size_t Start = Pos;
     ++Pos;
-    while (Pos < Text.size() && Text[Pos] != Quote && Text[Pos] != '\n')
+    while (Pos < Text.size() && Text[Pos] != Quote && Text[Pos] != '\n') {
+      if (Text[Pos] == '\\' && Pos + 1 < Text.size() &&
+          Text[Pos + 1] != '\n')
+        ++Pos;
       ++Pos;
-    if (Pos >= Text.size() || Text[Pos] != Quote)
-      return fail("unterminated quoted symbol");
+    }
+    if (Pos >= Text.size() || Text[Pos] != Quote) {
+      DE.error(Diag::UnterminatedQuote, StartLine, StartCol,
+               "unterminated quoted symbol");
+      return Tok{TokKind::Ident, Text.substr(Start, Pos - Start), StartLine,
+                 StartCol};
+    }
     ++Pos;
-    return Tok{TokKind::Ident, Text.substr(Start, Pos - Start), Line};
+    return Tok{TokKind::Ident, Text.substr(Start, Pos - Start), StartLine,
+               StartCol};
   }
 
   Tok lexIdent() {
+    unsigned StartLine = line(), StartCol = col();
     size_t Start = Pos;
     while (Pos < Text.size() && isIdentChar(Text[Pos]))
       ++Pos;
-    return Tok{TokKind::Ident, Text.substr(Start, Pos - Start), Line};
+    return Tok{TokKind::Ident, Text.substr(Start, Pos - Start), StartLine,
+               StartCol};
   }
 
   const std::string &Text;
-  std::string *Err;
+  const GrammarParseOptions &Opts;
+  DiagnosticEngine &DE;
   size_t Pos = 0;
-  int Line = 1;
-  bool Failed = false;
+  size_t LineStart = 0;
+  unsigned Line = 1;
+  bool NulReported = false;
 };
 
+/// Directives accepted and ignored without comment: they configure the
+/// generated parser's code, not the grammar's conflict structure. Each
+/// may be followed by idents / strings / tags / { blocks }, all gobbled.
+bool isIgnoredDirective(const std::string &D) {
+  static const std::unordered_set<std::string> Set = {
+      "%union",          "%code",         "%destructor",   "%printer",
+      "%initial-action", "%parse-param",  "%lex-param",    "%param",
+      "%define",         "%language",     "%locations",    "%no-lines",
+      "%defines",        "%header",       "%output",       "%file-prefix",
+      "%name-prefix",    "%require",      "%skeleton",     "%debug",
+      "%verbose",        "%yacc",         "%token-table",  "%error-verbose",
+      "%pure-parser",    "%pure_parser",  "%expect-lr",    "%ident",
+  };
+  return Set.count(D) > 0;
+}
+
+/// Directives whose semantics we cannot model (GLR conflict handling):
+/// downgraded to warnings so the file still loads, with the caveat on
+/// record.
+bool isWarnedDirective(const std::string &D) {
+  static const std::unordered_set<std::string> Set = {
+      "%glr-parser", "%nondeterministic-parser", "%no-default-prec",
+      "%default-prec",
+  };
+  return Set.count(D) > 0;
+}
+
 /// Recursive-descent parser over the token stream, driving a
-/// GrammarBuilder.
+/// GrammarBuilder, with panic-mode recovery.
 class Parser {
 public:
-  Parser(const std::string &Text, std::string *Err)
-      : Lex(Text, Err), Err(Err) {
-    advance();
+  Parser(const std::string &Text, const GrammarParseOptions &Opts,
+         DiagnosticEngine &DE)
+      : Lex(Text, Opts, DE), DE(DE) {
+    Cur = Lex.next();
   }
 
   std::optional<Grammar> run() {
-    if (!parseDeclarations())
-      return std::nullopt;
-    if (!parseRules())
+    parseDeclarations();
+    parseRules();
+    if (DE.errorCount() > 0)
       return std::nullopt;
     std::string BuildErr;
     std::optional<Grammar> G = B.build(&BuildErr);
-    if (!G && Err)
-      *Err = BuildErr;
+    if (!G)
+      DE.error(Diag::BuildError, 0, 0, BuildErr);
     return G;
   }
 
 private:
-  void advance() { Cur = Lex.next(); }
-
-  bool error(const std::string &Msg) {
-    return errorAt(Cur.Line, Msg);
+  void advance() {
+    if (HasAhead) {
+      Cur = std::move(Ahead);
+      HasAhead = false;
+    } else {
+      Cur = Lex.next();
+    }
   }
 
-  /// Positioned error for constructs whose tokens have already been
-  /// consumed (Cur.Line would point past them).
-  bool errorAt(unsigned Line, const std::string &Msg) {
-    if (Err && !Lex.failed())
-      *Err = "line " + std::to_string(Line) + ": " + Msg;
-    return false;
+  const Tok &peek() {
+    if (!HasAhead) {
+      Ahead = Lex.next();
+      HasAhead = true;
+    }
+    return Ahead;
   }
 
-  bool parseDeclarations() {
-    while (true) {
-      if (Lex.failed())
+  bool atRuleHead() {
+    return Cur.Kind == TokKind::Ident && peek().Kind == TokKind::Colon;
+  }
+
+  void error(const char *Code, const std::string &Msg) {
+    DE.error(Code, Cur.Line, Cur.Col, Msg);
+  }
+
+  /// Token aliases: %token NAME "alias" lets rule bodies use the string
+  /// spelling; both map to NAME.
+  std::string resolve(const std::string &Name) const {
+    auto It = Aliases.find(Name);
+    return It == Aliases.end() ? Name : It->second;
+  }
+
+  static bool isQuotedString(const std::string &S) {
+    return S.size() >= 2 && S.front() == '"';
+  }
+  static bool isNumber(const std::string &S) {
+    if (S.empty())
+      return false;
+    for (char C : S)
+      if (!std::isdigit(static_cast<unsigned char>(C)))
         return false;
-      if (Cur.Kind == TokKind::Separator) {
-        advance();
-        return true;
-      }
-      if (Cur.Kind == TokKind::End)
-        return error("expected %% before rules");
-      if (Cur.Kind != TokKind::Directive)
-        return error("expected a %-directive in the declaration section");
-      std::string D = Cur.Text;
-      unsigned DirectiveLine = Cur.Line;
+    return true;
+  }
+
+  /// Skips the arguments of a directive we do not interpret: everything
+  /// up to the next directive, separator, rule head, or end of input.
+  void gobbleDirectiveArgs() {
+    while (Cur.Kind == TokKind::Ident || Cur.Kind == TokKind::Action) {
+      if (atRuleHead())
+        return;
       advance();
-      if (D == "%start") {
-        if (Cur.Kind != TokKind::Ident)
-          return error("%start requires a symbol name");
-        B.start(Cur.Text);
+    }
+  }
+
+  /// Panic recovery inside the declaration section: resynchronize at the
+  /// next %directive, %%, rule head, or EOF.
+  void syncDeclaration() {
+    while (Cur.Kind != TokKind::Directive && Cur.Kind != TokKind::Separator &&
+           Cur.Kind != TokKind::End) {
+      if (atRuleHead())
+        return;
+      if (DE.errorCapReached())
+        return;
+      advance();
+    }
+  }
+
+  void parseDeclarations() {
+    while (true) {
+      if (DE.errorCapReached())
+        return;
+      switch (Cur.Kind) {
+      case TokKind::Separator:
         advance();
-        continue;
+        return;
+      case TokKind::End:
+        DE.error(Diag::MissingSeparator, Cur.Line, Cur.Col,
+                 "expected %% before rules");
+        return;
+      case TokKind::Semi:   // stray ';' in declarations: yacc tolerates
+      case TokKind::Action: // stray { block }: opaque, ignore
+        advance();
+        break;
+      case TokKind::Directive:
+        parseDirective();
+        break;
+      default:
+        if (atRuleHead()) {
+          // Looks like the user forgot the %% line. Diagnose once and
+          // hand over to the rules parser from here.
+          DE.error(Diag::MissingSeparator, Cur.Line, Cur.Col,
+                   "expected %% before rules (rule '" + Cur.Text +
+                       "' starts here)");
+          return;
+        }
+        error(Diag::StrayToken,
+              "expected a %-directive in the declaration section");
+        advance();
+        syncDeclaration();
+        break;
       }
-      // Directives taking a list of symbol names.
+    }
+  }
+
+  void parseDirective() {
+    std::string D = Cur.Text;
+    unsigned DLine = Cur.Line, DCol = Cur.Col;
+    advance();
+    if (D == "%start") {
+      if (Cur.Kind != TokKind::Ident) {
+        DE.error(Diag::BadDirectiveArg, DLine, DCol,
+                 "%start requires a symbol name");
+        syncDeclaration();
+        return;
+      }
+      B.start(Cur.Text);
+      advance();
+      return;
+    }
+    if (D == "%token" || D == "%term") {
+      parseTokenDecl(D);
+      return;
+    }
+    if (D == "%left" || D == "%right" || D == "%nonassoc" ||
+        D == "%binary" || D == "%precedence") {
       std::vector<std::string> Names;
       while (Cur.Kind == TokKind::Ident) {
+        if (atRuleHead())
+          break;
+        if (isNumber(Cur.Text)) {
+          advance(); // explicit token code: ignored
+          continue;
+        }
+        Names.push_back(resolve(Cur.Text));
+        advance();
+      }
+      if (D == "%left")
+        B.left(Names);
+      else if (D == "%right")
+        B.right(Names);
+      else if (D == "%nonassoc" || D == "%binary")
+        B.nonassoc(Names);
+      else
+        B.precedence(Names);
+      return;
+    }
+    if (D == "%type" || D == "%nterm") {
+      gobbleDirectiveArgs(); // declarations about semantic types: ignored
+      return;
+    }
+    if (D == "%expect" || D == "%expect-rr") {
+      // Conflict-count annotations: one numeric argument. A count that
+      // does not parse as a non-negative integer is a positioned hard
+      // error (atoi silently read garbage as 0 in an earlier life).
+      std::vector<std::string> Names;
+      while (Cur.Kind == TokKind::Ident && !atRuleHead()) {
         Names.push_back(Cur.Text);
         advance();
       }
-      if (D == "%token" || D == "%type") {
-        if (D == "%token")
-          B.tokens(Names);
-        // %type is accepted and ignored.
-      } else if (D == "%left") {
-        B.left(Names);
-      } else if (D == "%right") {
-        B.right(Names);
-      } else if (D == "%nonassoc") {
-        B.nonassoc(Names);
-      } else if (D == "%precedence") {
-        B.precedence(Names);
-      } else if (D == "%expect" || D == "%expect-rr") {
-        // Conflict-count annotations: one numeric argument. atoi used to
-        // live here and silently turned "%expect foo" or "%expect -3"
-        // into 0; a count that does not parse as a non-negative integer
-        // is now a positioned hard error. (The lexer treats '-' as an
-        // identifier character, so "-3" arrives as one Ident token.)
-        if (Names.size() != 1)
-          return errorAt(DirectiveLine, D + " requires one numeric argument");
-        std::optional<uint64_t> Count =
-            parseUnsigned(Names[0], uint64_t(std::numeric_limits<int>::max()));
-        if (!Count)
-          return errorAt(DirectiveLine,
-                         D + " count '" + Names[0] +
-                             "' is not a non-negative integer");
-        if (D == "%expect")
-          B.expectShiftReduce(int(*Count));
-        else
-          B.expectReduceReduce(int(*Count));
+      if (Names.size() != 1) {
+        DE.error(Diag::BadDirectiveArg, DLine, DCol,
+                 D + " requires one numeric argument");
+        return;
+      }
+      std::optional<uint64_t> Count =
+          parseUnsigned(Names[0], uint64_t(std::numeric_limits<int>::max()));
+      if (!Count) {
+        DE.error(Diag::BadDirectiveArg, DLine, DCol,
+                 D + " count '" + Names[0] +
+                     "' is not a non-negative integer");
+        return;
+      }
+      if (D == "%expect")
+        B.expectShiftReduce(int(*Count));
+      else
+        B.expectReduceReduce(int(*Count));
+      return;
+    }
+    if (isIgnoredDirective(D)) {
+      gobbleDirectiveArgs();
+      return;
+    }
+    if (isWarnedDirective(D)) {
+      DE.warning(Diag::IgnoredDirective, DLine, DCol,
+                 "directive '" + D +
+                     "' ignored (GLR/default-prec semantics not modeled; "
+                     "conflict counts reflect plain LALR)");
+      gobbleDirectiveArgs();
+      return;
+    }
+    DE.error(Diag::UnknownDirective, DLine, DCol,
+             "unknown directive '" + D + "'");
+    syncDeclaration();
+  }
+
+  /// %token [<tag>] NAME ["alias"] [NUMBER] ... — declares terminals,
+  /// records string aliases, ignores explicit token codes, and warns on
+  /// duplicate declarations.
+  void parseTokenDecl(const std::string &D) {
+    std::string LastName;
+    while (Cur.Kind == TokKind::Ident) {
+      if (atRuleHead())
+        return;
+      const std::string &T = Cur.Text;
+      if (isQuotedString(T) && !LastName.empty()) {
+        // Literal-string alias for the preceding token name.
+        Aliases[T] = LastName;
+      } else if (isNumber(T)) {
+        // Explicit token code ("%token NAME 258"): the numeric id only
+        // matters to a generated lexer interface, not to conflicts.
       } else {
-        return error("unknown directive '" + D + "'");
+        if (!DeclaredTokens.insert(T).second)
+          DE.warning(Diag::DuplicateToken, Cur.Line, Cur.Col,
+                     "duplicate " + D + " declaration of '" + T + "'");
+        B.token(T);
+        LastName = T;
+      }
+      advance();
+    }
+  }
+
+  /// Result of panic recovery inside an alternative list.
+  enum class AltSync { NextAlternative, EndOfRule };
+
+  AltSync syncAlternative() {
+    while (true) {
+      if (DE.errorCapReached())
+        return AltSync::EndOfRule;
+      switch (Cur.Kind) {
+      case TokKind::Pipe:
+        advance();
+        return AltSync::NextAlternative;
+      case TokKind::Semi:
+        advance();
+        return AltSync::EndOfRule;
+      case TokKind::Separator:
+      case TokKind::End:
+      case TokKind::Directive:
+        return AltSync::EndOfRule;
+      case TokKind::Ident:
+        if (atRuleHead())
+          return AltSync::EndOfRule;
+        advance();
+        break;
+      default:
+        advance();
+        break;
       }
     }
   }
 
-  bool parseRules() {
+  void parseRules() {
     while (true) {
-      if (Lex.failed())
-        return false;
-      if (Cur.Kind == TokKind::End || Cur.Kind == TokKind::Separator)
-        return true;
-      if (Cur.Kind != TokKind::Ident)
-        return error("expected a rule left-hand side");
-      std::string Lhs = Cur.Text;
-      advance();
-      if (Cur.Kind != TokKind::Colon)
-        return error("expected ':' after rule name '" + Lhs + "'");
-      advance();
-      if (!parseAlternatives(Lhs))
-        return false;
-      if (Cur.Kind == TokKind::Semi)
+      if (DE.errorCapReached())
+        return;
+      switch (Cur.Kind) {
+      case TokKind::End:
+        return; // missing trailing %% is fine
+      case TokKind::Separator:
+        return; // epilogue after the second %% is never even lexed
+      case TokKind::Semi: // stray ';' between rules
         advance();
-      // A missing ';' is tolerated when the next token starts a new rule
-      // or ends the section, matching common yacc laxness only at EOF.
+        break;
+      case TokKind::Action:
+        DE.warning(Diag::StrayToken, Cur.Line, Cur.Col,
+                   "stray { action } between rules ignored");
+        advance();
+        break;
+      case TokKind::Directive:
+        error(Diag::StrayToken, "directive '" + Cur.Text +
+                                    "' not allowed in the rules section");
+        advance();
+        gobbleDirectiveArgs();
+        break;
+      case TokKind::Ident: {
+        std::string Lhs = Cur.Text;
+        if (peek().Kind != TokKind::Colon) {
+          error(Diag::BadRule, "expected ':' after rule name '" + Lhs + "'");
+          advance();
+          if (syncAlternative() == AltSync::NextAlternative)
+            (void)0; // broken rule head: alternatives have no LHS, drop
+          break;
+        }
+        advance(); // LHS
+        advance(); // ':'
+        parseAlternatives(Lhs);
+        break;
+      }
+      default:
+        error(Diag::StrayToken, "expected a rule left-hand side");
+        advance();
+        break;
+      }
     }
   }
 
-  bool parseAlternatives(const std::string &Lhs) {
+  void parseAlternatives(const std::string &Lhs) {
     while (true) {
+      if (DE.errorCapReached())
+        return;
       std::vector<std::string> Rhs;
+      std::vector<bool> IsAction; // parallel: marks mid-rule action slots
       std::string PrecName;
-      while (Cur.Kind == TokKind::Ident || Cur.Kind == TokKind::Directive) {
+      bool Broken = false;
+      while (Cur.Kind == TokKind::Ident || Cur.Kind == TokKind::Action ||
+             Cur.Kind == TokKind::Directive) {
+        if (Cur.Kind == TokKind::Action) {
+          Rhs.push_back("");
+          IsAction.push_back(true);
+          advance();
+          continue;
+        }
         if (Cur.Kind == TokKind::Directive) {
           if (Cur.Text == "%prec") {
             advance();
-            if (Cur.Kind != TokKind::Ident)
-              return error("%prec requires a symbol name");
-            PrecName = Cur.Text;
+            if (Cur.Kind != TokKind::Ident) {
+              error(Diag::BadPrec, "%prec requires a symbol name");
+              Broken = true;
+              break;
+            }
+            PrecName = resolve(Cur.Text);
             advance();
           } else if (Cur.Text == "%empty") {
             advance();
+          } else if (Cur.Text == "%dprec" || Cur.Text == "%merge") {
+            DE.warning(Diag::IgnoredDirective, Cur.Line, Cur.Col,
+                       "'" + Cur.Text +
+                           "' ignored (GLR disambiguation not modeled)");
+            advance();
+            if (Cur.Kind == TokKind::Ident)
+              advance(); // the %dprec number / %merge function name
           } else {
-            return error("unexpected directive '" + Cur.Text +
-                         "' inside a rule");
+            break; // file-level directive: let the rules loop diagnose it
           }
           continue;
         }
-        Rhs.push_back(Cur.Text);
+        if (atRuleHead())
+          break; // missing ';' before the next rule: tolerated
+        Rhs.push_back(resolve(Cur.Text));
+        IsAction.push_back(false);
         advance();
       }
-      B.rule(Lhs, Rhs, PrecName);
+      if (!Broken)
+        finishAlternative(Lhs, Rhs, IsAction, PrecName);
+      if (Broken) {
+        if (syncAlternative() == AltSync::NextAlternative)
+          continue;
+        return;
+      }
       if (Cur.Kind == TokKind::Pipe) {
         advance();
         continue;
       }
-      if (Cur.Kind == TokKind::Semi || Cur.Kind == TokKind::End ||
-          Cur.Kind == TokKind::Separator)
-        return true;
-      return error("expected '|', ';', or end of rules");
+      if (Cur.Kind == TokKind::Semi) {
+        advance();
+        return;
+      }
+      if (Cur.Kind == TokKind::End || Cur.Kind == TokKind::Separator ||
+          Cur.Kind == TokKind::Directive || atRuleHead())
+        return; // missing ';' tolerated at section end / next rule
+      error(Diag::BadAlternative, "expected '|', ';', or end of rules");
+      if (syncAlternative() == AltSync::NextAlternative)
+        continue;
+      return;
     }
   }
 
+  /// Emits one alternative. Trailing actions are dropped (they cannot
+  /// affect parsing decisions); each interior action is desugared into a
+  /// fresh epsilon nonterminal ($@1, $@2, ...) exactly as bison does, so
+  /// mid-rule actions keep their real effect on the conflict structure.
+  void finishAlternative(const std::string &Lhs, std::vector<std::string> &Rhs,
+                         std::vector<bool> &IsAction,
+                         const std::string &PrecName) {
+    while (!IsAction.empty() && IsAction.back()) {
+      IsAction.pop_back();
+      Rhs.pop_back();
+    }
+    for (size_t I = 0; I != Rhs.size(); ++I) {
+      if (!IsAction[I])
+        continue;
+      std::string Fresh = "$@" + std::to_string(++MidRuleCount);
+      B.rule(Fresh, {});
+      Rhs[I] = Fresh;
+    }
+    B.rule(Lhs, Rhs, PrecName);
+  }
+
   Lexer Lex;
-  std::string *Err;
-  Tok Cur{TokKind::End, "", 0};
+  DiagnosticEngine &DE;
+  Tok Cur{TokKind::End, "", 1, 1};
+  Tok Ahead{TokKind::End, "", 1, 1};
+  bool HasAhead = false;
   GrammarBuilder B;
+  std::unordered_map<std::string, std::string> Aliases;
+  std::unordered_set<std::string> DeclaredTokens;
+  unsigned MidRuleCount = 0;
 };
 
 } // namespace
 
+GrammarParseResult lalrcex::parseGrammar(const std::string &Text,
+                                         const GrammarParseOptions &Opts) {
+  GrammarParseResult R;
+  DiagnosticEngine DE(Text, Opts.MaxErrors);
+  // The never-crash contract: no exception may escape, whatever the
+  // bytes. Anything thrown (bad_alloc included) becomes a diagnostic.
+  try {
+    Parser P(Text, Opts, DE);
+    R.G = P.run();
+  } catch (const std::exception &E) {
+    R.G.reset();
+    DE.error(Diag::BuildError, 0, 0,
+             std::string("internal error: ") + E.what());
+  } catch (...) {
+    R.G.reset();
+    DE.error(Diag::BuildError, 0, 0, "internal error: unknown exception");
+  }
+  R.ErrorCount = DE.errorCount();
+  R.WarningCount = DE.warningCount();
+  R.Diags = DE.take();
+  if (R.ErrorCount > 0)
+    R.G.reset();
+  return R;
+}
+
 std::optional<Grammar>
 lalrcex::parseGrammarText(const std::string &Text,
                           std::string *ErrorMessage) {
-  Parser P(Text, ErrorMessage);
-  return P.run();
+  GrammarParseResult R = parseGrammar(Text);
+  if (R.G)
+    return std::move(R.G);
+  if (ErrorMessage) {
+    if (const Diagnostic *D = R.firstError()) {
+      // Historic shape: "line N: message" (build()-level problems carry
+      // no position and keep the bare message).
+      *ErrorMessage = D->Line == 0
+                          ? D->Message
+                          : "line " + std::to_string(D->Line) + ": " +
+                                D->Message;
+    } else {
+      *ErrorMessage = "parse failed";
+    }
+  }
+  return std::nullopt;
 }

@@ -5,9 +5,10 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Parses a yacc-like textual grammar description into a Grammar.
+/// Parses a yacc/bison textual grammar description into a Grammar, with
+/// structured diagnostics and panic-mode error recovery.
 ///
-/// Supported syntax:
+/// Core syntax (the paper-style dialect):
 /// \code
 ///   /* comments */  // line comments
 ///   %token NAME ...            (optional <tag> after the directive)
@@ -23,9 +24,32 @@
 ///   %%                          (anything after a second %% is ignored)
 /// \endcode
 ///
+/// On top of that the reader swallows real bison/byacc files:
+///  - `%{ prologue %}` blocks and `{ semantic actions }` are skipped with
+///    brace/string/char/comment awareness (an explicit nesting-depth guard
+///    bounds pathological inputs);
+///  - `%union`, `%code`, `%destructor`, `%printer`, `%initial-action`,
+///    `%parse-param`, `%define`, ... are accepted and ignored (see the
+///    directive table in README.md); `%glr-parser`-ish directives that
+///    would change conflict semantics are downgraded to warnings;
+///  - `%token NAME "alias"` records the string alias, and rule bodies may
+///    use either spelling;
+///  - bison named references `sym[alias]` are skipped;
+///  - mid-rule actions are desugared into fresh epsilon nonterminals
+///    (`$@1`, `$@2`, ...), exactly as bison does, so their effect on
+///    conflicts is modeled;
+///  - `%expect N` / `%expect-rr N` declare expected conflict counts.
+///
 /// Quoted symbols ('+', "then") denote terminals; the quotes are kept in
-/// the symbol name. Semantic action blocks { ... } are skipped. Undeclared
-/// identifiers that never appear as a rule left-hand side become terminals.
+/// the symbol name. Undeclared identifiers that never appear as a rule
+/// left-hand side become terminals.
+///
+/// The never-crash contract: parseGrammar() accepts arbitrary bytes (NULs,
+/// unterminated constructs, CRLF, multi-megabyte tokens, deep nesting) and
+/// always returns structured diagnostics — it never throws, crashes, or
+/// fails to terminate. Errors are recovered in panic mode (syncing at ';',
+/// '|', '%%', or the next %directive / rule head) so one parse reports
+/// every problem up to the error cap.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,14 +57,58 @@
 #define LALRCEX_GRAMMAR_GRAMMARPARSER_H
 
 #include "grammar/Grammar.h"
+#include "support/Diagnostics.h"
 
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace lalrcex {
 
-/// Parses \p Text into a Grammar. On failure returns std::nullopt and, if
-/// \p ErrorMessage is non-null, a message of the form "line N: ...".
+/// Tunables for the robust frontend. The defaults are what every CLI
+/// uses; tests and the fuzzer tighten them to hit the limit paths.
+struct GrammarParseOptions {
+  /// Errors collected before giving up (P901 note marks truncation).
+  size_t MaxErrors = 50;
+  /// Maximum brace nesting inside actions/%union/%code blocks; deeper
+  /// input produces a P902 error (parsing still terminates).
+  size_t MaxActionDepth = 200;
+};
+
+/// Result of parseGrammar(): the grammar (only when the text had no
+/// errors — warnings are fine) plus every collected diagnostic.
+struct GrammarParseResult {
+  std::optional<Grammar> G;
+  std::vector<Diagnostic> Diags;
+  size_t ErrorCount = 0;
+  size_t WarningCount = 0;
+
+  bool ok() const { return G.has_value(); }
+
+  /// First error diagnostic, or nullptr when the parse succeeded.
+  const Diagnostic *firstError() const {
+    for (const Diagnostic &D : Diags)
+      if (D.Severity == DiagSeverity::Error)
+        return &D;
+    return nullptr;
+  }
+
+  /// Renders all diagnostics with caret snippets against \p Source (the
+  /// text that was parsed).
+  std::string renderDiagnostics(const std::string &Source) const {
+    return lalrcex::renderDiagnostics(Diags, Source);
+  }
+};
+
+/// Parses \p Text into a Grammar with full diagnostics. Never throws; see
+/// the never-crash contract above.
+GrammarParseResult parseGrammar(const std::string &Text,
+                                const GrammarParseOptions &Opts = {});
+
+/// Deprecated single-error shim over parseGrammar(): on failure returns
+/// std::nullopt and, if \p ErrorMessage is non-null, the first error as a
+/// "line N: ..." string. New callers should use parseGrammar() and render
+/// the diagnostics list; this stays until every caller has migrated.
 std::optional<Grammar> parseGrammarText(const std::string &Text,
                                         std::string *ErrorMessage = nullptr);
 

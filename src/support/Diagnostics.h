@@ -1,0 +1,135 @@
+//===- support/Diagnostics.h - Structured frontend diagnostics -*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured diagnostics for the grammar frontend: line/column positions,
+/// severities, stable codes, and caret-context snippets, collected under an
+/// error cap so hostile inputs cannot balloon memory.
+///
+/// A DiagnosticEngine is bound to one source buffer. Reporting is cheap
+/// (positions and messages only); the source line snippet and caret are
+/// materialized lazily at render time, sanitized for control bytes and
+/// truncated around the caret so multi-megabyte lines stay printable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_SUPPORT_DIAGNOSTICS_H
+#define LALRCEX_SUPPORT_DIAGNOSTICS_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lalrcex {
+
+enum class DiagSeverity : unsigned char { Note, Warning, Error };
+
+/// Returns "note" / "warning" / "error".
+const char *diagSeverityName(DiagSeverity S);
+
+/// One frontend diagnostic. Lines and columns are 1-based byte positions;
+/// column 0 means "whole line" (no caret).
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  /// Stable machine-matchable code ("P102"); see Diag:: constants.
+  std::string Code;
+  unsigned Line = 0;
+  unsigned Column = 0;
+  std::string Message;
+
+  /// "line 3:14: error: unterminated quoted symbol [P102]".
+  std::string header() const;
+};
+
+/// Stable diagnostic codes. Grouped: P0xx lexical, P1xx declaration
+/// section, P2xx rules section, P9xx limits/internal.
+namespace Diag {
+inline constexpr const char *NulByte = "P001";
+inline constexpr const char *UnexpectedChar = "P002";
+inline constexpr const char *UnterminatedComment = "P003";
+inline constexpr const char *UnterminatedQuote = "P004";
+inline constexpr const char *UnterminatedAction = "P005";
+inline constexpr const char *UnterminatedTag = "P006";
+inline constexpr const char *UnterminatedAlias = "P007";
+inline constexpr const char *UnterminatedPrologue = "P008";
+inline constexpr const char *MissingSeparator = "P101";
+inline constexpr const char *UnknownDirective = "P102";
+inline constexpr const char *IgnoredDirective = "P103";
+inline constexpr const char *BadDirectiveArg = "P104";
+inline constexpr const char *DuplicateToken = "P105";
+inline constexpr const char *BadRule = "P201";
+inline constexpr const char *BadAlternative = "P202";
+inline constexpr const char *BadPrec = "P203";
+inline constexpr const char *StrayToken = "P204";
+inline constexpr const char *BuildError = "P301";
+inline constexpr const char *TooManyErrors = "P901";
+inline constexpr const char *DepthLimit = "P902";
+}; // namespace Diag
+
+/// Collects diagnostics against one source buffer and renders them with
+/// caret context. Not thread-safe; one engine per parse.
+class DiagnosticEngine {
+public:
+  /// \p Source must outlive the engine (snippets are cut from it at
+  /// render time). \p ErrorCap bounds the number of *errors* collected;
+  /// once reached, further errors are dropped, a single P901 note records
+  /// the truncation, and errorCapReached() turns true so the parser can
+  /// stop early. Warnings and notes are bounded at 4x the cap.
+  explicit DiagnosticEngine(std::string_view Source, size_t ErrorCap = 50);
+
+  void report(DiagSeverity Severity, const char *Code, unsigned Line,
+              unsigned Column, std::string Message);
+
+  void error(const char *Code, unsigned Line, unsigned Column,
+             std::string Message) {
+    report(DiagSeverity::Error, Code, Line, Column, std::move(Message));
+  }
+  void warning(const char *Code, unsigned Line, unsigned Column,
+               std::string Message) {
+    report(DiagSeverity::Warning, Code, Line, Column, std::move(Message));
+  }
+  void note(const char *Code, unsigned Line, unsigned Column,
+            std::string Message) {
+    report(DiagSeverity::Note, Code, Line, Column, std::move(Message));
+  }
+
+  size_t errorCount() const { return Errors; }
+  size_t warningCount() const { return Warnings; }
+  bool errorCapReached() const { return Errors >= ErrorCap; }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  std::vector<Diagnostic> take() { return std::move(Diags); }
+
+  /// Renders one diagnostic with its caret snippet:
+  ///   line 3:14: error: unterminated quoted symbol [P102]
+  ///     expr : expr '+ expr
+  ///                 ^
+  std::string render(const Diagnostic &D) const;
+
+  /// Renders every collected diagnostic, one per line group.
+  std::string renderAll() const;
+
+private:
+  std::string_view Source;
+  size_t ErrorCap;
+  size_t Errors = 0;
+  size_t Warnings = 0;
+  bool CapNoted = false;
+  std::vector<Diagnostic> Diags;
+};
+
+/// Renders \p D with a caret snippet cut from \p Source (standalone
+/// helper; DiagnosticEngine::render forwards here).
+std::string renderDiagnostic(const Diagnostic &D, std::string_view Source);
+
+/// Renders a whole diagnostic list against \p Source.
+std::string renderDiagnostics(const std::vector<Diagnostic> &Diags,
+                              std::string_view Source);
+
+} // namespace lalrcex
+
+#endif // LALRCEX_SUPPORT_DIAGNOSTICS_H

@@ -55,6 +55,8 @@ const char *const CounterNames[metric::NumCounters] = {
     "examine.runs",
     "examine.conflicts",
     "examine.worker_failures",
+    "frontend.parse_failures",
+    "frontend.parse_warnings",
 };
 
 const char *const GaugeNames[metric::NumGauges] = {

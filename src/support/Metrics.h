@@ -70,6 +70,8 @@ enum Counter : unsigned {
   ExamineRuns,
   ExamineConflicts,
   ExamineWorkerFailures,
+  FrontendParseFailures,
+  FrontendParseWarnings,
   NumCounters
 };
 

@@ -179,4 +179,310 @@ TEST(GrammarParserTest, UnterminatedConstructs) {
   EXPECT_FALSE(parseGrammarText("%%\ns : 'x ;\n", &Err));
 }
 
+// ---- Diagnostics API -------------------------------------------------
+
+TEST(GrammarParserTest, DiagnosticsCarryColumns) {
+  GrammarParseResult R = parseGrammar("%%\ns : 'x ;\n");
+  ASSERT_FALSE(R.ok());
+  const Diagnostic *D = R.firstError();
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Line, 2u);
+  EXPECT_EQ(D->Column, 5u); // the opening quote
+  EXPECT_EQ(D->Code, Diag::UnterminatedQuote);
+}
+
+TEST(GrammarParserTest, RenderedDiagnosticHasCaretSnippet) {
+  std::string Text = "%%\ns : 'x ;\n";
+  GrammarParseResult R = parseGrammar(Text);
+  ASSERT_FALSE(R.ok());
+  std::string Rendered = R.renderDiagnostics(Text);
+  // Header, the offending source line, and a caret under column 5.
+  EXPECT_NE(Rendered.find("line 2:5: error:"), std::string::npos) << Rendered;
+  EXPECT_NE(Rendered.find("s : 'x ;"), std::string::npos) << Rendered;
+  EXPECT_NE(Rendered.find("\n      ^"), std::string::npos) << Rendered;
+}
+
+TEST(GrammarParserTest, RecoveryReportsMultipleErrors) {
+  // Three independently broken rules: recovery must reach all of them.
+  GrammarParseResult R = parseGrammar(R"(
+%%
+a ;
+b : & x ;
+c d ;
+)");
+  ASSERT_FALSE(R.ok());
+  EXPECT_GE(R.ErrorCount, 3u);
+  unsigned Lines[3] = {3, 4, 5};
+  for (unsigned L : Lines) {
+    bool Found = false;
+    for (const Diagnostic &D : R.Diags)
+      if (D.Line == L && D.Severity == DiagSeverity::Error)
+        Found = true;
+    EXPECT_TRUE(Found) << "no error on line " << L;
+  }
+}
+
+TEST(GrammarParserTest, RecoveryResumesAtNextRule) {
+  // The broken first rule must not take the healthy second one with it:
+  // the parse still fails (errors are errors), but the diagnostics prove
+  // the parser saw rule 'b' (no error mentions it).
+  GrammarParseResult R = parseGrammar(R"(
+%%
+a : ( ;
+b : x y ;
+)");
+  ASSERT_FALSE(R.ok());
+  for (const Diagnostic &D : R.Diags)
+    EXPECT_EQ(D.Message.find("'b'"), std::string::npos) << D.Message;
+  // And errors on a healthy grammar's twin confirm recovery found only
+  // the one problem.
+  EXPECT_EQ(R.ErrorCount, 1u);
+}
+
+// ---- Bison dialect ---------------------------------------------------
+
+TEST(GrammarParserTest, BisonPrologueUnionCodeBlocks) {
+  std::string Err;
+  std::optional<Grammar> G = parseGrammarText(R"(
+%{
+#include <stdio.h>
+static int lineno; /* } stray brace in comment */
+%}
+%union {
+  int ival;
+  struct { char *s; int len; } str;
+}
+%code requires { #include "ast.h" }
+%destructor { free($$); } <str>
+%token <ival> NUM
+%%
+s : s NUM | NUM ;
+)",
+                                              &Err);
+  ASSERT_TRUE(G) << Err;
+  EXPECT_EQ(G->productionsOf(G->symbolByName("s")).size(), 2u);
+}
+
+TEST(GrammarParserTest, TokenStringAliases) {
+  std::string Err;
+  std::optional<Grammar> G = parseGrammarText(R"(
+%token IF "if" THEN "then" 300
+%%
+s : IF e "then" s | e ;
+e : ID ;
+)",
+                                              &Err);
+  ASSERT_TRUE(G) << Err;
+  // "then" resolves to THEN: no separate terminal for the alias, and the
+  // production uses the canonical name.
+  EXPECT_FALSE(G->symbolByName("\"then\"").valid());
+  Symbol Then = G->symbolByName("THEN");
+  ASSERT_TRUE(Then.valid());
+  bool Uses = false;
+  for (unsigned P = 0; P != G->numProductions(); ++P)
+    for (Symbol S : G->production(P).Rhs)
+      if (S == Then)
+        Uses = true;
+  EXPECT_TRUE(Uses);
+}
+
+TEST(GrammarParserTest, NamedReferencesSkipped) {
+  std::string Err;
+  std::optional<Grammar> G = parseGrammarText(R"(
+%%
+expr[res] : expr[l] '+' expr[r] { $res = $l + $r; }
+          | NUM
+          ;
+)",
+                                              &Err);
+  ASSERT_TRUE(G) << Err;
+  EXPECT_EQ(G->productionsOf(G->symbolByName("expr")).size(), 2u);
+}
+
+TEST(GrammarParserTest, MidRuleActionsDesugarToEpsilonNonterminals) {
+  std::string Err;
+  std::optional<Grammar> G = parseGrammarText(R"(
+%%
+s : a { mid(); } b ;
+a : x ;
+b : y ;
+)",
+                                              &Err);
+  ASSERT_TRUE(G) << Err;
+  // Bison semantics: s : a $@1 b with $@1 : %empty.
+  Symbol Mid = G->symbolByName("$@1");
+  ASSERT_TRUE(Mid.valid());
+  EXPECT_TRUE(G->isNonterminal(Mid));
+  ASSERT_EQ(G->productionsOf(Mid).size(), 1u);
+  EXPECT_TRUE(G->production(G->productionsOf(Mid)[0]).Rhs.empty());
+  const Production &SProd =
+      G->production(G->productionsOf(G->symbolByName("s"))[0]);
+  ASSERT_EQ(SProd.Rhs.size(), 3u);
+  EXPECT_EQ(SProd.Rhs[1], Mid);
+}
+
+TEST(GrammarParserTest, GlrDirectiveDowngradedToWarning) {
+  GrammarParseResult R = parseGrammar(R"(
+%glr-parser
+%%
+s : x ;
+)");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.ErrorCount, 0u);
+  ASSERT_GE(R.WarningCount, 1u);
+  EXPECT_EQ(R.Diags[0].Code, Diag::IgnoredDirective);
+  EXPECT_NE(R.Diags[0].Message.find("%glr-parser"), std::string::npos);
+}
+
+TEST(GrammarParserTest, DuplicateTokenWarns) {
+  GrammarParseResult R = parseGrammar(R"(
+%token NUM ID
+%token NUM
+%%
+s : NUM ID ;
+)");
+  ASSERT_TRUE(R.ok());
+  ASSERT_GE(R.WarningCount, 1u);
+  EXPECT_EQ(R.Diags[0].Code, Diag::DuplicateToken);
+  EXPECT_EQ(R.Diags[0].Line, 3u);
+}
+
+// ---- Torture: the never-crash contract -------------------------------
+
+TEST(GrammarParserTest, TortureEmptyFile) {
+  GrammarParseResult R = parseGrammar("");
+  EXPECT_FALSE(R.ok());
+  ASSERT_GE(R.ErrorCount, 1u);
+  EXPECT_EQ(R.Diags[0].Code, Diag::MissingSeparator);
+}
+
+TEST(GrammarParserTest, TortureNulBytes) {
+  std::string Text("%%\ns : \0\0 x ;\n", 14);
+  GrammarParseResult R = parseGrammar(Text);
+  EXPECT_FALSE(R.ok());
+  const Diagnostic *D = R.firstError();
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Code, Diag::NulByte);
+  // Rendering sanitizes the NULs instead of truncating the snippet.
+  std::string Rendered = R.renderDiagnostics(Text);
+  EXPECT_EQ(Rendered.find('\0'), std::string::npos);
+}
+
+TEST(GrammarParserTest, TortureUnterminatedEverything) {
+  GrammarParseResult S = parseGrammar("%%\ns : \"abc\n ;\n");
+  EXPECT_FALSE(S.ok());
+  ASSERT_NE(S.firstError(), nullptr);
+  EXPECT_EQ(S.firstError()->Code, Diag::UnterminatedQuote);
+
+  GrammarParseResult C = parseGrammar("%token X /* no close\n%%\ns : X ;");
+  EXPECT_FALSE(C.ok());
+  ASSERT_NE(C.firstError(), nullptr);
+  EXPECT_EQ(C.firstError()->Code, Diag::UnterminatedComment);
+
+  GrammarParseResult A = parseGrammar("%%\ns : x { if (a) { b(); \n");
+  EXPECT_FALSE(A.ok());
+  ASSERT_NE(A.firstError(), nullptr);
+  EXPECT_EQ(A.firstError()->Code, Diag::UnterminatedAction);
+
+  GrammarParseResult P = parseGrammar("%{ no close\n%%\ns : x ;\n");
+  EXPECT_FALSE(P.ok());
+  ASSERT_NE(P.firstError(), nullptr);
+  EXPECT_EQ(P.firstError()->Code, Diag::UnterminatedPrologue);
+}
+
+TEST(GrammarParserTest, TortureCrlfAndMixedLineEndings) {
+  std::string Err;
+  std::optional<Grammar> G = parseGrammarText(
+      "%token NUM\r\n%left '+'\r\n%%\r\ns : s '+' NUM\r\n  | NUM ;\n", &Err);
+  ASSERT_TRUE(G) << Err;
+  EXPECT_EQ(G->productionsOf(G->symbolByName("s")).size(), 2u);
+
+  // Line numbers must not count the '\r'.
+  GrammarParseResult R = parseGrammar("%%\r\ns ;\r\n");
+  ASSERT_FALSE(R.ok());
+  ASSERT_NE(R.firstError(), nullptr);
+  EXPECT_EQ(R.firstError()->Line, 2u);
+}
+
+TEST(GrammarParserTest, TortureDeepBraceNesting) {
+  // Nesting beyond the guard is a P902 error, not a crash or hang.
+  GrammarParseOptions Opts;
+  Opts.MaxActionDepth = 16;
+  std::string Text = "%%\ns : x ";
+  Text += std::string(64, '{');
+  Text += std::string(64, '}');
+  Text += " ;\n";
+  GrammarParseResult R = parseGrammar(Text, Opts);
+  EXPECT_FALSE(R.ok());
+  bool SawDepth = false;
+  for (const Diagnostic &D : R.Diags)
+    if (D.Code == Diag::DepthLimit)
+      SawDepth = true;
+  EXPECT_TRUE(SawDepth);
+
+  // Under the guard the same shape is a legal (deep) action.
+  std::string Ok = "%%\ns : x ";
+  Ok += std::string(8, '{');
+  Ok += std::string(8, '}');
+  Ok += " ;\n";
+  EXPECT_TRUE(parseGrammar(Ok, Opts).ok());
+}
+
+TEST(GrammarParserTest, TortureErrorCapTruncates) {
+  GrammarParseOptions Opts;
+  Opts.MaxErrors = 5;
+  std::string Text = "%%\n";
+  for (int I = 0; I != 100; ++I)
+    Text += "# @ !\n"; // three junk bytes per line
+  GrammarParseResult R = parseGrammar(Text, Opts);
+  EXPECT_FALSE(R.ok());
+  // The stored list is capped: at most MaxErrors errors plus the P901
+  // truncation note; the counter still reflects that more were seen.
+  size_t StoredErrors = 0;
+  bool SawCapNote = false;
+  for (const Diagnostic &D : R.Diags) {
+    if (D.Severity == DiagSeverity::Error)
+      ++StoredErrors;
+    if (D.Code == Diag::TooManyErrors)
+      SawCapNote = true;
+  }
+  EXPECT_LE(StoredErrors, 5u);
+  EXPECT_TRUE(SawCapNote);
+  EXPECT_GT(R.ErrorCount, 5u);
+}
+
+TEST(GrammarParserTest, TortureHugeTokenAndLongLines) {
+  // A multi-megabyte identifier must parse (it is just a terminal) and
+  // its diagnostics, if any, must render in bounded space.
+  std::string Big(1 << 20, 'a');
+  std::string Text = "%%\ns : " + Big + " ;\n";
+  GrammarParseResult R = parseGrammar(Text);
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.G->symbolByName(Big).valid());
+
+  std::string Broken = "%%\ns : " + Big + " @ ;\n";
+  GrammarParseResult B = parseGrammar(Broken);
+  EXPECT_FALSE(B.ok());
+  std::string Rendered = B.renderDiagnostics(Broken);
+  EXPECT_LT(Rendered.size(), 4096u); // snippet is windowed, not the line
+}
+
+TEST(GrammarParserTest, TortureArbitraryBinary) {
+  // A little deterministic chaos: every byte value, twice, in two
+  // arrangements. The contract is diagnostics out, nothing thrown.
+  std::string AllBytes;
+  for (int I = 0; I != 512; ++I)
+    AllBytes += char(I * 7 % 256);
+  EXPECT_FALSE(parseGrammar(AllBytes).ok());
+  EXPECT_FALSE(parseGrammar("%%" + AllBytes).ok());
+  EXPECT_NO_THROW((void)parseGrammar(AllBytes + "%%"));
+}
+
+TEST(GrammarParserTest, ShimStillReportsFirstErrorOnly) {
+  // The deprecated out-parameter API keeps its "line N: ..." shape.
+  std::string Err;
+  EXPECT_FALSE(parseGrammarText("%%\na ;\nb ;\n", &Err));
+  EXPECT_EQ(Err.rfind("line 2:", 0), 0u) << Err;
+}
+
 } // namespace

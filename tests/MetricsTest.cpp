@@ -58,7 +58,8 @@ TEST(MetricsTest, HistogramBucketsAndStats) {
   Reg.observe(metric::TimeLssNs, 3);
   Reg.observe(metric::TimeLssNs, 100);
 
-  const MetricsSnapshot::HistData &D = Reg.snapshot().hist(metric::TimeLssNs);
+  MetricsSnapshot Snap = Reg.snapshot();
+  const MetricsSnapshot::HistData &D = Snap.hist(metric::TimeLssNs);
   EXPECT_EQ(D.Count, 3u);
   EXPECT_EQ(D.Sum, 103u);
   EXPECT_EQ(D.Max, 100u);

@@ -1,0 +1,24 @@
+%{
+#include <stdio.h>
+int yylex(void);
+%}
+%union {
+  int num;
+  char *str;
+}
+%token <num> NUM 258 "number"
+%token <str> ID
+%left '+' '-'
+%left '*' '/'
+%type <num> expr
+%expect 0
+%%
+expr[result] : expr[l] '+' expr[r] { $result = $l + $r; }
+     | expr '-' expr   { $$ = $1 - $3; }
+     | expr '*' expr
+     | expr '/' expr
+     | '(' expr ')'    { $$ = $2; }
+     | NUM
+     ;
+%%
+int main(void) { return 0; }

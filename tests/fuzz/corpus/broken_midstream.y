@@ -1,0 +1,5 @@
+%%
+good : a b c ;
+bad : : | ;;
+also_bad | x ;
+recovers : y ;

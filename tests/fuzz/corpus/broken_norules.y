@@ -1,0 +1,2 @@
+%token A B C
+%left '+'

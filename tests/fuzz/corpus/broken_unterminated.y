@@ -1,0 +1,3 @@
+%token STR "never closed
+%%
+s : t { action never closed either

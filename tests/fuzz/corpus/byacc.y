@@ -1,0 +1,4 @@
+%term LETTER DIGIT
+%binary '<' '>'
+%%
+text : text LETTER | text DIGIT | %empty ;

@@ -1,0 +1,7 @@
+/* leading comment
+   spanning lines */
+%token A // line comment
+%%
+// rules
+s : a /* inline */ | s a ;
+a : A ;

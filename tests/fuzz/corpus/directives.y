@@ -1,0 +1,22 @@
+%require "3.0"
+%define api.pure full
+%define parse.error verbose
+%locations
+%parse-param { struct state *st }
+%code requires { struct state; }
+%code { static int depth; }
+%destructor { free($$); } <str>
+%printer { fprintf(yyo, "%d", $$); } <num>
+%initial-action { depth = 0; }
+%start unit
+%token END 0 "end of file"
+%token IF "if" THEN "then" ELSE "else"
+%precedence THEN
+%precedence ELSE
+%%
+unit : stmt ;
+stmt : IF expr THEN stmt
+     | IF expr THEN stmt ELSE stmt
+     | expr
+     ;
+expr : id | expr '+' id ;

@@ -1,0 +1,12 @@
+%%
+stmt : if expr then stmt else stmt
+     | if expr then stmt
+     | expr '?' stmt stmt
+     | arr '[' expr ']' ':=' expr
+     ;
+expr : num
+     | expr '+' expr
+     ;
+num  : digit
+     | num digit
+     ;

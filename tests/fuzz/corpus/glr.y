@@ -1,0 +1,7 @@
+%glr-parser
+%expect-rr 1
+%%
+s : a | b ;
+a : x %dprec 1 ;
+b : x %merge <pick> ;
+x : t ;

@@ -1,0 +1,6 @@
+%token A B C
+%%
+s : a { setup(); } b { finish($2); } c ;
+a : A ;
+b : B ;
+c : C ;
