@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <thread>
 
 using namespace lalrcex;
 using namespace lalrcex::bench;
@@ -142,7 +143,10 @@ lalrcex::bench::writeBenchRecords(const std::string &Tool,
   JsonWriter W;
   W.beginObject();
   W.field("tool", Tool);
-  W.field("schema", size_t(3));
+  W.field("schema", size_t(4));
+  // The measuring machine's parallel width: speedup gates consult this to
+  // decide whether a parallel-vs-serial ratio is meaningful here at all.
+  W.field("cpus", std::max(1u, std::thread::hardware_concurrency()));
   W.key("records").beginArray();
   for (const BenchRecord &R : Records) {
     W.beginObject();
@@ -150,6 +154,7 @@ lalrcex::bench::writeBenchRecords(const std::string &Tool,
     W.field("grammar", R.Grammar);
     W.field("conflicts", R.Conflicts);
     W.field("jobs", R.Jobs);
+    W.field("jobs_inner", R.JobsInner);
     if (R.WallMsSerial >= 0)
       W.field("wall_ms_serial", R.WallMsSerial);
     if (R.WallMsParallel >= 0)

@@ -9,17 +9,19 @@
 /// file next to its human-readable output, so each PR's perf numbers can
 /// be compared against the recorded trajectory instead of eyeballed.
 ///
-/// Schema (version 3), documented in README.md:
+/// Schema (version 4), documented in README.md:
 ///
 ///   {
 ///     "tool": "<tool name>",
-///     "schema": 3,
+///     "schema": 4,
+///     "cpus": <hardware concurrency of the measuring machine>,
 ///     "records": [
 ///       {
 ///         "name": "<benchmark / section name>",
 ///         "grammar": "<corpus grammar>",
 ///         "conflicts": <reported conflict count>,
 ///         "jobs": <job count used for wall_ms_parallel>,
+///         "jobs_inner": <intra-conflict workers used for wall_ms_parallel>,
 ///         "wall_ms_serial": <examineAll wall ms with Jobs = 1>,
 ///         "wall_ms_parallel": <examineAll wall ms with Jobs = jobs>,
 ///         "wall_ms_cold": <wall ms with an empty analysis cache>,
@@ -36,7 +38,9 @@
 /// Unmeasured wall and cache fields (negative in BenchRecord) are omitted
 /// from the record, and "metrics" is omitted when the record carries none
 /// (the usual flattened MetricsSnapshot of the measured run); each schema
-/// bump has been a pure field addition, so schema-1 and schema-2
+/// bump has been a pure field addition (schema 4 added the top-level
+/// "cpus" and per-record "jobs_inner", so speedup gates can tell whether
+/// the measuring machine could physically show a speedup), so older
 /// consumers keep working. Files are written as BENCH_<tool>.json in
 /// $LALRCEX_BENCH_DIR (or the working directory when unset).
 ///
@@ -92,6 +96,8 @@ struct BenchRecord {
   std::string Grammar;
   size_t Conflicts = 0;
   unsigned Jobs = 1;
+  /// Intra-conflict workers used for WallMsParallel (schema 4).
+  unsigned JobsInner = 1;
   double WallMsSerial = -1;   // < 0: not measured, omitted
   double WallMsParallel = -1; // < 0: not measured, omitted
   double WallMsCold = -1;     // < 0: not measured, omitted

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Gate the intra-conflict work-stealing search's scaling records.
+
+Validates the "worst-case-conflict" rows of BENCH_micro_search.json
+(schema 4), which measure the bucket-epoch speculate/commit scheduler on
+the pathological single-conflict grammar at inner worker counts 1/2/4/8.
+
+Two gates:
+
+1. Determinism (always enforced, machine-independent): every row must
+   report the same "configurations" count. The parallel scheduler commits
+   configurations in serial order by construction, so a differing count
+   means the speculate/commit split diverged from the serial search —
+   a correctness bug, not a perf problem.
+
+2. Speedup (hardware-aware): at --speedup-jobs inner workers the row's
+   wall_ms_serial / wall_ms_parallel must reach --min-speedup. A
+   wall-clock speedup is physically impossible on machines with fewer
+   cores than workers, so this gate only applies when the file's "cpus"
+   field (the measuring machine's hardware concurrency, recorded by the
+   bench run itself) is at least --speedup-jobs; otherwise it reports and
+   skips. The serial row must also not regress against the committed
+   baseline by more than --max-serial-ratio, so the speculation machinery
+   cannot buy its speedup by slowing the single-thread path down.
+
+Usage:
+  check_steal_regression.py <baseline.json> <current.json>
+                            [--min-speedup 2.5] [--speedup-jobs 4]
+                            [--max-serial-ratio 1.5]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    rows = {}
+    for rec in data.get("records", []):
+        if rec.get("name") == "worst-case-conflict":
+            rows[rec.get("jobs_inner", 1)] = rec
+    return data, rows
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--min-speedup", type=float, default=2.5,
+                    help="required serial/parallel speedup at "
+                         "--speedup-jobs inner workers (default 2.5)")
+    ap.add_argument("--speedup-jobs", type=int, default=4,
+                    help="inner worker count the speedup gate applies to "
+                         "(default 4)")
+    ap.add_argument("--max-serial-ratio", type=float, default=1.5,
+                    help="fail when the serial row's wall_ms_serial "
+                         "exceeds baseline by this factor (default 1.5)")
+    args = ap.parse_args()
+
+    base_data, base_rows = load(args.baseline)
+    cur_data, cur_rows = load(args.current)
+
+    if not cur_rows:
+        print(f"error: no worst-case-conflict records in {args.current}",
+              file=sys.stderr)
+        return 2
+
+    failed = False
+
+    # Gate 1: configurations identical across every inner worker count.
+    confs = {inner: rec.get("configurations")
+             for inner, rec in sorted(cur_rows.items())}
+    if len(set(confs.values())) != 1:
+        print(f"  determinism: configurations differ across inner worker "
+              f"counts: {confs} DIVERGED", file=sys.stderr)
+        failed = True
+    else:
+        print(f"  determinism: {next(iter(confs.values()))} configurations "
+              f"at inner workers {sorted(confs)} OK")
+
+    # Gate 2a: single-thread non-regression vs. the committed baseline
+    # (same reference-machine caveat as check_lss_regression: gate the
+    # ratio of ratios only when the baseline has the row).
+    base_serial = base_rows.get(1, {}).get("wall_ms_serial")
+    cur_serial = cur_rows.get(1, {}).get("wall_ms_serial")
+    if base_serial and cur_serial and base_serial > 0:
+        ratio = cur_serial / base_serial
+        verdict = "OK" if ratio <= args.max_serial_ratio else "REGRESSED"
+        if verdict == "REGRESSED":
+            failed = True
+        print(f"  serial: baseline {base_serial:.2f} ms, current "
+              f"{cur_serial:.2f} ms -> ratio {ratio:.2f} "
+              f"(limit {args.max_serial_ratio:.2f}) {verdict}")
+    else:
+        print("  serial: no usable baseline row, skipping non-regression")
+
+    # Gate 2b: speedup, only where the hardware can physically show one.
+    cpus = cur_data.get("cpus", 1)
+    row = cur_rows.get(args.speedup_jobs)
+    if row is None:
+        print(f"error: no worst-case-conflict row with jobs_inner="
+              f"{args.speedup_jobs} in {args.current}", file=sys.stderr)
+        return 2
+    serial = row.get("wall_ms_serial", 0)
+    parallel = row.get("wall_ms_parallel", 0)
+    if cpus < args.speedup_jobs:
+        print(f"  speedup: machine has {cpus} cpu(s) < "
+              f"{args.speedup_jobs} workers; gate skipped "
+              f"(serial {serial:.2f} ms, parallel {parallel:.2f} ms)")
+    elif parallel <= 0:
+        print(f"error: unusable parallel time {parallel}", file=sys.stderr)
+        failed = True
+    else:
+        speedup = serial / parallel
+        verdict = "OK" if speedup >= args.min_speedup else "TOO SLOW"
+        if verdict != "OK":
+            failed = True
+        print(f"  speedup: {serial:.2f} ms / {parallel:.2f} ms = "
+              f"{speedup:.2f}x at {args.speedup_jobs} inner workers "
+              f"(need {args.min_speedup:.2f}x, {cpus} cpus) {verdict}")
+
+    if failed:
+        print("steal scaling gate FAILED", file=sys.stderr)
+        return 1
+    print("steal scaling gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,10 @@
 //     -jobs <n>         grammar-level workers (default: hardware
 //                       concurrency; conflicts within a grammar run
 //                       serially so the pool is not oversubscribed)
+//     -jobs-inner <n>   intra-conflict speculation workers per unifying
+//                       search (default 1 here — grammar-level workers
+//                       already fill the machine; reports are
+//                       byte-identical at any setting)
 //     -timeout <sec>    per-conflict unifying budget (default 5)
 //     -cumulative <sec> per-grammar cumulative budget (default 120)
 //     -steps <n>        deterministic per-conflict configuration budget
@@ -62,6 +66,7 @@ namespace {
 int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [-cache <dir>] [-out <dir>] [-jobs <n>] "
+               "[-jobs-inner <n>] "
                "[-timeout <sec>] [-cumulative <sec>] [-steps <n>] "
                "[-canonical] [-metrics] <grammar-dir | corpus>\n",
                Prog);
@@ -219,6 +224,12 @@ int main(int argc, char **argv) {
       if (++I == argc || !parseFlagValue("-jobs", argv[I], UINT32_MAX, V))
         return usage(argv[0]);
       Jobs = unsigned(V);
+    } else if (Arg == "-jobs-inner") {
+      uint64_t V;
+      if (++I == argc ||
+          !parseFlagValue("-jobs-inner", argv[I], UINT32_MAX, V))
+        return usage(argv[0]);
+      Opts.JobsInner = unsigned(V);
     } else if (Arg == "-timeout") {
       if (++I == argc)
         return usage(argv[0]);

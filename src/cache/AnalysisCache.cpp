@@ -101,9 +101,10 @@ Fingerprint128 lalrcex::cache::optionsFingerprint(const FinderOptions &Opts,
   StableHasher H;
   H.addString("lalrcex-finder-options");
   H.addU32(VersionSalt);
-  // Every field that can change report content. Jobs is excluded (reports
-  // are byte-identical for every job count); Cancellation is excluded (a
-  // cancelled run is never stored).
+  // Every field that can change report content. Jobs and JobsInner are
+  // excluded (reports are byte-identical for every worker count at both
+  // scheduler levels); Cancellation is excluded (a cancelled run is
+  // never stored).
   H.addF64(Opts.ConflictTimeLimitSeconds);
   H.addF64(Opts.CumulativeTimeLimitSeconds);
   H.addU8(Opts.ExtendedSearch);

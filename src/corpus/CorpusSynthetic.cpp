@@ -120,6 +120,25 @@ void corpus_detail::addSyntheticGrammars(std::vector<CorpusEntry> &Out) {
     Text += gadget("deep_list_a", "deep_list_b", 13, 17);
     Out.push_back({"java-ext2", "synthetic", Text, false, 1});
   }
+
+  // worst-case-conflict: ONE reduce/reduce conflict whose unifying search
+  // frontier is as wide as the gadget can make it. The two repetition
+  // lists use large co-prime periods (23 and 29), so the product-parser
+  // search pumping both lists backward reaches up to 23 x 29 distinct
+  // item-pair combinations, with two reverse-production choices per
+  // period boundary on each side: the Dial cost buckets fill with
+  // hundreds of same-cost configurations. That is the stress shape for
+  // the intra-conflict bucket-epoch scheduler (wide epochs, uneven slot
+  // costs), and the grammar is still unambiguous — the search never
+  // exhausts, so a fixed MaxConfigurations budget measures pure search
+  // throughput deterministically.
+  {
+    std::string Text = "%token BREAK THIS\n%%\n"
+                       "start : '@' deep_list_a THIS ';'\n"
+                       "      | '@' deep_list_b THIS THIS ';' ;\n";
+    Text += gadget("deep_list_a", "deep_list_b", 23, 29);
+    Out.push_back({"worst-case-conflict", "synthetic", Text, false, 1});
+  }
 }
 
 std::string lalrcex::scalabilityGrammarText(unsigned Levels) {

@@ -281,6 +281,8 @@ ConflictReport CounterexampleFinder::examineImpl(const Conflict &C,
     UO.Cancellation = Opts.Cancellation;
     UO.WallPollPeriod = Opts.WallPollPeriod;
     UO.Metrics = Opts.Metrics;
+    UO.InnerJobs =
+        resolveInnerJobs(Opts.JobsInner, Opts.Jobs, OuterWorkersActive);
     // Effective step budget: per-conflict cap, shrunk to what the
     // cumulative deterministic budget still allows.
     UO.MaxConfigurations = Opts.MaxConfigurations;
@@ -394,6 +396,17 @@ unsigned CounterexampleFinder::resolveJobs(unsigned Jobs) {
   return Jobs == 0 ? 1 : Jobs;
 }
 
+unsigned CounterexampleFinder::resolveInnerJobs(unsigned JobsInner,
+                                                unsigned Jobs,
+                                                unsigned OuterWorkers) {
+  if (JobsInner != 0)
+    return JobsInner;
+  // Auto split: divide the total worker budget evenly across the
+  // conflict-level workers, so few conflicts on a wide machine still
+  // saturate it (one conflict on 8 cores gets 8 inner workers).
+  return std::max(1u, resolveJobs(Jobs) / std::max(1u, OuterWorkers));
+}
+
 std::vector<ConflictReport> CounterexampleFinder::examineAll() {
   MetricsRegistry *M = Opts.Metrics;
   ScopedTimer RunTimer(M, metric::TimeExamineAllNs);
@@ -438,6 +451,9 @@ std::vector<ConflictReport> CounterexampleFinder::examineAll() {
   unsigned Jobs = resolveJobs(Opts.Jobs);
   if (size_t(Jobs) > Reported.size())
     Jobs = unsigned(Reported.size());
+  // The JobsInner = 0 auto split divides the Jobs budget by the
+  // conflict-level worker count of this run.
+  OuterWorkersActive = std::max(1u, Jobs);
   if (Jobs <= 1) {
     if (M)
       M->gaugeMax(metric::ExamineWorkers, 1);
@@ -486,6 +502,8 @@ std::vector<ConflictReport> CounterexampleFinder::examineAll() {
     for (std::thread &T : Pool)
       T.join();
   }
+
+  OuterWorkersActive = 1; // standalone examine() gets the full budget
 
   // Publish the report set unless cancellation truncated it: a cancelled
   // run's reports are a function of *when* the token tripped, not of the

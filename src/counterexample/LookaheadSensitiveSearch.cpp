@@ -105,13 +105,25 @@ std::optional<LssPath> lalrcex::shortestLookaheadSensitivePath(
   // Per-node dominance frontier: the maximal lookahead ids admitted so
   // far. A candidate covered by any admitted set is pruned; DESIGN.md §5e
   // proves the surviving BFS still finds the reference path exactly.
-  std::vector<std::vector<TerminalSetPool::SetId>> Frontier(Graph.numNodes());
-  // Per-node union of all admitted elements, as raw words. L ⊆ some Prev
-  // requires L ⊆ union, so a failed mask probe admits without scanning
-  // the frontier; for |L| <= 1 the mask answer is exact (an element in
-  // the union is in some one admitted set). Only genuinely ambiguous
-  // candidates pay the linear containsAll scan.
-  const unsigned MaskWords = Pool.wordsPerSet();
+  //
+  // SoA layout: each node's admitted ids live contiguously in one shared
+  // slab, addressed by a 12-byte {Begin, Count, Cap} descriptor. Scanning
+  // a frontier is a dense streak of SetIds instead of a pointer chase
+  // through per-node heap vectors, and a node outgrowing its segment
+  // relocates to the slab's end with doubled capacity (the abandoned
+  // segment is bounded by geometric growth, like a vector's).
+  struct NodeFrontier {
+    uint32_t Begin = 0, Count = 0, Cap = 0;
+  };
+  std::vector<NodeFrontier> Frontier(Graph.numNodes());
+  std::vector<TerminalSetPool::SetId> Slab;
+  // Per-node union of all admitted elements, as raw words (maskWords()
+  // per node, so the padded-stride kernels apply; padding words stay
+  // zero). L ⊆ some Prev requires L ⊆ union, so a failed mask probe
+  // admits without scanning the frontier; for |L| <= 1 the mask answer
+  // is exact (an element in the union is in some one admitted set). Only
+  // genuinely ambiguous candidates pay the linear containsAll scan.
+  const unsigned MaskWords = Pool.maskWords();
   std::vector<uint64_t> UnionMask(size_t(Graph.numNodes()) * MaskWords, 0);
 
   // Unit edge costs make Dial's bucket queue two flat buckets: the depth
@@ -122,17 +134,18 @@ std::optional<LssPath> lalrcex::shortestLookaheadSensitivePath(
 
   auto enqueue = [&](StateItemGraph::NodeId Node, TerminalSetPool::SetId L,
                      int32_t Parent, LssStep::Kind Kind) {
-    std::vector<TerminalSetPool::SetId> &Seen = Frontier[Node];
+    NodeFrontier &F = Frontier[Node];
     uint64_t *Mask = &UnionMask[size_t(Node) * MaskWords];
-    if (!Seen.empty() && Pool.coveredByWords(L, Mask)) {
+    if (F.Count != 0 && Pool.coveredByWords(L, Mask)) {
       if (Pool.count(L) <= 1) {
         // Exact via the mask: each element of L sits in some admitted
         // set, and a set of at most one element needs only one of them.
         ++Pruned;
         return;
       }
-      for (TerminalSetPool::SetId Prev : Seen) {
-        if (Pool.containsAll(Prev, L)) {
+      const TerminalSetPool::SetId *Seen = Slab.data() + F.Begin;
+      for (uint32_t I = 0; I != F.Count; ++I) {
+        if (Pool.containsAll(Seen[I], L)) {
           ++Pruned;
           return;
         }
@@ -141,12 +154,26 @@ std::optional<LssPath> lalrcex::shortestLookaheadSensitivePath(
     // L is new and maximal; admitted sets it covers are now redundant
     // (anything they would prune, L prunes too). The mask needs no
     // repair: removed sets are subsets of L, which stays admitted.
-    Seen.erase(std::remove_if(Seen.begin(), Seen.end(),
-                              [&](TerminalSetPool::SetId Prev) {
-                                return Pool.containsAll(L, Prev);
-                              }),
-               Seen.end());
-    Seen.push_back(L);
+    {
+      TerminalSetPool::SetId *Seen = Slab.data() + F.Begin;
+      uint32_t Out = 0;
+      for (uint32_t I = 0; I != F.Count; ++I)
+        if (!Pool.containsAll(L, Seen[I]))
+          Seen[Out++] = Seen[I];
+      F.Count = Out;
+    }
+    if (F.Count == F.Cap) {
+      // Relocate this node's segment to the slab end with doubled
+      // capacity. Copy by index: resize may move the slab.
+      uint32_t NewCap = F.Cap ? F.Cap * 2 : 4;
+      uint32_t NewBegin = uint32_t(Slab.size());
+      Slab.resize(Slab.size() + NewCap);
+      std::copy(Slab.begin() + F.Begin, Slab.begin() + F.Begin + F.Count,
+                Slab.begin() + NewBegin);
+      F.Begin = NewBegin;
+      F.Cap = NewCap;
+    }
+    Slab[F.Begin + F.Count++] = L;
     Pool.addToWords(L, Mask);
     Vertices.push_back(PooledVertex{Node, L, Parent, Kind});
     NextB->push_back(int32_t(Vertices.size()) - 1);
@@ -187,6 +214,13 @@ std::optional<LssPath> lalrcex::shortestLookaheadSensitivePath(
       const Item &Itm = Graph.itemOf(N);
       Symbol Next = Itm.afterDot(G);
       if (Next.valid() && G.isNonterminal(Next)) {
+        // Pull the successors' mask rows toward the cache while the
+        // follow-set lookup (and possibly a cached union) is in flight;
+        // enqueue's first real work on each row is the coveredByWords
+        // probe against exactly these words.
+        for (StateItemGraph::NodeId Step : Graph.productionSteps(N))
+          if (Relevant[Step])
+            __builtin_prefetch(&UnionMask[size_t(Step) * MaskWords]);
         TerminalSetPool::SetId Follow =
             Analysis.firstOfSequenceId(Itm.Prod, Itm.Dot + 1);
         if (Analysis.suffixNullable(Itm.Prod, Itm.Dot + 1))

@@ -25,9 +25,15 @@
 
 #include "support/FaultInjection.h"
 #include "support/Metrics.h"
+#include "support/WorkStealingDeque.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
 #include <new>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -110,6 +116,29 @@ public:
       if (Entries[Id].Node == N)
         return true;
     return false;
+  }
+
+  /// Read-only probe of push(): the existing id for (\p Parent, \p N),
+  /// or NilChain when no such stack has been interned yet. Unlike push()
+  /// this never mutates, so speculation workers may call it concurrently
+  /// while the arena is epoch-frozen.
+  uint32_t probePush(uint32_t Parent, NodeId N) const {
+    auto It = Intern.find((uint64_t(Parent) << 32) | N);
+    return It == Intern.end() ? NilChain : It->second;
+  }
+
+  /// Read-only probe of prepend(): the existing id of the sequence with
+  /// \p N below \p Id, or NilChain if any re-interned prefix is missing.
+  /// \p Scr is caller-owned scratch (workers must not share the arena's).
+  uint32_t probePrepend(uint32_t Id, NodeId N,
+                        std::vector<NodeId> &Scr) const {
+    Scr.clear();
+    for (uint32_t I = Id; I != NilChain; I = Entries[I].Parent)
+      Scr.push_back(Entries[I].Node); // top .. front
+    uint32_t Out = probePush(NilChain, N);
+    for (size_t I = Scr.size(); I != 0 && Out != NilChain; --I)
+      Out = probePush(Out, Scr[I - 1]);
+    return Out;
   }
 
   /// The sequence with \p N prepended below the whole stack. O(depth):
@@ -251,6 +280,29 @@ public:
     }
   }
 
+  /// Moves every entry of the current lowest-cost bucket (the unconsumed
+  /// suffix) into \p Out, preserving FIFO order — one scheduling epoch of
+  /// the bucket-sharded parallel search. Same-cost successors enqueued
+  /// afterwards land back in this bucket and form the next epoch, which
+  /// is exactly the suffix pop() would have drained after them.
+  void drainCurrent(std::vector<uint32_t> &Out) {
+    for (;;) {
+      std::vector<uint32_t> &B = Buckets[size_t(Cur) % Buckets.size()];
+      if (Head < B.size()) {
+        Out.assign(B.begin() + Head, B.end());
+        size_t Taken = B.size() - Head;
+        Count -= Taken;
+        PopCount += Taken;
+        B.clear();
+        Head = 0;
+        return;
+      }
+      B.clear();
+      Head = 0;
+      ++Cur;
+    }
+  }
+
   size_t pushes() const { return PushCount; }
   size_t pops() const { return PopCount; }
 
@@ -273,6 +325,147 @@ struct QueueMetricsFlusher {
       return;
     Metrics->add(metric::UnifyingQueuePushes, Queue.pushes());
     Metrics->add(metric::UnifyingQueuePops, Queue.pops());
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Bucket-epoch parallel machinery (DESIGN.md 5h)
+//===----------------------------------------------------------------------===//
+
+/// One potential successor of a configuration, recorded by the read-only
+/// generation pass and executed (intern + admit + ledger + enqueue) by the
+/// serial apply pass. Everything needed to redo the mutation is here, so
+/// speculation workers never touch an arena.
+enum class CandKind : uint8_t {
+  SharedShift, ///< Fig. 10(a): A/B = successor nodes of the two sides
+  ProdStep,    ///< Fig. 10(b): A = dot-0 item node, side in First
+  Reduce,      ///< Fig. 10(f): A = goto node, Prod/PopLen describe it
+  RevProd,     ///< Fig. 10(d)/(e): A = prepended context node
+  RevTrans,    ///< Fig. 10(c): A/B = prepended nodes of the two sides
+};
+
+struct Candidate {
+  CandKind Kind;
+  bool First = false;          ///< which side, for the per-side kinds
+  bool ShiftsConflict = false; ///< SharedShift consumes the conflict term
+  bool Dropped = false;        ///< speculation proved the admit would fail
+  NodeId A = 0, B = 0;
+  int CostDelta = 0;
+  uint32_t Prod = 0;  ///< Reduce: production index
+  uint16_t PopLen = 0; ///< Reduce: right-hand-side length
+};
+
+/// Per-slot result of the speculation phase. Written by exactly one
+/// worker during the parallel phase, read by the commit phase after the
+/// epoch barrier (the pool's mutex hands over visibility).
+struct SlotSpec {
+  bool Done = false;     ///< speculation ran (skipped slots stay false)
+  bool GoalHit = false;  ///< the goal test passed on this configuration
+  bool HasError = false; ///< generation threw SearchError (replayed at
+                         ///< commit after the recorded candidate prefix)
+  bool BadAllocHit = false; ///< speculation hit an allocation failure
+  std::string Error;
+  std::vector<Candidate> Cands;
+};
+
+/// A persistent pool of epoch workers for one search. Spawned once,
+/// parked on a condition variable between epochs; run() executes one job
+/// on every worker (the caller participates as worker 0) and returns only
+/// when all are done — the deterministic epoch barrier. Thread-exhaustion
+/// degrades gracefully: whatever workers could be spawned are used.
+class InnerWorkerPool {
+public:
+  explicit InnerWorkerPool(unsigned Requested) {
+    unsigned Extra = Requested > 0 ? Requested - 1 : 0;
+    Threads.reserve(Extra);
+    for (unsigned I = 0; I != Extra; ++I) {
+      try {
+        Threads.emplace_back([this, Idx = I + 1] { workerMain(Idx); });
+      } catch (const std::system_error &) {
+        break;
+      }
+    }
+  }
+
+  ~InnerWorkerPool() {
+    {
+      std::lock_guard<std::mutex> L(M);
+      Shutdown = true;
+    }
+    StartCV.notify_all();
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  unsigned workers() const { return unsigned(Threads.size()) + 1; }
+
+  /// Runs \p JobFn(WorkerIndex) on every worker, caller included, and
+  /// blocks until all have returned. JobFn must not throw.
+  void run(const std::function<void(unsigned)> &JobFn) {
+    {
+      std::lock_guard<std::mutex> L(M);
+      Job = &JobFn;
+      Pending = unsigned(Threads.size());
+      ++Seq;
+    }
+    StartCV.notify_all();
+    JobFn(0);
+    std::unique_lock<std::mutex> L(M);
+    DoneCV.wait(L, [&] { return Pending == 0; });
+    Job = nullptr;
+  }
+
+private:
+  void workerMain(unsigned Idx) {
+    uint64_t Seen = 0;
+    for (;;) {
+      const std::function<void(unsigned)> *J;
+      {
+        std::unique_lock<std::mutex> L(M);
+        StartCV.wait(L, [&] { return Shutdown || Seq != Seen; });
+        if (Shutdown)
+          return;
+        Seen = Seq;
+        J = Job;
+      }
+      (*J)(Idx);
+      {
+        std::lock_guard<std::mutex> L(M);
+        --Pending;
+      }
+      DoneCV.notify_one();
+    }
+  }
+
+  std::mutex M;
+  std::condition_variable StartCV, DoneCV;
+  const std::function<void(unsigned)> *Job = nullptr;
+  uint64_t Seq = 0;
+  unsigned Pending = 0;
+  bool Shutdown = false;
+  std::vector<std::thread> Threads;
+};
+
+/// Flushes the steal counters and barrier count into the search.* metrics
+/// when searchImpl exits, including via SearchError / bad_alloc.
+struct StealMetricsFlusher {
+  const std::vector<WorkStealingDeque::Counters> &Steal;
+  const uint64_t &Barriers;
+  MetricsRegistry *Metrics;
+  ~StealMetricsFlusher() {
+    if (!Metrics)
+      return;
+    uint64_t Stolen = 0, Failures = 0;
+    for (const WorkStealingDeque::Counters &C : Steal) {
+      Stolen += C.TasksStolen;
+      Failures += C.StealFailures;
+    }
+    if (Stolen)
+      Metrics->add(metric::SearchTasksStolen, Stolen);
+    if (Failures)
+      Metrics->add(metric::SearchStealFailures, Failures);
+    if (Barriers)
+      Metrics->add(metric::SearchBucketBarriers, Barriers);
   }
 };
 
@@ -497,9 +690,19 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
     return Children;
   };
 
-  // Reduction on one side (Fig. 10(f)); generates one successor if the
+  // --------------------------------------------------------------------
+  // Successor generation (Fig. 10), split into a read-only generate pass
+  // that records candidates and a mutating apply pass that executes them
+  // (DESIGN.md 5h). The serial schedule runs generate+apply per
+  // configuration; the parallel schedule runs generate on speculation
+  // workers and apply in the serial commit phase. Both schedules share
+  // this single implementation, so they cannot diverge structurally.
+  // --------------------------------------------------------------------
+
+  // Reduction on one side (Fig. 10(f)); records one candidate if the
   // side has enough items, otherwise signals that preparation is needed.
-  auto tryReduce = [&](const Config &C, bool First) -> bool /*prepared*/ {
+  auto genReduce = [&](const Config &C, bool First,
+                       std::vector<Candidate> &Out) -> bool /*prepared*/ {
     const SideRef &S = First ? C.S1 : C.S2;
     NodeId Last = IA.top(S.Items);
     const Item &Itm = Graph.itemOf(Last);
@@ -519,27 +722,22 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
       if (Goto == StateItemGraph::InvalidNode)
         throw SearchError(
             "unifying search: missing goto transition after reduction");
-      uint32_t NI = IA.push(IA.popN(S.Items, L + 1), Goto);
-      uint8_t NF = C.Flags | (First ? FlagReduce1 : FlagReduce2);
-      if (admit(First ? NI : C.S1.Items, First ? C.S2.Items : NI, NF)) {
-        Config N = C;
-        SideRef &NS = First ? N.S1 : N.S2;
-        NS.Items = NI;
-        std::vector<DerivPtr> Children = popChildren(NS, L);
-        appendDeriv(NS, Derivation::node(G.production(Itm.Prod).Lhs,
-                                         Itm.Prod, std::move(Children)));
-        N.Flags = NF;
-        N.Cost += ReduceCost;
-        enqueue(N);
-      }
+      Candidate D;
+      D.Kind = CandKind::Reduce;
+      D.First = First;
+      D.A = Goto;
+      D.Prod = Itm.Prod;
+      D.PopLen = uint16_t(L);
+      D.CostDelta = ReduceCost;
+      Out.push_back(D);
       return true;
     }
     return false; // needs reverse preparation
   };
 
   // Reverse production step prepending to side `First` (Fig. 10(d)/(e)).
-  auto revProductionSteps = [&](const Config &C, bool First,
-                                bool GuardConflict) {
+  auto genRevProd = [&](const Config &C, bool First, bool GuardConflict,
+                        std::vector<Candidate> &Out) {
     const SideRef &S = First ? C.S1 : C.S2;
     NodeId Head = IA.front(S.Items);
     for (NodeId Src : Graph.reverseProductionSteps(Head)) {
@@ -552,27 +750,25 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
                                          &Graph.lookahead(Src)))
           continue;
       }
-      uint32_t NI = IA.prepend(S.Items, Src);
-      if (!admit(First ? NI : C.S1.Items, First ? C.S2.Items : NI,
-                 C.Flags))
-        continue;
-      Config N = C;
-      (First ? N.S1 : N.S2).Items = NI;
-      N.Cost += RevProductionCost;
-      enqueue(N);
+      Candidate D;
+      D.Kind = CandKind::RevProd;
+      D.First = First;
+      D.A = Src;
+      D.CostDelta = RevProductionCost;
+      Out.push_back(D);
     }
   };
 
   // Reverse transitions prepending to both sides (Fig. 10(c)).
-  auto revTransitions = [&](const Config &C, bool Stage1Guard) {
+  auto genRevTrans = [&](const Config &C, bool Stage1Guard,
+                         std::vector<Candidate> &Out) {
     NodeId H1 = IA.front(C.S1.Items);
     NodeId H2 = IA.front(C.S2.Items);
     const Item &I1 = Graph.itemOf(H1);
     const Item &I2 = Graph.itemOf(H2);
     if (I1.Dot == 0 || I2.Dot == 0)
       return;
-    Symbol Z = I1.beforeDot(G);
-    if (Z != I2.beforeDot(G))
+    if (I1.beforeDot(G) != I2.beforeDot(G))
       return;
     for (NodeId M1 : Graph.reverseTransitions(H1)) {
       unsigned FromState = Graph.stateOf(M1);
@@ -582,22 +778,230 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
       if (Stage1Guard &&
           !Graph.lookahead(M1).contains(ConflictTerm.id()))
         continue;
-      uint32_t NI1 = IA.prepend(C.S1.Items, M1);
       for (NodeId M2 : Graph.reverseTransitions(H2)) {
         if (Graph.stateOf(M2) != FromState)
           continue;
-        uint32_t NI2 = IA.prepend(C.S2.Items, M2);
-        if (!admit(NI1, NI2, C.Flags))
-          continue;
-        Config N = C;
-        N.S1.Items = NI1;
-        N.S2.Items = NI2;
-        prependDeriv(N.S1, leafOf(Z));
-        prependDeriv(N.S2, leafOf(Z));
-        N.Cost += OffPath ? ExtRevCost : RevTransitionCost;
-        enqueue(N);
+        Candidate D;
+        D.Kind = CandKind::RevTrans;
+        D.A = M1;
+        D.B = M2;
+        D.CostDelta = OffPath ? ExtRevCost : RevTransitionCost;
+        Out.push_back(D);
       }
     }
+  };
+
+  // All successors of one configuration, in canonical order: shared
+  // shift, production steps (side 1, then 2), then the per-side
+  // reduce/reverse block. Read-only: safe on concurrent speculation
+  // workers while the arenas are epoch-frozen.
+  auto generate = [&](const Config &C, std::vector<Candidate> &Out) {
+    NodeId L1 = IA.top(C.S1.Items);
+    NodeId L2 = IA.top(C.S2.Items);
+
+    // Shared forward transition (Fig. 10(a)).
+    {
+      NodeId F1 = Graph.forwardTransition(L1);
+      NodeId F2 = Graph.forwardTransition(L2);
+      Symbol Z = Graph.transitionSymbol(L1);
+      if (F1 != StateItemGraph::InvalidNode &&
+          F2 != StateItemGraph::InvalidNode &&
+          Z == Graph.transitionSymbol(L2) &&
+          (!awaitingConflictShift(C) || Z == ConflictTerm)) {
+        Candidate D;
+        D.Kind = CandKind::SharedShift;
+        D.ShiftsConflict = awaitingConflictShift(C) && Z == ConflictTerm;
+        D.A = F1;
+        D.B = F2;
+        D.CostDelta = ShiftCost;
+        Out.push_back(D);
+      }
+    }
+
+    // Per-side production steps (Fig. 10(b)).
+    for (bool First : {true, false}) {
+      const SideRef &S = First ? C.S1 : C.S2;
+      NodeId Last = IA.top(S.Items);
+      for (NodeId Step : Graph.productionSteps(Last)) {
+        if (awaitingConflictShift(C) && !usefulWhileAwaiting(Step))
+          continue;
+        Candidate D;
+        D.Kind = CandKind::ProdStep;
+        D.First = First;
+        D.A = Step;
+        D.CostDelta =
+            ProductionCost + (IA.contains(S.Items, Step) ? DupCost : 0);
+        Out.push_back(D);
+      }
+    }
+
+    // Per-side reductions, and reverse preparation when a pending
+    // reduction lacks left context (Fig. 10(c)-(f)).
+    for (bool First : {true, false}) {
+      if (genReduce(C, First, Out))
+        continue;
+      const SideRef &S = First ? C.S1 : C.S2;
+      const SideRef &O = First ? C.S2 : C.S1;
+      const Item &Pending = Graph.itemOf(IA.top(S.Items));
+      bool GuardConflict =
+          First ? !(C.Flags & FlagReduce1) : !(C.Flags & FlagReduce2);
+      if (IA.depth(S.Items) == Pending.Dot + 1 &&
+          Graph.itemOf(IA.front(S.Items)) == Item(Pending.Prod, 0)) {
+        // Fig. 10(d): the production's own items are all present;
+        // prepend a context item via a reverse production step here.
+        genRevProd(C, First, GuardConflict, Out);
+        continue;
+      }
+      // Fig. 10(c)/(e): the walk extends past the head. If the other
+      // side's head is a dot-0 item it must first be un-produced;
+      // otherwise prepend a shared reverse transition.
+      if (Graph.itemOf(IA.front(O.Items)).Dot == 0)
+        genRevProd(C, !First, /*GuardConflict=*/false, Out);
+      else
+        genRevTrans(C, GuardConflict, Out);
+    }
+  };
+
+  // Executes one candidate: authoritative interning, admission, ledger
+  // work, and enqueue. Always runs on the committing thread — every
+  // mutation of the search state funnels through here — so admission
+  // order, and with it every report byte, matches the serial schedule.
+  auto apply = [&](const Config &C, const Candidate &D) {
+    switch (D.Kind) {
+    case CandKind::SharedShift: {
+      Symbol Z = Graph.transitionSymbol(IA.top(C.S1.Items));
+      uint32_t NI1 = IA.push(C.S1.Items, D.A);
+      uint32_t NI2 = IA.push(C.S2.Items, D.B);
+      uint8_t NF = C.Flags | (D.ShiftsConflict ? FlagShifted : 0);
+      if (!admit(NI1, NI2, NF))
+        return;
+      Config N = C;
+      N.S1.Items = NI1;
+      N.S2.Items = NI2;
+      N.Flags = NF;
+      if (D.ShiftsConflict) {
+        // Paper presentation (Fig. 11): on the reduce side the dot sits
+        // inside the completed reduction's brackets — attach it as the
+        // last child of the latest derivation node. The shift side gets
+        // it right before the conflict terminal.
+        if (!ledgerEmpty(N.S1) && lastDeriv(N.S1)->isNode()) {
+          DerivPtr Last = popBackDeriv(N.S1);
+          std::vector<DerivPtr> Children = Last->children();
+          Children.push_back(Derivation::dot());
+          appendDeriv(N.S1,
+                      Derivation::node(Last->symbol(),
+                                       Last->productionIndex(),
+                                       std::move(Children)));
+        } else {
+          appendDeriv(N.S1, Derivation::dot());
+        }
+        appendDeriv(N.S2, Derivation::dot());
+      }
+      appendDeriv(N.S1, leafOf(Z));
+      appendDeriv(N.S2, leafOf(Z));
+      N.Cost += D.CostDelta;
+      enqueue(N);
+      return;
+    }
+    case CandKind::ProdStep: {
+      uint32_t NI = IA.push((D.First ? C.S1 : C.S2).Items, D.A);
+      if (!admit(D.First ? NI : C.S1.Items, D.First ? C.S2.Items : NI,
+                 C.Flags))
+        return;
+      Config N = C;
+      (D.First ? N.S1 : N.S2).Items = NI;
+      N.Cost += D.CostDelta;
+      enqueue(N);
+      return;
+    }
+    case CandKind::Reduce: {
+      const SideRef &S = D.First ? C.S1 : C.S2;
+      uint32_t NI = IA.push(IA.popN(S.Items, D.PopLen + 1u), D.A);
+      uint8_t NF = C.Flags | (D.First ? FlagReduce1 : FlagReduce2);
+      if (!admit(D.First ? NI : C.S1.Items, D.First ? C.S2.Items : NI,
+                 NF))
+        return;
+      Config N = C;
+      SideRef &NS = D.First ? N.S1 : N.S2;
+      NS.Items = NI;
+      std::vector<DerivPtr> Children = popChildren(NS, D.PopLen);
+      appendDeriv(NS, Derivation::node(G.production(D.Prod).Lhs, D.Prod,
+                                       std::move(Children)));
+      N.Flags = NF;
+      N.Cost += D.CostDelta;
+      enqueue(N);
+      return;
+    }
+    case CandKind::RevProd: {
+      uint32_t NI = IA.prepend((D.First ? C.S1 : C.S2).Items, D.A);
+      if (!admit(D.First ? NI : C.S1.Items, D.First ? C.S2.Items : NI,
+                 C.Flags))
+        return;
+      Config N = C;
+      (D.First ? N.S1 : N.S2).Items = NI;
+      N.Cost += D.CostDelta;
+      enqueue(N);
+      return;
+    }
+    case CandKind::RevTrans: {
+      Symbol Z = Graph.itemOf(IA.front(C.S1.Items)).beforeDot(G);
+      uint32_t NI1 = IA.prepend(C.S1.Items, D.A);
+      uint32_t NI2 = IA.prepend(C.S2.Items, D.B);
+      if (!admit(NI1, NI2, C.Flags))
+        return;
+      Config N = C;
+      N.S1.Items = NI1;
+      N.S2.Items = NI2;
+      prependDeriv(N.S1, leafOf(Z));
+      prependDeriv(N.S2, leafOf(Z));
+      N.Cost += D.CostDelta;
+      enqueue(N);
+      return;
+    }
+    }
+  };
+
+  // True when a candidate's admission is guaranteed to fail against the
+  // epoch-frozen state: every stack it would intern already exists (all
+  // probes hit) and the resulting visited key is already present.
+  // Admission can only fail on such full hits — a fresh stack id makes
+  // the visited key fresh too — so dropping a proven duplicate during
+  // speculation skips exactly the arena growth and byte charges that the
+  // serial search would not have performed either (DESIGN.md 5h). The
+  // check is conservative: any miss keeps the candidate for commit.
+  auto provenDuplicate = [&](const Config &C, const Candidate &D,
+                             std::vector<NodeId> &Scr) -> bool {
+    uint32_t I1 = C.S1.Items, I2 = C.S2.Items;
+    uint8_t Flags = C.Flags;
+    switch (D.Kind) {
+    case CandKind::SharedShift:
+      I1 = IA.probePush(C.S1.Items, D.A);
+      I2 = IA.probePush(C.S2.Items, D.B);
+      if (D.ShiftsConflict)
+        Flags |= FlagShifted;
+      break;
+    case CandKind::ProdStep:
+      (D.First ? I1 : I2) =
+          IA.probePush((D.First ? C.S1 : C.S2).Items, D.A);
+      break;
+    case CandKind::Reduce:
+      (D.First ? I1 : I2) = IA.probePush(
+          IA.popN((D.First ? C.S1 : C.S2).Items, D.PopLen + 1u), D.A);
+      Flags |= D.First ? FlagReduce1 : FlagReduce2;
+      break;
+    case CandKind::RevProd:
+      (D.First ? I1 : I2) =
+          IA.probePrepend((D.First ? C.S1 : C.S2).Items, D.A, Scr);
+      break;
+    case CandKind::RevTrans:
+      I1 = IA.probePrepend(C.S1.Items, D.A, Scr);
+      I2 = I1 == NilChain ? NilChain
+                          : IA.probePrepend(C.S2.Items, D.B, Scr);
+      break;
+    }
+    if (I1 == NilChain || I2 == NilChain)
+      return false; // a fresh stack: admission will succeed
+    return Visited.find(VisitKey{I1, I2, Flags}) != Visited.end();
   };
 
   // Flattens a ledger (front chain, then reversed back chain) into the
@@ -613,27 +1017,65 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
     return Out;
   };
 
-  while (!Queue.empty()) {
-    // One deterministic step per configuration; the guard folds in the
-    // step budget, the byte budget (charged on admission and arena
-    // growth), the periodic wall-clock poll, and cancellation.
+  // Goal test (paper §5.4): both copies have performed their conflict
+  // action and reduced to a single derivation of the same nonterminal.
+  // Usually the conflict terminal has been consumed by then; for
+  // reduce/reduce conflicts the two parses may already unify before any
+  // further input, in which case the conflict terminal is merely the
+  // lookahead beyond the example and the dot lands at its end.
+  auto rootOf = [&](const SideRef &S) -> const DerivPtr & {
+    // Reals == 1: exactly one non-dot derivation exists in the ledger.
+    for (uint32_t I = S.Front; I != NilChain; I = DA.parent(I))
+      if (!DA.at(I)->isDot())
+        return DA.at(I);
+    for (uint32_t I = S.Back; I != NilChain; I = DA.parent(I))
+      if (!DA.at(I)->isDot())
+        return DA.at(I);
+    throw SearchError(
+        "unifying search: goal configuration has no derivation");
+  };
+  auto goalDetect = [&](const Config &C) -> bool {
+    if ((C.Flags & (FlagReduce1 | FlagReduce2)) !=
+            (FlagReduce1 | FlagReduce2) ||
+        C.S1.Reals != 1 || C.S2.Reals != 1)
+      return false;
+    const DerivPtr &D1 = rootOf(C.S1);
+    const DerivPtr &D2 = rootOf(C.S2);
+    return D1->symbol() == D2->symbol() &&
+           G.isNonterminal(D1->symbol()) && !Derivation::equal(D1, D2);
+  };
+
+  // One deterministic guard step per committed configuration; the guard
+  // folds in the step budget, the byte budget (charged on admission and
+  // arena growth), the periodic wall-clock poll, and cancellation.
+  auto guardStop = [&]() -> bool {
     switch (Guard.step()) {
     case GuardStop::None:
-      break;
+      return false;
     case GuardStop::StepLimit:
       Result.Status = UnifyingStatus::LimitHit;
-      return;
+      return true;
     case GuardStop::MemoryLimit:
       Result.Status = UnifyingStatus::MemoryLimit;
-      return;
+      return true;
     case GuardStop::Deadline:
       Result.Status = UnifyingStatus::TimedOut;
-      return;
+      return true;
     case GuardStop::Cancelled:
       Result.Status = UnifyingStatus::Cancelled;
-      return;
+      return true;
     }
-    Config C = Pool[Queue.pop()]; // 40-byte copy; arenas hold the state
+    return false;
+  };
+
+  // Commits one configuration: counting, fault hooks, integrity check,
+  // goal test, candidate application — every mutation of the search
+  // state. With a speculation result the goal verdict and candidate list
+  // are reused; without one the same generate() runs inline. \returns
+  // true when the goal was reached (Result is filled in).
+  std::vector<Candidate> CandScratch;
+  auto processConfig = [&](uint32_t PoolId, const SlotSpec *Spec) -> bool {
+    Config C = Pool[PoolId]; // 40-byte copy; arenas hold the state
     ++Result.ConfigurationsExplored;
 
     if (LALRCEX_FAULT_FIRES(BadAllocAtStep, Result.ConfigurationsExplored))
@@ -644,142 +1086,153 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
 
     // Integrity check: a configuration always carries at least the
     // conflict item on each side; losing the sequence would previously
-    // have been undefined behavior at the top() calls below.
+    // have been undefined behavior at the IA accesses below.
     if (C.S1.Items == NilChain || C.S2.Items == NilChain)
       throw SearchError(
           "unifying search: configuration lost its item sequence");
 
-    // Goal test (paper §5.4): both copies have performed their conflict
-    // action and reduced to a single derivation of the same nonterminal.
-    // Usually the conflict terminal has been consumed by then; for
-    // reduce/reduce conflicts the two parses may already unify before any
-    // further input, in which case the conflict terminal is merely the
-    // lookahead beyond the example and the dot lands at its end.
-    if ((C.Flags & (FlagReduce1 | FlagReduce2)) ==
-            (FlagReduce1 | FlagReduce2) &&
-        C.S1.Reals == 1 && C.S2.Reals == 1) {
-      auto rootOf = [&](const SideRef &S) -> const DerivPtr & {
-        // Reals == 1: exactly one non-dot derivation exists in the ledger.
-        for (uint32_t I = S.Front; I != NilChain; I = DA.parent(I))
-          if (!DA.at(I)->isDot())
-            return DA.at(I);
-        for (uint32_t I = S.Back; I != NilChain; I = DA.parent(I))
-          if (!DA.at(I)->isDot())
-            return DA.at(I);
-        throw SearchError(
-            "unifying search: goal configuration has no derivation");
-      };
-      const DerivPtr &D1 = rootOf(C.S1);
-      const DerivPtr &D2 = rootOf(C.S2);
-      if (D1->symbol() == D2->symbol() && G.isNonterminal(D1->symbol()) &&
-          !Derivation::equal(D1, D2)) {
-        Counterexample Ex;
-        Ex.Unifying = true;
-        Ex.Root = D1->symbol();
-        Ex.Derivs1 = materialize(C.S1);
-        Ex.Derivs2 = materialize(C.S2);
-        if (!(C.Flags & FlagShifted)) {
-          // The conflict terminal was never consumed: the conflict point
-          // is at the end of the example.
-          Ex.Derivs1.push_back(Derivation::dot());
-          Ex.Derivs2.push_back(Derivation::dot());
-        }
-        Result.Status = UnifyingStatus::Found;
-        Result.Example = std::move(Ex);
+    const bool UseSpec = Spec && Spec->Done;
+    if (UseSpec ? Spec->GoalHit : goalDetect(C)) {
+      Counterexample Ex;
+      Ex.Unifying = true;
+      Ex.Root = rootOf(C.S1)->symbol();
+      Ex.Derivs1 = materialize(C.S1);
+      Ex.Derivs2 = materialize(C.S2);
+      if (!(C.Flags & FlagShifted)) {
+        // The conflict terminal was never consumed: the conflict point
+        // is at the end of the example.
+        Ex.Derivs1.push_back(Derivation::dot());
+        Ex.Derivs2.push_back(Derivation::dot());
+      }
+      Result.Status = UnifyingStatus::Found;
+      Result.Example = std::move(Ex);
+      return true;
+    }
+
+    if (UseSpec) {
+      for (const Candidate &D : Spec->Cands)
+        if (!D.Dropped)
+          apply(C, D);
+      // Replay a failure speculation recorded. The candidates generated
+      // before the throw were applied above, mirroring the inline path.
+      if (Spec->BadAllocHit)
+        throw std::bad_alloc();
+      if (Spec->HasError)
+        throw SearchError(Spec->Error);
+    } else {
+      CandScratch.clear();
+      try {
+        generate(C, CandScratch);
+      } catch (...) {
+        // Apply the prefix generated before the failure, so the inline
+        // path mutates exactly like a replayed speculation would.
+        for (const Candidate &D : CandScratch)
+          apply(C, D);
+        throw;
+      }
+      for (const Candidate &D : CandScratch)
+        apply(C, D);
+    }
+    return false;
+  };
+
+  const unsigned RequestedInner =
+      Opts.InnerJobs == 0
+          ? std::max(1u, std::thread::hardware_concurrency())
+          : Opts.InnerJobs;
+
+  if (RequestedInner <= 1) {
+    // Serial schedule: pop, test, generate, apply — the reference order
+    // the parallel schedule below reproduces slot by slot.
+    while (!Queue.empty()) {
+      if (guardStop())
         return;
-      }
+      if (processConfig(Queue.pop(), nullptr))
+        return;
     }
+    Result.Status = UnifyingStatus::Exhausted;
+    return;
+  }
 
-    NodeId L1 = IA.top(C.S1.Items);
-    NodeId L2 = IA.top(C.S2.Items);
+  // Parallel schedule (DESIGN.md 5h): repeatedly drain the entire
+  // current cost bucket (one epoch), speculate on all of its slots
+  // concurrently — work stealing balances uneven slots — then commit the
+  // slots in drain order on this thread. Commit order equals serial pop
+  // order and every mutation happens at commit, so the result is
+  // byte-identical to the serial schedule at any worker count.
+  InnerWorkerPool Workers(RequestedInner);
+  const unsigned W = Workers.workers();
+  WorkStealingDeque Deque(W);
+  std::vector<WorkStealingDeque::Counters> Steal(W);
+  uint64_t Barriers = 0;
+  StealMetricsFlusher StealFlush{Steal, Barriers, Opts.Metrics};
+  std::vector<uint32_t> Epoch;
+  std::vector<SlotSpec> Specs;
+  std::vector<std::vector<NodeId>> WorkerScratch(W);
+  std::atomic<uint32_t> FirstGoal{UINT32_MAX};
+  // Epochs smaller than this run inline: the barrier would cost more
+  // than the speculation saves. Cannot affect determinism — inline and
+  // speculated slots share generate()/apply().
+  constexpr size_t MinParallelSlots = 8;
 
-    // Shared forward transition (Fig. 10(a)).
-    {
-      NodeId F1 = Graph.forwardTransition(L1);
-      NodeId F2 = Graph.forwardTransition(L2);
-      Symbol Z = Graph.transitionSymbol(L1);
-      if (F1 != StateItemGraph::InvalidNode &&
-          F2 != StateItemGraph::InvalidNode &&
-          Z == Graph.transitionSymbol(L2) &&
-          (!awaitingConflictShift(C) || Z == ConflictTerm)) {
-        bool ShiftsConflict = awaitingConflictShift(C) && Z == ConflictTerm;
-        uint32_t NI1 = IA.push(C.S1.Items, F1);
-        uint32_t NI2 = IA.push(C.S2.Items, F2);
-        uint8_t NF = C.Flags | (ShiftsConflict ? FlagShifted : 0);
-        if (admit(NI1, NI2, NF)) {
-          Config N = C;
-          N.S1.Items = NI1;
-          N.S2.Items = NI2;
-          N.Flags = NF;
-          if (ShiftsConflict) {
-            // Paper presentation (Fig. 11): on the reduce side the dot
-            // sits inside the completed reduction's brackets — attach it
-            // as the last child of the latest derivation node. The shift
-            // side gets it right before the conflict terminal.
-            if (!ledgerEmpty(N.S1) && lastDeriv(N.S1)->isNode()) {
-              DerivPtr Last = popBackDeriv(N.S1);
-              std::vector<DerivPtr> Children = Last->children();
-              Children.push_back(Derivation::dot());
-              appendDeriv(N.S1,
-                          Derivation::node(Last->symbol(),
-                                           Last->productionIndex(),
-                                           std::move(Children)));
-            } else {
-              appendDeriv(N.S1, Derivation::dot());
-            }
-            appendDeriv(N.S2, Derivation::dot());
-          }
-          appendDeriv(N.S1, leafOf(Z));
-          appendDeriv(N.S2, leafOf(Z));
-          N.Cost += ShiftCost;
-          enqueue(N);
-        }
+  auto speculateSlot = [&](uint32_t Slot, unsigned Worker) {
+    SlotSpec &Spec = Specs[Slot];
+    const Config &C = Pool[Epoch[Slot]];
+    try {
+      if (goalDetect(C)) {
+        Spec.GoalHit = true;
+        // CAS-min: slots beyond the first goal will never be committed,
+        // so later speculation can skip them.
+        uint32_t Cur = FirstGoal.load(std::memory_order_relaxed);
+        while (Slot < Cur && !FirstGoal.compare_exchange_weak(
+                                 Cur, Slot, std::memory_order_relaxed))
+          ;
+      } else {
+        generate(C, Spec.Cands);
+        for (Candidate &D : Spec.Cands)
+          if (provenDuplicate(C, D, WorkerScratch[Worker]))
+            D.Dropped = true;
       }
+    } catch (const SearchError &E) {
+      Spec.HasError = true;
+      Spec.Error = E.what();
+    } catch (const std::bad_alloc &) {
+      Spec.BadAllocHit = true;
     }
+    Spec.Done = true;
+  };
 
-    // Per-side production steps (Fig. 10(b)).
-    for (bool First : {true, false}) {
-      const SideRef &S = First ? C.S1 : C.S2;
-      NodeId Last = IA.top(S.Items);
-      for (NodeId Step : Graph.productionSteps(Last)) {
-        if (awaitingConflictShift(C) && !usefulWhileAwaiting(Step))
-          continue;
-        bool Duplicate = IA.contains(S.Items, Step);
-        uint32_t NI = IA.push(S.Items, Step);
-        if (!admit(First ? NI : C.S1.Items, First ? C.S2.Items : NI,
-                   C.Flags))
-          continue;
-        Config N = C;
-        (First ? N.S1 : N.S2).Items = NI;
-        N.Cost += ProductionCost + (Duplicate ? DupCost : 0);
-        enqueue(N);
-      }
+  const std::function<void(unsigned)> EpochJob = [&](unsigned Worker) {
+    uint32_t Slot;
+    while (Deque.next(Worker, Slot, Steal[Worker])) {
+      if (Slot > FirstGoal.load(std::memory_order_relaxed))
+        continue; // a goal at an earlier slot ends the search first
+      speculateSlot(Slot, Worker);
     }
+  };
 
-    // Per-side reductions, and reverse preparation when a pending
-    // reduction lacks left context (Fig. 10(c)-(f)).
-    for (bool First : {true, false}) {
-      if (tryReduce(C, First))
-        continue;
-      const SideRef &S = First ? C.S1 : C.S2;
-      const SideRef &O = First ? C.S2 : C.S1;
-      const Item &Pending = Graph.itemOf(IA.top(S.Items));
-      bool GuardConflict =
-          First ? !(C.Flags & FlagReduce1) : !(C.Flags & FlagReduce2);
-      if (IA.depth(S.Items) == Pending.Dot + 1 &&
-          Graph.itemOf(IA.front(S.Items)) == Item(Pending.Prod, 0)) {
-        // Fig. 10(d): the production's own items are all present; prepend
-        // a context item via a reverse production step on this side.
-        revProductionSteps(C, First, GuardConflict);
-        continue;
+  while (!Queue.empty()) {
+    Queue.drainCurrent(Epoch);
+    const bool Parallel = W > 1 && Epoch.size() >= MinParallelSlots;
+    if (Parallel) {
+      if (Specs.size() < Epoch.size())
+        Specs.resize(Epoch.size());
+      for (size_t I = 0; I != Epoch.size(); ++I) {
+        SlotSpec &S = Specs[I];
+        S.Done = S.GoalHit = S.HasError = S.BadAllocHit = false;
+        S.Error.clear();
+        S.Cands.clear();
       }
-      // Fig. 10(c)/(e): the walk extends past the head. If the other
-      // side's head is a dot-0 item it must first be un-produced;
-      // otherwise prepend a shared reverse transition.
-      if (Graph.itemOf(IA.front(O.Items)).Dot == 0)
-        revProductionSteps(C, !First, /*GuardConflict=*/false);
-      else
-        revTransitions(C, GuardConflict);
+      FirstGoal.store(UINT32_MAX, std::memory_order_relaxed);
+      Deque.distribute(uint32_t(Epoch.size()));
+      Workers.run(EpochJob);
+      ++Barriers;
+    }
+    for (size_t I = 0; I != Epoch.size(); ++I) {
+      if (guardStop())
+        return;
+      if (processConfig(Epoch[I], Parallel ? &Specs[I] : nullptr))
+        return;
     }
   }
 

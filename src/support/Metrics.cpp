@@ -42,6 +42,9 @@ const char *const CounterNames[metric::NumCounters] = {
     "unifying.found",
     "unifying.exhausted",
     "unifying.budget_stops",
+    "search.tasks_stolen",
+    "search.steal_failures",
+    "search.bucket_barriers",
     "nonunifying.builds",
     "nonunifying.failures",
     "guard.trips.step_limit",

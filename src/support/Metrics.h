@@ -57,6 +57,9 @@ enum Counter : unsigned {
   UnifyingFound,
   UnifyingExhausted,
   UnifyingBudgetStops,
+  SearchTasksStolen,
+  SearchStealFailures,
+  SearchBucketBarriers,
   NonunifyingBuilds,
   NonunifyingFailures,
   GuardTripsStepLimit,

@@ -40,14 +40,105 @@
 
 #include "support/IndexSet.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <new>
 #include <unordered_map>
 #include <vector>
 
 namespace lalrcex {
 
 class ResourceGuard;
+
+/// Word-level set kernels shared by the pool and the LSS dominance
+/// frontiers. The portable implementations are written 4-wide and
+/// autovectorize; on x86-64 an AVX2 version is selected once at startup
+/// behind a runtime CPUID check, so the binary needs no -mavx2 baseline.
+/// All loads are unaligned-safe (the pool's arena is 64-byte aligned, but
+/// caller-owned mask buffers need not be).
+namespace setkernel {
+
+/// \returns true iff Sub ⊆ Super over \p Words words (Sub & ~Super == 0).
+bool subsetScalar(const uint64_t *Sub, const uint64_t *Super, unsigned Words);
+/// ORs \p Words words of \p Src into \p Dst.
+void orIntoScalar(uint64_t *Dst, const uint64_t *Src, unsigned Words);
+
+/// Whether the AVX2 variants below run vector code on this machine.
+bool avx2Available();
+/// AVX2 kernels; identical results to the scalar versions, falling back
+/// to them when avx2Available() is false. Exposed for the equivalence
+/// tests; hot paths go through the dispatched entry points.
+bool subsetAvx2(const uint64_t *Sub, const uint64_t *Super, unsigned Words);
+void orIntoAvx2(uint64_t *Dst, const uint64_t *Src, unsigned Words);
+
+/// Dispatched entry points (resolved once per process).
+bool subset(const uint64_t *Sub, const uint64_t *Super, unsigned Words);
+void orInto(uint64_t *Dst, const uint64_t *Src, unsigned Words);
+
+} // namespace setkernel
+
+/// Growable 64-byte-aligned uint64_t buffer backing the wide-set arena.
+/// std::vector makes no alignment promise beyond alignof(uint64_t); the
+/// SIMD kernels want every set's words to start on a cache-line boundary
+/// so a stride-4 row never splits lines. Append-only, like the arena.
+class AlignedWordBuffer {
+public:
+  AlignedWordBuffer() = default;
+  ~AlignedWordBuffer() { release(); }
+  AlignedWordBuffer(AlignedWordBuffer &&O) noexcept
+      : Data(O.Data), Count(O.Count), Cap(O.Cap) {
+    O.Data = nullptr;
+    O.Count = O.Cap = 0;
+  }
+  AlignedWordBuffer &operator=(AlignedWordBuffer &&O) noexcept {
+    if (this != &O) {
+      release();
+      Data = O.Data;
+      Count = O.Count;
+      Cap = O.Cap;
+      O.Data = nullptr;
+      O.Count = O.Cap = 0;
+    }
+    return *this;
+  }
+  AlignedWordBuffer(const AlignedWordBuffer &) = delete;
+  AlignedWordBuffer &operator=(const AlignedWordBuffer &) = delete;
+
+  size_t size() const { return Count; }
+  const uint64_t *data() const { return Data; }
+  const uint64_t &operator[](size_t I) const {
+    assert(I < Count);
+    return Data[I];
+  }
+
+  void append(const uint64_t *W, size_t N) {
+    if (Count + N > Cap)
+      grow(Count + N);
+    std::copy(W, W + N, Data + Count);
+    Count += N;
+  }
+
+private:
+  void grow(size_t Need) {
+    size_t NewCap = std::max(Need, Cap ? Cap * 2 : size_t(64));
+    auto *NewData = static_cast<uint64_t *>(::operator new(
+        NewCap * sizeof(uint64_t), std::align_val_t(64)));
+    std::copy(Data, Data + Count, NewData);
+    release();
+    Data = NewData;
+    Cap = NewCap;
+  }
+  void release() {
+    if (Data)
+      ::operator delete(Data, std::align_val_t(64));
+    Data = nullptr;
+  }
+
+  uint64_t *Data = nullptr;
+  size_t Count = 0;
+  size_t Cap = 0;
+};
 
 /// Hash-consed immutable terminal sets with cached binary operations.
 class TerminalSetPool {
@@ -99,15 +190,22 @@ public:
   /// \returns true if B ⊆ A (word-level when either side is wide).
   bool containsAll(SetId A, SetId B) const;
 
-  /// Words a raw-mask consumer must allocate per set (the arena stride).
+  /// Meaningful (universe-covering) words per set.
   unsigned wordsPerSet() const { return WordsPerSet; }
 
+  /// Words a raw-mask consumer must allocate per set: the arena stride,
+  /// which pads wide universes up to a multiple of four words so the
+  /// batched kernels never need a scalar tail. Padding words are always
+  /// zero, on both the arena side and (by the caller's contract) the mask
+  /// side, so subset checks over the full stride are exact.
+  unsigned maskWords() const { return StrideWords; }
+
   /// \returns true if every element of \p A is set in \p Mask, a raw
-  /// wordsPerSet()-word bitmask. Fast-path support for callers keeping
+  /// maskWords()-word bitmask. Fast-path support for callers keeping
   /// per-bucket accumulator masks (the LSS dominance frontiers).
   bool coveredByWords(SetId A, const uint64_t *Mask) const;
 
-  /// ORs \p A's elements into \p Mask (wordsPerSet() words).
+  /// ORs \p A's elements into \p Mask (maskWords() words).
   void addToWords(SetId A, uint64_t *Mask) const;
 
   bool empty(SetId A) const { return A == EmptyId; }
@@ -192,6 +290,9 @@ private:
 
   unsigned Universe;
   unsigned WordsPerSet;
+  /// Arena stride: WordsPerSet padded to a multiple of 4 for universes
+  /// wide enough to profit (> 2 words); padding words stay zero.
+  unsigned StrideWords;
   const TerminalSetPool *Base = nullptr;
   /// First wide id owned by this layer (== number of wide sets below).
   uint32_t FirstLocalId = 0;
@@ -201,8 +302,8 @@ private:
   SetId EmptyId;
 
   /// Fixed-stride arena: wide set (id - FirstLocalId) occupies words
-  /// [(id - FirstLocalId) * WordsPerSet, ...).
-  std::vector<uint64_t> Arena;
+  /// [(id - FirstLocalId) * StrideWords, ...), cache-line aligned.
+  AlignedWordBuffer Arena;
   /// Wide-set intern index: content hash -> ids with that hash.
   std::unordered_multimap<uint64_t, SetId> Intern;
   /// Operation caches keyed by id pair / (id, element).

@@ -1,0 +1,183 @@
+//===- support/WorkStealingDeque.h - Range-splitting work stealing -*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A work-stealing deque over a fixed task array, specialized for the
+/// bucket-epoch parallel phase of the unifying search.
+///
+/// Each epoch distributes the N tasks of one Dial cost bucket (slot
+/// indices 0..N-1, in canonical drain order) across W workers as
+/// contiguous index ranges. A worker's deque is one atomic 64-bit word
+/// packing its half-open range [Head, Tail):
+///
+///   - the owner pops from the \e front of its own range (preserving the
+///     canonical slot order locally, which keeps the serial commit phase
+///     cache-friendly: slots are mostly speculated in the order they are
+///     committed);
+///   - a thief steals the \e back half of a victim's range — half rounded
+///     up, so even a single remaining unclaimed task can be stolen from a
+///     stalled victim — with one compare-and-swap, then installs the
+///     stolen range as its own and continues popping from its front.
+///
+/// Ranges only ever shrink (pop moves Head forward, steal moves Tail
+/// backward) and are re-armed only between epochs, so the CAS is ABA-free
+/// without tags or epochs in the word itself. Tasks are never pushed
+/// during a phase — the bucket snapshot is complete before the phase
+/// starts — which is what makes this radically simpler than a Chase-Lev
+/// deque while providing the same load-balancing behavior for this
+/// workload shape.
+///
+/// Thread-safety contract: resetEpoch()/assignRange() happen-before the
+/// phase (the caller publishes them via its epoch barrier);
+/// pop()/stealInto() may be called concurrently by any worker during the
+/// phase; counters() is read after the phase barrier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_SUPPORT_WORKSTEALINGDEQUE_H
+#define LALRCEX_SUPPORT_WORKSTEALINGDEQUE_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+namespace lalrcex {
+
+/// Work-stealing distribution of a fixed index range across workers.
+class WorkStealingDeque {
+public:
+  /// Per-worker steal telemetry, accumulated across epochs and flushed
+  /// into the search.* metrics by the search that owns the pool.
+  struct Counters {
+    uint64_t TasksStolen = 0;   ///< tasks acquired from a victim's range
+    uint64_t StealFailures = 0; ///< lost CAS races and empty-victim probes
+  };
+
+  explicit WorkStealingDeque(unsigned Workers)
+      : NumWorkers(Workers), Slots(new Slot[Workers]) {
+    assert(Workers >= 1 && "need at least one worker");
+  }
+
+  WorkStealingDeque(const WorkStealingDeque &) = delete;
+  WorkStealingDeque &operator=(const WorkStealingDeque &) = delete;
+
+  unsigned workers() const { return NumWorkers; }
+
+  /// Arms worker \p W with the contiguous range [\p Begin, \p End).
+  /// Must not race with an active phase.
+  void assignRange(unsigned W, uint32_t Begin, uint32_t End) {
+    assert(W < NumWorkers && Begin <= End);
+    Slots[W].Range.store(pack(Begin, End), std::memory_order_relaxed);
+  }
+
+  /// Splits [0, \p NumTasks) evenly across all workers (worker 0 gets the
+  /// first chunk, preserving canonical order front-to-back).
+  void distribute(uint32_t NumTasks) {
+    uint32_t Base = NumTasks / NumWorkers, Rem = NumTasks % NumWorkers;
+    uint32_t Begin = 0;
+    for (unsigned W = 0; W != NumWorkers; ++W) {
+      uint32_t Len = Base + (W < Rem ? 1 : 0);
+      assignRange(W, Begin, Begin + Len);
+      Begin += Len;
+    }
+  }
+
+  /// Owner pop: claims the front task of \p W's own range.
+  bool pop(unsigned W, uint32_t &Out) {
+    std::atomic<uint64_t> &A = Slots[W].Range;
+    uint64_t Cur = A.load(std::memory_order_relaxed);
+    for (;;) {
+      uint32_t Head = unpackHead(Cur), Tail = unpackTail(Cur);
+      if (Head >= Tail)
+        return false;
+      if (A.compare_exchange_weak(Cur, pack(Head + 1, Tail),
+                                  std::memory_order_acq_rel,
+                                  std::memory_order_relaxed)) {
+        Out = Head;
+        return true;
+      }
+    }
+  }
+
+  /// Thief path: scans the other workers for remaining work and steals
+  /// the back half (rounded up) of the fullest victim's range, installing
+  /// it as \p W's own range and popping the first stolen task into
+  /// \p Out. \returns false when every victim looked empty this scan.
+  bool stealInto(unsigned W, uint32_t &Out, Counters &C) {
+    for (;;) {
+      unsigned Victim = NumWorkers;
+      uint32_t Best = 0;
+      for (unsigned V = 0; V != NumWorkers; ++V) {
+        if (V == W)
+          continue;
+        uint64_t Cur = Slots[V].Range.load(std::memory_order_relaxed);
+        uint32_t Size = unpackTail(Cur) - unpackHead(Cur);
+        if (unpackTail(Cur) > unpackHead(Cur) && Size > Best) {
+          Best = Size;
+          Victim = V;
+        }
+      }
+      if (Victim == NumWorkers)
+        return false; // nothing left anywhere
+      std::atomic<uint64_t> &A = Slots[Victim].Range;
+      uint64_t Cur = A.load(std::memory_order_relaxed);
+      uint32_t Head = unpackHead(Cur), Tail = unpackTail(Cur);
+      if (Head >= Tail) {
+        ++C.StealFailures; // drained between the scan and the attempt
+        continue;
+      }
+      uint32_t Mid = Head + (Tail - Head) / 2; // thief takes ceil(half)
+      if (!A.compare_exchange_strong(Cur, pack(Head, Mid),
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_relaxed)) {
+        ++C.StealFailures; // lost the race; rescan
+        continue;
+      }
+      C.TasksStolen += Tail - Mid;
+      // Install [Mid + 1, Tail) as our own range and hand out Mid now.
+      Slots[W].Range.store(pack(Mid + 1, Tail), std::memory_order_release);
+      Out = Mid;
+      return true;
+    }
+  }
+
+  /// Claims the next task for worker \p W: own range first, then theft.
+  bool next(unsigned W, uint32_t &Out, Counters &C) {
+    if (pop(W, Out))
+      return true;
+    return stealInto(W, Out, C);
+  }
+
+  /// Unclaimed tasks across all workers (quiescent use only).
+  uint32_t remaining() const {
+    uint32_t Total = 0;
+    for (unsigned W = 0; W != NumWorkers; ++W) {
+      uint64_t Cur = Slots[W].Range.load(std::memory_order_relaxed);
+      Total += unpackTail(Cur) - unpackHead(Cur);
+    }
+    return Total;
+  }
+
+private:
+  static uint64_t pack(uint32_t Head, uint32_t Tail) {
+    return (uint64_t(Head) << 32) | Tail;
+  }
+  static uint32_t unpackHead(uint64_t V) { return uint32_t(V >> 32); }
+  static uint32_t unpackTail(uint64_t V) { return uint32_t(V); }
+
+  /// One cache line per worker so pops don't false-share.
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> Range{0};
+  };
+
+  unsigned NumWorkers;
+  std::unique_ptr<Slot[]> Slots;
+};
+
+} // namespace lalrcex
+
+#endif // LALRCEX_SUPPORT_WORKSTEALINGDEQUE_H

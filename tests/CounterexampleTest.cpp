@@ -436,6 +436,49 @@ TEST(CounterexampleTest, ExamineAllDeterministicAcrossJobCounts) {
   }
 }
 
+TEST(CounterexampleTest, ExamineAllDeterministicAcrossInnerJobCounts) {
+  // The second scheduler level: intra-conflict workers (the bucket-epoch
+  // work-stealing search) crossed with conflict-level workers must leave
+  // the report sequence bit-identical to the fully serial run.
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  FinderOptions Base;
+  Base.ConflictTimeLimitSeconds = 0;
+  Base.CumulativeTimeLimitSeconds = 0;
+  Base.MaxConfigurations = 20'000;
+  std::vector<std::string> Expected;
+  bool First = true;
+  for (unsigned Jobs : {1u, 2u}) {
+    for (unsigned Inner : {1u, 4u, 8u}) {
+      FinderOptions Opts = Base;
+      Opts.Jobs = Jobs;
+      Opts.JobsInner = Inner;
+      CounterexampleFinder Finder(B.T, Opts);
+      std::vector<ConflictReport> Reports = Finder.examineAll();
+      ASSERT_EQ(Reports.size(), B.T.reportedConflicts().size());
+      std::vector<std::string> Keys;
+      for (const ConflictReport &R : Reports)
+        Keys.push_back(deterministicKey(Finder, R));
+      if (First) {
+        Expected = Keys;
+        First = false;
+      } else {
+        EXPECT_EQ(Keys, Expected)
+            << "Jobs=" << Jobs << " JobsInner=" << Inner;
+      }
+    }
+  }
+}
+
+TEST(CounterexampleTest, ResolveInnerJobsSplitsTheBudget) {
+  // Explicit JobsInner wins; 0 divides the resolved Jobs budget across
+  // the conflict workers, never resolving below one thread.
+  EXPECT_EQ(CounterexampleFinder::resolveInnerJobs(3, 8, 2), 3u);
+  EXPECT_EQ(CounterexampleFinder::resolveInnerJobs(0, 8, 2), 4u);
+  EXPECT_EQ(CounterexampleFinder::resolveInnerJobs(0, 8, 16), 1u);
+  EXPECT_EQ(CounterexampleFinder::resolveInnerJobs(0, 1, 1), 1u);
+  EXPECT_EQ(CounterexampleFinder::resolveInnerJobs(0, 2, 0), 2u);
+}
+
 TEST(CounterexampleTest, CumulativeStepTripSameKindAcrossJobCounts) {
   // A cumulative step budget that trips during the conflict scan must
   // degrade every report with the same FailureReason kind regardless of

@@ -142,6 +142,61 @@ TEST_P(CorpusGoldenTest, WarmRenderMatchesCold) {
   std::filesystem::remove_all(Dir);
 }
 
+TEST_P(CorpusGoldenTest, InnerJobsRenderByteIdenticalColdAndWarm) {
+  // Full-corpus byte-identity for the intra-conflict work-stealing
+  // search: cold runs at inner worker counts 1/2/8 must render the exact
+  // same text (the DESIGN.md §5h determinism contract, exercised on
+  // every grammar shape in the corpus), and a warm run at a different
+  // inner count must serve the serially-written cache blobs verbatim —
+  // JobsInner is excluded from the cache fingerprint precisely because
+  // reports cannot depend on it.
+  const CorpusEntry &E = corpus()[size_t(GetParam())];
+  std::string Dir = ::testing::TempDir() + "lalrcex_steal_" +
+                    std::to_string(GetParam());
+  std::filesystem::remove_all(Dir);
+  BuiltGrammar B = BuiltGrammar::fromCorpus(E.Name);
+
+  // Step caps only (no wall clocks), small enough that even the
+  // never-exhausting synthetic grammars stay quick at every job count.
+  FinderOptions Opts;
+  Opts.ConflictTimeLimitSeconds = 0;
+  Opts.CumulativeTimeLimitSeconds = 0;
+  Opts.MaxConfigurations = 5'000;
+  Opts.Jobs = 1;
+
+  std::string ColdText;
+  for (unsigned Inner : {1u, 2u, 8u}) {
+    FinderOptions ColdOpts = Opts;
+    ColdOpts.JobsInner = Inner;
+    if (Inner == 1)
+      ColdOpts.CachePath = Dir; // the serial run seeds the cache
+    CounterexampleFinder Cold(B.T, ColdOpts);
+    std::vector<ConflictReport> Reports = Cold.examineAll();
+    ASSERT_EQ(Reports.size(), B.T.reportedConflicts().size()) << E.Name;
+    std::string Text;
+    for (const ConflictReport &R : Reports)
+      Text += Cold.render(R);
+    if (Inner == 1)
+      ColdText = Text;
+    else
+      EXPECT_EQ(Text, ColdText)
+          << E.Name << ": cold render diverges at JobsInner=" << Inner;
+  }
+
+  FinderOptions WarmOpts = Opts;
+  WarmOpts.JobsInner = 8;
+  WarmOpts.CachePath = Dir;
+  CounterexampleFinder Warm(B.T, WarmOpts);
+  std::vector<ConflictReport> WarmReports = Warm.examineAll();
+  EXPECT_TRUE(Warm.cacheActivity().ReportsFromCache) << E.Name;
+  std::string WarmText;
+  for (const ConflictReport &R : WarmReports)
+    WarmText += Warm.render(R);
+  EXPECT_EQ(WarmText, ColdText)
+      << E.Name << ": warm render diverges at JobsInner=8";
+  std::filesystem::remove_all(Dir);
+}
+
 INSTANTIATE_TEST_SUITE_P(Corpus, CorpusGoldenTest,
                          ::testing::Range(0, int(corpus().size())));
 
