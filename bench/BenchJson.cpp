@@ -143,7 +143,7 @@ lalrcex::bench::writeBenchRecords(const std::string &Tool,
   JsonWriter W;
   W.beginObject();
   W.field("tool", Tool);
-  W.field("schema", size_t(4));
+  W.field("schema", size_t(5));
   // The measuring machine's parallel width: speedup gates consult this to
   // decide whether a parallel-vs-serial ratio is meaningful here at all.
   W.field("cpus", std::max(1u, std::thread::hardware_concurrency()));
@@ -167,6 +167,12 @@ lalrcex::bench::writeBenchRecords(const std::string &Tool,
       W.field("cache_hits", size_t(R.CacheHits));
     if (R.CacheMisses >= 0)
       W.field("cache_misses", size_t(R.CacheMisses));
+    if (R.ConflictsReused >= 0)
+      W.field("conflicts_reused", size_t(R.ConflictsReused));
+    if (R.ConflictsRecomputed >= 0)
+      W.field("conflicts_recomputed", size_t(R.ConflictsRecomputed));
+    if (!R.Edit.empty())
+      W.field("edit", R.Edit);
     W.field("configurations", R.Configurations);
     W.field("peak_bytes", R.PeakBytes);
     if (!R.Metrics.empty()) {

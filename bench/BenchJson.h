@@ -9,11 +9,11 @@
 /// file next to its human-readable output, so each PR's perf numbers can
 /// be compared against the recorded trajectory instead of eyeballed.
 ///
-/// Schema (version 4), documented in README.md:
+/// Schema (version 5), documented in README.md:
 ///
 ///   {
 ///     "tool": "<tool name>",
-///     "schema": 4,
+///     "schema": 5,
 ///     "cpus": <hardware concurrency of the measuring machine>,
 ///     "records": [
 ///       {
@@ -28,6 +28,9 @@
 ///         "wall_ms_warm": <wall ms re-run against the populated cache>,
 ///         "cache_hits": <analysis-cache blob hits>,
 ///         "cache_misses": <analysis-cache blob misses/degradations>,
+///         "conflicts_reused": <conflict reports re-served fine-grained>,
+///         "conflicts_recomputed": <conflicts examined cold>,
+///         "edit": "<edit-loop edit description>",
 ///         "configurations": <configurations explored>,
 ///         "peak_bytes": <peak guard-accounted bytes>,
 ///         "metrics": { "<dotted metric name>": <value>, ... }
@@ -36,13 +39,16 @@
 ///   }
 ///
 /// Unmeasured wall and cache fields (negative in BenchRecord) are omitted
-/// from the record, and "metrics" is omitted when the record carries none
-/// (the usual flattened MetricsSnapshot of the measured run); each schema
-/// bump has been a pure field addition (schema 4 added the top-level
-/// "cpus" and per-record "jobs_inner", so speedup gates can tell whether
-/// the measuring machine could physically show a speedup), so older
-/// consumers keep working. Files are written as BENCH_<tool>.json in
-/// $LALRCEX_BENCH_DIR (or the working directory when unset).
+/// from the record, "edit" is omitted when empty, and "metrics" is
+/// omitted when the record carries none (the usual flattened
+/// MetricsSnapshot of the measured run); each schema bump has been a pure
+/// field addition (schema 4 added the top-level "cpus" and per-record
+/// "jobs_inner", so speedup gates can tell whether the measuring machine
+/// could physically show a speedup; schema 5 added "conflicts_reused" /
+/// "conflicts_recomputed" / "edit" for batch_analyze's -edit-loop
+/// incremental-reuse records), so older consumers keep working. Files are
+/// written as BENCH_<tool>.json in $LALRCEX_BENCH_DIR (or the working
+/// directory when unset).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -104,6 +110,12 @@ struct BenchRecord {
   double WallMsWarm = -1;     // < 0: not measured, omitted
   long CacheHits = -1;        // < 0: not counted, omitted
   long CacheMisses = -1;      // < 0: not counted, omitted
+  /// Conflict-level reuse counters of the measured run (schema 5);
+  /// < 0: not counted, omitted.
+  long ConflictsReused = -1;
+  long ConflictsRecomputed = -1;
+  /// Edit description for -edit-loop records (schema 5); empty: omitted.
+  std::string Edit;
   size_t Configurations = 0;
   size_t PeakBytes = 0;
   /// Flattened MetricsSnapshot of the measured run (name, value) pairs;

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Gate incremental re-analysis against its edit-loop bench records.
+
+Validates the "edit-loop/<grammar>/<k>" rows of BENCH_batch_analyze.json
+(schema 5), produced by `batch_analyze -edit-loop`. Each row measures one
+edit of a seeded edit stream twice: incrementally (conflict-level cache
+reuse against the accumulated cache, "wall_ms_warm") and as a cold
+recompute ("wall_ms_cold"); batch_analyze itself already failed the run
+if the two were not byte-identical, so this script gates only the
+economics:
+
+1. Reuse happens: every gated grammar must have at least one post-baseline
+   edit with conflicts_reused > 0 (renames, precedence and %expect edits
+   keep the automaton structure, so a stream over the default edit menu
+   that never reuses means the fine-grained keys are broken).
+
+2. Reuse pays: on every reuse-eligible edit (conflicts_reused > 0) the
+   per-edit warm wall time must be below --max-warm-ratio of that edit's
+   cold recompute. Structural edits (conflicts_reused == 0) recompute
+   cold by design and are exempt from the ratio.
+
+Edit #0 is the pre-edit baseline priming the cache and is never gated.
+
+Usage:
+  check_incremental_regression.py <current.json>
+        [--grammars sql,Java.2] [--max-warm-ratio 0.30]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    rows = {}
+    for rec in data.get("records", []):
+        name = rec.get("name", "")
+        if not name.startswith("edit-loop/"):
+            continue
+        try:
+            k = int(name.rsplit("/", 1)[1])
+        except ValueError:
+            continue
+        rows.setdefault(rec.get("grammar", "?"), []).append((k, rec))
+    for recs in rows.values():
+        recs.sort()
+    return data, rows
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("--grammars", default="",
+                    help="comma-separated grammars that must be present "
+                         "and pass (default: every grammar in the file)")
+    ap.add_argument("--max-warm-ratio", type=float, default=0.30,
+                    help="per-edit warm/cold wall-time ceiling on "
+                         "reuse-eligible edits (default 0.30)")
+    args = ap.parse_args()
+
+    _, rows = load(args.current)
+    if not rows:
+        print(f"error: no edit-loop records in {args.current}",
+              file=sys.stderr)
+        return 2
+
+    gated = ([g.strip() for g in args.grammars.split(",") if g.strip()]
+             or sorted(rows))
+    failed = False
+
+    for grammar in gated:
+        recs = rows.get(grammar)
+        if not recs:
+            print(f"error: no edit-loop records for grammar '{grammar}' "
+                  f"in {args.current}", file=sys.stderr)
+            failed = True
+            continue
+
+        reused_total = 0
+        for k, rec in recs:
+            if k == 0:
+                continue  # baseline priming run
+            reused = rec.get("conflicts_reused", 0)
+            cold = rec.get("wall_ms_cold", 0)
+            warm = rec.get("wall_ms_warm", 0)
+            edit = rec.get("edit", "?")
+            if reused <= 0:
+                print(f"  {grammar} #{k} [{edit}]: structural edit, "
+                      f"cold fallback ({warm:.1f} / {cold:.1f} ms) exempt")
+                continue
+            reused_total += reused
+            if cold <= 0:
+                print(f"error: {grammar} #{k}: unusable cold time {cold}",
+                      file=sys.stderr)
+                failed = True
+                continue
+            ratio = warm / cold
+            verdict = "OK" if ratio <= args.max_warm_ratio else "TOO SLOW"
+            if verdict != "OK":
+                failed = True
+            print(f"  {grammar} #{k} [{edit}]: reused {reused}, warm "
+                  f"{warm:.1f} ms / cold {cold:.1f} ms = {ratio:.3f} "
+                  f"(limit {args.max_warm_ratio:.2f}) {verdict}")
+
+        if reused_total == 0:
+            print(f"  {grammar}: no edit with conflicts_reused > 0 "
+                  f"NO REUSE", file=sys.stderr)
+            failed = True
+        else:
+            print(f"  {grammar}: {reused_total} conflict report(s) "
+                  f"re-served across the stream OK")
+
+    if failed:
+        print("incremental re-analysis gate FAILED", file=sys.stderr)
+        return 1
+    print("incremental re-analysis gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,11 @@
 // CI cache-smoke job diffs the two output directories and compares the
 // TOTAL_MS lines.
 //
-//   batch_analyze [options] <grammar-dir | corpus>
+//   batch_analyze [options] <source>...
+//     <source>          each positional argument is a grammar file, a
+//                       directory of them, the whole built-in corpus
+//                       ("corpus"), or one entry of it ("corpus:Java.2");
+//                       the work lists concatenate
 //     -cache <dir>      analysis cache directory (default: cache disabled)
 //     -out <dir>        write <grammar>.txt report files here
 //     -jobs <n>         grammar-level workers (default: hardware
@@ -30,10 +34,26 @@
 //                       appends a metrics section to each report file,
 //                       prints the merged aggregate after the summary, and
 //                       attaches flattened metrics to the bench records
+//     -edit-loop <n>    incremental replay mode: apply n seeded random
+//                       single-production edits per grammar; after each,
+//                       run incrementally against -cache and cold without
+//                       it, byte-compare the rendered reports, and print
+//                       per-edit wall time + conflict reuse counts. Unless
+//                       -cumulative is given explicitly, the cumulative
+//                       clock is turned off in this mode: a finite
+//                       cumulative budget couples conflicts and disables
+//                       the conflict-level reuse the loop measures
+//                       (DESIGN.md §5i)
+//     -edit-seed <s>    seed for -edit-loop's edit stream (default 1)
+//     -cache-max-mb <n> after the run, garbage-collect the cache
+//                       directory down to n MiB (oldest blobs first)
 //
 // Output: one summary line per grammar, a final "TOTAL_MS <ms>" line, and
-// BENCH_batch_analyze.json (schema 3) with per-grammar cold/warm wall
-// times and cache hit/miss counts (plus metrics under -metrics).
+// BENCH_batch_analyze.json (schema 5) with per-grammar cold/warm wall
+// times and cache hit/miss counts (plus metrics under -metrics; plus
+// per-edit records with conflicts_reused/conflicts_recomputed under
+// -edit-loop). -edit-loop exits nonzero on any incremental-vs-cold byte
+// mismatch, making it a standalone differential harness.
 //
 //===----------------------------------------------------------------------===//
 
@@ -41,6 +61,7 @@
 #include "cache/AnalysisCache.h"
 #include "corpus/Corpus.h"
 #include "counterexample/CounterexampleFinder.h"
+#include "grammar/GrammarEdit.h"
 #include "grammar/GrammarParser.h"
 #include "support/Metrics.h"
 #include "support/Stopwatch.h"
@@ -68,7 +89,9 @@ int usage(const char *Prog) {
                "usage: %s [-cache <dir>] [-out <dir>] [-jobs <n>] "
                "[-jobs-inner <n>] "
                "[-timeout <sec>] [-cumulative <sec>] [-steps <n>] "
-               "[-canonical] [-metrics] <grammar-dir | corpus>\n",
+               "[-canonical] [-metrics] [-edit-loop <n> [-edit-seed <s>]] "
+               "[-cache-max-mb <n>] <grammar-file|grammar-dir|corpus|"
+               "corpus:<name>>...\n",
                Prog);
   return 2;
 }
@@ -200,14 +223,144 @@ JobResult analyzeOne(const Job &J, const FinderOptions &BaseOpts,
   return R;
 }
 
+//===----------------------------------------------------------------------===//
+// -edit-loop replay mode
+//===----------------------------------------------------------------------===//
+
+/// One full pipeline run for the edit loop, from a built Grammar to the
+/// rendered report bytes. Parsing stays outside the clock so the per-edit
+/// wall time measures exactly what the incremental layer can save.
+struct EditRunResult {
+  double WallMs = 0;
+  size_t Conflicts = 0;
+  size_t Reused = 0;
+  size_t Recomputed = 0;
+  std::string Rendered;
+};
+
+EditRunResult runEditPipeline(Grammar G, const FinderOptions &BaseOpts,
+                              AutomatonKind Kind,
+                              const std::string &CacheDir) {
+  EditRunResult R;
+  Stopwatch Timer;
+  cache::AnalysisCache Cache(CacheDir);
+  cache::AnalysisSession Session(std::move(G), Kind,
+                                 CacheDir.empty() ? nullptr : &Cache);
+  FinderOptions Opts = BaseOpts;
+  Opts.CachePath = CacheDir;
+  Opts.Jobs = 1;
+  Opts.Metrics = nullptr;
+  CounterexampleFinder Finder(Session.table(), Opts);
+  std::vector<ConflictReport> Reports = Finder.examineAll();
+  std::string Out;
+  for (const ConflictReport &Rep : Reports)
+    Out += Finder.render(Rep) + "\n";
+  R.Rendered = std::move(Out);
+  R.Conflicts = Reports.size();
+  R.Reused = Finder.cacheActivity().ConflictsReused;
+  R.Recomputed = Finder.cacheActivity().ConflictsRecomputed;
+  R.WallMs = Timer.seconds() * 1000.0;
+  return R;
+}
+
+/// The replay loop: per grammar, a baseline run plus \p EditCount seeded
+/// random edits; after each, the incremental run (against \p CacheDir) is
+/// byte-compared against a cold run — a standing differential harness for
+/// the conflict-reuse layer. \returns the mismatch count.
+size_t runEditLoop(const std::vector<Job> &Work, const FinderOptions &Opts,
+                   AutomatonKind Kind, const std::string &CacheDir,
+                   unsigned EditCount, uint64_t Seed,
+                   std::vector<bench::BenchRecord> &Records) {
+  size_t Mismatches = 0;
+  for (const Job &J : Work) {
+    GrammarParseResult Parsed = parseGrammar(J.Text);
+    if (!Parsed.ok()) {
+      const Diagnostic *First = Parsed.firstError();
+      std::printf("%-24s SKIPPED (parse): %s\n", J.Name.c_str(),
+                  First ? First->header().c_str() : "no rules");
+      continue;
+    }
+    EditableGrammar Model = EditableGrammar::fromGrammar(*Parsed.G);
+    EditRng Rng(Seed);
+    for (unsigned K = 0; K <= EditCount; ++K) {
+      std::string EditLabel = "baseline";
+      if (K > 0) {
+        std::optional<AppliedEdit> E =
+            applyRandomEdit(Model, Rng, allEditKinds());
+        if (!E) {
+          std::printf("%-24s #%u: no applicable edit, stopping\n",
+                      J.Name.c_str(), K);
+          break;
+        }
+        EditLabel = E->Detail;
+      }
+      std::string BuildError;
+      std::optional<Grammar> Edited = Model.build(&BuildError);
+      if (!Edited) {
+        // applyRandomEdit only commits buildable models and the baseline
+        // is a round-trip of a parsed grammar, so this is a real bug.
+        std::printf("%-24s #%u FAILED: edited grammar does not build: %s\n",
+                    J.Name.c_str(), K, BuildError.c_str());
+        ++Mismatches;
+        break;
+      }
+      EditRunResult Incr = runEditPipeline(*Edited, Opts, Kind, CacheDir);
+      EditRunResult Cold =
+          runEditPipeline(std::move(*Edited), Opts, Kind, std::string());
+      bool Same = Incr.Rendered == Cold.Rendered;
+      if (!Same)
+        ++Mismatches;
+      std::printf("%-24s #%2u %-40s cold %8.1f ms  incr %8.1f ms  "
+                  "reused %zu/%zu%s\n",
+                  J.Name.c_str(), K, EditLabel.c_str(), Cold.WallMs,
+                  Incr.WallMs, Incr.Reused, Incr.Reused + Incr.Recomputed,
+                  Same ? "" : "  OUTPUT MISMATCH");
+
+      bench::BenchRecord Rec;
+      Rec.Name = "edit-loop/" + J.Name + "/" + std::to_string(K);
+      Rec.Grammar = J.Name;
+      Rec.Conflicts = Incr.Conflicts;
+      Rec.Jobs = 1;
+      Rec.WallMsCold = Cold.WallMs;
+      Rec.WallMsWarm = Incr.WallMs;
+      Rec.ConflictsReused = long(Incr.Reused);
+      Rec.ConflictsRecomputed = long(Incr.Recomputed);
+      Rec.Edit = EditLabel;
+      Records.push_back(Rec);
+    }
+  }
+  return Mismatches;
+}
+
+/// The -cache-max-mb sweep (any mode): bounds the cache directory and
+/// prints one machine-greppable summary line.
+void gcSweep(const std::string &CacheDir, long long MaxMb) {
+  if (MaxMb < 0 || CacheDir.empty())
+    return;
+  cache::AnalysisCache::GcStats S =
+      cache::AnalysisCache(CacheDir).collectGarbage(uint64_t(MaxMb) * 1024 *
+                                                    1024);
+  std::printf("CACHE_GC scanned %llu file(s) / %llu byte(s), removed %llu "
+              "file(s) / %llu byte(s)\n",
+              (unsigned long long)S.ScannedFiles,
+              (unsigned long long)S.ScannedBytes,
+              (unsigned long long)S.RemovedFiles,
+              (unsigned long long)S.RemovedBytes);
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   FinderOptions Opts;
-  std::string Source, CacheDir, OutDir;
+  std::vector<std::string> Sources;
+  std::string CacheDir, OutDir;
   unsigned Jobs = 0;
   bool CollectMetrics = false;
+  bool CumulativeSet = false;
   AutomatonKind Kind = AutomatonKind::Lalr1;
+  unsigned EditLoop = 0;
+  uint64_t EditSeed = 1;
+  long long CacheMaxMb = -1;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -238,6 +391,7 @@ int main(int argc, char **argv) {
       if (++I == argc)
         return usage(argv[0]);
       Opts.CumulativeTimeLimitSeconds = std::atof(argv[I]);
+      CumulativeSet = true;
     } else if (Arg == "-steps") {
       uint64_t V;
       if (++I == argc || !parseFlagValue("-steps", argv[I], SIZE_MAX, V))
@@ -247,49 +401,81 @@ int main(int argc, char **argv) {
       Kind = AutomatonKind::Canonical;
     } else if (Arg == "-metrics") {
       CollectMetrics = true;
+    } else if (Arg == "-edit-loop") {
+      uint64_t V;
+      if (++I == argc ||
+          !parseFlagValue("-edit-loop", argv[I], UINT32_MAX, V))
+        return usage(argv[0]);
+      EditLoop = unsigned(V);
+    } else if (Arg == "-edit-seed") {
+      uint64_t V;
+      if (++I == argc ||
+          !parseFlagValue("-edit-seed", argv[I], UINT64_MAX, V))
+        return usage(argv[0]);
+      EditSeed = V;
+    } else if (Arg == "-cache-max-mb") {
+      uint64_t V;
+      if (++I == argc ||
+          !parseFlagValue("-cache-max-mb", argv[I], uint64_t(1) << 40, V))
+        return usage(argv[0]);
+      CacheMaxMb = (long long)V;
     } else if (!Arg.empty() && Arg[0] == '-') {
       return usage(argv[0]);
     } else {
-      Source = Arg;
+      Sources.push_back(Arg);
     }
   }
-  if (Source.empty())
+  if (Sources.empty())
     return usage(argv[0]);
 
-  // Collect the work list, sorted by name for deterministic output.
+  // Collect the work list from every positional source ("corpus",
+  // "corpus:<name>", a grammar file, or a directory of them), sorted by
+  // name for deterministic output.
   std::vector<Job> Work;
-  if (Source == "corpus") {
-    for (const CorpusEntry &E : corpus())
-      Work.push_back(Job{E.Name, E.Text});
-  } else {
-    std::error_code Ec;
-    if (std::filesystem::is_directory(Source, Ec)) {
-      for (const auto &Entry :
-           std::filesystem::directory_iterator(Source, Ec)) {
-        if (!Entry.is_regular_file())
-          continue;
-        std::string Ext = Entry.path().extension().string();
-        if (Ext != ".y" && Ext != ".cfg" && Ext != ".grammar")
-          continue;
-        std::ifstream In(Entry.path());
-        std::ostringstream Buf;
-        Buf << In.rdbuf();
-        Work.push_back(Job{Entry.path().stem().string(), Buf.str()});
-      }
-    } else {
-      std::ifstream In(Source);
-      if (!In) {
-        std::fprintf(stderr, "cannot open '%s'\n", Source.c_str());
+  for (const std::string &Source : Sources) {
+    if (Source == "corpus") {
+      for (const CorpusEntry &E : corpus())
+        Work.push_back(Job{E.Name, E.Text});
+    } else if (Source.rfind("corpus:", 0) == 0) {
+      // A single built-in grammar ("corpus:Java.2"): the edit loop and the
+      // incremental-smoke gate target specific corpus entries this way.
+      std::string Name = Source.substr(7);
+      const CorpusEntry *E = findCorpusEntry(Name);
+      if (!E) {
+        std::fprintf(stderr, "no corpus grammar named '%s'\n", Name.c_str());
         return 1;
       }
-      std::ostringstream Buf;
-      Buf << In.rdbuf();
-      Work.push_back(
-          Job{std::filesystem::path(Source).stem().string(), Buf.str()});
+      Work.push_back(Job{E->Name, E->Text});
+    } else {
+      std::error_code Ec;
+      if (std::filesystem::is_directory(Source, Ec)) {
+        for (const auto &Entry :
+             std::filesystem::directory_iterator(Source, Ec)) {
+          if (!Entry.is_regular_file())
+            continue;
+          std::string Ext = Entry.path().extension().string();
+          if (Ext != ".y" && Ext != ".cfg" && Ext != ".grammar")
+            continue;
+          std::ifstream In(Entry.path());
+          std::ostringstream Buf;
+          Buf << In.rdbuf();
+          Work.push_back(Job{Entry.path().stem().string(), Buf.str()});
+        }
+      } else {
+        std::ifstream In(Source);
+        if (!In) {
+          std::fprintf(stderr, "cannot open '%s'\n", Source.c_str());
+          return 1;
+        }
+        std::ostringstream Buf;
+        Buf << In.rdbuf();
+        Work.push_back(
+            Job{std::filesystem::path(Source).stem().string(), Buf.str()});
+      }
     }
   }
   if (Work.empty()) {
-    std::fprintf(stderr, "no grammars found in '%s'\n", Source.c_str());
+    std::fprintf(stderr, "no grammars found\n");
     return 1;
   }
   std::sort(Work.begin(), Work.end(),
@@ -302,6 +488,32 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "cannot create '%s'\n", OutDir.c_str());
       return 1;
     }
+  }
+
+  // Replay mode: serial by design (per-edit wall times are the product)
+  // and self-checking (incremental vs cold byte diff).
+  if (EditLoop > 0) {
+    if (CacheDir.empty())
+      std::fprintf(stderr, "note: -edit-loop without -cache measures cold "
+                           "runs only (no conflict reuse)\n");
+    // The edit loop measures conflict-level reuse, and a finite
+    // *cumulative* budget disables that layer (it couples conflicts; see
+    // DESIGN.md §5i), so unless the user explicitly asked for one, run
+    // the loop with the cumulative clock off. Per-conflict -timeout and
+    // -steps still bound every individual search.
+    if (!CumulativeSet)
+      Opts.CumulativeTimeLimitSeconds = 0;
+    std::vector<bench::BenchRecord> Records;
+    Stopwatch Total;
+    size_t Mismatches =
+        runEditLoop(Work, Opts, Kind, CacheDir, EditLoop, EditSeed, Records);
+    double TotalMs = Total.seconds() * 1000.0;
+    bench::writeBenchRecords("batch_analyze", Records);
+    gcSweep(CacheDir, CacheMaxMb);
+    if (Mismatches > 0)
+      std::printf("%zu incremental/cold MISMATCH(es)\n", Mismatches);
+    std::printf("TOTAL_MS %.1f\n", TotalMs);
+    return Mismatches == 0 ? 0 : 1;
   }
 
   // Shard grammars across the pool with an atomic dispenser (same shape
@@ -411,7 +623,11 @@ int main(int argc, char **argv) {
 
   bench::BenchRecord TotalRec;
   TotalRec.Name = "batch/TOTAL";
-  TotalRec.Grammar = Source;
+  for (const std::string &Source : Sources) {
+    if (!TotalRec.Grammar.empty())
+      TotalRec.Grammar += "+";
+    TotalRec.Grammar += Source;
+  }
   TotalRec.Conflicts = TotalConflicts;
   TotalRec.Jobs = Workers;
   // The whole run counts as warm only if every report set was served from
@@ -439,5 +655,6 @@ int main(int argc, char **argv) {
     std::printf("\n-- aggregate metrics --\n%s",
                 Aggregate.renderText().c_str());
   std::printf("\nTOTAL_MS %.1f\n", TotalMs);
+  gcSweep(CacheDir, CacheMaxMb);
   return Failures == 0 ? 0 : 1;
 }

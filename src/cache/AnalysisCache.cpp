@@ -116,6 +116,106 @@ Fingerprint128 lalrcex::cache::optionsFingerprint(const FinderOptions &Opts,
   return H.finish();
 }
 
+Fingerprint128 lalrcex::cache::automatonStructuralHash(const Automaton &M) {
+  const Grammar &G = M.grammar();
+  StableHasher H;
+  H.addString("lalrcex-automaton-structure");
+
+  // Grammar shape by id only: no names, no precedence, no %expect. Two
+  // grammars with the same shape produce byte-identical search behaviour
+  // per conflict, which is exactly the equivalence this hash must induce.
+  H.addU32(G.numTerminals());
+  H.addU32(G.numSymbols());
+  H.addU32(G.numProductions());
+  for (unsigned P = 0; P != G.numProductions(); ++P) {
+    const Production &Prod = G.production(P);
+    H.addU32(uint32_t(Prod.Lhs.id()));
+    H.addU32(uint32_t(Prod.Rhs.size()));
+    for (Symbol S : Prod.Rhs)
+      H.addU32(uint32_t(S.id()));
+  }
+
+  H.addU32(uint32_t(M.kind()));
+  H.addU32(M.numStates());
+  for (unsigned S = 0; S != M.numStates(); ++S) {
+    const Automaton::State &St = M.state(S);
+    H.addU32(uint32_t(St.Items.size()));
+    H.addU32(St.NumKernel);
+    for (const Item &I : St.Items) {
+      H.addU32(I.Prod);
+      H.addU32(I.Dot);
+    }
+    for (const IndexSet &L : St.Lookaheads) {
+      H.addU32(L.count());
+      L.forEach([&](unsigned E) { H.addU32(E); });
+    }
+    H.addU32(uint32_t(St.Transitions.size()));
+    for (const auto &[Sym, Target] : St.Transitions) {
+      H.addU32(uint32_t(Sym.id()));
+      H.addU32(Target);
+    }
+  }
+  return H.finish();
+}
+
+ConflictKeyContext::ConflictKeyContext(const Automaton &InM,
+                                       const FinderOptions &Opts,
+                                       uint32_t VersionSalt)
+    : M(InM), Slices(InM.grammar()) {
+  StableHasher H;
+  H.addString("lalrcex-conflict-base");
+  H.addU32(VersionSalt);
+  Fingerprint128 O = optionsFingerprint(Opts, VersionSalt);
+  H.addU64(O.Lo);
+  H.addU64(O.Hi);
+  Fingerprint128 A = automatonStructuralHash(M);
+  H.addU64(A.Lo);
+  H.addU64(A.Hi);
+  Base = H.finish();
+}
+
+std::vector<Symbol> ConflictKeyContext::sliceRoots(const Conflict &C) const {
+  const Grammar &G = M.grammar();
+  std::vector<Symbol> Roots;
+  for (const Item &I : M.state(C.State).Items) {
+    const Production &Prod = G.production(I.Prod);
+    Roots.push_back(Prod.Lhs);
+    for (Symbol S : Prod.Rhs)
+      if (G.isNonterminal(S))
+        Roots.push_back(S);
+  }
+  std::sort(Roots.begin(), Roots.end(),
+            [](Symbol A, Symbol B) { return A.id() < B.id(); });
+  Roots.erase(std::unique(Roots.begin(), Roots.end()), Roots.end());
+  return Roots;
+}
+
+Fingerprint128
+ConflictKeyContext::conflictFingerprint(const Conflict &C) const {
+  StableHasher H;
+  H.addString("lalrcex-conflict");
+  H.addU64(Base.Lo);
+  H.addU64(Base.Hi);
+  // The full conflict record: the same state can host several conflicts,
+  // and a precedence edit may re-report a conflict with a different
+  // resolution.
+  H.addU8(uint8_t(C.K));
+  H.addU32(C.State);
+  H.addU32(uint32_t(C.Token.id()));
+  H.addU32(C.ReduceProd);
+  H.addU32(C.OtherProd);
+  H.addU32(C.ShiftItm.Prod);
+  H.addU32(C.ShiftItm.Dot);
+  H.addU8(uint8_t(C.R));
+  // The supporting slice (redundant relative to the base's global hash,
+  // but it makes the key self-describing per the sub-fingerprint design
+  // and keeps room for future slice-relative keying).
+  Fingerprint128 S = Slices.idBoundSliceHash(sliceRoots(C));
+  H.addU64(S.Lo);
+  H.addU64(S.Hi);
+  return H.finish();
+}
+
 //===----------------------------------------------------------------------===//
 // Header helpers
 //===----------------------------------------------------------------------===//
@@ -125,6 +225,7 @@ namespace {
 constexpr char MagicAnalysis[8] = {'L', 'C', 'E', 'X', 'A', 'R', 'T', '1'};
 constexpr char MagicGraph[8] = {'L', 'C', 'E', 'X', 'S', 'I', 'G', '1'};
 constexpr char MagicReports[8] = {'L', 'C', 'E', 'X', 'R', 'E', 'P', '1'};
+constexpr char MagicConflict[8] = {'L', 'C', 'E', 'X', 'C', 'R', 'P', '1'};
 
 void writeHeader(BlobWriter &W, const char (&Magic)[8], uint32_t Salt,
                  Fingerprint128 Primary, Fingerprint128 Secondary) {
@@ -826,6 +927,44 @@ CacheProbe lalrcex::cache::deserializeReports(
   return {CacheOutcome::Hit, ""};
 }
 
+std::string lalrcex::cache::serializeConflictReport(Fingerprint128 Key,
+                                                    const ConflictReport &Rep,
+                                                    uint32_t VersionSalt) {
+  BlobWriter W;
+  writeHeader(W, MagicConflict, VersionSalt, Key, Fingerprint128{});
+  writeReport(W, Rep);
+  return sealed(std::move(W));
+}
+
+CacheProbe lalrcex::cache::deserializeConflictReport(
+    const std::string &Blob, Fingerprint128 Key, const Grammar &G,
+    const Conflict &Expected, ConflictReport &Out, uint32_t VersionSalt) {
+  BlobReader R(Blob);
+  CacheProbe Open =
+      openBlob(Blob, R, MagicConflict, VersionSalt, Key, Fingerprint128{});
+  if (!Open.hit())
+    return Open;
+
+  ConflictReport Rep;
+  if (!readReport(R, G, Rep))
+    return corrupt(R);
+  if (R.remaining() != 16)
+    return {CacheOutcome::Corrupt, "trailing bytes after payload"};
+
+  // The content address is a hash; the payload must actually describe the
+  // conflict being probed for, or a collision would serve a wrong report.
+  const Conflict &C = Rep.TheConflict;
+  if (C.K != Expected.K || C.State != Expected.State ||
+      C.Token != Expected.Token || C.ReduceProd != Expected.ReduceProd ||
+      C.OtherProd != Expected.OtherProd ||
+      C.ShiftItm != Expected.ShiftItm || C.R != Expected.R)
+    return {CacheOutcome::KeyMismatch,
+            "blob's conflict record disagrees with probe"};
+
+  Out = std::move(Rep);
+  return {CacheOutcome::Hit, ""};
+}
+
 //===----------------------------------------------------------------------===//
 // File layer
 //===----------------------------------------------------------------------===//
@@ -942,6 +1081,91 @@ AnalysisCache::storeReports(const Grammar &G, AutomatonKind Kind,
                             const std::vector<ConflictReport> &Reports) const {
   return writeBlob(blobPath(G, Kind, "rep", &Opts),
                    serializeReports(G, Kind, Opts, Reports, Salt));
+}
+
+std::string AnalysisCache::conflictBlobPath(Fingerprint128 Key) const {
+  return Dir + "/" + Key.hex() + ".crep";
+}
+
+CacheProbe AnalysisCache::loadConflictReport(Fingerprint128 Key,
+                                             const Grammar &G,
+                                             const Conflict &Expected,
+                                             ConflictReport &Out) const {
+  std::string Blob;
+  CacheProbe P = readBlob(conflictBlobPath(Key), Blob);
+  if (!P.hit())
+    return P;
+  return deserializeConflictReport(Blob, Key, G, Expected, Out, Salt);
+}
+
+CacheProbe AnalysisCache::storeConflictReport(Fingerprint128 Key,
+                                              const ConflictReport &Rep) const {
+  return writeBlob(conflictBlobPath(Key),
+                   serializeConflictReport(Key, Rep, Salt));
+}
+
+AnalysisCache::GcStats AnalysisCache::collectGarbage(uint64_t MaxBytes) const {
+  GcStats Stats;
+  if (Dir.empty())
+    return Stats;
+  namespace fs = std::filesystem;
+  std::error_code Ec;
+  fs::directory_iterator It(Dir, Ec);
+  if (Ec)
+    return Stats; // directory absent: nothing cached, nothing to collect
+
+  struct Entry {
+    fs::file_time_type Mtime;
+    std::string Name; // deterministic tie-break for equal mtimes
+    std::string Path;
+    uint64_t Size;
+  };
+  std::vector<Entry> Blobs;
+  for (const fs::directory_entry &E : It) {
+    if (!E.is_regular_file(Ec) || Ec)
+      continue;
+    std::string Name = E.path().filename().string();
+    uint64_t Size = E.file_size(Ec);
+    if (Ec)
+      continue;
+    ++Stats.ScannedFiles;
+    Stats.ScannedBytes += Size;
+    // Temp files are abandoned work from a crashed or interrupted run
+    // (live writers rename within the same call); sweep them outright.
+    if (Name.find(".tmp.") != std::string::npos) {
+      if (fs::remove(E.path(), Ec) && !Ec) {
+        ++Stats.RemovedFiles;
+        Stats.RemovedBytes += Size;
+      }
+      continue;
+    }
+    fs::file_time_type Mtime = E.last_write_time(Ec);
+    if (Ec)
+      continue;
+    Blobs.push_back({Mtime, std::move(Name), E.path().string(), Size});
+  }
+
+  uint64_t LiveBytes = 0;
+  for (const Entry &B : Blobs)
+    LiveBytes += B.Size;
+  if (LiveBytes <= MaxBytes)
+    return Stats;
+
+  std::sort(Blobs.begin(), Blobs.end(), [](const Entry &A, const Entry &B) {
+    if (A.Mtime != B.Mtime)
+      return A.Mtime < B.Mtime;
+    return A.Name < B.Name;
+  });
+  for (const Entry &B : Blobs) {
+    if (LiveBytes <= MaxBytes)
+      break;
+    if (fs::remove(B.Path, Ec) && !Ec) {
+      LiveBytes -= B.Size;
+      ++Stats.RemovedFiles;
+      Stats.RemovedBytes += B.Size;
+    }
+  }
+  return Stats;
 }
 
 //===----------------------------------------------------------------------===//

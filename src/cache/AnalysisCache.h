@@ -21,12 +21,38 @@
 ///   <gfp>.sig  state-item graph          same key
 ///   <gfp>-<ofp>.rep  conflict reports    ofp = optionsFingerprint():
 ///              every FinderOptions field that can change report content
+///   <cfp>.crep  one conflict report      cfp = conflictFingerprint():
+///              per-conflict key over (automaton structure, options, the
+///              conflict record, the id-bound hash of its supporting
+///              grammar slice) — see ConflictKeyContext
 ///
 /// Invalidation is therefore structural: editing the grammar (reordering
 /// productions, flipping a precedence declaration, renaming a symbol)
 /// changes the fingerprint and the next run simply misses and recomputes;
 /// nothing is ever updated in place. Bumping FormatVersion re-salts every
 /// fingerprint, orphaning all old blobs at once.
+///
+/// Conflict-level reuse. The whole-set keys above move on *any* grammar
+/// edit; `.crep` blobs are the fine-grained layer under incremental
+/// re-analysis. Their key deliberately excludes symbol names, precedence
+/// tables, and %expect: a conflict report's content is a pure function of
+/// automaton structure (names are re-rendered from the live grammar;
+/// precedence only selects *which* conflicts get reported, and the full
+/// conflict record is in the key). After a rename or precedence edit the
+/// automaton structure is unchanged, so every still-reported conflict's
+/// key matches and its report is re-served; after a rule edit the
+/// production indexing shifts, every key misses, and the run falls back
+/// to a cold recompute — never a stale report. The per-conflict keys form
+/// the sub-fingerprint index: no directory or manifest is needed, the
+/// content address *is* the index. Reuse is only eligible when no finite
+/// cumulative budget is configured: a binding cumulative budget couples
+/// conflicts (later ones see what earlier ones consumed), so per-conflict
+/// reports stop being pure functions of their key and the finder skips
+/// this layer rather than risk diverging from a cold recompute.
+///
+/// Housekeeping. Orphaned old-fingerprint blobs accumulate as grammars
+/// are edited; collectGarbage() bounds the directory to a byte budget by
+/// evicting oldest-first (and sweeping stray temp files).
 ///
 /// Robustness. Blobs are untrusted input. Every file carries a magic tag,
 /// the version salt, its own key, and a trailing checksum of all prior
@@ -43,6 +69,7 @@
 #define LALRCEX_CACHE_ANALYSISCACHE_H
 
 #include "counterexample/CounterexampleFinder.h"
+#include "grammar/SubGrammar.h"
 #include "support/Hash.h"
 
 #include <memory>
@@ -103,6 +130,45 @@ Fingerprint128 grammarFingerprint(const Grammar &G, AutomatonKind Kind,
 Fingerprint128 optionsFingerprint(const FinderOptions &Opts,
                                   uint32_t VersionSalt = FormatVersion);
 
+/// Stable hash of the automaton as the searches see it: symbol/production
+/// shape by id, states (items, lookaheads, transitions). Deliberately
+/// excludes names, precedence, %expect, and resolved actions — two
+/// grammars differing only in those have identical search behaviour per
+/// conflict, which is what makes conflict-level reuse sound. Pins the id
+/// universe for ConflictKeyContext.
+Fingerprint128 automatonStructuralHash(const Automaton &M);
+
+/// Precomputed state for per-conflict cache keys over one automaton:
+/// a base fingerprint (format salt, automaton kind, options, structural
+/// automaton hash) plus a SubGrammarIndex for supporting-slice hashes.
+/// conflictFingerprint(C) keys the `.crep` blob for conflict \p C as
+/// (base, conflict record, id-bound hash of the slice reachable from the
+/// nonterminals of C's state's items).
+class ConflictKeyContext {
+public:
+  ConflictKeyContext(const Automaton &M, const FinderOptions &Opts,
+                     uint32_t VersionSalt = FormatVersion);
+
+  const Automaton &automaton() const { return M; }
+  Fingerprint128 base() const { return Base; }
+
+  /// The `.crep` key for \p C, which must be a conflict of this context's
+  /// automaton.
+  Fingerprint128 conflictFingerprint(const Conflict &C) const;
+
+  /// The nonterminals rooting \p C's supporting slice: every nonterminal
+  /// appearing in (either side of) a production of some item of C's
+  /// state, ascending id order.
+  std::vector<Symbol> sliceRoots(const Conflict &C) const;
+
+  const SubGrammarIndex &slices() const { return Slices; }
+
+private:
+  const Automaton &M;
+  SubGrammarIndex Slices;
+  Fingerprint128 Base;
+};
+
 /// An automaton + parse table reconstructed from a blob. The table
 /// borrows the automaton, so they travel together.
 struct RestoredAnalysis {
@@ -146,6 +212,22 @@ CacheProbe deserializeReports(const std::string &Blob, const Grammar &G,
                               std::vector<ConflictReport> &Out,
                               uint32_t VersionSalt = FormatVersion);
 
+/// Serializes one conflict report into a `.crep` blob keyed by \p Key
+/// (a ConflictKeyContext::conflictFingerprint).
+std::string serializeConflictReport(Fingerprint128 Key,
+                                    const ConflictReport &Rep,
+                                    uint32_t VersionSalt = FormatVersion);
+
+/// Reconstructs one conflict report. Besides the usual header/checksum
+/// verification, the payload's conflict record must equal \p Expected —
+/// the live conflict the caller is keying for — so a fingerprint
+/// collision degrades to KeyMismatch (a recompute), never a wrong report.
+CacheProbe deserializeConflictReport(const std::string &Blob,
+                                     Fingerprint128 Key, const Grammar &G,
+                                     const Conflict &Expected,
+                                     ConflictReport &Out,
+                                     uint32_t VersionSalt = FormatVersion);
+
 //===----------------------------------------------------------------------===//
 // The on-disk cache.
 //===----------------------------------------------------------------------===//
@@ -177,12 +259,40 @@ public:
                           const FinderOptions &Opts,
                           const std::vector<ConflictReport> &Reports) const;
 
+  /// Loads the `.crep` blob for per-conflict key \p Key; \p Expected is
+  /// the live conflict being probed for (see deserializeConflictReport).
+  CacheProbe loadConflictReport(Fingerprint128 Key, const Grammar &G,
+                                const Conflict &Expected,
+                                ConflictReport &Out) const;
+  CacheProbe storeConflictReport(Fingerprint128 Key,
+                                 const ConflictReport &Rep) const;
+
   /// The file path a blob kind lives at, for tests that corrupt blobs
   /// deliberately. \p Extension is "art", "sig", or "rep" (the latter
   /// needs \p Opts).
   std::string blobPath(const Grammar &G, AutomatonKind Kind,
                        const char *Extension,
                        const FinderOptions *Opts = nullptr) const;
+
+  /// The file path of the `.crep` blob for per-conflict key \p Key.
+  std::string conflictBlobPath(Fingerprint128 Key) const;
+
+  /// What one collectGarbage() pass saw and removed.
+  struct GcStats {
+    uint64_t ScannedFiles = 0;
+    uint64_t ScannedBytes = 0;
+    uint64_t RemovedFiles = 0;
+    uint64_t RemovedBytes = 0;
+  };
+
+  /// Bounds the cache directory to \p MaxBytes: stray temp files are
+  /// always removed, then whole blobs are evicted oldest-first (by
+  /// modification time, file name as tie-break) until the remaining
+  /// bytes fit. Blobs are only ever whole files, so eviction can never
+  /// corrupt a surviving entry; an evicted blob simply misses and is
+  /// recomputed. No-op (beyond the temp sweep) when the directory
+  /// already fits or does not exist.
+  GcStats collectGarbage(uint64_t MaxBytes) const;
 
 private:
   CacheProbe readBlob(const std::string &Path, std::string &Out) const;

@@ -423,6 +423,8 @@ std::vector<ConflictReport> CounterexampleFinder::examineAll() {
   // timing fields — so warm output is byte-identical to cold output.
   AutomatonKind Kind = Table.automaton().kind();
   Cache.ReportsFromCache = false;
+  Cache.ConflictsReused = 0;
+  Cache.ConflictsRecomputed = 0;
   if (!Opts.CachePath.empty()) {
     cache::AnalysisCache ReportCache(Opts.CachePath);
     std::vector<ConflictReport> Cached;
@@ -448,16 +450,70 @@ std::vector<ConflictReport> CounterexampleFinder::examineAll() {
   std::vector<Conflict> Reported = Table.reportedConflicts(Cumulative);
   std::vector<ConflictReport> Out(Reported.size());
 
+  // Fine-grained warm path: the whole-set key moved (any grammar edit
+  // moves it), but individual conflicts may be unchanged — their
+  // per-conflict key is over automaton structure, not names/precedence,
+  // so it survives edits that leave the conflict's supporting slice
+  // intact. Probe serially on the calling thread: probes are cheap file
+  // reads, and a deterministic probe order keeps reuse accounting
+  // identical across job counts. Misses fall through to Pending, the
+  // cold recompute set.
+  //
+  // Eligibility: a finite *cumulative* budget couples conflicts — each
+  // conflict's effective step budget depends on how much the ones before
+  // it consumed — so a report is only a pure function of (automaton
+  // structure, options, conflict) when the cumulative budget cannot
+  // bind. Reusing under a finite cumulative budget could diverge from a
+  // cold recompute, so the fine-grained layer switches off entirely
+  // there (the whole-set warm path above is unaffected: its blob is the
+  // verbatim output of one complete run under identical options).
+  const bool FineGrained =
+      !Opts.CachePath.empty() && !Reported.empty() &&
+      Opts.CumulativeMaxConfigurations == ResourceLimits::Unlimited &&
+      Opts.CumulativeTimeLimitSeconds == 0;
+  std::vector<size_t> Pending;
+  Pending.reserve(Reported.size());
+  std::vector<Fingerprint128> Keys;
+  if (FineGrained) {
+    cache::AnalysisCache ConflictCache(Opts.CachePath);
+    cache::ConflictKeyContext Ctx(Table.automaton(), Opts);
+    Keys.resize(Reported.size());
+    ScopedTimer LoadTimer(M, metric::TimeCacheLoadNs);
+    for (size_t I = 0, E = Reported.size(); I != E; ++I) {
+      Keys[I] = Ctx.conflictFingerprint(Reported[I]);
+      ConflictReport Rep;
+      cache::CacheProbe CP =
+          ConflictCache.loadConflictReport(Keys[I], G, Reported[I], Rep);
+      if (CP.hit()) {
+        Out[I] = std::move(Rep);
+        ++Cache.ConflictsReused;
+        continue;
+      }
+      if (CP.degraded() && M)
+        M->add(metric::CacheDegradations);
+      noteCacheProbe(Cache, CP);
+      Pending.push_back(I);
+    }
+    Cache.ConflictsRecomputed = Pending.size();
+    if (M) {
+      M->add(metric::CacheConflictsReused, Cache.ConflictsReused);
+      M->add(metric::CacheConflictsRecomputed, Pending.size());
+    }
+  } else {
+    for (size_t I = 0, E = Reported.size(); I != E; ++I)
+      Pending.push_back(I);
+  }
+
   unsigned Jobs = resolveJobs(Opts.Jobs);
-  if (size_t(Jobs) > Reported.size())
-    Jobs = unsigned(Reported.size());
+  if (size_t(Jobs) > Pending.size())
+    Jobs = unsigned(Pending.size());
   // The JobsInner = 0 auto split divides the Jobs budget by the
   // conflict-level worker count of this run.
   OuterWorkersActive = std::max(1u, Jobs);
   if (Jobs <= 1) {
     if (M)
       M->gaugeMax(metric::ExamineWorkers, 1);
-    for (size_t I = 0, E = Reported.size(); I != E; ++I)
+    for (size_t I : Pending)
       Out[I] = examineIndexed(Reported[I], (long long)I);
   } else {
     // Worker pool over an atomic index dispenser. The graph, analysis,
@@ -471,9 +527,10 @@ std::vector<ConflictReport> CounterexampleFinder::examineAll() {
     std::atomic<size_t> Next{0};
     auto Work = [&] {
       Stopwatch Busy;
-      for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
-           I < Reported.size();
-           I = Next.fetch_add(1, std::memory_order_relaxed)) {
+      for (size_t K = Next.fetch_add(1, std::memory_order_relaxed);
+           K < Pending.size();
+           K = Next.fetch_add(1, std::memory_order_relaxed)) {
+        size_t I = Pending[K];
         try {
           Out[I] = examineIndexed(Reported[I], (long long)I);
         } catch (...) {
@@ -508,13 +565,19 @@ std::vector<ConflictReport> CounterexampleFinder::examineAll() {
   // Publish the report set unless cancellation truncated it: a cancelled
   // run's reports are a function of *when* the token tripped, not of the
   // (grammar, options) key, so caching them would serve nondeterministic
-  // bytes to later runs.
+  // bytes to later runs. Recomputed conflicts also publish their
+  // per-conflict blob under the same rule, seeding fine-grained reuse
+  // for post-edit runs.
   if (!Opts.CachePath.empty() &&
       std::none_of(Out.begin(), Out.end(), [](const ConflictReport &R) {
         return R.Status == CounterexampleStatus::Cancelled;
       })) {
     ScopedTimer StoreTimer(M, metric::TimeCacheStoreNs);
-    cache::AnalysisCache(Opts.CachePath).storeReports(G, Kind, Opts, Out);
+    cache::AnalysisCache Store(Opts.CachePath);
+    Store.storeReports(G, Kind, Opts, Out);
+    if (FineGrained)
+      for (size_t I : Pending)
+        Store.storeConflictReport(Keys[I], Out[I]);
     if (M)
       M->add(metric::CacheStores);
   }

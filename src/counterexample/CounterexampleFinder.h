@@ -167,6 +167,17 @@ struct CacheActivity {
   bool GraphFromCache = false;
   /// The last examineAll() returned a cached report set verbatim.
   bool ReportsFromCache = false;
+  /// Conflict-level reuse in the last examineAll(): conflicts whose
+  /// report was re-served from a per-conflict blob (the whole-set key
+  /// missed but the conflict's fine-grained key hit), and conflicts that
+  /// were examined cold. Reused + Recomputed always equals the reported
+  /// conflict count when the whole-set key missed and the fine-grained
+  /// layer was eligible; both stay 0 on a whole-set hit, and when a
+  /// finite *cumulative* budget disables conflict-level reuse (a binding
+  /// cumulative budget couples conflicts, so per-conflict reports would
+  /// no longer be pure functions of their key).
+  size_t ConflictsReused = 0;
+  size_t ConflictsRecomputed = 0;
   /// First damaged/unreadable blob encountered (stage "cache-load");
   /// the affected artifact was recomputed cold. A plain miss is not a
   /// degradation and is not recorded.

@@ -1,0 +1,294 @@
+//===- grammar/GrammarEdit.cpp ---------------------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/GrammarEdit.h"
+
+#include "grammar/Analysis.h"
+#include "grammar/GrammarBuilder.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace lalrcex;
+
+const char *lalrcex::editKindName(EditKind K) {
+  switch (K) {
+  case EditKind::AddAlternative:
+    return "add-alternative";
+  case EditKind::RemoveAlternative:
+    return "remove-alternative";
+  case EditKind::ReorderAlternatives:
+    return "reorder-alternatives";
+  case EditKind::RenameNonterminal:
+    return "rename-nonterminal";
+  case EditKind::TogglePrecedence:
+    return "toggle-precedence";
+  case EditKind::ToggleExpect:
+    return "toggle-expect";
+  }
+  return "unknown";
+}
+
+uint64_t EditRng::next() {
+  // xorshift64*: deterministic, platform-stable, good enough to spread
+  // edit choices; cryptographic quality is irrelevant here.
+  S ^= S >> 12;
+  S ^= S << 25;
+  S ^= S >> 27;
+  return S * 0x2545f4914f6cdd1d;
+}
+
+EditableGrammar EditableGrammar::fromGrammar(const Grammar &G) {
+  EditableGrammar E;
+  // Terminal id order (skipping the synthetic "$" at id 0): re-declaring
+  // them in this order makes GrammarBuilder assign the same ids back.
+  for (unsigned T = 1; T != G.numTerminals(); ++T)
+    E.Terminals.push_back(G.name(Symbol(int32_t(T))));
+
+  int MaxLevel = 0;
+  for (unsigned T = 0; T != G.numTerminals(); ++T)
+    MaxLevel = std::max(MaxLevel, G.precedenceLevel(Symbol(int32_t(T))));
+  E.Levels.resize(size_t(MaxLevel));
+  for (unsigned T = 0; T != G.numTerminals(); ++T) {
+    Symbol S{int32_t(T)};
+    int L = G.precedenceLevel(S);
+    if (L <= 0)
+      continue;
+    PrecLevel &Lvl = E.Levels[size_t(L) - 1];
+    Lvl.A = G.associativity(S);
+    Lvl.Names.push_back(G.name(S));
+  }
+
+  for (unsigned P = 0; P != G.numProductions(); ++P) {
+    if (P == G.augmentedProduction())
+      continue;
+    const Production &Prod = G.production(P);
+    Rule R;
+    R.Lhs = G.name(Prod.Lhs);
+    for (Symbol S : Prod.Rhs)
+      R.Rhs.push_back(G.name(S));
+    // Reconstruct the explicit %prec: only when the stored PrecSym is not
+    // the yacc default (the last terminal of the right-hand side).
+    Symbol Default;
+    for (auto It = Prod.Rhs.rbegin(); It != Prod.Rhs.rend(); ++It)
+      if (G.isTerminal(*It)) {
+        Default = *It;
+        break;
+      }
+    if (Prod.PrecSym.valid() && Prod.PrecSym != Default)
+      R.Prec = G.name(Prod.PrecSym);
+    E.Rules.push_back(std::move(R));
+  }
+
+  E.StartName = G.name(G.startSymbol());
+  E.ExpectSr = G.expectedShiftReduce();
+  E.ExpectRr = G.expectedReduceReduce();
+  return E;
+}
+
+std::optional<Grammar> EditableGrammar::build(std::string *Error) const {
+  GrammarBuilder B;
+  for (const std::string &T : Terminals)
+    B.token(T);
+  for (const PrecLevel &L : Levels) {
+    // Empty levels still claim their level number, so removing one
+    // terminal's declaration never renumbers the others.
+    switch (L.A) {
+    case Assoc::Left:
+      B.left(L.Names);
+      break;
+    case Assoc::Right:
+      B.right(L.Names);
+      break;
+    case Assoc::Nonassoc:
+      B.nonassoc(L.Names);
+      break;
+    case Assoc::None:
+      B.precedence(L.Names);
+      break;
+    }
+  }
+  for (const Rule &R : Rules)
+    B.rule(R.Lhs, R.Rhs, R.Prec);
+  B.start(StartName);
+  B.expectShiftReduce(ExpectSr);
+  B.expectReduceReduce(ExpectRr);
+  return B.build(Error);
+}
+
+std::vector<std::string> EditableGrammar::nonterminalNames() const {
+  std::vector<std::string> Out;
+  for (const Rule &R : Rules)
+    if (std::find(Out.begin(), Out.end(), R.Lhs) == Out.end())
+      Out.push_back(R.Lhs);
+  return Out;
+}
+
+bool EditableGrammar::knownName(const std::string &Name) const {
+  if (std::find(Terminals.begin(), Terminals.end(), Name) != Terminals.end())
+    return true;
+  for (const Rule &R : Rules) {
+    if (R.Lhs == Name)
+      return true;
+    if (std::find(R.Rhs.begin(), R.Rhs.end(), Name) != R.Rhs.end())
+      return true;
+  }
+  return false;
+}
+
+std::string EditableGrammar::freshName(const std::string &Base) const {
+  for (unsigned I = 1;; ++I) {
+    std::string Candidate = Base + std::to_string(I);
+    if (!knownName(Candidate) && Candidate != "$" &&
+        Candidate != "$accept")
+      return Candidate;
+  }
+}
+
+std::optional<std::string> EditableGrammar::applyRandomEdit(EditKind K,
+                                                            EditRng &Rng) {
+  std::vector<std::string> Nts = nonterminalNames();
+  if (Nts.empty())
+    return std::nullopt;
+
+  auto ruleIndicesOf = [&](const std::string &Nt) {
+    std::vector<size_t> Idx;
+    for (size_t I = 0; I != Rules.size(); ++I)
+      if (Rules[I].Lhs == Nt)
+        Idx.push_back(I);
+    return Idx;
+  };
+  auto multiRuleNts = [&] {
+    std::vector<std::string> Out;
+    for (const std::string &Nt : Nts)
+      if (ruleIndicesOf(Nt).size() >= 2)
+        Out.push_back(Nt);
+    return Out;
+  };
+
+  switch (K) {
+  case EditKind::AddAlternative: {
+    const std::string &Nt = Nts[Rng.below(unsigned(Nts.size()))];
+    std::vector<std::string> Pool = Terminals;
+    Pool.insert(Pool.end(), Nts.begin(), Nts.end());
+    Rule R;
+    R.Lhs = Nt;
+    unsigned Len = Rng.below(4);
+    for (unsigned I = 0; I != Len && !Pool.empty(); ++I)
+      R.Rhs.push_back(Pool[Rng.below(unsigned(Pool.size()))]);
+    std::vector<size_t> Idx = ruleIndicesOf(Nt);
+    Rules.insert(Rules.begin() + long(Idx.back()) + 1, std::move(R));
+    return "add-alternative " + Nt;
+  }
+  case EditKind::RemoveAlternative: {
+    std::vector<std::string> Candidates = multiRuleNts();
+    if (Candidates.empty())
+      return std::nullopt;
+    const std::string &Nt =
+        Candidates[Rng.below(unsigned(Candidates.size()))];
+    std::vector<size_t> Idx = ruleIndicesOf(Nt);
+    Rules.erase(Rules.begin() + long(Idx[Rng.below(unsigned(Idx.size()))]));
+    return "remove-alternative " + Nt;
+  }
+  case EditKind::ReorderAlternatives: {
+    std::vector<std::string> Candidates = multiRuleNts();
+    if (Candidates.empty())
+      return std::nullopt;
+    const std::string &Nt =
+        Candidates[Rng.below(unsigned(Candidates.size()))];
+    std::vector<size_t> Idx = ruleIndicesOf(Nt);
+    // Rotate the alternatives by one (blocks are contiguous for parsed
+    // grammars and every edit keeps them contiguous).
+    Rule First = std::move(Rules[Idx.front()]);
+    for (size_t I = 0; I + 1 < Idx.size(); ++I)
+      Rules[Idx[I]] = std::move(Rules[Idx[I + 1]]);
+    Rules[Idx.back()] = std::move(First);
+    return "reorder-alternatives " + Nt;
+  }
+  case EditKind::RenameNonterminal: {
+    const std::string &Old = Nts[Rng.below(unsigned(Nts.size()))];
+    std::string Fresh = freshName(Old + "_r");
+    for (Rule &R : Rules) {
+      if (R.Lhs == Old)
+        R.Lhs = Fresh;
+      for (std::string &S : R.Rhs)
+        if (S == Old)
+          S = Fresh;
+    }
+    if (StartName == Old)
+      StartName = Fresh;
+    return "rename-nonterminal " + Old + " -> " + Fresh;
+  }
+  case EditKind::TogglePrecedence: {
+    if (Terminals.empty())
+      return std::nullopt;
+    const std::string &T = Terminals[Rng.below(unsigned(Terminals.size()))];
+    for (PrecLevel &L : Levels) {
+      auto It = std::find(L.Names.begin(), L.Names.end(), T);
+      if (It != L.Names.end()) {
+        L.Names.erase(It); // the level slot stays, see build()
+        return "toggle-precedence remove " + T;
+      }
+    }
+    PrecLevel L;
+    switch (Rng.below(3)) {
+    case 0:
+      L.A = Assoc::Left;
+      break;
+    case 1:
+      L.A = Assoc::Right;
+      break;
+    default:
+      L.A = Assoc::Nonassoc;
+      break;
+    }
+    L.Names.push_back(T);
+    Levels.push_back(std::move(L));
+    return "toggle-precedence add " + T;
+  }
+  case EditKind::ToggleExpect: {
+    ExpectSr = ExpectSr < 0 ? int(Rng.below(8)) : -1;
+    return std::string("toggle-expect ") + std::to_string(ExpectSr);
+  }
+  }
+  return std::nullopt;
+}
+
+const std::vector<EditKind> &lalrcex::allEditKinds() {
+  static const std::vector<EditKind> Kinds = {
+      EditKind::AddAlternative,      EditKind::RemoveAlternative,
+      EditKind::ReorderAlternatives, EditKind::RenameNonterminal,
+      EditKind::TogglePrecedence,    EditKind::ToggleExpect,
+  };
+  return Kinds;
+}
+
+std::optional<AppliedEdit>
+lalrcex::applyRandomEdit(EditableGrammar &E, EditRng &Rng,
+                         const std::vector<EditKind> &Kinds) {
+  if (Kinds.empty())
+    return std::nullopt;
+  // Bounded retry: some kinds have no target on degenerate grammars, and
+  // a structural edit can leave the start symbol unproductive (the
+  // automaton requires a productive start). Every retry draws fresh
+  // randomness, so the stream stays deterministic per seed.
+  for (unsigned Attempt = 0; Attempt != 24; ++Attempt) {
+    EditableGrammar Candidate = E;
+    EditKind K = Kinds[Rng.below(unsigned(Kinds.size()))];
+    std::optional<std::string> Detail = Candidate.applyRandomEdit(K, Rng);
+    if (!Detail)
+      continue;
+    std::optional<Grammar> G = Candidate.build();
+    if (!G)
+      continue;
+    GrammarAnalysis A(*G);
+    if (!A.isProductive(G->startSymbol()))
+      continue;
+    E = std::move(Candidate);
+    return AppliedEdit{K, std::move(*Detail)};
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,134 @@
+//===- grammar/GrammarEdit.h - Structural grammar edits --------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An editable, name-based model of a Grammar plus a seeded random edit
+/// generator — the shared machinery behind the incremental-reuse edit
+/// oracle (tests/IncrementalOracleTest.cpp) and batch_analyze's
+/// -edit-loop replay mode.
+///
+/// EditableGrammar round-trips through GrammarBuilder: fromGrammar() then
+/// build() reproduces the original grammar exactly, including symbol ids
+/// (terminals are re-declared in id order, rules in production order), so
+/// edits that do not touch declaration order — renaming a nonterminal,
+/// toggling a precedence declaration, changing %expect — leave every
+/// symbol id and production index of the untouched part stable. That
+/// stability is what makes conflict-level cache reuse possible after such
+/// edits.
+///
+/// Random edits are drawn from a deterministic xorshift stream, so a seed
+/// fully determines an edit sequence; applyRandomEdit() additionally
+/// guarantees the edited grammar still builds and has a productive start
+/// symbol (retrying other candidate edits from the same stream otherwise).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_GRAMMAR_GRAMMAREDIT_H
+#define LALRCEX_GRAMMAR_GRAMMAREDIT_H
+
+#include "grammar/Grammar.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lalrcex {
+
+/// The single-production edit kinds of the incremental-reuse oracle.
+enum class EditKind : uint8_t {
+  AddAlternative,      ///< append a fresh alternative to one nonterminal
+  RemoveAlternative,   ///< drop one alternative (never the last one)
+  ReorderAlternatives, ///< rotate one nonterminal's alternatives
+  RenameNonterminal,   ///< rename one nonterminal to a fresh name
+  TogglePrecedence,    ///< add/remove one terminal's precedence
+  ToggleExpect,        ///< change the %expect declaration
+};
+
+/// Short stable name ("add-alternative", ...), for logs and bench labels.
+const char *editKindName(EditKind K);
+
+/// Deterministic xorshift64* stream; seed 0 is remapped to a fixed
+/// nonzero constant.
+class EditRng {
+public:
+  explicit EditRng(uint64_t Seed) : S(Seed ? Seed : 0x9e3779b97f4a7c15) {}
+  uint64_t next();
+  /// Uniform-ish draw in [0, N); N must be nonzero.
+  unsigned below(unsigned N) { return unsigned(next() % N); }
+
+private:
+  uint64_t S;
+};
+
+/// A mutable, name-based grammar model (see file comment).
+class EditableGrammar {
+public:
+  struct Rule {
+    std::string Lhs;
+    std::vector<std::string> Rhs;
+    /// Explicit %prec terminal name; empty when the rule uses the yacc
+    /// default (last terminal of Rhs).
+    std::string Prec;
+  };
+  struct PrecLevel {
+    Assoc A = Assoc::None;
+    /// Terminal names at this level; may be empty (a removed declaration
+    /// keeps its level slot so other levels never renumber).
+    std::vector<std::string> Names;
+  };
+
+  /// Deconstructs \p G into the model. build() on the result reproduces
+  /// \p G exactly (same fingerprint, same ids).
+  static EditableGrammar fromGrammar(const Grammar &G);
+
+  /// Rebuilds a Grammar via GrammarBuilder. \returns nullopt (with the
+  /// builder's message in \p Error) when the edits left the model
+  /// inconsistent.
+  std::optional<Grammar> build(std::string *Error = nullptr) const;
+
+  /// Applies one random edit of kind \p K. \returns the edit description,
+  /// or nullopt when the kind has no applicable target (e.g. no terminal
+  /// to toggle). The model may be left edited-but-unbuildable; callers
+  /// wanting a guaranteed-valid result use the free applyRandomEdit().
+  std::optional<std::string> applyRandomEdit(EditKind K, EditRng &Rng);
+
+  const std::vector<Rule> &rules() const { return Rules; }
+  const std::vector<std::string> &terminals() const { return Terminals; }
+  const std::string &startName() const { return StartName; }
+
+private:
+  std::vector<std::string> nonterminalNames() const;
+  std::string freshName(const std::string &Base) const;
+  bool knownName(const std::string &Name) const;
+
+  std::vector<std::string> Terminals; ///< id order, "$" excluded
+  std::vector<PrecLevel> Levels;      ///< ascending level order
+  std::vector<Rule> Rules;            ///< production order, augmented excluded
+  std::string StartName;
+  int ExpectSr = -1;
+  int ExpectRr = -1;
+};
+
+/// One validated random edit: kind chosen from \p Kinds (uniformly), then
+/// applied so that the edited grammar builds and keeps a productive start
+/// symbol. Retries with fresh draws a bounded number of times; \returns
+/// the applied kind and description, or nullopt when no valid edit was
+/// found (degenerate grammars).
+struct AppliedEdit {
+  EditKind K = EditKind::AddAlternative;
+  std::string Detail;
+};
+std::optional<AppliedEdit>
+applyRandomEdit(EditableGrammar &E, EditRng &Rng,
+                const std::vector<EditKind> &Kinds);
+
+/// All six edit kinds, the default menu for oracle tests and -edit-loop.
+const std::vector<EditKind> &allEditKinds();
+
+} // namespace lalrcex
+
+#endif // LALRCEX_GRAMMAR_GRAMMAREDIT_H

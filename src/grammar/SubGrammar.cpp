@@ -1,0 +1,140 @@
+//===- grammar/SubGrammar.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/SubGrammar.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace lalrcex;
+
+unsigned SubGrammarIndex::ntIndex(Symbol S) const {
+  assert(G.isNonterminal(S) && "expected a nonterminal");
+  return unsigned(S.id()) - G.numTerminals();
+}
+
+SubGrammarIndex::SubGrammarIndex(const Grammar &InG)
+    : G(InG), NumNts(InG.numNonterminals()),
+      Words((NumNts + 63) / 64) {
+  Closure.assign(size_t(NumNts) * Words, 0);
+
+  // Seed: each nonterminal reaches itself and every nonterminal on the
+  // right-hand side of its productions.
+  auto set = [&](unsigned Row, unsigned Bit) {
+    Closure[size_t(Row) * Words + Bit / 64] |= uint64_t(1) << (Bit % 64);
+  };
+  for (unsigned N = 0; N != NumNts; ++N) {
+    set(N, N);
+    Symbol Nt(int32_t(G.numTerminals() + N));
+    for (unsigned P : G.productionsOf(Nt))
+      for (Symbol S : G.production(P).Rhs)
+        if (G.isNonterminal(S))
+          set(N, ntIndex(S));
+  }
+
+  // Transitive closure by word-parallel row unions until a fixpoint: when
+  // row i has bit j set, fold row j into row i. Grammars here are at most
+  // a few thousand nonterminals, so the dense fixpoint is cheap.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned N = 0; N != NumNts; ++N) {
+      uint64_t *Row = Closure.data() + size_t(N) * Words;
+      for (unsigned J = 0; J != NumNts; ++J) {
+        if (J == N || !(Row[J / 64] >> (J % 64) & 1))
+          continue;
+        const uint64_t *Other = closureWords(J);
+        for (unsigned W = 0; W != Words; ++W) {
+          uint64_t Merged = Row[W] | Other[W];
+          if (Merged != Row[W]) {
+            Row[W] = Merged;
+            Changed = true;
+          }
+        }
+      }
+    }
+  }
+}
+
+bool SubGrammarIndex::reaches(Symbol From, Symbol To) const {
+  unsigned Bit = ntIndex(To);
+  return closureWords(ntIndex(From))[Bit / 64] >> (Bit % 64) & 1;
+}
+
+std::vector<Symbol> SubGrammarIndex::slice(Symbol Root) const {
+  return slice(std::vector<Symbol>{Root});
+}
+
+std::vector<Symbol>
+SubGrammarIndex::slice(const std::vector<Symbol> &Roots) const {
+  std::vector<uint64_t> Union(Words, 0);
+  for (Symbol R : Roots) {
+    const uint64_t *Row = closureWords(ntIndex(R));
+    for (unsigned W = 0; W != Words; ++W)
+      Union[W] |= Row[W];
+  }
+  std::vector<Symbol> Out;
+  for (unsigned N = 0; N != NumNts; ++N)
+    if (Union[N / 64] >> (N % 64) & 1)
+      Out.push_back(Symbol(int32_t(G.numTerminals() + N)));
+  return Out;
+}
+
+Fingerprint128 SubGrammarIndex::subGrammarHash(Symbol Root) const {
+  // Canonical and name-based: slice nonterminals sorted by name, each
+  // contributing its productions in declaration order as right-hand-side
+  // name lists plus the explicit-or-default precedence symbol name. No
+  // symbol ids, no production indices, no precedence levels — so the hash
+  // survives any edit outside the slice, including edits that shift the
+  // id universe.
+  std::vector<Symbol> Slice = slice(Root);
+  std::sort(Slice.begin(), Slice.end(), [&](Symbol A, Symbol B) {
+    return G.name(A) < G.name(B);
+  });
+  StableHasher H;
+  H.addString("lalrcex-subgrammar");
+  H.addU32(unsigned(Slice.size()));
+  for (Symbol Nt : Slice) {
+    H.addString(G.name(Nt));
+    const std::vector<unsigned> &Prods = G.productionsOf(Nt);
+    H.addU32(unsigned(Prods.size()));
+    for (unsigned P : Prods) {
+      const Production &Prod = G.production(P);
+      H.addU32(unsigned(Prod.Rhs.size()));
+      for (Symbol S : Prod.Rhs)
+        H.addString(G.name(S));
+      H.addString(Prod.PrecSym.valid() ? G.name(Prod.PrecSym)
+                                       : std::string());
+    }
+  }
+  return H.finish();
+}
+
+Fingerprint128
+SubGrammarIndex::idBoundSliceHash(const std::vector<Symbol> &Roots) const {
+  // Structural and id-based: the slice as the automaton sees it. Names
+  // and precedence are deliberately absent — conflict reports are a
+  // function of automaton structure only (symbol names are re-rendered
+  // from the live grammar; precedence only selects which conflicts are
+  // reported, and the conflict record is part of the cache key).
+  StableHasher H;
+  H.addString("lalrcex-slice-id");
+  std::vector<Symbol> Slice = slice(Roots);
+  H.addU32(unsigned(Slice.size()));
+  for (Symbol Nt : Slice) {
+    H.addU32(uint32_t(Nt.id()));
+    const std::vector<unsigned> &Prods = G.productionsOf(Nt);
+    H.addU32(unsigned(Prods.size()));
+    for (unsigned P : Prods) {
+      const Production &Prod = G.production(P);
+      H.addU32(P);
+      H.addU32(unsigned(Prod.Rhs.size()));
+      for (Symbol S : Prod.Rhs)
+        H.addU32(uint32_t(S.id()));
+    }
+  }
+  return H.finish();
+}

@@ -55,6 +55,8 @@ const char *const CounterNames[metric::NumCounters] = {
     "cache.misses",
     "cache.degradations",
     "cache.stores",
+    "cache.conflicts_reused",
+    "cache.conflicts_recomputed",
     "examine.runs",
     "examine.conflicts",
     "examine.worker_failures",

@@ -70,6 +70,8 @@ enum Counter : unsigned {
   CacheMisses,
   CacheDegradations,
   CacheStores,
+  CacheConflictsReused,
+  CacheConflictsRecomputed,
   ExamineRuns,
   ExamineConflicts,
   ExamineWorkerFailures,

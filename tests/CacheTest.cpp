@@ -5,10 +5,15 @@
 // The cache subsystem's contract, tested from the bottom up: fingerprint
 // stability and sensitivity (precedence flips, production reorders,
 // renames, format-version bumps all invalidate), save -> load -> save
-// byte-identity for all three blob kinds, warm report sets byte-identical
+// byte-identity for all four blob kinds, warm report sets byte-identical
 // to cold across job counts, and graceful degradation — corrupt,
 // truncated, mis-keyed, and version-mismatched blobs all fall back to a
 // cold recompute with a structured probe/FailureReason, never a crash.
+// The conflict-granularity sections extend the same contract to `.crep`
+// blobs (damage to one conflict's blob degrades only that conflict; a
+// partially populated cache round-trips byte-identically) and to the
+// collectGarbage() size cap (oldest-first whole-blob eviction, temp-file
+// sweep; an evicted blob is a plain miss, never a degradation).
 //
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +25,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 
@@ -454,6 +460,311 @@ TEST(AnalysisCacheTest, RandomGrammarsRoundTripThroughDisk) {
     ASSERT_TRUE(P.hit()) << Text << P.Detail;
     EXPECT_EQ(serializeAnalysis(*Out.T), serializeAnalysis(T)) << Text;
   }
+  std::filesystem::remove_all(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Conflict-granularity blobs
+//===----------------------------------------------------------------------===//
+
+/// Reuse-eligible deterministic budgets: the fine-grained layer switches
+/// itself off under a finite cumulative budget (cross-conflict budget
+/// coupling breaks report purity), so these tests cap only the
+/// per-conflict step count.
+FinderOptions fineGrainedOptions() {
+  FinderOptions Opts;
+  Opts.ConflictTimeLimitSeconds = 0;
+  Opts.CumulativeTimeLimitSeconds = 0;
+  Opts.MaxConfigurations = 50'000;
+  return Opts;
+}
+
+/// serializeReports bytes with the wall-clock Seconds field zeroed on
+/// every report — the only field that may differ between a cold
+/// recompute and a re-served report of the same conflict.
+std::string reportBytesNoTiming(const BuiltGrammar &B,
+                                const FinderOptions &Opts,
+                                std::vector<ConflictReport> Reports) {
+  for (ConflictReport &R : Reports)
+    R.Seconds = 0;
+  return serializeReports(B.G, AutomatonKind::Lalr1, Opts, Reports);
+}
+
+TEST(ConflictBlobTest, SaveLoadSaveByteIdentical) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus("SQL.3");
+  FinderOptions Opts = fineGrainedOptions();
+  CounterexampleFinder Finder(B.T, Opts);
+  std::vector<ConflictReport> Reports = Finder.examineAll();
+  std::vector<Conflict> Conflicts = B.T.reportedConflicts();
+  ASSERT_GE(Conflicts.size(), 2u);
+  ASSERT_EQ(Reports.size(), Conflicts.size());
+
+  ConflictKeyContext Ctx(B.M, Opts);
+  for (size_t I = 0; I != Conflicts.size(); ++I) {
+    Fingerprint128 Key = Ctx.conflictFingerprint(Conflicts[I]);
+    std::string Blob = serializeConflictReport(Key, Reports[I]);
+    ConflictReport Out;
+    CacheProbe P =
+        deserializeConflictReport(Blob, Key, B.G, Conflicts[I], Out);
+    ASSERT_TRUE(P.hit()) << P.Detail;
+    EXPECT_EQ(serializeConflictReport(Key, Out), Blob);
+    EXPECT_EQ(Finder.render(Out), Finder.render(Reports[I]));
+    EXPECT_EQ(Out.Seconds, Reports[I].Seconds);
+  }
+
+  // A blob presented for a different live conflict is rejected even
+  // under its own key: the embedded conflict record disagrees, so a
+  // fingerprint collision can never serve a wrong report.
+  Fingerprint128 K0 = Ctx.conflictFingerprint(Conflicts[0]);
+  std::string Blob = serializeConflictReport(K0, Reports[0]);
+  ConflictReport Out;
+  CacheProbe P = deserializeConflictReport(Blob, K0, B.G, Conflicts[1], Out);
+  EXPECT_EQ(P.Outcome, CacheOutcome::KeyMismatch);
+}
+
+TEST(ConflictBlobTest, KeySensitivity) {
+  BuiltGrammar B = BuiltGrammar::fromCorpus("SQL.3");
+  FinderOptions Opts = fineGrainedOptions();
+  ConflictKeyContext Ctx(B.M, Opts);
+  std::vector<Conflict> Conflicts = B.T.reportedConflicts();
+  ASSERT_GE(Conflicts.size(), 2u);
+
+  // Distinct conflicts get distinct keys (the conflict record is in the
+  // key), and the same conflict keys identically across contexts.
+  std::vector<std::string> Hexes;
+  for (const Conflict &C : Conflicts)
+    Hexes.push_back(Ctx.conflictFingerprint(C).hex());
+  std::sort(Hexes.begin(), Hexes.end());
+  EXPECT_EQ(std::unique(Hexes.begin(), Hexes.end()) - Hexes.begin(),
+            long(Conflicts.size()));
+  ConflictKeyContext Again(B.M, Opts);
+  EXPECT_EQ(Again.conflictFingerprint(Conflicts[0]),
+            Ctx.conflictFingerprint(Conflicts[0]));
+
+  // Report-content options fold into the key; Jobs must not (reports
+  // are byte-identical across job counts), and the version salt must.
+  FinderOptions Budget = Opts;
+  Budget.MaxConfigurations += 1;
+  EXPECT_NE(ConflictKeyContext(B.M, Budget).conflictFingerprint(Conflicts[0]),
+            Ctx.conflictFingerprint(Conflicts[0]));
+  FinderOptions Jobs = Opts;
+  Jobs.Jobs = 7;
+  EXPECT_EQ(ConflictKeyContext(B.M, Jobs).conflictFingerprint(Conflicts[0]),
+            Ctx.conflictFingerprint(Conflicts[0]));
+  EXPECT_NE(ConflictKeyContext(B.M, Opts, FormatVersion + 1)
+                .conflictFingerprint(Conflicts[0]),
+            Ctx.conflictFingerprint(Conflicts[0]));
+}
+
+TEST(ConflictBlobTest, DamageDegradesOnlyThatConflict) {
+  std::string Dir = tempCacheDir("crep_damage");
+  BuiltGrammar B = BuiltGrammar::fromCorpus("SQL.3");
+  FinderOptions Opts = fineGrainedOptions();
+  Opts.CachePath = Dir;
+
+  CounterexampleFinder Cold(B.T, Opts);
+  std::vector<ConflictReport> ColdReports = Cold.examineAll();
+  const size_t N = ColdReports.size();
+  ASSERT_GE(N, 2u);
+  EXPECT_EQ(Cold.cacheActivity().ConflictsReused, 0u);
+  EXPECT_EQ(Cold.cacheActivity().ConflictsRecomputed, N);
+
+  AnalysisCache Cache(Dir);
+  ConflictKeyContext Ctx(B.M, Opts);
+  std::vector<Conflict> Conflicts = B.T.reportedConflicts();
+  std::string RepPath = Cache.blobPath(B.G, AutomatonKind::Lalr1, "rep",
+                                       &Opts);
+
+  // Bit-flip one conflict's blob. The whole-set blob is removed first so
+  // the fine-grained path actually runs.
+  ASSERT_TRUE(std::filesystem::remove(RepPath));
+  std::string CrepPath =
+      Cache.conflictBlobPath(Ctx.conflictFingerprint(Conflicts[0]));
+  std::string Blob = readFile(CrepPath);
+  ASSERT_GT(Blob.size(), 60u);
+  Blob[50] = char(Blob[50] ^ 0x20);
+  writeFile(CrepPath, Blob);
+
+  CounterexampleFinder Warm(B.T, Opts);
+  std::vector<ConflictReport> WarmReports = Warm.examineAll();
+  EXPECT_FALSE(Warm.cacheActivity().ReportsFromCache);
+  EXPECT_EQ(Warm.cacheActivity().ConflictsReused, N - 1);
+  EXPECT_EQ(Warm.cacheActivity().ConflictsRecomputed, 1u);
+  ASSERT_TRUE(Warm.cacheActivity().Degradation);
+  EXPECT_EQ(Warm.cacheActivity().Degradation->Stage, "cache-load");
+  EXPECT_EQ(Warm.cacheActivity().Degradation->K,
+            FailureReason::InternalError);
+  ASSERT_EQ(WarmReports.size(), N);
+  EXPECT_EQ(reportBytesNoTiming(B, Opts, WarmReports),
+            reportBytesNoTiming(B, Opts, ColdReports));
+
+  // Truncating a different conflict's blob likewise degrades only that
+  // conflict (the damaged blob was healed by the recompute above, and
+  // the whole-set blob was re-published, so remove it again).
+  ASSERT_TRUE(std::filesystem::remove(RepPath));
+  std::string Crep1 =
+      Cache.conflictBlobPath(Ctx.conflictFingerprint(Conflicts[1]));
+  std::string Blob1 = readFile(Crep1);
+  writeFile(Crep1, Blob1.substr(0, Blob1.size() / 2));
+
+  CounterexampleFinder Trunc(B.T, Opts);
+  std::vector<ConflictReport> TruncReports = Trunc.examineAll();
+  EXPECT_EQ(Trunc.cacheActivity().ConflictsReused, N - 1);
+  EXPECT_EQ(Trunc.cacheActivity().ConflictsRecomputed, 1u);
+  ASSERT_TRUE(Trunc.cacheActivity().Degradation);
+  EXPECT_EQ(reportBytesNoTiming(B, Opts, TruncReports),
+            reportBytesNoTiming(B, Opts, ColdReports));
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(ConflictBlobTest, PartiallyPopulatedCacheRoundTrips) {
+  // A missing `.crep` (e.g. a GC eviction) is a plain miss: the conflict
+  // is recomputed, nothing is recorded as a degradation, and the
+  // assembled report set is byte-identical to the cold one.
+  std::string Dir = tempCacheDir("crep_partial");
+  BuiltGrammar B = BuiltGrammar::fromCorpus("SQL.3");
+  FinderOptions Opts = fineGrainedOptions();
+  Opts.CachePath = Dir;
+
+  CounterexampleFinder Cold(B.T, Opts);
+  std::vector<ConflictReport> ColdReports = Cold.examineAll();
+  const size_t N = ColdReports.size();
+  ASSERT_GE(N, 2u);
+
+  AnalysisCache Cache(Dir);
+  ConflictKeyContext Ctx(B.M, Opts);
+  std::vector<Conflict> Conflicts = B.T.reportedConflicts();
+  ASSERT_TRUE(std::filesystem::remove(
+      Cache.blobPath(B.G, AutomatonKind::Lalr1, "rep", &Opts)));
+  ASSERT_TRUE(std::filesystem::remove(
+      Cache.conflictBlobPath(Ctx.conflictFingerprint(Conflicts[1]))));
+
+  CounterexampleFinder Partial(B.T, Opts);
+  std::vector<ConflictReport> Reports = Partial.examineAll();
+  EXPECT_EQ(Partial.cacheActivity().ConflictsReused, N - 1);
+  EXPECT_EQ(Partial.cacheActivity().ConflictsRecomputed, 1u);
+  EXPECT_FALSE(Partial.cacheActivity().Degradation);
+  EXPECT_EQ(reportBytesNoTiming(B, Opts, Reports),
+            reportBytesNoTiming(B, Opts, ColdReports));
+
+  // The recompute re-published everything: the next run is a whole-set
+  // hit again.
+  CounterexampleFinder Healed(B.T, Opts);
+  Healed.examineAll();
+  EXPECT_TRUE(Healed.cacheActivity().ReportsFromCache);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(ConflictBlobTest, FiniteCumulativeBudgetDisablesReuse) {
+  // With a finite cumulative budget each conflict's effective budget
+  // depends on its predecessors, so per-conflict reports are not pure
+  // functions of their key: the fine-grained layer must switch off —
+  // counters stay zero and no `.crep` blob is ever published. The
+  // whole-set blob (one complete run's verbatim output) still works.
+  std::string Dir = tempCacheDir("crep_cumulative");
+  BuiltGrammar B = BuiltGrammar::fromCorpus("SQL.3");
+  FinderOptions Opts = deterministicOptions(); // finite cumulative cap
+  Opts.CachePath = Dir;
+
+  CounterexampleFinder Cold(B.T, Opts);
+  std::vector<ConflictReport> ColdReports = Cold.examineAll();
+  ASSERT_GE(ColdReports.size(), 2u);
+  EXPECT_EQ(Cold.cacheActivity().ConflictsReused, 0u);
+  EXPECT_EQ(Cold.cacheActivity().ConflictsRecomputed, 0u);
+  size_t Creps = 0;
+  for (const auto &E : std::filesystem::directory_iterator(Dir))
+    if (E.path().extension() == ".crep")
+      ++Creps;
+  EXPECT_EQ(Creps, 0u);
+
+  AnalysisCache Cache(Dir);
+  ASSERT_TRUE(std::filesystem::remove(
+      Cache.blobPath(B.G, AutomatonKind::Lalr1, "rep", &Opts)));
+  CounterexampleFinder Again(B.T, Opts);
+  std::vector<ConflictReport> AgainReports = Again.examineAll();
+  EXPECT_FALSE(Again.cacheActivity().ReportsFromCache);
+  EXPECT_EQ(Again.cacheActivity().ConflictsReused, 0u);
+  EXPECT_EQ(Again.cacheActivity().ConflictsRecomputed, 0u);
+  ASSERT_EQ(AgainReports.size(), ColdReports.size());
+  for (size_t I = 0; I != AgainReports.size(); ++I)
+    EXPECT_EQ(Again.render(AgainReports[I]), Cold.render(ColdReports[I]));
+  std::filesystem::remove_all(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Garbage collection
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisCacheGcTest, EvictsOldestFirstAndSweepsTemps) {
+  std::string Dir = tempCacheDir("gc_evict");
+  std::filesystem::create_directories(Dir);
+  writeFile(Dir + "/aaaa.crep", std::string(1'000, 'a'));
+  writeFile(Dir + "/bbbb.crep", std::string(1'000, 'b'));
+  writeFile(Dir + "/cccc.art", std::string(1'000, 'c'));
+  writeFile(Dir + "/dddd.rep.tmp.9f", std::string(500, 't'));
+  auto Now = std::filesystem::last_write_time(Dir + "/cccc.art");
+  std::filesystem::last_write_time(Dir + "/aaaa.crep",
+                                   Now - std::chrono::hours(2));
+  std::filesystem::last_write_time(Dir + "/bbbb.crep",
+                                   Now - std::chrono::hours(1));
+
+  // 3000 live bytes against a 2000-byte budget: the temp file is always
+  // swept, then exactly the oldest blob is evicted.
+  AnalysisCache Cache(Dir);
+  AnalysisCache::GcStats St = Cache.collectGarbage(2'000);
+  EXPECT_EQ(St.ScannedFiles, 4u);
+  EXPECT_EQ(St.ScannedBytes, 3'500u);
+  EXPECT_EQ(St.RemovedFiles, 2u);
+  EXPECT_EQ(St.RemovedBytes, 1'500u);
+  EXPECT_FALSE(std::filesystem::exists(Dir + "/aaaa.crep"));
+  EXPECT_TRUE(std::filesystem::exists(Dir + "/bbbb.crep"));
+  EXPECT_TRUE(std::filesystem::exists(Dir + "/cccc.art"));
+  EXPECT_FALSE(std::filesystem::exists(Dir + "/dddd.rep.tmp.9f"));
+
+  // Already under budget: nothing further to do.
+  St = Cache.collectGarbage(2'000);
+  EXPECT_EQ(St.ScannedFiles, 2u);
+  EXPECT_EQ(St.RemovedFiles, 0u);
+
+  // Zero budget: every blob goes; the directory itself stays.
+  St = Cache.collectGarbage(0);
+  EXPECT_EQ(St.RemovedFiles, 2u);
+  EXPECT_TRUE(std::filesystem::is_empty(Dir));
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(AnalysisCacheGcTest, MissingDirectoryIsANoOp) {
+  AnalysisCache Cache(tempCacheDir("gc_missing")); // never created
+  AnalysisCache::GcStats St = Cache.collectGarbage(0);
+  EXPECT_EQ(St.ScannedFiles, 0u);
+  EXPECT_EQ(St.RemovedFiles, 0u);
+}
+
+TEST(AnalysisCacheGcTest, EvictedBlobsMissAndRepopulate) {
+  // End-to-end with the finder: a full eviction is indistinguishable
+  // from a cold cache — plain misses, correct reports, repopulation.
+  std::string Dir = tempCacheDir("gc_finder");
+  BuiltGrammar B = BuiltGrammar::fromCorpus("figure1");
+  FinderOptions Opts = fineGrainedOptions();
+  Opts.CachePath = Dir;
+
+  CounterexampleFinder Cold(B.T, Opts);
+  std::vector<ConflictReport> ColdReports = Cold.examineAll();
+  AnalysisCache Cache(Dir);
+  Cache.collectGarbage(0);
+
+  CounterexampleFinder Re(B.T, Opts);
+  std::vector<ConflictReport> Reports = Re.examineAll();
+  EXPECT_FALSE(Re.cacheActivity().ReportsFromCache);
+  EXPECT_FALSE(Re.cacheActivity().Degradation);
+  EXPECT_EQ(Re.cacheActivity().ConflictsReused, 0u);
+  EXPECT_EQ(Re.cacheActivity().ConflictsRecomputed, Reports.size());
+  EXPECT_EQ(reportBytesNoTiming(B, Opts, Reports),
+            reportBytesNoTiming(B, Opts, ColdReports));
+
+  CounterexampleFinder Warm(B.T, Opts);
+  Warm.examineAll();
+  EXPECT_TRUE(Warm.cacheActivity().ReportsFromCache);
   std::filesystem::remove_all(Dir);
 }
 

@@ -1,0 +1,215 @@
+//===- tests/IncrementalOracleTest.cpp - Incremental edit oracle -*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+// The randomized edit oracle behind incremental re-analysis: starting
+// from a corpus or random grammar, apply a seeded stream of single-
+// production edits (add/remove/reorder alternatives, rename a
+// nonterminal, toggle precedence, toggle %expect) and after every edit
+// check that the incremental run — conflict-level cache reuse against
+// the accumulated cache — is byte-identical to a cold recompute, at
+// Jobs = 1 and Jobs = 4, and that the reuse counters are exactly the
+// per-conflict key-set intersection with everything the cache has seen.
+//
+// Budgets are deterministic (step caps only, no wall-clock deadlines,
+// unlimited cumulative budget): report bytes are then a pure function of
+// (automaton structure, options, conflict), which is the soundness
+// premise of conflict-level reuse, so any divergence is a real bug, not
+// noise.
+//
+//===----------------------------------------------------------------------===//
+
+#include "RandomGrammar.h"
+#include "TestUtil.h"
+#include "cache/AnalysisCache.h"
+#include "grammar/GrammarEdit.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+using namespace lalrcex;
+using namespace lalrcex::cache;
+
+namespace {
+
+std::string tempCacheDir(const std::string &Name) {
+  std::string Dir = ::testing::TempDir() + "lalrcex_oracle_" + Name;
+  std::filesystem::remove_all(Dir);
+  return Dir;
+}
+
+/// Deterministic and reuse-eligible: per-conflict step caps only. A
+/// finite cumulative budget would both add cross-conflict coupling and
+/// switch the fine-grained layer off (see cache/AnalysisCache.h).
+FinderOptions oracleOptions(size_t MaxConfigs) {
+  FinderOptions Opts;
+  Opts.ConflictTimeLimitSeconds = 0;
+  Opts.CumulativeTimeLimitSeconds = 0;
+  Opts.MaxConfigurations = MaxConfigs;
+  return Opts;
+}
+
+/// One full pipeline run (automaton rebuilt from scratch, reports via
+/// examineAll) plus everything the oracle compares.
+struct RunResult {
+  /// serializeReports bytes with every report's wall-clock Seconds
+  /// zeroed: the one field that legitimately differs between a cold
+  /// recompute and a re-served report of the same conflict.
+  std::string Bytes;
+  /// Rendered report text (renders no timings).
+  std::string Rendered;
+  size_t Reused = 0;
+  size_t Recomputed = 0;
+  bool WholeSetHit = false;
+  size_t NumConflicts = 0;
+  /// Per-conflict cache keys of this grammar's reported conflicts.
+  std::vector<std::string> Keys;
+};
+
+RunResult runOnce(const Grammar &G, FinderOptions Opts,
+                  const std::string &CacheDir, unsigned Jobs) {
+  BuiltGrammar B(G);
+  Opts.CachePath = CacheDir;
+  Opts.Jobs = Jobs;
+  CounterexampleFinder Finder(B.T, Opts);
+  std::vector<ConflictReport> Reports = Finder.examineAll();
+
+  RunResult R;
+  R.Reused = Finder.cacheActivity().ConflictsReused;
+  R.Recomputed = Finder.cacheActivity().ConflictsRecomputed;
+  R.WholeSetHit = Finder.cacheActivity().ReportsFromCache;
+  R.NumConflicts = Reports.size();
+
+  std::vector<ConflictReport> Zeroed = Reports;
+  for (ConflictReport &Rep : Zeroed)
+    Rep.Seconds = 0;
+  R.Bytes = serializeReports(B.G, B.M.kind(), Opts, Zeroed);
+  for (const ConflictReport &Rep : Reports)
+    R.Rendered += Finder.render(Rep);
+
+  ConflictKeyContext Ctx(B.M, Opts);
+  for (const Conflict &C : B.T.reportedConflicts())
+    R.Keys.push_back(Ctx.conflictFingerprint(C).hex());
+  return R;
+}
+
+/// Drives one grammar through \p NumEdits seeded edits, holding two
+/// independently primed cache directories so the Jobs = 1 and Jobs = 4
+/// incremental legs each see the full edit history.
+void runOracle(const Grammar &Initial, uint64_t Seed, unsigned NumEdits,
+               size_t MaxConfigs, const std::string &Tag) {
+  SCOPED_TRACE(Tag + " seed " + std::to_string(Seed));
+  std::string DirA = tempCacheDir(Tag + "_j1");
+  std::string DirB = tempCacheDir(Tag + "_j4");
+  FinderOptions Opts = oracleOptions(MaxConfigs);
+
+  EditableGrammar Model = EditableGrammar::fromGrammar(Initial);
+  EditRng Rng(Seed);
+
+  // The edit model round-trips exactly: same fingerprint, same ids.
+  std::optional<Grammar> G0 = Model.build();
+  ASSERT_TRUE(G0);
+  ASSERT_EQ(grammarFingerprint(*G0, AutomatonKind::Lalr1),
+            grammarFingerprint(Initial, AutomatonKind::Lalr1));
+
+  // Prime both cache directories with the pre-edit grammar; the first
+  // run of a fresh cache reuses nothing and recomputes everything.
+  std::set<std::string> Seen;
+  for (const std::string &Dir : {DirA, DirB}) {
+    RunResult Prime = runOnce(*G0, Opts, Dir, Dir == DirA ? 1u : 4u);
+    EXPECT_EQ(Prime.Reused, 0u);
+    EXPECT_EQ(Prime.Recomputed, Prime.NumConflicts);
+    for (const std::string &K : Prime.Keys)
+      Seen.insert(K);
+  }
+
+  for (unsigned E = 0; E != NumEdits; ++E) {
+    std::optional<AppliedEdit> Edit =
+        applyRandomEdit(Model, Rng, allEditKinds());
+    if (!Edit)
+      break; // degenerate grammar: no valid edit found
+    SCOPED_TRACE("edit #" + std::to_string(E) + ": " + Edit->Detail);
+    std::optional<Grammar> Edited = Model.build();
+    ASSERT_TRUE(Edited) << "validated edit no longer builds";
+
+    RunResult Cold = runOnce(*Edited, Opts, std::string(), 1);
+    EXPECT_EQ(Cold.Reused, 0u);
+    EXPECT_EQ(Cold.Recomputed, 0u); // cacheless runs count nothing
+
+    // The exact expectation, from the key layer itself: a conflict is
+    // re-served iff its key is already in the cache, i.e. appeared in
+    // any earlier run of this edit history.
+    size_t ExpectReused = 0;
+    for (const std::string &K : Cold.Keys)
+      if (Seen.count(K))
+        ++ExpectReused;
+
+    for (unsigned Jobs : {1u, 4u}) {
+      RunResult Incr =
+          runOnce(*Edited, Opts, Jobs == 1 ? DirA : DirB, Jobs);
+      SCOPED_TRACE("Jobs=" + std::to_string(Jobs));
+      // Byte-identity with the cold recompute, and identical rendering.
+      EXPECT_EQ(Incr.Bytes, Cold.Bytes);
+      EXPECT_EQ(Incr.Rendered, Cold.Rendered);
+      if (Incr.WholeSetHit) {
+        // This edit recreated a previously seen grammar (e.g. %expect
+        // toggled back): the whole-set key hit and the fine-grained
+        // layer never ran.
+        EXPECT_EQ(Incr.Reused, 0u);
+        EXPECT_EQ(Incr.Recomputed, 0u);
+      } else {
+        EXPECT_EQ(Incr.Reused, ExpectReused);
+        EXPECT_EQ(Incr.Recomputed, Incr.NumConflicts - ExpectReused);
+      }
+    }
+    for (const std::string &K : Cold.Keys)
+      Seen.insert(K);
+  }
+
+  std::filesystem::remove_all(DirA);
+  std::filesystem::remove_all(DirB);
+}
+
+TEST(IncrementalOracleTest, CorpusGrammars) {
+  struct Entry {
+    const char *Name;
+    uint64_t Seed;
+  };
+  // A cross-section of the corpus: the paper's running example, a
+  // precedence-heavy grammar, and real-language extracts with both
+  // shift/reduce and reduce/reduce conflicts.
+  for (const Entry &E : {Entry{"figure1", 11}, Entry{"figure3", 12},
+                         Entry{"expr_prec_unresolved", 13},
+                         Entry{"SQL.1", 14}, Entry{"SQL.3", 15},
+                         Entry{"xi", 16}}) {
+    runOracle(loadCorpusGrammar(E.Name), E.Seed, 4, 20'000,
+              std::string("corpus_") + E.Name);
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+}
+
+TEST(IncrementalOracleTest, RandomGrammars) {
+  // 40 seeded random grammars, two edits each. Many are conflict-free —
+  // the oracle must hold there too (empty report sets, zero counters).
+  unsigned Driven = 0;
+  for (uint64_t Seed = 0; Seed != 40; ++Seed) {
+    std::string Text = lalrcex::testing::randomGrammarText(
+        Seed, 4 + unsigned(Seed % 5), 4);
+    std::optional<Grammar> G = parseGrammarText(Text);
+    ASSERT_TRUE(G) << Text;
+    GrammarAnalysis A(*G);
+    if (!A.isProductive(G->startSymbol()))
+      continue; // the automaton requires a productive start symbol
+    runOracle(*G, Seed + 100, 2, 5'000,
+              "random_" + std::to_string(Seed));
+    if (::testing::Test::HasFatalFailure())
+      return;
+    ++Driven;
+  }
+  EXPECT_GT(Driven, 20u); // the sweep is not allowed to degenerate
+}
+
+} // namespace

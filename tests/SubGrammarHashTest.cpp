@@ -1,0 +1,231 @@
+//===- tests/SubGrammarHashTest.cpp - Sub-grammar slice hashes -*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+// The fine-grained fingerprint layer's property suite. The contract that
+// makes conflict-level cache reuse sound: a nonterminal's sub-grammar
+// hash is invariant under any edit outside its reachable slice, changes
+// whenever any production inside the slice changes, and is stable across
+// reordering of unrelated nonterminals' rules. The id-bound variant is
+// additionally name-free, which is what lets per-conflict cache keys
+// survive renames.
+//
+//===----------------------------------------------------------------------===//
+
+#include "RandomGrammar.h"
+#include "TestUtil.h"
+#include "grammar/SubGrammar.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace lalrcex;
+
+namespace {
+
+Grammar parsed(const std::string &Text) {
+  std::string Err;
+  std::optional<Grammar> G = parseGrammarText(Text, &Err);
+  EXPECT_TRUE(G) << Err << "\n" << Text;
+  return std::move(*G);
+}
+
+Symbol symbolByName(const Grammar &G, const std::string &Name) {
+  for (unsigned S = 0; S != G.numSymbols(); ++S) {
+    Symbol Sym{int32_t(S)};
+    if (G.name(Sym) == Name)
+      return Sym;
+  }
+  ADD_FAILURE() << "no symbol named " << Name;
+  return Symbol();
+}
+
+std::vector<std::string> sliceNames(const Grammar &G,
+                                    const SubGrammarIndex &Idx,
+                                    const std::string &Root) {
+  std::vector<std::string> Names;
+  for (Symbol S : Idx.slice(symbolByName(G, Root)))
+    Names.push_back(G.name(S));
+  std::sort(Names.begin(), Names.end());
+  return Names;
+}
+
+/// Name-based slice hash of \p Root, looked up by name so the two sides
+/// of a comparison may disagree on symbol ids.
+Fingerprint128 hashOf(const Grammar &G, const std::string &Root) {
+  return SubGrammarIndex(G).subGrammarHash(symbolByName(G, Root));
+}
+
+// The running example: two independent sub-languages under one start.
+// slice(a) = {a}, slice(b) = {b}, slice(s) = {s, a, b}.
+const char *Base = "%%\n"
+                   "s : a | b ;\n"
+                   "a : x a | y ;\n"
+                   "b : z b | w ;\n";
+
+TEST(SubGrammarSliceTest, ClosureContents) {
+  Grammar G = parsed(Base);
+  SubGrammarIndex Idx(G);
+
+  EXPECT_EQ(sliceNames(G, Idx, "a"), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(sliceNames(G, Idx, "b"), (std::vector<std::string>{"b"}));
+  // The start slice also carries the augmented start nonterminal's name
+  // only if it is rooted there; rooting at "s" must not.
+  EXPECT_EQ(sliceNames(G, Idx, "s"),
+            (std::vector<std::string>{"a", "b", "s"}));
+
+  Symbol S = symbolByName(G, "s"), A = symbolByName(G, "a"),
+         B = symbolByName(G, "b");
+  EXPECT_TRUE(Idx.reaches(S, S)); // reflexive
+  EXPECT_TRUE(Idx.reaches(S, A));
+  EXPECT_TRUE(Idx.reaches(S, B));
+  EXPECT_FALSE(Idx.reaches(A, B));
+  EXPECT_FALSE(Idx.reaches(A, S));
+
+  // Slices come back in ascending id order.
+  std::vector<Symbol> Slice = Idx.slice(S);
+  for (size_t I = 1; I < Slice.size(); ++I)
+    EXPECT_LT(Slice[I - 1].id(), Slice[I].id());
+
+  // Union slice of independent roots is the set union.
+  EXPECT_EQ(Idx.slice(std::vector<Symbol>{A, B}).size(), 2u);
+}
+
+TEST(SubGrammarHashTest, InvariantUnderEditOutsideSlice) {
+  // Editing b's productions cannot touch a's slice: hash(a) must not
+  // move, while hash(b) and hash(s) (whose slices contain b) must.
+  Grammar G1 = parsed(Base);
+  Grammar G2 = parsed("%%\n"
+                      "s : a | b ;\n"
+                      "a : x a | y ;\n"
+                      "b : z b | w w ;\n");
+  EXPECT_EQ(hashOf(G1, "a"), hashOf(G2, "a"));
+  EXPECT_NE(hashOf(G1, "b"), hashOf(G2, "b"));
+  EXPECT_NE(hashOf(G1, "s"), hashOf(G2, "s"));
+}
+
+TEST(SubGrammarHashTest, ChangesWhenSliceProductionChanges) {
+  // The dual: editing a's productions moves every hash whose slice
+  // contains a — including transitively through s — and no other.
+  Grammar G1 = parsed(Base);
+  Grammar G2 = parsed("%%\n"
+                      "s : a | b ;\n"
+                      "a : x x a | y ;\n"
+                      "b : z b | w ;\n");
+  EXPECT_NE(hashOf(G1, "a"), hashOf(G2, "a"));
+  EXPECT_NE(hashOf(G1, "s"), hashOf(G2, "s"));
+  EXPECT_EQ(hashOf(G1, "b"), hashOf(G2, "b"));
+
+  // Removing an alternative is also a slice change.
+  Grammar G3 = parsed("%%\n"
+                      "s : a | b ;\n"
+                      "a : x a ;\n"
+                      "b : z b | w ;\n");
+  EXPECT_NE(hashOf(G1, "a"), hashOf(G3, "a"));
+}
+
+TEST(SubGrammarHashTest, StableAcrossUnrelatedReorder) {
+  Grammar G1 = parsed(Base);
+
+  // Swapping whole rule blocks of different nonterminals renumbers
+  // productions (and symbol ids) but changes no slice's content: every
+  // name-based hash is stable.
+  Grammar G2 = parsed("%%\n"
+                      "s : a | b ;\n"
+                      "b : z b | w ;\n"
+                      "a : x a | y ;\n");
+  EXPECT_EQ(hashOf(G1, "s"), hashOf(G2, "s"));
+  EXPECT_EQ(hashOf(G1, "a"), hashOf(G2, "a"));
+  EXPECT_EQ(hashOf(G1, "b"), hashOf(G2, "b"));
+
+  // Reordering *within* one nonterminal is a real slice change (conflict
+  // resolution is declaration-order-sensitive): b and everything that
+  // reaches b move, a does not.
+  Grammar G3 = parsed("%%\n"
+                      "s : a | b ;\n"
+                      "a : x a | y ;\n"
+                      "b : w | z b ;\n");
+  EXPECT_EQ(hashOf(G1, "a"), hashOf(G3, "a"));
+  EXPECT_NE(hashOf(G1, "b"), hashOf(G3, "b"));
+  EXPECT_NE(hashOf(G1, "s"), hashOf(G3, "s"));
+}
+
+TEST(SubGrammarHashTest, NameBasedSeesRenamesIdBoundDoesNot) {
+  // Renaming b -> bb keeps declaration order, hence every symbol id and
+  // production index. The id-bound hash (what conflict cache keys use)
+  // must not move; the name-based hash of any slice containing b must.
+  Grammar G1 = parsed(Base);
+  Grammar G2 = parsed("%%\n"
+                      "s : a | bb ;\n"
+                      "a : x a | y ;\n"
+                      "bb : z bb | w ;\n");
+  SubGrammarIndex I1(G1), I2(G2);
+
+  Symbol S1 = symbolByName(G1, "s"), S2 = symbolByName(G2, "s");
+  ASSERT_EQ(S1, S2) << "rename unexpectedly shifted ids";
+  EXPECT_EQ(I1.idBoundSliceHash({S1}), I2.idBoundSliceHash({S2}));
+  EXPECT_NE(I1.subGrammarHash(S1), I2.subGrammarHash(S2));
+  EXPECT_EQ(I1.subGrammarHash(symbolByName(G1, "a")),
+            I2.subGrammarHash(symbolByName(G2, "a")));
+
+  // And the id-bound hash still sees genuine slice changes.
+  Grammar G3 = parsed("%%\n"
+                      "s : a | b ;\n"
+                      "a : x x a | y ;\n"
+                      "b : z b | w ;\n");
+  SubGrammarIndex I3(G3);
+  EXPECT_NE(I1.idBoundSliceHash({S1}),
+            I3.idBoundSliceHash({symbolByName(G3, "s")}));
+}
+
+TEST(SubGrammarHashTest, RandomGrammarProperties) {
+  // Fuzz-style sweep: determinism, closure monotonicity, and invariance
+  // under appending an unreachable nonterminal.
+  unsigned Checked = 0;
+  for (uint64_t Seed = 0; Seed != 20; ++Seed) {
+    std::string Text =
+        lalrcex::testing::randomGrammarText(Seed, 4 + unsigned(Seed % 4), 3);
+    std::optional<Grammar> G = parseGrammarText(Text);
+    ASSERT_TRUE(G) << Text;
+    SubGrammarIndex Idx(*G), Again(*G);
+
+    std::vector<Symbol> Nts;
+    for (unsigned S = 0; S != G->numSymbols(); ++S)
+      if (G->isNonterminal(Symbol{int32_t(S)}))
+        Nts.push_back(Symbol{int32_t(S)});
+
+    for (Symbol A : Nts) {
+      // Two independently built indexes agree on every hash.
+      EXPECT_EQ(Idx.subGrammarHash(A), Again.subGrammarHash(A));
+      EXPECT_EQ(Idx.idBoundSliceHash({A}), Again.idBoundSliceHash({A}));
+      // reaches(A, B) means slice(A) contains slice(B) wholesale.
+      for (Symbol B : Nts) {
+        if (!Idx.reaches(A, B))
+          continue;
+        std::vector<Symbol> SA = Idx.slice(A), SB = Idx.slice(B);
+        EXPECT_TRUE(std::includes(SA.begin(), SA.end(), SB.begin(),
+                                  SB.end(),
+                                  [](Symbol X, Symbol Y) {
+                                    return X.id() < Y.id();
+                                  }))
+            << Text;
+      }
+    }
+
+    // A fresh unreachable nonterminal shifts nothing reachable: every
+    // original nonterminal's name-based hash is byte-stable.
+    std::optional<Grammar> G2 = parseGrammarText(Text + "zz9 : zt zz9 ;\n");
+    ASSERT_TRUE(G2) << Text;
+    SubGrammarIndex Idx2(*G2);
+    for (Symbol A : Nts) {
+      EXPECT_EQ(Idx.subGrammarHash(A),
+                Idx2.subGrammarHash(symbolByName(*G2, G->name(A))))
+          << Text;
+      ++Checked;
+    }
+  }
+  EXPECT_GT(Checked, 50u); // the sweep actually exercised grammars
+}
+
+} // namespace
