@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <thread>
 
@@ -126,7 +127,9 @@ JsonWriter &JsonWriter::value(bool B) {
 }
 
 std::string lalrcex::bench::benchJsonPath(const std::string &Tool) {
-  std::string Dir;
+  // Default artifacts to bench/out/ so repeated runs never litter the
+  // source tree root; committed reference runs live in bench/baselines/.
+  std::string Dir = "bench/out";
   if (const char *Env = std::getenv("LALRCEX_BENCH_DIR"))
     Dir = Env;
   std::string File = "BENCH_" + Tool + ".json";
@@ -143,7 +146,7 @@ lalrcex::bench::writeBenchRecords(const std::string &Tool,
   JsonWriter W;
   W.beginObject();
   W.field("tool", Tool);
-  W.field("schema", size_t(5));
+  W.field("schema", size_t(6));
   // The measuring machine's parallel width: speedup gates consult this to
   // decide whether a parallel-vs-serial ratio is meaningful here at all.
   W.field("cpus", std::max(1u, std::thread::hardware_concurrency()));
@@ -171,8 +174,14 @@ lalrcex::bench::writeBenchRecords(const std::string &Tool,
       W.field("conflicts_reused", size_t(R.ConflictsReused));
     if (R.ConflictsRecomputed >= 0)
       W.field("conflicts_recomputed", size_t(R.ConflictsRecomputed));
+    if (R.ConflictsRemapped >= 0)
+      W.field("conflicts_remapped", size_t(R.ConflictsRemapped));
     if (!R.Edit.empty())
       W.field("edit", R.Edit);
+    if (R.StatesReused >= 0)
+      W.field("states_reused", size_t(R.StatesReused));
+    if (R.StatesRebuilt >= 0)
+      W.field("states_rebuilt", size_t(R.StatesRebuilt));
     W.field("configurations", R.Configurations);
     W.field("peak_bytes", R.PeakBytes);
     if (!R.Metrics.empty()) {
@@ -187,6 +196,10 @@ lalrcex::bench::writeBenchRecords(const std::string &Tool,
   W.endObject();
 
   std::string Path = benchJsonPath(Tool);
+  std::error_code Ec;
+  std::filesystem::path Parent = std::filesystem::path(Path).parent_path();
+  if (!Parent.empty())
+    std::filesystem::create_directories(Parent, Ec); // best-effort; open fails below
   std::ofstream OS(Path, std::ios::trunc);
   if (!OS) {
     std::fprintf(stderr, "warning: could not write %s\n", Path.c_str());

@@ -9,11 +9,11 @@
 /// file next to its human-readable output, so each PR's perf numbers can
 /// be compared against the recorded trajectory instead of eyeballed.
 ///
-/// Schema (version 5), documented in README.md:
+/// Schema (version 6), documented in README.md:
 ///
 ///   {
 ///     "tool": "<tool name>",
-///     "schema": 5,
+///     "schema": 6,
 ///     "cpus": <hardware concurrency of the measuring machine>,
 ///     "records": [
 ///       {
@@ -30,7 +30,11 @@
 ///         "cache_misses": <analysis-cache blob misses/degradations>,
 ///         "conflicts_reused": <conflict reports re-served fine-grained>,
 ///         "conflicts_recomputed": <conflicts examined cold>,
+///         "conflicts_remapped": <old-generation reports re-served via
+///                                the structural remap layer>,
 ///         "edit": "<edit-loop edit description>",
+///         "states_reused": <automaton states spliced by Automaton::patch>,
+///         "states_rebuilt": <automaton states re-closed by the patch>,
 ///         "configurations": <configurations explored>,
 ///         "peak_bytes": <peak guard-accounted bytes>,
 ///         "metrics": { "<dotted metric name>": <value>, ... }
@@ -46,9 +50,13 @@
 /// "jobs_inner", so speedup gates can tell whether the measuring machine
 /// could physically show a speedup; schema 5 added "conflicts_reused" /
 /// "conflicts_recomputed" / "edit" for batch_analyze's -edit-loop
-/// incremental-reuse records), so older consumers keep working. Files are
-/// written as BENCH_<tool>.json in $LALRCEX_BENCH_DIR (or the working
-/// directory when unset).
+/// incremental-reuse records; schema 6 added "states_reused" /
+/// "states_rebuilt" / "conflicts_remapped" for the dirty-state automaton
+/// patch those records now ride on), so older consumers keep working.
+/// Files are written as BENCH_<tool>.json in $LALRCEX_BENCH_DIR, or under
+/// bench/out/ relative to the working directory when the variable is
+/// unset (the directory is created on demand and gitignored; committed
+/// reference runs live in bench/baselines/).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -114,8 +122,15 @@ struct BenchRecord {
   /// < 0: not counted, omitted.
   long ConflictsReused = -1;
   long ConflictsRecomputed = -1;
+  /// Old-generation reports re-served through the structural remap layer
+  /// (schema 6, a subset of ConflictsReused); < 0: not counted, omitted.
+  long ConflictsRemapped = -1;
   /// Edit description for -edit-loop records (schema 5); empty: omitted.
   std::string Edit;
+  /// Automaton::patch state economics of the measured edit (schema 6);
+  /// < 0: the run rebuilt cold or was not an edit, omitted.
+  long StatesReused = -1;
+  long StatesRebuilt = -1;
   size_t Configurations = 0;
   size_t PeakBytes = 0;
   /// Flattened MetricsSnapshot of the measured run (name, value) pairs;
@@ -124,7 +139,8 @@ struct BenchRecord {
 };
 
 /// Resolved output path for a tool: $LALRCEX_BENCH_DIR/BENCH_<tool>.json,
-/// or ./BENCH_<tool>.json when the variable is unset.
+/// or bench/out/BENCH_<tool>.json (relative to the working directory)
+/// when the variable is unset. writeBenchRecords creates the directory.
 std::string benchJsonPath(const std::string &Tool);
 
 /// Writes BENCH_<tool>.json with the schema envelope above; returns the path

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Gate the dirty-state automaton patch against its edit-loop records.
+
+Reads the "edit-loop/<grammar>/<k>" rows of BENCH_batch_analyze.json
+(schema 6). Each post-baseline row carries the patch economics of that
+edit: "states_reused" (item closures spliced from the previous
+generation) and "states_rebuilt" (states whose closure was re-run or
+that are new), or neither field when the session fell back to a full
+cold rebuild (invalid delta, e.g. the edit changed the terminal set).
+batch_analyze already exits nonzero when a patched automaton is not
+byte-identical to a cold build — running it at all IS the equivalence
+half of this gate — so this script enforces the splice economics:
+
+1. Patching happens: each gated grammar needs at least one *structural*
+   patched edit (states_rebuilt > 0; pure-splice edits like precedence
+   toggles reuse everything trivially and prove nothing about the dirty
+   cone).
+
+2. Patching is narrow: on every structural patched edit, the spliced
+   share states_reused / (states_reused + states_rebuilt) must exceed
+   --min-state-reuse (default 0.50). A localized production edit that
+   dirties half the machine means the cone computation leaks.
+
+Cold-fallback edits are reported and exempt: the session is *supposed*
+to refuse the patch when the delta cannot be trusted.
+
+Usage:
+  check_automaton_reuse.py <current.json>
+        [--grammars sql] [--min-state-reuse 0.50]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    rows = {}
+    for rec in data.get("records", []):
+        name = rec.get("name", "")
+        if not name.startswith("edit-loop/"):
+            continue
+        try:
+            k = int(name.rsplit("/", 1)[1])
+        except ValueError:
+            continue
+        rows.setdefault(rec.get("grammar", "?"), []).append((k, rec))
+    for recs in rows.values():
+        recs.sort()
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("--grammars", default="",
+                    help="comma-separated grammars that must be present "
+                         "and pass (default: every grammar in the file)")
+    ap.add_argument("--min-state-reuse", type=float, default=0.50,
+                    help="minimum spliced share of states on every "
+                         "structural patched edit (default 0.50)")
+    args = ap.parse_args()
+
+    rows = load(args.current)
+    if not rows:
+        print(f"error: no edit-loop records in {args.current}",
+              file=sys.stderr)
+        return 2
+
+    gated = ([g.strip() for g in args.grammars.split(",") if g.strip()]
+             or sorted(rows))
+    failed = False
+
+    for grammar in gated:
+        recs = rows.get(grammar)
+        if not recs:
+            print(f"error: no edit-loop records for grammar '{grammar}' "
+                  f"in {args.current}", file=sys.stderr)
+            failed = True
+            continue
+
+        structural = 0
+        for k, rec in recs:
+            if k == 0:
+                continue  # baseline build, nothing to patch
+            edit = rec.get("edit", "?")
+            if "states_reused" not in rec:
+                print(f"  {grammar} #{k} [{edit}]: cold rebuild "
+                      f"(invalid delta) exempt")
+                continue
+            reused = rec.get("states_reused", 0)
+            rebuilt = rec.get("states_rebuilt", 0)
+            total = reused + rebuilt
+            if rebuilt == 0:
+                print(f"  {grammar} #{k} [{edit}]: pure splice "
+                      f"{reused}/{total} states (non-structural)")
+                continue
+            structural += 1
+            if total <= 0:
+                print(f"error: {grammar} #{k}: empty automaton?",
+                      file=sys.stderr)
+                failed = True
+                continue
+            share = reused / total
+            verdict = ("OK" if share > args.min_state_reuse
+                       else "CONE TOO WIDE")
+            if verdict != "OK":
+                failed = True
+            print(f"  {grammar} #{k} [{edit}]: spliced {reused}/{total} "
+                  f"states = {share:.3f} (floor {args.min_state_reuse:.2f}) "
+                  f"{verdict}")
+
+        if structural == 0:
+            print(f"  {grammar}: no structural patched edit in the stream "
+                  f"NO PATCH COVERAGE", file=sys.stderr)
+            failed = True
+        else:
+            print(f"  {grammar}: {structural} structural patched edit(s) "
+                  f"gated OK")
+
+    if failed:
+        print("automaton reuse gate FAILED", file=sys.stderr)
+        return 1
+    print("automaton reuse gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,9 +36,18 @@
 //                       attaches flattened metrics to the bench records
 //     -edit-loop <n>    incremental replay mode: apply n seeded random
 //                       single-production edits per grammar; after each,
-//                       run incrementally against -cache and cold without
-//                       it, byte-compare the rendered reports, and print
-//                       per-edit wall time + conflict reuse counts. Unless
+//                       advance one persistent IncrementalSession (the
+//                       automaton and state-item graph are patched in
+//                       place when the structural delta permits) and run
+//                       the finder against -cache, then run the whole
+//                       pipeline cold without either; byte-compare the
+//                       rendered reports AND the serialized automatons,
+//                       and print per-edit wall time, a parse/automaton/
+//                       search breakdown, state-patch and conflict-reuse
+//                       counts. Inner search workers are pinned to 1 in
+//                       this mode (touched-set recording for the remap
+//                       layer needs the serial search; reports are
+//                       byte-identical at any setting). Unless
 //                       -cumulative is given explicitly, the cumulative
 //                       clock is turned off in this mode: a finite
 //                       cumulative budget couples conflicts and disables
@@ -49,11 +58,14 @@
 //                       directory down to n MiB (oldest blobs first)
 //
 // Output: one summary line per grammar, a final "TOTAL_MS <ms>" line, and
-// BENCH_batch_analyze.json (schema 5) with per-grammar cold/warm wall
-// times and cache hit/miss counts (plus metrics under -metrics; plus
-// per-edit records with conflicts_reused/conflicts_recomputed under
-// -edit-loop). -edit-loop exits nonzero on any incremental-vs-cold byte
-// mismatch, making it a standalone differential harness.
+// bench/out/BENCH_batch_analyze.json (schema 6) with per-grammar
+// cold/warm wall times and cache hit/miss counts (plus metrics under
+// -metrics; plus per-edit records with conflicts_reused /
+// conflicts_recomputed / conflicts_remapped / states_reused /
+// states_rebuilt under -edit-loop). -edit-loop exits nonzero on any
+// incremental-vs-cold byte mismatch — of the rendered reports or of the
+// serialized patched automaton — making it a standalone differential
+// harness.
 //
 //===----------------------------------------------------------------------===//
 
@@ -61,6 +73,7 @@
 #include "cache/AnalysisCache.h"
 #include "corpus/Corpus.h"
 #include "counterexample/CounterexampleFinder.h"
+#include "counterexample/IncrementalSession.h"
 #include "grammar/GrammarEdit.h"
 #include "grammar/GrammarParser.h"
 #include "support/Metrics.h"
@@ -228,27 +241,36 @@ JobResult analyzeOne(const Job &J, const FinderOptions &BaseOpts,
 //===----------------------------------------------------------------------===//
 
 /// One full pipeline run for the edit loop, from a built Grammar to the
-/// rendered report bytes. Parsing stays outside the clock so the per-edit
-/// wall time measures exactly what the incremental layer can save.
+/// rendered report bytes. Grammar building stays outside the clock so the
+/// per-edit wall time measures exactly what the incremental layer can
+/// save; AutomatonMs/SearchMs split that wall time into the two phases
+/// the layer attacks separately (automaton patch vs conflict reuse).
 struct EditRunResult {
   double WallMs = 0;
+  double AutomatonMs = 0; ///< analysis + automaton + table + graph
+  double SearchMs = 0;    ///< conflict search + rendering
   size_t Conflicts = 0;
   size_t Reused = 0;
+  size_t Remapped = 0;
   size_t Recomputed = 0;
   std::string Rendered;
+  /// serializeAnalysis of the run's parse table: the automaton-level
+  /// equivalence witness (the incremental leg's patched machine must be
+  /// byte-identical to the cold leg's).
+  std::string AnalysisBytes;
 };
 
-EditRunResult runEditPipeline(Grammar G, const FinderOptions &BaseOpts,
-                              AutomatonKind Kind,
-                              const std::string &CacheDir) {
+/// The cold reference leg: full rebuild, no cache of any kind.
+EditRunResult runColdPipeline(Grammar G, const FinderOptions &BaseOpts,
+                              AutomatonKind Kind) {
   EditRunResult R;
   Stopwatch Timer;
-  cache::AnalysisCache Cache(CacheDir);
-  cache::AnalysisSession Session(std::move(G), Kind,
-                                 CacheDir.empty() ? nullptr : &Cache);
+  cache::AnalysisSession Session(std::move(G), Kind, nullptr);
+  R.AutomatonMs = Timer.seconds() * 1000.0;
   FinderOptions Opts = BaseOpts;
-  Opts.CachePath = CacheDir;
+  Opts.CachePath.clear();
   Opts.Jobs = 1;
+  Opts.JobsInner = 1;
   Opts.Metrics = nullptr;
   CounterexampleFinder Finder(Session.table(), Opts);
   std::vector<ConflictReport> Reports = Finder.examineAll();
@@ -257,16 +279,55 @@ EditRunResult runEditPipeline(Grammar G, const FinderOptions &BaseOpts,
     Out += Finder.render(Rep) + "\n";
   R.Rendered = std::move(Out);
   R.Conflicts = Reports.size();
-  R.Reused = Finder.cacheActivity().ConflictsReused;
-  R.Recomputed = Finder.cacheActivity().ConflictsRecomputed;
+  R.Recomputed = Reports.size();
   R.WallMs = Timer.seconds() * 1000.0;
+  R.SearchMs = R.WallMs - R.AutomatonMs;
+  R.AnalysisBytes = cache::serializeAnalysis(Session.table());
+  return R;
+}
+
+/// The incremental leg: advance the persistent session (patching the
+/// automaton and graph in place when the delta permits) and search with
+/// the conflict cache plus the session's remap handoff. \p Advance is
+/// null on the baseline run (the session was just built cold).
+EditRunResult runIncrPipeline(IncrementalSession &Sess,
+                              const IncrementalSession::AdvanceStats *Advance,
+                              double AdvanceMs, const FinderOptions &BaseOpts,
+                              const std::string &CacheDir) {
+  EditRunResult R;
+  R.AutomatonMs = AdvanceMs;
+  Stopwatch Timer;
+  FinderOptions Opts = BaseOpts;
+  Opts.CachePath = CacheDir;
+  Opts.Jobs = 1;
+  // Serial inner search: conflict blobs are stored with their graph-read
+  // touched sets only at JobsInner == 1, and the remap layer needs those
+  // sets to verify old reports after the next structural edit.
+  Opts.JobsInner = 1;
+  Opts.Metrics = nullptr;
+  Opts.Incremental = Advance ? Sess.handoff() : nullptr;
+  CounterexampleFinder Finder(Sess.table(), Opts);
+  std::vector<ConflictReport> Reports = Finder.examineAll();
+  std::string Out;
+  for (const ConflictReport &Rep : Reports)
+    Out += Finder.render(Rep) + "\n";
+  R.Rendered = std::move(Out);
+  R.Conflicts = Reports.size();
+  R.Reused = Finder.cacheActivity().ConflictsReused;
+  R.Remapped = Finder.cacheActivity().ConflictsRemapped;
+  R.Recomputed = Finder.cacheActivity().ConflictsRecomputed;
+  R.SearchMs = Timer.seconds() * 1000.0;
+  R.WallMs = R.AutomatonMs + R.SearchMs;
+  R.AnalysisBytes = cache::serializeAnalysis(Sess.table());
   return R;
 }
 
 /// The replay loop: per grammar, a baseline run plus \p EditCount seeded
-/// random edits; after each, the incremental run (against \p CacheDir) is
-/// byte-compared against a cold run — a standing differential harness for
-/// the conflict-reuse layer. \returns the mismatch count.
+/// random edits over one persistent IncrementalSession; after each, the
+/// incremental run (patched automaton + conflict cache against
+/// \p CacheDir) is byte-compared against a cold run at both levels —
+/// rendered reports and serialized automaton — a standing differential
+/// harness for the whole dirty-state layer. \returns the mismatch count.
 size_t runEditLoop(const std::vector<Job> &Work, const FinderOptions &Opts,
                    AutomatonKind Kind, const std::string &CacheDir,
                    unsigned EditCount, uint64_t Seed,
@@ -282,8 +343,10 @@ size_t runEditLoop(const std::vector<Job> &Work, const FinderOptions &Opts,
     }
     EditableGrammar Model = EditableGrammar::fromGrammar(*Parsed.G);
     EditRng Rng(Seed);
+    std::optional<IncrementalSession> Sess;
     for (unsigned K = 0; K <= EditCount; ++K) {
       std::string EditLabel = "baseline";
+      Stopwatch ParseClock;
       if (K > 0) {
         std::optional<AppliedEdit> E =
             applyRandomEdit(Model, Rng, allEditKinds());
@@ -304,27 +367,79 @@ size_t runEditLoop(const std::vector<Job> &Work, const FinderOptions &Opts,
         ++Mismatches;
         break;
       }
-      EditRunResult Incr = runEditPipeline(*Edited, Opts, Kind, CacheDir);
-      EditRunResult Cold =
-          runEditPipeline(std::move(*Edited), Opts, Kind, std::string());
-      bool Same = Incr.Rendered == Cold.Rendered;
-      if (!Same)
+      double ParseMs = ParseClock.seconds() * 1000.0;
+
+      // Incremental leg: advance (patch-or-cold) the persistent session,
+      // then search with the conflict cache and the remap handoff.
+      Stopwatch AdvanceClock;
+      const IncrementalSession::AdvanceStats *Advance = nullptr;
+      if (K == 0)
+        Sess.emplace(*Edited, Kind);
+      else
+        Advance = &Sess->advance(*Edited);
+      double AdvanceMs = AdvanceClock.seconds() * 1000.0;
+      EditRunResult Incr =
+          runIncrPipeline(*Sess, Advance, AdvanceMs, Opts, CacheDir);
+      EditRunResult Cold = runColdPipeline(std::move(*Edited), Opts, Kind);
+
+      bool SameReports = Incr.Rendered == Cold.Rendered;
+      bool SameAutomaton = Incr.AnalysisBytes == Cold.AnalysisBytes;
+      if (!SameReports || !SameAutomaton)
         ++Mismatches;
+      size_t Served = Incr.Reused + Incr.Remapped;
       std::printf("%-24s #%2u %-40s cold %8.1f ms  incr %8.1f ms  "
-                  "reused %zu/%zu%s\n",
+                  "reused %zu/%zu%s%s\n",
                   J.Name.c_str(), K, EditLabel.c_str(), Cold.WallMs,
-                  Incr.WallMs, Incr.Reused, Incr.Reused + Incr.Recomputed,
-                  Same ? "" : "  OUTPUT MISMATCH");
+                  Incr.WallMs, Served, Served + Incr.Recomputed,
+                  SameReports ? "" : "  OUTPUT MISMATCH",
+                  SameAutomaton ? "" : "  AUTOMATON MISMATCH");
+
+      // Per-edit phase breakdown: where the wall time went, and what the
+      // automaton patch reused. Grammar building ("parse") sits outside
+      // both legs' clocks.
+      std::string PatchNote;
+      long StatesReused = -1, StatesRebuilt = -1;
+      if (Advance) {
+        char Buf[160];
+        if (Advance->Patched) {
+          const AutomatonPatchStats &P = Advance->Patch;
+          StatesReused = long(P.StatesReused);
+          StatesRebuilt = long(P.StatesRebuilt) + long(P.StatesAdded);
+          std::snprintf(Buf, sizeof(Buf),
+                        "patched: %u spliced / %u reclosed / %u added",
+                        P.StatesReused, P.StatesRebuilt, P.StatesAdded);
+        } else {
+          // Leave the states fields unset (omitted from the record): a
+          // cold fallback has no patch economics to gate.
+          std::snprintf(Buf, sizeof(Buf), "cold rebuild: %s",
+                        Advance->ColdReason.c_str());
+        }
+        PatchNote = Buf;
+      } else {
+        PatchNote = "initial build";
+      }
+      std::printf("%-24s      parse %6.1f ms  automaton %6.1f ms (%s)  "
+                  "search %6.1f ms  remapped %zu\n",
+                  "", ParseMs, Incr.AutomatonMs, PatchNote.c_str(),
+                  Incr.SearchMs, Incr.Remapped);
 
       bench::BenchRecord Rec;
       Rec.Name = "edit-loop/" + J.Name + "/" + std::to_string(K);
       Rec.Grammar = J.Name;
       Rec.Conflicts = Incr.Conflicts;
       Rec.Jobs = 1;
+      Rec.JobsInner = 1;
       Rec.WallMsCold = Cold.WallMs;
       Rec.WallMsWarm = Incr.WallMs;
-      Rec.ConflictsReused = long(Incr.Reused);
+      // The reuse gate counts reports the incremental leg did not have to
+      // recompute; a structurally remapped report is exactly that, so it
+      // folds into conflicts_reused (and is broken out in
+      // conflicts_remapped for the state-reuse gate).
+      Rec.ConflictsReused = long(Served);
       Rec.ConflictsRecomputed = long(Incr.Recomputed);
+      Rec.ConflictsRemapped = long(Incr.Remapped);
+      Rec.StatesReused = StatesReused;
+      Rec.StatesRebuilt = StatesRebuilt;
       Rec.Edit = EditLabel;
       Records.push_back(Rec);
     }

@@ -927,18 +927,28 @@ CacheProbe lalrcex::cache::deserializeReports(
   return {CacheOutcome::Hit, ""};
 }
 
-std::string lalrcex::cache::serializeConflictReport(Fingerprint128 Key,
-                                                    const ConflictReport &Rep,
-                                                    uint32_t VersionSalt) {
+std::string lalrcex::cache::serializeConflictReport(
+    Fingerprint128 Key, const ConflictReport &Rep, uint32_t VersionSalt,
+    const std::vector<uint32_t> *Touched) {
   BlobWriter W;
   writeHeader(W, MagicConflict, VersionSalt, Key, Fingerprint128{});
   writeReport(W, Rep);
+  // v2 trailer: the search's graph-node read set, when one was recorded.
+  // Ascending and duplicate-free (GraphTouchRecorder::sortedNodes), which
+  // the reader enforces as the canonical form.
+  W.u8(Touched != nullptr);
+  if (Touched) {
+    W.u32(uint32_t(Touched->size()));
+    for (uint32_t N : *Touched)
+      W.u32(N);
+  }
   return sealed(std::move(W));
 }
 
 CacheProbe lalrcex::cache::deserializeConflictReport(
     const std::string &Blob, Fingerprint128 Key, const Grammar &G,
-    const Conflict &Expected, ConflictReport &Out, uint32_t VersionSalt) {
+    const Conflict &Expected, ConflictReport &Out, uint32_t VersionSalt,
+    std::vector<uint32_t> *TouchedOut) {
   BlobReader R(Blob);
   CacheProbe Open =
       openBlob(Blob, R, MagicConflict, VersionSalt, Key, Fingerprint128{});
@@ -947,6 +957,25 @@ CacheProbe lalrcex::cache::deserializeConflictReport(
 
   ConflictReport Rep;
   if (!readReport(R, G, Rep))
+    return corrupt(R);
+
+  std::vector<uint32_t> Touched;
+  if (R.u8()) {
+    uint32_t N = R.u32();
+    if (R.failed() || N > R.remaining() / 4)
+      return {CacheOutcome::Corrupt, "touched set exceeds blob"};
+    Touched.reserve(N);
+    for (uint32_t I = 0; I != N; ++I) {
+      uint32_t Node = R.u32();
+      // Node ids are graph-relative and the graph is not at hand here;
+      // the remap layer bounds-checks them against the old graph. Enforce
+      // only the canonical strictly-ascending order.
+      if (!Touched.empty() && Node <= Touched.back())
+        return {CacheOutcome::Corrupt, "touched set not ascending"};
+      Touched.push_back(Node);
+    }
+  }
+  if (R.failed())
     return corrupt(R);
   if (R.remaining() != 16)
     return {CacheOutcome::Corrupt, "trailing bytes after payload"};
@@ -962,6 +991,8 @@ CacheProbe lalrcex::cache::deserializeConflictReport(
             "blob's conflict record disagrees with probe"};
 
   Out = std::move(Rep);
+  if (TouchedOut)
+    *TouchedOut = std::move(Touched);
   return {CacheOutcome::Hit, ""};
 }
 
@@ -1087,21 +1118,25 @@ std::string AnalysisCache::conflictBlobPath(Fingerprint128 Key) const {
   return Dir + "/" + Key.hex() + ".crep";
 }
 
-CacheProbe AnalysisCache::loadConflictReport(Fingerprint128 Key,
-                                             const Grammar &G,
-                                             const Conflict &Expected,
-                                             ConflictReport &Out) const {
+CacheProbe
+AnalysisCache::loadConflictReport(Fingerprint128 Key, const Grammar &G,
+                                  const Conflict &Expected,
+                                  ConflictReport &Out,
+                                  std::vector<uint32_t> *TouchedOut) const {
   std::string Blob;
   CacheProbe P = readBlob(conflictBlobPath(Key), Blob);
   if (!P.hit())
     return P;
-  return deserializeConflictReport(Blob, Key, G, Expected, Out, Salt);
+  return deserializeConflictReport(Blob, Key, G, Expected, Out, Salt,
+                                   TouchedOut);
 }
 
-CacheProbe AnalysisCache::storeConflictReport(Fingerprint128 Key,
-                                              const ConflictReport &Rep) const {
+CacheProbe
+AnalysisCache::storeConflictReport(Fingerprint128 Key,
+                                   const ConflictReport &Rep,
+                                   const std::vector<uint32_t> *Touched) const {
   return writeBlob(conflictBlobPath(Key),
-                   serializeConflictReport(Key, Rep, Salt));
+                   serializeConflictReport(Key, Rep, Salt, Touched));
 }
 
 AnalysisCache::GcStats AnalysisCache::collectGarbage(uint64_t MaxBytes) const {

@@ -82,7 +82,9 @@ namespace cache {
 
 /// Bump whenever a blob layout or a fingerprinted field set changes; it
 /// salts every fingerprint, so stale blobs miss instead of misparsing.
-constexpr uint32_t FormatVersion = 1;
+/// v2: `.crep` blobs carry the search's graph-node touched set (the
+/// verification input for post-edit conflict-report remapping).
+constexpr uint32_t FormatVersion = 2;
 
 /// How a cache probe concluded.
 enum class CacheOutcome : uint8_t {
@@ -213,20 +215,30 @@ CacheProbe deserializeReports(const std::string &Blob, const Grammar &G,
                               uint32_t VersionSalt = FormatVersion);
 
 /// Serializes one conflict report into a `.crep` blob keyed by \p Key
-/// (a ConflictKeyContext::conflictFingerprint).
-std::string serializeConflictReport(Fingerprint128 Key,
-                                    const ConflictReport &Rep,
-                                    uint32_t VersionSalt = FormatVersion);
+/// (a ConflictKeyContext::conflictFingerprint). \p Touched, when
+/// non-null, is the sorted set of state-item-graph nodes the search read
+/// while producing \p Rep (GraphTouchRecorder::sortedNodes); it rides in
+/// the blob so a later run can verify the read set survived a grammar
+/// edit and re-serve the report remapped. Blobs without a touched set
+/// are served on exact-key hits only.
+std::string serializeConflictReport(
+    Fingerprint128 Key, const ConflictReport &Rep,
+    uint32_t VersionSalt = FormatVersion,
+    const std::vector<uint32_t> *Touched = nullptr);
 
 /// Reconstructs one conflict report. Besides the usual header/checksum
 /// verification, the payload's conflict record must equal \p Expected —
 /// the live conflict the caller is keying for — so a fingerprint
 /// collision degrades to KeyMismatch (a recompute), never a wrong report.
+/// \p TouchedOut, when non-null, receives the blob's touched set (empty
+/// when the blob was stored without one).
 CacheProbe deserializeConflictReport(const std::string &Blob,
                                      Fingerprint128 Key, const Grammar &G,
                                      const Conflict &Expected,
                                      ConflictReport &Out,
-                                     uint32_t VersionSalt = FormatVersion);
+                                     uint32_t VersionSalt = FormatVersion,
+                                     std::vector<uint32_t> *TouchedOut =
+                                         nullptr);
 
 //===----------------------------------------------------------------------===//
 // The on-disk cache.
@@ -261,11 +273,16 @@ public:
 
   /// Loads the `.crep` blob for per-conflict key \p Key; \p Expected is
   /// the live conflict being probed for (see deserializeConflictReport).
+  /// \p TouchedOut, when non-null, receives the stored touched set.
   CacheProbe loadConflictReport(Fingerprint128 Key, const Grammar &G,
                                 const Conflict &Expected,
-                                ConflictReport &Out) const;
+                                ConflictReport &Out,
+                                std::vector<uint32_t> *TouchedOut =
+                                    nullptr) const;
   CacheProbe storeConflictReport(Fingerprint128 Key,
-                                 const ConflictReport &Rep) const;
+                                 const ConflictReport &Rep,
+                                 const std::vector<uint32_t> *Touched =
+                                     nullptr) const;
 
   /// The file path a blob kind lives at, for tests that corrupt blobs
   /// deliberately. \p Extension is "art", "sig", or "rep" (the latter

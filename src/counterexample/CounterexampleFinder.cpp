@@ -14,6 +14,7 @@
 
 #include "cache/AnalysisCache.h"
 #include "counterexample/Advisor.h"
+#include "counterexample/IncrementalSession.h"
 #include "support/Metrics.h"
 #include "support/Stopwatch.h"
 #include "support/Trace.h"
@@ -122,11 +123,25 @@ StateItemGraph CounterexampleFinder::buildOrRestoreGraph(
   return Built;
 }
 
+std::optional<StateItemGraph>
+CounterexampleFinder::makeOwnedGraph(const ParseTable &Table,
+                                     const FinderOptions &Opts,
+                                     CacheActivity &Activity) {
+  // An incremental handoff lends the session's graph — already built
+  // (patched) for exactly this table's automaton — so the finder neither
+  // rebuilds nor restores one.
+  if (Opts.Incremental && Opts.Incremental->Graph &&
+      &Opts.Incremental->Graph->automaton() == &Table.automaton())
+    return std::nullopt;
+  return buildOrRestoreGraph(Table, Opts, Activity);
+}
+
 CounterexampleFinder::CounterexampleFinder(const ParseTable &Table,
                                            FinderOptions Opts)
     : Table(Table), G(Table.automaton().grammar()),
-      Graph(buildOrRestoreGraph(Table, Opts, Cache)), Nonunifying(Graph),
-      Unifying(Graph), Opts(Opts),
+      OwnedGraph(makeOwnedGraph(Table, Opts, Cache)),
+      Graph(OwnedGraph ? *OwnedGraph : *Opts.Incremental->Graph),
+      Nonunifying(Graph), Unifying(Graph), Opts(Opts),
       Cumulative(cumulativeLimits(Opts), Opts.Cancellation) {
   Cumulative.attachMetrics(this->Opts.Metrics);
 }
@@ -425,6 +440,7 @@ std::vector<ConflictReport> CounterexampleFinder::examineAll() {
   Cache.ReportsFromCache = false;
   Cache.ConflictsReused = 0;
   Cache.ConflictsRecomputed = 0;
+  Cache.ConflictsRemapped = 0;
   if (!Opts.CachePath.empty()) {
     cache::AnalysisCache ReportCache(Opts.CachePath);
     std::vector<ConflictReport> Cached;
@@ -474,9 +490,25 @@ std::vector<ConflictReport> CounterexampleFinder::examineAll() {
   std::vector<size_t> Pending;
   Pending.reserve(Reported.size());
   std::vector<Fingerprint128> Keys;
+  // Remapped conflicts (index, translated touched set), re-published under
+  // their current-generation key after the run.
+  std::vector<std::pair<size_t, std::vector<uint32_t>>> Remapped;
   if (FineGrained) {
     cache::AnalysisCache ConflictCache(Opts.CachePath);
     cache::ConflictKeyContext Ctx(Table.automaton(), Opts);
+    // Incremental remap layer: on a direct miss, probe the conflict under
+    // its *previous* generation's key (every structural edit moves the
+    // key — it hashes automaton structure by raw state/production ids)
+    // and re-serve the old blob with all ids rewritten, provided the
+    // recorded graph-read set verifies node-for-node under the edit's
+    // maps (IncrementalSession.h). The old key context is built lazily:
+    // most runs have no handoff.
+    const IncrementalHandoff *H =
+        Opts.Incremental && Opts.Incremental->Graph &&
+                &Opts.Incremental->Graph->automaton() == &Table.automaton()
+            ? Opts.Incremental
+            : nullptr;
+    std::optional<cache::ConflictKeyContext> OldCtx;
     Keys.resize(Reported.size());
     ScopedTimer LoadTimer(M, metric::TimeCacheLoadNs);
     for (size_t I = 0, E = Reported.size(); I != E; ++I) {
@@ -492,11 +524,34 @@ std::vector<ConflictReport> CounterexampleFinder::examineAll() {
       if (CP.degraded() && M)
         M->add(metric::CacheDegradations);
       noteCacheProbe(Cache, CP);
+      if (H) {
+        Conflict OldC;
+        if (H->mapConflictToOld(Reported[I], OldC)) {
+          if (!OldCtx)
+            OldCtx.emplace(H->PrevTable->automaton(), Opts);
+          ConflictReport OldRep;
+          std::vector<uint32_t> OldTouched;
+          cache::CacheProbe OP = ConflictCache.loadConflictReport(
+              OldCtx->conflictFingerprint(OldC), *H->PrevG, OldC, OldRep,
+              &OldTouched);
+          if (OP.degraded() && M)
+            M->add(metric::CacheDegradations);
+          noteCacheProbe(Cache, OP);
+          std::vector<uint32_t> NewTouched;
+          if (OP.hit() && H->verifyTouched(OldC.Token, OldTouched, &NewTouched) &&
+              H->remapReport(OldRep, OldC, Reported[I], Out[I])) {
+            ++Cache.ConflictsRemapped;
+            Remapped.emplace_back(I, std::move(NewTouched));
+            continue;
+          }
+        }
+      }
       Pending.push_back(I);
     }
     Cache.ConflictsRecomputed = Pending.size();
     if (M) {
       M->add(metric::CacheConflictsReused, Cache.ConflictsReused);
+      M->add(metric::CacheConflictsRemapped, Cache.ConflictsRemapped);
       M->add(metric::CacheConflictsRecomputed, Pending.size());
     }
   } else {
@@ -510,11 +565,33 @@ std::vector<ConflictReport> CounterexampleFinder::examineAll() {
   // The JobsInner = 0 auto split divides the Jobs budget by the
   // conflict-level worker count of this run.
   OuterWorkersActive = std::max(1u, Jobs);
+  // Graph-read recording for v2 per-conflict blobs (the remap layer's
+  // verification set). Only sound when one thread performs *all* of a
+  // conflict's graph reads: intra-conflict speculation workers bypass the
+  // thread-local recorder, so with more than one inner job the set would
+  // be silently incomplete and remap verification unsound. Blobs stored
+  // without a set still serve direct (same-key) hits.
+  const bool RecordTouch =
+      FineGrained &&
+      resolveInnerJobs(Opts.JobsInner, Opts.Jobs, OuterWorkersActive) == 1;
+  std::vector<std::vector<uint32_t>> PendingTouched(
+      RecordTouch ? Pending.size() : 0);
+  auto examineRecorded = [&](size_t K) {
+    size_t I = Pending[K];
+    if (!RecordTouch) {
+      Out[I] = examineIndexed(Reported[I], (long long)I);
+      return;
+    }
+    GraphTouchRecorder Rec(Graph.numNodes());
+    ScopedGraphTouchRecorder Scope(&Rec);
+    Out[I] = examineIndexed(Reported[I], (long long)I);
+    PendingTouched[K] = Rec.sortedNodes();
+  };
   if (Jobs <= 1) {
     if (M)
       M->gaugeMax(metric::ExamineWorkers, 1);
-    for (size_t I : Pending)
-      Out[I] = examineIndexed(Reported[I], (long long)I);
+    for (size_t K = 0, E = Pending.size(); K != E; ++K)
+      examineRecorded(K);
   } else {
     // Worker pool over an atomic index dispenser. The graph, analysis,
     // and builders are read-only after construction; the cumulative guard
@@ -530,14 +607,15 @@ std::vector<ConflictReport> CounterexampleFinder::examineAll() {
       for (size_t K = Next.fetch_add(1, std::memory_order_relaxed);
            K < Pending.size();
            K = Next.fetch_add(1, std::memory_order_relaxed)) {
-        size_t I = Pending[K];
         try {
-          Out[I] = examineIndexed(Reported[I], (long long)I);
+          examineRecorded(K);
         } catch (...) {
           if (M)
             M->add(metric::ExamineWorkerFailures);
-          Out[I] = failureReport(Reported[I], FailureReason::InternalError,
-                                 "examine-all", "worker failure");
+          Out[Pending[K]] =
+              failureReport(Reported[Pending[K]],
+                            FailureReason::InternalError, "examine-all",
+                            "worker failure");
         }
       }
       if (M)
@@ -575,9 +653,19 @@ std::vector<ConflictReport> CounterexampleFinder::examineAll() {
     ScopedTimer StoreTimer(M, metric::TimeCacheStoreNs);
     cache::AnalysisCache Store(Opts.CachePath);
     Store.storeReports(G, Kind, Opts, Out);
-    if (FineGrained)
-      for (size_t I : Pending)
-        Store.storeConflictReport(Keys[I], Out[I]);
+    if (FineGrained) {
+      for (size_t K = 0, E = Pending.size(); K != E; ++K) {
+        const std::vector<uint32_t> *T =
+            RecordTouch && !PendingTouched[K].empty() ? &PendingTouched[K]
+                                                      : nullptr;
+        Store.storeConflictReport(Keys[Pending[K]], Out[Pending[K]], T);
+      }
+      // Re-home remapped reports under their current-generation key with
+      // the translated touched set, so the next edit probes one
+      // generation back, never two.
+      for (const auto &R : Remapped)
+        Store.storeConflictReport(Keys[R.first], Out[R.first], &R.second);
+    }
     if (M)
       M->add(metric::CacheStores);
   }

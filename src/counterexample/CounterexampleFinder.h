@@ -35,6 +35,8 @@
 
 namespace lalrcex {
 
+struct IncrementalHandoff;
+
 /// Budgets and modes for counterexample construction.
 struct FinderOptions {
   /// Per-conflict wall-clock budget for the unifying search (paper: 5 s).
@@ -89,6 +91,17 @@ struct FinderOptions {
   /// of the cache key: two finders differing only in CachePath (or Jobs)
   /// produce identical reports.
   std::string CachePath;
+  /// Dirty-state incremental handoff from an IncrementalSession, or null
+  /// (the default, a standalone run). When set with a usable generation
+  /// pair, the finder (a) borrows the session's already-built state-item
+  /// graph instead of building or restoring its own, and (b) extends the
+  /// fine-grained warm path: a conflict whose per-conflict key misses
+  /// (every structural edit moves it) is probed under its *previous*
+  /// generation key and re-served remapped when the stored touched set
+  /// verifies — see IncrementalSession.h. Like CachePath, never part of
+  /// the cache key; remapped reports are byte-identical to recomputes.
+  /// The handoff (and the session behind it) must outlive the finder.
+  const IncrementalHandoff *Incremental = nullptr;
   /// Pipeline-wide metrics sink (support/Metrics.h). When null (the
   /// default) every instrumentation site reduces to a pointer test and no
   /// clock is read; when set, per-phase wall times and search-effort
@@ -178,6 +191,13 @@ struct CacheActivity {
   /// no longer be pure functions of their key).
   size_t ConflictsReused = 0;
   size_t ConflictsRecomputed = 0;
+  /// Conflicts re-served through the incremental remap layer in the last
+  /// examineAll(): their fine-grained key missed (a structural edit moved
+  /// it) but the previous generation's blob was found, its touched set
+  /// verified, and the report rewritten under the edit's id maps. Always
+  /// 0 without FinderOptions::Incremental. Reused + Remapped + Recomputed
+  /// covers all conflicts when the fine-grained layer was eligible.
+  size_t ConflictsRemapped = 0;
   /// First damaged/unreadable blob encountered (stage "cache-load");
   /// the affected artifact was recomputed cold. A plain miss is not a
   /// degradation and is not recorded.
@@ -252,6 +272,12 @@ private:
                                             const FinderOptions &Opts,
                                             CacheActivity &Activity);
 
+  /// OwnedGraph's initializer: the built-or-restored graph, or nullopt
+  /// when FinderOptions::Incremental supplies an external one.
+  static std::optional<StateItemGraph>
+  makeOwnedGraph(const ParseTable &Table, const FinderOptions &Opts,
+                 CacheActivity &Activity);
+
   /// Conflict-level workers of the currently running examineAll (1 for
   /// standalone examine calls): the denominator of the JobsInner = 0
   /// auto split. Written before the worker pool starts, read-only while
@@ -263,7 +289,11 @@ private:
   /// Declared before Graph: buildOrRestoreGraph fills it during Graph's
   /// initialization.
   CacheActivity Cache;
-  StateItemGraph Graph;
+  /// The finder's own graph, absent when an IncrementalSession lends one
+  /// through FinderOptions::Incremental (the session's graph is already
+  /// built — patched — for this table's automaton).
+  std::optional<StateItemGraph> OwnedGraph;
+  const StateItemGraph &Graph;
   NonunifyingBuilder Nonunifying;
   UnifyingSearch Unifying;
   FinderOptions Opts;

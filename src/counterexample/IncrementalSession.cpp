@@ -1,0 +1,510 @@
+//===- counterexample/IncrementalSession.cpp -------------------*- C++ -*-===//
+//
+// Part of lalrcex.
+//
+// Generation management for dirty-state incremental re-analysis, plus the
+// verification and rewriting layer that lets a stored conflict report
+// outlive a structural edit. The correctness contract of every helper
+// here is *byte-identity*: a remapped artifact must equal what a cold
+// recompute over the new grammar would produce, and anything the helpers
+// cannot prove falls back to that recompute.
+//
+//===----------------------------------------------------------------------===//
+
+#include "counterexample/IncrementalSession.h"
+
+#include "counterexample/NonunifyingBuilder.h"
+#include "support/Metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+
+using namespace lalrcex;
+
+namespace {
+
+/// Cross-generation certifier for the analysis-side artifacts a search
+/// consults about a symbol. The graph rows pin down every *structural*
+/// read; what remains are GrammarAnalysis queries (FIRST of a suffix,
+/// suffix nullability — all aggregates of per-symbol FIRST/nullable with
+/// terminal ids stable across a valid delta) and the minimal-derivation
+/// completions of NonunifyingBuilder (epsilon derivations and derivations
+/// beginning with the conflict terminal). The former are compared
+/// semantically, set against set; the latter by running the *actual*
+/// choice fixpoints of both generations and demanding the chosen
+/// production (and continuation position) map through the delta,
+/// recursively over the chosen subtrees. Comparing fixpoint results
+/// rather than derivation cones is what lets a conflict survive an edit
+/// elsewhere in a consulted symbol's cone: the edit is harmless exactly
+/// when it changes no answer, and that is what is checked.
+class AnalysisCertifier {
+public:
+  AnalysisCertifier(const Grammar &OldG, const GrammarAnalysis &OldA,
+                    const Grammar &NewG, const GrammarAnalysis &NewA,
+                    const GrammarDelta &Delta, Symbol ConflictTerm)
+      : OldG(OldG), OldA(OldA), NewA(NewA), Delta(Delta), Term(ConflictTerm),
+        OldMin(OldG), NewMin(NewG) {
+    OldMin.beginningWith(OldG, Term, OldBeginCost, OldBest);
+    NewMin.beginningWith(NewG, Term, NewBeginCost, NewBest);
+    SymOk.assign(OldG.numSymbols(), Unknown);
+    EpsOk.assign(OldG.numSymbols(), Unknown);
+    BeginOk.assign(OldG.numSymbols(), Unknown);
+  }
+
+  /// True when every query the searches can make about \p X answers
+  /// identically across the edit (an old-generation symbol).
+  bool certify(Symbol X) {
+    if (!OldG.isNonterminal(X))
+      return true; // terminal ids are identical whenever the delta is valid
+    int8_t &M = SymOk[X.id()];
+    if (M != Unknown)
+      return M == Ok;
+    M = Fail;
+    Symbol Y = Delta.mapSymbol(X);
+    if (!Y.valid())
+      return false;
+    if (OldA.isNullable(X) != NewA.isNullable(Y))
+      return false;
+    if (!(OldA.first(X) == NewA.first(Y)))
+      return false;
+    if (OldA.isNullable(X) && !certifyEps(X))
+      return false;
+    if (OldA.first(X).contains(unsigned(Term.id())) && !certifyBegin(X))
+      return false;
+    M = Ok;
+    return true;
+  }
+
+private:
+  enum : int8_t { Unknown = 0, Ok = 1, Fail = 2 };
+
+  /// The minimal epsilon derivation of \p X must be the delta image of
+  /// the new generation's: same chosen production, recursively. Memoized;
+  /// sound to fail-closed on revisit since costs strictly decrease into
+  /// children (no cycles in a minimal tree).
+  bool certifyEps(Symbol X) {
+    int8_t &M = EpsOk[X.id()];
+    if (M != Unknown)
+      return M == Ok;
+    M = Fail;
+    Symbol Y = Delta.mapSymbol(X);
+    if (!Y.valid())
+      return false;
+    unsigned P = OldMin.EpsProd[X.id()];
+    unsigned Q = NewMin.EpsProd[Y.id()];
+    if (P == GrammarAnalysis::Infinite || Q == GrammarAnalysis::Infinite)
+      return false;
+    if (Delta.mapProd(P) != int32_t(Q))
+      return false;
+    for (Symbol S : OldG.production(P).Rhs)
+      if (!certifyEps(S))
+        return false;
+    M = Ok;
+    return true;
+  }
+
+  /// Likewise for the minimal derivation of \p X beginning with the
+  /// conflict terminal: mapped production, same continuation position,
+  /// epsilon-certified symbols before it, recursion at it. Symbols after
+  /// the continuation stay unexpanded leaves, which the production map
+  /// already proved rename consistently.
+  bool certifyBegin(Symbol X) {
+    if (X == Term)
+      return true; // the continuation bottomed out on the terminal itself
+    int8_t &M = BeginOk[X.id()];
+    if (M != Unknown)
+      return M == Ok;
+    M = Fail;
+    Symbol Y = Delta.mapSymbol(X);
+    if (!Y.valid())
+      return false;
+    const MinimalDerivationChoices::BeginChoice &C = OldBest[X.id()];
+    const MinimalDerivationChoices::BeginChoice &D = NewBest[Y.id()];
+    if (C.Prod == GrammarAnalysis::Infinite ||
+        D.Prod == GrammarAnalysis::Infinite)
+      return false;
+    if (Delta.mapProd(C.Prod) != int32_t(D.Prod) || C.Pos != D.Pos)
+      return false;
+    const Production &P = OldG.production(C.Prod);
+    for (unsigned J = 0; J != C.Pos; ++J)
+      if (!certifyEps(P.Rhs[J]))
+        return false;
+    if (!certifyBegin(P.Rhs[C.Pos]))
+      return false;
+    M = Ok;
+    return true;
+  }
+
+  const Grammar &OldG;
+  const GrammarAnalysis &OldA;
+  const GrammarAnalysis &NewA;
+  const GrammarDelta &Delta;
+  Symbol Term;
+  MinimalDerivationChoices OldMin, NewMin;
+  std::vector<unsigned> OldBeginCost, NewBeginCost;
+  std::vector<MinimalDerivationChoices::BeginChoice> OldBest, NewBest;
+  std::vector<int8_t> SymOk, EpsOk, BeginOk;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// IncrementalHandoff: conflict/node mapping
+//===----------------------------------------------------------------------===//
+
+bool IncrementalHandoff::mapConflictToOld(const Conflict &NewC,
+                                          Conflict &OldC) const {
+  if (NewC.State >= NewToOldState->size())
+    return false;
+  int OS = (*NewToOldState)[NewC.State];
+  if (OS < 0)
+    return false;
+  OldC.K = NewC.K;
+  OldC.State = unsigned(OS);
+  // Terminal ids are identical whenever the delta is valid.
+  OldC.Token = NewC.Token;
+  OldC.R = NewC.R;
+  int32_t RP = Delta->invMapProd(NewC.ReduceProd);
+  if (RP < 0)
+    return false;
+  OldC.ReduceProd = unsigned(RP);
+  if (NewC.K == Conflict::ReduceReduce) {
+    int32_t OP = Delta->invMapProd(NewC.OtherProd);
+    if (OP < 0)
+      return false;
+    OldC.OtherProd = unsigned(OP);
+    // RR conflicts carry no shift item; the table leaves the default.
+    OldC.ShiftItm = NewC.ShiftItm;
+  } else {
+    OldC.OtherProd = NewC.OtherProd; // unused for S/R, always 0
+    int32_t SP = Delta->invMapProd(NewC.ShiftItm.Prod);
+    if (SP < 0)
+      return false;
+    OldC.ShiftItm = Item(uint32_t(SP), NewC.ShiftItm.Dot);
+  }
+  return true;
+}
+
+StateItemGraph::NodeId
+IncrementalHandoff::mapOldNode(StateItemGraph::NodeId OldN) const {
+  if (OldN >= PrevGraph->numNodes())
+    return StateItemGraph::InvalidNode;
+  unsigned OS = PrevGraph->stateOf(OldN);
+  int NS = (*OldToNewState)[OS];
+  if (NS < 0)
+    return StateItemGraph::InvalidNode;
+  const Item &OI = PrevGraph->itemOf(OldN);
+  int32_t NP = Delta->mapProd(OI.Prod);
+  if (NP < 0)
+    return StateItemGraph::InvalidNode;
+  return Graph->nodeFor(unsigned(NS), Item(uint32_t(NP), OI.Dot));
+}
+
+bool IncrementalHandoff::verifyTouched(
+    Symbol ConflictTerm, const std::vector<uint32_t> &OldTouched,
+    std::vector<uint32_t> *NewTouched) const {
+  // An empty read set means "recorded nothing", not "read nothing" — a
+  // search always reads at least the conflict nodes. Refuse it.
+  if (OldTouched.empty())
+    return false;
+
+  // Order-sensitive row comparison: the replayed search iterates rows in
+  // storage order, so a row matches only when the mapped old entries
+  // appear in exactly the new row's order. (Set equality would admit a
+  // reordering that changes search tie-breaking.)
+  auto rowEqual = [&](StateItemGraph::NodeRange OldRow,
+                      StateItemGraph::NodeRange NewRow) {
+    if (OldRow.size() != NewRow.size())
+      return false;
+    const StateItemGraph::NodeId *NI = NewRow.begin();
+    for (StateItemGraph::NodeId O : OldRow) {
+      StateItemGraph::NodeId Mapped = mapOldNode(O);
+      if (Mapped == StateItemGraph::InvalidNode || Mapped != *NI++)
+        return false;
+    }
+    return true;
+  };
+
+  // Built on the first surviving node: two choice fixpoints per
+  // generation, all amortized across the nodes by per-symbol memos.
+  std::optional<AnalysisCertifier> Cert;
+
+  std::vector<uint32_t> Translated;
+  Translated.reserve(OldTouched.size());
+  for (uint32_t OldN : OldTouched) {
+    if (OldN >= PrevGraph->numNodes())
+      return false;
+    unsigned OS = PrevGraph->stateOf(OldN);
+    int NS = (*OldToNewState)[OS];
+    // A matched state suffices, spliced or rebuilt: whether the patch
+    // reused the state's storage says nothing about its content, and the
+    // lookahead/row/analysis checks below are the actual proof. A state
+    // rebuilt to identical content (the common case just outside the
+    // dirty cone's core) must not disqualify its conflicts.
+    if (NS < 0)
+      return false;
+    const Item &OI = PrevGraph->itemOf(OldN);
+    int32_t NP = Delta->mapProd(OI.Prod);
+    if (NP < 0)
+      return false;
+    StateItemGraph::NodeId NewN =
+        Graph->nodeFor(unsigned(NS), Item(uint32_t(NP), OI.Dot));
+    if (NewN == StateItemGraph::InvalidNode)
+      return false;
+
+    if (!(PrevGraph->lookahead(OldN) == Graph->lookahead(NewN)))
+      return false;
+
+    StateItemGraph::NodeId OldF = PrevGraph->forwardTransition(OldN);
+    StateItemGraph::NodeId NewF = Graph->forwardTransition(NewN);
+    if (OldF == StateItemGraph::InvalidNode ||
+        NewF == StateItemGraph::InvalidNode) {
+      if (OldF != NewF)
+        return false;
+    } else if (mapOldNode(OldF) != NewF) {
+      return false;
+    }
+
+    if (!rowEqual(PrevGraph->productionSteps(OldN),
+                  Graph->productionSteps(NewN)) ||
+        !rowEqual(PrevGraph->reverseTransitions(OldN),
+                  Graph->reverseTransitions(NewN)) ||
+        !rowEqual(PrevGraph->reverseProductionSteps(OldN),
+                  Graph->reverseProductionSteps(NewN)))
+      return false;
+
+    // Analysis-side certification: every query the searches can make
+    // about a symbol of this item's production must answer identically
+    // across the edit.
+    if (!Cert)
+      Cert.emplace(*PrevG, PrevGraph->automaton().analysis(),
+                   Graph->grammar(), Graph->automaton().analysis(), *Delta,
+                   ConflictTerm);
+    for (Symbol S : PrevG->production(OI.Prod).Rhs)
+      if (!Cert->certify(S))
+        return false;
+
+    Translated.push_back(NewN);
+  }
+
+  if (NewTouched) {
+    // New node ids need not be ascending even though the old ones were
+    // (the dirty cone can renumber states); restore the canonical order.
+    std::sort(Translated.begin(), Translated.end());
+    *NewTouched = std::move(Translated);
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// IncrementalHandoff: report rewriting
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Rebuilds a derivation tree under the delta's symbol/production maps.
+/// Null when any symbol or production is unmapped. That the mapped tree
+/// is exactly what a recompute over the new grammar would build is the
+/// caller's obligation: remapReport runs only after verifyTouched has
+/// certified both the graph rows behind the tree's path portion and the
+/// minimal-derivation choices behind its completion subtrees.
+DerivPtr remapDerivation(const GrammarDelta &Delta, const DerivPtr &D) {
+  if (D->isDot())
+    return Derivation::dot();
+  if (D->isLeaf()) {
+    Symbol S = Delta.mapSymbol(D->symbol());
+    return S.valid() ? Derivation::leaf(S) : nullptr;
+  }
+  Symbol Lhs = Delta.mapSymbol(D->symbol());
+  unsigned OldProd = D->productionIndex();
+  int32_t NP = Delta.mapProd(OldProd);
+  if (!Lhs.valid() || NP < 0)
+    return nullptr;
+  std::vector<DerivPtr> Children;
+  Children.reserve(D->children().size());
+  for (const DerivPtr &C : D->children()) {
+    DerivPtr Mapped = remapDerivation(Delta, C);
+    if (!Mapped)
+      return nullptr;
+    Children.push_back(std::move(Mapped));
+  }
+  return Derivation::node(Lhs, unsigned(NP), std::move(Children));
+}
+
+bool remapDerivList(const GrammarDelta &Delta,
+                    const std::vector<DerivPtr> &In,
+                    std::vector<DerivPtr> &Out) {
+  Out.reserve(In.size());
+  for (const DerivPtr &D : In) {
+    DerivPtr Mapped = remapDerivation(Delta, D);
+    if (!Mapped)
+      return false;
+    Out.push_back(std::move(Mapped));
+  }
+  return true;
+}
+
+} // namespace
+
+bool IncrementalHandoff::remapReport(const ConflictReport &OldRep,
+                                     const Conflict &OldC,
+                                     const Conflict &NewC,
+                                     ConflictReport &Out) const {
+  ConflictReport Rep;
+  Rep.TheConflict = NewC;
+  Rep.Status = OldRep.Status;
+  // ShiftItem mirrors what examineImpl sets: the conflict's shift item
+  // for S/R, the default item otherwise. A stored report whose field
+  // disagrees (a degraded setup-failure report) is not worth remapping.
+  if (NewC.K == Conflict::ShiftReduce) {
+    if (!(OldRep.ShiftItem == OldC.ShiftItm))
+      return false;
+    Rep.ShiftItem = NewC.ShiftItm;
+  } else if (!(OldRep.ShiftItem == Item())) {
+    return false;
+  }
+  // Timings and effort are copied verbatim, exactly as the whole-set warm
+  // path re-serves a cold run's timing fields.
+  Rep.Seconds = OldRep.Seconds;
+  Rep.Configurations = OldRep.Configurations;
+  Rep.PeakBytes = OldRep.PeakBytes;
+  Rep.UnifyingOutcome = OldRep.UnifyingOutcome;
+  Rep.Failure = OldRep.Failure;
+  Rep.Lss = OldRep.Lss;
+  if (OldRep.Example) {
+    Counterexample Ex;
+    Ex.Unifying = OldRep.Example->Unifying;
+    Ex.PrefixShared = OldRep.Example->PrefixShared;
+    Ex.Root = Delta->mapSymbol(OldRep.Example->Root);
+    if (!Ex.Root.valid())
+      return false;
+    if (!remapDerivList(*Delta, OldRep.Example->Derivs1, Ex.Derivs1) ||
+        !remapDerivList(*Delta, OldRep.Example->Derivs2, Ex.Derivs2))
+      return false;
+    Rep.Example = std::move(Ex);
+  }
+  Out = std::move(Rep);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// IncrementalSession
+//===----------------------------------------------------------------------===//
+
+IncrementalSession::IncrementalSession(Grammar G, AutomatonKind InKind,
+                                       MetricsRegistry *InMetrics,
+                                       TraceRecorder *InTrace)
+    : Kind(InKind), Metrics(InMetrics), Trace(InTrace) {
+  Cur = front(std::move(G));
+  AutomatonOptions MO;
+  MO.Kind = Kind;
+  MO.Metrics = Metrics;
+  MO.Trace = Trace;
+  Cur.M = std::make_unique<Automaton>(*Cur.G, *Cur.A, MO);
+  Cur.T = std::make_unique<ParseTable>(*Cur.M);
+  Cur.Graph = std::make_unique<StateItemGraph>(*Cur.M, Metrics, Trace);
+  StableIds.resize(Cur.M->numStates());
+  for (unsigned S = 0; S != Cur.M->numStates(); ++S)
+    StableIds[S] = NextStableId++;
+}
+
+IncrementalSession::Generation IncrementalSession::front(Grammar NewG) const {
+  Generation Gen;
+  Gen.G = std::make_unique<Grammar>(std::move(NewG));
+  Gen.A = std::make_unique<GrammarAnalysis>(*Gen.G, Metrics, Trace);
+  Gen.Slices = std::make_unique<SubGrammarIndex>(*Gen.G);
+  return Gen;
+}
+
+uint64_t IncrementalSession::allocStableId() {
+  if (!FreeIds.empty()) {
+    uint64_t Id = FreeIds.back();
+    FreeIds.pop_back();
+    return Id;
+  }
+  return NextStableId++;
+}
+
+void IncrementalSession::updateStableIds(bool Patched,
+                                         unsigned NumNewStates) {
+  std::vector<uint64_t> NewIds(NumNewStates);
+  std::vector<uint64_t> Dying;
+  if (Patched) {
+    for (unsigned S = 0; S != NumNewStates; ++S)
+      NewIds[S] = NewToOldState[S] >= 0
+                      ? StableIds[unsigned(NewToOldState[S])]
+                      : allocStableId();
+    for (unsigned OS = 0; OS != OldToNewState.size(); ++OS)
+      if (OldToNewState[OS] < 0)
+        Dying.push_back(StableIds[OS]);
+  } else {
+    // Cold rebuild: no correspondence is known, so every old id dies and
+    // every new state is fresh.
+    for (unsigned S = 0; S != NumNewStates; ++S)
+      NewIds[S] = allocStableId();
+    Dying = std::move(StableIds);
+  }
+  StableIds = std::move(NewIds);
+  // Tombstone semantics: ids dying in *this* advance are appended after
+  // all of this advance's allocations, so a delete-then-add within one
+  // edit can never hand the deleted state's id to the added state; the
+  // parked ids become allocatable from the next advance on.
+  FreeIds.insert(FreeIds.end(), Dying.begin(), Dying.end());
+}
+
+const IncrementalSession::AdvanceStats &
+IncrementalSession::advance(Grammar NewG) {
+  Stats = AdvanceStats{};
+  HandoffValid = false;
+
+  Generation Next = front(std::move(NewG));
+  LastDelta =
+      computeGrammarDelta(*Cur.G, *Cur.Slices, *Next.G, *Next.Slices);
+
+  AutomatonOptions MO;
+  MO.Kind = Kind;
+  MO.Metrics = Metrics;
+  MO.Trace = Trace;
+  OldToNewState.clear();
+  NewToOldState.clear();
+  SplicedNew.clear();
+  if (LastDelta.Valid) {
+    Next.M = Automaton::patch(*Next.G, *Next.A, *Cur.M, LastDelta, MO,
+                              &Stats.Patch, &OldToNewState, &NewToOldState,
+                              &SplicedNew);
+    if (Next.M)
+      Stats.Patched = true;
+    else
+      Stats.ColdReason = "patch inapplicable for this automaton kind";
+  } else {
+    Stats.ColdReason = LastDelta.InvalidReason;
+  }
+  if (!Next.M)
+    Next.M = std::make_unique<Automaton>(*Next.G, *Next.A, MO);
+
+  Next.T = std::make_unique<ParseTable>(*Next.M);
+  if (Stats.Patched)
+    Next.Graph = std::make_unique<StateItemGraph>(
+        *Next.M, *Cur.Graph, NewToOldState, SplicedNew, Metrics, Trace);
+  else
+    Next.Graph = std::make_unique<StateItemGraph>(*Next.M, Metrics, Trace);
+
+  updateStableIds(Stats.Patched, Next.M->numStates());
+
+  Prev = std::move(Cur);
+  Cur = std::move(Next);
+
+  if (Stats.Patched) {
+    Handoff.PrevG = Prev.G.get();
+    Handoff.PrevTable = Prev.T.get();
+    Handoff.PrevGraph = Prev.Graph.get();
+    Handoff.Delta = &LastDelta;
+    Handoff.OldToNewState = &OldToNewState;
+    Handoff.NewToOldState = &NewToOldState;
+    Handoff.SplicedNew = &SplicedNew;
+    Handoff.Graph = Cur.Graph.get();
+    HandoffValid = true;
+  }
+  return Stats;
+}

@@ -17,9 +17,7 @@
 
 using namespace lalrcex;
 
-NonunifyingBuilder::NonunifyingBuilder(const StateItemGraph &Graph)
-    : Graph(Graph), G(Graph.grammar()),
-      Analysis(Graph.automaton().analysis()) {
+MinimalDerivationChoices::MinimalDerivationChoices(const Grammar &G) {
   // Minimal epsilon-derivation sizes: a fixpoint over nullable productions.
   const unsigned Inf = GrammarAnalysis::Infinite;
   EpsCost.assign(G.numSymbols(), Inf);
@@ -47,11 +45,48 @@ NonunifyingBuilder::NonunifyingBuilder(const StateItemGraph &Graph)
   }
 }
 
+void MinimalDerivationChoices::beginningWith(
+    const Grammar &G, Symbol T, std::vector<unsigned> &Cost,
+    std::vector<BeginChoice> &Best) const {
+  // Minimal begins-with-T derivation sizes per symbol (fixpoint).
+  const unsigned Inf = GrammarAnalysis::Infinite;
+  Cost.assign(G.numSymbols(), Inf);
+  Best.assign(G.numSymbols(), BeginChoice{});
+  Cost[T.id()] = 1;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned P = 0, E = G.numProductions(); P != E; ++P) {
+      const Production &Prod = G.production(P);
+      unsigned Prefix = 1; // the node itself
+      for (unsigned J = 0, JE = unsigned(Prod.Rhs.size()); J != JE; ++J) {
+        Symbol S = Prod.Rhs[J];
+        if (Cost[S.id()] != Inf) {
+          unsigned Total =
+              Prefix + Cost[S.id()] + (unsigned(Prod.Rhs.size()) - J - 1);
+          if (Total < Cost[Prod.Lhs.id()]) {
+            Cost[Prod.Lhs.id()] = Total;
+            Best[Prod.Lhs.id()] = BeginChoice{P, J};
+            Changed = true;
+          }
+        }
+        if (EpsCost[S.id()] == Inf)
+          break;
+        Prefix += EpsCost[S.id()];
+      }
+    }
+  }
+}
+
+NonunifyingBuilder::NonunifyingBuilder(const StateItemGraph &Graph)
+    : Graph(Graph), G(Graph.grammar()),
+      Analysis(Graph.automaton().analysis()), Min(G) {}
+
 DerivPtr NonunifyingBuilder::emptyDerivation(Symbol N) const {
   if (!G.isNonterminal(N) || !Analysis.isNullable(N))
     throw SearchError(
         "nonunifying builder: epsilon derivation of a non-nullable symbol");
-  unsigned P = EpsProd[N.id()];
+  unsigned P = Min.EpsProd[N.id()];
   if (P == GrammarAnalysis::Infinite)
     throw SearchError("nonunifying builder: missing epsilon production");
   std::vector<DerivPtr> Children;
@@ -70,49 +105,20 @@ DerivPtr NonunifyingBuilder::derivationBeginningWith(Symbol N,
     throw SearchError(
         "nonunifying builder: terminal cannot begin the continuation");
 
-  // Minimal begins-with-T derivation sizes per symbol (fixpoint).
-  const unsigned Inf = GrammarAnalysis::Infinite;
-  std::vector<unsigned> Cost(G.numSymbols(), Inf);
-  struct Choice {
-    unsigned Prod = GrammarAnalysis::Infinite;
-    unsigned Pos = 0;
-  };
-  std::vector<Choice> Best(G.numSymbols());
-  Cost[T.id()] = 1;
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (unsigned P = 0, E = G.numProductions(); P != E; ++P) {
-      const Production &Prod = G.production(P);
-      unsigned Prefix = 1; // the node itself
-      for (unsigned J = 0, JE = unsigned(Prod.Rhs.size()); J != JE; ++J) {
-        Symbol S = Prod.Rhs[J];
-        if (Cost[S.id()] != Inf) {
-          unsigned Total =
-              Prefix + Cost[S.id()] + (unsigned(Prod.Rhs.size()) - J - 1);
-          if (Total < Cost[Prod.Lhs.id()]) {
-            Cost[Prod.Lhs.id()] = Total;
-            Best[Prod.Lhs.id()] = Choice{P, J};
-            Changed = true;
-          }
-        }
-        if (EpsCost[S.id()] == Inf)
-          break;
-        Prefix += EpsCost[S.id()];
-      }
-    }
-  }
+  std::vector<unsigned> Cost;
+  std::vector<MinimalDerivationChoices::BeginChoice> Best;
+  Min.beginningWith(G, T, Cost, Best);
 
   // Reconstruct greedily; costs strictly decrease into subproblems.
   struct Rec {
     const NonunifyingBuilder &B;
-    const std::vector<Choice> &Best;
+    const std::vector<MinimalDerivationChoices::BeginChoice> &Best;
     Symbol T;
 
     DerivPtr operator()(Symbol N) const {
       if (N == T)
         return Derivation::leaf(T);
-      const Choice &C = Best[N.id()];
+      const MinimalDerivationChoices::BeginChoice &C = Best[N.id()];
       if (C.Prod == GrammarAnalysis::Infinite)
         throw SearchError(
             "nonunifying builder: unreconstructible continuation");

@@ -29,6 +29,34 @@
 
 namespace lalrcex {
 
+/// Minimal-derivation choice tables: for every symbol, the production
+/// heading its smallest epsilon derivation, and (per target terminal) the
+/// production and RHS position heading its smallest derivation whose yield
+/// begins with that terminal. Shared between the nonunifying builder,
+/// which materializes derivations from the choices, and the incremental
+/// remap verifier (IncrementalSession), which certifies that the choices a
+/// stored derivation was built from survive a grammar edit unchanged. The
+/// certification compares these tables across two generations, so both
+/// sides must come from this one fixpoint with this one tie-breaking.
+struct MinimalDerivationChoices {
+  /// Minimal epsilon-derivation tree size per symbol (Infinite when not
+  /// nullable) and the production achieving it.
+  std::vector<unsigned> EpsCost;
+  std::vector<unsigned> EpsProd;
+
+  explicit MinimalDerivationChoices(const Grammar &G);
+
+  struct BeginChoice {
+    unsigned Prod = GrammarAnalysis::Infinite;
+    unsigned Pos = 0;
+  };
+
+  /// Minimal begins-with-\p T derivation sizes per symbol, with the
+  /// chosen production and the RHS position continuing toward \p T.
+  void beginningWith(const Grammar &G, Symbol T, std::vector<unsigned> &Cost,
+                     std::vector<BeginChoice> &Best) const;
+};
+
 /// Stateless helper building both halves of a nonunifying counterexample.
 class NonunifyingBuilder {
 public:
@@ -73,10 +101,7 @@ private:
   const StateItemGraph &Graph;
   const Grammar &G;
   const GrammarAnalysis &Analysis;
-  /// Minimal epsilon-derivation tree size per symbol (Infinite when not
-  /// nullable) and the production achieving it.
-  std::vector<unsigned> EpsCost;
-  std::vector<unsigned> EpsProd;
+  MinimalDerivationChoices Min;
 };
 
 } // namespace lalrcex

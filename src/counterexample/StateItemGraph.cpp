@@ -9,10 +9,19 @@
 #include "support/Metrics.h"
 #include "support/Trace.h"
 
+#include <algorithm>
 #include <cassert>
 #include <deque>
 
 using namespace lalrcex;
+
+thread_local GraphTouchRecorder *GraphTouchRecorder::Active = nullptr;
+
+std::vector<uint32_t> GraphTouchRecorder::sortedNodes() const {
+  std::vector<uint32_t> Out = Touched;
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
 
 StateItemGraph::StateItemGraph(const Automaton &M, MetricsRegistry *Metrics,
                                TraceRecorder *Trace)
@@ -77,6 +86,111 @@ StateItemGraph::StateItemGraph(const Automaton &M, MetricsRegistry *Metrics,
   }
 }
 
+StateItemGraph::StateItemGraph(const Automaton &M, const StateItemGraph &Old,
+                               const std::vector<int> &NewToOldState,
+                               const std::vector<bool> &SplicedNew,
+                               MetricsRegistry *Metrics, TraceRecorder *Trace)
+    : M(M), LaPool(TerminalSetPool::overlay(M.analysis().pool())) {
+  ScopedTimer Timer(Metrics, metric::TimeGraphBuildNs);
+  TraceSpan Span(Trace, "graph-patch");
+  const Grammar &G = M.grammar();
+  assert(NewToOldState.size() == M.numStates() &&
+         SplicedNew.size() == M.numStates() && "state maps of another patch");
+
+  // Node enumeration always follows the new automaton — it defines node
+  // ids and is a linear copy.
+  StateOffset.assign(M.numStates() + 1, 0);
+  for (unsigned S = 0, SE = M.numStates(); S != SE; ++S) {
+    StateOffset[S] = unsigned(Nodes.size());
+    const Automaton::State &St = M.state(S);
+    for (unsigned I = 0, IE = unsigned(St.Items.size()); I != IE; ++I)
+      Nodes.push_back(NodeData{S, I, St.Items[I]});
+  }
+  StateOffset[M.numStates()] = unsigned(Nodes.size());
+
+  std::vector<int> OldToNew(Old.M.numStates(), -1);
+  for (unsigned S = 0, SE = M.numStates(); S != SE; ++S)
+    if (NewToOldState[S] >= 0)
+      OldToNew[unsigned(NewToOldState[S])] = int(S);
+
+  Fwd.assign(Nodes.size(), InvalidNode);
+  std::vector<std::vector<NodeId>> ProdRows(Nodes.size());
+
+  for (unsigned S = 0, SE = M.numStates(); S != SE; ++S) {
+    if (SplicedNew[S]) {
+      // Spliced state: same item layout as its old counterpart, so each
+      // node's rows translate arithmetically. Transition targets are
+      // kernel items of kernel-matched states (kernels are sorted and
+      // the production map is monotone, so kernel item indices are
+      // preserved even in states whose closures were rebuilt), and
+      // production steps stay within this state.
+      unsigned OS = unsigned(NewToOldState[S]);
+      unsigned Count = StateOffset[S + 1] - StateOffset[S];
+      for (unsigned I = 0; I != Count; ++I) {
+        NodeId N = StateOffset[S] + I;
+        NodeId ON = Old.StateOffset[OS] + I;
+        NodeId OF = Old.Fwd[ON];
+        if (OF != InvalidNode) {
+          unsigned OldTargetState = Old.Nodes[OF].State;
+          assert(OldToNew[OldTargetState] >= 0 &&
+                 "spliced state's transition target must be matched");
+          Fwd[N] = StateOffset[unsigned(OldToNew[OldTargetState])] +
+                   Old.Nodes[OF].ItemIndex;
+        }
+        for (NodeId OStep : Old.ProdSteps.row(ON))
+          ProdRows[N].push_back(StateOffset[S] + Old.Nodes[OStep].ItemIndex);
+      }
+      continue;
+    }
+    // Dirty or fresh state: the cold per-node derivation.
+    for (NodeId N = StateOffset[S], NE = StateOffset[S + 1]; N != NE; ++N) {
+      const NodeData &D = Nodes[N];
+      Symbol Next = D.Itm.afterDot(G);
+      if (!Next.valid())
+        continue;
+      int Target = M.transition(D.State, Next);
+      assert(Target >= 0 && "state must have a transition on the dot symbol");
+      NodeId Succ = nodeFor(unsigned(Target), D.Itm.advanced());
+      assert(Succ != InvalidNode && "advanced item missing from target state");
+      Fwd[N] = Succ;
+      if (G.isNonterminal(Next)) {
+        for (unsigned P : G.productionsOf(Next)) {
+          NodeId Step = nodeFor(D.State, Item(P, 0));
+          assert(Step != InvalidNode && "closure item missing from state");
+          ProdRows[N].push_back(Step);
+        }
+      }
+    }
+  }
+
+  // Reverse tables by bucket reversal in ascending source order — the
+  // cold builder pushes reverse entries in exactly this order, so the
+  // rebuilt rows are byte-identical to a cold build's.
+  std::vector<std::vector<NodeId>> RevTransRows(Nodes.size());
+  std::vector<std::vector<NodeId>> RevProdRows(Nodes.size());
+  for (NodeId N = 0, NE = NodeId(Nodes.size()); N != NE; ++N) {
+    if (Fwd[N] != InvalidNode)
+      RevTransRows[Fwd[N]].push_back(N);
+    for (NodeId Step : ProdRows[N])
+      RevProdRows[Step].push_back(N);
+  }
+
+  ProdSteps = Csr::fromRows(ProdRows);
+  RevTransitions = Csr::fromRows(RevTransRows);
+  RevProdSteps = Csr::fromRows(RevProdRows);
+  internNodeLookaheads();
+
+  if (Metrics) {
+    Metrics->add(metric::GraphBuilds);
+    Metrics->add(metric::GraphNodes, Nodes.size());
+    size_t Edges = ProdSteps.Data.size();
+    for (NodeId F : Fwd)
+      if (F != InvalidNode)
+        ++Edges;
+    Metrics->add(metric::GraphEdges, Edges);
+  }
+}
+
 void StateItemGraph::internNodeLookaheads() {
   NodeLookIds.clear();
   NodeLookIds.reserve(Nodes.size());
@@ -111,12 +225,22 @@ StateItemGraph::NodeId StateItemGraph::nodeFor(unsigned State,
   int Idx = M.state(State).indexOfItem(I);
   if (Idx < 0)
     return InvalidNode;
-  return StateOffset[State] + unsigned(Idx);
+  NodeId N = StateOffset[State] + unsigned(Idx);
+  recordTouch(N);
+  return N;
 }
 
 std::vector<bool> StateItemGraph::nodesReaching(NodeId Target) const {
+  // Every node the BFS marks is a read worth recording: the caller's
+  // pruning decisions depend on exactly the set of marked nodes, and a
+  // replayed search sees the same set precisely when every marked node
+  // still has identical reverse rows (the touched-set verification's
+  // induction runs over this BFS).
+  GraphTouchRecorder *Rec = GraphTouchRecorder::active();
   std::vector<bool> Reaches(Nodes.size(), false);
   Reaches[Target] = true;
+  if (Rec)
+    Rec->touch(Target);
   std::deque<NodeId> Work = {Target};
   while (!Work.empty()) {
     NodeId N = Work.front();
@@ -124,12 +248,16 @@ std::vector<bool> StateItemGraph::nodesReaching(NodeId Target) const {
     for (NodeId P : RevTransitions.row(N)) {
       if (!Reaches[P]) {
         Reaches[P] = true;
+        if (Rec)
+          Rec->touch(P);
         Work.push_back(P);
       }
     }
     for (NodeId P : RevProdSteps.row(N)) {
       if (!Reaches[P]) {
         Reaches[P] = true;
+        if (Rec)
+          Rec->touch(P);
         Work.push_back(P);
       }
     }
@@ -138,6 +266,7 @@ std::vector<bool> StateItemGraph::nodesReaching(NodeId Target) const {
 }
 
 std::string StateItemGraph::describe(NodeId N) const {
+  recordTouch(N);
   const NodeData &D = Nodes[N];
   return "(state #" + std::to_string(D.State) + ", " +
          grammar().productionString(D.Itm.Prod, int(D.Itm.Dot)) + ")";

@@ -37,6 +37,60 @@ struct ArtifactAccess;
 
 class TraceRecorder;
 
+/// Records the set of graph nodes a search *reads* — every accessor the
+/// searches reach the graph through marks the node it was asked about.
+/// The finder activates one recorder per examined conflict (thread-local,
+/// so concurrent outer workers record independently) and persists the
+/// touched set into the conflict's `.crep` blob; after a structural
+/// grammar edit, a stored report may be re-served exactly when every
+/// touched node still exists with identical item, lookaheads, and
+/// adjacency rows under the edit's id maps — the search, being
+/// deterministic, would replay the same steps (IncrementalSession.h).
+///
+/// Recording reads rather than search-specific "visited" sets is what
+/// makes the set complete: candidates a search probes and rejects are
+/// still reads, and all reads flow through the public accessors.
+class GraphTouchRecorder {
+public:
+  explicit GraphTouchRecorder(unsigned NumNodes) : Marks(NumNodes, false) {}
+
+  void touch(uint32_t N) {
+    if (N < Marks.size() && !Marks[N]) {
+      Marks[N] = true;
+      Touched.push_back(N);
+    }
+  }
+
+  /// The touched node ids in ascending order.
+  std::vector<uint32_t> sortedNodes() const;
+
+  /// The recorder active on this thread, or null when not recording.
+  static GraphTouchRecorder *active() { return Active; }
+
+private:
+  friend class ScopedGraphTouchRecorder;
+  static thread_local GraphTouchRecorder *Active;
+
+  std::vector<bool> Marks;
+  std::vector<uint32_t> Touched;
+};
+
+/// RAII activation of a GraphTouchRecorder on the current thread.
+class ScopedGraphTouchRecorder {
+public:
+  explicit ScopedGraphTouchRecorder(GraphTouchRecorder *R)
+      : Saved(GraphTouchRecorder::Active) {
+    GraphTouchRecorder::Active = R;
+  }
+  ~ScopedGraphTouchRecorder() { GraphTouchRecorder::Active = Saved; }
+  ScopedGraphTouchRecorder(const ScopedGraphTouchRecorder &) = delete;
+  ScopedGraphTouchRecorder &operator=(const ScopedGraphTouchRecorder &) =
+      delete;
+
+private:
+  GraphTouchRecorder *Saved;
+};
+
 /// Precomputed node/edge tables over (state, item) pairs.
 class StateItemGraph {
 public:
@@ -64,22 +118,49 @@ public:
                           MetricsRegistry *Metrics = nullptr,
                           TraceRecorder *Trace = nullptr);
 
+  /// Incremental rebuild over a patched automaton: node enumeration is
+  /// always recomputed from \p M (it is cheap and defines node ids), but
+  /// the adjacency rows of every *spliced* state — per-new-state flag
+  /// \p SplicedNew, old counterpart in \p NewToOldState, both from
+  /// Automaton::patch — are translated arithmetically from \p Old
+  /// instead of re-deriving them through transition lookups and item
+  /// searches. Spliced states keep their old item layout and their
+  /// transition targets land on kernel items of matched states, whose
+  /// kernel indices are also preserved, so the translation is exact; the
+  /// reverse tables are rebuilt by bucket reversal in ascending node
+  /// order, reproducing the cold construction order. Dirty and fresh
+  /// states take the cold per-node path. The result is identical to a
+  /// cold build over \p M.
+  StateItemGraph(const Automaton &M, const StateItemGraph &Old,
+                 const std::vector<int> &NewToOldState,
+                 const std::vector<bool> &SplicedNew,
+                 MetricsRegistry *Metrics = nullptr,
+                 TraceRecorder *Trace = nullptr);
+
   const Automaton &automaton() const { return M; }
   const Grammar &grammar() const { return M.grammar(); }
 
   unsigned numNodes() const { return unsigned(Nodes.size()); }
 
-  unsigned stateOf(NodeId N) const { return Nodes[N].State; }
-  const Item &itemOf(NodeId N) const { return Nodes[N].Itm; }
+  unsigned stateOf(NodeId N) const {
+    recordTouch(N);
+    return Nodes[N].State;
+  }
+  const Item &itemOf(NodeId N) const {
+    recordTouch(N);
+    return Nodes[N].Itm;
+  }
 
   /// The LALR lookahead set of the node's item.
   const IndexSet &lookahead(NodeId N) const {
+    recordTouch(N);
     return M.state(Nodes[N].State).Lookaheads[Nodes[N].ItemIndex];
   }
 
   /// The node's lookahead set as a canonical id in pool(). Searches union
   /// and compare these without touching the underlying bitsets.
   TerminalSetPool::SetId lookaheadId(NodeId N) const {
+    recordTouch(N);
     return NodeLookIds[N];
   }
 
@@ -94,24 +175,33 @@ public:
   /// The symbol after the node's dot (the label of its out-transition);
   /// invalid for reduce items.
   Symbol transitionSymbol(NodeId N) const {
+    recordTouch(N);
     return Nodes[N].Itm.afterDot(grammar());
   }
 
   /// Transition successor, or InvalidNode for reduce items.
-  NodeId forwardTransition(NodeId N) const { return Fwd[N]; }
+  NodeId forwardTransition(NodeId N) const {
+    recordTouch(N);
+    return Fwd[N];
+  }
 
   /// Production-step successors (targets are dot-0 items of the
   /// nonterminal after the dot, in the same state).
-  NodeRange productionSteps(NodeId N) const { return ProdSteps.row(N); }
+  NodeRange productionSteps(NodeId N) const {
+    recordTouch(N);
+    return ProdSteps.row(N);
+  }
 
   /// Sources of transitions into \p N.
   NodeRange reverseTransitions(NodeId N) const {
+    recordTouch(N);
     return RevTransitions.row(N);
   }
 
   /// Sources of production steps into \p N (only nonempty for dot-0
   /// items).
   NodeRange reverseProductionSteps(NodeId N) const {
+    recordTouch(N);
     return RevProdSteps.row(N);
   }
 
@@ -129,6 +219,13 @@ private:
     unsigned ItemIndex;
     Item Itm;
   };
+
+  /// Reports a node read to the thread's active touch recorder, if any
+  /// (a thread-local load and a branch when recording is off).
+  void recordTouch(NodeId N) const {
+    if (GraphTouchRecorder *R = GraphTouchRecorder::active())
+      R->touch(N);
+  }
 
   /// Compressed-sparse-row adjacency: all rows in one contiguous array
   /// with per-node offsets. One allocation per edge kind instead of one

@@ -1,0 +1,115 @@
+//===- grammar/GrammarDelta.h - Structural diff of two grammars *- C++ -*-===//
+//
+// Part of lalrcex.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A structural diff between two grammars — the old one an automaton was
+/// built for and the edited one the author just handed back — expressed
+/// as partial id maps plus dirtiness sets. It is the input contract of
+/// the dirty-state automaton patch (lr/Automaton.h) and of conflict-
+/// report remapping (counterexample/IncrementalSession.h).
+///
+/// Matching is deliberately conservative: the delta only claims what it
+/// can prove cheaply, and every consumer falls back to a cold rebuild
+/// when `Valid` is false or a needed id is unmapped. Concretely:
+///
+///   - Terminals must agree exactly (same count, same names, in id
+///     order). Terminal ids double as lookahead-bitset indices, so any
+///     terminal change invalidates the whole delta rather than trying
+///     to translate bitsets.
+///   - Nonterminals are matched by name first; leftover old and new
+///     nonterminals are then paired positionally in id order, which
+///     absorbs renames. A mis-pairing is harmless: the paired blocks
+///     fail to match structurally and both sides are marked edited.
+///   - Per matched nonterminal, the production blocks are compared
+///     positionally under the symbol map; a positionally identical
+///     block is *unedited* and maps 1:1. Otherwise the nonterminal is
+///     *edited* on both sides and the blocks are matched by a longest
+///     common subsequence, so an insert/delete/rotation still maps
+///     every surviving alternative.
+///   - The production map must be globally monotone (old index order
+///     preserved), because item vectors and kernels are ordered by
+///     production index and the automaton patch splices them without
+///     re-sorting. Our edit model only inserts/deletes/rotates within
+///     a block, which keeps the map monotone; anything wilder simply
+///     invalidates the delta.
+///
+/// *Edited* is a local property (this nonterminal's own block changed);
+/// *affected* is its transitive closure through sub-grammar slices: a
+/// nonterminal is affected when its slice (grammar/SubGrammar.h) can
+/// reach an edited nonterminal, i.e. when FIRST sets, nullability, or
+/// derivations rooted at it could differ between the two grammars.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LALRCEX_GRAMMAR_GRAMMARDELTA_H
+#define LALRCEX_GRAMMAR_GRAMMARDELTA_H
+
+#include "grammar/Grammar.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lalrcex {
+
+class SubGrammarIndex;
+
+/// The structural diff described in the file comment. All vectors are
+/// indexed by old/new symbol id or production index; -1 means unmapped.
+struct GrammarDelta {
+  /// False when the grammars are not comparable (terminal mismatch,
+  /// non-monotone production map); consumers must rebuild cold.
+  bool Valid = false;
+  /// One-line reason when !Valid, for trace/debug output.
+  std::string InvalidReason;
+
+  std::vector<int32_t> SymbolMap;    ///< old symbol id -> new id or -1
+  std::vector<int32_t> InvSymbolMap; ///< new symbol id -> old id or -1
+  std::vector<int32_t> ProdMap;      ///< old prod index -> new index or -1
+  std::vector<int32_t> InvProdMap;   ///< new prod index -> old index or -1
+
+  /// Per symbol id: nonterminal whose own production block changed
+  /// (terminals are never edited — a terminal change invalidates).
+  std::vector<bool> EditedOld, EditedNew;
+  /// Per symbol id: nonterminal whose slice reaches an edited one.
+  std::vector<bool> AffectedOld, AffectedNew;
+  /// Per production: left-hand side is affected (and therefore so is
+  /// anything its right-hand side can derive).
+  std::vector<bool> ProdAffectedOld, ProdAffectedNew;
+
+  Symbol mapSymbol(Symbol S) const {
+    if (!S.valid() || unsigned(S.id()) >= SymbolMap.size())
+      return Symbol();
+    int32_t Id = SymbolMap[S.id()];
+    return Id < 0 ? Symbol() : Symbol(Id);
+  }
+  Symbol invMapSymbol(Symbol S) const {
+    if (!S.valid() || unsigned(S.id()) >= InvSymbolMap.size())
+      return Symbol();
+    int32_t Id = InvSymbolMap[S.id()];
+    return Id < 0 ? Symbol() : Symbol(Id);
+  }
+  /// \returns the new index of old production \p P, or -1.
+  int32_t mapProd(unsigned P) const {
+    return P < ProdMap.size() ? ProdMap[P] : -1;
+  }
+  /// \returns the old index of new production \p P, or -1.
+  int32_t invMapProd(unsigned P) const {
+    return P < InvProdMap.size() ? InvProdMap[P] : -1;
+  }
+};
+
+/// Computes the delta from \p Old to \p New. The slice indices must be
+/// over the respective grammars; they supply the reachability closures
+/// behind the affected sets.
+GrammarDelta computeGrammarDelta(const Grammar &Old,
+                                 const SubGrammarIndex &OldSlices,
+                                 const Grammar &New,
+                                 const SubGrammarIndex &NewSlices);
+
+} // namespace lalrcex
+
+#endif // LALRCEX_GRAMMAR_GRAMMARDELTA_H

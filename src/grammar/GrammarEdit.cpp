@@ -28,6 +28,8 @@ const char *lalrcex::editKindName(EditKind K) {
     return "toggle-precedence";
   case EditKind::ToggleExpect:
     return "toggle-expect";
+  case EditKind::ToggleNonterminal:
+    return "toggle-nonterminal";
   }
   return "unknown";
 }
@@ -253,6 +255,63 @@ std::optional<std::string> EditableGrammar::applyRandomEdit(EditKind K,
     ExpectSr = ExpectSr < 0 ? int(Rng.below(8)) : -1;
     return std::string("toggle-expect ") + std::to_string(ExpectSr);
   }
+  case EditKind::ToggleNonterminal: {
+    // Delete direction: drop one nonterminal's whole block plus every
+    // alternative referencing it. A removal that strands another
+    // nonterminal without alternatives fails build() and the caller
+    // retries with a fresh draw.
+    std::vector<std::string> Deletable;
+    for (const std::string &Nt : Nts)
+      if (Nt != StartName)
+        Deletable.push_back(Nt);
+    if (!Deletable.empty() && Rng.below(2) == 0) {
+      const std::string &Nt =
+          Deletable[Rng.below(unsigned(Deletable.size()))];
+      std::string Detail = "remove-nonterminal " + Nt;
+      Rules.erase(std::remove_if(Rules.begin(), Rules.end(),
+                                 [&](const Rule &R) {
+                                   return R.Lhs == Nt ||
+                                          std::find(R.Rhs.begin(),
+                                                    R.Rhs.end(),
+                                                    Nt) != R.Rhs.end();
+                                 }),
+                  Rules.end());
+      if (Rules.empty())
+        return std::nullopt;
+      return Detail;
+    }
+    // Add direction: a fresh nonterminal block appended after every
+    // existing block (so every existing symbol id survives unchanged),
+    // with at least one all-terminal alternative to keep it productive,
+    // plus one trailing alternative on an existing nonterminal that
+    // references the new block so it is reachable and actually grows the
+    // automaton.
+    std::string Fresh = freshName("nt_new");
+    Rule R1;
+    R1.Lhs = Fresh;
+    unsigned Len = 1 + Rng.below(3);
+    for (unsigned I = 0; I != Len && !Terminals.empty(); ++I)
+      R1.Rhs.push_back(Terminals[Rng.below(unsigned(Terminals.size()))]);
+    Rules.push_back(std::move(R1));
+    if (Rng.below(2) == 0) {
+      std::vector<std::string> Pool = Terminals;
+      Pool.insert(Pool.end(), Nts.begin(), Nts.end());
+      Rule R2;
+      R2.Lhs = Fresh;
+      unsigned Len2 = Rng.below(3);
+      for (unsigned I = 0; I != Len2 && !Pool.empty(); ++I)
+        R2.Rhs.push_back(Pool[Rng.below(unsigned(Pool.size()))]);
+      Rules.push_back(std::move(R2));
+    }
+    const std::string &Host = Nts[Rng.below(unsigned(Nts.size()))];
+    Rule Ref;
+    Ref.Lhs = Host;
+    if (!Terminals.empty() && Rng.below(2) == 0)
+      Ref.Rhs.push_back(Terminals[Rng.below(unsigned(Terminals.size()))]);
+    Ref.Rhs.push_back(Fresh);
+    Rules.push_back(std::move(Ref));
+    return "add-nonterminal " + Fresh + " via " + Host;
+  }
   }
   return std::nullopt;
 }
@@ -262,6 +321,7 @@ const std::vector<EditKind> &lalrcex::allEditKinds() {
       EditKind::AddAlternative,      EditKind::RemoveAlternative,
       EditKind::ReorderAlternatives, EditKind::RenameNonterminal,
       EditKind::TogglePrecedence,    EditKind::ToggleExpect,
+      EditKind::ToggleNonterminal,
   };
   return Kinds;
 }

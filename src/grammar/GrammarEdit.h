@@ -46,6 +46,7 @@ enum class EditKind : uint8_t {
   RenameNonterminal,   ///< rename one nonterminal to a fresh name
   TogglePrecedence,    ///< add/remove one terminal's precedence
   ToggleExpect,        ///< change the %expect declaration
+  ToggleNonterminal,   ///< introduce/delete a whole fresh-nonterminal block
 };
 
 /// Short stable name ("add-alternative", ...), for logs and bench labels.
@@ -126,7 +127,7 @@ std::optional<AppliedEdit>
 applyRandomEdit(EditableGrammar &E, EditRng &Rng,
                 const std::vector<EditKind> &Kinds);
 
-/// All six edit kinds, the default menu for oracle tests and -edit-loop.
+/// All seven edit kinds, the default menu for oracle tests and -edit-loop.
 const std::vector<EditKind> &allEditKinds();
 
 } // namespace lalrcex

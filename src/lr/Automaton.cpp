@@ -6,6 +6,7 @@
 
 #include "lr/Automaton.h"
 
+#include "grammar/GrammarDelta.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
 
@@ -607,11 +608,17 @@ unsigned Automaton::computeKernelLookaheadsPooled() {
   return Passes;
 }
 
-unsigned Automaton::computeClosureLookaheadsPooled() {
+unsigned Automaton::computeClosureLookaheadsPooled(
+    const std::vector<bool> *SkipStates) {
   TerminalSetPool Pool = TerminalSetPool::overlay(Analysis.pool());
   std::vector<TerminalSetPool::SetId> Ids;
   unsigned Pops = 0;
-  for (State &St : States) {
+  for (size_t SI = 0; SI != States.size(); ++SI) {
+    State &St = States[SI];
+    // Incremental rebuilds pre-fill some states' lookahead vectors from
+    // the previous automaton when the fixpoint's inputs are unchanged.
+    if (SkipStates && (*SkipStates)[SI])
+      continue;
     std::map<uint32_t, unsigned> ClosureIndex;
     for (unsigned I = 0, E = unsigned(St.Items.size()); I != E; ++I)
       if (St.Items[I].Dot == 0)
@@ -666,4 +673,215 @@ const IndexSet &Automaton::lookahead(unsigned StateIndex,
   int Idx = St.indexOfItem(I);
   assert(Idx >= 0 && "item not present in state");
   return St.Lookaheads[unsigned(Idx)];
+}
+
+std::unique_ptr<Automaton>
+Automaton::patch(const Grammar &G, const GrammarAnalysis &Analysis,
+                 const Automaton &Old, const GrammarDelta &Delta,
+                 const AutomatonOptions &Opts, AutomatonPatchStats *Stats,
+                 std::vector<int> *OldToNewOut, std::vector<int> *NewToOldOut,
+                 std::vector<bool> *SplicedOut) {
+  if (Opts.Kind != AutomatonKind::Lalr1 || Old.Kind != AutomatonKind::Lalr1 ||
+      !Delta.Valid)
+    return nullptr;
+  assert(&Analysis.grammar() == &G && "analysis built for another grammar");
+  ScopedTimer Timer(Opts.Metrics, metric::TimeAutomatonNs);
+  TraceSpan Span(Opts.Trace, "automaton-patch");
+
+  std::unique_ptr<Automaton> M(
+      new Automaton(G, Analysis, Opts.Kind, RestoreTag{}));
+
+  // Classify old states. A state is *clean* when every item's production
+  // maps and no dot sits before an edited nonterminal: its remapped item
+  // vector is then exactly the LR(0) closure of its remapped kernel in
+  // the new grammar (the closure only expands unedited blocks, which map
+  // positionally). Separately, every old state whose *kernel* maps in
+  // full is indexed by its remapped kernel, so the worklist below can
+  // recognize surviving cores even when their closures must be re-run.
+  const unsigned NumOldStates = Old.numStates();
+  std::vector<bool> CleanOld(NumOldStates, false);
+  std::map<std::vector<Item>, unsigned> OldKernelMap;
+  {
+    std::vector<Item> Mapped;
+    for (unsigned S = 0; S != NumOldStates; ++S) {
+      const State &St = Old.States[S];
+      bool Clean = true;
+      for (const Item &I : St.Items) {
+        if (Delta.mapProd(I.Prod) < 0) {
+          Clean = false;
+          break;
+        }
+        Symbol Next = I.afterDot(Old.G);
+        if (Next.valid() && Old.G.isNonterminal(Next) &&
+            Delta.EditedOld[Next.id()]) {
+          Clean = false;
+          break;
+        }
+      }
+      CleanOld[S] = Clean;
+
+      Mapped.clear();
+      bool KernelMaps = true;
+      for (unsigned KI = 0; KI != St.NumKernel; ++KI) {
+        int32_t Q = Delta.mapProd(St.Items[KI].Prod);
+        if (Q < 0) {
+          KernelMaps = false;
+          break;
+        }
+        Mapped.emplace_back(uint32_t(Q), St.Items[KI].Dot);
+      }
+      if (!KernelMaps)
+        continue;
+      // The production map is monotone, so the remapped kernel is already
+      // sorted; keep the sort as belt-and-braces for the map key.
+      std::sort(Mapped.begin(), Mapped.end());
+      OldKernelMap.emplace(Mapped, S);
+    }
+  }
+
+  // The cold builder's worklist, with one change inside internState: a
+  // kernel that names a clean old state splices that state's remapped
+  // item vector instead of running closure(). Interning order — and
+  // therefore state numbering — is untouched.
+  std::vector<int> OldToNew(NumOldStates, -1);
+  std::vector<int> NewToOld;
+  std::vector<bool> Spliced;
+  std::map<std::vector<Item>, unsigned> KernelToState;
+  std::deque<unsigned> Work;
+
+  auto internState = [&](std::vector<Item> Kernel) -> unsigned {
+    std::sort(Kernel.begin(), Kernel.end());
+    auto It = KernelToState.find(Kernel);
+    if (It != KernelToState.end())
+      return It->second;
+    unsigned Index = unsigned(M->States.size());
+    State S;
+    int OldIndex = -1;
+    bool DidSplice = false;
+    auto OldIt = OldKernelMap.find(Kernel);
+    if (OldIt != OldKernelMap.end()) {
+      OldIndex = int(OldIt->second);
+      if (CleanOld[OldIt->second]) {
+        const State &OldSt = Old.States[OldIt->second];
+        S.NumKernel = OldSt.NumKernel;
+        S.Items.reserve(OldSt.Items.size());
+        for (const Item &I : OldSt.Items)
+          S.Items.emplace_back(uint32_t(Delta.ProdMap[I.Prod]), I.Dot);
+        DidSplice = true;
+#ifndef NDEBUG
+        unsigned CheckKernel = 0;
+        assert(M->closure(Kernel, &CheckKernel) == S.Items &&
+               CheckKernel == S.NumKernel &&
+               "spliced state diverges from cold closure");
+#endif
+      }
+    }
+    if (!DidSplice)
+      S.Items = M->closure(Kernel, &S.NumKernel);
+    KernelToState.emplace(std::move(Kernel), Index);
+    M->States.push_back(std::move(S));
+    NewToOld.push_back(OldIndex);
+    Spliced.push_back(DidSplice);
+    if (OldIndex >= 0)
+      OldToNew[unsigned(OldIndex)] = int(Index);
+    Work.push_back(Index);
+    return Index;
+  };
+
+  internState({Item(G.augmentedProduction(), 0)});
+
+  while (!Work.empty()) {
+    unsigned Index = Work.front();
+    Work.pop_front();
+    std::map<Symbol, std::vector<Item>> Moves;
+    for (const Item &I : M->States[Index].Items) {
+      Symbol Next = I.afterDot(G);
+      if (Next.valid())
+        Moves[Next].push_back(I.advanced());
+    }
+    for (auto &[Sym, Kernel] : Moves) {
+      unsigned Target = internState(std::move(Kernel));
+      M->States[Index].Transitions.emplace_back(Sym, Target);
+    }
+  }
+
+  // Lookaheads. The spontaneous-generation/propagation pass is global —
+  // lookaheads flow across the whole machine — and re-runs in full. The
+  // in-state closure fixpoint is skippable per state: for a spliced
+  // state whose productions are all unaffected by the edit (so the
+  // FIRST/nullable tables it consults are unchanged) and whose kernel
+  // lookaheads came out equal to the old state's, the fixpoint's inputs
+  // are identical and the old lookahead vector is the answer.
+  unsigned KernelPasses = 0, ClosurePasses = 0;
+  unsigned Copied = 0;
+  if (Opts.PooledSets) {
+    KernelPasses = M->computeKernelLookaheadsPooled();
+    std::vector<bool> CopyLa(M->States.size(), false);
+    for (unsigned S = 0, E = unsigned(M->States.size()); S != E; ++S) {
+      if (!Spliced[S])
+        continue;
+      const State &OldSt = Old.States[unsigned(NewToOld[S])];
+      State &NewSt = M->States[S];
+      bool Unaffected = true;
+      for (const Item &I : OldSt.Items)
+        if (Delta.ProdAffectedOld[I.Prod]) {
+          Unaffected = false;
+          break;
+        }
+      if (!Unaffected)
+        continue;
+      bool KernelEqual = true;
+      for (unsigned KI = 0; KI != NewSt.NumKernel; ++KI)
+        if (NewSt.Lookaheads[KI] != OldSt.Lookaheads[KI]) {
+          KernelEqual = false;
+          break;
+        }
+      if (!KernelEqual)
+        continue;
+      NewSt.Lookaheads = OldSt.Lookaheads;
+      CopyLa[S] = true;
+      ++Copied;
+    }
+    ClosurePasses = M->computeClosureLookaheadsPooled(&CopyLa);
+  } else {
+    KernelPasses = M->computeKernelLookaheads();
+    ClosurePasses = M->computeClosureLookaheads();
+  }
+
+  AutomatonPatchStats PS;
+  for (unsigned S = 0, E = unsigned(M->States.size()); S != E; ++S) {
+    if (Spliced[S])
+      ++PS.StatesReused;
+    else if (NewToOld[S] >= 0)
+      ++PS.StatesRebuilt;
+    else
+      ++PS.StatesAdded;
+  }
+  for (unsigned S = 0; S != NumOldStates; ++S)
+    if (OldToNew[S] < 0)
+      ++PS.StatesDead;
+  PS.LookaheadsCopied = Copied;
+
+  if (Opts.Metrics) {
+    Opts.Metrics->add(metric::AutomatonBuilds);
+    Opts.Metrics->add(metric::AutomatonStates, M->States.size());
+    size_t Items = 0;
+    for (const State &St : M->States)
+      Items += St.Items.size();
+    Opts.Metrics->add(metric::AutomatonClosureItems, Items);
+    Opts.Metrics->add(metric::AutomatonKernelLaPasses, KernelPasses);
+    Opts.Metrics->add(metric::AutomatonClosureLaPasses, ClosurePasses);
+    Opts.Metrics->add(metric::AutomatonStatesReused, PS.StatesReused);
+    Opts.Metrics->add(metric::AutomatonStatesRebuilt, PS.StatesRebuilt);
+    Opts.Metrics->add(metric::AutomatonStatesAdded, PS.StatesAdded);
+  }
+  if (Stats)
+    *Stats = PS;
+  if (OldToNewOut)
+    *OldToNewOut = std::move(OldToNew);
+  if (NewToOldOut)
+    *NewToOldOut = std::move(NewToOld);
+  if (SplicedOut)
+    *SplicedOut = std::move(Spliced);
+  return M;
 }

@@ -29,6 +29,7 @@
 #include "lr/Item.h"
 #include "support/IndexSet.h"
 
+#include <memory>
 #include <vector>
 
 namespace lalrcex {
@@ -39,6 +40,17 @@ struct ArtifactAccess;
 
 class MetricsRegistry;
 class TraceRecorder;
+struct GrammarDelta;
+
+/// What one Automaton::patch call reused versus recomputed; the counts
+/// feed the automaton.states_* metrics and schema-6 bench records.
+struct AutomatonPatchStats {
+  unsigned StatesReused = 0;  ///< spliced: item closure taken from the old state
+  unsigned StatesRebuilt = 0; ///< kernel matched an old state, closure re-run
+  unsigned StatesAdded = 0;   ///< no old counterpart (fresh kernel)
+  unsigned StatesDead = 0;    ///< old states with no new counterpart
+  unsigned LookaheadsCopied = 0; ///< states whose closure-LA fixpoint was skipped
+};
 
 /// Which parser state machine to construct.
 enum class AutomatonKind {
@@ -107,6 +119,36 @@ public:
   /// The start state (always 0).
   unsigned startState() const { return 0; }
 
+  /// Dirty-state incremental rebuild: constructs the automaton for \p G
+  /// by re-running the LR(0) worklist while *splicing* every state whose
+  /// old counterpart is provably untouched by the edit described in
+  /// \p Delta — an old state is clean when every one of its items'
+  /// productions maps and no item's dot sits before an edited
+  /// nonterminal, in which case its remapped item vector *is* the LR(0)
+  /// closure of the remapped kernel (the expansion only consults
+  /// unedited production blocks, which map 1:1 in order). The worklist,
+  /// interning order, and transition grouping are the cold builder's,
+  /// so state numbering and every byte of the result are identical to a
+  /// cold build; the lookahead fixpoints then re-run globally, with the
+  /// in-state closure fixpoint skipped (lookahead vector copied) for
+  /// spliced states whose inputs — kernel lookaheads and the FIRST
+  /// tables of their productions' suffixes — are unchanged.
+  ///
+  /// \p Old must be the automaton of \p Delta's old grammar. \returns
+  /// nullptr when patching is inapplicable (non-LALR(1) kind on either
+  /// side, or an invalid delta) and the caller must build cold. On
+  /// success the optional out-parameters receive the old<->new state
+  /// correspondence (kernel-matched states; -1 where none) and, per new
+  /// state, whether it was spliced (item layout identical to its old
+  /// counterpart under the delta's production map).
+  static std::unique_ptr<Automaton>
+  patch(const Grammar &G, const GrammarAnalysis &Analysis,
+        const Automaton &Old, const GrammarDelta &Delta,
+        const AutomatonOptions &Opts, AutomatonPatchStats *Stats = nullptr,
+        std::vector<int> *OldToNew = nullptr,
+        std::vector<int> *NewToOld = nullptr,
+        std::vector<bool> *Spliced = nullptr);
+
   /// Target of the transition from \p StateIndex on \p S, or -1 if none.
   int transition(unsigned StateIndex, Symbol S) const;
 
@@ -127,7 +169,8 @@ private:
   unsigned computeKernelLookaheads();
   unsigned computeClosureLookaheads();
   unsigned computeKernelLookaheadsPooled();
-  unsigned computeClosureLookaheadsPooled();
+  unsigned computeClosureLookaheadsPooled(
+      const std::vector<bool> *SkipStates = nullptr);
   void buildCanonical(bool PooledSets);
 
   /// The closure item set of a kernel (LR(0) closure), returning items in

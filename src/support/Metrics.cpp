@@ -25,6 +25,9 @@ const char *const CounterNames[metric::NumCounters] = {
     "automaton.closure_items",
     "automaton.kernel_la_passes",
     "automaton.closure_la_passes",
+    "automaton.states_reused",
+    "automaton.states_rebuilt",
+    "automaton.states_added",
     "graph.builds",
     "graph.nodes",
     "graph.edges",
@@ -57,6 +60,7 @@ const char *const CounterNames[metric::NumCounters] = {
     "cache.stores",
     "cache.conflicts_reused",
     "cache.conflicts_recomputed",
+    "cache.conflicts_remapped",
     "examine.runs",
     "examine.conflicts",
     "examine.worker_failures",

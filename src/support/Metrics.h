@@ -40,6 +40,9 @@ enum Counter : unsigned {
   AutomatonClosureItems,
   AutomatonKernelLaPasses,
   AutomatonClosureLaPasses,
+  AutomatonStatesReused,
+  AutomatonStatesRebuilt,
+  AutomatonStatesAdded,
   GraphBuilds,
   GraphNodes,
   GraphEdges,
@@ -72,6 +75,7 @@ enum Counter : unsigned {
   CacheStores,
   CacheConflictsReused,
   CacheConflictsRecomputed,
+  CacheConflictsRemapped,
   ExamineRuns,
   ExamineConflicts,
   ExamineWorkerFailures,

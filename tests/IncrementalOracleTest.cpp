@@ -5,11 +5,22 @@
 // The randomized edit oracle behind incremental re-analysis: starting
 // from a corpus or random grammar, apply a seeded stream of single-
 // production edits (add/remove/reorder alternatives, rename a
-// nonterminal, toggle precedence, toggle %expect) and after every edit
-// check that the incremental run — conflict-level cache reuse against
-// the accumulated cache — is byte-identical to a cold recompute, at
-// Jobs = 1 and Jobs = 4, and that the reuse counters are exactly the
-// per-conflict key-set intersection with everything the cache has seen.
+// nonterminal, toggle precedence, toggle %expect, toggle a whole
+// fresh-nonterminal block) and after every edit check that the
+// incremental run is byte-identical to a cold recompute, at Jobs = 1 and
+// Jobs = 4, and that the reuse counters are exactly the per-conflict
+// key-set intersection with everything the cache has seen.
+//
+// Since PR 9 the incremental leg holds an IncrementalSession across the
+// edit stream, so it exercises all three reuse grains at once:
+//
+//   - the *automaton* is patched in place (dirty-cone rebuild, clean
+//     states spliced) — asserted byte-identical to a cold build through
+//     serializeAnalysis/serializeGraph after every edit;
+//   - *direct* per-conflict cache hits (PR 8) — keys that survived the
+//     edit verbatim;
+//   - *remapped* hits (PR 9) — keys that moved, re-served from the
+//     previous generation's blob after touched-set verification.
 //
 // Budgets are deterministic (step caps only, no wall-clock deadlines,
 // unlimited cumulative budget): report bytes are then a pure function of
@@ -22,6 +33,7 @@
 #include "RandomGrammar.h"
 #include "TestUtil.h"
 #include "cache/AnalysisCache.h"
+#include "counterexample/IncrementalSession.h"
 #include "grammar/GrammarEdit.h"
 
 #include <gtest/gtest.h>
@@ -43,16 +55,18 @@ std::string tempCacheDir(const std::string &Name) {
 /// Deterministic and reuse-eligible: per-conflict step caps only. A
 /// finite cumulative budget would both add cross-conflict coupling and
 /// switch the fine-grained layer off (see cache/AnalysisCache.h).
+/// JobsInner is pinned to 1 so graph-read recording is sound and every
+/// stored blob carries its touched set (the remap layer's precondition).
 FinderOptions oracleOptions(size_t MaxConfigs) {
   FinderOptions Opts;
   Opts.ConflictTimeLimitSeconds = 0;
   Opts.CumulativeTimeLimitSeconds = 0;
   Opts.MaxConfigurations = MaxConfigs;
+  Opts.JobsInner = 1;
   return Opts;
 }
 
-/// One full pipeline run (automaton rebuilt from scratch, reports via
-/// examineAll) plus everything the oracle compares.
+/// One full examineAll run plus everything the oracle compares.
 struct RunResult {
   /// serializeReports bytes with every report's wall-clock Seconds
   /// zeroed: the one field that legitimately differs between a cold
@@ -61,6 +75,7 @@ struct RunResult {
   /// Rendered report text (renders no timings).
   std::string Rendered;
   size_t Reused = 0;
+  size_t Remapped = 0;
   size_t Recomputed = 0;
   bool WholeSetHit = false;
   size_t NumConflicts = 0;
@@ -68,16 +83,18 @@ struct RunResult {
   std::vector<std::string> Keys;
 };
 
-RunResult runOnce(const Grammar &G, FinderOptions Opts,
-                  const std::string &CacheDir, unsigned Jobs) {
-  BuiltGrammar B(G);
+RunResult runWith(const Grammar &G, const ParseTable &T, FinderOptions Opts,
+                  const std::string &CacheDir, unsigned Jobs,
+                  const IncrementalHandoff *H) {
   Opts.CachePath = CacheDir;
   Opts.Jobs = Jobs;
-  CounterexampleFinder Finder(B.T, Opts);
+  Opts.Incremental = H;
+  CounterexampleFinder Finder(T, Opts);
   std::vector<ConflictReport> Reports = Finder.examineAll();
 
   RunResult R;
   R.Reused = Finder.cacheActivity().ConflictsReused;
+  R.Remapped = Finder.cacheActivity().ConflictsRemapped;
   R.Recomputed = Finder.cacheActivity().ConflictsRecomputed;
   R.WholeSetHit = Finder.cacheActivity().ReportsFromCache;
   R.NumConflicts = Reports.size();
@@ -85,21 +102,24 @@ RunResult runOnce(const Grammar &G, FinderOptions Opts,
   std::vector<ConflictReport> Zeroed = Reports;
   for (ConflictReport &Rep : Zeroed)
     Rep.Seconds = 0;
-  R.Bytes = serializeReports(B.G, B.M.kind(), Opts, Zeroed);
+  R.Bytes = serializeReports(G, T.automaton().kind(), Opts, Zeroed);
   for (const ConflictReport &Rep : Reports)
     R.Rendered += Finder.render(Rep);
 
-  ConflictKeyContext Ctx(B.M, Opts);
-  for (const Conflict &C : B.T.reportedConflicts())
+  ConflictKeyContext Ctx(T.automaton(), Opts);
+  for (const Conflict &C : T.reportedConflicts())
     R.Keys.push_back(Ctx.conflictFingerprint(C).hex());
   return R;
 }
 
 /// Drives one grammar through \p NumEdits seeded edits, holding two
-/// independently primed cache directories so the Jobs = 1 and Jobs = 4
-/// incremental legs each see the full edit history.
+/// IncrementalSessions with independently primed cache directories so the
+/// Jobs = 1 and Jobs = 4 incremental legs each see the full edit history
+/// (and each patch their automaton across it). \p TotalRemapped, when
+/// non-null, accumulates remap-layer hits across the whole stream.
 void runOracle(const Grammar &Initial, uint64_t Seed, unsigned NumEdits,
-               size_t MaxConfigs, const std::string &Tag) {
+               size_t MaxConfigs, const std::string &Tag,
+               size_t *TotalRemapped = nullptr) {
   SCOPED_TRACE(Tag + " seed " + std::to_string(Seed));
   std::string DirA = tempCacheDir(Tag + "_j1");
   std::string DirB = tempCacheDir(Tag + "_j4");
@@ -114,15 +134,23 @@ void runOracle(const Grammar &Initial, uint64_t Seed, unsigned NumEdits,
   ASSERT_EQ(grammarFingerprint(*G0, AutomatonKind::Lalr1),
             grammarFingerprint(Initial, AutomatonKind::Lalr1));
 
+  IncrementalSession SessA(*G0), SessB(*G0);
+
   // Prime both cache directories with the pre-edit grammar; the first
   // run of a fresh cache reuses nothing and recomputes everything.
   std::set<std::string> Seen;
-  for (const std::string &Dir : {DirA, DirB}) {
-    RunResult Prime = runOnce(*G0, Opts, Dir, Dir == DirA ? 1u : 4u);
-    EXPECT_EQ(Prime.Reused, 0u);
-    EXPECT_EQ(Prime.Recomputed, Prime.NumConflicts);
-    for (const std::string &K : Prime.Keys)
-      Seen.insert(K);
+  {
+    RunResult PrimeA = runWith(SessA.grammar(), SessA.table(), Opts, DirA,
+                               1, nullptr);
+    RunResult PrimeB = runWith(SessB.grammar(), SessB.table(), Opts, DirB,
+                               4, nullptr);
+    for (const RunResult *Prime : {&PrimeA, &PrimeB}) {
+      EXPECT_EQ(Prime->Reused, 0u);
+      EXPECT_EQ(Prime->Remapped, 0u);
+      EXPECT_EQ(Prime->Recomputed, Prime->NumConflicts);
+      for (const std::string &K : Prime->Keys)
+        Seen.insert(K);
+    }
   }
 
   for (unsigned E = 0; E != NumEdits; ++E) {
@@ -134,21 +162,39 @@ void runOracle(const Grammar &Initial, uint64_t Seed, unsigned NumEdits,
     std::optional<Grammar> Edited = Model.build();
     ASSERT_TRUE(Edited) << "validated edit no longer builds";
 
-    RunResult Cold = runOnce(*Edited, Opts, std::string(), 1);
+    // Advance both sessions, then hold the patched pipeline to the
+    // absolute bar: automaton + table + state-item graph byte-identical
+    // to a cold build, not merely action-equivalent.
+    SessA.advance(*Edited);
+    SessB.advance(*Edited);
+    BuiltGrammar ColdBuild(*Edited);
+    StateItemGraph ColdGraph(ColdBuild.M);
+    std::string ColdAnalysis = serializeAnalysis(ColdBuild.T);
+    std::string ColdGraphBytes = serializeGraph(ColdGraph);
+    ASSERT_EQ(serializeAnalysis(SessA.table()), ColdAnalysis);
+    ASSERT_EQ(serializeGraph(SessA.graph()), ColdGraphBytes);
+    ASSERT_EQ(serializeAnalysis(SessB.table()), ColdAnalysis);
+    ASSERT_EQ(serializeGraph(SessB.graph()), ColdGraphBytes);
+
+    RunResult Cold = runWith(ColdBuild.G, ColdBuild.T, Opts,
+                             std::string(), 1, nullptr);
     EXPECT_EQ(Cold.Reused, 0u);
     EXPECT_EQ(Cold.Recomputed, 0u); // cacheless runs count nothing
 
-    // The exact expectation, from the key layer itself: a conflict is
-    // re-served iff its key is already in the cache, i.e. appeared in
-    // any earlier run of this edit history.
+    // The exact expectation for *direct* hits, from the key layer
+    // itself: a conflict's key hits iff it is already in the cache,
+    // i.e. appeared in any earlier run of this edit history. Remapped
+    // hits come on top of these, out of the missed remainder.
     size_t ExpectReused = 0;
     for (const std::string &K : Cold.Keys)
       if (Seen.count(K))
         ++ExpectReused;
 
     for (unsigned Jobs : {1u, 4u}) {
-      RunResult Incr =
-          runOnce(*Edited, Opts, Jobs == 1 ? DirA : DirB, Jobs);
+      IncrementalSession &Sess = Jobs == 1 ? SessA : SessB;
+      RunResult Incr = runWith(Sess.grammar(), Sess.table(), Opts,
+                               Jobs == 1 ? DirA : DirB, Jobs,
+                               Sess.handoff());
       SCOPED_TRACE("Jobs=" + std::to_string(Jobs));
       // Byte-identity with the cold recompute, and identical rendering.
       EXPECT_EQ(Incr.Bytes, Cold.Bytes);
@@ -158,11 +204,16 @@ void runOracle(const Grammar &Initial, uint64_t Seed, unsigned NumEdits,
         // toggled back): the whole-set key hit and the fine-grained
         // layer never ran.
         EXPECT_EQ(Incr.Reused, 0u);
+        EXPECT_EQ(Incr.Remapped, 0u);
         EXPECT_EQ(Incr.Recomputed, 0u);
       } else {
         EXPECT_EQ(Incr.Reused, ExpectReused);
-        EXPECT_EQ(Incr.Recomputed, Incr.NumConflicts - ExpectReused);
+        // Reused + Remapped + Recomputed covers every conflict.
+        EXPECT_EQ(Incr.Recomputed,
+                  Incr.NumConflicts - Incr.Reused - Incr.Remapped);
       }
+      if (TotalRemapped)
+        *TotalRemapped += Incr.Remapped;
     }
     for (const std::string &K : Cold.Keys)
       Seen.insert(K);
@@ -180,15 +231,24 @@ TEST(IncrementalOracleTest, CorpusGrammars) {
   // A cross-section of the corpus: the paper's running example, a
   // precedence-heavy grammar, and real-language extracts with both
   // shift/reduce and reduce/reduce conflicts.
+  size_t TotalRemapped = 0;
+  // xi's seed is picked so the stream opens with a structural edit far
+  // from its conflicts (an added alternative whose FIRST contribution is
+  // absorbed): the keys move but every verification survives, which is
+  // the remap layer's reason to exist and is asserted below.
   for (const Entry &E : {Entry{"figure1", 11}, Entry{"figure3", 12},
                          Entry{"expr_prec_unresolved", 13},
                          Entry{"SQL.1", 14}, Entry{"SQL.3", 15},
-                         Entry{"xi", 16}}) {
+                         Entry{"xi", 14}}) {
     runOracle(loadCorpusGrammar(E.Name), E.Seed, 4, 20'000,
-              std::string("corpus_") + E.Name);
+              std::string("corpus_") + E.Name, &TotalRemapped);
     if (::testing::Test::HasFatalFailure())
       return;
   }
+  // The remap layer must actually fire somewhere in the stream: a
+  // structural edit that moves keys while leaving some conflict's
+  // supporting subgraph intact is common across 6 grammars x 4 edits.
+  EXPECT_GT(TotalRemapped, 0u);
 }
 
 TEST(IncrementalOracleTest, RandomGrammars) {
