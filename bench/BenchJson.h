@@ -9,11 +9,11 @@
 /// file next to its human-readable output, so each PR's perf numbers can
 /// be compared against the recorded trajectory instead of eyeballed.
 ///
-/// Schema (version 6), documented in README.md:
+/// Schema (version 7), documented in README.md:
 ///
 ///   {
 ///     "tool": "<tool name>",
-///     "schema": 6,
+///     "schema": 7,
 ///     "cpus": <hardware concurrency of the measuring machine>,
 ///     "records": [
 ///       {
@@ -35,6 +35,10 @@
 ///         "edit": "<edit-loop edit description>",
 ///         "states_reused": <automaton states spliced by Automaton::patch>,
 ///         "states_rebuilt": <automaton states re-closed by the patch>,
+///         "table_rows_reused": <parse-table rows translated in place>,
+///         "table_rows_rebuilt": <parse-table rows re-resolved cold>,
+///         "graph_rows_patched": <state-item-graph rows copied by offset>,
+///         "graph_rows_rebuilt": <state-item-graph rows re-derived>,
 ///         "configurations": <configurations explored>,
 ///         "peak_bytes": <peak guard-accounted bytes>,
 ///         "metrics": { "<dotted metric name>": <value>, ... }
@@ -52,7 +56,10 @@
 /// "conflicts_recomputed" / "edit" for batch_analyze's -edit-loop
 /// incremental-reuse records; schema 6 added "states_reused" /
 /// "states_rebuilt" / "conflicts_remapped" for the dirty-state automaton
-/// patch those records now ride on), so older consumers keep working.
+/// patch those records now ride on; schema 7 added "table_rows_reused" /
+/// "table_rows_rebuilt" / "graph_rows_patched" / "graph_rows_rebuilt"
+/// for the row-level parse-table and graph patch), so older consumers
+/// keep working.
 /// Files are written as BENCH_<tool>.json in $LALRCEX_BENCH_DIR, or under
 /// bench/out/ relative to the working directory when the variable is
 /// unset (the directory is created on demand and gitignored; committed
@@ -131,6 +138,13 @@ struct BenchRecord {
   /// < 0: the run rebuilt cold or was not an edit, omitted.
   long StatesReused = -1;
   long StatesRebuilt = -1;
+  /// Row-level patch economics of the measured edit (schema 7): parse-
+  /// table rows translated vs. re-resolved, graph adjacency rows copied
+  /// vs. re-derived; < 0: cold rebuild or not an edit, omitted.
+  long TableRowsReused = -1;
+  long TableRowsRebuilt = -1;
+  long GraphRowsPatched = -1;
+  long GraphRowsRebuilt = -1;
   size_t Configurations = 0;
   size_t PeakBytes = 0;
   /// Flattened MetricsSnapshot of the measured run (name, value) pairs;

@@ -43,26 +43,30 @@
 //                       pipeline cold without either; byte-compare the
 //                       rendered reports AND the serialized automatons,
 //                       and print per-edit wall time, a parse/automaton/
-//                       search breakdown, state-patch and conflict-reuse
-//                       counts. Inner search workers are pinned to 1 in
-//                       this mode (touched-set recording for the remap
-//                       layer needs the serial search; reports are
-//                       byte-identical at any setting). Unless
+//                       search breakdown, state/row-patch and
+//                       conflict-reuse counts. -jobs-inner is honored:
+//                       per-slot read logs keep the remap layer's
+//                       touched sets exact under intra-conflict
+//                       parallelism. Unless
 //                       -cumulative is given explicitly, the cumulative
 //                       clock is turned off in this mode: a finite
 //                       cumulative budget couples conflicts and disables
 //                       the conflict-level reuse the loop measures
 //                       (DESIGN.md §5i)
 //     -edit-seed <s>    seed for -edit-loop's edit stream (default 1)
+//     -edit-kinds <m>   edit menu for -edit-loop: "all" (default) or
+//                       "terminal" (add/remove/rename-terminal only, for
+//                       gating the terminal-delta path in isolation)
 //     -cache-max-mb <n> after the run, garbage-collect the cache
 //                       directory down to n MiB (oldest blobs first)
 //
 // Output: one summary line per grammar, a final "TOTAL_MS <ms>" line, and
-// bench/out/BENCH_batch_analyze.json (schema 6) with per-grammar
+// bench/out/BENCH_batch_analyze.json (schema 7) with per-grammar
 // cold/warm wall times and cache hit/miss counts (plus metrics under
 // -metrics; plus per-edit records with conflicts_reused /
 // conflicts_recomputed / conflicts_remapped / states_reused /
-// states_rebuilt under -edit-loop). -edit-loop exits nonzero on any
+// states_rebuilt / table_rows_reused / graph_rows_patched under
+// -edit-loop). -edit-loop exits nonzero on any
 // incremental-vs-cold byte mismatch — of the rendered reports or of the
 // serialized patched automaton — making it a standalone differential
 // harness.
@@ -102,7 +106,8 @@ int usage(const char *Prog) {
                "usage: %s [-cache <dir>] [-out <dir>] [-jobs <n>] "
                "[-jobs-inner <n>] "
                "[-timeout <sec>] [-cumulative <sec>] [-steps <n>] "
-               "[-canonical] [-metrics] [-edit-loop <n> [-edit-seed <s>]] "
+               "[-canonical] [-metrics] [-edit-loop <n> [-edit-seed <s>] "
+               "[-edit-kinds all|terminal]] "
                "[-cache-max-mb <n>] <grammar-file|grammar-dir|corpus|"
                "corpus:<name>>...\n",
                Prog);
@@ -270,7 +275,6 @@ EditRunResult runColdPipeline(Grammar G, const FinderOptions &BaseOpts,
   FinderOptions Opts = BaseOpts;
   Opts.CachePath.clear();
   Opts.Jobs = 1;
-  Opts.JobsInner = 1;
   Opts.Metrics = nullptr;
   CounterexampleFinder Finder(Session.table(), Opts);
   std::vector<ConflictReport> Reports = Finder.examineAll();
@@ -300,10 +304,10 @@ EditRunResult runIncrPipeline(IncrementalSession &Sess,
   FinderOptions Opts = BaseOpts;
   Opts.CachePath = CacheDir;
   Opts.Jobs = 1;
-  // Serial inner search: conflict blobs are stored with their graph-read
-  // touched sets only at JobsInner == 1, and the remap layer needs those
-  // sets to verify old reports after the next structural edit.
-  Opts.JobsInner = 1;
+  // Inner parallelism stays whatever -jobs-inner asked for: the parallel
+  // unifying search commits in serial order and merges speculation
+  // workers' graph-read logs deterministically, so conflict blobs carry
+  // the same touched sets (and the legs the same bytes) at any width.
   Opts.Metrics = nullptr;
   Opts.Incremental = Advance ? Sess.handoff() : nullptr;
   CounterexampleFinder Finder(Sess.table(), Opts);
@@ -331,6 +335,7 @@ EditRunResult runIncrPipeline(IncrementalSession &Sess,
 size_t runEditLoop(const std::vector<Job> &Work, const FinderOptions &Opts,
                    AutomatonKind Kind, const std::string &CacheDir,
                    unsigned EditCount, uint64_t Seed,
+                   const std::vector<EditKind> &Kinds,
                    std::vector<bench::BenchRecord> &Records) {
   size_t Mismatches = 0;
   for (const Job &J : Work) {
@@ -348,8 +353,7 @@ size_t runEditLoop(const std::vector<Job> &Work, const FinderOptions &Opts,
       std::string EditLabel = "baseline";
       Stopwatch ParseClock;
       if (K > 0) {
-        std::optional<AppliedEdit> E =
-            applyRandomEdit(Model, Rng, allEditKinds());
+        std::optional<AppliedEdit> E = applyRandomEdit(Model, Rng, Kinds);
         if (!E) {
           std::printf("%-24s #%u: no applicable edit, stopping\n",
                       J.Name.c_str(), K);
@@ -399,15 +403,27 @@ size_t runEditLoop(const std::vector<Job> &Work, const FinderOptions &Opts,
       // both legs' clocks.
       std::string PatchNote;
       long StatesReused = -1, StatesRebuilt = -1;
+      long TableRowsReused = -1, TableRowsRebuilt = -1;
+      long GraphRowsPatched = -1, GraphRowsRebuilt = -1;
       if (Advance) {
         char Buf[160];
         if (Advance->Patched) {
           const AutomatonPatchStats &P = Advance->Patch;
           StatesReused = long(P.StatesReused);
           StatesRebuilt = long(P.StatesRebuilt) + long(P.StatesAdded);
+          TableRowsReused = long(Advance->Table.RowsReused);
+          TableRowsRebuilt = long(Advance->Table.RowsRebuilt);
+          GraphRowsPatched = long(Advance->Graph.RowsPatched);
+          GraphRowsRebuilt = long(Advance->Graph.RowsRebuilt);
           std::snprintf(Buf, sizeof(Buf),
-                        "patched: %u spliced / %u reclosed / %u added",
-                        P.StatesReused, P.StatesRebuilt, P.StatesAdded);
+                        "patched: %u spliced / %u reclosed / %u added, "
+                        "table rows %u/%u, graph rows %u/%u",
+                        P.StatesReused, P.StatesRebuilt, P.StatesAdded,
+                        Advance->Table.RowsReused,
+                        Advance->Table.RowsReused + Advance->Table.RowsRebuilt,
+                        Advance->Graph.RowsPatched,
+                        Advance->Graph.RowsPatched +
+                            Advance->Graph.RowsRebuilt);
         } else {
           // Leave the states fields unset (omitted from the record): a
           // cold fallback has no patch economics to gate.
@@ -428,7 +444,9 @@ size_t runEditLoop(const std::vector<Job> &Work, const FinderOptions &Opts,
       Rec.Grammar = J.Name;
       Rec.Conflicts = Incr.Conflicts;
       Rec.Jobs = 1;
-      Rec.JobsInner = 1;
+      // Both legs pin Jobs = 1; the inner width is whatever -jobs-inner
+      // asked for (0 = auto resolves to 1 under a single outer worker).
+      Rec.JobsInner = Opts.JobsInner == 0 ? 1 : Opts.JobsInner;
       Rec.WallMsCold = Cold.WallMs;
       Rec.WallMsWarm = Incr.WallMs;
       // The reuse gate counts reports the incremental leg did not have to
@@ -440,6 +458,10 @@ size_t runEditLoop(const std::vector<Job> &Work, const FinderOptions &Opts,
       Rec.ConflictsRemapped = long(Incr.Remapped);
       Rec.StatesReused = StatesReused;
       Rec.StatesRebuilt = StatesRebuilt;
+      Rec.TableRowsReused = TableRowsReused;
+      Rec.TableRowsRebuilt = TableRowsRebuilt;
+      Rec.GraphRowsPatched = GraphRowsPatched;
+      Rec.GraphRowsRebuilt = GraphRowsRebuilt;
       Rec.Edit = EditLabel;
       Records.push_back(Rec);
     }
@@ -475,6 +497,7 @@ int main(int argc, char **argv) {
   AutomatonKind Kind = AutomatonKind::Lalr1;
   unsigned EditLoop = 0;
   uint64_t EditSeed = 1;
+  const std::vector<EditKind> *EditKinds = nullptr; // null = all kinds
   long long CacheMaxMb = -1;
 
   for (int I = 1; I < argc; ++I) {
@@ -528,6 +551,18 @@ int main(int argc, char **argv) {
           !parseFlagValue("-edit-seed", argv[I], UINT64_MAX, V))
         return usage(argv[0]);
       EditSeed = V;
+    } else if (Arg == "-edit-kinds") {
+      if (++I == argc)
+        return usage(argv[0]);
+      std::string Menu = argv[I];
+      if (Menu == "all") {
+        EditKinds = nullptr;
+      } else if (Menu == "terminal") {
+        EditKinds = &terminalEditKinds();
+      } else {
+        std::fprintf(stderr, "-edit-kinds takes 'all' or 'terminal'\n");
+        return usage(argv[0]);
+      }
     } else if (Arg == "-cache-max-mb") {
       uint64_t V;
       if (++I == argc ||
@@ -621,7 +656,8 @@ int main(int argc, char **argv) {
     std::vector<bench::BenchRecord> Records;
     Stopwatch Total;
     size_t Mismatches =
-        runEditLoop(Work, Opts, Kind, CacheDir, EditLoop, EditSeed, Records);
+        runEditLoop(Work, Opts, Kind, CacheDir, EditLoop, EditSeed,
+                    EditKinds ? *EditKinds : allEditKinds(), Records);
     double TotalMs = Total.seconds() * 1000.0;
     bench::writeBenchRecords("batch_analyze", Records);
     gcSweep(CacheDir, CacheMaxMb);

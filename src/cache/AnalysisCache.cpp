@@ -380,14 +380,23 @@ struct ArtifactAccess {
       W.u32(O);
     for (StateItemGraph::NodeId N : Graph.Fwd)
       W.u32(N);
+    // Emit each CSR in canonical compact form (prefix-sum offsets with a
+    // trailing total, then the live row data in node order). A patched
+    // graph may hold slack and relocated rows in memory; re-compacting
+    // here keeps its blob byte-identical to a cold build's.
     for (const StateItemGraph::Csr *C :
          {&Graph.ProdSteps, &Graph.RevTransitions, &Graph.RevProdSteps}) {
-      W.u32(uint32_t(C->Offsets.size()));
-      for (uint32_t O : C->Offsets)
-        W.u32(O);
-      W.u32(uint32_t(C->Data.size()));
-      for (StateItemGraph::NodeId N : C->Data)
-        W.u32(N);
+      W.u32(uint32_t(C->rowCount() + 1));
+      uint32_t Total = 0;
+      for (size_t N = 0, NE = C->rowCount(); N != NE; ++N) {
+        W.u32(Total);
+        Total += C->Lens[N];
+      }
+      W.u32(Total);
+      W.u32(Total);
+      for (size_t N = 0, NE = C->rowCount(); N != NE; ++N)
+        for (StateItemGraph::NodeId V : C->row(StateItemGraph::NodeId(N)))
+          W.u32(V);
     }
   }
 
@@ -463,6 +472,12 @@ struct ArtifactAccess {
 
     if (R.failed())
       return std::nullopt;
+    // The blob's compact offset tables are validated; derive each CSR's
+    // per-row lengths and capacities from them (a restored graph starts
+    // fully compact, like a cold build).
+    Graph.ProdSteps.finishCompactLoad();
+    Graph.RevTransitions.finishCompactLoad();
+    Graph.RevProdSteps.finishCompactLoad();
     // Tables validated against the automaton: derive the pooled node
     // lookahead ids exactly as the build path does (ids are in-memory
     // only; blobs stay structural, so fingerprints are unaffected).

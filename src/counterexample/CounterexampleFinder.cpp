@@ -566,14 +566,12 @@ std::vector<ConflictReport> CounterexampleFinder::examineAll() {
   // conflict-level worker count of this run.
   OuterWorkersActive = std::max(1u, Jobs);
   // Graph-read recording for v2 per-conflict blobs (the remap layer's
-  // verification set). Only sound when one thread performs *all* of a
-  // conflict's graph reads: intra-conflict speculation workers bypass the
-  // thread-local recorder, so with more than one inner job the set would
-  // be silently incomplete and remap verification unsound. Blobs stored
-  // without a set still serve direct (same-key) hits.
-  const bool RecordTouch =
-      FineGrained &&
-      resolveInnerJobs(Opts.JobsInner, Opts.Jobs, OuterWorkersActive) == 1;
+  // verification set). Speculation workers of the parallel unifying
+  // search log each slot's graph reads into its SlotSpec; the commit
+  // loop replays committed slots' logs into this thread's recorder, so
+  // the recorded set equals the serial schedule's at any inner worker
+  // count and recording no longer pins the search to one thread.
+  const bool RecordTouch = FineGrained;
   std::vector<std::vector<uint32_t>> PendingTouched(
       RecordTouch ? Pending.size() : 0);
   auto examineRecorded = [&](size_t K) {

@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <cassert>
 #include <optional>
+#include <unordered_map>
 
 using namespace lalrcex;
 
@@ -46,7 +47,14 @@ public:
       : OldG(OldG), OldA(OldA), NewA(NewA), Delta(Delta), Term(ConflictTerm),
         OldMin(OldG), NewMin(NewG) {
     OldMin.beginningWith(OldG, Term, OldBeginCost, OldBest);
-    NewMin.beginningWith(NewG, Term, NewBeginCost, NewBest);
+    // The conflict terminal is an old-generation symbol; the new
+    // generation's fixpoint must run on its image. An unmapped terminal
+    // leaves NewBest empty, which fails certifyBegin — and certifyBegin
+    // is only consulted when some touched FIRST set contains Term, whose
+    // translation would already have failed.
+    NewTerm = Delta.mapSymbol(Term);
+    if (NewTerm.valid())
+      NewMin.beginningWith(NewG, NewTerm, NewBeginCost, NewBest);
     SymOk.assign(OldG.numSymbols(), Unknown);
     EpsOk.assign(OldG.numSymbols(), Unknown);
     BeginOk.assign(OldG.numSymbols(), Unknown);
@@ -55,8 +63,11 @@ public:
   /// True when every query the searches can make about \p X answers
   /// identically across the edit (an old-generation symbol).
   bool certify(Symbol X) {
-    if (!OldG.isNonterminal(X))
-      return true; // terminal ids are identical whenever the delta is valid
+    if (!OldG.isNonterminal(X)) {
+      // A terminal's FIRST is itself and it is never nullable; both are
+      // preserved by any mapping, so a mapped terminal is certified.
+      return Delta.mapSymbol(X).valid();
+    }
     int8_t &M = SymOk[X.id()];
     if (M != Unknown)
       return M == Ok;
@@ -66,7 +77,7 @@ public:
       return false;
     if (OldA.isNullable(X) != NewA.isNullable(Y))
       return false;
-    if (!(OldA.first(X) == NewA.first(Y)))
+    if (!firstEqual(OldA.first(X), NewA.first(Y)))
       return false;
     if (OldA.isNullable(X) && !certifyEps(X))
       return false;
@@ -78,6 +89,16 @@ public:
 
 private:
   enum : int8_t { Unknown = 0, Ok = 1, Fail = 2 };
+
+  /// Semantic FIRST-set equality across the edit: elementwise through the
+  /// delta's terminal map (a plain compare until a terminal edit makes
+  /// the universes differ).
+  bool firstEqual(const IndexSet &OldS, const IndexSet &NewS) const {
+    if (Delta.TermMapIdentity)
+      return OldS == NewS;
+    IndexSet Tmp;
+    return Delta.translateTerminalSet(OldS, Tmp) && Tmp == NewS;
+  }
 
   /// The minimal epsilon derivation of \p X must be the delta image of
   /// the new generation's: same chosen production, recursively. Memoized;
@@ -110,6 +131,8 @@ private:
   /// the continuation stay unexpanded leaves, which the production map
   /// already proved rename consistently.
   bool certifyBegin(Symbol X) {
+    if (!NewTerm.valid())
+      return false; // no new-generation fixpoint to compare against
     if (X == Term)
       return true; // the continuation bottomed out on the terminal itself
     int8_t &M = BeginOk[X.id()];
@@ -141,6 +164,7 @@ private:
   const GrammarAnalysis &NewA;
   const GrammarDelta &Delta;
   Symbol Term;
+  Symbol NewTerm;
   MinimalDerivationChoices OldMin, NewMin;
   std::vector<unsigned> OldBeginCost, NewBeginCost;
   std::vector<MinimalDerivationChoices::BeginChoice> OldBest, NewBest;
@@ -162,8 +186,12 @@ bool IncrementalHandoff::mapConflictToOld(const Conflict &NewC,
     return false;
   OldC.K = NewC.K;
   OldC.State = unsigned(OS);
-  // Terminal ids are identical whenever the delta is valid.
-  OldC.Token = NewC.Token;
+  // The token maps through the inverse terminal map (the identity until
+  // a terminal edit); a conflict on a terminal the old generation never
+  // had has no stored report to find.
+  OldC.Token = Delta->invMapSymbol(NewC.Token);
+  if (!OldC.Token.valid())
+    return false;
   OldC.R = NewC.R;
   int32_t RP = Delta->invMapProd(NewC.ReduceProd);
   if (RP < 0)
@@ -253,8 +281,19 @@ bool IncrementalHandoff::verifyTouched(
     if (NewN == StateItemGraph::InvalidNode)
       return false;
 
-    if (!(PrevGraph->lookahead(OldN) == Graph->lookahead(NewN)))
-      return false;
+    // Lookahead equality through the terminal map: a plain compare until
+    // a terminal edit makes the universes differ, elementwise translation
+    // after (a set containing an unmapped terminal cannot match anything
+    // the new generation computes).
+    if (Delta->TermMapIdentity) {
+      if (!(PrevGraph->lookahead(OldN) == Graph->lookahead(NewN)))
+        return false;
+    } else {
+      IndexSet Tmp;
+      if (!Delta->translateTerminalSet(PrevGraph->lookahead(OldN), Tmp) ||
+          !(Tmp == Graph->lookahead(NewN)))
+        return false;
+    }
 
     StateItemGraph::NodeId OldF = PrevGraph->forwardTransition(OldN);
     StateItemGraph::NodeId NewF = Graph->forwardTransition(NewN);
@@ -426,31 +465,108 @@ uint64_t IncrementalSession::allocStableId() {
   return NextStableId++;
 }
 
-void IncrementalSession::updateStableIds(bool Patched,
-                                         unsigned NumNewStates) {
+void IncrementalSession::updateStableIds(bool Patched, const Automaton &NewM) {
+  const unsigned NumNewStates = NewM.numStates();
   std::vector<uint64_t> NewIds(NumNewStates);
-  std::vector<uint64_t> Dying;
+  std::vector<bool> OldUsed(StableIds.size(), false);
   if (Patched) {
-    for (unsigned S = 0; S != NumNewStates; ++S)
-      NewIds[S] = NewToOldState[S] >= 0
-                      ? StableIds[unsigned(NewToOldState[S])]
-                      : allocStableId();
-    for (unsigned OS = 0; OS != OldToNewState.size(); ++OS)
-      if (OldToNewState[OS] < 0)
-        Dying.push_back(StableIds[OS]);
+    for (unsigned S = 0; S != NumNewStates; ++S) {
+      if (NewToOldState[S] >= 0) {
+        NewIds[S] = StableIds[unsigned(NewToOldState[S])];
+        OldUsed[unsigned(NewToOldState[S])] = true;
+      } else {
+        NewIds[S] = allocStableId();
+      }
+    }
   } else {
-    // Cold rebuild: no correspondence is known, so every old id dies and
-    // every new state is fresh.
-    for (unsigned S = 0; S != NumNewStates; ++S)
-      NewIds[S] = allocStableId();
-    Dying = std::move(StableIds);
+    // Cold fallback: the patch supplied no state map, but stable ids
+    // must still survive where the state demonstrably did — an edit
+    // session that trips one cold rebuild should not renumber every
+    // state it later refers to. Re-derive the correspondence by kernel
+    // matching: through the delta's production map when the delta is
+    // valid (exact, rename-proof), by the items' textual form otherwise
+    // (correct for any grammar pair; misses renames, the safe direction —
+    // a missed match only costs a fresh id, never a collision).
+    auto textualItem = [](const Grammar &G, const Item &It) {
+      const Production &P = G.production(It.Prod);
+      std::string S = G.name(P.Lhs);
+      S += " ->";
+      for (unsigned J = 0, JE = unsigned(P.Rhs.size()); J != JE; ++J) {
+        if (J == It.Dot)
+          S += " .";
+        S += ' ';
+        S += G.name(P.Rhs[J]);
+      }
+      if (It.Dot == P.Rhs.size())
+        S += " .";
+      return S;
+    };
+    // Kernel keys are order-insensitive (sorted parts): the textual form
+    // need not order items the way either generation's kernels do.
+    auto kernelKey = [](std::vector<std::string> Parts) {
+      std::sort(Parts.begin(), Parts.end());
+      std::string Key;
+      for (const std::string &P : Parts) {
+        Key += P;
+        Key += '\n';
+      }
+      return Key;
+    };
+    const bool UseDelta = LastDelta.Valid;
+    std::unordered_map<std::string, unsigned> OldByKernel;
+    for (unsigned OS = 0, OE = Cur.M->numStates(); OS != OE; ++OS) {
+      const Automaton::State &St = Cur.M->state(OS);
+      std::vector<std::string> Parts;
+      bool OkKernel = true;
+      for (unsigned I = 0; I != St.NumKernel && OkKernel; ++I) {
+        if (UseDelta) {
+          int32_t NP = LastDelta.mapProd(St.Items[I].Prod);
+          if (NP < 0)
+            OkKernel = false;
+          else
+            Parts.push_back(
+                std::to_string(Item(uint32_t(NP), St.Items[I].Dot).key()));
+        } else {
+          Parts.push_back(textualItem(*Cur.G, St.Items[I]));
+        }
+      }
+      if (OkKernel)
+        OldByKernel.emplace(kernelKey(std::move(Parts)), OS);
+    }
+    for (unsigned S = 0; S != NumNewStates; ++S) {
+      const Automaton::State &St = NewM.state(S);
+      std::vector<std::string> Parts;
+      for (unsigned I = 0; I != St.NumKernel; ++I)
+        Parts.push_back(UseDelta
+                            ? std::to_string(St.Items[I].key())
+                            : textualItem(NewM.grammar(), St.Items[I]));
+      auto It = OldByKernel.find(kernelKey(std::move(Parts)));
+      if (It != OldByKernel.end() && !OldUsed[It->second]) {
+        NewIds[S] = StableIds[It->second];
+        OldUsed[It->second] = true;
+      } else {
+        NewIds[S] = allocStableId();
+      }
+    }
   }
+  std::vector<uint64_t> Dying;
+  for (unsigned OS = 0, OE = unsigned(OldUsed.size()); OS != OE; ++OS)
+    if (!OldUsed[OS])
+      Dying.push_back(StableIds[OS]);
   StableIds = std::move(NewIds);
   // Tombstone semantics: ids dying in *this* advance are appended after
   // all of this advance's allocations, so a delete-then-add within one
   // edit can never hand the deleted state's id to the added state; the
   // parked ids become allocatable from the next advance on.
   FreeIds.insert(FreeIds.end(), Dying.begin(), Dying.end());
+  assert(stableIdsDistinct() && "a stable id is live twice");
+}
+
+bool IncrementalSession::stableIdsDistinct() const {
+  std::vector<uint64_t> All = StableIds;
+  All.insert(All.end(), FreeIds.begin(), FreeIds.end());
+  std::sort(All.begin(), All.end());
+  return std::adjacent_find(All.begin(), All.end()) == All.end();
 }
 
 const IncrementalSession::AdvanceStats &
@@ -469,10 +585,11 @@ IncrementalSession::advance(Grammar NewG) {
   OldToNewState.clear();
   NewToOldState.clear();
   SplicedNew.clear();
+  LaCopied.clear();
   if (LastDelta.Valid) {
     Next.M = Automaton::patch(*Next.G, *Next.A, *Cur.M, LastDelta, MO,
                               &Stats.Patch, &OldToNewState, &NewToOldState,
-                              &SplicedNew);
+                              &SplicedNew, &LaCopied);
     if (Next.M)
       Stats.Patched = true;
     else
@@ -483,14 +600,19 @@ IncrementalSession::advance(Grammar NewG) {
   if (!Next.M)
     Next.M = std::make_unique<Automaton>(*Next.G, *Next.A, MO);
 
-  Next.T = std::make_unique<ParseTable>(*Next.M);
-  if (Stats.Patched)
+  if (Stats.Patched) {
+    Next.T = std::make_unique<ParseTable>(*Next.M, *Cur.T, LastDelta,
+                                          OldToNewState, NewToOldState,
+                                          SplicedNew, LaCopied, &Stats.Table);
     Next.Graph = std::make_unique<StateItemGraph>(
-        *Next.M, *Cur.Graph, NewToOldState, SplicedNew, Metrics, Trace);
-  else
+        *Next.M, *Cur.Graph, NewToOldState, SplicedNew, &Stats.Graph,
+        Metrics, Trace);
+  } else {
+    Next.T = std::make_unique<ParseTable>(*Next.M);
     Next.Graph = std::make_unique<StateItemGraph>(*Next.M, Metrics, Trace);
+  }
 
-  updateStableIds(Stats.Patched, Next.M->numStates());
+  updateStableIds(Stats.Patched, *Next.M);
 
   Prev = std::move(Cur);
   Cur = std::move(Next);

@@ -15,22 +15,29 @@
 ///     the item closures of every provably-clean state and skips their
 ///     in-state lookahead fixpoints — producing a machine byte-identical
 ///     to a cold build;
-///   - the parse table is always rebuilt cold (it is a cheap linear pass
-///     over the automaton, and precedence resolution must see the new
-///     grammar's declarations);
+///   - the parse table is rebuilt through its patch constructor, which
+///     translates the ACTION rows and conflict records of spliced states
+///     whose lookahead vectors were copied, falling back to the cold
+///     per-state pass wherever the edit touched a precedence input the
+///     old row's resolution consulted;
 ///   - the state-item graph is rebuilt through its patch constructor,
-///     translating the adjacency rows of spliced states arithmetically.
+///     translating the adjacency rows of spliced states arithmetically
+///     into a slack-bearing CSR layout that lets grown rows relocate
+///     without a global relayout.
 ///
 /// Two layers of reuse ride on top:
 ///
 /// **Stable state ids.** Automaton state numbers are generation-local (a
 /// structural edit renumbers the dirty cone). The session maintains a
 /// parallel table of session-stable 64-bit ids: a kernel-matched state
-/// keeps its id across generations, a dead state's id is tombstoned for
-/// one generation and then returns to a freelist, and a fresh state draws
-/// from the freelist before minting a new id. Delete-then-add within one
-/// edit therefore never collides, while long edit sessions don't grow the
-/// id space without bound.
+/// keeps its id across generations — including across a *cold* fallback,
+/// where the patch supplies no state map and the session re-derives one
+/// by kernel matching (through the delta's production map when the delta
+/// is valid, by the items' textual form otherwise) — a dead state's id
+/// is tombstoned for one generation and then returns to a freelist, and
+/// a fresh state draws from the freelist before minting a new id.
+/// Delete-then-add within one edit therefore never collides, while long
+/// edit sessions don't grow the id space without bound.
 ///
 /// **Conflict-report remapping.** After a structural edit every
 /// per-conflict `.crep` key misses (the key hashes automaton structure by
@@ -82,8 +89,9 @@ struct IncrementalHandoff {
   /// Translates a conflict of the current automaton back to the conflict
   /// record the previous generation would have stored — same state under
   /// the state map, productions under the inverse production map, token
-  /// unchanged (terminals are identical whenever the delta is valid).
-  /// \returns false when any needed id is unmapped.
+  /// under the inverse terminal map (the identity until a terminal edit;
+  /// see GrammarDelta's terminal pairing). \returns false when any
+  /// needed id is unmapped.
   bool mapConflictToOld(const Conflict &NewC, Conflict &OldC) const;
 
   /// The current-generation node for old-generation node \p OldN, or
@@ -132,6 +140,8 @@ public:
     bool Patched = false;        ///< automaton patched (else cold rebuild)
     std::string ColdReason;      ///< why cold, when !Patched
     AutomatonPatchStats Patch;   ///< valid when Patched
+    TablePatchStats Table;       ///< valid when Patched
+    GraphPatchStats Graph;       ///< valid when Patched
   };
 
   /// Builds the first generation cold.
@@ -167,6 +177,11 @@ public:
   /// earlier, available to the next).
   size_t freeStateIdCount() const { return FreeIds.size(); }
 
+  /// The lifecycle invariant: no id is live for two states at once or
+  /// both live and parked on the freelist. Checked (asserted) after
+  /// every advance; exposed so tests can check it after theirs.
+  bool stableIdsDistinct() const;
+
 private:
   struct Generation {
     std::unique_ptr<Grammar> G;
@@ -182,7 +197,7 @@ private:
   Generation front(Grammar NewG) const;
 
   uint64_t allocStableId();
-  void updateStableIds(bool Patched, unsigned NumNewStates);
+  void updateStableIds(bool Patched, const Automaton &NewM);
 
   AutomatonKind Kind;
   MetricsRegistry *Metrics;
@@ -191,7 +206,7 @@ private:
   Generation Cur, Prev;
   GrammarDelta LastDelta;
   std::vector<int> OldToNewState, NewToOldState;
-  std::vector<bool> SplicedNew;
+  std::vector<bool> SplicedNew, LaCopied;
   IncrementalHandoff Handoff;
   bool HandoffValid = false;
   AdvanceStats Stats;

@@ -78,7 +78,7 @@ StateItemGraph::StateItemGraph(const Automaton &M, MetricsRegistry *Metrics,
   if (Metrics) {
     Metrics->add(metric::GraphBuilds);
     Metrics->add(metric::GraphNodes, Nodes.size());
-    size_t Edges = ProdSteps.Data.size();
+    size_t Edges = ProdSteps.totalEntries();
     for (NodeId F : Fwd)
       if (F != InvalidNode)
         ++Edges;
@@ -89,7 +89,8 @@ StateItemGraph::StateItemGraph(const Automaton &M, MetricsRegistry *Metrics,
 StateItemGraph::StateItemGraph(const Automaton &M, const StateItemGraph &Old,
                                const std::vector<int> &NewToOldState,
                                const std::vector<bool> &SplicedNew,
-                               MetricsRegistry *Metrics, TraceRecorder *Trace)
+                               GraphPatchStats *Stats, MetricsRegistry *Metrics,
+                               TraceRecorder *Trace)
     : M(M), LaPool(TerminalSetPool::overlay(M.analysis().pool())) {
   ScopedTimer Timer(Metrics, metric::TimeGraphBuildNs);
   TraceSpan Span(Trace, "graph-patch");
@@ -113,9 +114,45 @@ StateItemGraph::StateItemGraph(const Automaton &M, const StateItemGraph &Old,
     if (NewToOldState[S] >= 0)
       OldToNew[unsigned(NewToOldState[S])] = int(S);
 
-  Fwd.assign(Nodes.size(), InvalidNode);
-  std::vector<std::vector<NodeId>> ProdRows(Nodes.size());
+  const NodeId NumNodes = NodeId(Nodes.size());
+  Fwd.assign(NumNodes, InvalidNode);
 
+  // Lay the three CSRs out up front. A production-step row's length is
+  // exactly computable from the node's item alone (the productions of the
+  // symbol after its dot), so ProdSteps never relocates. Reverse row
+  // lengths are in-degrees — not locally computable — so they are
+  // predicted from the old counterpart's rows where one exists and given
+  // a small default otherwise; rows that outgrow the prediction relocate
+  // to a tail segment via push(). This is the slack scheme's payoff: one
+  // fill pass instead of the count-then-fill counting sort, without
+  // risking a wrong layout.
+  std::vector<uint32_t> ProdCaps(NumNodes, 0), RevTCaps(NumNodes, 0),
+      RevPCaps(NumNodes, 0);
+  for (unsigned S = 0, SE = M.numStates(); S != SE; ++S) {
+    int OS = NewToOldState[S];
+    unsigned OldCount = OS >= 0 ? Old.StateOffset[unsigned(OS) + 1] -
+                                      Old.StateOffset[unsigned(OS)]
+                                : 0;
+    for (NodeId N = StateOffset[S], NE = StateOffset[S + 1]; N != NE; ++N) {
+      Symbol Next = Nodes[N].Itm.afterDot(G);
+      if (Next.valid() && G.isNonterminal(Next))
+        ProdCaps[N] = uint32_t(G.productionsOf(Next).size());
+      unsigned I = Nodes[N].ItemIndex;
+      if (I < OldCount) {
+        NodeId ON = Old.StateOffset[unsigned(OS)] + I;
+        RevTCaps[N] = Old.RevTransitions.Lens[ON];
+        RevPCaps[N] = Old.RevProdSteps.Lens[ON];
+      } else {
+        RevTCaps[N] = 2;
+        RevPCaps[N] = 2;
+      }
+    }
+  }
+  ProdSteps.layout(ProdCaps);
+  RevTransitions.layout(RevTCaps);
+  RevProdSteps.layout(RevPCaps);
+
+  GraphPatchStats PS;
   for (unsigned S = 0, SE = M.numStates(); S != SE; ++S) {
     if (SplicedNew[S]) {
       // Spliced state: same item layout as its old counterpart, so each
@@ -123,9 +160,12 @@ StateItemGraph::StateItemGraph(const Automaton &M, const StateItemGraph &Old,
       // kernel items of kernel-matched states (kernels are sorted and
       // the production map is monotone, so kernel item indices are
       // preserved even in states whose closures were rebuilt), and
-      // production steps stay within this state.
+      // production steps stay within this state — the whole row shifts
+      // by one per-state constant (unsigned wrap handles a shift in
+      // either direction), so it copies as a single bulk add.
       unsigned OS = unsigned(NewToOldState[S]);
       unsigned Count = StateOffset[S + 1] - StateOffset[S];
+      uint32_t DeltaOff = StateOffset[S] - Old.StateOffset[OS];
       for (unsigned I = 0; I != Count; ++I) {
         NodeId N = StateOffset[S] + I;
         NodeId ON = Old.StateOffset[OS] + I;
@@ -137,9 +177,20 @@ StateItemGraph::StateItemGraph(const Automaton &M, const StateItemGraph &Old,
           Fwd[N] = StateOffset[unsigned(OldToNew[OldTargetState])] +
                    Old.Nodes[OF].ItemIndex;
         }
-        for (NodeId OStep : Old.ProdSteps.row(ON))
-          ProdRows[N].push_back(StateOffset[S] + Old.Nodes[OStep].ItemIndex);
+        NodeRange ORow = Old.ProdSteps.row(ON);
+        assert(uint32_t(ORow.size()) == ProdSteps.Caps[N] &&
+               "spliced node's production-step row length must be exact");
+        ProdSteps.Lens[N] = uint32_t(ORow.size());
+        NodeId *Dst = ProdSteps.rowData(N);
+        unsigned K = 0;
+        for (NodeId OStep : ORow) {
+          assert(NodeId(OStep + DeltaOff) ==
+                     StateOffset[S] + Old.Nodes[OStep].ItemIndex &&
+                 "production-step target must stay within the state");
+          Dst[K++] = OStep + DeltaOff;
+        }
       }
+      PS.RowsPatched += Count;
       continue;
     }
     // Dirty or fresh state: the cold per-node derivation.
@@ -157,33 +208,32 @@ StateItemGraph::StateItemGraph(const Automaton &M, const StateItemGraph &Old,
         for (unsigned P : G.productionsOf(Next)) {
           NodeId Step = nodeFor(D.State, Item(P, 0));
           assert(Step != InvalidNode && "closure item missing from state");
-          ProdRows[N].push_back(Step);
+          ProdSteps.push(N, Step);
         }
       }
     }
+    PS.RowsRebuilt += StateOffset[S + 1] - StateOffset[S];
   }
 
-  // Reverse tables by bucket reversal in ascending source order — the
-  // cold builder pushes reverse entries in exactly this order, so the
-  // rebuilt rows are byte-identical to a cold build's.
-  std::vector<std::vector<NodeId>> RevTransRows(Nodes.size());
-  std::vector<std::vector<NodeId>> RevProdRows(Nodes.size());
-  for (NodeId N = 0, NE = NodeId(Nodes.size()); N != NE; ++N) {
+  // Reverse tables in one ascending-source pass — the cold builder pushes
+  // reverse entries in exactly this order, so the rebuilt rows match a
+  // cold build's byte for byte; a relocation moves a row's prefix
+  // verbatim, preserving that order.
+  for (NodeId N = 0; N != NumNodes; ++N) {
     if (Fwd[N] != InvalidNode)
-      RevTransRows[Fwd[N]].push_back(N);
-    for (NodeId Step : ProdRows[N])
-      RevProdRows[Step].push_back(N);
+      PS.RowsRelocated += RevTransitions.push(Fwd[N], N);
+    for (NodeId Step : ProdSteps.row(N))
+      PS.RowsRelocated += RevProdSteps.push(Step, N);
   }
 
-  ProdSteps = Csr::fromRows(ProdRows);
-  RevTransitions = Csr::fromRows(RevTransRows);
-  RevProdSteps = Csr::fromRows(RevProdRows);
   internNodeLookaheads();
+  if (Stats)
+    *Stats = PS;
 
   if (Metrics) {
     Metrics->add(metric::GraphBuilds);
     Metrics->add(metric::GraphNodes, Nodes.size());
-    size_t Edges = ProdSteps.Data.size();
+    size_t Edges = ProdSteps.totalEntries();
     for (NodeId F : Fwd)
       if (F != InvalidNode)
         ++Edges;
@@ -203,17 +253,67 @@ void StateItemGraph::internNodeLookaheads() {
 StateItemGraph::Csr
 StateItemGraph::Csr::fromRows(const std::vector<std::vector<NodeId>> &Rows) {
   Csr Out;
-  Out.Offsets.reserve(Rows.size() + 1);
+  Out.Offsets.reserve(Rows.size());
+  Out.Lens.reserve(Rows.size());
   size_t Total = 0;
   for (const std::vector<NodeId> &R : Rows) {
     Out.Offsets.push_back(uint32_t(Total));
+    Out.Lens.push_back(uint32_t(R.size()));
     Total += R.size();
   }
-  Out.Offsets.push_back(uint32_t(Total));
+  Out.Caps = Out.Lens;
   Out.Data.reserve(Total);
   for (const std::vector<NodeId> &R : Rows)
     Out.Data.insert(Out.Data.end(), R.begin(), R.end());
   return Out;
+}
+
+size_t StateItemGraph::Csr::totalEntries() const {
+  size_t Total = 0;
+  for (uint32_t L : Lens)
+    Total += L;
+  return Total;
+}
+
+void StateItemGraph::Csr::layout(const std::vector<uint32_t> &RowCaps) {
+  Offsets.resize(RowCaps.size());
+  Lens.assign(RowCaps.size(), 0);
+  Caps = RowCaps;
+  size_t Total = 0;
+  for (size_t N = 0, NE = RowCaps.size(); N != NE; ++N) {
+    Offsets[N] = uint32_t(Total);
+    Total += RowCaps[N];
+  }
+  Data.assign(Total, InvalidNode);
+}
+
+bool StateItemGraph::Csr::push(NodeId N, NodeId V) {
+  bool Relocated = false;
+  if (Lens[N] == Caps[N]) {
+    // The row outgrew its slack: relocate it to a fresh tail segment with
+    // geometric headroom. The old storage becomes a hole — cheap compared
+    // to relaying out every row after it, and serialization re-compacts.
+    uint32_t NewCap = Caps[N] + Caps[N] / 2 + 4;
+    uint32_t NewOff = uint32_t(Data.size());
+    Data.resize(Data.size() + NewCap, InvalidNode);
+    std::copy(Data.begin() + Offsets[N], Data.begin() + Offsets[N] + Lens[N],
+              Data.begin() + NewOff);
+    Offsets[N] = NewOff;
+    Caps[N] = NewCap;
+    Relocated = true;
+  }
+  Data[Offsets[N] + Lens[N]++] = V;
+  return Relocated;
+}
+
+void StateItemGraph::Csr::finishCompactLoad() {
+  assert(!Offsets.empty() && "compact load requires the sentinel offset");
+  size_t Rows = Offsets.size() - 1;
+  Lens.resize(Rows);
+  for (size_t N = 0; N != Rows; ++N)
+    Lens[N] = Offsets[N + 1] - Offsets[N];
+  Caps = Lens;
+  Offsets.pop_back();
 }
 
 StateItemGraph::NodeId StateItemGraph::nodeFor(unsigned State,

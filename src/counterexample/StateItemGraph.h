@@ -54,8 +54,20 @@ class GraphTouchRecorder {
 public:
   explicit GraphTouchRecorder(unsigned NumNodes) : Marks(NumNodes, false) {}
 
+  /// A raw append-only recorder: every touch is logged, duplicates
+  /// included, with no dedup table to size or clear. Speculation workers
+  /// of the parallel unifying search record each slot's graph reads into
+  /// one of these; at commit, the logs of *committed* slots are replayed
+  /// into the conflict's dedup recorder (touch() re-dedups), which
+  /// reproduces the serial schedule's read set exactly — uncommitted
+  /// slots' reads never happened as far as the serial search is
+  /// concerned.
+  GraphTouchRecorder() : Raw(true) {}
+
   void touch(uint32_t N) {
-    if (N < Marks.size() && !Marks[N]) {
+    if (Raw) {
+      Touched.push_back(N);
+    } else if (N < Marks.size() && !Marks[N]) {
       Marks[N] = true;
       Touched.push_back(N);
     }
@@ -63,6 +75,13 @@ public:
 
   /// The touched node ids in ascending order.
   std::vector<uint32_t> sortedNodes() const;
+
+  /// Moves out the raw log (read order, duplicates included). Raw
+  /// recorders only.
+  std::vector<uint32_t> takeLog() {
+    assert(Raw && "takeLog is for raw recorders");
+    return std::move(Touched);
+  }
 
   /// The recorder active on this thread, or null when not recording.
   static GraphTouchRecorder *active() { return Active; }
@@ -73,6 +92,7 @@ private:
 
   std::vector<bool> Marks;
   std::vector<uint32_t> Touched;
+  bool Raw = false;
 };
 
 /// RAII activation of a GraphTouchRecorder on the current thread.
@@ -89,6 +109,14 @@ public:
 
 private:
   GraphTouchRecorder *Saved;
+};
+
+/// What one StateItemGraph patch construction translated versus
+/// re-derived; feeds the schema-7 graph_rows_* bench fields.
+struct GraphPatchStats {
+  unsigned RowsPatched = 0;   ///< node rows translated from the old graph
+  unsigned RowsRebuilt = 0;   ///< node rows re-derived cold
+  unsigned RowsRelocated = 0; ///< slack overflows: rows moved to a tail segment
 };
 
 /// Precomputed node/edge tables over (state, item) pairs.
@@ -124,16 +152,19 @@ public:
   /// \p SplicedNew, old counterpart in \p NewToOldState, both from
   /// Automaton::patch — are translated arithmetically from \p Old
   /// instead of re-deriving them through transition lookups and item
-  /// searches. Spliced states keep their old item layout and their
-  /// transition targets land on kernel items of matched states, whose
-  /// kernel indices are also preserved, so the translation is exact; the
-  /// reverse tables are rebuilt by bucket reversal in ascending node
-  /// order, reproducing the cold construction order. Dirty and fresh
-  /// states take the cold per-node path. The result is identical to a
-  /// cold build over \p M.
+  /// searches. A spliced state's production-step row even translates by
+  /// a single per-state constant (its targets stay within the state), so
+  /// the fill is one bulk add over the old span. The three CSRs are laid
+  /// out up front from per-row capacities predicted by the old graph
+  /// (exact for spliced rows); dirty, fresh, and in-degree-grown rows
+  /// that outgrow their prediction relocate to a tail segment instead of
+  /// forcing a global relayout (see Csr::push). Reverse tables fill in
+  /// one ascending-source pass, reproducing the cold construction order
+  /// exactly. The result is identical to a cold build over \p M.
   StateItemGraph(const Automaton &M, const StateItemGraph &Old,
                  const std::vector<int> &NewToOldState,
                  const std::vector<bool> &SplicedNew,
+                 GraphPatchStats *Stats = nullptr,
                  MetricsRegistry *Metrics = nullptr,
                  TraceRecorder *Trace = nullptr);
 
@@ -227,20 +258,43 @@ private:
       R->touch(N);
   }
 
-  /// Compressed-sparse-row adjacency: all rows in one contiguous array
-  /// with per-node offsets. One allocation per edge kind instead of one
-  /// vector per node, and the search's hottest loops walk cache-dense
-  /// spans instead of chasing vector headers.
+  /// Compressed-sparse-row adjacency with per-row slack: all rows live in
+  /// one contiguous array, but each row records its start, live length,
+  /// and capacity separately, so a row can grow in place up to its
+  /// capacity and *relocate to a tail segment* (leaving a hole) when it
+  /// outgrows it — no global relayout. One allocation per edge kind
+  /// instead of one vector per node, and the search's hottest loops walk
+  /// cache-dense spans instead of chasing vector headers. Cold builds and
+  /// cache restores produce the fully compact layout (Caps == Lens, no
+  /// holes), so serialization stays byte-identical across build paths.
   struct Csr {
-    std::vector<uint32_t> Offsets; // numNodes + 1 entries
-    std::vector<NodeId> Data;
+    std::vector<uint32_t> Offsets; // per row: start of the row in Data
+    std::vector<uint32_t> Lens;    // per row: live length
+    std::vector<uint32_t> Caps;    // per row: capacity before relocation
+    std::vector<NodeId> Data;      // row storage; relocated rows leave holes
 
     NodeRange row(NodeId N) const {
-      return NodeRange(Data.data() + Offsets[N],
-                       Data.data() + Offsets[N + 1]);
+      const NodeId *B = Data.data() + Offsets[N];
+      return NodeRange(B, B + Lens[N]);
     }
-    /// Flattens per-node rows (used only during construction).
+    size_t rowCount() const { return Lens.size(); }
+    /// Sum of live row lengths (holes excluded).
+    size_t totalEntries() const;
+
+    /// Flattens per-node rows into the compact layout.
     static Csr fromRows(const std::vector<std::vector<NodeId>> &Rows);
+    /// Lays out empty rows contiguously with the given capacities.
+    void layout(const std::vector<uint32_t> &RowCaps);
+    /// Appends \p V to row \p N, relocating the row to a tail segment
+    /// with extra slack when it is at capacity. \returns true when the
+    /// append relocated the row.
+    bool push(NodeId N, NodeId V);
+    /// Mutable storage of row \p N (valid for Caps[N] entries).
+    NodeId *rowData(NodeId N) { return Data.data() + Offsets[N]; }
+    /// After a cache restore filled Offsets (rowCount + 1 compact prefix
+    /// sums) and Data: derives Lens/Caps from the offset diffs and drops
+    /// the trailing sentinel offset.
+    void finishCompactLoad();
   };
 
   /// Cache restore: an empty shell whose tables the cache subsystem

@@ -366,6 +366,10 @@ struct SlotSpec {
   bool BadAllocHit = false; ///< speculation hit an allocation failure
   std::string Error;
   std::vector<Candidate> Cands;
+  /// Graph nodes generate() read during speculation (raw log, read
+  /// order). Replayed into the conflict's touch recorder when the slot
+  /// commits, so remap-mode recording stays exact at any worker count.
+  std::vector<uint32_t> Touched;
 };
 
 /// A persistent pool of epoch workers for one search. Spawned once,
@@ -1092,6 +1096,14 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
           "unifying search: configuration lost its item sequence");
 
     const bool UseSpec = Spec && Spec->Done;
+    // A committed slot's speculative generate() reads stand in for the
+    // generate() call the serial schedule would make right here; replay
+    // them into the active recorder (apply()'s reads below happen on this
+    // thread and record directly, in both schedules).
+    if (UseSpec && !Spec->Touched.empty())
+      if (GraphTouchRecorder *R = GraphTouchRecorder::active())
+        for (uint32_t N : Spec->Touched)
+          R->touch(N);
     if (UseSpec ? Spec->GoalHit : goalDetect(C)) {
       Counterexample Ex;
       Ex.Unifying = true;
@@ -1162,6 +1174,11 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
   // byte-identical to the serial schedule at any worker count.
   InnerWorkerPool Workers(RequestedInner);
   const unsigned W = Workers.workers();
+  // Captured on the committing thread: when the finder records graph
+  // reads for this conflict (remap mode), speculation workers log each
+  // slot's reads separately and the commit loop replays committed slots'
+  // logs — recording no longer forces the search serial.
+  const bool Recording = GraphTouchRecorder::active() != nullptr;
   WorkStealingDeque Deque(W);
   std::vector<WorkStealingDeque::Counters> Steal(W);
   uint64_t Barriers = 0;
@@ -1178,6 +1195,11 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
   auto speculateSlot = [&](uint32_t Slot, unsigned Worker) {
     SlotSpec &Spec = Specs[Slot];
     const Config &C = Pool[Epoch[Slot]];
+    // Per-slot raw recorder (worker 0 is the committing thread; the
+    // scope shadows its conflict recorder for the slot's duration, so a
+    // slot's reads are never double-recorded).
+    GraphTouchRecorder SlotRec;
+    ScopedGraphTouchRecorder Scope(Recording ? &SlotRec : nullptr);
     try {
       if (goalDetect(C)) {
         Spec.GoalHit = true;
@@ -1199,6 +1221,8 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
     } catch (const std::bad_alloc &) {
       Spec.BadAllocHit = true;
     }
+    if (Recording)
+      Spec.Touched = SlotRec.takeLog();
     Spec.Done = true;
   };
 
@@ -1222,6 +1246,7 @@ void UnifyingSearch::searchImpl(NodeId ReduceNode,
         S.Done = S.GoalHit = S.HasError = S.BadAllocHit = false;
         S.Error.clear();
         S.Cands.clear();
+        S.Touched.clear();
       }
       FirstGoal.store(UINT32_MAX, std::memory_order_relaxed);
       Deque.distribute(uint32_t(Epoch.size()));

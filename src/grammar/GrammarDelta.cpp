@@ -83,6 +83,25 @@ void computeAffected(const Grammar &G, const SubGrammarIndex &Slices,
 
 } // namespace
 
+bool GrammarDelta::translateTerminalSet(const IndexSet &OldSet,
+                                        IndexSet &Out) const {
+  IndexSet Translated(NewNumTerminals);
+  bool Ok = true;
+  OldSet.forEach([&](unsigned T) {
+    if (!Ok)
+      return;
+    int32_t NT = T < SymbolMap.size() ? SymbolMap[T] : -1;
+    if (NT < 0 || unsigned(NT) >= NewNumTerminals) {
+      Ok = false;
+      return;
+    }
+    Translated.insert(unsigned(NT));
+  });
+  if (Ok)
+    Out = std::move(Translated);
+  return Ok;
+}
+
 GrammarDelta computeGrammarDelta(const Grammar &Old,
                                  const SubGrammarIndex &OldSlices,
                                  const Grammar &New,
@@ -99,19 +118,76 @@ GrammarDelta computeGrammarDelta(const Grammar &Old,
   D.ProdAffectedOld.assign(Old.numProductions(), false);
   D.ProdAffectedNew.assign(New.numProductions(), false);
 
-  // Terminals: exact agreement or nothing (see header comment).
-  if (Old.numTerminals() != New.numTerminals()) {
-    D.InvalidReason = "terminal count changed";
-    return D;
-  }
-  for (unsigned T = 0; T != Old.numTerminals(); ++T) {
-    if (Old.name(Symbol(T)) != New.name(Symbol(T))) {
-      D.InvalidReason = "terminal id/name mismatch";
-      return D;
+  D.OldNumTerminals = Old.numTerminals();
+  D.NewNumTerminals = New.numTerminals();
+  D.TermPrecChangedOld.assign(Old.numTerminals(), false);
+  D.TermPrecChangedNew.assign(New.numTerminals(), false);
+  D.ProdPrecChangedOld.assign(Old.numProductions(), false);
+  D.ProdPrecChangedNew.assign(New.numProductions(), false);
+
+  // Terminals: by name, then leftover pairs positionally (renames) — the
+  // same scheme as nonterminals below. "$" (eof) is id 0 in every
+  // grammar and always pairs with itself. Terminal ids index lookahead
+  // bitsets, so consumers translate bitsets through this map; that
+  // translation preserves the token order of per-state conflict runs
+  // only when the map is monotone, checked right after matching.
+  D.SymbolMap[0] = 0;
+  D.InvSymbolMap[0] = 0;
+  for (unsigned T = 1; T < Old.numTerminals(); ++T) {
+    Symbol Cand = New.symbolByName(Old.name(Symbol(int32_t(T))));
+    if (Cand.valid() && New.isTerminal(Cand) && D.InvSymbolMap[Cand.id()] < 0) {
+      D.SymbolMap[T] = Cand.id();
+      D.InvSymbolMap[Cand.id()] = int32_t(T);
     }
-    D.SymbolMap[T] = int32_t(T);
-    D.InvSymbolMap[T] = int32_t(T);
   }
+  {
+    std::vector<int32_t> OldFree, NewFree;
+    for (unsigned T = 1; T < Old.numTerminals(); ++T)
+      if (D.SymbolMap[T] < 0)
+        OldFree.push_back(int32_t(T));
+    for (unsigned T = 1; T < New.numTerminals(); ++T)
+      if (D.InvSymbolMap[T] < 0)
+        NewFree.push_back(int32_t(T));
+    for (size_t I = 0; I != OldFree.size() && I != NewFree.size(); ++I) {
+      D.SymbolMap[OldFree[I]] = NewFree[I];
+      D.InvSymbolMap[NewFree[I]] = OldFree[I];
+    }
+  }
+  {
+    int32_t LastT = -1;
+    for (unsigned T = 0; T != Old.numTerminals(); ++T) {
+      if (D.SymbolMap[T] < 0)
+        continue;
+      if (D.SymbolMap[T] <= LastT) {
+        D.InvalidReason = "terminal map not monotone";
+        return D;
+      }
+      LastT = D.SymbolMap[T];
+    }
+  }
+
+  // Identity test plus the precedence-change flags the table patch gates
+  // on: an unmatched terminal counts as changed on its side.
+  D.TermMapIdentity = Old.numTerminals() == New.numTerminals();
+  for (unsigned T = 0; T != Old.numTerminals(); ++T) {
+    int32_t NT = D.SymbolMap[T];
+    if (NT < 0) {
+      D.TermPrecChangedOld[T] = true;
+      D.TermMapIdentity = false;
+      continue;
+    }
+    if (NT != int32_t(T))
+      D.TermMapIdentity = false;
+    Symbol OldT{int32_t(T)}, NewT{NT};
+    if (Old.precedenceLevel(OldT) != New.precedenceLevel(NewT) ||
+        Old.associativity(OldT) != New.associativity(NewT)) {
+      D.TermPrecChangedOld[T] = true;
+      D.TermPrecChangedNew[NT] = true;
+    }
+  }
+  for (unsigned T = 0; T != New.numTerminals(); ++T)
+    if (D.InvSymbolMap[T] < 0)
+      D.TermPrecChangedNew[T] = true;
 
   // Nonterminals: by name, then leftover pairs positionally (renames).
   // The augmented start symbols always pair with each other: both are
@@ -190,6 +266,25 @@ GrammarDelta computeGrammarDelta(const Grammar &Old,
     }
     Last = D.ProdMap[P];
   }
+
+  // Effective %prec of surviving productions, compared through the map:
+  // productionPrecedence is exactly the resolution input ParseTable
+  // consults, so comparing its value across the edit is neither over-
+  // nor under-approximate. Unmapped productions count as changed.
+  for (unsigned P = 0; P != Old.numProductions(); ++P) {
+    int32_t Q = D.ProdMap[P];
+    if (Q < 0) {
+      D.ProdPrecChangedOld[P] = true;
+      continue;
+    }
+    if (Old.productionPrecedence(P) != New.productionPrecedence(unsigned(Q))) {
+      D.ProdPrecChangedOld[P] = true;
+      D.ProdPrecChangedNew[Q] = true;
+    }
+  }
+  for (unsigned Q = 0; Q != New.numProductions(); ++Q)
+    if (D.InvProdMap[Q] < 0)
+      D.ProdPrecChangedNew[Q] = true;
 
   computeAffected(Old, OldSlices, D.EditedOld, D.AffectedOld);
   computeAffected(New, NewSlices, D.EditedNew, D.AffectedNew);

@@ -15,10 +15,19 @@
 /// can prove cheaply, and every consumer falls back to a cold rebuild
 /// when `Valid` is false or a needed id is unmapped. Concretely:
 ///
-///   - Terminals must agree exactly (same count, same names, in id
-///     order). Terminal ids double as lookahead-bitset indices, so any
-///     terminal change invalidates the whole delta rather than trying
-///     to translate bitsets.
+///   - Terminals are matched by name first ("$"/eof always pairs id 0
+///     with id 0); leftover old and new terminals are then paired
+///     positionally in id order, which absorbs renames exactly as for
+///     nonterminals. A removed terminal simply stays unmapped — every
+///     production mentioning it fails to match and its block becomes
+///     edited, so the dirty cone covers all structure that could see
+///     the change. Terminal ids double as lookahead-bitset indices, so
+///     consumers translate bitsets through the map
+///     (translateTerminalSet); because spliced per-state conflict runs
+///     must stay sorted by token id under that translation, a
+///     non-monotone terminal map invalidates the delta (our edit model
+///     appends, removes, or renames in place, all of which keep the map
+///     monotone).
 ///   - Nonterminals are matched by name first; leftover old and new
 ///     nonterminals are then paired positionally in id order, which
 ///     absorbs renames. A mis-pairing is harmless: the paired blocks
@@ -48,6 +57,7 @@
 #define LALRCEX_GRAMMAR_GRAMMARDELTA_H
 
 #include "grammar/Grammar.h"
+#include "support/IndexSet.h"
 
 #include <cstdint>
 #include <string>
@@ -71,8 +81,31 @@ struct GrammarDelta {
   std::vector<int32_t> ProdMap;      ///< old prod index -> new index or -1
   std::vector<int32_t> InvProdMap;   ///< new prod index -> old index or -1
 
+  /// Terminal universe sizes of the two grammars (terminal ids are the
+  /// lookahead-bitset universe; translateTerminalSet converts between
+  /// them).
+  uint32_t OldNumTerminals = 0, NewNumTerminals = 0;
+  /// True when the terminal universes are identical: same count and the
+  /// map is the identity on ids (renames keep ids, so they qualify).
+  /// Lookahead bitsets can then be copied verbatim instead of being
+  /// translated element by element.
+  bool TermMapIdentity = false;
+  /// Per terminal id: unmatched terminal, or matched one whose
+  /// (precedence level, associativity) pair differs numerically across
+  /// the edit. Any conflict resolution consulting such a terminal must
+  /// be re-derived rather than translated. Comparing raw levels is
+  /// conservative under level renumbering, which only costs reuse.
+  std::vector<bool> TermPrecChangedOld, TermPrecChangedNew;
+  /// Per production: unmapped, or mapped with a different effective
+  /// %prec level. sameProduction deliberately ignores the precedence
+  /// symbol (it never affects automaton structure), so a surviving
+  /// production can still change its conflict-resolution inputs; table
+  /// patching gates on this flag.
+  std::vector<bool> ProdPrecChangedOld, ProdPrecChangedNew;
+
   /// Per symbol id: nonterminal whose own production block changed
-  /// (terminals are never edited — a terminal change invalidates).
+  /// (terminals are never edited — a structural terminal change shows
+  /// up as edited productions referencing it).
   std::vector<bool> EditedOld, EditedNew;
   /// Per symbol id: nonterminal whose slice reaches an edited one.
   std::vector<bool> AffectedOld, AffectedNew;
@@ -100,6 +133,13 @@ struct GrammarDelta {
   int32_t invMapProd(unsigned P) const {
     return P < InvProdMap.size() ? InvProdMap[P] : -1;
   }
+
+  /// Translates an old-universe terminal bitset into the new universe
+  /// through the symbol map. \returns false — leaving \p Out untouched —
+  /// when any element is unmapped (the set mentions a removed terminal);
+  /// on success \p Out is a set over NewNumTerminals with exactly the
+  /// mapped elements.
+  bool translateTerminalSet(const IndexSet &OldSet, IndexSet &Out) const;
 };
 
 /// Computes the delta from \p Old to \p New. The slice indices must be

@@ -30,6 +30,12 @@ const char *lalrcex::editKindName(EditKind K) {
     return "toggle-expect";
   case EditKind::ToggleNonterminal:
     return "toggle-nonterminal";
+  case EditKind::AddTerminal:
+    return "add-terminal";
+  case EditKind::RemoveTerminal:
+    return "remove-terminal";
+  case EditKind::RenameTerminal:
+    return "rename-terminal";
   }
   return "unknown";
 }
@@ -312,6 +318,67 @@ std::optional<std::string> EditableGrammar::applyRandomEdit(EditKind K,
     Rules.push_back(std::move(Ref));
     return "add-nonterminal " + Fresh + " via " + Host;
   }
+  case EditKind::AddTerminal: {
+    // Declared last, so every existing terminal keeps its id; the new id
+    // appears only in the delta's extended range. Using it in a fresh
+    // alternative makes the edit structural (states actually change), not
+    // just a declaration-list change.
+    std::string Fresh = freshName("tk_new");
+    Terminals.push_back(Fresh);
+    const std::string &Nt = Nts[Rng.below(unsigned(Nts.size()))];
+    Rule R;
+    R.Lhs = Nt;
+    if (Rng.below(2) == 0)
+      R.Rhs.push_back(Terminals[Rng.below(unsigned(Terminals.size()))]);
+    R.Rhs.push_back(Fresh);
+    std::vector<size_t> Idx = ruleIndicesOf(Nt);
+    Rules.insert(Rules.begin() + long(Idx.back()) + 1, std::move(R));
+    return "add-terminal " + Fresh + " via " + Nt;
+  }
+  case EditKind::RemoveTerminal: {
+    if (Terminals.empty())
+      return std::nullopt;
+    std::string T = Terminals[Rng.below(unsigned(Terminals.size()))];
+    Terminals.erase(std::find(Terminals.begin(), Terminals.end(), T));
+    for (PrecLevel &L : Levels) {
+      auto It = std::find(L.Names.begin(), L.Names.end(), T);
+      if (It != L.Names.end())
+        L.Names.erase(It);
+    }
+    // Every alternative mentioning the terminal goes with it; a removal
+    // that strands a nonterminal without alternatives fails build() and
+    // the caller retries with a fresh draw.
+    Rules.erase(std::remove_if(Rules.begin(), Rules.end(),
+                               [&](const Rule &R) {
+                                 return R.Prec == T ||
+                                        std::find(R.Rhs.begin(), R.Rhs.end(),
+                                                  T) != R.Rhs.end();
+                               }),
+                Rules.end());
+    if (Rules.empty())
+      return std::nullopt;
+    return "remove-terminal " + T;
+  }
+  case EditKind::RenameTerminal: {
+    if (Terminals.empty())
+      return std::nullopt;
+    size_t Pick = Rng.below(unsigned(Terminals.size()));
+    std::string Old = Terminals[Pick];
+    std::string Fresh = freshName(Old + "_t");
+    Terminals[Pick] = Fresh;
+    for (PrecLevel &L : Levels)
+      for (std::string &N : L.Names)
+        if (N == Old)
+          N = Fresh;
+    for (Rule &R : Rules) {
+      for (std::string &S : R.Rhs)
+        if (S == Old)
+          S = Fresh;
+      if (R.Prec == Old)
+        R.Prec = Fresh;
+    }
+    return "rename-terminal " + Old + " -> " + Fresh;
+  }
   }
   return std::nullopt;
 }
@@ -321,7 +388,17 @@ const std::vector<EditKind> &lalrcex::allEditKinds() {
       EditKind::AddAlternative,      EditKind::RemoveAlternative,
       EditKind::ReorderAlternatives, EditKind::RenameNonterminal,
       EditKind::TogglePrecedence,    EditKind::ToggleExpect,
-      EditKind::ToggleNonterminal,
+      EditKind::ToggleNonterminal,   EditKind::AddTerminal,
+      EditKind::RemoveTerminal,      EditKind::RenameTerminal,
+  };
+  return Kinds;
+}
+
+const std::vector<EditKind> &lalrcex::terminalEditKinds() {
+  static const std::vector<EditKind> Kinds = {
+      EditKind::AddTerminal,
+      EditKind::RemoveTerminal,
+      EditKind::RenameTerminal,
   };
   return Kinds;
 }

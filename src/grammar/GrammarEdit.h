@@ -47,6 +47,9 @@ enum class EditKind : uint8_t {
   TogglePrecedence,    ///< add/remove one terminal's precedence
   ToggleExpect,        ///< change the %expect declaration
   ToggleNonterminal,   ///< introduce/delete a whole fresh-nonterminal block
+  AddTerminal,         ///< declare a fresh terminal and use it in a rule
+  RemoveTerminal,      ///< drop one terminal and every rule referencing it
+  RenameTerminal,      ///< rename one terminal to a fresh name everywhere
 };
 
 /// Short stable name ("add-alternative", ...), for logs and bench labels.
@@ -127,8 +130,12 @@ std::optional<AppliedEdit>
 applyRandomEdit(EditableGrammar &E, EditRng &Rng,
                 const std::vector<EditKind> &Kinds);
 
-/// All seven edit kinds, the default menu for oracle tests and -edit-loop.
+/// All ten edit kinds, the default menu for oracle tests and -edit-loop.
 const std::vector<EditKind> &allEditKinds();
+
+/// Just the terminal-set edit kinds (add/remove/rename-terminal) — the
+/// menu for exercising GrammarDelta's terminal id map in isolation.
+const std::vector<EditKind> &terminalEditKinds();
 
 } // namespace lalrcex
 

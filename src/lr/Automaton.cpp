@@ -680,7 +680,8 @@ Automaton::patch(const Grammar &G, const GrammarAnalysis &Analysis,
                  const Automaton &Old, const GrammarDelta &Delta,
                  const AutomatonOptions &Opts, AutomatonPatchStats *Stats,
                  std::vector<int> *OldToNewOut, std::vector<int> *NewToOldOut,
-                 std::vector<bool> *SplicedOut) {
+                 std::vector<bool> *SplicedOut,
+                 std::vector<bool> *LaCopiedOut) {
   if (Opts.Kind != AutomatonKind::Lalr1 || Old.Kind != AutomatonKind::Lalr1 ||
       !Delta.Valid)
     return nullptr;
@@ -814,9 +815,9 @@ Automaton::patch(const Grammar &G, const GrammarAnalysis &Analysis,
   // are identical and the old lookahead vector is the answer.
   unsigned KernelPasses = 0, ClosurePasses = 0;
   unsigned Copied = 0;
+  std::vector<bool> CopyLa(M->States.size(), false);
   if (Opts.PooledSets) {
     KernelPasses = M->computeKernelLookaheadsPooled();
-    std::vector<bool> CopyLa(M->States.size(), false);
     for (unsigned S = 0, E = unsigned(M->States.size()); S != E; ++S) {
       if (!Spliced[S])
         continue;
@@ -830,15 +831,39 @@ Automaton::patch(const Grammar &G, const GrammarAnalysis &Analysis,
         }
       if (!Unaffected)
         continue;
-      bool KernelEqual = true;
-      for (unsigned KI = 0; KI != NewSt.NumKernel; ++KI)
-        if (NewSt.Lookaheads[KI] != OldSt.Lookaheads[KI]) {
-          KernelEqual = false;
-          break;
-        }
-      if (!KernelEqual)
-        continue;
-      NewSt.Lookaheads = OldSt.Lookaheads;
+      if (Delta.TermMapIdentity) {
+        bool KernelEqual = true;
+        for (unsigned KI = 0; KI != NewSt.NumKernel; ++KI)
+          if (NewSt.Lookaheads[KI] != OldSt.Lookaheads[KI]) {
+            KernelEqual = false;
+            break;
+          }
+        if (!KernelEqual)
+          continue;
+        NewSt.Lookaheads = OldSt.Lookaheads;
+      } else {
+        // Terminal-set edit: compare and copy through the terminal map.
+        // For an unaffected spliced state every FIRST/nullable table its
+        // closure fixpoint consults is equal-through-the-map (a FIRST
+        // set containing an unmapped terminal would make its symbol
+        // affected), so the translated old fixpoint result *is* the new
+        // fixpoint result — provided the kernel seeds also match after
+        // translation. A lookahead mentioning a removed terminal fails
+        // to translate and the state falls back to the fixpoint.
+        std::vector<IndexSet> Translated(OldSt.Lookaheads.size());
+        bool Ok = true;
+        for (unsigned KI = 0; KI != NewSt.NumKernel && Ok; ++KI)
+          Ok = Delta.translateTerminalSet(OldSt.Lookaheads[KI],
+                                          Translated[KI]) &&
+               Translated[KI] == NewSt.Lookaheads[KI];
+        for (unsigned I = NewSt.NumKernel,
+                      IE = unsigned(OldSt.Lookaheads.size());
+             I != IE && Ok; ++I)
+          Ok = Delta.translateTerminalSet(OldSt.Lookaheads[I], Translated[I]);
+        if (!Ok)
+          continue;
+        NewSt.Lookaheads = std::move(Translated);
+      }
       CopyLa[S] = true;
       ++Copied;
     }
@@ -883,5 +908,7 @@ Automaton::patch(const Grammar &G, const GrammarAnalysis &Analysis,
     *NewToOldOut = std::move(NewToOld);
   if (SplicedOut)
     *SplicedOut = std::move(Spliced);
+  if (LaCopiedOut)
+    *LaCopiedOut = std::move(CopyLa);
   return M;
 }

@@ -43,7 +43,7 @@ class TraceRecorder;
 struct GrammarDelta;
 
 /// What one Automaton::patch call reused versus recomputed; the counts
-/// feed the automaton.states_* metrics and schema-6 bench records.
+/// feed the automaton.states_* metrics and schema-7 bench records.
 struct AutomatonPatchStats {
   unsigned StatesReused = 0;  ///< spliced: item closure taken from the old state
   unsigned StatesRebuilt = 0; ///< kernel matched an old state, closure re-run
@@ -138,16 +138,22 @@ public:
   /// nullptr when patching is inapplicable (non-LALR(1) kind on either
   /// side, or an invalid delta) and the caller must build cold. On
   /// success the optional out-parameters receive the old<->new state
-  /// correspondence (kernel-matched states; -1 where none) and, per new
-  /// state, whether it was spliced (item layout identical to its old
-  /// counterpart under the delta's production map).
+  /// correspondence (kernel-matched states; -1 where none), per new
+  /// state whether it was spliced (item layout identical to its old
+  /// counterpart under the delta's production map), and per new state
+  /// whether its lookahead vector was copied from the old state —
+  /// verbatim when the delta's terminal map is the identity, translated
+  /// through it otherwise. \p LaCopied is the precondition the
+  /// ParseTable patch needs: a spliced state with copied lookaheads has
+  /// action-row content identical to its old row under the id maps.
   static std::unique_ptr<Automaton>
   patch(const Grammar &G, const GrammarAnalysis &Analysis,
         const Automaton &Old, const GrammarDelta &Delta,
         const AutomatonOptions &Opts, AutomatonPatchStats *Stats = nullptr,
         std::vector<int> *OldToNew = nullptr,
         std::vector<int> *NewToOld = nullptr,
-        std::vector<bool> *Spliced = nullptr);
+        std::vector<bool> *Spliced = nullptr,
+        std::vector<bool> *LaCopied = nullptr);
 
   /// Target of the transition from \p StateIndex on \p S, or -1 if none.
   int transition(unsigned StateIndex, Symbol S) const;

@@ -6,6 +6,8 @@
 
 #include "lr/ParseTable.h"
 
+#include "grammar/GrammarDelta.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -51,145 +53,285 @@ std::string Conflict::describeResolution(const Grammar &G) const {
   return "";
 }
 
-ParseTable::ParseTable(const Automaton &M) : M(M) {
+void ParseTable::buildStateRow(unsigned S, std::vector<Conflict> &Out) {
   const Grammar &G = M.grammar();
   const unsigned NumT = G.numTerminals();
-  Actions.assign(size_t(M.numStates()) * NumT, Action::error());
+  const Automaton::State &St = M.state(S);
 
-  for (unsigned S = 0, SE = M.numStates(); S != SE; ++S) {
-    const Automaton::State &St = M.state(S);
-
-    // Reductions wanted per terminal, in production order.
-    std::vector<std::vector<unsigned>> Reduces(NumT);
-    bool AcceptsEof = false;
-    for (unsigned I = 0, IE = unsigned(St.Items.size()); I != IE; ++I) {
-      const Item &Itm = St.Items[I];
-      if (!Itm.atEnd(G))
-        continue;
-      if (Itm.Prod == G.augmentedProduction()) {
-        AcceptsEof = true;
-        continue;
-      }
-      St.Lookaheads[I].forEach(
-          [&](unsigned T) { Reduces[T].push_back(Itm.Prod); });
+  // Reductions wanted per terminal, in production order.
+  std::vector<std::vector<unsigned>> Reduces(NumT);
+  bool AcceptsEof = false;
+  for (unsigned I = 0, IE = unsigned(St.Items.size()); I != IE; ++I) {
+    const Item &Itm = St.Items[I];
+    if (!Itm.atEnd(G))
+      continue;
+    if (Itm.Prod == G.augmentedProduction()) {
+      AcceptsEof = true;
+      continue;
     }
-    for (auto &R : Reduces)
-      std::sort(R.begin(), R.end());
+    St.Lookaheads[I].forEach(
+        [&](unsigned T) { Reduces[T].push_back(Itm.Prod); });
+  }
+  for (auto &R : Reduces)
+    std::sort(R.begin(), R.end());
 
-    // Shifts from the transition function.
-    for (const auto &[Sym, Target] : St.Transitions) {
-      if (G.isTerminal(Sym))
-        Actions[size_t(S) * NumT + unsigned(Sym.id())] =
-            Action::shift(Target);
-    }
-    if (AcceptsEof)
-      Actions[size_t(S) * NumT + unsigned(G.eof().id())] = Action::accept();
+  // Shifts from the transition function.
+  for (const auto &[Sym, Target] : St.Transitions) {
+    if (G.isTerminal(Sym))
+      Actions[size_t(S) * NumT + unsigned(Sym.id())] = Action::shift(Target);
+  }
+  if (AcceptsEof)
+    Actions[size_t(S) * NumT + unsigned(G.eof().id())] = Action::accept();
 
-    for (unsigned T = 0; T != NumT; ++T) {
-      std::vector<unsigned> &Rs = Reduces[T];
-      if (Rs.empty())
-        continue;
-      Action &Cell = Actions[size_t(S) * NumT + T];
-      Symbol Tok = Symbol(int32_t(T));
+  for (unsigned T = 0; T != NumT; ++T) {
+    std::vector<unsigned> &Rs = Reduces[T];
+    if (Rs.empty())
+      continue;
+    Action &Cell = Actions[size_t(S) * NumT + T];
+    Symbol Tok = Symbol(int32_t(T));
 
-      // Reduce/reduce conflicts: every extra reduction conflicts with the
-      // first (earliest) one, which wins by default, as in yacc. One
-      // conflict is reported per production pair and state (matching
-      // CUP), not per clashing lookahead token; Token records the first
-      // clashing terminal.
-      for (size_t I = 1; I != Rs.size(); ++I) {
-        bool Seen = false;
-        for (const Conflict &Prev : Conflicts) {
-          if (Prev.K == Conflict::ReduceReduce && Prev.State == S &&
-              Prev.ReduceProd == Rs[0] && Prev.OtherProd == Rs[I]) {
-            Seen = true;
-            break;
-          }
+    // Reduce/reduce conflicts: every extra reduction conflicts with the
+    // first (earliest) one, which wins by default, as in yacc. One
+    // conflict is reported per production pair and state (matching
+    // CUP), not per clashing lookahead token; Token records the first
+    // clashing terminal. The dedup scan only consults this state's own
+    // conflicts, which is what makes per-state rows self-contained.
+    for (size_t I = 1; I != Rs.size(); ++I) {
+      bool Seen = false;
+      for (const Conflict &Prev : Out) {
+        if (Prev.K == Conflict::ReduceReduce && Prev.State == S &&
+            Prev.ReduceProd == Rs[0] && Prev.OtherProd == Rs[I]) {
+          Seen = true;
+          break;
         }
-        if (Seen)
-          continue;
+      }
+      if (Seen)
+        continue;
+      Conflict C;
+      C.K = Conflict::ReduceReduce;
+      C.State = S;
+      C.Token = Tok;
+      C.ReduceProd = Rs[0];
+      C.OtherProd = Rs[I];
+      C.R = Conflict::DefaultFirstRule;
+      Out.push_back(C);
+    }
+
+    if (Cell.K == Action::Shift) {
+      // The items wanting to shift this terminal; CUP reports one
+      // shift/reduce conflict per (shift item, reduction) pair.
+      std::vector<Item> ShiftItems;
+      for (const Item &Itm : St.Items)
+        if (Itm.afterDot(G) == Tok)
+          ShiftItems.push_back(Itm);
+      assert(!ShiftItems.empty() && "shift action without a shift item");
+
+      bool ShiftRemoved = false;
+      for (unsigned Prod : Rs) {
         Conflict C;
-        C.K = Conflict::ReduceReduce;
+        C.K = Conflict::ShiftReduce;
         C.State = S;
         C.Token = Tok;
-        C.ReduceProd = Rs[0];
-        C.OtherProd = Rs[I];
-        C.R = Conflict::DefaultFirstRule;
-        Conflicts.push_back(C);
-      }
+        C.ReduceProd = Prod;
 
-      if (Cell.K == Action::Shift) {
-        // The items wanting to shift this terminal; CUP reports one
-        // shift/reduce conflict per (shift item, reduction) pair.
-        std::vector<Item> ShiftItems;
-        for (const Item &Itm : St.Items)
-          if (Itm.afterDot(G) == Tok)
-            ShiftItems.push_back(Itm);
-        assert(!ShiftItems.empty() && "shift action without a shift item");
-
-        bool ShiftRemoved = false;
-        for (unsigned Prod : Rs) {
-          Conflict C;
-          C.K = Conflict::ShiftReduce;
-          C.State = S;
-          C.Token = Tok;
-          C.ReduceProd = Prod;
-
-          int ProdPrec = G.productionPrecedence(Prod);
-          int TokPrec = G.precedenceLevel(Tok);
-          if (ProdPrec > 0 && TokPrec > 0) {
-            if (ProdPrec > TokPrec) {
-              C.R = Conflict::PrecReduce;
-            } else if (ProdPrec < TokPrec) {
-              C.R = Conflict::PrecShift;
-            } else {
-              switch (G.associativity(Tok)) {
-              case Assoc::Left:
-                C.R = Conflict::PrecReduce;
-                break;
-              case Assoc::Right:
-                C.R = Conflict::PrecShift;
-                break;
-              case Assoc::Nonassoc:
-                C.R = Conflict::PrecError;
-                break;
-              case Assoc::None:
-                C.R = Conflict::DefaultShift;
-                break;
-              }
-            }
+        int ProdPrec = G.productionPrecedence(Prod);
+        int TokPrec = G.precedenceLevel(Tok);
+        if (ProdPrec > 0 && TokPrec > 0) {
+          if (ProdPrec > TokPrec) {
+            C.R = Conflict::PrecReduce;
+          } else if (ProdPrec < TokPrec) {
+            C.R = Conflict::PrecShift;
           } else {
-            C.R = Conflict::DefaultShift;
+            switch (G.associativity(Tok)) {
+            case Assoc::Left:
+              C.R = Conflict::PrecReduce;
+              break;
+            case Assoc::Right:
+              C.R = Conflict::PrecShift;
+              break;
+            case Assoc::Nonassoc:
+              C.R = Conflict::PrecError;
+              break;
+            case Assoc::None:
+              C.R = Conflict::DefaultShift;
+              break;
+            }
           }
-
-          if (C.R == Conflict::PrecReduce) {
-            Cell = Action::reduce(Prod);
-            ShiftRemoved = true;
-          } else if (C.R == Conflict::PrecError) {
-            Cell = Action::error();
-            ShiftRemoved = true;
-          }
-          for (const Item &ShiftItm : ShiftItems) {
-            C.ShiftItm = ShiftItm;
-            Conflicts.push_back(C);
-          }
+        } else {
+          C.R = Conflict::DefaultShift;
         }
-        if (!ShiftRemoved && Cell.K == Action::Shift) {
-          // Shift kept (by default or by precedence); nothing to do.
-        }
-        continue;
-      }
 
-      if (Cell.K == Action::Error || Cell.K == Action::Reduce) {
-        // Pure reduction (possibly after R/R resolution above).
-        Cell = Action::reduce(Rs[0]);
-        continue;
+        if (C.R == Conflict::PrecReduce) {
+          Cell = Action::reduce(Prod);
+          ShiftRemoved = true;
+        } else if (C.R == Conflict::PrecError) {
+          Cell = Action::error();
+          ShiftRemoved = true;
+        }
+        for (const Item &ShiftItm : ShiftItems) {
+          C.ShiftItm = ShiftItm;
+          Out.push_back(C);
+        }
       }
-      // Accept cell: the augmented reduction wins; a reduction on $ in
-      // the accepting state would be a conflict with accept, which cannot
-      // happen for augmented grammars with a fresh start symbol.
+      if (!ShiftRemoved && Cell.K == Action::Shift) {
+        // Shift kept (by default or by precedence); nothing to do.
+      }
+      continue;
+    }
+
+    if (Cell.K == Action::Error || Cell.K == Action::Reduce) {
+      // Pure reduction (possibly after R/R resolution above).
+      Cell = Action::reduce(Rs[0]);
+      continue;
+    }
+    // Accept cell: the augmented reduction wins; a reduction on $ in
+    // the accepting state would be a conflict with accept, which cannot
+    // happen for augmented grammars with a fresh start symbol.
+  }
+}
+
+ParseTable::ParseTable(const Automaton &M) : M(M) {
+  const unsigned NumT = M.grammar().numTerminals();
+  Actions.assign(size_t(M.numStates()) * NumT, Action::error());
+  for (unsigned S = 0, SE = M.numStates(); S != SE; ++S)
+    buildStateRow(S, Conflicts);
+}
+
+bool ParseTable::translateStateRow(unsigned S, unsigned OS,
+                                   const ParseTable &Old,
+                                   const GrammarDelta &Delta,
+                                   const std::vector<int> &OldToNewState,
+                                   size_t OldConflictBegin,
+                                   size_t OldConflictEnd,
+                                   std::vector<Conflict> &Out) {
+  // Precedence gate first: every resolution the old row baked in must
+  // have been derived from inputs the edit did not touch. Conflict
+  // *sites* are structural (items, lookaheads, transitions — identical
+  // for a spliced, lookahead-copied state under the maps), so gating the
+  // resolution inputs of the recorded conflicts covers every cell whose
+  // content depends on precedence.
+  for (size_t CI = OldConflictBegin; CI != OldConflictEnd; ++CI) {
+    const Conflict &C = Old.Conflicts[CI];
+    if (Delta.TermPrecChangedOld[C.Token.id()] ||
+        Delta.ProdPrecChangedOld[C.ReduceProd])
+      return false;
+  }
+
+  const unsigned NumT = M.grammar().numTerminals();
+  const unsigned OldNumT = Old.M.grammar().numTerminals();
+  std::vector<Action> Row(NumT, Action::error());
+  for (unsigned T = 0; T != OldNumT; ++T) {
+    const Action &Cell = Old.Actions[size_t(OS) * OldNumT + T];
+    if (Cell.K == Action::Error)
+      continue;
+    int32_t NT = Delta.SymbolMap[T];
+    if (NT < 0)
+      return false; // a live cell on a removed terminal: not translatable
+    switch (Cell.K) {
+    case Action::Shift: {
+      int Target = OldToNewState[Cell.Target];
+      if (Target < 0)
+        return false;
+      Row[unsigned(NT)] = Action::shift(unsigned(Target));
+      break;
+    }
+    case Action::Reduce: {
+      int32_t Prod = Delta.mapProd(Cell.Target);
+      if (Prod < 0)
+        return false;
+      Row[unsigned(NT)] = Action::reduce(unsigned(Prod));
+      break;
+    }
+    case Action::Accept:
+      Row[unsigned(NT)] = Action::accept();
+      break;
+    case Action::Error:
+      break;
     }
   }
+
+  // Conflicts translate record by record. The old run is in ascending
+  // old-token order; the terminal map is monotone, so the translated run
+  // is in ascending new-token order — exactly the cold emission order.
+  std::vector<Conflict> Translated;
+  Translated.reserve(OldConflictEnd - OldConflictBegin);
+  for (size_t CI = OldConflictBegin; CI != OldConflictEnd; ++CI) {
+    Conflict C = Old.Conflicts[CI];
+    C.State = S;
+    Symbol NewTok = Delta.mapSymbol(C.Token);
+    int32_t Prod = Delta.mapProd(C.ReduceProd);
+    if (!NewTok.valid() || Prod < 0)
+      return false;
+    C.Token = NewTok;
+    C.ReduceProd = unsigned(Prod);
+    if (C.K == Conflict::ReduceReduce) {
+      int32_t Other = Delta.mapProd(C.OtherProd);
+      if (Other < 0)
+        return false;
+      C.OtherProd = unsigned(Other);
+    } else {
+      int32_t ShiftProd = Delta.mapProd(C.ShiftItm.Prod);
+      if (ShiftProd < 0)
+        return false;
+      C.ShiftItm = Item(uint32_t(ShiftProd), C.ShiftItm.Dot);
+    }
+    Translated.push_back(C);
+  }
+
+  std::copy(Row.begin(), Row.end(),
+            Actions.begin() + size_t(S) * NumT);
+  Out.insert(Out.end(), Translated.begin(), Translated.end());
+  return true;
+}
+
+ParseTable::ParseTable(const Automaton &M, const ParseTable &Old,
+                       const GrammarDelta &Delta,
+                       const std::vector<int> &OldToNewState,
+                       const std::vector<int> &NewToOldState,
+                       const std::vector<bool> &SplicedNew,
+                       const std::vector<bool> &LaCopied,
+                       TablePatchStats *Stats)
+    : M(M) {
+  assert(Delta.Valid && "table patch needs a valid delta");
+  assert(NewToOldState.size() == M.numStates() &&
+         SplicedNew.size() == M.numStates() &&
+         LaCopied.size() == M.numStates() && "state maps of another patch");
+  const unsigned NumT = M.grammar().numTerminals();
+  Actions.assign(size_t(M.numStates()) * NumT, Action::error());
+
+  // Old conflicts are stored in state order; index the per-state runs
+  // once so translation can hand each state its own self-contained run.
+  std::vector<std::pair<uint32_t, uint32_t>> OldRuns(Old.M.numStates(),
+                                                     {0, 0});
+  for (size_t CI = 0; CI != Old.Conflicts.size();) {
+    size_t Begin = CI;
+    unsigned OS = Old.Conflicts[CI].State;
+    while (CI != Old.Conflicts.size() && Old.Conflicts[CI].State == OS)
+      ++CI;
+    OldRuns[OS] = {uint32_t(Begin), uint32_t(CI)};
+  }
+
+  TablePatchStats PS;
+  for (unsigned S = 0, SE = M.numStates(); S != SE; ++S) {
+    bool Done = false;
+    if (SplicedNew[S] && LaCopied[S] && NewToOldState[S] >= 0) {
+      unsigned OS = unsigned(NewToOldState[S]);
+      Done = translateStateRow(S, OS, Old, Delta, OldToNewState,
+                               OldRuns[OS].first, OldRuns[OS].second,
+                               Conflicts);
+    }
+    if (Done) {
+      ++PS.RowsReused;
+    } else {
+      // Translation refused, or the state is in the dirty cone.
+      // translateStateRow commits the row and conflicts only on success,
+      // so the cold pass starts from a pristine error row.
+      buildStateRow(S, Conflicts);
+      ++PS.RowsRebuilt;
+    }
+  }
+  if (Stats)
+    *Stats = PS;
 }
 
 std::string ParseTable::checkExpectations() const {

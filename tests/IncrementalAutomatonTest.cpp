@@ -6,8 +6,15 @@
 // independent of the conflict-report oracle:
 //
 //   - patched-vs-cold byte equivalence of automaton, parse table, and
-//     state-item graph across seeded edit streams (all seven edit
-//     kinds), with patch-stat accounting invariants;
+//     state-item graph across seeded edit streams (all ten edit kinds,
+//     including the terminal-set edits of PR 10), with patch-stat
+//     accounting invariants for states, table rows, and graph rows;
+//   - terminal-only edit streams: add/remove/rename-terminal must keep
+//     the delta valid and splice the majority of states, with the
+//     translated-lookahead table/graph rows byte-identical to cold;
+//   - CSR slack-layout growth: reverse rows that outgrow their
+//     predicted capacity relocate to tail segments while the serialized
+//     (re-compacted) graph stays byte-identical to a cold build;
 //   - SubGrammarIndex slice monotonicity under the toggle-nonterminal
 //     edit kind (grow on add, shrink on delete, untouched slices
 //     identical by name-based hash);
@@ -36,9 +43,13 @@ namespace {
 
 /// Advances \p Sess to \p Edited and asserts the patched pipeline is
 /// byte-identical to a cold build, plus the patch-stat bookkeeping
-/// invariants (every new state accounted once, dead states counted).
-void expectAdvanceMatchesCold(IncrementalSession &Sess,
-                              const Grammar &Edited) {
+/// invariants (every new state accounted once, dead states counted,
+/// every table and graph row accounted once). \p StatsOut, when set,
+/// receives the advance stats for callers that aggregate across a
+/// stream (ASSERT_* needs a void return type, hence no return value).
+void expectAdvanceMatchesCold(
+    IncrementalSession &Sess, const Grammar &Edited,
+    const IncrementalSession::AdvanceStats **StatsOut = nullptr) {
   unsigned OldStates = Sess.automaton().numStates();
   const IncrementalSession::AdvanceStats &St = Sess.advance(Edited);
 
@@ -57,9 +68,18 @@ void expectAdvanceMatchesCold(IncrementalSession &Sess,
                   St.Patch.StatesDead,
               OldStates);
     EXPECT_LE(St.Patch.LookaheadsCopied, St.Patch.StatesReused);
+    // Every table row and graph row is accounted exactly once.
+    EXPECT_EQ(St.Table.RowsReused + St.Table.RowsRebuilt,
+              size_t(Sess.automaton().numStates()));
+    EXPECT_LE(St.Table.RowsReused, St.Patch.LookaheadsCopied);
+    EXPECT_EQ(St.Graph.RowsPatched + St.Graph.RowsRebuilt,
+              size_t(Sess.graph().numNodes()));
   } else {
     EXPECT_FALSE(St.ColdReason.empty());
   }
+  EXPECT_TRUE(Sess.stableIdsDistinct());
+  if (StatsOut)
+    *StatsOut = &St;
 }
 
 TEST(IncrementalAutomatonTest, PatchMatchesColdBuildOnCorpus) {
@@ -125,6 +145,98 @@ TEST(IncrementalAutomatonTest, PatchMatchesColdBuildOnRandomGrammars) {
         return;
     }
   }
+}
+
+TEST(IncrementalAutomatonTest, TerminalEditsSpliceAndMatchColdBuild) {
+  // Terminal-set edits (add/remove/rename-terminal) used to force a 100%
+  // cold rebuild: the lookahead universe changed size, so no bitset
+  // compared equal. With the delta's terminal id map they must now keep
+  // the patch path engaged — valid delta, majority of states spliced —
+  // while the translated table rows and graph lookaheads stay
+  // byte-identical to a cold build.
+  struct Entry {
+    const char *Name;
+    uint64_t Seed;
+  };
+  size_t Advances = 0, PatchedAdvances = 0;
+  size_t ReusedStates = 0, TotalOldStates = 0;
+  for (const Entry &E : {Entry{"figure1", 31}, Entry{"figure3", 32},
+                         Entry{"expr_prec_unresolved", 33},
+                         Entry{"SQL.1", 34}, Entry{"xi", 35}}) {
+    SCOPED_TRACE(E.Name);
+    Grammar G = loadCorpusGrammar(E.Name);
+    EditableGrammar Model = EditableGrammar::fromGrammar(G);
+    EditRng Rng(E.Seed);
+    std::optional<Grammar> G0 = Model.build();
+    ASSERT_TRUE(G0);
+    IncrementalSession Sess(*G0);
+    for (unsigned K = 0; K != 8; ++K) {
+      std::optional<AppliedEdit> Edit =
+          applyRandomEdit(Model, Rng, terminalEditKinds());
+      if (!Edit)
+        break;
+      SCOPED_TRACE("edit #" + std::to_string(K) + ": " + Edit->Detail);
+      std::optional<Grammar> Edited = Model.build();
+      ASSERT_TRUE(Edited);
+      unsigned OldStates = Sess.automaton().numStates();
+      const IncrementalSession::AdvanceStats *St = nullptr;
+      expectAdvanceMatchesCold(Sess, *Edited, &St);
+      if (::testing::Test::HasFatalFailure())
+        return;
+      ++Advances;
+      if (St->Patched) {
+        ++PatchedAdvances;
+        ReusedStates += St->Patch.StatesReused;
+        TotalOldStates += OldStates;
+      }
+    }
+  }
+  // The acceptance bar: terminal-only edits produce a valid delta on the
+  // large majority of advances and splice more than half of all states.
+  ASSERT_GT(Advances, 20u);
+  EXPECT_GE(PatchedAdvances * 4, Advances * 3);
+  EXPECT_GT(ReusedStates * 2, TotalOldStates);
+}
+
+TEST(IncrementalAutomatonTest, CsrSlackGrowthKeepsGraphByteIdentical) {
+  // Growth-heavy streams (fresh alternatives and fresh nonterminal
+  // blocks) make reverse-adjacency rows outgrow the capacity predicted
+  // from the old graph, forcing Csr::push to relocate rows into tail
+  // segments. The serialized graph re-compacts canonically, so cold
+  // comparison in expectAdvanceMatchesCold stays exact; this test pins
+  // that the relocation path actually runs.
+  size_t Relocated = 0, Patched = 0;
+  for (const char *Name : {"figure1", "SQL.1"}) {
+    SCOPED_TRACE(Name);
+    Grammar G = loadCorpusGrammar(Name);
+    EditableGrammar Model = EditableGrammar::fromGrammar(G);
+    EditRng Rng(123);
+    std::optional<Grammar> G0 = Model.build();
+    ASSERT_TRUE(G0);
+    IncrementalSession Sess(*G0);
+    std::vector<EditKind> Growth{EditKind::AddAlternative,
+                                 EditKind::ToggleNonterminal,
+                                 EditKind::AddTerminal};
+    for (unsigned K = 0; K != 10; ++K) {
+      std::optional<AppliedEdit> Edit = applyRandomEdit(Model, Rng, Growth);
+      if (!Edit)
+        break;
+      SCOPED_TRACE("edit #" + std::to_string(K) + ": " + Edit->Detail);
+      std::optional<Grammar> Edited = Model.build();
+      ASSERT_TRUE(Edited);
+      const IncrementalSession::AdvanceStats &St = Sess.advance(*Edited);
+      BuiltGrammar Cold(*Edited);
+      StateItemGraph ColdGraph(Cold.M);
+      ASSERT_EQ(cache::serializeGraph(Sess.graph()),
+                cache::serializeGraph(ColdGraph));
+      if (St.Patched) {
+        ++Patched;
+        Relocated += St.Graph.RowsRelocated;
+      }
+    }
+  }
+  EXPECT_GT(Patched, 4u);
+  EXPECT_GT(Relocated, 0u) << "slack growth path never exercised";
 }
 
 /// Maps a slice through \p SymbolMap, dropping unmapped members; returns
